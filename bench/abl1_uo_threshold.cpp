@@ -1,0 +1,109 @@
+// Ablation A1: the UO-vs-AS message-size threshold. The paper (Section
+// V-B3) observes that update-only sync wins when messages are large but
+// loses below a threshold where the prefix-scan extraction overhead and
+// per-message latency dominate, and recommends finding that threshold
+// by microbenchmarking. This bench does exactly that with the cost
+// model, then cross-checks with an end-to-end sssp run on the uk07
+// analogue (the paper's latency-bound example) vs friendster (the
+// bandwidth-bound example).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "comm/field_sync.hpp"
+#include "sim/gpu_cost_model.hpp"
+#include "sim/interconnect.hpp"
+
+namespace {
+
+using namespace sg;
+
+/// Modeled one-message sync time: extraction + D2H + network + H2D.
+double sync_time(std::uint32_t list_size, std::uint32_t updated,
+                 comm::SyncMode mode, const sim::GpuCostModel& cost,
+                 const sim::Interconnect& net) {
+  const std::uint32_t sent =
+      mode == comm::SyncMode::kAS ? list_size : updated;
+  const std::uint64_t bytes = comm::wire_bytes(list_size, sent, 4, mode);
+  sim::SimTime t;
+  if (mode == comm::SyncMode::kUO) {
+    t += cost.extract_updates_time(list_size, sent * 4ull);
+  } else {
+    t += cost.buffer_copy_time(static_cast<std::uint64_t>(sent) * 4);
+  }
+  t += net.device_to_host(bytes);
+  t += net.host_to_host(0, 2, bytes);  // cross-host
+  t += net.host_to_device(bytes);
+  return t.seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Ablation A1: UO vs AS sync time (simulated us) for one message as\n"
+      "the updated fraction varies, per shared-proxy list size. UO wins\n"
+      "above the volume threshold; AS wins when updates are so sparse\n"
+      "that extraction overhead + latency dominate (paper Section\n"
+      "V-B3).\n\n");
+
+  const auto params = bench::params();
+  const auto topo = bench::bridges(4);
+  const sim::GpuCostModel cost(topo.spec(0), params);
+  const sim::Interconnect net(topo, params);
+
+  bench::Table table({"list_size", "updated%", "UO(us)", "AS(us)",
+                      "winner"});
+  for (std::uint32_t list_size : {1000u, 10000u, 100000u, 1000000u}) {
+    for (double frac : {0.001, 0.01, 0.05, 0.2, 0.5, 1.0}) {
+      const auto updated = static_cast<std::uint32_t>(frac * list_size);
+      const double uo =
+          sync_time(list_size, updated, comm::SyncMode::kUO, cost, net);
+      const double as =
+          sync_time(list_size, updated, comm::SyncMode::kAS, cost, net);
+      char pct[16];
+      std::snprintf(pct, sizeof pct, "%.1f", frac * 100);
+      char uo_s[24], as_s[24];
+      std::snprintf(uo_s, sizeof uo_s, "%.2f", uo * 1e6);
+      std::snprintf(as_s, sizeof as_s, "%.2f", as * 1e6);
+      table.add_row({std::to_string(list_size), pct, uo_s, as_s,
+                     uo < as ? "UO" : "AS"});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nEnd-to-end cross-check (Var2=AS vs Var3=UO, Sync, IEC):\n");
+  bench::Table e2e({"input", "benchmark", "gpus", "AS total", "UO total",
+                    "AS volume", "UO volume"});
+  struct Case {
+    const char* input;
+    fw::Benchmark bench;
+    int gpus;
+  };
+  for (const Case c : {Case{"uk07", fw::Benchmark::kSssp, 64},
+                       Case{"friendster", fw::Benchmark::kSssp, 64}}) {
+    const auto& prep = bench::prepared(c.input, true,
+                                       partition::Policy::IEC, c.gpus);
+    const auto as =
+        fw::DIrGL::run(c.bench, prep, bench::bridges(c.gpus),
+                       bench::params(),
+                       fw::DIrGL::config(engine::Variant::kVar2));
+    const auto uo =
+        fw::DIrGL::run(c.bench, prep, bench::bridges(c.gpus),
+                       bench::params(),
+                       fw::DIrGL::config(engine::Variant::kVar3));
+    e2e.add_row(
+        {c.input, fw::to_string(c.bench), std::to_string(c.gpus),
+         as.ok ? bench::fmt_time(as.stats.total_time.seconds()) : "-",
+         uo.ok ? bench::fmt_time(uo.stats.total_time.seconds()) : "-",
+         as.ok ? bench::fmt_volume(static_cast<double>(
+                     as.stats.comm.total_volume()) / (1 << 30))
+               : "-",
+         uo.ok ? bench::fmt_volume(static_cast<double>(
+                     uo.stats.comm.total_volume()) / (1 << 30))
+               : "-"});
+  }
+  e2e.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation A2: throttling bulk-asynchronous execution. The paper's
+// conclusion proposes "control mechanisms ... to dynamically throttle
+// bulk-asynchronous execution to obtain the right trade-off between
+// decoupled execution and redundant computation/communication". Our
+// engine exposes that control (EngineConfig::async_lead_cap: how many
+// local rounds a device may run ahead of its slowest partner); this
+// bench sweeps it on the paper's problem case (bfs on the uk14
+// analogue, where unthrottled BASP does extra redundant rounds) and on
+// a case BASP wins (bfs on clueweb12).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Ablation A2: BASP asynchrony throttle sweep (Var4 + lead cap),\n"
+      "bfs at 64 GPUs, IEC. cap=BSP means pure bulk-synchronous (Var3);\n"
+      "cap=inf is unthrottled BASP (Var4). Redundant work = WorkItems\n"
+      "relative to the BSP row.\n\n");
+
+  const int gpus = 64;
+  for (const std::string input : {"uk14", "clueweb12"}) {
+    std::printf("== bfs on %s ==\n", input.c_str());
+    const auto& prep =
+        bench::prepared(input, false, partition::Policy::IEC, gpus);
+    bench::Table table({"cap", "Total", "WorkItems", "MinRounds",
+                        "MaxRounds", "Volume"});
+
+    const auto bsp =
+        fw::DIrGL::run(fw::Benchmark::kBfs, prep, bench::bridges(gpus),
+                       bench::params(),
+                       fw::DIrGL::config(engine::Variant::kVar3));
+    if (bsp.ok) {
+      table.add_row(
+          {"BSP", bench::fmt_time(bsp.stats.total_time.seconds()),
+           graph::human_count(bsp.stats.total_work()),
+           std::to_string(bsp.stats.min_rounds()),
+           std::to_string(bsp.stats.max_rounds()),
+           bench::fmt_volume(
+               static_cast<double>(bsp.stats.comm.total_volume()) /
+               (1 << 30))});
+    }
+    for (std::uint32_t cap : {1u, 2u, 4u, 8u, 16u, 64u, 0u}) {
+      auto cfg = fw::DIrGL::config(engine::Variant::kVar4);
+      cfg.async_lead_cap = cap;
+      const auto r = fw::DIrGL::run(fw::Benchmark::kBfs, prep,
+                                    bench::bridges(gpus), bench::params(),
+                                    cfg);
+      if (!r.ok) continue;
+      table.add_row(
+          {cap == 0 ? "inf" : std::to_string(cap),
+           bench::fmt_time(r.stats.total_time.seconds()),
+           graph::human_count(r.stats.total_work()),
+           std::to_string(r.stats.min_rounds()),
+           std::to_string(r.stats.max_rounds()),
+           bench::fmt_volume(
+               static_cast<double>(r.stats.comm.total_volume()) /
+               (1 << 30))});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

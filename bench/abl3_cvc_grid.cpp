@@ -1,0 +1,58 @@
+// Ablation A3: CVC grid-shape sweep. The Cartesian cut's communication
+// partners are (rows-1) broadcasts + (cols-1)... per device; the grid
+// shape trades partner count against block balance. The paper uses the
+// near-square default; this ablation shows why, sweeping every
+// factorization of 64 devices.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Ablation A3: CVC grid-shape sweep at 64 GPUs (Var4), twitter50\n"
+      "analogue. rows x cols = 64; 64x1 degenerates to an outgoing\n"
+      "edge-cut, 1x64 to an incoming edge-cut; near-square minimizes\n"
+      "partner count (row+col-2).\n\n");
+
+  const int gpus = 64;
+  const auto& g = bench::dataset("twitter50");
+  bench::Table table({"grid", "partners", "repl.factor", "static",
+                      "bfs total", "bfs volume", "pr total", "pr volume"});
+  for (const auto [rows, cols] :
+       {std::pair{64, 1}, {32, 2}, {16, 4}, {8, 8}, {4, 16}, {2, 32},
+        {1, 64}}) {
+    partition::PartitionOptions opts;
+    opts.policy = partition::Policy::CVC;
+    opts.num_devices = gpus;
+    opts.grid_rows = rows;
+    opts.grid_cols = cols;
+    const fw::Prepared prep{partition::partition_graph(g, opts),
+                            graph::datasets::default_source(g)};
+    const auto bfs = fw::DIrGL::run(fw::Benchmark::kBfs, prep,
+                                    bench::bridges(gpus), bench::params(),
+                                    fw::DIrGL::default_config());
+    const auto pr = fw::DIrGL::run(fw::Benchmark::kPagerank, prep,
+                                   bench::bridges(gpus), bench::params(),
+                                   fw::DIrGL::default_config());
+    char grid[16], rf[16], sb[16];
+    std::snprintf(grid, sizeof grid, "%dx%d", rows, cols);
+    std::snprintf(rf, sizeof rf, "%.2f",
+                  prep.dist.stats().replication_factor);
+    std::snprintf(sb, sizeof sb, "%.2f", prep.dist.stats().static_balance);
+    table.add_row(
+        {grid, std::to_string(rows + cols - 2), rf, sb,
+         bfs.ok ? bench::fmt_time(bfs.stats.total_time.seconds()) : "-",
+         bfs.ok ? bench::fmt_volume(
+                      static_cast<double>(bfs.stats.comm.total_volume()) /
+                      (1 << 30))
+                : "-",
+         pr.ok ? bench::fmt_time(pr.stats.total_time.seconds()) : "-",
+         pr.ok ? bench::fmt_volume(
+                     static_cast<double>(pr.stats.comm.total_volume()) /
+                     (1 << 30))
+               : "-"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation A4: the paper's Section VII improvement proposals, projected.
+//
+//  * "frameworks should adopt modern GPU architecture capabilities such
+//     as GPUDirect to avoid data transfers through the host"
+//     -> CostParams::gpudirect replaces the GPU->host->host->GPU path
+//        with P2P PCIe / RDMA.
+//  * "performance can be improved by overlapping communication with
+//     computation"
+//     -> EngineConfig::overlap_comm pipelines extraction with the
+//        downlink and the uplink with the apply on a copy engine.
+//
+// This bench quantifies each on the medium graphs at 32 GPUs under the
+// default D-IrGL configuration (Var4, CVC).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sg;
+
+struct Mode {
+  const char* name;
+  bool overlap;
+  bool gpudirect;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Ablation A4: projected gains from the paper's proposed\n"
+      "improvements (Section VII), D-IrGL Var4 + CVC at 32 GPUs.\n\n");
+
+  const int gpus = 32;
+  const Mode modes[] = {
+      {"baseline", false, false},
+      {"+overlap", true, false},
+      {"+gpudirect", false, true},
+      {"+both", true, true},
+  };
+
+  for (const std::string input : {"friendster", "twitter50", "uk07"}) {
+    std::printf("== %s ==\n", input.c_str());
+    bench::Table table({"benchmark", "mode", "Total", "DeviceComm",
+                        "speedup"});
+    for (auto b : {fw::Benchmark::kBfs, fw::Benchmark::kPagerank,
+                   fw::Benchmark::kSssp}) {
+      const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                         partition::Policy::CVC, gpus);
+      double baseline = 0;
+      bool first = true;
+      for (const Mode& mode : modes) {
+        auto params = bench::params();
+        params.gpudirect = mode.gpudirect;
+        auto cfg = fw::DIrGL::default_config();
+        cfg.overlap_comm = mode.overlap;
+        const auto r = fw::DIrGL::run(b, prep, bench::bridges(gpus), params,
+                                      cfg, bench::run_params(input));
+        if (!r.ok) continue;
+        const double total = r.stats.total_time.seconds();
+        if (mode.overlap == false && mode.gpudirect == false) {
+          baseline = total;
+        }
+        char speedup[16];
+        std::snprintf(speedup, sizeof speedup, "%.2fx",
+                      baseline > 0 ? baseline / total : 1.0);
+        table.add_row({first ? fw::to_string(b) : "", mode.name,
+                       bench::fmt_time(total),
+                       bench::fmt_time(r.stats.max_device_comm().seconds()),
+                       speedup});
+        first = false;
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation A6: what BASP's idle devices do decides whether asynchronous
+// execution beats bulk-synchronous on high-diameter inputs.
+//
+// Gluon-Async devices busy-poll — an idle device keeps executing local
+// rounds (worklist check + bitvector scan) until distributed
+// termination is detected — which is why the paper's bfs/uk14 case
+// executes 2141 minimum local rounds and loses to BSP (Section V-B4).
+// Our default BASP parks idle devices for free (optimistic). This bench
+// runs both idle models next to BSP (Var3) on the two Section V-B4
+// inputs and shows the paper's sign flip emerging under busy-poll.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Ablation A6: BASP idle-device model vs BSP, bfs at 64 GPUs (IEC).\n"
+      "'park' = idle devices sleep free (our optimistic default);\n"
+      "'busy-poll' = idle devices churn local rounds until global\n"
+      "termination (Gluon-Async). MinRounds is the paper's exploding\n"
+      "metric.\n\n");
+
+  const int gpus = 64;
+  for (const std::string input : {"uk14", "clueweb12"}) {
+    std::printf("== bfs on %s ==\n", input.c_str());
+    const auto& prep =
+        bench::prepared(input, false, partition::Policy::IEC, gpus);
+    bench::Table table(
+        {"mode", "Total", "MinRounds", "MaxRounds", "WorkItems", "Volume"});
+
+    auto add = [&](const std::string& name, const fw::BenchmarkRun& r) {
+      if (!r.ok) return;
+      table.add_row(
+          {name, bench::fmt_time(r.stats.total_time.seconds()),
+           std::to_string(r.stats.min_rounds()),
+           std::to_string(r.stats.max_rounds()),
+           graph::human_count(r.stats.total_work()),
+           bench::fmt_volume(
+               static_cast<double>(r.stats.comm.total_volume()) /
+               (1 << 30))});
+    };
+
+    add("BSP (Var3)",
+        fw::DIrGL::run(fw::Benchmark::kBfs, prep, bench::bridges(gpus),
+                       bench::params(),
+                       fw::DIrGL::config(engine::Variant::kVar3)));
+    add("BASP park",
+        fw::DIrGL::run(fw::Benchmark::kBfs, prep, bench::bridges(gpus),
+                       bench::params(),
+                       fw::DIrGL::config(engine::Variant::kVar4)));
+    auto busy = fw::DIrGL::config(engine::Variant::kVar4);
+    busy.async_busy_poll = true;
+    add("BASP busy-poll",
+        fw::DIrGL::run(fw::Benchmark::kBfs, prep, bench::bridges(gpus),
+                       bench::params(), busy));
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 3: strong scaling of D-IrGL variants (Var1-Var4, IEC) and Lux
+// for the medium graphs on Bridges (2 simulated P100s per host), 2-64
+// GPUs. Prints one series per (input, benchmark, system) with the
+// simulated execution time at each GPU count ("-" = failed/unsupported).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sg;
+
+const std::vector<int> kGpus = {2, 4, 8, 16, 32, 64};
+
+}  // namespace
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Figure 3: strong scaling (simulated sec) of D-IrGL variants and\n"
+      "Lux for medium graphs on Bridges. Var1=TWC+AS+Sync, Var2=ALB+AS+\n"
+      "Sync, Var3=ALB+UO+Sync, Var4=ALB+UO+Async; all with IEC, as in\n"
+      "the paper's Section V-B.\n\n");
+
+  for (const std::string input : {"friendster", "twitter50", "uk07"}) {
+    std::printf("== %s ==\n", input.c_str());
+    bench::Table table({"benchmark", "system", "2", "4", "8", "16", "32",
+                        "64"});
+    for (auto b : bench::all_benchmarks()) {
+      std::map<int, std::uint32_t> pr_rounds;
+      for (auto v : {engine::Variant::kVar1, engine::Variant::kVar2,
+                     engine::Variant::kVar3, engine::Variant::kVar4}) {
+        std::vector<std::string> row{fw::to_string(b),
+                                     engine::to_string(v)};
+        for (int gpus : kGpus) {
+          const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                             partition::Policy::IEC, gpus);
+          const auto r = fw::DIrGL::run(b, prep, bench::bridges(gpus),
+                                        bench::params(),
+                                        fw::DIrGL::config(v), bench::run_params(input));
+          if (r.ok) {
+            if (b == fw::Benchmark::kPagerank &&
+                v == engine::Variant::kVar4) {
+              pr_rounds[gpus] = r.stats.global_rounds;
+            }
+            row.push_back(bench::fmt_time(r.stats.total_time.seconds()));
+          } else {
+            row.push_back("-");
+          }
+        }
+        table.add_row(std::move(row));
+      }
+      if (b == fw::Benchmark::kCc || b == fw::Benchmark::kPagerank) {
+        std::vector<std::string> row{fw::to_string(b), "Lux"};
+        for (int gpus : kGpus) {
+          const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                             partition::Policy::IEC, gpus);
+          fw::RunParams rp;
+          rp.lux_pr_rounds =
+              pr_rounds.count(gpus) ? pr_rounds[gpus] : 50;
+          const auto r = fw::Lux::run(b, prep, bench::bridges(gpus),
+                                      bench::params(), rp);
+          row.push_back(r.ok ? bench::fmt_time(r.stats.total_time.seconds())
+                             : "-");
+        }
+        table.add_row(std::move(row));
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 4: breakdown of execution time (max compute / min wait /
+// device-host communication) and communication volume of the D-IrGL
+// variants for medium graphs on 32 simulated P100 GPUs of Bridges.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Figure 4: breakdown of execution time (simulated sec) of D-IrGL\n"
+      "variants for medium graphs on 32 P100 GPUs of Bridges (IEC).\n"
+      "Volume is the total device<->host communication, as on the\n"
+      "paper's bar labels.\n\n");
+
+  const int gpus = 32;
+  for (const std::string input : {"friendster", "twitter50", "uk07"}) {
+    std::printf("== %s ==\n", input.c_str());
+    bench::Table table({"benchmark", "variant", "MaxCompute", "MinWait",
+                        "DeviceComm", "Total", "Volume", "Rounds"});
+    for (auto b : bench::all_benchmarks()) {
+      bool first = true;
+      for (auto v : {engine::Variant::kVar1, engine::Variant::kVar2,
+                     engine::Variant::kVar3, engine::Variant::kVar4}) {
+        const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                           partition::Policy::IEC, gpus);
+        const auto r = fw::DIrGL::run(b, prep, bench::bridges(gpus),
+                                      bench::params(),
+                                      fw::DIrGL::config(v), bench::run_params(input));
+        if (!r.ok) {
+          table.add_row({first ? fw::to_string(b) : "",
+                         engine::to_string(v), "-", "-", "-", "-", "-",
+                         "-"});
+          first = false;
+          continue;
+        }
+        const auto bd = bench::breakdown_of(r.stats);
+        table.add_row({first ? fw::to_string(b) : "", engine::to_string(v),
+                       bench::fmt_time(bd.max_compute),
+                       bench::fmt_time(bd.min_wait),
+                       bench::fmt_time(bd.device_comm),
+                       bench::fmt_time(bd.total),
+                       bench::fmt_volume(bd.volume_gb),
+                       std::to_string(bd.rounds)});
+        first = false;
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

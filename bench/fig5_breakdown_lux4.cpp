@@ -1,0 +1,55 @@
+// Figure 5: breakdown of execution time of Lux and the D-IrGL baseline
+// (Var1: TWC + AS + Sync) for medium graphs on 4 simulated P100 GPUs —
+// the head-to-head that isolates framework overheads with D-IrGL's
+// optimizations disabled.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Figure 5: breakdown of execution time (simulated sec) of Lux and\n"
+      "D-IrGL (Var1) for medium graphs on 4 P100 GPUs of Bridges (IEC).\n"
+      "Lux supports cc and pagerank only.\n\n");
+
+  const int gpus = 4;
+  for (const std::string input : {"friendster", "twitter50", "uk07"}) {
+    std::printf("== %s ==\n", input.c_str());
+    bench::Table table({"benchmark", "system", "MaxCompute", "MinWait",
+                        "DeviceComm", "Total", "Volume"});
+    for (auto b : {fw::Benchmark::kCc, fw::Benchmark::kPagerank}) {
+      const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                         partition::Policy::IEC, gpus);
+      const auto dirgl =
+          fw::DIrGL::run(b, prep, bench::bridges(gpus), bench::params(),
+                         fw::DIrGL::config(engine::Variant::kVar1));
+      fw::RunParams rp;
+      if (b == fw::Benchmark::kPagerank && dirgl.ok) {
+        rp.lux_pr_rounds = dirgl.stats.global_rounds;
+      }
+      const auto lux =
+          fw::Lux::run(b, prep, bench::bridges(gpus), bench::params(), rp);
+      auto add = [&](const std::string& system, const fw::BenchmarkRun& r,
+                     bool first) {
+        if (!r.ok) {
+          table.add_row({first ? fw::to_string(b) : "", system, "-", "-",
+                         "-", "-", "-"});
+          return;
+        }
+        const auto bd = bench::breakdown_of(r.stats);
+        table.add_row({first ? fw::to_string(b) : "", system,
+                       bench::fmt_time(bd.max_compute),
+                       bench::fmt_time(bd.min_wait),
+                       bench::fmt_time(bd.device_comm),
+                       bench::fmt_time(bd.total),
+                       bench::fmt_volume(bd.volume_gb)});
+      };
+      add("Lux", lux, true);
+      add("D-IrGL(Var1)", dirgl, false);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

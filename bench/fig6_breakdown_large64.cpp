@@ -1,0 +1,55 @@
+// Figure 6: breakdown of execution time of the D-IrGL variants for the
+// large graphs (clueweb12, uk14, wdc14 analogues) on 64 simulated P100
+// GPUs — including the Var3-vs-Var4 bfs/uk14 reversal driven by
+// redundant asynchronous rounds on the highest-diameter input.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Figure 6: breakdown of execution time (simulated sec) of D-IrGL\n"
+      "variants for large graphs on 64 P100 GPUs of Bridges (IEC).\n"
+      "WorkItems and Rounds expose BASP's redundant work (Section\n"
+      "V-B4).\n\n");
+
+  const int gpus = 64;
+  for (const std::string input : {"clueweb12", "uk14", "wdc14"}) {
+    std::printf("== %s ==\n", input.c_str());
+    bench::Table table({"benchmark", "variant", "MaxCompute", "MinWait",
+                        "DeviceComm", "Total", "Volume", "Rounds",
+                        "WorkItems"});
+    for (auto b : bench::all_benchmarks()) {
+      bool first = true;
+      for (auto v : {engine::Variant::kVar1, engine::Variant::kVar2,
+                     engine::Variant::kVar3, engine::Variant::kVar4}) {
+        const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                           partition::Policy::IEC, gpus);
+        const auto r = fw::DIrGL::run(b, prep, bench::bridges(gpus),
+                                      bench::params(),
+                                      fw::DIrGL::config(v), bench::run_params(input));
+        if (!r.ok) {
+          table.add_row({first ? fw::to_string(b) : "",
+                         engine::to_string(v), "-", "-", "-", "-", "-", "-",
+                         "-"});
+          first = false;
+          continue;
+        }
+        const auto bd = bench::breakdown_of(r.stats);
+        table.add_row({first ? fw::to_string(b) : "", engine::to_string(v),
+                       bench::fmt_time(bd.max_compute),
+                       bench::fmt_time(bd.min_wait),
+                       bench::fmt_time(bd.device_comm),
+                       bench::fmt_time(bd.total),
+                       bench::fmt_volume(bd.volume_gb),
+                       std::to_string(bd.rounds),
+                       graph::human_count(r.stats.total_work())});
+        first = false;
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 7: strong scaling of D-IrGL (Var4, all optimizations) with
+// different partitioning policies for medium graphs on Bridges. The
+// paper's headline: CVC scales best and overtakes the edge-cuts at 16+
+// GPUs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Figure 7: strong scaling (simulated sec) of D-IrGL (Var4) with\n"
+      "different partitioning policies for medium graphs on Bridges.\n\n");
+
+  const std::vector<int> gpu_counts = {2, 4, 8, 16, 32, 64};
+  for (const std::string input : {"friendster", "twitter50", "uk07"}) {
+    std::printf("== %s ==\n", input.c_str());
+    bench::Table table({"benchmark", "policy", "2", "4", "8", "16", "32",
+                        "64"});
+    for (auto b : bench::all_benchmarks()) {
+      bool first = true;
+      for (auto policy :
+           {partition::Policy::HVC, partition::Policy::OEC,
+            partition::Policy::IEC, partition::Policy::CVC}) {
+        std::vector<std::string> row{first ? fw::to_string(b) : "",
+                                     partition::to_string(policy)};
+        for (int gpus : gpu_counts) {
+          const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                             policy, gpus);
+          const auto r = fw::DIrGL::run(b, prep, bench::bridges(gpus),
+                                        bench::params(),
+                                        fw::DIrGL::default_config(), bench::run_params(input));
+          row.push_back(r.ok ? bench::fmt_time(r.stats.total_time.seconds())
+                             : "-");
+        }
+        table.add_row(std::move(row));
+        first = false;
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 8: breakdown of execution time of D-IrGL (Var4) with different
+// partitioning policies for medium graphs on 32 simulated P100 GPUs —
+// CVC may send *more* data yet spend less time communicating because it
+// has fewer communication partners (grid row/column only).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Figure 8: breakdown of execution time (simulated sec) of D-IrGL\n"
+      "(Var4) with different partitioning policies for medium graphs on\n"
+      "32 P100 GPUs of Bridges. Msgs counts point-to-point messages\n"
+      "(CVC's partner restriction shows here).\n\n");
+
+  const int gpus = 32;
+  for (const std::string input : {"friendster", "twitter50", "uk07"}) {
+    std::printf("== %s ==\n", input.c_str());
+    bench::Table table({"benchmark", "policy", "MaxCompute", "MinWait",
+                        "DeviceComm", "Total", "Volume", "Msgs"});
+    for (auto b : bench::all_benchmarks()) {
+      bool first = true;
+      for (auto policy :
+           {partition::Policy::HVC, partition::Policy::OEC,
+            partition::Policy::IEC, partition::Policy::CVC}) {
+        const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                           policy, gpus);
+        const auto r = fw::DIrGL::run(b, prep, bench::bridges(gpus),
+                                      bench::params(),
+                                      fw::DIrGL::default_config(), bench::run_params(input));
+        if (!r.ok) {
+          table.add_row({first ? fw::to_string(b) : "",
+                         partition::to_string(policy), "-", "-", "-", "-",
+                         "-", "-"});
+          first = false;
+          continue;
+        }
+        const auto bd = bench::breakdown_of(r.stats);
+        table.add_row({first ? fw::to_string(b) : "",
+                       partition::to_string(policy),
+                       bench::fmt_time(bd.max_compute),
+                       bench::fmt_time(bd.min_wait),
+                       bench::fmt_time(bd.device_comm),
+                       bench::fmt_time(bd.total),
+                       bench::fmt_volume(bd.volume_gb),
+                       std::to_string(r.stats.comm.messages)});
+        first = false;
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

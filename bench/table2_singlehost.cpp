@@ -1,0 +1,146 @@
+// Table II: fastest execution time of all frameworks using the
+// best-performing number of GPUs on the single-host multi-GPU system
+// (Tuxedo: 4 simulated K80 + 2 GTX 1080). For each framework the sweep
+// covers 1/2/4/6 GPUs; D-IrGL additionally sweeps its partitioning
+// policies and reports the best.
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sg;
+
+struct Best {
+  double time = 0;
+  int gpus = 0;
+  std::string policy;
+};
+
+std::string fmt_best(const std::optional<Best>& b) {
+  if (!b) return "-";
+  std::string s = bench::fmt_time(b->time) + " (" +
+                  std::to_string(b->gpus) + ")";
+  if (!b->policy.empty()) s += " " + b->policy;
+  return s;
+}
+
+const std::vector<int> kGpuCounts = {1, 2, 4, 6};
+
+template <typename RunFn>
+std::optional<Best> sweep(RunFn&& run) {
+  std::optional<Best> best;
+  for (int gpus : kGpuCounts) {
+    const auto result = run(gpus);
+    if (!result) continue;
+    if (!best || result->time < best->time) best = result;
+  }
+  return best;
+}
+
+std::optional<Best> run_gunrock(fw::Benchmark b, const std::string& input) {
+  return sweep([&](int gpus) -> std::optional<Best> {
+    const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                       partition::Policy::RANDOM, gpus);
+    const auto r = fw::Gunrock::run(b, prep, bench::tuxedo(gpus),
+                                    bench::params());
+    if (!r.ok) return std::nullopt;
+    return Best{r.stats.total_time.seconds(), gpus, ""};
+  });
+}
+
+std::optional<Best> run_groute(fw::Benchmark b, const std::string& input) {
+  return sweep([&](int gpus) -> std::optional<Best> {
+    const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                       partition::Policy::GREEDY, gpus);
+    const auto r = fw::Groute::run(b, prep, bench::tuxedo(gpus),
+                                   bench::params());
+    if (!r.ok) return std::nullopt;
+    return Best{r.stats.total_time.seconds(), gpus, ""};
+  });
+}
+
+std::optional<Best> run_lux(fw::Benchmark b, const std::string& input,
+                            std::uint32_t pr_rounds) {
+  return sweep([&](int gpus) -> std::optional<Best> {
+    const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                       partition::Policy::IEC, gpus);
+    fw::RunParams rp;
+    rp.lux_pr_rounds = pr_rounds;
+    const auto r =
+        fw::Lux::run(b, prep, bench::tuxedo(gpus), bench::params(), rp);
+    if (!r.ok) return std::nullopt;
+    return Best{r.stats.total_time.seconds(), gpus, ""};
+  });
+}
+
+/// D-IrGL sweeps GPUs and policies; also returns the pagerank round
+/// count (Lux runs pagerank for the same number of rounds).
+std::optional<Best> run_dirgl(fw::Benchmark b, const std::string& input,
+                              std::uint32_t* pr_rounds_out) {
+  std::optional<Best> best;
+  for (auto policy : {partition::Policy::OEC, partition::Policy::IEC,
+                      partition::Policy::HVC, partition::Policy::CVC}) {
+    for (int gpus : kGpuCounts) {
+      const auto& prep = bench::prepared(input, bench::needs_weights(b),
+                                         policy, gpus);
+      const auto r = fw::DIrGL::run(b, prep, bench::tuxedo(gpus),
+                                    bench::params(),
+                                    fw::DIrGL::default_config());
+      if (!r.ok) continue;
+      if (pr_rounds_out != nullptr) {
+        *pr_rounds_out = std::max(*pr_rounds_out, r.stats.global_rounds);
+      }
+      if (!best || r.stats.total_time.seconds() < best->time) {
+        best = Best{r.stats.total_time.seconds(), gpus,
+                    partition::to_string(policy)};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sg;
+  std::printf(
+      "Table II: fastest execution time (simulated sec) of all frameworks\n"
+      "using the best-performing number of GPUs on the single-host\n"
+      "multi-GPU system, Tuxedo (GPU count in parentheses; D-IrGL rows\n"
+      "also show the best partitioning policy).\n\n");
+
+  const std::vector<std::string> inputs = {"rmat23", "orkut", "indochina04"};
+  const std::vector<fw::Benchmark> benchmarks = {
+      fw::Benchmark::kBfs, fw::Benchmark::kCc, fw::Benchmark::kPagerank,
+      fw::Benchmark::kSssp};
+
+  bench::Table table(
+      {"benchmark", "platform", "rmat23", "orkut", "indochina04"});
+  std::map<std::string, std::uint32_t> pr_rounds;
+  for (auto b : benchmarks) {
+    std::vector<std::string> dirgl_row;
+    for (const auto& input : inputs) {
+      std::uint32_t rounds = 0;
+      const auto best = run_dirgl(b, input, &rounds);
+      if (b == fw::Benchmark::kPagerank) pr_rounds[input] = rounds;
+      dirgl_row.push_back(fmt_best(best));
+    }
+    std::vector<std::string> rows[3];
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      rows[0].push_back(fmt_best(run_gunrock(b, inputs[i])));
+      rows[1].push_back(fmt_best(run_groute(b, inputs[i])));
+      rows[2].push_back(fmt_best(
+          run_lux(b, inputs[i],
+                  pr_rounds.count(inputs[i]) ? pr_rounds[inputs[i]] : 50)));
+    }
+    table.add_row({fw::to_string(b), "Gunrock", rows[0][0], rows[0][1],
+                   rows[0][2]});
+    table.add_row({"", "Groute", rows[1][0], rows[1][1], rows[1][2]});
+    table.add_row({"", "Lux", rows[2][0], rows[2][1], rows[2][2]});
+    table.add_row({"", "D-IrGL", dirgl_row[0], dirgl_row[1], dirgl_row[2]});
+  }
+  table.print();
+  return 0;
+}

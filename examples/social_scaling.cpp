@@ -1,0 +1,65 @@
+// Social-network scaling study: strong scaling of connected components
+// and bfs on the friendster analogue from 2 to 64 simulated GPUs,
+// comparing bulk-synchronous vs bulk-asynchronous execution and
+// reporting parallel efficiency.
+//
+// Build & run:  ./build/examples/social_scaling
+#include <cstdio>
+
+#include "algo/cc.hpp"
+#include "algo/bfs.hpp"
+#include "comm/sync_structure.hpp"
+#include "graph/datasets.hpp"
+#include "partition/dist_graph.hpp"
+#include "sim/cost_params.hpp"
+#include "sim/topology.hpp"
+
+int main() {
+  using namespace sg;
+
+  const auto g = graph::datasets::make("friendster");
+  std::printf("friendster analogue: %u vertices, %llu edges\n\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  const auto params = sim::CostParams::for_scaled_datasets();
+  const auto source = graph::datasets::default_source(g);
+
+  engine::EngineConfig sync_cfg;
+  sync_cfg.exec_model = engine::ExecModel::kSync;
+  engine::EngineConfig async_cfg;
+  async_cfg.exec_model = engine::ExecModel::kAsync;
+
+  std::printf("%-6s | %12s %12s %10s | %12s %12s\n", "gpus", "cc-BSP(ms)",
+              "cc-BASP(ms)", "eff(BASP)", "bfs-BSP(ms)", "bfs-BASP(ms)");
+  double base_cc_async = 0;
+  for (int gpus : {2, 4, 8, 16, 32, 64}) {
+    const auto dg = partition::partition_graph(
+        g, {.policy = partition::Policy::CVC, .num_devices = gpus});
+    const comm::SyncStructure sync(dg);
+    const auto topo = sim::Topology::bridges(gpus);
+
+    const auto cc_s = algo::run_cc(dg, sync, topo, params, sync_cfg);
+    const auto cc_a = algo::run_cc(dg, sync, topo, params, async_cfg);
+    const auto bfs_s =
+        algo::run_bfs(dg, sync, topo, params, sync_cfg, source);
+    const auto bfs_a =
+        algo::run_bfs(dg, sync, topo, params, async_cfg, source);
+
+    if (gpus == 2) base_cc_async = cc_a.stats.total_time.seconds() * 2;
+    const double eff = base_cc_async /
+                       (cc_a.stats.total_time.seconds() * gpus);
+    std::printf("%-6d | %12.4f %12.4f %9.0f%% | %12.4f %12.4f\n", gpus,
+                cc_s.stats.total_time.millis(),
+                cc_a.stats.total_time.millis(), eff * 100,
+                bfs_s.stats.total_time.millis(),
+                bfs_a.stats.total_time.millis());
+  }
+
+  std::printf(
+      "\nNotes: efficiency is relative to the 2-GPU BASP run. Strong\n"
+      "scaling flattens once per-device work no longer amortizes the\n"
+      "per-round communication - exactly the regime where the paper's\n"
+      "partitioning-policy and sync-mode choices start to matter.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Web-crawl analytics: the scenario from the paper's motivation —
+// massive, high-diameter web graphs with extreme in-degree hubs. Runs
+// pagerank and bfs on the uk07 analogue at 32 GPUs under every
+// partitioning policy and explains the trade-offs the numbers show.
+//
+// Build & run:  ./build/examples/webcrawl_analytics
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "algo/pagerank.hpp"
+#include "comm/sync_structure.hpp"
+#include "graph/datasets.hpp"
+#include "graph/properties.hpp"
+#include "partition/dist_graph.hpp"
+#include "sim/cost_params.hpp"
+#include "sim/topology.hpp"
+
+int main() {
+  using namespace sg;
+
+  const auto g = graph::datasets::make("uk07");
+  const auto props = graph::analyze(g);
+  std::printf("uk07 analogue: %u vertices, %llu edges, diameter ~%u, "
+              "max in-degree %llu\n\n",
+              props.num_vertices,
+              static_cast<unsigned long long>(props.num_edges),
+              props.approx_diameter,
+              static_cast<unsigned long long>(props.max_in_degree));
+
+  const int gpus = 32;
+  const auto topo = sim::Topology::bridges(gpus);
+  const auto params = sim::CostParams::for_scaled_datasets();
+  engine::EngineConfig config;  // D-IrGL default (Var4)
+  const auto source = graph::datasets::default_source(g);
+
+  std::printf("%-8s %12s %12s %14s %10s %10s\n", "policy", "bfs(ms)",
+              "pr(ms)", "repl.factor", "pr vol(MB)", "pr msgs");
+  for (auto policy : {partition::Policy::OEC, partition::Policy::IEC,
+                      partition::Policy::HVC, partition::Policy::CVC}) {
+    const auto dg = partition::partition_graph(
+        g, {.policy = policy, .num_devices = gpus});
+    const comm::SyncStructure sync(dg);
+    const auto bfs = algo::run_bfs(dg, sync, topo, params, config, source);
+    const auto pr = algo::run_pagerank(dg, sync, topo, params, config);
+    std::printf("%-8s %12.4f %12.3f %14.2f %10.1f %10llu\n",
+                partition::to_string(policy), bfs.stats.total_time.millis(),
+                pr.stats.total_time.millis(),
+                dg.stats().replication_factor,
+                static_cast<double>(pr.stats.comm.total_volume()) / 1e6,
+                static_cast<unsigned long long>(pr.stats.comm.messages));
+  }
+
+  std::printf(
+      "\nWhat to look for (the paper's Section V-C lessons):\n"
+      " * CVC exchanges messages only with its grid row/column, so its\n"
+      "   message count is a fraction of the edge-cuts';\n"
+      " * HVC's hashed masters destroy the crawl's locality - its\n"
+      "   replication factor and volume explode;\n"
+      " * OEC elides the broadcast direction entirely for pull-style\n"
+      "   pagerank (all out-edges live with the master).\n");
+
+  // Top pages by rank, the actual analytics payload.
+  const auto dg = partition::partition_graph(
+      g, {.policy = partition::Policy::CVC, .num_devices = gpus});
+  const comm::SyncStructure sync(dg);
+  const auto pr = algo::run_pagerank(dg, sync, topo, params, config);
+  std::vector<graph::VertexId> order(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](graph::VertexId a, graph::VertexId b) {
+                      return pr.rank[a] > pr.rank[b];
+                    });
+  std::printf("\ntop pages by rank:\n");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  #%d vertex %u rank %.4f\n", i + 1, order[i],
+                pr.rank[order[i]]);
+  }
+  return 0;
+}

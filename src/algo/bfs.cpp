@@ -1,0 +1,24 @@
+#include "algo/bfs.hpp"
+
+#include "algo/results.hpp"
+
+namespace sg::algo {
+
+BfsResult run_bfs(const partition::DistGraph& dg,
+                  const comm::SyncStructure& sync, const sim::Topology& topo,
+                  const sim::CostParams& params,
+                  const engine::EngineConfig& config,
+                  graph::VertexId source) {
+  BfsProgram program(source);
+  auto result = engine::run(dg, sync, topo, params, config, program);
+  BfsResult out;
+  out.dist = gather_master_values<std::uint32_t>(
+      dg, result.states,
+      [](const BfsProgram::DeviceState& st, graph::VertexId v) {
+        return st.dist[v];
+      });
+  out.stats = std::move(result.stats);
+  return out;
+}
+
+}  // namespace sg::algo

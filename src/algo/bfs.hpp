@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "comm/reduction.hpp"
+#include "engine/executor.hpp"
+
+namespace sg::algo {
+
+inline constexpr std::uint32_t kInfDist =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Breadth-first search: data-driven push vertex program (the D-IrGL
+/// implementation style). Labels are hop distances; the reduction is
+/// min, which is monotone, so BASP's stale interleavings are safe.
+class BfsProgram {
+ public:
+  using ReduceValue = std::uint32_t;
+  using ReduceOp = comm::MinOp<std::uint32_t>;
+  using BcastValue = std::uint32_t;
+  using BcastOp = comm::MinOp<std::uint32_t>;
+  static constexpr bool kDataDriven = true;
+  static constexpr std::uint64_t kExtraBytesPerVertex = 0;
+
+  explicit BfsProgram(graph::VertexId source) : source_(source) {}
+
+  [[nodiscard]] const char* name() const { return "bfs"; }
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern::push();
+  }
+
+  struct DeviceState {
+    std::vector<std::uint32_t> dist;
+  };
+
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx& ctx) const {
+    st.dist.assign(lg.num_local, kInfDist);
+    const auto it = lg.g2l.find(source_);
+    if (it != lg.g2l.end()) {
+      st.dist[it->second] = 0;
+      ctx.push(it->second);
+    }
+  }
+
+  bool compute_round(const partition::LocalGraph& lg, DeviceState& st,
+                     std::span<const graph::VertexId> frontier,
+                     engine::RoundCtx& ctx) const {
+    for (const graph::VertexId v : frontier) {
+      ctx.record(static_cast<std::uint32_t>(lg.out_degree(v)));
+      const std::uint32_t dv = st.dist[v];
+      if (dv == kInfDist) continue;
+      for (const graph::VertexId u : lg.out_neighbors(v)) {
+        if (dv + 1 < st.dist[u]) {
+          st.dist[u] = dv + 1;
+          ctx.mark_dirty(u, lg.is_master(u));
+          ctx.push(u);
+        }
+      }
+    }
+    return false;  // data-driven: activity is carried by the frontier
+  }
+
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.dist;
+  }
+
+  void on_update(const partition::LocalGraph&, DeviceState&,
+                 graph::VertexId v, engine::UpdateKind,
+                 engine::RoundCtx& ctx) const {
+    ctx.push(v);
+  }
+
+ private:
+  graph::VertexId source_;
+};
+
+struct BfsResult {
+  std::vector<std::uint32_t> dist;  ///< per global vertex; kInfDist if
+                                    ///< unreachable
+  engine::RunStats stats;
+};
+
+/// Runs distributed bfs from `source` on the partitioned graph.
+[[nodiscard]] BfsResult run_bfs(const partition::DistGraph& dg,
+                                const comm::SyncStructure& sync,
+                                const sim::Topology& topo,
+                                const sim::CostParams& params,
+                                const engine::EngineConfig& config,
+                                graph::VertexId source);
+
+}  // namespace sg::algo

@@ -1,0 +1,220 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/reduction.hpp"
+#include "engine/executor.hpp"
+
+namespace sg::algo {
+
+/// Weakly connected components via data-driven min-label propagation
+/// over both edge directions (the D-IrGL / Lux implementation style).
+/// Component ids are the minimum global vertex id in the component.
+class CcProgram {
+ public:
+  using ReduceValue = std::uint32_t;
+  using ReduceOp = comm::MinOp<std::uint32_t>;
+  using BcastValue = std::uint32_t;
+  using BcastOp = comm::MinOp<std::uint32_t>;
+  static constexpr bool kDataDriven = true;
+  static constexpr std::uint64_t kExtraBytesPerVertex = 0;
+
+  [[nodiscard]] const char* name() const { return "cc"; }
+  /// Labels are read and written at both endpoints (propagation is
+  /// undirected), so every mirror takes part in both sync directions.
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern{.reads_src = true,
+                             .reads_dst = true,
+                             .writes_src = true,
+                             .writes_dst = true};
+  }
+
+  struct DeviceState {
+    std::vector<std::uint32_t> label;
+  };
+
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx& ctx) const {
+    st.label.resize(lg.num_local);
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      st.label[v] = lg.l2g[v];
+      ctx.push(v);
+    }
+  }
+
+  bool compute_round(const partition::LocalGraph& lg, DeviceState& st,
+                     std::span<const graph::VertexId> frontier,
+                     engine::RoundCtx& ctx) const {
+    for (const graph::VertexId v : frontier) {
+      ctx.record(static_cast<std::uint32_t>(lg.out_degree(v) +
+                                            lg.in_degree(v)));
+      const std::uint32_t lv = st.label[v];
+      auto relax = [&](graph::VertexId u) {
+        if (lv < st.label[u]) {
+          st.label[u] = lv;
+          ctx.mark_dirty(u, lg.is_master(u));
+          ctx.push(u);
+        }
+      };
+      for (const graph::VertexId u : lg.out_neighbors(v)) relax(u);
+      for (const graph::VertexId u : lg.in_neighbors(v)) relax(u);
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.label;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.label;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.label;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.label;
+  }
+
+  void on_update(const partition::LocalGraph&, DeviceState&,
+                 graph::VertexId v, engine::UpdateKind,
+                 engine::RoundCtx& ctx) const {
+    ctx.push(v);
+  }
+};
+
+/// Groute-style connected components: each device collapses its local
+/// partition with a union-find ("pointer jumping") pass in the first
+/// round, then only exchanges component labels — an algorithmic
+/// advantage over plain label propagation (Section IV-B).
+class CcPointerJumpProgram {
+ public:
+  using ReduceValue = std::uint32_t;
+  using ReduceOp = comm::MinOp<std::uint32_t>;
+  using BcastValue = std::uint32_t;
+  using BcastOp = comm::MinOp<std::uint32_t>;
+  static constexpr bool kDataDriven = true;
+  static constexpr std::uint64_t kExtraBytesPerVertex = 8;  // DSU parent
+
+  [[nodiscard]] const char* name() const { return "cc-pj"; }
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern{.reads_src = true,
+                             .reads_dst = true,
+                             .writes_src = true,
+                             .writes_dst = true};
+  }
+
+  struct DeviceState {
+    std::vector<std::uint32_t> label;
+    std::vector<graph::VertexId> parent;  // local DSU
+    bool hooked = false;
+
+    graph::VertexId find(graph::VertexId v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];  // path halving
+        v = parent[v];
+      }
+      return v;
+    }
+  };
+
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx& ctx) const {
+    st.label.resize(lg.num_local);
+    st.parent.resize(lg.num_local);
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      st.label[v] = lg.l2g[v];
+      st.parent[v] = v;
+    }
+    if (lg.num_local > 0) ctx.push(0);  // trigger the hooking round
+  }
+
+  bool compute_round(const partition::LocalGraph& lg, DeviceState& st,
+                     std::span<const graph::VertexId> frontier,
+                     engine::RoundCtx& ctx) const {
+    if (!st.hooked) {
+      st.hooked = true;
+      // Hook every local edge, then compress: one sweep collapses the
+      // whole local partition.
+      for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+        ctx.record(static_cast<std::uint32_t>(lg.out_degree(v)));
+        for (const graph::VertexId u : lg.out_neighbors(v)) {
+          const graph::VertexId rv = st.find(v);
+          const graph::VertexId ru = st.find(u);
+          if (rv != ru) st.parent[std::max(rv, ru)] = std::min(rv, ru);
+        }
+      }
+      push_component_labels(lg, st, ctx);
+      return false;
+    }
+    // Merge rounds: fold updated proxy labels into their component root,
+    // then re-distribute the root's label across the component.
+    for (const graph::VertexId v : frontier) {
+      const graph::VertexId r = st.find(v);
+      if (st.label[v] < st.label[r]) st.label[r] = st.label[v];
+      ctx.record(1);
+    }
+    push_component_labels(lg, st, ctx);
+    return false;
+  }
+
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.label;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.label;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.label;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.label;
+  }
+
+  void on_update(const partition::LocalGraph&, DeviceState&,
+                 graph::VertexId v, engine::UpdateKind,
+                 engine::RoundCtx& ctx) const {
+    ctx.push(v);
+  }
+
+ private:
+  /// Sweeps all local vertices, pulling each one's label down to its
+  /// component root's label; marks changed proxies for sync.
+  void push_component_labels(const partition::LocalGraph& lg,
+                             DeviceState& st, engine::RoundCtx& ctx) const {
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      const graph::VertexId r = st.find(v);
+      if (st.label[r] < st.label[v]) {
+        st.label[v] = st.label[r];
+        ctx.mark_dirty(v, lg.is_master(v));
+      }
+    }
+  }
+};
+
+struct CcResult {
+  std::vector<std::uint32_t> label;  ///< component id per global vertex
+  engine::RunStats stats;
+};
+
+[[nodiscard]] CcResult run_cc(const partition::DistGraph& dg,
+                              const comm::SyncStructure& sync,
+                              const sim::Topology& topo,
+                              const sim::CostParams& params,
+                              const engine::EngineConfig& config);
+
+/// Groute's pointer-jumping variant.
+[[nodiscard]] CcResult run_cc_pointer_jump(
+    const partition::DistGraph& dg, const comm::SyncStructure& sync,
+    const sim::Topology& topo, const sim::CostParams& params,
+    const engine::EngineConfig& config);
+
+}  // namespace sg::algo

@@ -1,0 +1,31 @@
+#include "algo/dobfs.hpp"
+
+#include <stdexcept>
+
+#include "algo/results.hpp"
+
+namespace sg::algo {
+
+BfsResult run_bfs_direction_opt(const partition::DistGraph& dg,
+                                const comm::SyncStructure& sync,
+                                const sim::Topology& topo,
+                                const sim::CostParams& params,
+                                const engine::EngineConfig& config,
+                                graph::VertexId source) {
+  if (config.exec_model != engine::ExecModel::kSync) {
+    throw std::invalid_argument(
+        "direction-optimizing bfs is level-synchronous; use Sync");
+  }
+  DirectionOptBfsProgram program(source);
+  auto result = engine::run(dg, sync, topo, params, config, program);
+  BfsResult out;
+  out.dist = gather_master_values<std::uint32_t>(
+      dg, result.states,
+      [](const DirectionOptBfsProgram::DeviceState& st, graph::VertexId v) {
+        return st.dist[v];
+      });
+  out.stats = std::move(result.stats);
+  return out;
+}
+
+}  // namespace sg::algo

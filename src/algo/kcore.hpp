@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/reduction.hpp"
+#include "engine/executor.hpp"
+
+namespace sg::algo {
+
+/// k-core decomposition (membership for a fixed k): iterative peeling of
+/// vertices whose (undirected) degree falls below k, data-driven push.
+///
+/// Distributed structure (Gluon-style):
+///  * `trim` — an AddOp-reduced accumulator of degree decrements; mirror
+///    proxies collect decrements from their device's edges, the master
+///    applies the total;
+///  * `dead` — a monotone flag broadcast from master to mirrors; a proxy
+///    that learns its vertex died pushes decrements to the neighbors on
+///    *its* device (each edge lives on exactly one device, so each
+///    decrement is applied exactly once).
+class KCoreProgram {
+ public:
+  using ReduceValue = std::uint32_t;
+  using ReduceOp = comm::AddOp<std::uint32_t>;
+  using BcastValue = std::uint8_t;
+  /// Monotone or-combine: once dead, always dead (BASP-safe).
+  struct DeadOr {
+    static constexpr bool reset_after_extract = false;
+    [[nodiscard]] static std::uint8_t identity() { return 0; }
+    static bool combine(std::uint8_t& into, std::uint8_t incoming) {
+      if (incoming != 0 && into == 0) {
+        into = 1;
+        return true;
+      }
+      return false;
+    }
+  };
+  using BcastOp = DeadOr;
+  static constexpr bool kDataDriven = true;
+  static constexpr std::uint64_t kExtraBytesPerVertex = 8;  // deg + flags
+
+  explicit KCoreProgram(std::uint32_t k) : k_(k) {}
+
+  [[nodiscard]] const char* name() const { return "kcore"; }
+  /// Decrements are written at both endpoints of an edge and the dead
+  /// flag is read by every proxy.
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern{.reads_src = true,
+                             .reads_dst = true,
+                             .writes_src = true,
+                             .writes_dst = true};
+  }
+
+  struct DeviceState {
+    std::vector<std::uint32_t> trim;
+    std::vector<std::uint8_t> dead;
+    std::vector<std::uint32_t> cur_deg;    // meaningful at masters
+    std::vector<std::uint8_t> processed;   // death handled on this device
+  };
+
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx& ctx) const {
+    const auto n = lg.num_local;
+    st.trim.assign(n, 0);
+    st.dead.assign(n, 0);
+    st.cur_deg.resize(n);
+    st.processed.assign(n, 0);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      st.cur_deg[v] = lg.global_out_degree[v] + lg.global_in_degree[v];
+      if (lg.is_master(v) && st.cur_deg[v] < k_) ctx.push(v);
+    }
+  }
+
+  bool compute_round(const partition::LocalGraph& lg, DeviceState& st,
+                     std::span<const graph::VertexId> frontier,
+                     engine::RoundCtx& ctx) const {
+    for (const graph::VertexId v : frontier) {
+      if (lg.is_master(v) && st.dead[v] == 0) {
+        if (st.trim[v] > 0) {
+          st.cur_deg[v] -= std::min(st.cur_deg[v], st.trim[v]);
+          st.trim[v] = 0;
+        }
+        if (st.cur_deg[v] < k_) {
+          st.dead[v] = 1;
+          ctx.mark_bcast_dirty(v);
+        }
+      }
+      if (st.dead[v] != 0 && st.processed[v] == 0) {
+        st.processed[v] = 1;
+        ctx.record(static_cast<std::uint32_t>(lg.out_degree(v) +
+                                              lg.in_degree(v)));
+        for (const graph::VertexId u : lg.out_neighbors(v)) {
+          decrement(lg, st, u, ctx);
+        }
+        for (const graph::VertexId u : lg.in_neighbors(v)) {
+          decrement(lg, st, u, ctx);
+        }
+      } else {
+        ctx.record(0);
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.trim;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.trim;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.dead;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.dead;
+  }
+
+  void on_update(const partition::LocalGraph& lg, DeviceState&,
+                 graph::VertexId v, engine::UpdateKind kind,
+                 engine::RoundCtx& ctx) const {
+    // Reduced trims activate masters (apply + possibly die); broadcast
+    // dead flags activate mirrors (push local decrements).
+    if (kind == engine::UpdateKind::kReduce && lg.is_master(v)) ctx.push(v);
+    if (kind == engine::UpdateKind::kBroadcast) ctx.push(v);
+  }
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+
+ private:
+  void decrement(const partition::LocalGraph& lg, DeviceState& st,
+                 graph::VertexId u, engine::RoundCtx& ctx) const {
+    st.trim[u] += 1;
+    if (lg.is_master(u)) {
+      ctx.push(u);  // master applies the decrement next round
+    } else {
+      ctx.mark_reduce_dirty(u);  // shipped to the master by sync
+    }
+  }
+
+  std::uint32_t k_;
+};
+
+struct KCoreResult {
+  std::vector<std::uint8_t> in_core;  ///< 1 iff the vertex survives
+  engine::RunStats stats;
+};
+
+[[nodiscard]] KCoreResult run_kcore(const partition::DistGraph& dg,
+                                    const comm::SyncStructure& sync,
+                                    const sim::Topology& topo,
+                                    const sim::CostParams& params,
+                                    const engine::EngineConfig& config,
+                                    std::uint32_t k);
+
+}  // namespace sg::algo

@@ -1,0 +1,43 @@
+#include "algo/pagerank.hpp"
+
+#include "algo/results.hpp"
+
+namespace sg::algo {
+
+PageRankResult run_pagerank(const partition::DistGraph& dg,
+                            const comm::SyncStructure& sync,
+                            const sim::Topology& topo,
+                            const sim::CostParams& params,
+                            const engine::EngineConfig& config, float alpha,
+                            float tolerance) {
+  PageRankPullProgram program(alpha, tolerance);
+  auto result = engine::run(dg, sync, topo, params, config, program);
+  PageRankResult out;
+  out.rank = gather_master_values<float>(
+      dg, result.states,
+      [](const PageRankPullProgram::DeviceState& st, graph::VertexId v) {
+        return st.rank[v];
+      });
+  out.stats = std::move(result.stats);
+  return out;
+}
+
+PageRankResult run_pagerank_lux(const partition::DistGraph& dg,
+                                const comm::SyncStructure& sync,
+                                const sim::Topology& topo,
+                                const sim::CostParams& params,
+                                const engine::EngineConfig& config,
+                                float alpha) {
+  LuxPageRankProgram program(dg.global_vertices(), alpha);
+  auto result = engine::run(dg, sync, topo, params, config, program);
+  PageRankResult out;
+  out.rank = gather_master_values<float>(
+      dg, result.states,
+      [](const LuxPageRankProgram::DeviceState& st, graph::VertexId v) {
+        return st.rank[v];
+      });
+  out.stats = std::move(result.stats);
+  return out;
+}
+
+}  // namespace sg::algo

@@ -1,0 +1,274 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "comm/reduction.hpp"
+#include "engine/executor.hpp"
+
+namespace sg::algo {
+
+/// PageRank, pull-style residual formulation, topology-driven — the
+/// D-IrGL implementation the paper studies (Section IV-B). Each round:
+///
+///   Phase A (delta): every proxy with pending residual above the
+///     tolerance folds it into its rank and emits
+///     delta = residual * alpha / out_degree;
+///   Phase B (pull): every vertex with local in-edges accumulates the
+///     deltas of its in-neighbors into a residual contribution.
+///
+/// Distributed fields:
+///  * residual contributions reduce with AddOp (mirrors keep a separate
+///    accumulator so a broadcast can never clobber un-shipped partials);
+///  * masters broadcast the *cumulative consumed residual* (a monotone
+///    counter combined with MaxOp); mirrors replay the difference into
+///    their local pending residual. Because delta is linear in the
+///    consumed residual, coalesced or reordered deliveries under BASP
+///    produce the same totals — this is what makes async pagerank safe.
+class PageRankPullProgram {
+ public:
+  using ReduceValue = float;
+  using ReduceOp = comm::AddOp<float>;
+  using BcastValue = float;
+  using BcastOp = comm::MaxOp<float>;
+  static constexpr bool kDataDriven = false;
+  static constexpr std::uint64_t kExtraBytesPerVertex = 16;
+
+  explicit PageRankPullProgram(float alpha = 0.85f, float tolerance = 1e-4f)
+      : alpha_(alpha), tol_(tolerance) {}
+
+  [[nodiscard]] const char* name() const { return "pagerank"; }
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern::pull();
+  }
+
+  struct DeviceState {
+    std::vector<float> rank;
+    std::vector<float> resid;           ///< pending residual
+    std::vector<float> accum;           ///< mirror partial sums (reduce src)
+    std::vector<float> delta;           ///< per-round contribution
+    std::vector<float> consumed_total;  ///< master monotone counter
+    std::vector<float> consumed_cache;  ///< mirror copy of the counter
+    std::vector<float> seen_total;      ///< mirror replay cursor
+  };
+
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx& ctx) const {
+    const auto n = lg.num_local;
+    st.rank.assign(n, 0.0f);
+    st.resid.assign(n, 1.0f - alpha_);
+    st.accum.assign(n, 0.0f);
+    st.delta.assign(n, 0.0f);
+    // Every proxy pre-seeds the same initial residual locally, and the
+    // master's eventual consumption of it will appear in the broadcast
+    // stream — start the replay cursors past it so it is not re-applied.
+    st.consumed_total.assign(n, 0.0f);
+    st.consumed_cache.assign(n, 1.0f - alpha_);
+    st.seen_total.assign(n, 1.0f - alpha_);
+    if (n > 0) ctx.push(0);  // topology-driven activity signal
+  }
+
+  bool compute_round(const partition::LocalGraph& lg, DeviceState& st,
+                     std::span<const graph::VertexId>,
+                     engine::RoundCtx& ctx) const {
+    bool progress = false;
+    // Phase A: consume pending residual.
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      const float r = st.resid[v];
+      if (r > tol_) {
+        st.delta[v] =
+            r * alpha_ /
+            static_cast<float>(std::max<graph::VertexId>(
+                1, lg.global_out_degree[v]));
+        st.rank[v] += r;
+        st.resid[v] = 0.0f;
+        if (lg.is_master(v)) {
+          st.consumed_total[v] += r;
+          ctx.mark_bcast_dirty(v);
+        }
+        progress = true;
+      } else {
+        st.delta[v] = 0.0f;
+      }
+      ctx.record(0);
+    }
+    // Phase B: pull in-neighbor deltas.
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      const auto deg = lg.in_degree(v);
+      if (deg == 0) continue;
+      ctx.record(static_cast<std::uint32_t>(deg));
+      float sum = 0.0f;
+      for (const graph::VertexId u : lg.in_neighbors(v)) {
+        sum += st.delta[u];
+      }
+      if (sum > 0.0f) {
+        if (lg.is_master(v)) {
+          st.resid[v] += sum;
+        } else {
+          st.accum[v] += sum;
+          ctx.mark_reduce_dirty(v);
+        }
+        progress = true;
+      }
+    }
+    return progress;
+  }
+
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.accum;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.resid;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.consumed_total;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.consumed_cache;
+  }
+
+  void on_update(const partition::LocalGraph& lg, DeviceState& st,
+                 graph::VertexId v, engine::UpdateKind kind,
+                 engine::RoundCtx& ctx) const {
+    if (kind == engine::UpdateKind::kBroadcast) {
+      // Replay the master's consumption stream into the local pending
+      // residual (the difference since the last delivery).
+      const float diff = st.consumed_cache[v] - st.seen_total[v];
+      if (diff > 0.0f) {
+        st.resid[v] += diff;
+        st.seen_total[v] = st.consumed_cache[v];
+      }
+    }
+    (void)lg;
+    ctx.push(v);
+  }
+
+  [[nodiscard]] float alpha() const { return alpha_; }
+  [[nodiscard]] float tolerance() const { return tol_; }
+
+ private:
+  float alpha_;
+  float tol_;
+};
+
+/// Lux-style PageRank: topology-driven rank recomputation every round
+/// (no residuals, no convergence check — the paper runs it for the same
+/// number of rounds D-IrGL's pagerank executed).
+class LuxPageRankProgram {
+ public:
+  using ReduceValue = float;
+  using ReduceOp = comm::AddOp<float>;
+  using BcastValue = float;
+  using BcastOp = comm::AssignOp<float>;
+  static constexpr bool kDataDriven = false;
+  static constexpr std::uint64_t kExtraBytesPerVertex = 8;
+
+  explicit LuxPageRankProgram(graph::VertexId global_vertices,
+                              float alpha = 0.85f)
+      : alpha_(alpha),
+        base_((1.0f - alpha) / static_cast<float>(global_vertices)),
+        init_rank_(1.0f / static_cast<float>(global_vertices)) {}
+
+  [[nodiscard]] const char* name() const { return "pagerank-lux"; }
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern::pull();
+  }
+
+  struct DeviceState {
+    std::vector<float> rank;  ///< bcast field (master canonical + cache)
+    std::vector<float> sum;   ///< reduce field (partial in-contributions)
+    std::uint32_t round = 0;
+  };
+
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx& ctx) const {
+    st.rank.assign(lg.num_local, init_rank_);
+    st.sum.assign(lg.num_local, 0.0f);
+    if (lg.num_local > 0) ctx.push(0);
+  }
+
+  bool compute_round(const partition::LocalGraph& lg, DeviceState& st,
+                     std::span<const graph::VertexId>,
+                     engine::RoundCtx& ctx) const {
+    if (st.round > 0) {
+      // Apply: masters recompute rank from the sums reduced last round.
+      for (graph::VertexId v = 0; v < lg.num_masters; ++v) {
+        const float nr = base_ + alpha_ * st.sum[v];
+        st.sum[v] = 0.0f;
+        if (nr != st.rank[v]) {
+          st.rank[v] = nr;
+          ctx.mark_bcast_dirty(v);
+        }
+        ctx.record(0);
+      }
+    }
+    ++st.round;
+    // Contribute: partial in-neighbor sums on every proxy.
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      const auto deg = lg.in_degree(v);
+      if (deg == 0) continue;
+      ctx.record(static_cast<std::uint32_t>(deg));
+      float s = 0.0f;
+      for (const graph::VertexId u : lg.in_neighbors(v)) {
+        s += st.rank[u] /
+             static_cast<float>(std::max<graph::VertexId>(
+                 1, lg.global_out_degree[u]));
+      }
+      st.sum[v] += s;
+      if (!lg.is_master(v)) ctx.mark_reduce_dirty(v);
+    }
+    return true;  // capped by EngineConfig::fixed_rounds
+  }
+
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.sum;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.sum;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.rank;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.rank;
+  }
+
+  void on_update(const partition::LocalGraph&, DeviceState&,
+                 graph::VertexId v, engine::UpdateKind,
+                 engine::RoundCtx& ctx) const {
+    ctx.push(v);
+  }
+
+ private:
+  float alpha_;
+  float base_;
+  float init_rank_;
+};
+
+struct PageRankResult {
+  std::vector<float> rank;
+  engine::RunStats stats;
+};
+
+[[nodiscard]] PageRankResult run_pagerank(
+    const partition::DistGraph& dg, const comm::SyncStructure& sync,
+    const sim::Topology& topo, const sim::CostParams& params,
+    const engine::EngineConfig& config, float alpha = 0.85f,
+    float tolerance = 1e-4f);
+
+/// Lux recompute-style pagerank; `config.fixed_rounds` must be set.
+[[nodiscard]] PageRankResult run_pagerank_lux(
+    const partition::DistGraph& dg, const comm::SyncStructure& sync,
+    const sim::Topology& topo, const sim::CostParams& params,
+    const engine::EngineConfig& config, float alpha = 0.85f);
+
+}  // namespace sg::algo

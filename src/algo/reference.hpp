@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sg::algo::reference {
+
+/// Sequential single-machine implementations used as ground truth for
+/// every distributed run (unit and integration tests compare against
+/// these on all policy / model / device-count combinations).
+
+/// Hop distances from `source`; unreachable = UINT32_MAX.
+[[nodiscard]] std::vector<std::uint32_t> bfs(const graph::Csr& g,
+                                             graph::VertexId source);
+
+/// Weighted shortest-path distances (Dijkstra); unreachable = UINT64_MAX.
+[[nodiscard]] std::vector<std::uint64_t> sssp(const graph::Csr& g,
+                                              graph::VertexId source);
+
+/// Weakly connected components labeled by min global vertex id.
+[[nodiscard]] std::vector<std::uint32_t> cc(const graph::Csr& g);
+
+/// k-core membership on the undirected degree (1 = survives peeling).
+[[nodiscard]] std::vector<std::uint8_t> kcore(const graph::Csr& g,
+                                              std::uint32_t k);
+
+/// Pull-residual pagerank run to `tolerance` (same formulation as the
+/// distributed program: rank accumulates consumed residual, initial
+/// residual 1 - alpha per vertex, no dangling redistribution).
+[[nodiscard]] std::vector<float> pagerank(const graph::Csr& g,
+                                          float alpha = 0.85f,
+                                          float tolerance = 1e-4f,
+                                          std::uint32_t max_rounds = 10000);
+
+}  // namespace sg::algo::reference

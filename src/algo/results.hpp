@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "partition/dist_graph.hpp"
+
+namespace sg::algo {
+
+/// Collects the canonical (master-proxy) value of every global vertex
+/// from per-device states. `getter(state, local_id)` reads one value.
+template <typename T, typename States, typename Getter>
+std::vector<T> gather_master_values(const partition::DistGraph& dg,
+                                    const States& states, Getter getter) {
+  std::vector<T> out(dg.global_vertices());
+  for (int d = 0; d < dg.num_devices(); ++d) {
+    const auto& lg = dg.part(d);
+    for (graph::VertexId v = 0; v < lg.num_masters; ++v) {
+      out[lg.l2g[v]] = getter(states[d], v);
+    }
+  }
+  return out;
+}
+
+}  // namespace sg::algo

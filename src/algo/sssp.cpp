@@ -1,0 +1,24 @@
+#include "algo/sssp.hpp"
+
+#include "algo/results.hpp"
+
+namespace sg::algo {
+
+SsspResult run_sssp(const partition::DistGraph& dg,
+                    const comm::SyncStructure& sync,
+                    const sim::Topology& topo, const sim::CostParams& params,
+                    const engine::EngineConfig& config,
+                    graph::VertexId source) {
+  SsspProgram program(source);
+  auto result = engine::run(dg, sync, topo, params, config, program);
+  SsspResult out;
+  out.dist = gather_master_values<std::uint64_t>(
+      dg, result.states,
+      [](const SsspProgram::DeviceState& st, graph::VertexId v) {
+        return st.dist[v];
+      });
+  out.stats = std::move(result.stats);
+  return out;
+}
+
+}  // namespace sg::algo

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "comm/reduction.hpp"
+#include "engine/executor.hpp"
+
+namespace sg::algo {
+
+inline constexpr std::uint64_t kInfPath =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Single-source shortest paths: data-driven push (chaotic relaxation)
+/// with min reduction, as in D-IrGL. Distances are 64-bit so that long
+/// weighted paths cannot overflow.
+class SsspProgram {
+ public:
+  using ReduceValue = std::uint64_t;
+  using ReduceOp = comm::MinOp<std::uint64_t>;
+  using BcastValue = std::uint64_t;
+  using BcastOp = comm::MinOp<std::uint64_t>;
+  static constexpr bool kDataDriven = true;
+  static constexpr std::uint64_t kExtraBytesPerVertex = 0;
+
+  explicit SsspProgram(graph::VertexId source) : source_(source) {}
+
+  [[nodiscard]] const char* name() const { return "sssp"; }
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern::push();
+  }
+
+  struct DeviceState {
+    std::vector<std::uint64_t> dist;
+  };
+
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx& ctx) const {
+    st.dist.assign(lg.num_local, kInfPath);
+    const auto it = lg.g2l.find(source_);
+    if (it != lg.g2l.end()) {
+      st.dist[it->second] = 0;
+      ctx.push(it->second);
+    }
+  }
+
+  bool compute_round(const partition::LocalGraph& lg, DeviceState& st,
+                     std::span<const graph::VertexId> frontier,
+                     engine::RoundCtx& ctx) const {
+    const bool weighted = !lg.out_weights.empty();
+    for (const graph::VertexId v : frontier) {
+      ctx.record(static_cast<std::uint32_t>(lg.out_degree(v)));
+      const std::uint64_t dv = st.dist[v];
+      if (dv == kInfPath) continue;
+      for (graph::EdgeId e = lg.out_offsets[v]; e < lg.out_offsets[v + 1];
+           ++e) {
+        const graph::VertexId u = lg.out_dsts[e];
+        const std::uint64_t w = weighted ? lg.out_weights[e] : 1;
+        if (dv + w < st.dist[u]) {
+          st.dist[u] = dv + w;
+          ctx.mark_dirty(u, lg.is_master(u));
+          ctx.push(u);
+        }
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.dist;
+  }
+
+  void on_update(const partition::LocalGraph&, DeviceState&,
+                 graph::VertexId v, engine::UpdateKind,
+                 engine::RoundCtx& ctx) const {
+    ctx.push(v);
+  }
+
+ private:
+  graph::VertexId source_;
+};
+
+struct SsspResult {
+  std::vector<std::uint64_t> dist;
+  engine::RunStats stats;
+};
+
+[[nodiscard]] SsspResult run_sssp(const partition::DistGraph& dg,
+                                  const comm::SyncStructure& sync,
+                                  const sim::Topology& topo,
+                                  const sim::CostParams& params,
+                                  const engine::EngineConfig& config,
+                                  graph::VertexId source);
+
+}  // namespace sg::algo

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sg::comm {
+
+/// Byte/message counters for one run, split by hop as the paper's
+/// breakdown figures require (device-host PCIe traffic vs host-host
+/// network traffic).
+struct CommStats {
+  std::uint64_t device_to_host_bytes = 0;
+  std::uint64_t host_to_host_bytes = 0;   ///< cross-host only
+  std::uint64_t host_to_device_bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t reduce_values = 0;     ///< values shipped mirror -> master
+  std::uint64_t broadcast_values = 0;  ///< values shipped master -> mirror
+
+  /// Total volume as reported on the bars of Figures 4-6, 8-9 (all
+  /// traffic that leaves a device).
+  [[nodiscard]] std::uint64_t total_volume() const {
+    return device_to_host_bytes + host_to_device_bytes;
+  }
+
+  CommStats& operator+=(const CommStats& o) {
+    device_to_host_bytes += o.device_to_host_bytes;
+    host_to_host_bytes += o.host_to_host_bytes;
+    host_to_device_bytes += o.host_to_device_bytes;
+    messages += o.messages;
+    reduce_values += o.reduce_values;
+    broadcast_values += o.broadcast_values;
+    return *this;
+  }
+};
+
+}  // namespace sg::comm

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sg::comm {
+
+/// Dense dynamic bitset used for update tracking (Gluon's per-field
+/// "dirty" bitvectors). The GPU-side prefix-scan that Gluon performs to
+/// extract set positions is *cost-modeled* by GpuCostModel; this class
+/// only provides the functional behaviour.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n) {
+    size_ = n;
+    words_.assign((n + 63) / 64, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void clear() { words_.assign(words_.size(), 0); }
+
+  [[nodiscard]] bool any() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  /// Wire size of the bitset itself (Gluon may ship the bitvector
+  /// instead of explicit indices when that is smaller).
+  [[nodiscard]] std::uint64_t wire_bytes() const { return (size_ + 7) / 8; }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sg::comm

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace sg::comm {
+
+/// Reduction semantics for proxy synchronization (mirror -> master).
+///
+/// A ReduceOp provides:
+///   * identity()                  - the neutral element;
+///   * combine(into, incoming)     - merge, returning whether `into`
+///                                   changed (drives active-set marking);
+///   * reset_after_extract         - whether a proxy's local value resets
+///                                   to identity once shipped (accumulator
+///                                   semantics: pagerank residuals, kcore
+///                                   trim counts must not be re-sent).
+
+/// Minimum: bfs/sssp distances, cc component labels.
+template <typename T>
+struct MinOp {
+  static constexpr bool reset_after_extract = false;
+  [[nodiscard]] static T identity() { return std::numeric_limits<T>::max(); }
+  static bool combine(T& into, T incoming) {
+    if (incoming < into) {
+      into = incoming;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Accumulating sum: pagerank residual contributions, kcore trims.
+template <typename T>
+struct AddOp {
+  static constexpr bool reset_after_extract = true;
+  [[nodiscard]] static T identity() { return T{}; }
+  static bool combine(T& into, T incoming) {
+    if (incoming == T{}) return false;
+    into += incoming;
+    return true;
+  }
+};
+
+/// Maximum: monotone counters (pagerank's cumulative consumed-residual
+/// stream survives reordered/coalesced broadcasts in BASP).
+template <typename T>
+struct MaxOp {
+  static constexpr bool reset_after_extract = false;
+  [[nodiscard]] static T identity() { return std::numeric_limits<T>::lowest(); }
+  static bool combine(T& into, T incoming) {
+    if (into < incoming) {
+      into = incoming;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Last-writer-wins assignment (used by broadcasts and by fields where
+/// the master recomputes and mirrors only cache).
+template <typename T>
+struct AssignOp {
+  static constexpr bool reset_after_extract = false;
+  [[nodiscard]] static T identity() { return T{}; }
+  static bool combine(T& into, T incoming) {
+    if (into == incoming) return false;
+    into = incoming;
+    return true;
+  }
+};
+
+}  // namespace sg::comm

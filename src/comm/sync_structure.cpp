@@ -1,0 +1,75 @@
+#include "comm/sync_structure.hpp"
+
+#include <stdexcept>
+
+namespace sg::comm {
+
+using graph::VertexId;
+using partition::LocalGraph;
+
+SyncStructure::SyncStructure(const partition::DistGraph& dg)
+    : num_devices_(dg.num_devices()) {
+  const auto slots =
+      static_cast<std::size_t>(num_devices_) * num_devices_;
+  with_out_.resize(slots);
+  with_in_.resize(slots);
+  all_.resize(slots);
+
+  for (int d = 0; d < num_devices_; ++d) {
+    const LocalGraph& lg = dg.part(d);
+    for (VertexId m = lg.num_masters; m < lg.num_local; ++m) {
+      const VertexId gid = lg.l2g[m];
+      const int owner = dg.master_of(gid);
+      const LocalGraph& master_part = dg.part(owner);
+      const auto it = master_part.g2l.find(gid);
+      if (it == master_part.g2l.end()) {
+        throw std::logic_error(
+            "SyncStructure: master proxy missing on owner device");
+      }
+      const VertexId master_local = it->second;
+      const std::size_t s = slot(d, owner);
+      all_[s].mirror_local.push_back(m);
+      all_[s].master_local.push_back(master_local);
+      if (lg.has_out(m)) {
+        with_out_[s].mirror_local.push_back(m);
+        with_out_[s].master_local.push_back(master_local);
+      }
+      if (lg.has_in(m)) {
+        with_in_[s].mirror_local.push_back(m);
+        with_in_[s].master_local.push_back(master_local);
+      }
+    }
+  }
+}
+
+const ExchangeList& SyncStructure::list(int mirror_dev, int master_dev,
+                                        ProxyFilter filter) const {
+  switch (filter) {
+    case ProxyFilter::kNone: return empty_;
+    case ProxyFilter::kWithOut: return with_out_[slot(mirror_dev, master_dev)];
+    case ProxyFilter::kWithIn: return with_in_[slot(mirror_dev, master_dev)];
+    case ProxyFilter::kAll: return all_[slot(mirror_dev, master_dev)];
+  }
+  return empty_;
+}
+
+std::uint64_t SyncStructure::shared_entries(int dev,
+                                            ProxyFilter filter) const {
+  std::uint64_t total = 0;
+  for (int o = 0; o < num_devices_; ++o) {
+    total += list(dev, o, filter).size();   // dev as mirror side
+    total += list(o, dev, filter).size();   // dev as master side
+  }
+  return total;
+}
+
+std::uint64_t SyncStructure::metadata_bytes(int dev) const {
+  std::uint64_t entries = 0;
+  for (int o = 0; o < num_devices_; ++o) {
+    entries += all_[slot(dev, o)].size();  // mirror-side index list
+    entries += all_[slot(o, dev)].size();  // master-side index list
+  }
+  return entries * sizeof(VertexId);
+}
+
+}  // namespace sg::comm

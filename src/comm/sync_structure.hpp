@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/dist_graph.hpp"
+
+namespace sg::comm {
+
+/// Which mirror proxies participate in a sync, derived from the
+/// operator's read/write locations and the proxies' structural role:
+///  * kWithOut - proxies holding outgoing edges locally (they are read
+///               as edge *sources*, and written when an operator writes
+///               at the source);
+///  * kWithIn  - proxies holding incoming edges locally (read as edge
+///               *destinations*, written by push-style operators);
+///  * kAll     - both (every mirror exists because of at least one edge,
+///               so kAll = kWithOut union kWithIn);
+///  * kNone    - sync fully elided.
+enum class ProxyFilter : std::uint8_t { kNone, kWithOut, kWithIn, kAll };
+
+/// Where an operator reads / writes a field (Gluon's read/write location
+/// declarations, Section III-D1).
+struct SyncPattern {
+  bool reads_src = false;
+  bool reads_dst = false;
+  bool writes_src = false;
+  bool writes_dst = false;
+
+  /// Mirrors that may hold updates for the master.
+  [[nodiscard]] ProxyFilter reduce_filter() const {
+    return pick(writes_src, writes_dst);
+  }
+  /// Mirrors that may read the master's value.
+  [[nodiscard]] ProxyFilter broadcast_filter() const {
+    return pick(reads_src, reads_dst);
+  }
+
+  /// Push-style vertex programs: read the source, write destinations.
+  [[nodiscard]] static SyncPattern push() {
+    return SyncPattern{.reads_src = true, .writes_dst = true};
+  }
+  /// Pull-style: read the (in-edge) source values, write the vertex.
+  [[nodiscard]] static SyncPattern pull() {
+    return SyncPattern{.reads_src = true, .writes_dst = true};
+  }
+
+ private:
+  static ProxyFilter pick(bool src, bool dst) {
+    if (src && dst) return ProxyFilter::kAll;
+    if (src) return ProxyFilter::kWithOut;
+    if (dst) return ProxyFilter::kWithIn;
+    return ProxyFilter::kNone;
+  }
+};
+
+/// Memoized exchange list for one (mirror device -> master device) pair
+/// and one filter. Entries are parallel: mirror_local[i] on the mirror
+/// device corresponds to master_local[i] on the master device. Because
+/// both sides share this order, messages never carry global ids —
+/// Gluon's address-translation elision (Section III-D2).
+struct ExchangeList {
+  std::vector<graph::VertexId> mirror_local;
+  std::vector<graph::VertexId> master_local;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(mirror_local.size());
+  }
+};
+
+/// All exchange lists for a partition, built once after partitioning
+/// (the "memoization" setup round).
+class SyncStructure {
+ public:
+  explicit SyncStructure(const partition::DistGraph& dg);
+
+  [[nodiscard]] int num_devices() const { return num_devices_; }
+
+  /// Exchange list for mirrors on `mirror_dev` whose master lives on
+  /// `master_dev`, restricted to `filter`.
+  [[nodiscard]] const ExchangeList& list(int mirror_dev, int master_dev,
+                                         ProxyFilter filter) const;
+
+  /// Total shared entries on `dev` under `filter`, summed over partners,
+  /// in the mirror role plus the master role. This is the number of
+  /// slots a UO prefix-scan must inspect on that device.
+  [[nodiscard]] std::uint64_t shared_entries(int dev,
+                                             ProxyFilter filter) const;
+
+  /// Device-memory bytes for the sync metadata on `dev` (index lists
+  /// live on the GPU so extraction kernels can use them).
+  [[nodiscard]] std::uint64_t metadata_bytes(int dev) const;
+
+ private:
+  [[nodiscard]] std::size_t slot(int mirror_dev, int master_dev) const {
+    return static_cast<std::size_t>(mirror_dev) * num_devices_ + master_dev;
+  }
+
+  int num_devices_;
+  // Indexed [filter][mirror_dev * D + master_dev]; kNone is empty.
+  std::vector<ExchangeList> with_out_;
+  std::vector<ExchangeList> with_in_;
+  std::vector<ExchangeList> all_;
+  ExchangeList empty_;
+};
+
+}  // namespace sg::comm

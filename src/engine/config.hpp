@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "comm/field_sync.hpp"
+#include "sim/gpu_cost_model.hpp"
+
+namespace sg::engine {
+
+/// BSP (global rounds with a barrier) vs BASP (per-device local rounds
+/// with asynchronous message exchange), Section III-B.
+enum class ExecModel : std::uint8_t { kSync, kAsync };
+
+[[nodiscard]] inline const char* to_string(ExecModel m) {
+  return m == ExecModel::kSync ? "Sync" : "Async";
+}
+
+/// Engine knobs corresponding to the paper's optimization axes.
+struct EngineConfig {
+  sim::Balancer balancer = sim::Balancer::ALB;
+  comm::SyncMode sync_mode = comm::SyncMode::kUO;
+  ExecModel exec_model = ExecModel::kAsync;
+  /// BASP throttling (ablation A2; the paper's proposed future work):
+  /// a device may run at most this many local rounds ahead of the
+  /// slowest partner it has heard from. 0 means unthrottled.
+  std::uint32_t async_lead_cap = 0;
+  /// Safety valve for non-converging configurations.
+  std::uint32_t max_rounds = 1'000'000;
+  /// Fixed round budget (used for Lux pagerank, which has no
+  /// convergence check); 0 means run to convergence.
+  std::uint32_t fixed_rounds = 0;
+  /// Exploit partitioning structural invariants to elide sync (D-IrGL).
+  /// Lux knows only its own edge-cut invariant and is modeled with this
+  /// disabled (it synchronizes all shared proxies in both directions).
+  bool structural_opt = true;
+  /// Lux-style up-front fixed device memory pool; 0 = dynamic (D-IrGL).
+  std::uint64_t static_pool_bytes = 0;
+  /// Charge CostParams::runtime_task_overhead x devices per BSP round
+  /// (Lux's Legion runtime; see CostParams).
+  bool charge_runtime_overhead = false;
+  /// Overlap outbound sync (extraction + downlink) with the same round's
+  /// kernel on a copy engine — the paper's second proposed improvement
+  /// (Section VII). Off by default (the studied frameworks serialize).
+  bool overlap_comm = false;
+  /// Record per-global-round activity into RunStats::trace (BSP only;
+  /// small overhead, off by default).
+  bool collect_trace = false;
+  /// BASP idle behaviour. Gluon-Async devices busy-poll: a device with
+  /// an empty worklist still executes local rounds (worklist check +
+  /// bitvector scan) until global termination — the reason the paper's
+  /// minimum local-round counts explode (1000 -> 2141 on bfs/uk14) and
+  /// asynchronous execution can lose to bulk-synchronous on
+  /// high-diameter inputs. Off by default (idle devices park for free,
+  /// which is faster but optimistic).
+  bool async_busy_poll = false;
+  /// Extra per-GLOBAL-vertex device bytes. Single-host frameworks keep
+  /// vertex-indexed arrays over the original id space on every device
+  /// (Gunrock labels/frontier maps, Groute ownership tables); D-IrGL's
+  /// compact local ids avoid this (paper Table III).
+  std::uint64_t global_label_overhead_bytes = 0;
+};
+
+/// The paper's named variants (Section IV-C).
+///   Var1 (baseline): TWC + AS + Sync
+///   Var2:            ALB + AS + Sync
+///   Var3:            ALB + UO + Sync
+///   Var4 (default):  ALB + UO + Async
+enum class Variant : std::uint8_t { kVar1 = 1, kVar2, kVar3, kVar4 };
+
+[[nodiscard]] inline EngineConfig make_variant(Variant v) {
+  EngineConfig c;
+  switch (v) {
+    case Variant::kVar1:
+      c.balancer = sim::Balancer::TWC;
+      c.sync_mode = comm::SyncMode::kAS;
+      c.exec_model = ExecModel::kSync;
+      break;
+    case Variant::kVar2:
+      c.balancer = sim::Balancer::ALB;
+      c.sync_mode = comm::SyncMode::kAS;
+      c.exec_model = ExecModel::kSync;
+      break;
+    case Variant::kVar3:
+      c.balancer = sim::Balancer::ALB;
+      c.sync_mode = comm::SyncMode::kUO;
+      c.exec_model = ExecModel::kSync;
+      break;
+    case Variant::kVar4:
+      c.balancer = sim::Balancer::ALB;
+      c.sync_mode = comm::SyncMode::kUO;
+      c.exec_model = ExecModel::kAsync;
+      break;
+  }
+  return c;
+}
+
+[[nodiscard]] inline std::string to_string(Variant v) {
+  return "Var" + std::to_string(static_cast<int>(v));
+}
+
+}  // namespace sg::engine

@@ -1,0 +1,855 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/field_sync.hpp"
+#include "comm/sync_structure.hpp"
+#include "engine/config.hpp"
+#include "engine/load_balancer.hpp"
+#include "engine/program.hpp"
+#include "engine/round_ctx.hpp"
+#include "engine/stats.hpp"
+#include "partition/dist_graph.hpp"
+#include "sim/device_memory.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/gpu_cost_model.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/thread_pool.hpp"
+#include "sim/topology.hpp"
+
+namespace sg::engine {
+
+/// Outcome of a distributed run: the final per-device states (for result
+/// extraction / validation) and the full simulated-time accounting.
+template <typename Program>
+struct RunResult {
+  std::vector<typename Program::DeviceState> states;
+  RunStats stats;
+};
+
+/// Distributed executor over the simulated cluster. Computation is real
+/// (label arrays are actually updated); time, memory capacity, and
+/// message transport are simulated. Dispatches to a bulk-synchronous
+/// (BSP) or bulk-asynchronous (BASP) loop per EngineConfig::exec_model.
+template <VertexProgram Program>
+class Executor {
+  using RV = typename Program::ReduceValue;
+  using BV = typename Program::BcastValue;
+  using RSync = comm::FieldSync<RV, typename Program::ReduceOp>;
+  using BSync = comm::FieldSync<BV, typename Program::BcastOp>;
+  using VertexId = graph::VertexId;
+
+ public:
+  Executor(const partition::DistGraph& dg, const comm::SyncStructure& sync,
+           const sim::Topology& topo, const sim::CostParams& params,
+           const EngineConfig& config, const Program& program)
+      : dg_(dg),
+        sync_(sync),
+        topo_(topo),
+        params_(params),
+        net_(topo, params),
+        config_(config),
+        program_(program),
+        devices_(dg.num_devices()) {
+    if (topo_.num_devices() != devices_) {
+      throw std::invalid_argument(
+          "Executor: topology/partition device count mismatch");
+    }
+    reduce_filter_ = config_.structural_opt
+                         ? program_.pattern().reduce_filter()
+                         : comm::ProxyFilter::kAll;
+    bcast_filter_ = config_.structural_opt
+                        ? program_.pattern().broadcast_filter()
+                        : comm::ProxyFilter::kAll;
+  }
+
+  RunResult<Program> run() {
+    setup();
+    if (config_.exec_model == ExecModel::kSync) {
+      run_bsp();
+    } else {
+      run_basp();
+    }
+    return collect();
+  }
+
+ private:
+  // ---- per-device runtime ------------------------------------------------
+  struct Dev {
+    typename Program::DeviceState state;
+    std::unique_ptr<RoundCtx> ctx;
+    comm::Bitset dirty_r;  // mirror-side updates awaiting reduce
+    comm::Bitset dirty_b;  // master-side updates awaiting broadcast
+    std::vector<VertexId> frontier;
+    comm::Bitset in_frontier;  // dedup across compute/sync activations
+    bool progress = false;  // topology-driven activity flag
+    std::unique_ptr<sim::DeviceMemory> memory;
+    sim::SimTime clock;
+    // BASP only:
+    std::uint32_t local_round = 0;
+    bool parked = false;
+    std::uint32_t consecutive_stalls = 0;  // throttle progress guard
+    std::vector<std::uint32_t> last_seen_round;  // per sender
+  };
+
+  void setup() {
+    stats_.resize(devices_);
+    devs_.resize(devices_);
+    for (int d = 0; d < devices_; ++d) {
+      const auto& lg = dg_.part(d);
+      Dev& dev = devs_[d];
+      dev.memory = std::make_unique<sim::DeviceMemory>(
+          d, topo_.spec(d).memory_bytes);
+      if (config_.static_pool_bytes > 0) {
+        // Lux-style fixed pool (Table III): claimed up front.
+        dev.memory->reserve_static(config_.static_pool_bytes);
+      }
+      charge_memory(d, lg, *dev.memory);
+
+      dev.ctx = std::make_unique<RoundCtx>(lg.num_local);
+      dev.dirty_r.resize(lg.num_local);
+      dev.dirty_b.resize(lg.num_local);
+      dev.in_frontier.resize(lg.num_local);
+      dev.ctx->attach(&dev.dirty_r, &dev.dirty_b);
+      dev.last_seen_round.assign(devices_, 0);
+      program_.init(lg, dev.state, *dev.ctx);
+      merge_activations(dev);
+      dev.progress = !dev.frontier.empty();
+      stats_.peak_memory[d] = dev.memory->peak();
+    }
+    comm_per_dev_.assign(devices_, comm::CommStats{});
+  }
+
+  /// Registers every buffer the engine conceptually places on the GPU.
+  /// Throws sim::OutOfDeviceMemory when capacity is exceeded — the
+  /// "missing data points" of the paper's scaling figures.
+  void charge_memory(int d, const partition::LocalGraph& lg,
+                     sim::DeviceMemory& mem) {
+    mem.allocate("graph", lg.bytes());
+    const std::uint64_t label_bytes =
+        static_cast<std::uint64_t>(lg.num_local) *
+        (sizeof(RV) + sizeof(BV) + Program::kExtraBytesPerVertex);
+    mem.allocate("labels", label_bytes);
+    mem.allocate("worklist", static_cast<std::uint64_t>(lg.num_local) * 8 +
+                                 lg.num_local / 4);
+    mem.allocate("sync_metadata", sync_.metadata_bytes(d));
+    if (config_.balancer == sim::Balancer::LB) {
+      // Merrill-style load-balanced search needs a per-edge scan array.
+      mem.allocate("lb_scratch", lg.num_out_edges() * 4);
+    }
+    if (config_.global_label_overhead_bytes > 0) {
+      mem.allocate("global_arrays",
+                   static_cast<std::uint64_t>(dg_.global_vertices()) *
+                       config_.global_label_overhead_bytes);
+    }
+    std::uint64_t buffers = 0;
+    for (int o = 0; o < devices_; ++o) {
+      buffers += static_cast<std::uint64_t>(
+                     sync_.list(d, o, comm::ProxyFilter::kAll).size()) *
+                 (sizeof(RV) + 4);
+      buffers += static_cast<std::uint64_t>(
+                     sync_.list(o, d, comm::ProxyFilter::kAll).size()) *
+                 (sizeof(BV) + 4);
+    }
+    mem.allocate("comm_buffers", buffers);
+  }
+
+  // ---- compute ------------------------------------------------------------
+  /// Runs one local round on device d; returns the kernel time and
+  /// updates work stats. Purely device-local.
+  sim::SimTime compute_one_round(int d) {
+    Dev& dev = devs_[d];
+    const auto& lg = dg_.part(d);
+    dev.ctx->reset_work();
+    std::vector<VertexId> frontier;
+    frontier.swap(dev.frontier);
+    for (VertexId v : frontier) dev.in_frontier.reset(v);
+    dev.progress =
+        program_.compute_round(lg, dev.state, frontier, *dev.ctx);
+    merge_activations(dev);
+
+    const sim::KernelSchedule sched =
+        analyze_kernel(dev.ctx->work_sizes(), config_.balancer,
+                       topo_.spec(d).thread_blocks);
+    const sim::GpuCostModel cost(topo_.spec(d), params_);
+    const sim::SimTime t = cost.kernel_time(sched, config_.balancer);
+    stats_.compute_time[d] += t;
+    stats_.work_items[d] += dev.ctx->total_edges();
+    stats_.rounds[d] += 1;
+    return t;
+  }
+
+  [[nodiscard]] bool device_has_work(int d) const {
+    return !devs_[d].frontier.empty() || devs_[d].progress;
+  }
+
+  // ---- message bookkeeping --------------------------------------------
+  template <typename T>
+  struct Msg {
+    comm::Payload<T> payload;
+    sim::SimTime arrival;
+    std::uint32_t sender_round = 0;
+  };
+
+  /// Two-stage cost of an outgoing payload: GPU-side extraction, then
+  /// the PCIe downlink. Under overlap_comm the stages pipeline across
+  /// partners (extract partner i+1 while partner i's buffer is on the
+  /// bus). Byte accounting goes to a per-device slot so parallel BSP
+  /// phases do not race.
+  struct StageCost {
+    sim::SimTime first;   // extraction (send) / uplink (receive)
+    sim::SimTime second;  // downlink (send)  / apply  (receive)
+    [[nodiscard]] sim::SimTime total() const { return first + second; }
+  };
+
+  template <typename T>
+  StageCost send_cost(int d, const comm::Payload<T>& p,
+                      std::uint64_t list_size) {
+    const sim::GpuCostModel cost(topo_.spec(d), params_);
+    StageCost c;
+    if (config_.sync_mode == comm::SyncMode::kUO) {
+      c.first = cost.extract_updates_time(list_size, p.count() * sizeof(T));
+    } else {
+      c.first = cost.buffer_copy_time(p.count() * sizeof(T));
+    }
+    c.second = net_.device_to_host(p.bytes);
+    comm_per_dev_[d].device_to_host_bytes += p.bytes;
+    comm_per_dev_[d].messages += 1;
+    return c;
+  }
+
+  /// PCIe-uplink + device apply cost of one incoming payload.
+  template <typename T>
+  StageCost receive_cost(int d, const comm::Payload<T>& p) {
+    const sim::GpuCostModel cost(topo_.spec(d), params_);
+    StageCost c;
+    c.first = net_.host_to_device(p.bytes);
+    c.second = cost.buffer_copy_time(p.count() * sizeof(T));
+    comm_per_dev_[d].host_to_device_bytes += p.bytes;
+    return c;
+  }
+
+  /// Advances a two-engine pipeline by one payload. Without overlap the
+  /// stages serialize on one timeline; with overlap stage two runs on a
+  /// copy/apply engine concurrently with the next payload's stage one.
+  /// Returns the payload's completion time.
+  sim::SimTime advance_pipeline(StageCost c, sim::SimTime& stage1_clock,
+                                sim::SimTime& stage2_clock) const {
+    stage1_clock += c.first;
+    if (config_.overlap_comm) {
+      stage2_clock = sim::max(stage2_clock, stage1_clock) + c.second;
+    } else {
+      stage1_clock += c.second;
+      stage2_clock = stage1_clock;
+    }
+    return stage2_clock;
+  }
+
+  void account_network(int from, int to, std::uint64_t bytes) {
+    if (!topo_.same_host(from, to)) {
+      comm_per_dev_[from].host_to_host_bytes += bytes;
+    }
+  }
+
+  // =========================================================================
+  // BSP: global rounds with a barrier (Section III-B).
+  // =========================================================================
+  void run_bsp() {
+    auto& pool = sim::ThreadPool::global();
+    sim::SimTime barrier;  // all devices aligned at round start
+
+    const std::uint32_t round_limit =
+        config_.fixed_rounds > 0 ? config_.fixed_rounds : config_.max_rounds;
+
+    for (std::uint32_t round = 0; round < round_limit; ++round) {
+      const bool any_work = [&] {
+        for (int d = 0; d < devices_; ++d) {
+          if (device_has_work(d)) return true;
+        }
+        return false;
+      }();
+      if (!any_work && config_.fixed_rounds == 0) break;
+      ++stats_.global_rounds;
+
+      // Phase 1: compute + reduce extraction (parallel over devices).
+      std::vector<sim::SimTime> ready(devices_, barrier);
+      std::vector<Msg<RV>> rmsgs(
+          static_cast<std::size_t>(devices_) * devices_);
+      std::vector<std::uint8_t> computed(devices_, 0);
+      pool.parallel_for(0, devices_, [&](std::size_t lo, std::size_t hi,
+                                         std::size_t) {
+        for (std::size_t d = lo; d < hi; ++d) {
+          if (device_has_work(static_cast<int>(d))) {
+            ready[d] += compute_one_round(static_cast<int>(d));
+            computed[d] = 1;
+          }
+          extract_reduce_all(static_cast<int>(d), ready[d], rmsgs);
+        }
+      });
+      if (config_.collect_trace) {
+        RoundTrace tr;
+        tr.round = stats_.global_rounds;
+        for (int d = 0; d < devices_; ++d) {
+          if (computed[d] == 0) continue;
+          tr.active_vertices += devs_[d].ctx->applications();
+          tr.edges += devs_[d].ctx->total_edges();
+        }
+        stats_.trace.push_back(tr);
+      }
+
+      // Phase 2: reduce application (parallel over receivers).
+      std::vector<sim::SimTime> after_recv = ready;
+      pool.parallel_for(0, devices_, [&](std::size_t lo, std::size_t hi,
+                                         std::size_t) {
+        for (std::size_t o = lo; o < hi; ++o) {
+          after_recv[o] =
+              apply_reduce_all(static_cast<int>(o), ready[o], rmsgs);
+        }
+      });
+
+      // Phase 3: broadcast extraction (parallel over senders).
+      std::vector<Msg<BV>> bmsgs(
+          static_cast<std::size_t>(devices_) * devices_);
+      std::vector<sim::SimTime> after_bext = after_recv;
+      pool.parallel_for(0, devices_, [&](std::size_t lo, std::size_t hi,
+                                         std::size_t) {
+        for (std::size_t d = lo; d < hi; ++d) {
+          after_bext[d] =
+              extract_bcast_all(static_cast<int>(d), after_recv[d], bmsgs);
+        }
+      });
+
+      // Phase 4: broadcast application (parallel over receivers).
+      std::vector<sim::SimTime> done = after_bext;
+      pool.parallel_for(0, devices_, [&](std::size_t lo, std::size_t hi,
+                                         std::size_t) {
+        for (std::size_t o = lo; o < hi; ++o) {
+          done[o] =
+              apply_bcast_all(static_cast<int>(o), after_bext[o], bmsgs);
+          devs_[o].dirty_b.clear();  // broadcasts consumed
+        }
+      });
+
+      // Network byte accounting (sequential; cheap).
+      for (auto& m : rmsgs) {
+        if (m.payload.from >= 0) {
+          account_network(m.payload.from, m.payload.to, m.payload.bytes);
+        }
+      }
+      for (auto& m : bmsgs) {
+        if (m.payload.from >= 0) {
+          account_network(m.payload.from, m.payload.to, m.payload.bytes);
+        }
+      }
+
+      if (config_.collect_trace && !stats_.trace.empty()) {
+        std::uint64_t volume = 0;
+        for (const auto& c : comm_per_dev_) {
+          volume += c.device_to_host_bytes + c.host_to_device_bytes;
+        }
+        stats_.trace.back().volume_bytes = volume - traced_volume_;
+        traced_volume_ = volume;
+      }
+
+      // Barrier: stragglers stall everyone (Lux's failure mode at scale).
+      sim::SimTime next_barrier = barrier;
+      for (int d = 0; d < devices_; ++d) {
+        next_barrier = sim::max(next_barrier, done[d]);
+      }
+      if (config_.charge_runtime_overhead) {
+        // Centralized runtime task mapping serializes across devices.
+        const sim::SimTime overhead =
+            params_.runtime_task_overhead * static_cast<double>(devices_);
+        next_barrier += overhead;
+      }
+      for (int d = 0; d < devices_; ++d) {
+        stats_.wait_time[d] += next_barrier - done[d];
+      }
+      barrier = next_barrier;
+
+      // Convergence: no frontier, no progress, and no sync changes.
+      if (config_.fixed_rounds == 0) {
+        bool active = false;
+        for (int d = 0; d < devices_; ++d) {
+          if (device_has_work(d)) active = true;
+        }
+        if (!active) break;
+      }
+    }
+    total_time_ = barrier;
+  }
+
+  /// Extracts all reduce payloads from device d; advances and returns
+  /// the device-ready time via `ready`; stamps message arrivals.
+  void extract_reduce_all(int d, sim::SimTime& ready,
+                          std::vector<Msg<RV>>& out) {
+    Dev& dev = devs_[d];
+    auto values = program_.reduce_mirror_src(dev.state);
+    sim::SimTime engine = ready;  // downlink copy engine (overlap mode)
+    for (int o = 0; o < devices_; ++o) {
+      if (o == d) continue;
+      const auto& list = sync_.list(d, o, reduce_filter_);
+      if (list.size() == 0) continue;
+      auto payload = RSync::extract_reduce(list, values, dev.dirty_r,
+                                           config_.sync_mode, d, o);
+      // Empty UO updates are piggybacked on round-control traffic in
+      // Gluon; they carry no modeled cost. AS always ships full lists.
+      if (config_.sync_mode == comm::SyncMode::kUO &&
+          payload.empty_update()) {
+        continue;
+      }
+      const StageCost cost = send_cost(d, payload, list.size());
+      stats_.device_comm_time[d] += cost.total();
+      const sim::SimTime sent = advance_pipeline(cost, ready, engine);
+      Msg<RV>& slot = out[static_cast<std::size_t>(d) * devices_ + o];
+      slot.payload = std::move(payload);
+      slot.arrival = sent + net_.host_to_host(d, o, slot.payload.bytes);
+    }
+    ready = sim::max(ready, engine);
+  }
+
+  /// Applies all reduce payloads destined to device o in arrival order;
+  /// returns the time o finishes (wait gaps accounted).
+  sim::SimTime apply_reduce_all(int o, sim::SimTime start,
+                                const std::vector<Msg<RV>>& msgs) {
+    Dev& dev = devs_[o];
+    const auto& lg = dg_.part(o);
+    auto values = program_.reduce_master_dst(dev.state);
+    // Gather senders in arrival order (deterministic tie-break by id).
+    std::vector<int> senders;
+    for (int d = 0; d < devices_; ++d) {
+      if (d != o &&
+          msgs[static_cast<std::size_t>(d) * devices_ + o].payload.from >= 0) {
+        senders.push_back(d);
+      }
+    }
+    std::sort(senders.begin(), senders.end(), [&](int a, int b) {
+      const auto& ma = msgs[static_cast<std::size_t>(a) * devices_ + o];
+      const auto& mb = msgs[static_cast<std::size_t>(b) * devices_ + o];
+      if (ma.arrival != mb.arrival) return ma.arrival < mb.arrival;
+      return a < b;
+    });
+    sim::SimTime t = start;
+    sim::SimTime recv_engine = start;  // apply engine (overlap mode)
+    std::vector<VertexId> changed;
+    for (int d : senders) {
+      const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
+      if (m.arrival > t) {
+        stats_.wait_time[o] += m.arrival - t;
+        t = m.arrival;
+      }
+      const StageCost cost = receive_cost(o, m.payload);
+      stats_.device_comm_time[o] += cost.total();
+      t = advance_pipeline(cost, t, recv_engine);
+      changed.clear();
+      RSync::apply_reduce(sync_.list(d, o, reduce_filter_), m.payload,
+                          values, dev.dirty_b, &changed);
+      comm_per_dev_[o].reduce_values += m.payload.count();
+      for (VertexId v : changed) {
+        program_.on_update(lg, dev.state, v, UpdateKind::kReduce, *dev.ctx);
+      }
+      merge_activations(dev);
+    }
+    return sim::max(t, recv_engine);
+  }
+
+  sim::SimTime extract_bcast_all(int d, sim::SimTime start,
+                                 std::vector<Msg<BV>>& out) {
+    Dev& dev = devs_[d];
+    auto values = program_.bcast_master_src(dev.state);
+    sim::SimTime ready = start;
+    sim::SimTime engine = start;
+    for (int o = 0; o < devices_; ++o) {
+      if (o == d) continue;
+      // Broadcast flows master(d) -> mirrors(o): list indexed (o, d).
+      const auto& list = sync_.list(o, d, bcast_filter_);
+      if (list.size() == 0) continue;
+      auto payload = BSync::extract_broadcast(list, values, dev.dirty_b,
+                                              config_.sync_mode, d, o);
+      if (config_.sync_mode == comm::SyncMode::kUO &&
+          payload.empty_update()) {
+        continue;
+      }
+      const StageCost cost = send_cost(d, payload, list.size());
+      stats_.device_comm_time[d] += cost.total();
+      const sim::SimTime sent = advance_pipeline(cost, ready, engine);
+      Msg<BV>& slot = out[static_cast<std::size_t>(d) * devices_ + o];
+      slot.payload = std::move(payload);
+      slot.arrival = sent + net_.host_to_host(d, o, slot.payload.bytes);
+    }
+    return sim::max(ready, engine);
+  }
+
+  sim::SimTime apply_bcast_all(int o, sim::SimTime start,
+                               const std::vector<Msg<BV>>& msgs) {
+    Dev& dev = devs_[o];
+    const auto& lg = dg_.part(o);
+    auto values = program_.bcast_mirror_dst(dev.state);
+    std::vector<int> senders;
+    for (int d = 0; d < devices_; ++d) {
+      if (d != o &&
+          msgs[static_cast<std::size_t>(d) * devices_ + o].payload.from >= 0) {
+        senders.push_back(d);
+      }
+    }
+    std::sort(senders.begin(), senders.end(), [&](int a, int b) {
+      const auto& ma = msgs[static_cast<std::size_t>(a) * devices_ + o];
+      const auto& mb = msgs[static_cast<std::size_t>(b) * devices_ + o];
+      if (ma.arrival != mb.arrival) return ma.arrival < mb.arrival;
+      return a < b;
+    });
+    sim::SimTime t = start;
+    sim::SimTime recv_engine = start;  // apply engine (overlap mode)
+    std::vector<VertexId> changed;
+    for (int d : senders) {
+      const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
+      if (m.arrival > t) {
+        stats_.wait_time[o] += m.arrival - t;
+        t = m.arrival;
+      }
+      const StageCost cost = receive_cost(o, m.payload);
+      stats_.device_comm_time[o] += cost.total();
+      t = advance_pipeline(cost, t, recv_engine);
+      changed.clear();
+      BSync::apply_broadcast(sync_.list(o, d, bcast_filter_), m.payload,
+                             values, &changed);
+      comm_per_dev_[o].broadcast_values += m.payload.count();
+      for (VertexId v : changed) {
+        program_.on_update(lg, dev.state, v, UpdateKind::kBroadcast,
+                           *dev.ctx);
+      }
+      merge_activations(dev);
+    }
+    return sim::max(t, recv_engine);
+  }
+
+  /// Moves pending activations from the ctx into the frontier with
+  /// cross-source deduplication.
+  void merge_activations(Dev& dev) {
+    std::vector<VertexId> extra;
+    dev.ctx->take_next(extra);
+    for (VertexId v : extra) {
+      if (!dev.in_frontier.test(v)) {
+        dev.in_frontier.set(v);
+        dev.frontier.push_back(v);
+      }
+    }
+  }
+
+  // =========================================================================
+  // BASP: per-device local rounds over the discrete-event queue
+  // (Gluon-Async, Section III-B). Devices run ahead with stale values;
+  // straggler decoupling and redundant work emerge from the schedule.
+  // =========================================================================
+  struct BaspInbox {
+    std::deque<Msg<RV>> reduce;
+    std::deque<Msg<BV>> bcast;
+  };
+
+  void run_basp() {
+    sim::EventQueue queue;
+    inboxes_.assign(devices_, BaspInbox{});
+    park_start_.assign(devices_, sim::SimTime::zero());
+    for (int d = 0; d < devices_; ++d) {
+      queue.schedule(sim::SimTime::zero(),
+                     [this, d, &queue](sim::SimTime t) {
+                       basp_step(d, t, queue);
+                     });
+    }
+    std::uint64_t safety = 0;
+    const std::uint64_t step_limit =
+        static_cast<std::uint64_t>(config_.max_rounds) * devices_ * 4;
+    while (!queue.empty() && safety++ < step_limit) {
+      queue.run_next();
+    }
+    total_time_ = queue.now();
+    for (int d = 0; d < devices_; ++d) {
+      total_time_ = sim::max(total_time_, devs_[d].clock);
+      stats_.global_rounds =
+          std::max(stats_.global_rounds, devs_[d].local_round);
+    }
+  }
+
+  void basp_step(int d, sim::SimTime now, sim::EventQueue& queue) {
+    Dev& dev = devs_[d];
+    if (dev.parked) {
+      // A wake can come from a sender whose timeline lags this device's
+      // local clock; the device only actually idled up to `now`.
+      if (now > park_start_[d]) {
+        stats_.wait_time[d] += now - park_start_[d];
+      }
+      dev.parked = false;
+    }
+    dev.clock = sim::max(dev.clock, now);
+
+    drain_inbox(d);
+
+    // Optional asynchrony throttle (ablation A2; the paper's proposed
+    // control mechanism): a device that has run more than
+    // `async_lead_cap` local rounds ahead of the slowest partner it has
+    // heard from stalls briefly so fresher values can arrive, instead
+    // of churning redundant work on stale labels. A bounded number of
+    // consecutive stalls guarantees progress even if a partner has
+    // permanently finished.
+    if (config_.async_lead_cap > 0 && has_reduce_partner(d) &&
+        device_has_work(d)) {
+      std::uint32_t min_seen = std::numeric_limits<std::uint32_t>::max();
+      for (int o = 0; o < devices_; ++o) {
+        if (o != d && is_partner(o, d)) {
+          min_seen = std::min(min_seen, dev.last_seen_round[o]);
+        }
+      }
+      if (min_seen != std::numeric_limits<std::uint32_t>::max() &&
+          dev.local_round > min_seen + config_.async_lead_cap &&
+          dev.consecutive_stalls < 8) {
+        ++dev.consecutive_stalls;
+        const sim::SimTime stall = params_.pcie_latency +
+                                   params_.net_latency +
+                                   params_.per_message_overhead * 4.0;
+        stats_.wait_time[d] += stall;
+        dev.clock += stall;
+        queue.schedule(dev.clock, [this, d, &queue](sim::SimTime t) {
+          basp_step(d, t, queue);
+        });
+        return;
+      }
+      dev.consecutive_stalls = 0;
+    }
+
+    if (!device_has_work(d) || dev.local_round >= config_.max_rounds) {
+      if (config_.async_busy_poll && dev.local_round < config_.max_rounds &&
+          system_still_active(d)) {
+        // Gluon-Async style idle churn: an empty local round still costs
+        // a worklist-check kernel and a bitvector scan, and counts as a
+        // local round (the paper's exploding min-round metric).
+        const sim::GpuCostModel cost(topo_.spec(d), params_);
+        sim::SimTime poll = params_.kernel_launch * 2.0;
+        poll += sim::SimTime{
+            static_cast<double>(
+                sync_.shared_entries(d, comm::ProxyFilter::kAll)) /
+            params_.scan_throughput};
+        stats_.compute_time[d] += poll;
+        stats_.rounds[d] += 1;
+        ++dev.local_round;
+        dev.clock += poll;
+        queue.schedule(dev.clock, [this, d, &queue](sim::SimTime t) {
+          basp_step(d, t, queue);
+        });
+        return;
+      }
+      park(d, queue);
+      return;
+    }
+
+    dev.clock += compute_one_round(d);
+    ++dev.local_round;
+    basp_send(d, queue);
+    queue.schedule(dev.clock, [this, d, &queue](sim::SimTime t) {
+      basp_step(d, t, queue);
+    });
+  }
+
+  void drain_inbox(int d) {
+    Dev& dev = devs_[d];
+    const auto& lg = dg_.part(d);
+    auto& inbox = inboxes_[d];
+    std::vector<VertexId> changed;
+    while (!inbox.reduce.empty() &&
+           inbox.reduce.front().arrival <= dev.clock) {
+      Msg<RV> m = std::move(inbox.reduce.front());
+      inbox.reduce.pop_front();
+      const StageCost cost = receive_cost(d, m.payload);
+      stats_.device_comm_time[d] += cost.total();
+      dev.clock += cost.total();
+      dev.last_seen_round[m.payload.from] =
+          std::max(dev.last_seen_round[m.payload.from], m.sender_round);
+      changed.clear();
+      RSync::apply_reduce(sync_.list(m.payload.from, d, reduce_filter_),
+                          m.payload, program_.reduce_master_dst(dev.state),
+                          dev.dirty_b, &changed);
+      comm_per_dev_[d].reduce_values += m.payload.count();
+      for (VertexId v : changed) {
+        program_.on_update(lg, dev.state, v, UpdateKind::kReduce, *dev.ctx);
+      }
+      merge_activations(dev);
+    }
+    while (!inbox.bcast.empty() && inbox.bcast.front().arrival <= dev.clock) {
+      Msg<BV> m = std::move(inbox.bcast.front());
+      inbox.bcast.pop_front();
+      const StageCost cost = receive_cost(d, m.payload);
+      stats_.device_comm_time[d] += cost.total();
+      dev.clock += cost.total();
+      dev.last_seen_round[m.payload.from] =
+          std::max(dev.last_seen_round[m.payload.from], m.sender_round);
+      changed.clear();
+      BSync::apply_broadcast(sync_.list(d, m.payload.from, bcast_filter_),
+                             m.payload, program_.bcast_mirror_dst(dev.state),
+                             &changed);
+      comm_per_dev_[d].broadcast_values += m.payload.count();
+      for (VertexId v : changed) {
+        program_.on_update(lg, dev.state, v, UpdateKind::kBroadcast,
+                           *dev.ctx);
+      }
+      merge_activations(dev);
+    }
+  }
+
+  /// Sends this round's reduce payloads (mirror updates) and broadcast
+  /// payloads (master updates). BASP ships only non-empty updates.
+  void basp_send(int d, sim::EventQueue& queue) {
+    Dev& dev = devs_[d];
+    sim::SimTime engine = dev.clock;  // downlink copy engine (overlap)
+    auto rvalues = program_.reduce_mirror_src(dev.state);
+    for (int o = 0; o < devices_; ++o) {
+      if (o == d) continue;
+      const auto& list = sync_.list(d, o, reduce_filter_);
+      if (list.size() == 0) continue;
+      auto payload = RSync::extract_reduce(list, rvalues, dev.dirty_r,
+                                           config_.sync_mode, d, o);
+      if (payload.empty_update()) continue;
+      deliver<RV>(d, o, std::move(payload), dev, engine, queue,
+                  /*bcast=*/false);
+    }
+    auto bvalues = program_.bcast_master_src(dev.state);
+    for (int o = 0; o < devices_; ++o) {
+      if (o == d) continue;
+      const auto& list = sync_.list(o, d, bcast_filter_);
+      if (list.size() == 0) continue;
+      auto payload = BSync::extract_broadcast(list, bvalues, dev.dirty_b,
+                                              config_.sync_mode, d, o);
+      if (payload.empty_update()) continue;
+      deliver<BV>(d, o, std::move(payload), dev, engine, queue,
+                  /*bcast=*/true);
+    }
+    dev.clock = sim::max(dev.clock, engine);
+    dev.dirty_b.clear();
+  }
+
+  template <typename T>
+  void deliver(int d, int o, comm::Payload<T> payload, Dev& dev,
+               sim::SimTime& engine, sim::EventQueue& queue, bool bcast) {
+    const StageCost cost = send_cost(d, payload,
+                                     payload.scanned > 0
+                                         ? payload.scanned
+                                         : payload.count());
+    stats_.device_comm_time[d] += cost.total();
+    const sim::SimTime sent = advance_pipeline(cost, dev.clock, engine);
+    const sim::SimTime arrival =
+        sent + net_.host_to_host(d, o, payload.bytes);
+    account_network(d, o, payload.bytes);
+    Msg<T> msg;
+    msg.arrival = arrival;
+    msg.sender_round = dev.local_round;
+    msg.payload = std::move(payload);
+    auto& inbox = inboxes_[o];
+    if (bcast) {
+      if constexpr (std::is_same_v<T, BV>) {
+        insert_sorted(inbox.bcast, std::move(msg));
+      }
+    } else {
+      if constexpr (std::is_same_v<T, RV>) {
+        insert_sorted(inbox.reduce, std::move(msg));
+      }
+    }
+    queue.schedule(arrival, [this, o, &queue](sim::SimTime t) {
+      if (devs_[o].parked) basp_step(o, t, queue);
+    });
+  }
+
+  template <typename T>
+  static void insert_sorted(std::deque<Msg<T>>& box, Msg<T> msg) {
+    auto it = std::upper_bound(
+        box.begin(), box.end(), msg,
+        [](const Msg<T>& a, const Msg<T>& b) { return a.arrival < b.arrival; });
+    box.insert(it, std::move(msg));
+  }
+
+  void park(int d, sim::EventQueue&) {
+    devs_[d].parked = true;
+    park_start_[d] = devs_[d].clock;
+  }
+
+  [[nodiscard]] bool pending_arrivals(int d) const {
+    return !inboxes_[d].reduce.empty() || !inboxes_[d].bcast.empty();
+  }
+
+  /// Busy-poll continuation test: some *other* device still has work or
+  /// a message is still undelivered somewhere, so global termination
+  /// has not been reached and an idle device keeps churning rounds.
+  /// (A real deployment runs the distributed detector in
+  /// engine/termination.hpp; the simulator can consult global state.)
+  [[nodiscard]] bool system_still_active(int self) const {
+    for (int o = 0; o < devices_; ++o) {
+      if (o != self && !devs_[o].parked && device_has_work(o)) return true;
+      if (pending_arrivals(o)) return true;
+    }
+    return false;
+  }
+
+  /// True when device `sender` can send sync messages to `receiver`
+  /// (reduce from sender's mirrors, or broadcast from sender's masters).
+  [[nodiscard]] bool is_partner(int sender, int receiver) const {
+    return sync_.list(sender, receiver, reduce_filter_).size() > 0 ||
+           sync_.list(receiver, sender, bcast_filter_).size() > 0;
+  }
+  [[nodiscard]] bool has_reduce_partner(int d) const {
+    for (int o = 0; o < devices_; ++o) {
+      if (o != d && is_partner(o, d)) return true;
+    }
+    return false;
+  }
+
+  // -------------------------------------------------------------------------
+  RunResult<Program> collect() {
+    RunResult<Program> result;
+    result.states.reserve(devices_);
+    for (int d = 0; d < devices_; ++d) {
+      stats_.peak_memory[d] = devs_[d].memory->peak();
+      stats_.comm += comm_per_dev_[d];
+      result.states.push_back(std::move(devs_[d].state));
+    }
+    stats_.total_time = total_time_;
+    result.stats = std::move(stats_);
+    return result;
+  }
+
+  const partition::DistGraph& dg_;
+  const comm::SyncStructure& sync_;
+  const sim::Topology& topo_;
+  const sim::CostParams& params_;
+  sim::Interconnect net_;
+  EngineConfig config_;
+  const Program& program_;
+  int devices_;
+  comm::ProxyFilter reduce_filter_;
+  comm::ProxyFilter bcast_filter_;
+
+  std::vector<Dev> devs_;
+  std::vector<BaspInbox> inboxes_;
+  std::vector<sim::SimTime> park_start_;
+  std::vector<comm::CommStats> comm_per_dev_;
+  std::uint64_t traced_volume_ = 0;
+  RunStats stats_;
+  sim::SimTime total_time_;
+};
+
+/// Convenience entry point: partitioned graph + topology + config in,
+/// final states + stats out.
+template <VertexProgram Program>
+RunResult<Program> run(const partition::DistGraph& dg,
+                       const comm::SyncStructure& sync,
+                       const sim::Topology& topo,
+                       const sim::CostParams& params,
+                       const EngineConfig& config, const Program& program) {
+  Executor<Program> exec(dg, sync, topo, params, config, program);
+  return exec.run();
+}
+
+}  // namespace sg::engine

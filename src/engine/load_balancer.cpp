@@ -1,0 +1,61 @@
+#include "engine/load_balancer.hpp"
+
+#include <algorithm>
+
+namespace sg::engine {
+
+sim::KernelSchedule analyze_kernel(std::span<const std::uint32_t> work_sizes,
+                                   sim::Balancer balancer,
+                                   int thread_blocks) {
+  sim::KernelSchedule sched;
+  sched.active_vertices = static_cast<std::uint32_t>(work_sizes.size());
+  for (std::uint32_t w : work_sizes) sched.total_edges += w;
+  if (work_sizes.empty()) return sched;
+
+  const auto blocks = static_cast<std::uint32_t>(std::max(1, thread_blocks));
+  const std::uint64_t avg_block =
+      (sched.total_edges + blocks - 1) / blocks;
+
+  if (balancer == sim::Balancer::ALB) {
+    // Items heavier than an average block's load are split across all
+    // blocks; the remainder is chunked contiguously.
+    std::uint64_t split_total = 0;
+    std::uint64_t chunk_sum = 0, max_chunk = 0, chunk_items = 0;
+    const std::uint64_t items_per_block =
+        (work_sizes.size() + blocks - 1) / blocks;
+    for (std::uint32_t w : work_sizes) {
+      if (w > avg_block && w > 32) {
+        split_total += w;
+        sched.alb_split = true;
+        continue;
+      }
+      chunk_sum += w;
+      if (++chunk_items == items_per_block) {
+        max_chunk = std::max(max_chunk, chunk_sum);
+        chunk_sum = 0;
+        chunk_items = 0;
+      }
+    }
+    max_chunk = std::max(max_chunk, chunk_sum);
+    sched.max_block_edges = max_chunk + (split_total + blocks - 1) / blocks;
+    return sched;
+  }
+
+  // TWC / LB: contiguous chunks of the item sequence, one per block.
+  const std::uint64_t items_per_block =
+      (work_sizes.size() + blocks - 1) / blocks;
+  std::uint64_t chunk_sum = 0, max_chunk = 0, chunk_items = 0;
+  for (std::uint32_t w : work_sizes) {
+    chunk_sum += w;
+    if (++chunk_items == items_per_block) {
+      max_chunk = std::max(max_chunk, chunk_sum);
+      chunk_sum = 0;
+      chunk_items = 0;
+    }
+  }
+  max_chunk = std::max(max_chunk, chunk_sum);
+  sched.max_block_edges = max_chunk;
+  return sched;
+}
+
+}  // namespace sg::engine

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/gpu_cost_model.hpp"
+
+namespace sg::engine {
+
+/// Maps one round's work items onto thread blocks under a balancer and
+/// returns the schedule for the cost model (Section III-E2).
+///
+///  * TWC / LB: the work-item sequence is split into `blocks` contiguous
+///    chunks (one per thread block); a single item never leaves its
+///    block, so the heaviest block carries at least the largest item.
+///  * ALB: items larger than the average block load are split evenly
+///    across all blocks (inter-block balancing); the rest are chunked as
+///    in TWC.
+[[nodiscard]] sim::KernelSchedule analyze_kernel(
+    std::span<const std::uint32_t> work_sizes, sim::Balancer balancer,
+    int thread_blocks);
+
+}  // namespace sg::engine

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+
+#include "comm/sync_structure.hpp"
+#include "engine/round_ctx.hpp"
+#include "partition/local_graph.hpp"
+
+namespace sg::engine {
+
+/// Which sync phase changed a proxy's value (passed to on_update so a
+/// program can react differently to reduced updates at masters vs
+/// broadcast updates at mirrors).
+enum class UpdateKind : std::uint8_t { kReduce, kBroadcast };
+
+/// A distributed vertex program (the IrGL-compiled benchmark analogue).
+///
+/// Required members:
+///
+///   using ReduceValue = ...;            // mirror -> master payload type
+///   using ReduceOp    = comm::MinOp<ReduceValue>;  // or AddOp / custom
+///   using BcastValue  = ...;            // master -> mirror payload type
+///   using BcastOp     = ...;            // combine at mirror; must be
+///                                       // monotone/idempotent so BASP's
+///                                       // arbitrary interleavings are safe
+///   static constexpr bool kDataDriven;  // data- vs topology-driven
+///   static constexpr std::uint64_t kExtraBytesPerVertex;  // GPU state
+///                                       // beyond the synced fields
+///
+///   struct DeviceState { ... };         // per-device label arrays
+///
+///   const char* name() const;
+///   comm::SyncPattern pattern() const;  // read/write locations
+///
+///   // Allocate label arrays; seed the initial frontier (ctx.push) and
+///   // initial dirty marks.
+///   void init(const partition::LocalGraph&, DeviceState&, RoundCtx&) const;
+///
+///   // One local round. Data-driven programs process `frontier`;
+///   // topology-driven programs sweep all local vertices and may ignore
+///   // it. Must ctx.record() each operator application and return
+///   // whether any progress was made (topology-driven convergence).
+///   bool compute_round(const partition::LocalGraph&, DeviceState&,
+///                      std::span<const graph::VertexId> frontier,
+///                      RoundCtx&) const;
+///
+///   // Field storage. Reduce extracts from mirrors' `reduce_mirror_src`
+///   // and combines into masters' `reduce_master_dst`; broadcast
+///   // extracts masters' `bcast_master_src` and combines into mirrors'
+///   // `bcast_mirror_dst`. For simple label algorithms all four are the
+///   // same array; accumulator algorithms (pagerank) separate them.
+///   std::span<ReduceValue> reduce_mirror_src(DeviceState&) const;
+///   std::span<ReduceValue> reduce_master_dst(DeviceState&) const;
+///   std::span<const BcastValue> bcast_master_src(const DeviceState&) const;
+///   std::span<BcastValue> bcast_mirror_dst(DeviceState&) const;
+///
+///   // Called for each proxy whose value a sync changed; typically
+///   // pushes it onto the worklist.
+///   void on_update(const partition::LocalGraph&, DeviceState&,
+///                  graph::VertexId v, UpdateKind, RoundCtx&) const;
+template <typename P>
+concept VertexProgram = requires(const P p, typename P::DeviceState st,
+                                 const partition::LocalGraph lg,
+                                 RoundCtx ctx) {
+  typename P::ReduceValue;
+  typename P::ReduceOp;
+  typename P::BcastValue;
+  typename P::BcastOp;
+  { P::kDataDriven } -> std::convertible_to<bool>;
+  { p.name() };
+  { p.pattern() } -> std::convertible_to<comm::SyncPattern>;
+  { p.init(lg, st, ctx) };
+  { p.reduce_mirror_src(st) };
+  { p.reduce_master_dst(st) };
+  { p.bcast_mirror_dst(st) };
+};
+
+}  // namespace sg::engine

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/accounting.hpp"
+#include "sim/sim_time.hpp"
+
+namespace sg::engine {
+
+/// One global round's aggregate activity (collected under
+/// EngineConfig::collect_trace, BSP only) — the data behind the paper's
+/// data-driven vs topology-driven discussion (Section III-E1): bfs
+/// frontiers are bursty, topology-driven pagerank sweeps are flat.
+struct RoundTrace {
+  std::uint32_t round = 0;
+  std::uint64_t active_vertices = 0;  ///< operator applications
+  std::uint64_t edges = 0;            ///< edges relaxed
+  std::uint64_t volume_bytes = 0;     ///< sync traffic this round
+};
+
+/// Simulated-time and work accounting for one run, giving exactly the
+/// quantities the paper reports:
+///  * execution time (Figures 3, 7; Table II);
+///  * Max Compute / Min Wait / Device Comm breakdown (Figures 4-6, 8, 9);
+///  * communication volume (bar labels in the breakdown figures);
+///  * rounds and work items (the BASP redundant-work analysis);
+///  * memory (Table III) and dynamic load balance (Table IV).
+struct RunStats {
+  sim::SimTime total_time;
+  /// BSP: number of global (barrier) rounds. BASP: max local rounds.
+  std::uint32_t global_rounds = 0;
+  /// Per-round activity (empty unless EngineConfig::collect_trace).
+  std::vector<RoundTrace> trace;
+
+  // Per-device accumulators.
+  std::vector<sim::SimTime> compute_time;      ///< kernel time
+  std::vector<sim::SimTime> device_comm_time;  ///< extract+PCIe+apply
+  std::vector<sim::SimTime> wait_time;         ///< blocked on remote msgs
+  std::vector<std::uint64_t> work_items;       ///< edges relaxed
+  std::vector<std::uint32_t> rounds;           ///< local rounds executed
+  std::vector<std::uint64_t> peak_memory;      ///< device bytes
+
+  comm::CommStats comm;
+
+  [[nodiscard]] sim::SimTime max_compute() const {
+    sim::SimTime m;
+    for (auto t : compute_time) m = sim::max(m, t);
+    return m;
+  }
+  [[nodiscard]] sim::SimTime min_wait() const {
+    if (wait_time.empty()) return {};
+    sim::SimTime m = wait_time.front();
+    for (auto t : wait_time) m = sim::min(m, t);
+    return m;
+  }
+  /// Non-overlapping device-host communication (max among devices).
+  [[nodiscard]] sim::SimTime max_device_comm() const {
+    sim::SimTime m;
+    for (auto t : device_comm_time) m = sim::max(m, t);
+    return m;
+  }
+  [[nodiscard]] std::uint64_t total_work() const {
+    std::uint64_t w = 0;
+    for (auto x : work_items) w += x;
+    return w;
+  }
+  [[nodiscard]] std::uint32_t min_rounds() const {
+    std::uint32_t m = rounds.empty() ? 0 : rounds.front();
+    for (auto r : rounds) m = std::min(m, r);
+    return m;
+  }
+  [[nodiscard]] std::uint32_t max_rounds() const {
+    std::uint32_t m = 0;
+    for (auto r : rounds) m = std::max(m, r);
+    return m;
+  }
+  [[nodiscard]] std::uint64_t max_memory() const {
+    std::uint64_t m = 0;
+    for (auto b : peak_memory) m = std::max(m, b);
+    return m;
+  }
+  /// Table IV's dynamic balance: max/mean per-device compute time.
+  [[nodiscard]] double dynamic_balance() const {
+    if (compute_time.empty()) return 1.0;
+    double total = 0, mx = 0;
+    for (auto t : compute_time) {
+      total += t.seconds();
+      mx = std::max(mx, t.seconds());
+    }
+    const double mean = total / static_cast<double>(compute_time.size());
+    return mean > 0 ? mx / mean : 1.0;
+  }
+  /// Table IV's memory balance: max/mean per-device peak memory.
+  [[nodiscard]] double memory_balance() const {
+    if (peak_memory.empty()) return 1.0;
+    double total = 0, mx = 0;
+    for (auto b : peak_memory) {
+      total += static_cast<double>(b);
+      mx = std::max(mx, static_cast<double>(b));
+    }
+    const double mean = total / static_cast<double>(peak_memory.size());
+    return mean > 0 ? mx / mean : 1.0;
+  }
+
+  void resize(int devices) {
+    compute_time.resize(devices);
+    device_comm_time.resize(devices);
+    wait_time.resize(devices);
+    work_items.resize(devices);
+    rounds.resize(devices);
+    peak_memory.resize(devices);
+  }
+};
+
+}  // namespace sg::engine

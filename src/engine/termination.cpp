@@ -1,0 +1,59 @@
+#include "engine/termination.hpp"
+
+#include <stdexcept>
+
+namespace sg::engine {
+
+TerminationDetector::TerminationDetector(int num_processes)
+    : procs_(static_cast<std::size_t>(num_processes)) {
+  if (num_processes < 1) {
+    throw std::invalid_argument("TerminationDetector: need >= 1 process");
+  }
+}
+
+void TerminationDetector::on_send(int process) {
+  ++procs_[process].counter;
+}
+
+void TerminationDetector::on_receive(int process) {
+  --procs_[process].counter;
+  procs_[process].color = Color::kBlack;
+  // A message woke this process up; conservative callers also
+  // set_active(process, true), but blackening alone already prevents a
+  // false detection on the current circulation.
+}
+
+void TerminationDetector::set_active(int process, bool active) {
+  procs_[process].active = active;
+}
+
+bool TerminationDetector::try_advance() {
+  if (terminated_) return true;
+  Process& holder = procs_[token_holder_];
+  if (holder.active) return false;  // token waits for a passive holder
+
+  if (token_holder_ == 0) {
+    // Initiator: evaluate the completed circulation, then start anew.
+    if (rounds_ > 0 && token_color_ == Color::kWhite &&
+        holder.color == Color::kWhite &&
+        token_count_ + holder.counter == 0) {
+      terminated_ = true;
+      return true;
+    }
+    ++rounds_;
+    token_color_ = Color::kWhite;
+    token_count_ = 0;
+    holder.color = Color::kWhite;
+    token_holder_ = static_cast<int>(procs_.size()) - 1;
+    return false;
+  }
+
+  // Intermediate hop: fold the holder's state into the token.
+  token_count_ += holder.counter;
+  if (holder.color == Color::kBlack) token_color_ = Color::kBlack;
+  holder.color = Color::kWhite;
+  --token_holder_;
+  return false;
+}
+
+}  // namespace sg::engine

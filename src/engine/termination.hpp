@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sg::engine {
+
+/// Safra's token-ring distributed termination detection.
+///
+/// Bulk-asynchronous execution has no global barrier, so "everyone is
+/// idle and no messages are in flight" must itself be detected with a
+/// distributed protocol (Gluon-Async runs one under the hood; our BASP
+/// executor's event queue plays the omniscient oracle, and this module
+/// provides the real protocol for study and reuse).
+///
+/// Classic formulation (Dijkstra–Feijen–van Gasteren / Safra):
+///  * every process keeps a message counter (sends minus receives) and
+///    a color; receiving a message blackens the process;
+///  * a token carrying a color and a running count circulates the ring,
+///    moving on only when its holder is passive; the holder adds its
+///    counter, taints the token if it is black, and whitens itself;
+///  * when the initiator gets back a white token and token count plus
+///    its own counter is zero while it is itself white and passive,
+///    no message can be in flight anywhere: termination.
+///
+/// The detector is deliberately passive: the caller reports application
+/// events (`on_send` / `on_receive` / `set_active`) and pumps the token
+/// with `try_advance`, which moves it at most one hop. This makes every
+/// interleaving testable.
+class TerminationDetector {
+ public:
+  explicit TerminationDetector(int num_processes);
+
+  /// Application event hooks.
+  void on_send(int process);
+  void on_receive(int process);
+  void set_active(int process, bool active);
+
+  /// Moves the token one hop if its holder is passive. Returns true
+  /// once termination has been detected (then stays true).
+  bool try_advance();
+
+  [[nodiscard]] bool terminated() const { return terminated_; }
+  [[nodiscard]] int token_holder() const { return token_holder_; }
+  /// Full token circulations completed so far (diagnostics).
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  enum class Color : std::uint8_t { kWhite, kBlack };
+
+  struct Process {
+    std::int64_t counter = 0;  // sends minus receives
+    Color color = Color::kWhite;
+    bool active = true;
+  };
+
+  std::vector<Process> procs_;
+  int token_holder_ = 0;
+  Color token_color_ = Color::kBlack;  // first circulation cannot decide
+  std::int64_t token_count_ = 0;
+  bool terminated_ = false;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace sg::engine

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/sync_structure.hpp"
+#include "engine/config.hpp"
+#include "engine/stats.hpp"
+#include "graph/csr.hpp"
+#include "partition/dist_graph.hpp"
+#include "sim/cost_params.hpp"
+#include "sim/topology.hpp"
+
+namespace sg::fw {
+
+/// The paper's five benchmarks (Section IV-A).
+enum class Benchmark { kBfs, kCc, kKcore, kPagerank, kSssp };
+
+[[nodiscard]] const char* to_string(Benchmark b);
+[[nodiscard]] Benchmark benchmark_from_string(const std::string& name);
+
+/// Per-run algorithm parameters.
+struct RunParams {
+  /// bfs/sssp source; kInvalidVertex means "highest out-degree vertex"
+  /// (the paper's choice).
+  graph::VertexId source = graph::kInvalidVertex;
+  std::uint32_t kcore_k = 10;
+  float pr_alpha = 0.85f;
+  float pr_tolerance = 1e-4f;
+  /// Lux pagerank has no convergence check; it runs the number of
+  /// rounds D-IrGL's pagerank executed (paper Section IV-B).
+  std::uint32_t lux_pr_rounds = 50;
+};
+
+/// Outcome of one framework run. `ok == false` records the failures the
+/// paper reports as missing data points (device OOM, unsupported
+/// benchmark, crashes).
+struct BenchmarkRun {
+  bool ok = false;
+  std::string error;
+  engine::RunStats stats;
+
+  // Result payloads (only the one matching the benchmark is filled).
+  std::vector<std::uint32_t> dist32;   // bfs
+  std::vector<std::uint64_t> dist64;   // sssp
+  std::vector<std::uint32_t> labels;   // cc
+  std::vector<std::uint8_t> in_core;   // kcore
+  std::vector<float> ranks;            // pagerank
+};
+
+/// A partitioned graph plus its memoized sync structure, reusable across
+/// engine configurations (partition once, run many — the paper's
+/// production workflow).
+struct Prepared {
+  partition::DistGraph dist;
+  comm::SyncStructure sync;
+  graph::VertexId default_source = 0;
+
+  Prepared(partition::DistGraph dg, graph::VertexId src)
+      : dist(std::move(dg)), sync(dist), default_source(src) {}
+};
+
+/// Partitions `g` for `devices` simulated GPUs under `policy`.
+[[nodiscard]] Prepared prepare(const graph::Csr& g, partition::Policy policy,
+                               int devices, std::uint64_t seed = 1);
+
+/// Variants of cc / bfs used by the different frameworks.
+enum class CcFlavor { kLabelProp, kPointerJump };
+enum class BfsFlavor { kPush, kDirectionOpt };
+
+/// Shared dispatcher: runs `bench` on the prepared partition under
+/// `config`, converting engine OOM into a failed BenchmarkRun.
+[[nodiscard]] BenchmarkRun dispatch(Benchmark bench, const Prepared& prep,
+                                    const sim::Topology& topo,
+                                    const sim::CostParams& params,
+                                    const engine::EngineConfig& config,
+                                    const RunParams& rp,
+                                    CcFlavor cc_flavor = CcFlavor::kLabelProp,
+                                    BfsFlavor bfs_flavor = BfsFlavor::kPush);
+
+}  // namespace sg::fw

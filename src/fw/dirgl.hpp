@@ -1,0 +1,35 @@
+#pragma once
+
+#include "fw/benchmark.hpp"
+
+namespace sg::fw {
+
+/// D-IrGL facade: the paper's primary system (Gluon + IrGL). Supports
+/// all five benchmarks, all partitioning policies, and the four
+/// optimization variants of Section IV-C.
+class DIrGL {
+ public:
+  /// Engine configuration for a named variant (Var1..Var4).
+  [[nodiscard]] static engine::EngineConfig config(engine::Variant v) {
+    return engine::make_variant(v);
+  }
+
+  /// Default configuration: ALB + UO + Async (Var4).
+  [[nodiscard]] static engine::EngineConfig default_config() {
+    return engine::make_variant(engine::Variant::kVar4);
+  }
+
+  /// Runs `bench` on a prepared partition. D-IrGL uses data-driven push
+  /// implementations for bfs/cc/kcore/sssp and the topology-driven
+  /// pull-residual pagerank.
+  [[nodiscard]] static BenchmarkRun run(Benchmark bench,
+                                        const Prepared& prep,
+                                        const sim::Topology& topo,
+                                        const sim::CostParams& params,
+                                        const engine::EngineConfig& config,
+                                        const RunParams& rp = {}) {
+    return dispatch(bench, prep, topo, params, config, rp);
+  }
+};
+
+}  // namespace sg::fw

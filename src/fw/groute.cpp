@@ -1,0 +1,26 @@
+#include "fw/groute.hpp"
+
+namespace sg::fw {
+
+BenchmarkRun Groute::run(Benchmark bench, const Prepared& prep,
+                         const sim::Topology& topo,
+                         const sim::CostParams& params,
+                         const RunParams& rp) {
+  BenchmarkRun out;
+  if (topo.num_hosts() != 1) {
+    out.error = "Groute supports only single-host multi-GPU platforms";
+    return out;
+  }
+  if (prep.dist.options().policy != partition::Policy::GREEDY) {
+    out.error = "Groute uses METIS-style edge-cut partitioning";
+    return out;
+  }
+  if (!supports(bench)) {
+    out.error = "benchmark not provided by Groute";
+    return out;
+  }
+  return dispatch(bench, prep, topo, params, config(), rp,
+                  CcFlavor::kPointerJump, BfsFlavor::kPush);
+}
+
+}  // namespace sg::fw

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "fw/benchmark.hpp"
+
+namespace sg::fw {
+
+/// Groute facade (single-host multi-GPU only), modeled per the paper:
+///  * METIS-style locality-aware edge-cut (our GREEDY BFS-grown cut);
+///  * asynchronous execution between GPUs (its defining feature);
+///  * pointer-jumping connected components (its algorithmic advantage);
+///  * data-driven bfs / sssp / pagerank; no kcore.
+class Groute {
+ public:
+  [[nodiscard]] static engine::EngineConfig config() {
+    engine::EngineConfig c;
+    c.balancer = sim::Balancer::LB;
+    c.sync_mode = comm::SyncMode::kUO;
+    c.exec_model = engine::ExecModel::kAsync;
+    // Groute keeps global ownership/routing tables on each device.
+    c.global_label_overhead_bytes = 8;
+    return c;
+  }
+
+  [[nodiscard]] static bool supports(Benchmark b) {
+    return b != Benchmark::kKcore;
+  }
+
+  [[nodiscard]] static BenchmarkRun run(Benchmark bench,
+                                        const Prepared& prep,
+                                        const sim::Topology& topo,
+                                        const sim::CostParams& params,
+                                        const RunParams& rp = {});
+};
+
+}  // namespace sg::fw

@@ -1,0 +1,30 @@
+#include "fw/gunrock.hpp"
+
+#include <stdexcept>
+
+namespace sg::fw {
+
+BenchmarkRun Gunrock::run(Benchmark bench, const Prepared& prep,
+                          const sim::Topology& topo,
+                          const sim::CostParams& params,
+                          const RunParams& rp) {
+  BenchmarkRun out;
+  if (topo.num_hosts() != 1) {
+    out.error = "Gunrock supports only single-host multi-GPU platforms";
+    return out;
+  }
+  if (prep.dist.options().policy != partition::Policy::RANDOM) {
+    out.error = "Gunrock uses its random partitioning strategy";
+    return out;
+  }
+  if (!supports(bench)) {
+    out.error = bench == Benchmark::kPagerank
+                    ? "Gunrock pagerank produced incorrect output (omitted)"
+                    : "benchmark not provided by Gunrock";
+    return out;
+  }
+  return dispatch(bench, prep, topo, params, config(), rp,
+                  CcFlavor::kLabelProp, BfsFlavor::kDirectionOpt);
+}
+
+}  // namespace sg::fw

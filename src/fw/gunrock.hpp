@@ -1,0 +1,39 @@
+#pragma once
+
+#include "fw/benchmark.hpp"
+
+namespace sg::fw {
+
+/// Gunrock facade (single-host multi-GPU only), modeled per the paper:
+///  * random vertex partitioning (its recommended default);
+///  * LB load balancing (edges of every vertex spread over blocks);
+///  * bulk-synchronous execution;
+///  * direction-optimizing bfs (its algorithmic advantage in Table II);
+///  * pagerank omitted (the paper found its output incorrect);
+///  * kcore not provided.
+class Gunrock {
+ public:
+  [[nodiscard]] static engine::EngineConfig config() {
+    engine::EngineConfig c;
+    c.balancer = sim::Balancer::LB;
+    c.sync_mode = comm::SyncMode::kUO;
+    c.exec_model = engine::ExecModel::kSync;
+    // Gunrock keeps label/frontier arrays indexed by original vertex id
+    // on every device (Table III's memory gap vs D-IrGL).
+    c.global_label_overhead_bytes = 16;
+    return c;
+  }
+
+  [[nodiscard]] static bool supports(Benchmark b) {
+    return b == Benchmark::kBfs || b == Benchmark::kCc ||
+           b == Benchmark::kSssp;
+  }
+
+  [[nodiscard]] static BenchmarkRun run(Benchmark bench,
+                                        const Prepared& prep,
+                                        const sim::Topology& topo,
+                                        const sim::CostParams& params,
+                                        const RunParams& rp = {});
+};
+
+}  // namespace sg::fw

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "fw/benchmark.hpp"
+
+namespace sg::fw {
+
+/// Lux facade (Jia et al., VLDB 2017), modeled per the paper:
+///  * only the edge-balanced incoming edge-cut (IEC);
+///  * synchronizes all shared proxies every round (AS), in both
+///    directions (no structural-invariant elision);
+///  * bulk-synchronous execution only;
+///  * per-block edge distribution regardless of degree (LB);
+///  * a static device memory pool claimed at launch (Table III shows
+///    5.85 GB on 12 GB K80s — a 49% fraction, which we reproduce);
+///  * only cc and pagerank (the paper found the other Lux benchmarks
+///    incorrect or unavailable), with pagerank recomputing every rank
+///    each round for a fixed round budget.
+class Lux {
+ public:
+  static constexpr double kStaticPoolFraction = 0.4875;
+
+  [[nodiscard]] static engine::EngineConfig config(
+      const sim::Topology& topo) {
+    engine::EngineConfig c;
+    c.balancer = sim::Balancer::LB;
+    c.sync_mode = comm::SyncMode::kAS;
+    c.exec_model = engine::ExecModel::kSync;
+    c.structural_opt = false;
+    c.charge_runtime_overhead = true;
+    c.static_pool_bytes = static_cast<std::uint64_t>(
+        kStaticPoolFraction *
+        static_cast<double>(topo.min_device_memory()));
+    return c;
+  }
+
+  [[nodiscard]] static bool supports(Benchmark b) {
+    return b == Benchmark::kCc || b == Benchmark::kPagerank;
+  }
+
+  [[nodiscard]] static BenchmarkRun run(Benchmark bench,
+                                        const Prepared& prep,
+                                        const sim::Topology& topo,
+                                        const sim::CostParams& params,
+                                        const RunParams& rp = {});
+};
+
+}  // namespace sg::fw

@@ -1,0 +1,155 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace sg::graph {
+
+Csr::Csr(std::vector<EdgeId> offsets, std::vector<VertexId> dsts,
+         std::vector<Weight> weights)
+    : offsets_(std::move(offsets)),
+      dsts_(std::move(dsts)),
+      weights_(std::move(weights)) {
+  if (offsets_.empty()) {
+    throw std::invalid_argument("Csr: offsets must have size V+1 >= 1");
+  }
+  if (offsets_.back() != dsts_.size()) {
+    throw std::invalid_argument("Csr: offsets.back() != dsts.size()");
+  }
+  if (!weights_.empty() && weights_.size() != dsts_.size()) {
+    throw std::invalid_argument("Csr: weights/dsts size mismatch");
+  }
+}
+
+Csr Csr::transpose() const {
+  const VertexId n = num_vertices();
+  std::vector<EdgeId> in_deg(n + 1, 0);
+  for (VertexId d : dsts_) ++in_deg[d + 1];
+  std::vector<EdgeId> offs(n + 1);
+  std::partial_sum(in_deg.begin(), in_deg.end(), offs.begin());
+  std::vector<VertexId> srcs(num_edges());
+  std::vector<Weight> w(has_weights() ? num_edges() : 0);
+  std::vector<EdgeId> cursor(offs.begin(), offs.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (EdgeId e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      const EdgeId slot = cursor[dsts_[e]]++;
+      srcs[slot] = u;
+      if (!w.empty()) w[slot] = weights_[e];
+    }
+  }
+  return Csr{std::move(offs), std::move(srcs), std::move(w)};
+}
+
+std::vector<EdgeId> Csr::out_degrees() const {
+  const VertexId n = num_vertices();
+  std::vector<EdgeId> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = degree(v);
+  return deg;
+}
+
+std::uint64_t Csr::bytes() const {
+  return offsets_.size() * sizeof(EdgeId) + dsts_.size() * sizeof(VertexId) +
+         weights_.size() * sizeof(Weight);
+}
+
+Csr build_csr(std::vector<Edge> edges, VertexId num_vertices, bool weighted,
+              bool dedup) {
+  VertexId n = num_vertices;
+  if (n == 0) {
+    for (const Edge& e : edges) {
+      n = std::max({n, e.src + 1, e.dst + 1});
+    }
+  }
+  // Counting sort by source.
+  std::vector<EdgeId> counts(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    if (e.src >= n || e.dst >= n) {
+      throw std::invalid_argument("build_csr: endpoint out of range");
+    }
+    ++counts[e.src + 1];
+  }
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1);
+  std::partial_sum(counts.begin(), counts.end(), offsets.begin());
+
+  std::vector<VertexId> dsts(edges.size());
+  std::vector<Weight> weights(weighted ? edges.size() : 0);
+  {
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) {
+      const EdgeId slot = cursor[e.src]++;
+      dsts[slot] = e.dst;
+      if (weighted) weights[slot] = e.weight;
+    }
+  }
+  edges.clear();
+  edges.shrink_to_fit();
+
+  // Sort each adjacency list by destination (weights follow).
+  std::vector<EdgeId> new_offsets(offsets.size());
+  new_offsets[0] = 0;
+  std::vector<VertexId> out_dsts;
+  std::vector<Weight> out_w;
+  out_dsts.reserve(dsts.size());
+  if (weighted) out_w.reserve(dsts.size());
+  std::vector<std::pair<VertexId, Weight>> row;
+  for (VertexId v = 0; v < n; ++v) {
+    row.clear();
+    for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+      row.emplace_back(dsts[e], weighted ? weights[e] : Weight{1});
+    }
+    std::sort(row.begin(), row.end());
+    if (dedup) {
+      // Keep the minimum-weight copy of each parallel edge.
+      auto last = std::unique(
+          row.begin(), row.end(),
+          [](const auto& a, const auto& b) { return a.first == b.first; });
+      row.erase(last, row.end());
+    }
+    for (const auto& [d, w] : row) {
+      out_dsts.push_back(d);
+      if (weighted) out_w.push_back(w);
+    }
+    new_offsets[v + 1] = out_dsts.size();
+  }
+  return Csr{std::move(new_offsets), std::move(out_dsts), std::move(out_w)};
+}
+
+Csr add_random_weights(const Csr& g, Weight lo, Weight hi,
+                       std::uint64_t seed) {
+  if (lo > hi) throw std::invalid_argument("add_random_weights: lo > hi");
+  sim::Rng rng{seed};
+  std::vector<Weight> w(g.num_edges());
+  for (auto& x : w) x = rng.range(lo, hi);
+  return Csr{{g.offsets().begin(), g.offsets().end()},
+             {g.dsts().begin(), g.dsts().end()},
+             std::move(w)};
+}
+
+bool weakly_connected(const Csr& g) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return true;
+  const Csr rev = g.transpose();
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<VertexId> stack{0};
+  seen[0] = 1;
+  VertexId visited = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    auto push = [&](VertexId u) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        ++visited;
+        stack.push_back(u);
+      }
+    };
+    for (VertexId u : g.neighbors(v)) push(u);
+    for (VertexId u : rev.neighbors(v)) push(u);
+  }
+  return visited == n;
+}
+
+}  // namespace sg::graph

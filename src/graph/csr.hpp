@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sg::graph {
+
+/// Immutable compressed-sparse-row digraph with optional edge weights.
+///
+/// The canonical in-memory representation throughout the library: the
+/// partitioner consumes a global Csr and produces per-device local Csrs.
+/// Edges of each vertex are stored sorted by destination.
+class Csr {
+ public:
+  Csr() = default;
+  Csr(std::vector<EdgeId> offsets, std::vector<VertexId> dsts,
+      std::vector<Weight> weights = {});
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+  [[nodiscard]] bool has_weights() const { return !weights_.empty(); }
+
+  [[nodiscard]] EdgeId degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {dsts_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+  [[nodiscard]] std::span<const Weight> weights(VertexId v) const {
+    return {weights_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  [[nodiscard]] std::span<const EdgeId> offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const VertexId> dsts() const { return dsts_; }
+  [[nodiscard]] std::span<const Weight> edge_weights() const {
+    return weights_;
+  }
+  [[nodiscard]] EdgeId edge_begin(VertexId v) const { return offsets_[v]; }
+  [[nodiscard]] EdgeId edge_end(VertexId v) const { return offsets_[v + 1]; }
+  [[nodiscard]] VertexId edge_dst(EdgeId e) const { return dsts_[e]; }
+  [[nodiscard]] Weight edge_weight(EdgeId e) const {
+    return weights_.empty() ? Weight{1} : weights_[e];
+  }
+
+  /// Reverse graph (weights carried over). O(V + E).
+  [[nodiscard]] Csr transpose() const;
+
+  /// Out-degree of every vertex.
+  [[nodiscard]] std::vector<EdgeId> out_degrees() const;
+
+  /// In-memory size in bytes (offsets + dsts + weights), i.e. what a GPU
+  /// would allocate to hold this graph.
+  [[nodiscard]] std::uint64_t bytes() const;
+
+ private:
+  std::vector<EdgeId> offsets_;    // size V+1
+  std::vector<VertexId> dsts_;     // size E
+  std::vector<Weight> weights_;    // size E or 0
+};
+
+/// Builds a Csr from an edge list. Edges are counting-sorted by source
+/// (stable), then each adjacency list is sorted by destination.
+/// `num_vertices` of 0 means infer as max endpoint + 1.
+/// When `dedup` is set, parallel edges collapse (keeping the minimum
+/// weight, the convention that preserves shortest-path results).
+[[nodiscard]] Csr build_csr(std::vector<Edge> edges,
+                            VertexId num_vertices = 0, bool weighted = false,
+                            bool dedup = true);
+
+/// Adds uniformly random integer weights in [lo, hi] to an unweighted
+/// graph (the paper adds randomized edge weights to all inputs).
+[[nodiscard]] Csr add_random_weights(const Csr& g, Weight lo, Weight hi,
+                                     std::uint64_t seed);
+
+/// True iff the underlying undirected graph is connected.
+[[nodiscard]] bool weakly_connected(const Csr& g);
+
+}  // namespace sg::graph

@@ -1,0 +1,168 @@
+#include "graph/datasets.hpp"
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace sg::graph::datasets {
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kSmall: return "small";
+    case Category::kMedium: return "medium";
+    case Category::kLarge: return "large";
+  }
+  return "?";
+}
+
+const std::vector<DatasetInfo>& registry() {
+  // Paper Table I values; edge_scale documents the size reduction of the
+  // analogue relative to the real input.
+  static const std::vector<DatasetInfo> datasets = {
+      {"rmat23", Category::kSmall, 8'300'000, 134'000'000, 35'000, 9'776, 3,
+       1.1, 134e6 / 262e3},
+      {"orkut", Category::kSmall, 3'100'000, 234'000'000, 33'313, 33'313, 6,
+       1.8, 234e6 / 420e3},
+      {"indochina04", Category::kSmall, 7'400'000, 194'000'000, 6'985,
+       256'425, 30, 1.6, 194e6 / 416e3},
+      {"twitter50", Category::kMedium, 51'000'000, 1'963'000'000, 779'958,
+       3'500'000, 12, 16.0, 1963e6 / 988e3},
+      {"friendster", Category::kMedium, 66'000'000, 1'806'000'000, 5'214,
+       5'214, 21, 28.0, 1806e6 / 1680e3},
+      {"uk07", Category::kMedium, 106'000'000, 3'739'000'000, 15'402,
+       975'418, 115, 29.0, 3739e6 / 1680e3},
+      {"clueweb12", Category::kLarge, 978'000'000, 42'574'000'000, 7'447,
+       75'000'000, 501, 325.0, 42574e6 / 3915e3},
+      {"uk14", Category::kLarge, 788'000'000, 47'615'000'000, 16'365,
+       8'600'000, 2498, 361.0, 47615e6 / 4200e3},
+      {"wdc14", Category::kLarge, 1'725'000'000, 64'423'000'000, 32'848,
+       46'000'000, 789, 493.0, 64423e6 / 5180e3},
+  };
+  return datasets;
+}
+
+const DatasetInfo& info(const std::string& name) {
+  for (const auto& d : registry()) {
+    if (d.name == name) return d;
+  }
+  throw std::out_of_range("datasets::info: unknown dataset '" + name + "'");
+}
+
+Csr make(const std::string& name, std::uint64_t seed) {
+  // Knob choices are documented in DESIGN.md: densities |E|/|V| match the
+  // paper; max-degree fractions, diameters (scaled), and symmetry follow
+  // each real input's character.
+  if (name == "rmat23") {
+    RmatParams p;
+    p.scale = 14;          // 16384 vertices
+    p.edge_factor = 16;    // ~262k edges, density 16 as in the paper
+    p.seed = seed;
+    return rmat(p);
+  }
+  SyntheticSpec s;
+  s.seed = seed;
+  if (name == "orkut") {
+    // Social network, symmetric, density 76, low diameter, equal max
+    // in/out degree.
+    s.vertices = 5'600;
+    s.edges = 210'000;  // doubled by symmetric => ~420k
+    s.zipf_out = s.zipf_in = 0.78;
+    s.symmetric = true;
+    s.communities = 1;
+  } else if (name == "indochina04") {
+    // Web crawl: density 26, big max-in-degree (3.5% of V), moderate
+    // diameter from a short community chain.
+    s.vertices = 16'000;
+    s.edges = 416'000;
+    s.zipf_out = 0.55;
+    s.zipf_in = 0.85;
+    s.hub_in_frac = 0.035;
+    s.communities = 12;
+  } else if (name == "twitter50") {
+    // Social: celebrity hub with out-degree 1.5% of V and in-degree hub
+    // 6.9% of V; low diameter.
+    s.vertices = 26'000;
+    s.edges = 988'000;
+    s.zipf_out = 0.50;
+    s.zipf_in = 0.55;
+    s.hub_out_frac = 0.0153;
+    s.hub_in_frac = 0.069;
+    s.communities = 4;
+  } else if (name == "friendster") {
+    // Social, symmetric, mild skew (max degree only 5214 in the paper),
+    // diameter ~21.
+    s.vertices = 60'000;
+    s.edges = 840'000;  // doubled => ~1.68M
+    s.zipf_out = s.zipf_in = 0.45;
+    s.symmetric = true;
+    s.communities = 8;
+  } else if (name == "uk07") {
+    // Web crawl: diameter 115 (scaled ~60), max in-degree ~0.9% of V.
+    s.vertices = 48'000;
+    s.edges = 1'680'000;
+    s.zipf_out = 0.55;
+    s.zipf_in = 0.85;
+    s.hub_in_frac = 0.0092;
+    s.communities = 40;
+    s.tail_length = 20;
+  } else if (name == "clueweb12") {
+    // Web crawl: huge max in-degree (7.7% of V) — the ALB-vs-TWC driver
+    // for pull-style pagerank; high diameter.
+    s.vertices = 90'000;
+    s.edges = 3'915'000;
+    s.zipf_out = 0.55;
+    s.zipf_in = 0.90;
+    s.hub_in_frac = 0.077;
+    s.communities = 70;
+    s.tail_length = 60;
+  } else if (name == "uk14") {
+    // Web crawl with the longest tail (paper diameter 2498, scaled
+    // ~400) — the input where BASP loses to BSP on bfs.
+    s.vertices = 70'000;
+    s.edges = 4'200'000;
+    s.zipf_out = 0.55;
+    s.zipf_in = 0.85;
+    s.hub_in_frac = 0.011;
+    s.communities = 90;
+    s.tail_length = 300;
+  } else if (name == "wdc14") {
+    // Largest input; diameter 789 (scaled ~180), max in-degree 2.7% of V.
+    s.vertices = 140'000;
+    s.edges = 5'180'000;
+    s.zipf_out = 0.55;
+    s.zipf_in = 0.88;
+    s.hub_in_frac = 0.027;
+    s.communities = 60;
+    s.tail_length = 100;
+  } else {
+    throw std::out_of_range("datasets::make: unknown dataset '" + name +
+                            "'");
+  }
+  return synthetic(s);
+}
+
+Csr make_weighted(const std::string& name, std::uint64_t seed) {
+  return add_random_weights(make(name, seed), 1, 100, seed ^ 0x9e3779b9ULL);
+}
+
+std::vector<std::string> names(Category c) {
+  std::vector<std::string> out;
+  for (const auto& d : registry()) {
+    if (d.category == c) out.push_back(d.name);
+  }
+  return out;
+}
+
+VertexId default_source(const Csr& g) {
+  VertexId best = 0;
+  EdgeId best_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > best_deg) {
+      best_deg = g.degree(v);
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace sg::graph::datasets

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/properties.hpp"
+
+namespace sg::graph::datasets {
+
+/// Size class, matching the paper's use of each input.
+enum class Category {
+  kSmall,   ///< single-host multi-GPU experiments (Tuxedo, <= 6 GPUs)
+  kMedium,  ///< multi-host experiments up to 64 GPUs
+  kLarge,   ///< 64-GPU breakdowns only
+};
+
+[[nodiscard]] const char* to_string(Category c);
+
+/// Registry entry: the paper's measured properties of the real input and
+/// the parameters of our scaled synthetic analogue.
+struct DatasetInfo {
+  std::string name;          ///< e.g. "uk14" (analogue of uk-2014)
+  Category category;
+  // Paper (Table I) values of the real dataset.
+  std::uint64_t paper_vertices;
+  std::uint64_t paper_edges;
+  std::uint64_t paper_max_dout;
+  std::uint64_t paper_max_din;
+  std::uint32_t paper_diameter;
+  double paper_size_gb;
+  // Analogue scale: paper_edges / (analogue edges), approximately.
+  double edge_scale;
+};
+
+/// All nine inputs in Table I order.
+[[nodiscard]] const std::vector<DatasetInfo>& registry();
+
+/// Info for one dataset; throws std::out_of_range for unknown names.
+[[nodiscard]] const DatasetInfo& info(const std::string& name);
+
+/// Builds the scaled synthetic analogue (unweighted). Deterministic for
+/// a fixed seed.
+[[nodiscard]] Csr make(const std::string& name, std::uint64_t seed = 42);
+
+/// Analogue with randomized edge weights in [1, 100], the paper's setup
+/// for sssp ("for all inputs, we add randomized edge-weights").
+[[nodiscard]] Csr make_weighted(const std::string& name,
+                                std::uint64_t seed = 42);
+
+/// Names of all datasets in a category.
+[[nodiscard]] std::vector<std::string> names(Category c);
+
+/// The bfs/sssp source: the vertex with the highest out-degree (paper
+/// section IV-C).
+[[nodiscard]] VertexId default_source(const Csr& g);
+
+}  // namespace sg::graph::datasets

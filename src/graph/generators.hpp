@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace sg::graph {
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.) with the
+/// standard Graph500 quadrant probabilities and +/-10% per-level noise.
+/// Produces 2^scale vertices and ~edge_factor * 2^scale edges (after
+/// dedup and self-loop removal the count can be slightly lower).
+struct RmatParams {
+  int scale = 14;
+  int edge_factor = 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] Csr rmat(const RmatParams& params);
+
+/// Knob-driven synthetic generator for the paper's real-world inputs.
+///
+/// Structural knobs and the phenomena they drive (see DESIGN.md):
+///  * zipf_out / zipf_in    - power-law degree skew (load imbalance).
+///  * hub_out_frac          - one vertex with out-degree = frac*V
+///                            (twitter-style celebrity; bfs/sssp source).
+///  * hub_in_frac           - one vertex with in-degree = frac*V
+///                            (web-crawl mega-page; drives the ALB-vs-TWC
+///                            gap on pull-style pagerank).
+///  * communities           - locality blocks arranged in a chain; most
+///                            edges stay local, a few cross to adjacent
+///                            blocks, raising the diameter to
+///                            O(communities).
+///  * tail_length           - an appended bidirectional path (web-crawl
+///                            long tail; drives BASP's redundant rounds).
+struct SyntheticSpec {
+  VertexId vertices = 1 << 14;
+  EdgeId edges = 1 << 18;
+  double zipf_out = 0.6;
+  double zipf_in = 0.6;
+  double hub_out_frac = 0.0;
+  double hub_in_frac = 0.0;
+  std::uint32_t communities = 1;
+  std::uint32_t tail_length = 0;
+  bool symmetric = false;  ///< add the reverse of every edge (social nets)
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] Csr synthetic(const SyntheticSpec& spec);
+
+// Small deterministic shapes for unit tests and examples.
+[[nodiscard]] Csr path_graph(VertexId n, bool bidirectional = true);
+[[nodiscard]] Csr cycle_graph(VertexId n);
+[[nodiscard]] Csr star_graph(VertexId leaves, bool out = true);
+[[nodiscard]] Csr complete_graph(VertexId n);
+[[nodiscard]] Csr grid_graph(VertexId rows, VertexId cols);
+[[nodiscard]] Csr erdos_renyi(VertexId n, double p, std::uint64_t seed);
+
+}  // namespace sg::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace sg::graph {
+
+/// Writes `g` as whitespace-separated "src dst [weight]" lines.
+void write_edge_list(const Csr& g, const std::filesystem::path& path);
+
+/// Reads an edge-list file (comments starting with '#' or '%' skipped).
+/// Weighted when a third column is present on the first data line.
+[[nodiscard]] Csr read_edge_list(const std::filesystem::path& path);
+
+/// Binary CSR container ("SGBG" magic, version 1, little-endian):
+/// offsets, destinations, and optional weights, written verbatim. This is
+/// the "partition once, load the in-memory representation directly"
+/// workflow the paper describes for production use.
+void write_binary(const Csr& g, const std::filesystem::path& path);
+[[nodiscard]] Csr read_binary(const std::filesystem::path& path);
+
+}  // namespace sg::graph

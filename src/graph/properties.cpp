@@ -1,0 +1,88 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace sg::graph {
+
+namespace {
+
+/// Undirected BFS; returns (farthest vertex, eccentricity).
+std::pair<VertexId, std::uint32_t> bfs_ecc(const Csr& g, const Csr& rev,
+                                           VertexId source) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> dist(n, 0xFFFFFFFFu);
+  std::vector<VertexId> frontier{source}, next;
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  VertexId farthest = source;
+  while (!frontier.empty()) {
+    next.clear();
+    for (VertexId v : frontier) {
+      auto relax = [&](VertexId u) {
+        if (dist[u] == 0xFFFFFFFFu) {
+          dist[u] = level + 1;
+          next.push_back(u);
+          farthest = u;
+        }
+      };
+      for (VertexId u : g.neighbors(v)) relax(u);
+      for (VertexId u : rev.neighbors(v)) relax(u);
+    }
+    if (!next.empty()) ++level;
+    std::swap(frontier, next);
+  }
+  return {farthest, level};
+}
+
+}  // namespace
+
+GraphProperties analyze(const Csr& g) {
+  GraphProperties p;
+  p.num_vertices = g.num_vertices();
+  p.num_edges = g.num_edges();
+  p.avg_degree = p.num_vertices == 0
+                     ? 0.0
+                     : static_cast<double>(p.num_edges) /
+                           static_cast<double>(p.num_vertices);
+  p.size_bytes = g.bytes();
+
+  const Csr rev = g.transpose();
+  VertexId max_out_v = 0;
+  for (VertexId v = 0; v < p.num_vertices; ++v) {
+    if (g.degree(v) > p.max_out_degree) {
+      p.max_out_degree = g.degree(v);
+      max_out_v = v;
+    }
+    p.max_in_degree = std::max(p.max_in_degree, rev.degree(v));
+  }
+
+  if (p.num_vertices > 0) {
+    const auto [far, ecc1] = bfs_ecc(g, rev, max_out_v);
+    const auto [far2, ecc2] = bfs_ecc(g, rev, far);
+    (void)far2;
+    p.approx_diameter = std::max(ecc1, ecc2);
+  }
+  return p;
+}
+
+std::string human_count(std::uint64_t x) {
+  char buf[32];
+  if (x >= 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.1fB",
+                  static_cast<double>(x) / 1e9);
+  } else if (x >= 1000ull * 1000) {
+    std::snprintf(buf, sizeof buf, "%.1fM",
+                  static_cast<double>(x) / 1e6);
+  } else if (x >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.1fK",
+                  static_cast<double>(x) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(x));
+  }
+  return buf;
+}
+
+}  // namespace sg::graph

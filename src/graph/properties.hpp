@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace sg::graph {
+
+/// Structural summary of a graph — the columns of the paper's Table I.
+struct GraphProperties {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  double avg_degree = 0.0;        ///< |E| / |V|
+  EdgeId max_out_degree = 0;
+  EdgeId max_in_degree = 0;
+  std::uint32_t approx_diameter = 0;
+  std::uint64_t size_bytes = 0;   ///< CSR footprint incl. weights
+};
+
+/// Computes degree statistics and an approximate diameter.
+///
+/// Diameter is estimated with the standard double-sweep heuristic on the
+/// underlying undirected graph: BFS from the max-out-degree vertex, then
+/// BFS again from the farthest vertex found; the second eccentricity is
+/// the estimate (a lower bound on the true diameter).
+[[nodiscard]] GraphProperties analyze(const Csr& g);
+
+/// "8.3M"-style human format used in Table I output.
+[[nodiscard]] std::string human_count(std::uint64_t x);
+
+}  // namespace sg::graph

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sg::graph {
+
+/// Global vertex identifier. All paper inputs (scaled) fit in 32 bits.
+using VertexId = std::uint32_t;
+/// Edge index / edge count type.
+using EdgeId = std::uint64_t;
+/// Edge weight (randomized integer weights, as in the paper's setup).
+using Weight = std::uint32_t;
+
+/// A directed, optionally weighted edge used during graph construction.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+
+}  // namespace sg::graph

@@ -1,0 +1,53 @@
+#include "graph/validation.hpp"
+
+namespace sg::graph {
+
+ValidationReport validate(const Csr& g, bool require_sorted,
+                          bool forbid_self_loops, bool forbid_duplicates) {
+  const VertexId n = g.num_vertices();
+  const auto offsets = g.offsets();
+  if (offsets.empty()) {
+    return ValidationReport::failure("offsets empty (need V+1 entries)");
+  }
+  if (offsets[0] != 0) {
+    return ValidationReport::failure("offsets[0] != 0");
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      return ValidationReport::failure(
+          "offsets not monotone at vertex " + std::to_string(v));
+    }
+  }
+  if (offsets[n] != g.dsts().size()) {
+    return ValidationReport::failure("offsets.back() != |dsts|");
+  }
+  if (g.has_weights() && g.edge_weights().size() != g.dsts().size()) {
+    return ValidationReport::failure("weights/dsts size mismatch");
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n) {
+        return ValidationReport::failure(
+            "destination out of range at vertex " + std::to_string(v));
+      }
+      if (forbid_self_loops && nbrs[i] == v) {
+        return ValidationReport::failure("self loop at vertex " +
+                                         std::to_string(v));
+      }
+      if (i > 0) {
+        if (require_sorted && nbrs[i] < nbrs[i - 1]) {
+          return ValidationReport::failure(
+              "adjacency not sorted at vertex " + std::to_string(v));
+        }
+        if (forbid_duplicates && nbrs[i] == nbrs[i - 1]) {
+          return ValidationReport::failure(
+              "duplicate edge at vertex " + std::to_string(v));
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace sg::graph

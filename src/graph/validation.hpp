@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace sg::graph {
+
+/// Result of structural validation; `ok()` or a human-readable reason.
+struct ValidationReport {
+  bool valid = true;
+  std::string reason;
+
+  [[nodiscard]] explicit operator bool() const { return valid; }
+
+  static ValidationReport failure(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// Checks the CSR's structural invariants:
+///  * offsets are monotone and sized V+1, with offsets[0] == 0;
+///  * every destination id is in range;
+///  * weights, when present, match the edge count;
+///  * adjacency lists are sorted by destination (the build_csr
+///    postcondition the binary loaders rely on);
+///  * optionally, no self loops and no duplicate edges.
+[[nodiscard]] ValidationReport validate(const Csr& g,
+                                        bool require_sorted = true,
+                                        bool forbid_self_loops = false,
+                                        bool forbid_duplicates = false);
+
+}  // namespace sg::graph

@@ -1,0 +1,44 @@
+#include "partition/cvc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sg::partition {
+
+CvcGrid::CvcGrid(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("CvcGrid: rows and cols must be positive");
+  }
+}
+
+CvcGrid CvcGrid::auto_shape(int devices) {
+  if (devices <= 0) {
+    throw std::invalid_argument("CvcGrid: need >= 1 device");
+  }
+  const int target = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(devices))));
+  for (int r = target; r <= devices; ++r) {
+    if (devices % r == 0) return CvcGrid{r, devices / r};
+  }
+  return CvcGrid{devices, 1};
+}
+
+std::vector<int> CvcGrid::row_partners(int device) const {
+  std::vector<int> out;
+  const int r = row_of(device);
+  for (int c = 0; c < cols_; ++c) {
+    if (at(r, c) != device) out.push_back(at(r, c));
+  }
+  return out;
+}
+
+std::vector<int> CvcGrid::col_partners(int device) const {
+  std::vector<int> out;
+  const int c = col_of(device);
+  for (int r = 0; r < rows_; ++r) {
+    if (at(r, c) != device) out.push_back(at(r, c));
+  }
+  return out;
+}
+
+}  // namespace sg::partition

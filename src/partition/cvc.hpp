@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+namespace sg::partition {
+
+/// Cartesian vertex-cut device grid.
+///
+/// Devices 0..D-1 occupy an r x c grid in row-major order (device d sits
+/// at row d/c, column d%c). An edge whose source-master is device i and
+/// destination-master is device j is assigned to the device at grid
+/// position (row(i), col(j)), i.e. device (i/c)*c + (j%c).
+///
+/// Consequences used by the communication substrate:
+///  * mirrors that carry OUT-edges of a vertex are confined to the grid
+///    ROW of its master, so broadcasts only need row partners;
+///  * mirrors that carry IN-edges are confined to the grid COLUMN, so
+///    reductions only need column partners.
+class CvcGrid {
+ public:
+  CvcGrid() = default;
+  CvcGrid(int rows, int cols);
+
+  /// Near-square factorization with rows >= cols, preferring the
+  /// smallest divisor of `devices` at or above sqrt(devices) for the
+  /// row count (8 devices -> 4x2, as in the paper's Figure 2).
+  static CvcGrid auto_shape(int devices);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int devices() const { return rows_ * cols_; }
+
+  [[nodiscard]] int row_of(int device) const { return device / cols_; }
+  [[nodiscard]] int col_of(int device) const { return device % cols_; }
+  [[nodiscard]] int at(int row, int col) const { return row * cols_ + col; }
+
+  /// Device owning edge (src-master block i, dst-master block j).
+  [[nodiscard]] int edge_owner(int src_master, int dst_master) const {
+    return at(row_of(src_master), col_of(dst_master));
+  }
+
+  /// All devices in `device`'s grid row / column, excluding itself.
+  [[nodiscard]] std::vector<int> row_partners(int device) const;
+  [[nodiscard]] std::vector<int> col_partners(int device) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+};
+
+}  // namespace sg::partition

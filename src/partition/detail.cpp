@@ -1,0 +1,217 @@
+#include "partition/detail.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <numeric>
+
+#include "sim/rng.hpp"
+
+namespace sg::partition::detail {
+
+using graph::EdgeId;
+using graph::VertexId;
+using graph::Weight;
+
+std::uint64_t mix_hash(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::vector<int> balanced_ranges(std::span<const EdgeId> weight,
+                                 int parts) {
+  const std::size_t n = weight.size();
+  std::vector<int> owner(n, parts - 1);
+  long double total = 0;
+  for (EdgeId w : weight) total += static_cast<long double>(w) + 1;
+  const long double target = total / parts;
+  long double acc = 0;
+  int current = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    owner[v] = current;
+    acc += static_cast<long double>(weight[v]) + 1;
+    if (acc >= target * (current + 1) && current + 1 < parts) ++current;
+  }
+  return owner;
+}
+
+std::vector<int> assign_masters_streamable(Policy policy,
+                                           std::span<const EdgeId> out_deg,
+                                           std::span<const EdgeId> in_deg,
+                                           int devices, std::uint64_t seed) {
+  const auto n = static_cast<VertexId>(out_deg.size());
+  switch (policy) {
+    case Policy::OEC:
+    case Policy::CVC:
+      // Rows of the adjacency matrix (out-edges), blocked (Figure 2).
+      return balanced_ranges(out_deg, devices);
+    case Policy::IEC:
+      return balanced_ranges(in_deg, devices);
+    case Policy::HVC: {
+      std::vector<int> owner(n);
+      for (VertexId v = 0; v < n; ++v) {
+        owner[v] = static_cast<int>(mix_hash(v ^ seed) %
+                                    static_cast<std::uint64_t>(devices));
+      }
+      return owner;
+    }
+    case Policy::RANDOM: {
+      sim::Rng rng{seed};
+      std::vector<int> owner(n);
+      for (VertexId v = 0; v < n; ++v) {
+        owner[v] = static_cast<int>(rng.bounded(devices));
+      }
+      return owner;
+    }
+    case Policy::GREEDY:
+      throw std::invalid_argument(
+          "GREEDY is not streamable (needs graph random access)");
+  }
+  throw std::invalid_argument("unknown policy");
+}
+
+int edge_owner(Policy policy, VertexId u, VertexId v,
+               const std::vector<int>& master_of,
+               std::span<const EdgeId> in_deg, EdgeId hvc_threshold,
+               const CvcGrid& grid) {
+  switch (policy) {
+    case Policy::OEC:
+    case Policy::RANDOM:
+    case Policy::GREEDY:
+      return master_of[u];
+    case Policy::IEC:
+      return master_of[v];
+    case Policy::HVC:
+      // PowerLyra hybrid: low-in-degree destinations edge-cut at the
+      // destination; high-in-degree destinations scatter by source.
+      return in_deg[v] > hvc_threshold ? master_of[u] : master_of[v];
+    case Policy::CVC:
+      return grid.edge_owner(master_of[u], master_of[v]);
+  }
+  return 0;
+}
+
+EdgeId hvc_threshold_for(double factor, EdgeId edges, VertexId vertices) {
+  return static_cast<EdgeId>(factor * (static_cast<double>(edges) /
+                                       static_cast<double>(vertices)));
+}
+
+LocalGraph build_local_graph(int device,
+                             const std::vector<VertexId>& masters,
+                             const std::vector<RawEdge>& edges,
+                             std::span<const EdgeId> global_out_deg,
+                             std::span<const EdgeId> global_in_deg,
+                             bool weighted) {
+  LocalGraph lg;
+  lg.device = device;
+
+  // Local id space: masters first, then mirrors sorted by global id.
+  lg.num_masters = static_cast<VertexId>(masters.size());
+  lg.l2g = masters;
+  lg.g2l.reserve(masters.size() * 2);
+  for (VertexId i = 0; i < lg.num_masters; ++i) {
+    lg.g2l.emplace(masters[i], i);
+  }
+  std::vector<VertexId> mirrors;
+  for (const RawEdge& e : edges) {
+    if (!lg.g2l.contains(e.src)) {
+      lg.g2l.emplace(e.src, 0);  // placeholder; fixed below
+      mirrors.push_back(e.src);
+    }
+    if (!lg.g2l.contains(e.dst)) {
+      lg.g2l.emplace(e.dst, 0);
+      mirrors.push_back(e.dst);
+    }
+  }
+  std::sort(mirrors.begin(), mirrors.end());
+  for (VertexId i = 0; i < mirrors.size(); ++i) {
+    lg.g2l[mirrors[i]] = lg.num_masters + i;
+  }
+  lg.l2g.insert(lg.l2g.end(), mirrors.begin(), mirrors.end());
+  lg.num_local = static_cast<VertexId>(lg.l2g.size());
+
+  // Out-CSR over local ids.
+  lg.out_offsets.assign(lg.num_local + 1, 0);
+  for (const RawEdge& e : edges) ++lg.out_offsets[lg.g2l[e.src] + 1];
+  std::partial_sum(lg.out_offsets.begin(), lg.out_offsets.end(),
+                   lg.out_offsets.begin());
+  lg.out_dsts.resize(edges.size());
+  if (weighted) lg.out_weights.resize(edges.size());
+  {
+    std::vector<EdgeId> cursor(lg.out_offsets.begin(),
+                               lg.out_offsets.end() - 1);
+    for (const RawEdge& e : edges) {
+      const EdgeId slot = cursor[lg.g2l[e.src]]++;
+      lg.out_dsts[slot] = lg.g2l[e.dst];
+      if (weighted) lg.out_weights[slot] = e.w;
+    }
+  }
+
+  // In-CSR: local inversion of the out-CSR.
+  lg.in_offsets.assign(lg.num_local + 1, 0);
+  for (VertexId dst : lg.out_dsts) ++lg.in_offsets[dst + 1];
+  std::partial_sum(lg.in_offsets.begin(), lg.in_offsets.end(),
+                   lg.in_offsets.begin());
+  lg.in_srcs.resize(edges.size());
+  if (weighted) lg.in_weights.resize(edges.size());
+  {
+    std::vector<EdgeId> cursor(lg.in_offsets.begin(),
+                               lg.in_offsets.end() - 1);
+    for (VertexId u = 0; u < lg.num_local; ++u) {
+      for (EdgeId e = lg.out_offsets[u]; e < lg.out_offsets[u + 1]; ++e) {
+        const EdgeId slot = cursor[lg.out_dsts[e]]++;
+        lg.in_srcs[slot] = u;
+        if (weighted) lg.in_weights[slot] = lg.out_weights[e];
+      }
+    }
+  }
+
+  lg.vertex_flags.assign(lg.num_local, 0);
+  for (VertexId v = 0; v < lg.num_local; ++v) {
+    if (lg.out_degree(v) > 0) lg.vertex_flags[v] |= kHasOutEdges;
+    if (lg.in_degree(v) > 0) lg.vertex_flags[v] |= kHasInEdges;
+  }
+  lg.global_out_degree.resize(lg.num_local);
+  lg.global_in_degree.resize(lg.num_local);
+  for (VertexId v = 0; v < lg.num_local; ++v) {
+    lg.global_out_degree[v] = static_cast<VertexId>(global_out_deg[lg.l2g[v]]);
+    lg.global_in_degree[v] = static_cast<VertexId>(global_in_deg[lg.l2g[v]]);
+  }
+  return lg;
+}
+
+PartitionStats compute_stats(const std::vector<LocalGraph>& parts,
+                             VertexId global_vertices,
+                             EdgeId global_edges) {
+  PartitionStats st;
+  const auto devices = static_cast<int>(parts.size());
+  st.edges_per_device.resize(devices);
+  st.bytes_per_device.resize(devices);
+  std::uint64_t total_proxies = 0;
+  EdgeId max_edges = 0;
+  for (int d = 0; d < devices; ++d) {
+    const LocalGraph& lg = parts[d];
+    st.edges_per_device[d] = lg.num_out_edges();
+    st.bytes_per_device[d] = lg.bytes();
+    st.total_bytes += st.bytes_per_device[d];
+    st.max_bytes = std::max(st.max_bytes, st.bytes_per_device[d]);
+    total_proxies += lg.num_local;
+    max_edges = std::max(max_edges, st.edges_per_device[d]);
+  }
+  st.replication_factor = static_cast<double>(total_proxies) /
+                          static_cast<double>(global_vertices);
+  const double mean_edges =
+      static_cast<double>(global_edges) / static_cast<double>(devices);
+  st.static_balance =
+      mean_edges > 0 ? static_cast<double>(max_edges) / mean_edges : 1.0;
+  const double mean_bytes =
+      static_cast<double>(st.total_bytes) / static_cast<double>(devices);
+  st.memory_balance =
+      mean_bytes > 0 ? static_cast<double>(st.max_bytes) / mean_bytes : 1.0;
+  return st;
+}
+
+}  // namespace sg::partition::detail

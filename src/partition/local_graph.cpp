@@ -1,0 +1,23 @@
+#include "partition/local_graph.hpp"
+
+namespace sg::partition {
+
+std::uint64_t LocalGraph::bytes() const {
+  // What the GPU holds: both CSR directions, the local->global table,
+  // the per-vertex flags, and the global out-degree array. The g2l map
+  // lives host-side (Gluon memoizes translation, Section III-D2).
+  std::uint64_t b = 0;
+  b += out_offsets.size() * sizeof(graph::EdgeId);
+  b += out_dsts.size() * sizeof(graph::VertexId);
+  b += out_weights.size() * sizeof(graph::Weight);
+  b += in_offsets.size() * sizeof(graph::EdgeId);
+  b += in_srcs.size() * sizeof(graph::VertexId);
+  b += in_weights.size() * sizeof(graph::Weight);
+  b += l2g.size() * sizeof(graph::VertexId);
+  b += vertex_flags.size() * sizeof(std::uint8_t);
+  b += global_out_degree.size() * sizeof(graph::VertexId);
+  b += global_in_degree.size() * sizeof(graph::VertexId);
+  return b;
+}
+
+}  // namespace sg::partition

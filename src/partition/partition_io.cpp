@@ -1,0 +1,195 @@
+#include "partition/partition_io.hpp"
+
+#include <array>
+#include <fstream>
+#include <stdexcept>
+
+namespace sg::partition {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'S', 'G', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("load_partition: truncated file");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ofstream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::ifstream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw std::runtime_error("load_partition: truncated array");
+  return v;
+}
+
+void write_local_graph(const LocalGraph& lg,
+                       const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_partition: cannot open " + path.string());
+  }
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod(out, lg.device);
+  write_pod(out, lg.num_masters);
+  write_pod(out, lg.num_local);
+  write_vec(out, lg.out_offsets);
+  write_vec(out, lg.out_dsts);
+  write_vec(out, lg.out_weights);
+  write_vec(out, lg.in_offsets);
+  write_vec(out, lg.in_srcs);
+  write_vec(out, lg.in_weights);
+  write_vec(out, lg.l2g);
+  write_vec(out, lg.vertex_flags);
+  write_vec(out, lg.global_out_degree);
+  write_vec(out, lg.global_in_degree);
+}
+
+LocalGraph read_local_graph(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_partition: cannot open " + path.string());
+  }
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_partition: bad magic in " +
+                             path.string());
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_partition: unsupported version");
+  }
+  LocalGraph lg;
+  lg.device = read_pod<int>(in);
+  lg.num_masters = read_pod<graph::VertexId>(in);
+  lg.num_local = read_pod<graph::VertexId>(in);
+  lg.out_offsets = read_vec<graph::EdgeId>(in);
+  lg.out_dsts = read_vec<graph::VertexId>(in);
+  lg.out_weights = read_vec<graph::Weight>(in);
+  lg.in_offsets = read_vec<graph::EdgeId>(in);
+  lg.in_srcs = read_vec<graph::VertexId>(in);
+  lg.in_weights = read_vec<graph::Weight>(in);
+  lg.l2g = read_vec<graph::VertexId>(in);
+  lg.vertex_flags = read_vec<std::uint8_t>(in);
+  lg.global_out_degree = read_vec<graph::VertexId>(in);
+  lg.global_in_degree = read_vec<graph::VertexId>(in);
+  // The host-side translation map is rebuilt rather than stored.
+  lg.g2l.reserve(lg.l2g.size() * 2);
+  for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+    lg.g2l.emplace(lg.l2g[v], v);
+  }
+  return lg;
+}
+
+}  // namespace
+
+void save_partition(const DistGraph& dg, const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / "manifest.sgp", std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_partition: cannot open manifest in " +
+                             dir.string());
+  }
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(dg.options().policy));
+  write_pod(out, dg.options().num_devices);
+  write_pod(out, dg.options().grid_rows);
+  write_pod(out, dg.options().grid_cols);
+  write_pod(out, dg.options().hvc_threshold_factor);
+  write_pod(out, dg.options().seed);
+  write_pod(out, dg.global_vertices());
+  write_pod(out, dg.global_edges());
+  write_pod(out, static_cast<std::uint8_t>(dg.weighted() ? 1 : 0));
+  write_pod(out, dg.grid().rows());
+  write_pod(out, dg.grid().cols());
+  write_vec(out, dg.master_directory());
+  // Stats (so a loaded partition reports the same quality numbers).
+  write_pod(out, dg.stats().replication_factor);
+  write_pod(out, dg.stats().static_balance);
+  write_pod(out, dg.stats().memory_balance);
+  write_pod(out, dg.stats().max_bytes);
+  write_pod(out, dg.stats().total_bytes);
+  write_vec(out, dg.stats().edges_per_device);
+  write_vec(out, dg.stats().bytes_per_device);
+
+  for (int d = 0; d < dg.num_devices(); ++d) {
+    write_local_graph(dg.part(d),
+                      dir / ("part_" + std::to_string(d) + ".sgp"));
+  }
+}
+
+DistGraph load_partition(const std::filesystem::path& dir) {
+  std::ifstream in(dir / "manifest.sgp", std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_partition: cannot open manifest in " +
+                             dir.string());
+  }
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_partition: bad manifest magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_partition: unsupported version");
+  }
+  PartitionOptions opts;
+  opts.policy = static_cast<Policy>(read_pod<std::uint32_t>(in));
+  opts.num_devices = read_pod<int>(in);
+  opts.grid_rows = read_pod<int>(in);
+  opts.grid_cols = read_pod<int>(in);
+  opts.hvc_threshold_factor = read_pod<double>(in);
+  opts.seed = read_pod<std::uint64_t>(in);
+  const auto global_vertices = read_pod<graph::VertexId>(in);
+  const auto global_edges = read_pod<graph::EdgeId>(in);
+  const bool weighted = read_pod<std::uint8_t>(in) != 0;
+  const int grid_rows = read_pod<int>(in);
+  const int grid_cols = read_pod<int>(in);
+  auto master_of = read_vec<int>(in);
+
+  PartitionStats stats;
+  stats.replication_factor = read_pod<double>(in);
+  stats.static_balance = read_pod<double>(in);
+  stats.memory_balance = read_pod<double>(in);
+  stats.max_bytes = read_pod<std::uint64_t>(in);
+  stats.total_bytes = read_pod<std::uint64_t>(in);
+  stats.edges_per_device = read_vec<graph::EdgeId>(in);
+  stats.bytes_per_device = read_vec<std::uint64_t>(in);
+
+  std::vector<LocalGraph> parts;
+  parts.reserve(static_cast<std::size_t>(opts.num_devices));
+  for (int d = 0; d < opts.num_devices; ++d) {
+    parts.push_back(
+        read_local_graph(dir / ("part_" + std::to_string(d) + ".sgp")));
+    if (parts.back().device != d) {
+      throw std::runtime_error("load_partition: part file device mismatch");
+    }
+  }
+  const CvcGrid grid = grid_rows > 0 && grid_cols > 0
+                           ? CvcGrid{grid_rows, grid_cols}
+                           : CvcGrid{};
+  return DistGraph::assemble(std::move(parts), std::move(master_of),
+                             global_vertices, global_edges, weighted, opts,
+                             grid, std::move(stats));
+}
+
+}  // namespace sg::partition

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <filesystem>
+
+#include "partition/dist_graph.hpp"
+
+namespace sg::partition {
+
+/// On-disk partition store — the production workflow the paper
+/// describes (Section IV footnote): "graphs can be partitioned once,
+/// and in-memory representations of the partitions can be written to
+/// disk. Applications can then load these partitions directly."
+///
+/// Layout under `dir`:
+///   manifest.sgp   - global metadata (policy, device count, sizes,
+///                    CVC grid, master directory)
+///   part_<d>.sgp   - one LocalGraph per device, written verbatim
+///
+/// Loading reconstructs a DistGraph bit-identical to the one stored
+/// (including partition statistics), so a loaded partition can be used
+/// with the communication substrate and executors directly.
+void save_partition(const DistGraph& dg, const std::filesystem::path& dir);
+
+[[nodiscard]] DistGraph load_partition(const std::filesystem::path& dir);
+
+}  // namespace sg::partition

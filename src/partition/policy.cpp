@@ -1,0 +1,29 @@
+#include "partition/policy.hpp"
+
+#include <stdexcept>
+
+namespace sg::partition {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::OEC: return "OEC";
+    case Policy::IEC: return "IEC";
+    case Policy::HVC: return "HVC";
+    case Policy::CVC: return "CVC";
+    case Policy::RANDOM: return "RANDOM";
+    case Policy::GREEDY: return "GREEDY";
+  }
+  return "?";
+}
+
+Policy policy_from_string(const std::string& name) {
+  if (name == "OEC" || name == "oec") return Policy::OEC;
+  if (name == "IEC" || name == "iec") return Policy::IEC;
+  if (name == "HVC" || name == "hvc") return Policy::HVC;
+  if (name == "CVC" || name == "cvc") return Policy::CVC;
+  if (name == "RANDOM" || name == "random") return Policy::RANDOM;
+  if (name == "GREEDY" || name == "greedy") return Policy::GREEDY;
+  throw std::invalid_argument("unknown partitioning policy: " + name);
+}
+
+}  // namespace sg::partition

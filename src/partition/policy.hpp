@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+namespace sg::partition {
+
+/// Graph-partitioning policies studied in the paper (Section III-C).
+///
+///  * OEC    - edge-balanced outgoing edge-cut: all outgoing edges of a
+///             vertex live with its master (D-IrGL).
+///  * IEC    - edge-balanced incoming edge-cut: all incoming edges live
+///             with the master (D-IrGL and Lux's only policy).
+///  * HVC    - hybrid vertex-cut (PowerLyra): low-in-degree vertices are
+///             edge-cut on the destination; high-in-degree destinations
+///             have their in-edges scattered by source.
+///  * CVC    - Cartesian vertex-cut: 2D blocked/cyclic cut of the
+///             adjacency matrix; mirrors with out-edges share a grid row
+///             with their master, mirrors with in-edges a grid column.
+///  * RANDOM - random vertex assignment with outgoing edges at the owner
+///             (Gunrock's default partitioner).
+///  * GREEDY - BFS-grown locality-aware edge-cut (stand-in for the METIS
+///             partitioning Groute uses).
+enum class Policy { OEC, IEC, HVC, CVC, RANDOM, GREEDY };
+
+[[nodiscard]] const char* to_string(Policy p);
+[[nodiscard]] Policy policy_from_string(const std::string& name);
+
+}  // namespace sg::partition

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/sim_time.hpp"
+
+namespace sg::sim {
+
+/// Calibration constants for the cluster cost model.
+///
+/// Base values are taken from the paper's hardware (Bridges: NVIDIA Tesla
+/// P100 over PCIe 3.0 x16, hosts connected by 100 Gb/s Intel Omni-Path)
+/// with throughputs typical of graph workloads on that generation:
+///
+///   * P100 data-driven edge-relaxation throughput  ~2 GTEPS
+///   * PCIe 3.0 x16 effective bandwidth             ~12 GB/s, ~10 us latency
+///   * Omni-Path effective bandwidth                ~11 GB/s, ~3 us latency
+///   * Kernel launch overhead                       ~6 us
+///
+/// Because our dataset analogues are scaled down ~1000x in edges, fixed
+/// per-message/per-kernel latencies would dominate and distort the
+/// compute-vs-bandwidth balance the paper reports. `scaled(k)` therefore
+/// divides all *fixed* latencies by the dataset scale factor k, keeping
+/// the latency:bandwidth:compute ratios of the full-size system.
+struct CostParams {
+  // Compute.
+  double edge_throughput = 2.0e9;   ///< relaxed edges / s, balanced kernel
+  double vertex_overhead = 2.5e-10; ///< extra seconds per active vertex
+  SimTime kernel_launch = SimTime::micros(6.0);
+  SimTime alb_inspection = SimTime::micros(3.0);  ///< ALB's per-kernel check
+  double alb_split_tax = 0.05;  ///< ALB inter-block split efficiency loss
+
+  // Device memory engine (extraction / apply of sync buffers).
+  double device_mem_bw = 500.0e9;   ///< bytes / s usable HBM2 bandwidth
+  double scan_throughput = 20.0e9;  ///< bitvector prefix-scan entries / s
+
+  // Device <-> host (PCIe 3.0 x16). Effective bandwidth for the many
+  // small scattered sync buffers is well below the 12 GB/s peak (the
+  // P100 pairs also share a host PCIe switch with the NIC).
+  double pcie_bw = 5.0e9;           ///< bytes / s
+  SimTime pcie_latency = SimTime::micros(10.0);
+
+  // Host <-> host (Omni-Path), per-NIC, shared by that host's GPUs.
+  // Effective per-GPU MPI bandwidth, not line rate.
+  double net_bw = 5.0e9;            ///< bytes / s
+  SimTime net_latency = SimTime::micros(3.0);
+
+  // Host-internal staging copy (same-host GPU pairs route via DRAM).
+  double host_mem_bw = 30.0e9;      ///< bytes / s
+
+  /// Fixed per-operation software overhead on the host per message
+  /// (MPI envelope, progress engine, unpack kernel launch); dominates
+  /// small-message rounds (paper Section V-B3).
+  SimTime per_message_overhead = SimTime::micros(10.0);
+
+  /// NVIDIA GPUDirect (paper Section VII's first proposed improvement):
+  /// peer-to-peer PCIe for same-host GPU pairs and RDMA for cross-host
+  /// transfers, removing the host-staging hops entirely. Off by default
+  /// (no framework in the study used it).
+  bool gpudirect = false;
+
+  /// Host-side runtime task-mapping overhead per device per round,
+  /// charged only when EngineConfig::charge_runtime_overhead is set.
+  /// Models Lux's Legion runtime, whose centralized dynamic mapping
+  /// makes per-round cost grow with the device count — the reason Lux
+  /// stops scaling past ~4 GPUs and becomes wait-dominated at 8+ hosts
+  /// (paper Section V-B1).
+  SimTime runtime_task_overhead = SimTime::millisec(40.0);
+
+  /// Returns a copy with all fixed latencies divided by `k` (see above).
+  [[nodiscard]] CostParams scaled(double k) const {
+    CostParams p = *this;
+    p.kernel_launch = SimTime{kernel_launch.seconds() / k};
+    p.alb_inspection = SimTime{alb_inspection.seconds() / k};
+    p.pcie_latency = SimTime{pcie_latency.seconds() / k};
+    p.net_latency = SimTime{net_latency.seconds() / k};
+    p.per_message_overhead = SimTime{per_message_overhead.seconds() / k};
+    p.runtime_task_overhead = SimTime{runtime_task_overhead.seconds() / k};
+    return p;
+  }
+
+  /// Default parameters for the standard dataset scale (~1000x reduced).
+  ///
+  /// Data-proportional terms scale with the dataset, but per-message
+  /// software costs (MPI envelope, progress engine, unpack launch) are
+  /// size-independent on the real system — scaling them fully would
+  /// erase the partner-count effects the paper reports (CVC's fewer
+  /// communication partners, the latency-bound small-message regime of
+  /// Section V-B3). They are therefore scaled by only 100x.
+  [[nodiscard]] static CostParams for_scaled_datasets() {
+    CostParams p = CostParams{}.scaled(1000.0);
+    const CostParams base{};
+    p.per_message_overhead =
+        SimTime{base.per_message_overhead.seconds() / 100.0};
+    p.net_latency = SimTime{base.net_latency.seconds() / 100.0};
+    p.pcie_latency = SimTime{base.pcie_latency.seconds() / 100.0};
+    return p;
+  }
+};
+
+}  // namespace sg::sim

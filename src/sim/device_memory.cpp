@@ -1,0 +1,52 @@
+#include "sim/device_memory.hpp"
+
+#include <algorithm>
+
+namespace sg::sim {
+
+void DeviceMemory::raise(std::uint64_t bytes) {
+  if (in_use_ + bytes > capacity_) {
+    throw OutOfDeviceMemory(device_, bytes, in_use_, capacity_);
+  }
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+}
+
+void DeviceMemory::allocate(const std::string& tag, std::uint64_t bytes) {
+  if (static_pool_ > 0) {
+    // Carve out of the static pool; usage was charged at reserve time.
+    if (pool_used_ + bytes > static_pool_) {
+      throw OutOfDeviceMemory(device_, bytes, pool_used_, static_pool_);
+    }
+    pool_used_ += bytes;
+  } else {
+    raise(bytes);
+  }
+  tags_[tag] += bytes;
+}
+
+void DeviceMemory::free(const std::string& tag) {
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) return;
+  if (static_pool_ > 0) {
+    pool_used_ -= std::min(pool_used_, it->second);
+  } else {
+    in_use_ -= std::min(in_use_, it->second);
+  }
+  tags_.erase(it);
+}
+
+void DeviceMemory::reserve_static(std::uint64_t bytes) {
+  if (static_pool_ > 0) {
+    throw std::logic_error("DeviceMemory: static pool already reserved");
+  }
+  raise(bytes);
+  static_pool_ = bytes;
+}
+
+std::uint64_t DeviceMemory::usage(const std::string& tag) const {
+  auto it = tags_.find(tag);
+  return it == tags_.end() ? 0 : it->second;
+}
+
+}  // namespace sg::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace sg::sim {
+
+/// Thrown when a simulated allocation exceeds device capacity.
+///
+/// Benchmarks catch this and report the configuration as a failed run —
+/// the paper's "missing points ... failed due to memory limits".
+class OutOfDeviceMemory : public std::runtime_error {
+ public:
+  OutOfDeviceMemory(int device, std::uint64_t requested,
+                    std::uint64_t in_use, std::uint64_t capacity)
+      : std::runtime_error(
+            "device " + std::to_string(device) + ": allocation of " +
+            std::to_string(requested) + " B exceeds capacity (" +
+            std::to_string(in_use) + " B in use of " +
+            std::to_string(capacity) + " B)"),
+        device_(device),
+        requested_(requested),
+        in_use_(in_use),
+        capacity_(capacity) {}
+
+  [[nodiscard]] int device() const { return device_; }
+  [[nodiscard]] std::uint64_t requested() const { return requested_; }
+  [[nodiscard]] std::uint64_t in_use() const { return in_use_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  int device_;
+  std::uint64_t requested_;
+  std::uint64_t in_use_;
+  std::uint64_t capacity_;
+};
+
+/// Accounting for one simulated GPU's global memory.
+///
+/// Every buffer the engine conceptually places on a GPU (local CSR,
+/// label arrays, worklists, communication buffers) is registered here by
+/// tag. Exceeding capacity throws OutOfDeviceMemory. `reserve_static`
+/// models Lux's up-front fixed pool: the pool counts fully toward usage
+/// regardless of what is carved out of it (Table III).
+class DeviceMemory {
+ public:
+  DeviceMemory(int device, std::uint64_t capacity_bytes)
+      : device_(device), capacity_(capacity_bytes) {}
+
+  /// Allocates `bytes` under `tag` (accumulating if the tag exists).
+  void allocate(const std::string& tag, std::uint64_t bytes);
+
+  /// Frees the named allocation entirely.
+  void free(const std::string& tag);
+
+  /// Lux-style static pool: claims `bytes` immediately; later allocate()
+  /// calls draw from the pool instead of raising usage, but OOM if the
+  /// pool itself is exceeded.
+  void reserve_static(std::uint64_t bytes);
+
+  [[nodiscard]] bool has_static_pool() const { return static_pool_ > 0; }
+  [[nodiscard]] std::uint64_t in_use() const { return in_use_; }
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] int device() const { return device_; }
+
+  /// Bytes currently attributed to `tag` (0 when absent).
+  [[nodiscard]] std::uint64_t usage(const std::string& tag) const;
+
+ private:
+  void raise(std::uint64_t bytes);
+
+  int device_;
+  std::uint64_t capacity_;
+  std::uint64_t in_use_ = 0;
+  std::uint64_t peak_ = 0;
+  std::uint64_t static_pool_ = 0;
+  std::uint64_t pool_used_ = 0;
+  std::unordered_map<std::string, std::uint64_t> tags_;
+};
+
+}  // namespace sg::sim

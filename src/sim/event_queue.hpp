@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace sg::sim {
+
+/// Discrete-event scheduler keyed on simulated time.
+///
+/// Ties are broken by insertion sequence number so that simulations are
+/// fully deterministic regardless of heap implementation details. Used by
+/// the BASP executor to interleave per-device local rounds and message
+/// arrivals in simulated-time order.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules `cb` to fire at absolute simulated time `when`.
+  void schedule(SimTime when, Callback cb) {
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; only valid when !empty().
+  [[nodiscard]] SimTime next_time() const { return heap_.top().when; }
+
+  /// Pops and runs the earliest event; returns its firing time.
+  SimTime run_next() {
+    // std::priority_queue::top returns const&; the event must be moved
+    // out before pop, so we const_cast the (logically owned) top slot.
+    auto& top = const_cast<Event&>(heap_.top());
+    const SimTime when = top.when;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    now_ = when;
+    cb(when);
+    return when;
+  }
+
+  /// Runs events until the queue drains; returns the last firing time.
+  SimTime run_to_completion() {
+    SimTime last = now_;
+    while (!heap_.empty()) last = run_next();
+    return last;
+  }
+
+  /// Current simulated time (time of the last event run).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return b.when < a.when;
+      return b.seq < a.seq;  // earlier sequence first on ties
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = SimTime::zero();
+};
+
+}  // namespace sg::sim

@@ -1,0 +1,61 @@
+#include "sim/gpu_cost_model.hpp"
+
+namespace sg::sim {
+
+const char* to_string(Balancer b) {
+  switch (b) {
+    case Balancer::TWC: return "TWC";
+    case Balancer::ALB: return "ALB";
+    case Balancer::LB: return "LB";
+  }
+  return "?";
+}
+
+SimTime GpuCostModel::kernel_time(const KernelSchedule& sched,
+                                  Balancer balancer) const {
+  if (sched.total_edges == 0 && sched.active_vertices == 0) {
+    return SimTime::zero();
+  }
+  // Per-block edge throughput: the device's aggregate throughput divided
+  // evenly among resident thread blocks. The kernel finishes when the
+  // heaviest block finishes.
+  const double blocks = static_cast<double>(spec_->thread_blocks);
+  double per_block_throughput = params_->edge_throughput / blocks;
+  if (balancer == Balancer::LB) {
+    // Lux's scheduler pays a small efficiency tax on low-degree vertices
+    // (edges of every vertex are strided across a whole block, idling
+    // most threads on low-degree vertices).
+    per_block_throughput *= 0.7;
+  }
+  double seconds =
+      static_cast<double>(sched.max_block_edges) / per_block_throughput;
+  seconds +=
+      static_cast<double>(sched.active_vertices) * params_->vertex_overhead;
+  SimTime t = SimTime{seconds} + params_->kernel_launch;
+  if (balancer == Balancer::ALB) {
+    t += params_->alb_inspection;
+    if (sched.alb_split) {
+      // Splitting a vertex across blocks costs extra coordination.
+      t += SimTime{static_cast<double>(sched.total_edges) *
+                   params_->alb_split_tax / params_->edge_throughput};
+    }
+  }
+  return t;
+}
+
+SimTime GpuCostModel::extract_updates_time(std::uint64_t tracked_entries,
+                                           std::uint64_t bytes_out) const {
+  const double scan =
+      static_cast<double>(tracked_entries) / params_->scan_throughput;
+  const double copy =
+      static_cast<double>(bytes_out) / params_->device_mem_bw;
+  return SimTime{scan + copy} + params_->kernel_launch;
+}
+
+SimTime GpuCostModel::buffer_copy_time(std::uint64_t bytes) const {
+  if (bytes == 0) return SimTime::zero();
+  return SimTime{static_cast<double>(bytes) / params_->device_mem_bw} +
+         params_->kernel_launch;
+}
+
+}  // namespace sg::sim

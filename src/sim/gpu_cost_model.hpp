@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_params.hpp"
+#include "sim/sim_time.hpp"
+#include "sim/topology.hpp"
+
+namespace sg::sim {
+
+/// Intra-GPU load-balancing strategy for distributing edge work.
+///
+///  * TWC - Merrill et al.'s Thread/Warp/CTA expansion: balances edges
+///    inside a thread block but a single vertex's edges never leave its
+///    block, so one huge-degree vertex overloads one block.
+///  * ALB - the Adaptive Load Balancer: detects thread-block imbalance
+///    and spreads very-high-degree vertices across all blocks, at a
+///    small inspection + split cost per kernel.
+///  * LB  - Lux/Gunrock-style per-block edge distribution: same
+///    inter-block behaviour as TWC (modeled with a slightly lower
+///    scheduling efficiency for low-degree vertices).
+enum class Balancer { TWC, ALB, LB };
+
+[[nodiscard]] const char* to_string(Balancer b);
+
+/// Result of mapping one round's active vertices onto thread blocks.
+/// Produced by engine::analyze_kernel (which owns the assignment logic);
+/// consumed by GpuCostModel to turn work into simulated time.
+struct KernelSchedule {
+  std::uint64_t total_edges = 0;      ///< edges relaxed this kernel
+  std::uint32_t active_vertices = 0;  ///< operator applications
+  std::uint64_t max_block_edges = 0;  ///< heaviest thread block's edges
+  bool alb_split = false;             ///< ALB split a high-degree vertex
+};
+
+/// Converts kernel schedules and buffer operations into simulated time
+/// for one GPU. Stateless apart from the calibration constants.
+class GpuCostModel {
+ public:
+  GpuCostModel(const GpuSpec& spec, const CostParams& params)
+      : spec_(&spec), params_(&params) {}
+
+  /// Time for one operator kernel under the given balancer.
+  /// The critical path is the most loaded thread block; a perfectly
+  /// balanced schedule (max_block = total/blocks) reduces to
+  /// total_edges / edge_throughput.
+  [[nodiscard]] SimTime kernel_time(const KernelSchedule& sched,
+                                    Balancer balancer) const;
+
+  /// Update-only (UO) extraction: prefix-scan over `tracked_entries`
+  /// shared-proxy slots plus compaction of `bytes_out` bytes.
+  [[nodiscard]] SimTime extract_updates_time(std::uint64_t tracked_entries,
+                                             std::uint64_t bytes_out) const;
+
+  /// Plain device-memory copy (AS extraction, reduce/broadcast apply).
+  [[nodiscard]] SimTime buffer_copy_time(std::uint64_t bytes) const;
+
+  [[nodiscard]] const GpuSpec& spec() const { return *spec_; }
+
+ private:
+  const GpuSpec* spec_;
+  const CostParams* params_;
+};
+
+}  // namespace sg::sim

@@ -1,0 +1,50 @@
+#include "sim/interconnect.hpp"
+
+namespace sg::sim {
+
+SimTime Interconnect::device_to_host(std::uint64_t bytes) const {
+  if (bytes == 0) return SimTime::zero();
+  // GPUDirect bypasses host staging: the PCIe/RDMA hop is folded into
+  // host_to_host (the direct device-to-device link).
+  if (params_->gpudirect) return SimTime::zero();
+  return params_->pcie_latency +
+         SimTime{static_cast<double>(bytes) / params_->pcie_bw};
+}
+
+SimTime Interconnect::host_to_device(std::uint64_t bytes) const {
+  return device_to_host(bytes);
+}
+
+SimTime Interconnect::host_to_host(int src_device, int dst_device,
+                                   std::uint64_t bytes) const {
+  if (bytes == 0) return SimTime::zero();
+  if (topo_->same_host(src_device, dst_device)) {
+    if (src_device == dst_device) return SimTime::zero();
+    if (params_->gpudirect) {
+      // GPUDirect P2P: one PCIe hop, no DRAM staging.
+      return params_->pcie_latency +
+             SimTime{static_cast<double>(bytes) / params_->pcie_bw};
+    }
+    return SimTime{static_cast<double>(bytes) / params_->host_mem_bw};
+  }
+  const double shared_bw =
+      params_->net_bw / static_cast<double>(topo_->gpus_per_host());
+  if (params_->gpudirect) {
+    // GPUDirect RDMA: NIC reads device memory directly; the host
+    // software envelope cost drops out of the data path.
+    return params_->net_latency +
+           SimTime{params_->per_message_overhead.seconds() / 4.0} +
+           SimTime{static_cast<double>(bytes) / shared_bw};
+  }
+  return params_->net_latency + params_->per_message_overhead +
+         SimTime{static_cast<double>(bytes) / shared_bw};
+}
+
+SimTime Interconnect::device_to_device(int src_device, int dst_device,
+                                       std::uint64_t bytes) const {
+  if (src_device == dst_device || bytes == 0) return SimTime::zero();
+  return device_to_host(bytes) + host_to_host(src_device, dst_device, bytes) +
+         host_to_device(bytes);
+}
+
+}  // namespace sg::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_params.hpp"
+#include "sim/sim_time.hpp"
+#include "sim/topology.hpp"
+
+namespace sg::sim {
+
+/// Transfer-time model for the cluster's links.
+///
+/// All frameworks in the paper route GPU-to-GPU messages through the
+/// hosts (no GPUDirect): sender GPU -> sender host (PCIe) -> receiver
+/// host (network, or a DRAM staging copy when both GPUs share a host)
+/// -> receiver GPU (PCIe). Each host's NIC is shared by its GPUs, which
+/// is modeled as a bandwidth division by gpus_per_host.
+class Interconnect {
+ public:
+  Interconnect(const Topology& topo, const CostParams& params)
+      : topo_(&topo), params_(&params) {}
+
+  /// Device -> its host over PCIe.
+  [[nodiscard]] SimTime device_to_host(std::uint64_t bytes) const;
+  /// Host -> its device over PCIe.
+  [[nodiscard]] SimTime host_to_device(std::uint64_t bytes) const;
+
+  /// Host of `src_device` -> host of `dst_device`. Same-host pairs pay a
+  /// DRAM staging copy; cross-host pairs pay NIC latency + shared-NIC
+  /// bandwidth plus the per-message software overhead.
+  [[nodiscard]] SimTime host_to_host(int src_device, int dst_device,
+                                     std::uint64_t bytes) const;
+
+  /// Full device-to-device path (the sum of the three hops above).
+  [[nodiscard]] SimTime device_to_device(int src_device, int dst_device,
+                                         std::uint64_t bytes) const;
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+ private:
+  const Topology* topo_;
+  const CostParams* params_;
+};
+
+}  // namespace sg::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace sg::sim {
+
+/// Simulated wall-clock time in seconds.
+///
+/// A strong type so that simulated time is never accidentally mixed with
+/// real (chrono) time or with byte counts. All cost models produce
+/// SimTime; executors only ever add / max these values.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double millis() const { return seconds_ * 1e3; }
+  [[nodiscard]] constexpr double micros() const { return seconds_ * 1e6; }
+
+  constexpr SimTime& operator+=(SimTime o) {
+    seconds_ += o.seconds_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    seconds_ -= o.seconds_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.seconds_ + b.seconds_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.seconds_ - b.seconds_};
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime{a.seconds_ * k};
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0.0}; }
+  [[nodiscard]] static constexpr SimTime micros(double us) {
+    return SimTime{us * 1e-6};
+  }
+  [[nodiscard]] static constexpr SimTime millisec(double ms) {
+    return SimTime{ms * 1e-3};
+  }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+[[nodiscard]] constexpr SimTime max(SimTime a, SimTime b) {
+  return a < b ? b : a;
+}
+[[nodiscard]] constexpr SimTime min(SimTime a, SimTime b) {
+  return b < a ? b : a;
+}
+
+}  // namespace sg::sim

@@ -1,0 +1,91 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace sg::sim {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(const Task& task, std::size_t chunk_index) const {
+  const std::size_t n = task.end - task.begin;
+  const std::size_t per = (n + task.nchunks - 1) / task.nchunks;
+  const std::size_t lo = task.begin + chunk_index * per;
+  const std::size_t hi = std::min(task.end, lo + per);
+  if (lo < hi) (*task.fn)(lo, hi, chunk_index);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock,
+                     [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      task = task_;
+    }
+    run_chunk(task, worker_id + 1);  // chunk 0 is the caller's.
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t nchunks = workers_.size() + 1;
+  if (nchunks == 1 || end - begin < 2 * nchunks) {
+    fn(begin, end, 0);
+    return;
+  }
+  Task task{&fn, begin, end, 0, nchunks};
+  {
+    std::lock_guard lock(mutex_);
+    task_ = task;
+    remaining_ = workers_.size();
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  run_chunk(task, 0);
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool{[] {
+    if (const char* env = std::getenv("SG_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }()};
+  return pool;
+}
+
+}  // namespace sg::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sg::sim {
+
+/// Fixed-size thread pool with a fork-join `parallel_for` primitive.
+///
+/// Simulated GPUs execute their (real) label updates through this pool:
+/// the *result* of a kernel is computed on host threads while the kernel's
+/// *cost* is computed analytically by the GpuCostModel. The pool uses
+/// static chunking so that work-item counts are deterministic.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(begin..end) partitioned into static contiguous chunks, one
+  /// per pool thread (the calling thread participates). Blocks until all
+  /// chunks complete. fn is invoked as fn(chunk_begin, chunk_end, tid).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn);
+
+  /// Process-wide pool, sized from SG_THREADS env var or hardware.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+        nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 0;
+    std::size_t nchunks = 0;
+  };
+
+  void worker_loop(std::size_t worker_id);
+  void run_chunk(const Task& task, std::size_t chunk_index) const;
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sg::sim

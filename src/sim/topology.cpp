@@ -1,0 +1,62 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+
+namespace sg::sim {
+
+namespace {
+std::uint64_t scaled_capacity(double gib, double scale) {
+  const double bytes = gib * 1024.0 * 1024.0 * 1024.0 / scale;
+  return static_cast<std::uint64_t>(bytes);
+}
+}  // namespace
+
+GpuSpec GpuSpec::p100(double scale) {
+  return GpuSpec{"P100", scaled_capacity(16.0, scale), 224};
+}
+
+GpuSpec GpuSpec::k80(double scale) {
+  return GpuSpec{"K80", scaled_capacity(12.0, scale), 104};
+}
+
+GpuSpec GpuSpec::gtx1080(double scale) {
+  return GpuSpec{"GTX1080", scaled_capacity(8.0, scale), 160};
+}
+
+Topology::Topology(std::vector<GpuSpec> device_specs, int gpus_per_host)
+    : specs_(std::move(device_specs)), gpus_per_host_(gpus_per_host) {
+  if (specs_.empty()) throw std::invalid_argument("Topology: no devices");
+  if (gpus_per_host_ <= 0) {
+    throw std::invalid_argument("Topology: gpus_per_host must be positive");
+  }
+  num_hosts_ = (num_devices() + gpus_per_host_ - 1) / gpus_per_host_;
+}
+
+std::uint64_t Topology::min_device_memory() const {
+  std::uint64_t best = specs_.front().memory_bytes;
+  for (const auto& s : specs_) best = std::min(best, s.memory_bytes);
+  return best;
+}
+
+Topology Topology::bridges(int num_devices, double scale) {
+  if (num_devices <= 0) {
+    throw std::invalid_argument("Topology::bridges: need >= 1 device");
+  }
+  std::vector<GpuSpec> specs(static_cast<std::size_t>(num_devices),
+                             GpuSpec::p100(scale));
+  return Topology{std::move(specs), 2};
+}
+
+Topology Topology::tuxedo(int num_devices, double scale) {
+  if (num_devices <= 0 || num_devices > 6) {
+    throw std::invalid_argument("Topology::tuxedo: 1..6 devices");
+  }
+  std::vector<GpuSpec> specs;
+  specs.reserve(static_cast<std::size_t>(num_devices));
+  for (int i = 0; i < num_devices; ++i) {
+    specs.push_back(i < 4 ? GpuSpec::k80(scale) : GpuSpec::gtx1080(scale));
+  }
+  return Topology{std::move(specs), 6};
+}
+
+}  // namespace sg::sim

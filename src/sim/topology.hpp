@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sg::sim {
+
+/// Static description of one GPU model in the simulated cluster.
+struct GpuSpec {
+  std::string name;
+  std::uint64_t memory_bytes = 0;  ///< device (global) memory capacity
+  int thread_blocks = 224;         ///< resident thread blocks (CTAs)
+
+  /// NVIDIA Tesla P100: 16 GB HBM2, 56 SMs (modeled at 4 resident CTAs
+  /// each). Capacity is divided by `scale` to match scaled datasets.
+  static GpuSpec p100(double scale = 1000.0);
+  /// NVIDIA Tesla K80 (one GK210 die): 12 GB, 13 SMs.
+  static GpuSpec k80(double scale = 1000.0);
+  /// NVIDIA GeForce GTX 1080: 8 GB, 20 SMs.
+  static GpuSpec gtx1080(double scale = 1000.0);
+};
+
+/// Cluster shape: which GPU sits on which host.
+///
+/// Mirrors the paper's two platforms:
+///  * Bridges - up to 32 hosts x 2 P100 GPUs, Omni-Path between hosts.
+///  * Tuxedo  - a single host with 4 K80 + 2 GTX 1080 GPUs.
+class Topology {
+ public:
+  Topology(std::vector<GpuSpec> device_specs, int gpus_per_host);
+
+  [[nodiscard]] int num_devices() const {
+    return static_cast<int>(specs_.size());
+  }
+  [[nodiscard]] int num_hosts() const { return num_hosts_; }
+  [[nodiscard]] int gpus_per_host() const { return gpus_per_host_; }
+
+  [[nodiscard]] int host_of(int device) const {
+    check_device(device);
+    return device / gpus_per_host_;
+  }
+  [[nodiscard]] bool same_host(int a, int b) const {
+    return host_of(a) == host_of(b);
+  }
+  [[nodiscard]] const GpuSpec& spec(int device) const {
+    check_device(device);
+    return specs_[device];
+  }
+
+  /// Smallest device memory in the cluster (drives Lux's static pool).
+  [[nodiscard]] std::uint64_t min_device_memory() const;
+
+  /// Bridges-like topology: `num_devices` P100s, 2 per host.
+  static Topology bridges(int num_devices, double scale = 1000.0);
+  /// Tuxedo-like topology: single host, first 4 GPUs K80, next 2 GTX1080.
+  static Topology tuxedo(int num_devices, double scale = 1000.0);
+
+ private:
+  void check_device(int device) const {
+    if (device < 0 || device >= num_devices()) {
+      throw std::out_of_range("Topology: device " + std::to_string(device) +
+                              " out of range");
+    }
+  }
+
+  std::vector<GpuSpec> specs_;
+  int gpus_per_host_;
+  int num_hosts_;
+};
+
+}  // namespace sg::sim

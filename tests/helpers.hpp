@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "comm/sync_structure.hpp"
+#include "engine/config.hpp"
+#include "graph/csr.hpp"
+#include "partition/dist_graph.hpp"
+#include "sim/cost_params.hpp"
+#include "sim/topology.hpp"
+
+namespace sg::test {
+
+/// Bridges-like topology for `n` devices with roomy memory (tests that
+/// exercise OOM construct their own tight topology).
+inline sim::Topology topo(int n) { return sim::Topology::bridges(n, 100.0); }
+
+inline sim::CostParams params() {
+  return sim::CostParams::for_scaled_datasets();
+}
+
+struct PreparedGraph {
+  partition::DistGraph dist;
+  comm::SyncStructure sync;
+
+  PreparedGraph(const graph::Csr& g, partition::Policy policy, int devices,
+                std::uint64_t seed = 1)
+      : dist(partition::partition_graph(
+            g, partition::PartitionOptions{.policy = policy,
+                                           .num_devices = devices,
+                                           .seed = seed})),
+        sync(dist) {}
+};
+
+inline std::vector<partition::Policy> all_policies() {
+  using partition::Policy;
+  return {Policy::OEC, Policy::IEC, Policy::HVC,
+          Policy::CVC, Policy::RANDOM, Policy::GREEDY};
+}
+
+inline engine::EngineConfig cfg(engine::ExecModel model,
+                                comm::SyncMode mode = comm::SyncMode::kUO,
+                                sim::Balancer bal = sim::Balancer::ALB) {
+  engine::EngineConfig c;
+  c.exec_model = model;
+  c.sync_mode = mode;
+  c.balancer = bal;
+  return c;
+}
+
+}  // namespace sg::test

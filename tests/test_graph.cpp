@@ -1,0 +1,350 @@
+// Unit tests for the graph substrate: CSR construction, transpose,
+// generators, the nine scaled dataset analogues, property analysis, and
+// file I/O round trips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <unistd.h>
+
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace sg::graph {
+namespace {
+
+// ---- build_csr ----------------------------------------------------------
+
+TEST(BuildCsr, SortsAdjacencyByDestination) {
+  const auto g = build_csr({{0, 3, 1}, {0, 1, 1}, {0, 2, 1}}, 4);
+  ASSERT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(0)[1], 2u);
+  EXPECT_EQ(g.neighbors(0)[2], 3u);
+}
+
+TEST(BuildCsr, DedupKeepsMinimumWeight) {
+  const auto g =
+      build_csr({{0, 1, 9}, {0, 1, 3}, {0, 1, 7}}, 2, /*weighted=*/true);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weight(0), 3u);
+}
+
+TEST(BuildCsr, NoDedupKeepsParallelEdges) {
+  const auto g = build_csr({{0, 1, 1}, {0, 1, 1}}, 2, false, /*dedup=*/false);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(BuildCsr, InfersVertexCount) {
+  const auto g = build_csr({{0, 7, 1}});
+  EXPECT_EQ(g.num_vertices(), 8u);
+}
+
+TEST(BuildCsr, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(build_csr({{0, 5, 1}}, 3), std::invalid_argument);
+}
+
+TEST(BuildCsr, EmptyAdjacencyForIsolatedVertices) {
+  const auto g = build_csr({{0, 1, 1}}, 5);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+// ---- transpose -----------------------------------------------------------
+
+TEST(Transpose, ReversesEdgesAndCarriesWeights) {
+  const auto g = build_csr({{0, 1, 5}, {0, 2, 7}, {2, 1, 9}}, 3, true);
+  const auto r = g.transpose();
+  EXPECT_EQ(r.num_edges(), 3u);
+  ASSERT_EQ(r.degree(1), 2u);  // in-edges of 1: from 0 (w5) and 2 (w9)
+  EXPECT_EQ(r.neighbors(1)[0], 0u);
+  EXPECT_EQ(r.weights(1)[0], 5u);
+  EXPECT_EQ(r.neighbors(1)[1], 2u);
+  EXPECT_EQ(r.weights(1)[1], 9u);
+}
+
+TEST(Transpose, IsInvolution) {
+  const auto g = rmat({.scale = 8, .edge_factor = 4, .seed = 3});
+  const auto back = g.transpose().transpose();
+  EXPECT_EQ(std::vector(g.offsets().begin(), g.offsets().end()),
+            std::vector(back.offsets().begin(), back.offsets().end()));
+  // Adjacency sets must match (order within a row may differ).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::multiset<VertexId> a(g.neighbors(v).begin(), g.neighbors(v).end());
+    std::multiset<VertexId> b(back.neighbors(v).begin(),
+                              back.neighbors(v).end());
+    ASSERT_EQ(a, b) << "vertex " << v;
+  }
+}
+
+// ---- generators ------------------------------------------------------------
+
+TEST(Generators, RmatProducesRequestedShape) {
+  const auto g = rmat({.scale = 10, .edge_factor = 8, .seed = 1});
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  // Dedup and self-loop removal shave some edges but most survive.
+  EXPECT_GT(g.num_edges(), 4000u);
+  EXPECT_LE(g.num_edges(), 8192u);
+}
+
+TEST(Generators, RmatIsDeterministic) {
+  const auto a = rmat({.scale = 9, .edge_factor = 4, .seed = 11});
+  const auto b = rmat({.scale = 9, .edge_factor = 4, .seed = 11});
+  EXPECT_EQ(std::vector(a.dsts().begin(), a.dsts().end()),
+            std::vector(b.dsts().begin(), b.dsts().end()));
+}
+
+TEST(Generators, RmatIsSkewed) {
+  const auto g = rmat({.scale = 12, .edge_factor = 16, .seed = 5});
+  const auto props = analyze(g);
+  // Power-law: the max degree far exceeds the average.
+  EXPECT_GT(static_cast<double>(props.max_out_degree),
+            10.0 * props.avg_degree);
+}
+
+TEST(Generators, SyntheticHubDegreesMatchSpec) {
+  SyntheticSpec s;
+  s.vertices = 4000;
+  s.edges = 40000;
+  s.hub_out_frac = 0.02;
+  s.hub_in_frac = 0.05;
+  s.seed = 9;
+  const auto g = synthetic(s);
+  const auto props = analyze(g);
+  EXPECT_GE(props.max_out_degree, 60u);   // ~0.02*4000 minus collisions
+  EXPECT_GE(props.max_in_degree, 150u);   // ~0.05*4000
+}
+
+TEST(Generators, SyntheticCommunitsChainRaisesDiameter) {
+  SyntheticSpec low;
+  low.vertices = 3000;
+  low.edges = 30000;
+  low.communities = 1;
+  low.seed = 4;
+  SyntheticSpec high = low;
+  high.communities = 30;
+  const auto d_low = analyze(synthetic(low)).approx_diameter;
+  const auto d_high = analyze(synthetic(high)).approx_diameter;
+  EXPECT_GT(d_high, d_low + 5);
+}
+
+TEST(Generators, SyntheticTailExtendsDiameter) {
+  SyntheticSpec base;
+  base.vertices = 2000;
+  base.edges = 20000;
+  base.seed = 2;
+  SyntheticSpec tailed = base;
+  tailed.tail_length = 120;
+  const auto d_base = analyze(synthetic(base)).approx_diameter;
+  const auto d_tail = analyze(synthetic(tailed)).approx_diameter;
+  EXPECT_GE(d_tail, d_base + 100);
+}
+
+TEST(Generators, SyntheticIsWeaklyConnected) {
+  SyntheticSpec s;
+  s.vertices = 2000;
+  s.edges = 10000;
+  s.communities = 8;
+  s.tail_length = 40;
+  s.seed = 6;
+  EXPECT_TRUE(weakly_connected(synthetic(s)));
+}
+
+TEST(Generators, DeterministicShapes) {
+  EXPECT_EQ(path_graph(5, false).num_edges(), 4u);
+  EXPECT_EQ(path_graph(5, true).num_edges(), 8u);
+  EXPECT_EQ(cycle_graph(6).num_edges(), 6u);
+  EXPECT_EQ(star_graph(9).num_edges(), 9u);
+  EXPECT_EQ(star_graph(9).degree(0), 9u);
+  EXPECT_EQ(complete_graph(5).num_edges(), 20u);
+  EXPECT_EQ(grid_graph(3, 4).num_vertices(), 12u);
+  EXPECT_EQ(grid_graph(3, 4).num_edges(), 2u * (3 * 3 + 2 * 4));
+}
+
+TEST(Generators, ErdosRenyiDensityNearP) {
+  const auto g = erdos_renyi(200, 0.05, 17);
+  const double expected = 0.05 * 200 * 199;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.2);
+}
+
+// ---- weights ------------------------------------------------------------------
+
+TEST(Weights, RandomWeightsInRangeAndDeterministic) {
+  const auto g = rmat({.scale = 8, .edge_factor = 4, .seed = 1});
+  const auto w1 = add_random_weights(g, 1, 100, 42);
+  const auto w2 = add_random_weights(g, 1, 100, 42);
+  ASSERT_TRUE(w1.has_weights());
+  for (EdgeId e = 0; e < w1.num_edges(); ++e) {
+    ASSERT_GE(w1.edge_weight(e), 1u);
+    ASSERT_LE(w1.edge_weight(e), 100u);
+    ASSERT_EQ(w1.edge_weight(e), w2.edge_weight(e));
+  }
+}
+
+// ---- properties -----------------------------------------------------------------
+
+TEST(Properties, PathDiameterIsLength) {
+  const auto p = analyze(path_graph(50, false));
+  EXPECT_EQ(p.approx_diameter, 49u);
+  EXPECT_EQ(p.num_edges, 49u);
+  EXPECT_EQ(p.max_out_degree, 1u);
+}
+
+TEST(Properties, StarShape) {
+  const auto p = analyze(star_graph(30));
+  EXPECT_EQ(p.max_out_degree, 30u);
+  EXPECT_EQ(p.max_in_degree, 1u);
+  EXPECT_EQ(p.approx_diameter, 2u);
+}
+
+TEST(Properties, HumanCountFormats) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(1500), "1.5K");
+  EXPECT_EQ(human_count(2300000), "2.3M");
+  EXPECT_EQ(human_count(5100000000ull), "5.1B");
+}
+
+// ---- datasets --------------------------------------------------------------------
+
+TEST(Datasets, RegistryHasNineInputsInThreeCategories) {
+  ASSERT_EQ(datasets::registry().size(), 9u);
+  EXPECT_EQ(datasets::names(datasets::Category::kSmall).size(), 3u);
+  EXPECT_EQ(datasets::names(datasets::Category::kMedium).size(), 3u);
+  EXPECT_EQ(datasets::names(datasets::Category::kLarge).size(), 3u);
+  EXPECT_THROW(datasets::info("nope"), std::out_of_range);
+}
+
+TEST(Datasets, AnaloguesPreserveDensity) {
+  // |E|/|V| of each analogue should be close to the paper's Table I.
+  for (const auto& d : datasets::registry()) {
+    const auto g = datasets::make(d.name);
+    const double paper_density = static_cast<double>(d.paper_edges) /
+                                 static_cast<double>(d.paper_vertices);
+    const double got = static_cast<double>(g.num_edges()) /
+                       static_cast<double>(g.num_vertices());
+    EXPECT_GT(got, paper_density * 0.5) << d.name;
+    EXPECT_LT(got, paper_density * 1.6) << d.name;
+  }
+}
+
+TEST(Datasets, DiameterOrderingMatchesPaper) {
+  // Key structural knob: uk14 has by far the largest diameter; social
+  // networks (orkut, twitter) stay small (Table I).
+  const auto d_orkut = analyze(datasets::make("orkut")).approx_diameter;
+  const auto d_uk07 = analyze(datasets::make("uk07")).approx_diameter;
+  const auto d_uk14 = analyze(datasets::make("uk14")).approx_diameter;
+  EXPECT_LT(d_orkut, 15u);
+  EXPECT_GT(d_uk07, 30u);
+  EXPECT_GT(d_uk14, 200u);
+  EXPECT_GT(d_uk14, 2 * d_uk07);
+}
+
+TEST(Datasets, WebCrawlsHaveHugeMaxInDegree) {
+  // clueweb12's max in-degree is ~7.7% of |V| (Table I) — the knob that
+  // drives the ALB-vs-TWC pagerank result.
+  const auto g = datasets::make("clueweb12");
+  const auto p = analyze(g);
+  EXPECT_GT(static_cast<double>(p.max_in_degree),
+            0.03 * static_cast<double>(p.num_vertices));
+  EXPECT_GT(p.max_in_degree, 10 * p.max_out_degree);
+}
+
+TEST(Datasets, TwitterHasCelebrityOutHub) {
+  const auto p = analyze(datasets::make("twitter50"));
+  EXPECT_GT(static_cast<double>(p.max_out_degree),
+            0.008 * static_cast<double>(p.num_vertices));
+}
+
+TEST(Datasets, DeterministicAndConnected) {
+  const auto a = datasets::make("uk07", 42);
+  const auto b = datasets::make("uk07", 42);
+  EXPECT_EQ(std::vector(a.dsts().begin(), a.dsts().end()),
+            std::vector(b.dsts().begin(), b.dsts().end()));
+  EXPECT_TRUE(weakly_connected(a));
+}
+
+TEST(Datasets, WeightedVariantHasWeights) {
+  const auto g = datasets::make_weighted("rmat23");
+  ASSERT_TRUE(g.has_weights());
+  for (EdgeId e = 0; e < std::min<EdgeId>(1000, g.num_edges()); ++e) {
+    ASSERT_GE(g.edge_weight(e), 1u);
+    ASSERT_LE(g.edge_weight(e), 100u);
+  }
+}
+
+TEST(Datasets, DefaultSourceIsMaxOutDegree) {
+  const auto g = star_graph(10);
+  EXPECT_EQ(datasets::default_source(g), 0u);
+}
+
+// ---- io --------------------------------------------------------------------------
+
+class IoTest : public testing::Test {
+ protected:
+  std::filesystem::path tmp() const {
+    return std::filesystem::temp_directory_path() /
+           ("sg_io_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  path_ = tmp();
+  const auto g = add_random_weights(
+      rmat({.scale = 7, .edge_factor = 4, .seed = 2}), 1, 50, 3);
+  write_edge_list(g, path_);
+  const auto back = read_edge_list(path_);
+  // Vertex count is inferred from the max endpoint, so trailing isolated
+  // vertices may be dropped; edges and adjacency must survive exactly.
+  ASSERT_LE(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < back.num_vertices(); ++v) {
+    ASSERT_EQ(std::vector(back.neighbors(v).begin(), back.neighbors(v).end()),
+              std::vector(g.neighbors(v).begin(), g.neighbors(v).end()));
+  }
+  EXPECT_TRUE(back.has_weights());
+}
+
+TEST_F(IoTest, BinaryRoundTripIsExact) {
+  path_ = tmp();
+  const auto g = add_random_weights(
+      rmat({.scale = 8, .edge_factor = 8, .seed = 4}), 1, 100, 5);
+  write_binary(g, path_);
+  const auto back = read_binary(path_);
+  EXPECT_EQ(std::vector(back.offsets().begin(), back.offsets().end()),
+            std::vector(g.offsets().begin(), g.offsets().end()));
+  EXPECT_EQ(std::vector(back.dsts().begin(), back.dsts().end()),
+            std::vector(g.dsts().begin(), g.dsts().end()));
+  EXPECT_EQ(std::vector(back.edge_weights().begin(),
+                        back.edge_weights().end()),
+            std::vector(g.edge_weights().begin(), g.edge_weights().end()));
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  path_ = tmp();
+  {
+    std::ofstream out(path_);
+    out << "not a graph";
+  }
+  EXPECT_THROW(read_binary(path_), std::runtime_error);
+}
+
+TEST_F(IoTest, EdgeListSkipsComments) {
+  path_ = tmp();
+  {
+    std::ofstream out(path_);
+    out << "# comment\n% other comment\n0 1\n1 2\n";
+  }
+  const auto g = read_edge_list(path_);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.has_weights());
+}
+
+}  // namespace
+}  // namespace sg::graph

@@ -1,0 +1,180 @@
+// Randomized property tests ("fuzz" sweeps over seeds): CSR builder vs
+// a naive adjacency-map model, transpose/degree identities, validation,
+// generator invariants, event-queue ordering against a reference sort,
+// and whole-pipeline distributed-equals-reference checks on random
+// graphs with random policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "algo/bfs.hpp"
+#include "algo/cc.hpp"
+#include "algo/reference.hpp"
+#include "graph/generators.hpp"
+#include "graph/validation.hpp"
+#include "helpers.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace sg {
+namespace {
+
+class Fuzz : public testing::TestWithParam<std::uint64_t> {};
+
+std::vector<graph::Edge> random_edges(sim::Rng& rng, graph::VertexId n,
+                                      std::size_t m, bool weighted) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    graph::Edge e;
+    e.src = static_cast<graph::VertexId>(rng.bounded(n));
+    e.dst = static_cast<graph::VertexId>(rng.bounded(n));
+    e.weight = weighted ? rng.range(1, 1000) : 1;
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+TEST_P(Fuzz, BuildCsrMatchesNaiveModel) {
+  sim::Rng rng{GetParam()};
+  const auto n = static_cast<graph::VertexId>(2 + rng.bounded(200));
+  const auto m = static_cast<std::size_t>(rng.bounded(2000));
+  const auto edges = random_edges(rng, n, m, /*weighted=*/true);
+
+  // Naive model: per-source sorted map keeping the min weight per edge.
+  std::map<std::pair<graph::VertexId, graph::VertexId>, graph::Weight>
+      model;
+  for (const auto& e : edges) {
+    auto [it, inserted] = model.try_emplace({e.src, e.dst}, e.weight);
+    if (!inserted) it->second = std::min(it->second, e.weight);
+  }
+
+  const auto g = graph::build_csr(edges, n, /*weighted=*/true);
+  ASSERT_TRUE(graph::validate(g, /*require_sorted=*/true,
+                              /*forbid_self_loops=*/false,
+                              /*forbid_duplicates=*/true))
+      << graph::validate(g).reason;
+  ASSERT_EQ(g.num_edges(), model.size());
+  std::size_t checked = 0;
+  for (graph::VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto it = model.find({u, nbrs[i]});
+      ASSERT_NE(it, model.end());
+      EXPECT_EQ(ws[i], it->second);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, model.size());
+}
+
+TEST_P(Fuzz, TransposePreservesDegreesAndEdges) {
+  sim::Rng rng{GetParam()};
+  const auto n = static_cast<graph::VertexId>(2 + rng.bounded(150));
+  const auto g = graph::build_csr(
+      random_edges(rng, n, 1 + rng.bounded(1500), false), n);
+  const auto r = g.transpose();
+  ASSERT_EQ(r.num_vertices(), n);
+  ASSERT_EQ(r.num_edges(), g.num_edges());
+  ASSERT_TRUE(graph::validate(r, /*require_sorted=*/false));
+  // Sum of in-degrees equals sum of out-degrees, and each edge flips.
+  std::multiset<std::pair<graph::VertexId, graph::VertexId>> fwd, rev;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (auto u : g.neighbors(v)) fwd.emplace(v, u);
+    for (auto u : r.neighbors(v)) rev.emplace(u, v);
+  }
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST_P(Fuzz, GeneratorsProduceValidGraphs) {
+  sim::Rng rng{GetParam()};
+  graph::SyntheticSpec s;
+  s.vertices = static_cast<graph::VertexId>(64 + rng.bounded(2000));
+  s.edges = 4 * s.vertices + rng.bounded(8 * s.vertices);
+  s.zipf_out = 0.3 + rng.uniform() * 0.7;
+  s.zipf_in = 0.3 + rng.uniform() * 0.7;
+  s.hub_in_frac = rng.uniform() * 0.05;
+  s.hub_out_frac = rng.uniform() * 0.02;
+  s.communities = 1 + static_cast<std::uint32_t>(rng.bounded(12));
+  s.tail_length = static_cast<std::uint32_t>(rng.bounded(s.vertices / 4));
+  s.symmetric = rng.chance(0.3);
+  s.seed = GetParam() * 31 + 7;
+  const auto g = graph::synthetic(s);
+  EXPECT_TRUE(graph::validate(g)) << graph::validate(g).reason;
+  EXPECT_EQ(g.num_vertices(), s.vertices);
+  EXPECT_TRUE(graph::weakly_connected(g));
+}
+
+TEST_P(Fuzz, EventQueueMatchesReferenceSort) {
+  sim::Rng rng{GetParam()};
+  sim::EventQueue q;
+  const int n = 5 + static_cast<int>(rng.bounded(200));
+  std::vector<std::pair<double, int>> expected;
+  std::vector<int> fired;
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform() * 100.0;
+    expected.emplace_back(t, i);
+    q.schedule(sim::SimTime{t}, [&fired, i](sim::SimTime) {
+      fired.push_back(i);
+    });
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  q.run_to_completion();
+  ASSERT_EQ(fired.size(), expected.size());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(fired[i], expected[i].second);
+}
+
+TEST_P(Fuzz, DistributedBfsAndCcMatchReferenceOnRandomGraphs) {
+  sim::Rng rng{GetParam()};
+  const auto n = static_cast<graph::VertexId>(16 + rng.bounded(400));
+  auto g = graph::build_csr(
+      random_edges(rng, n, n * (1 + rng.bounded(8)), false), n);
+  const auto policies = test::all_policies();
+  const auto policy = policies[rng.bounded(policies.size())];
+  const int devices = 1 + static_cast<int>(rng.bounded(6));
+  const auto model = rng.chance(0.5) ? engine::ExecModel::kSync
+                                     : engine::ExecModel::kAsync;
+  test::PreparedGraph prep(g, policy, devices);
+  const auto t = test::topo(devices);
+  const auto p = test::params();
+  const auto src = static_cast<graph::VertexId>(rng.bounded(n));
+  EXPECT_EQ(
+      algo::run_bfs(prep.dist, prep.sync, t, p, test::cfg(model), src).dist,
+      algo::reference::bfs(g, src))
+      << partition::to_string(policy) << " d=" << devices;
+  EXPECT_EQ(
+      algo::run_cc(prep.dist, prep.sync, t, p, test::cfg(model)).label,
+      algo::reference::cc(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         testing::Range<std::uint64_t>(1, 26));
+
+// Validation negative cases (hand-built malformed CSRs).
+TEST(Validation, DetectsMalformedStructures) {
+  using graph::Csr;
+  // Non-monotone offsets (dips in the middle; the Csr constructor only
+  // checks the final entry).
+  EXPECT_FALSE(graph::validate(Csr{{0, 2, 1, 2}, {0, 1}}, false));
+  // Destination out of range.
+  EXPECT_FALSE(graph::validate(Csr{{0, 1}, {7}}));
+  // Unsorted adjacency flagged only when sortedness is required.
+  const Csr unsorted{{0, 2, 2}, {1, 0}};
+  EXPECT_FALSE(graph::validate(unsorted, /*require_sorted=*/true));
+  EXPECT_TRUE(graph::validate(unsorted, /*require_sorted=*/false));
+  // Self loops / duplicates flagged on demand.
+  const Csr selfy{{0, 1}, {0}};
+  EXPECT_TRUE(graph::validate(selfy));
+  EXPECT_FALSE(graph::validate(selfy, true, /*forbid_self_loops=*/true));
+  const Csr dup{{0, 2, 2}, {1, 1}};
+  EXPECT_TRUE(graph::validate(dup));
+  EXPECT_FALSE(graph::validate(dup, true, false, /*forbid_duplicates=*/true));
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_uo_threshold.dir/abl1_uo_threshold.cpp.o"
+  "CMakeFiles/abl1_uo_threshold.dir/abl1_uo_threshold.cpp.o.d"
+  "abl1_uo_threshold"
+  "abl1_uo_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_uo_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_basp_throttle.dir/abl2_basp_throttle.cpp.o"
+  "CMakeFiles/abl2_basp_throttle.dir/abl2_basp_throttle.cpp.o.d"
+  "abl2_basp_throttle"
+  "abl2_basp_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_basp_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

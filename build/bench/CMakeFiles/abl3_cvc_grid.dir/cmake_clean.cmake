@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_cvc_grid.dir/abl3_cvc_grid.cpp.o"
+  "CMakeFiles/abl3_cvc_grid.dir/abl3_cvc_grid.cpp.o.d"
+  "abl3_cvc_grid"
+  "abl3_cvc_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_cvc_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

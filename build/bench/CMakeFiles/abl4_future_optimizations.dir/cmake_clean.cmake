@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_future_optimizations.dir/abl4_future_optimizations.cpp.o"
+  "CMakeFiles/abl4_future_optimizations.dir/abl4_future_optimizations.cpp.o.d"
+  "abl4_future_optimizations"
+  "abl4_future_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_future_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_ordered_worklists.dir/abl5_ordered_worklists.cpp.o"
+  "CMakeFiles/abl5_ordered_worklists.dir/abl5_ordered_worklists.cpp.o.d"
+  "abl5_ordered_worklists"
+  "abl5_ordered_worklists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_ordered_worklists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

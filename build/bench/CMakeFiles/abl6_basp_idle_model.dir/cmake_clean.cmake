@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl6_basp_idle_model.dir/abl6_basp_idle_model.cpp.o"
+  "CMakeFiles/abl6_basp_idle_model.dir/abl6_basp_idle_model.cpp.o.d"
+  "abl6_basp_idle_model"
+  "abl6_basp_idle_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl6_basp_idle_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

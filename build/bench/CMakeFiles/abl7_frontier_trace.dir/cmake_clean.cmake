@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl7_frontier_trace.dir/abl7_frontier_trace.cpp.o"
+  "CMakeFiles/abl7_frontier_trace.dir/abl7_frontier_trace.cpp.o.d"
+  "abl7_frontier_trace"
+  "abl7_frontier_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl7_frontier_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cvc_illustration.dir/fig2_cvc_illustration.cpp.o"
+  "CMakeFiles/fig2_cvc_illustration.dir/fig2_cvc_illustration.cpp.o.d"
+  "fig2_cvc_illustration"
+  "fig2_cvc_illustration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cvc_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_breakdown_medium32.dir/fig4_breakdown_medium32.cpp.o"
+  "CMakeFiles/fig4_breakdown_medium32.dir/fig4_breakdown_medium32.cpp.o.d"
+  "fig4_breakdown_medium32"
+  "fig4_breakdown_medium32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_breakdown_medium32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_breakdown_lux4.dir/fig5_breakdown_lux4.cpp.o"
+  "CMakeFiles/fig5_breakdown_lux4.dir/fig5_breakdown_lux4.cpp.o.d"
+  "fig5_breakdown_lux4"
+  "fig5_breakdown_lux4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_breakdown_lux4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

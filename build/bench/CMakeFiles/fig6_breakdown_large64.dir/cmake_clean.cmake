@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_breakdown_large64.dir/fig6_breakdown_large64.cpp.o"
+  "CMakeFiles/fig6_breakdown_large64.dir/fig6_breakdown_large64.cpp.o.d"
+  "fig6_breakdown_large64"
+  "fig6_breakdown_large64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_breakdown_large64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

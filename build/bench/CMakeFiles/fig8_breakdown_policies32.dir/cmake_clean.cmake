@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_breakdown_policies32.dir/fig8_breakdown_policies32.cpp.o"
+  "CMakeFiles/fig8_breakdown_policies32.dir/fig8_breakdown_policies32.cpp.o.d"
+  "fig8_breakdown_policies32"
+  "fig8_breakdown_policies32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_breakdown_policies32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_breakdown_policies64.dir/fig9_breakdown_policies64.cpp.o"
+  "CMakeFiles/fig9_breakdown_policies64.dir/fig9_breakdown_policies64.cpp.o.d"
+  "fig9_breakdown_policies64"
+  "fig9_breakdown_policies64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_breakdown_policies64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

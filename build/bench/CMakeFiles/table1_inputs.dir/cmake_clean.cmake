@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_inputs.dir/table1_inputs.cpp.o"
+  "CMakeFiles/table1_inputs.dir/table1_inputs.cpp.o.d"
+  "table1_inputs"
+  "table1_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_singlehost.dir/table2_singlehost.cpp.o"
+  "CMakeFiles/table2_singlehost.dir/table2_singlehost.cpp.o.d"
+  "table2_singlehost"
+  "table2_singlehost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_singlehost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_loadbalance.dir/table4_loadbalance.cpp.o"
+  "CMakeFiles/table4_loadbalance.dir/table4_loadbalance.cpp.o.d"
+  "table4_loadbalance"
+  "table4_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_store_workflow.dir/partition_store_workflow.cpp.o"
+  "CMakeFiles/partition_store_workflow.dir/partition_store_workflow.cpp.o.d"
+  "partition_store_workflow"
+  "partition_store_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_store_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

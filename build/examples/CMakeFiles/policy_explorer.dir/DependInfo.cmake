@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/policy_explorer.cpp" "examples/CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o" "gcc" "examples/CMakeFiles/policy_explorer.dir/policy_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_fw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_scaling.dir/social_scaling.cpp.o"
+  "CMakeFiles/social_scaling.dir/social_scaling.cpp.o.d"
+  "social_scaling"
+  "social_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcrawl_analytics.dir/webcrawl_analytics.cpp.o"
+  "CMakeFiles/webcrawl_analytics.dir/webcrawl_analytics.cpp.o.d"
+  "webcrawl_analytics"
+  "webcrawl_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcrawl_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/bfs.cpp" "src/CMakeFiles/sg_algo.dir/algo/bfs.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/bfs.cpp.o.d"
+  "/root/repo/src/algo/cc.cpp" "src/CMakeFiles/sg_algo.dir/algo/cc.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/cc.cpp.o.d"
+  "/root/repo/src/algo/dobfs.cpp" "src/CMakeFiles/sg_algo.dir/algo/dobfs.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/dobfs.cpp.o.d"
+  "/root/repo/src/algo/kcore.cpp" "src/CMakeFiles/sg_algo.dir/algo/kcore.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/kcore.cpp.o.d"
+  "/root/repo/src/algo/pagerank.cpp" "src/CMakeFiles/sg_algo.dir/algo/pagerank.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/pagerank.cpp.o.d"
+  "/root/repo/src/algo/ppr.cpp" "src/CMakeFiles/sg_algo.dir/algo/ppr.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/ppr.cpp.o.d"
+  "/root/repo/src/algo/reference.cpp" "src/CMakeFiles/sg_algo.dir/algo/reference.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/reference.cpp.o.d"
+  "/root/repo/src/algo/sssp.cpp" "src/CMakeFiles/sg_algo.dir/algo/sssp.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/sssp.cpp.o.d"
+  "/root/repo/src/algo/sssp_delta.cpp" "src/CMakeFiles/sg_algo.dir/algo/sssp_delta.cpp.o" "gcc" "src/CMakeFiles/sg_algo.dir/algo/sssp_delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_algo.dir/algo/bfs.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/bfs.cpp.o.d"
+  "CMakeFiles/sg_algo.dir/algo/cc.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/cc.cpp.o.d"
+  "CMakeFiles/sg_algo.dir/algo/dobfs.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/dobfs.cpp.o.d"
+  "CMakeFiles/sg_algo.dir/algo/kcore.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/kcore.cpp.o.d"
+  "CMakeFiles/sg_algo.dir/algo/pagerank.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/pagerank.cpp.o.d"
+  "CMakeFiles/sg_algo.dir/algo/ppr.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/ppr.cpp.o.d"
+  "CMakeFiles/sg_algo.dir/algo/reference.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/reference.cpp.o.d"
+  "CMakeFiles/sg_algo.dir/algo/sssp.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/sssp.cpp.o.d"
+  "CMakeFiles/sg_algo.dir/algo/sssp_delta.cpp.o"
+  "CMakeFiles/sg_algo.dir/algo/sssp_delta.cpp.o.d"
+  "libsg_algo.a"
+  "libsg_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_comm.dir/comm/sync_structure.cpp.o"
+  "CMakeFiles/sg_comm.dir/comm/sync_structure.cpp.o.d"
+  "libsg_comm.a"
+  "libsg_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

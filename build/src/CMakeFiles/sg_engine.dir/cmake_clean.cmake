@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_engine.dir/engine/load_balancer.cpp.o"
+  "CMakeFiles/sg_engine.dir/engine/load_balancer.cpp.o.d"
+  "CMakeFiles/sg_engine.dir/engine/termination.cpp.o"
+  "CMakeFiles/sg_engine.dir/engine/termination.cpp.o.d"
+  "libsg_engine.a"
+  "libsg_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_fw.dir/fw/benchmark.cpp.o"
+  "CMakeFiles/sg_fw.dir/fw/benchmark.cpp.o.d"
+  "CMakeFiles/sg_fw.dir/fw/groute.cpp.o"
+  "CMakeFiles/sg_fw.dir/fw/groute.cpp.o.d"
+  "CMakeFiles/sg_fw.dir/fw/gunrock.cpp.o"
+  "CMakeFiles/sg_fw.dir/fw/gunrock.cpp.o.d"
+  "CMakeFiles/sg_fw.dir/fw/lux.cpp.o"
+  "CMakeFiles/sg_fw.dir/fw/lux.cpp.o.d"
+  "libsg_fw.a"
+  "libsg_fw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

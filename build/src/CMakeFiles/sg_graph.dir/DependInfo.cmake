@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/sg_graph.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/sg_graph.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/CMakeFiles/sg_graph.dir/graph/datasets.cpp.o" "gcc" "src/CMakeFiles/sg_graph.dir/graph/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/sg_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/sg_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/sg_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/sg_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/CMakeFiles/sg_graph.dir/graph/properties.cpp.o" "gcc" "src/CMakeFiles/sg_graph.dir/graph/properties.cpp.o.d"
+  "/root/repo/src/graph/validation.cpp" "src/CMakeFiles/sg_graph.dir/graph/validation.cpp.o" "gcc" "src/CMakeFiles/sg_graph.dir/graph/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_graph.dir/graph/csr.cpp.o"
+  "CMakeFiles/sg_graph.dir/graph/csr.cpp.o.d"
+  "CMakeFiles/sg_graph.dir/graph/datasets.cpp.o"
+  "CMakeFiles/sg_graph.dir/graph/datasets.cpp.o.d"
+  "CMakeFiles/sg_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/sg_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/sg_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/sg_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/sg_graph.dir/graph/properties.cpp.o"
+  "CMakeFiles/sg_graph.dir/graph/properties.cpp.o.d"
+  "CMakeFiles/sg_graph.dir/graph/validation.cpp.o"
+  "CMakeFiles/sg_graph.dir/graph/validation.cpp.o.d"
+  "libsg_graph.a"
+  "libsg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

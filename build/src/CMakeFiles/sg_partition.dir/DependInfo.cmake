@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/cvc.cpp" "src/CMakeFiles/sg_partition.dir/partition/cvc.cpp.o" "gcc" "src/CMakeFiles/sg_partition.dir/partition/cvc.cpp.o.d"
+  "/root/repo/src/partition/detail.cpp" "src/CMakeFiles/sg_partition.dir/partition/detail.cpp.o" "gcc" "src/CMakeFiles/sg_partition.dir/partition/detail.cpp.o.d"
+  "/root/repo/src/partition/dist_graph.cpp" "src/CMakeFiles/sg_partition.dir/partition/dist_graph.cpp.o" "gcc" "src/CMakeFiles/sg_partition.dir/partition/dist_graph.cpp.o.d"
+  "/root/repo/src/partition/local_graph.cpp" "src/CMakeFiles/sg_partition.dir/partition/local_graph.cpp.o" "gcc" "src/CMakeFiles/sg_partition.dir/partition/local_graph.cpp.o.d"
+  "/root/repo/src/partition/partition_io.cpp" "src/CMakeFiles/sg_partition.dir/partition/partition_io.cpp.o" "gcc" "src/CMakeFiles/sg_partition.dir/partition/partition_io.cpp.o.d"
+  "/root/repo/src/partition/policy.cpp" "src/CMakeFiles/sg_partition.dir/partition/policy.cpp.o" "gcc" "src/CMakeFiles/sg_partition.dir/partition/policy.cpp.o.d"
+  "/root/repo/src/partition/streaming.cpp" "src/CMakeFiles/sg_partition.dir/partition/streaming.cpp.o" "gcc" "src/CMakeFiles/sg_partition.dir/partition/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

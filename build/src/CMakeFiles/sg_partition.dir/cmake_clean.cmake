@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_partition.dir/partition/cvc.cpp.o"
+  "CMakeFiles/sg_partition.dir/partition/cvc.cpp.o.d"
+  "CMakeFiles/sg_partition.dir/partition/detail.cpp.o"
+  "CMakeFiles/sg_partition.dir/partition/detail.cpp.o.d"
+  "CMakeFiles/sg_partition.dir/partition/dist_graph.cpp.o"
+  "CMakeFiles/sg_partition.dir/partition/dist_graph.cpp.o.d"
+  "CMakeFiles/sg_partition.dir/partition/local_graph.cpp.o"
+  "CMakeFiles/sg_partition.dir/partition/local_graph.cpp.o.d"
+  "CMakeFiles/sg_partition.dir/partition/partition_io.cpp.o"
+  "CMakeFiles/sg_partition.dir/partition/partition_io.cpp.o.d"
+  "CMakeFiles/sg_partition.dir/partition/policy.cpp.o"
+  "CMakeFiles/sg_partition.dir/partition/policy.cpp.o.d"
+  "CMakeFiles/sg_partition.dir/partition/streaming.cpp.o"
+  "CMakeFiles/sg_partition.dir/partition/streaming.cpp.o.d"
+  "libsg_partition.a"
+  "libsg_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

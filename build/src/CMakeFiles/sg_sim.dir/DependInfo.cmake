@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device_memory.cpp" "src/CMakeFiles/sg_sim.dir/sim/device_memory.cpp.o" "gcc" "src/CMakeFiles/sg_sim.dir/sim/device_memory.cpp.o.d"
+  "/root/repo/src/sim/gpu_cost_model.cpp" "src/CMakeFiles/sg_sim.dir/sim/gpu_cost_model.cpp.o" "gcc" "src/CMakeFiles/sg_sim.dir/sim/gpu_cost_model.cpp.o.d"
+  "/root/repo/src/sim/interconnect.cpp" "src/CMakeFiles/sg_sim.dir/sim/interconnect.cpp.o" "gcc" "src/CMakeFiles/sg_sim.dir/sim/interconnect.cpp.o.d"
+  "/root/repo/src/sim/thread_pool.cpp" "src/CMakeFiles/sg_sim.dir/sim/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sg_sim.dir/sim/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/sg_sim.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/sg_sim.dir/sim/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

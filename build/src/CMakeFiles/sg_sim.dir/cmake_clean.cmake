@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_sim.dir/sim/device_memory.cpp.o"
+  "CMakeFiles/sg_sim.dir/sim/device_memory.cpp.o.d"
+  "CMakeFiles/sg_sim.dir/sim/gpu_cost_model.cpp.o"
+  "CMakeFiles/sg_sim.dir/sim/gpu_cost_model.cpp.o.d"
+  "CMakeFiles/sg_sim.dir/sim/interconnect.cpp.o"
+  "CMakeFiles/sg_sim.dir/sim/interconnect.cpp.o.d"
+  "CMakeFiles/sg_sim.dir/sim/thread_pool.cpp.o"
+  "CMakeFiles/sg_sim.dir/sim/thread_pool.cpp.o.d"
+  "CMakeFiles/sg_sim.dir/sim/topology.cpp.o"
+  "CMakeFiles/sg_sim.dir/sim/topology.cpp.o.d"
+  "libsg_sim.a"
+  "libsg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_async.dir/test_algo_async.cpp.o"
+  "CMakeFiles/test_algo_async.dir/test_algo_async.cpp.o.d"
+  "test_algo_async"
+  "test_algo_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

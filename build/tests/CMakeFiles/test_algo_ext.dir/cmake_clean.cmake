@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_ext.dir/test_algo_ext.cpp.o"
+  "CMakeFiles/test_algo_ext.dir/test_algo_ext.cpp.o.d"
+  "test_algo_ext"
+  "test_algo_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

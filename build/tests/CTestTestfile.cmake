@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_graph "/root/repo/build/tests/test_graph")
+set_tests_properties(test_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_partition "/root/repo/build/tests/test_partition")
+set_tests_properties(test_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_comm "/root/repo/build/tests/test_comm")
+set_tests_properties(test_comm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_engine "/root/repo/build/tests/test_engine")
+set_tests_properties(test_engine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_algo "/root/repo/build/tests/test_algo")
+set_tests_properties(test_algo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_algo_async "/root/repo/build/tests/test_algo_async")
+set_tests_properties(test_algo_async PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fw "/root/repo/build/tests/test_fw")
+set_tests_properties(test_fw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_termination "/root/repo/build/tests/test_termination")
+set_tests_properties(test_termination PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_algo_ext "/root/repo/build/tests/test_algo_ext")
+set_tests_properties(test_algo_ext PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_property_fuzz "/root/repo/build/tests/test_property_fuzz")
+set_tests_properties(test_property_fuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;sg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_streaming "/root/repo/build/tests/test_streaming")
+set_tests_properties(test_streaming PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;sg_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -33,6 +33,11 @@ class BfsProgram {
 
   struct DeviceState {
     std::vector<std::uint32_t> dist;
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(dist);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

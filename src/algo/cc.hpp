@@ -32,6 +32,11 @@ class CcProgram {
 
   struct DeviceState {
     std::vector<std::uint32_t> label;
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(label);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,
@@ -112,6 +117,11 @@ class CcPointerJumpProgram {
     std::vector<std::uint32_t> label;
     std::vector<graph::VertexId> parent;  // local DSU
     bool hooked = false;
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(label, parent, hooked);
+    }
 
     graph::VertexId find(graph::VertexId v) {
       while (parent[v] != v) {

@@ -57,6 +57,11 @@ class KCoreProgram {
     std::vector<std::uint8_t> dead;
     std::vector<std::uint32_t> cur_deg;    // meaningful at masters
     std::vector<std::uint8_t> processed;   // death handled on this device
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(trim, dead, cur_deg, processed);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

@@ -51,6 +51,12 @@ class PageRankPullProgram {
     std::vector<float> consumed_total;  ///< master monotone counter
     std::vector<float> consumed_cache;  ///< mirror copy of the counter
     std::vector<float> seen_total;      ///< mirror replay cursor
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(rank, resid, accum, delta, consumed_total, consumed_cache,
+         seen_total);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,
@@ -183,6 +189,11 @@ class LuxPageRankProgram {
     std::vector<float> rank;  ///< bcast field (master canonical + cache)
     std::vector<float> sum;   ///< reduce field (partial in-contributions)
     std::uint32_t round = 0;
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(rank, sum, round);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

@@ -48,6 +48,12 @@ class PprProgram {
     std::vector<double> consumed_total;  ///< master cumulative counter
     std::vector<double> consumed_cache;  ///< mirror copy
     std::vector<double> seen_total;      ///< mirror replay cursor
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(mass, resid, accum, replay, consumed_total, consumed_cache,
+         seen_total);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

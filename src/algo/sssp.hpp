@@ -33,6 +33,11 @@ class SsspProgram {
 
   struct DeviceState {
     std::vector<std::uint64_t> dist;
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(dist);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

@@ -43,6 +43,11 @@ class DeltaSsspProgram {
         buckets;
     std::size_t cursor = 0;
     std::uint64_t pending = 0;  // live entries across all buckets
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(dist, buckets, cursor, pending);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

@@ -14,6 +14,8 @@ struct CommStats {
   std::uint64_t messages = 0;
   std::uint64_t reduce_values = 0;     ///< values shipped mirror -> master
   std::uint64_t broadcast_values = 0;  ///< values shipped master -> mirror
+  std::uint64_t retransmitted_messages = 0;  ///< fault-retry resends
+  std::uint64_t retransmitted_bytes = 0;     ///< bytes re-sent on retry
 
   /// Total volume as reported on the bars of Figures 4-6, 8-9 (all
   /// traffic that leaves a device).
@@ -28,6 +30,8 @@ struct CommStats {
     messages += o.messages;
     reduce_values += o.reduce_values;
     broadcast_values += o.broadcast_values;
+    retransmitted_messages += o.retransmitted_messages;
+    retransmitted_bytes += o.retransmitted_bytes;
     return *this;
   }
 };

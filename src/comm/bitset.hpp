@@ -48,6 +48,12 @@ class Bitset {
   /// instead of explicit indices when that is smaller).
   [[nodiscard]] std::uint64_t wire_bytes() const { return (size_ + 7) / 8; }
 
+  /// Raw word access for checkpoint serialization.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+  [[nodiscard]] std::vector<std::uint64_t>& words() { return words_; }
+
  private:
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;

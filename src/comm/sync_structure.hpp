@@ -40,9 +40,15 @@ struct SyncPattern {
   [[nodiscard]] static SyncPattern push() {
     return SyncPattern{.reads_src = true, .writes_dst = true};
   }
-  /// Pull-style: read the (in-edge) source values, write the vertex.
+  /// Pull-style: read the (in-edge) source values, then read-modify-write
+  /// the destination vertex's own accumulator. Unlike push(), the
+  /// destination field is both read and written at the destination, so
+  /// broadcasts must reach every proxy (kAll), not just in-edge holders
+  /// (Gluon Section III-D1: readDestination implies the post-reduce value
+  /// is consumed wherever the vertex is materialized).
   [[nodiscard]] static SyncPattern pull() {
-    return SyncPattern{.reads_src = true, .writes_dst = true};
+    return SyncPattern{.reads_src = true, .reads_dst = true,
+                       .writes_dst = true};
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "comm/field_sync.hpp"
+#include "fault/fault.hpp"
 #include "sim/gpu_cost_model.hpp"
 
 namespace sg::engine {
@@ -59,6 +60,13 @@ struct EngineConfig {
   /// (Gunrock labels/frontier maps, Groute ownership tables); D-IrGL's
   /// compact local ids avoid this (paper Table III).
   std::uint64_t global_label_overhead_bytes = 0;
+  /// Fault schedule to inject (not owned; nullptr = failure-free run).
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Self-healing delivery parameters (used only when faults are
+  /// active; lossless runs pay nothing).
+  fault::RetryPolicy retry;
+  /// BSP-barrier checkpoint cadence; interval_rounds 0 disables.
+  fault::CheckpointPolicy checkpoint;
 };
 
 /// The paper's named variants (Section IV-C).

@@ -16,6 +16,9 @@
 #include "engine/program.hpp"
 #include "engine/round_ctx.hpp"
 #include "engine/stats.hpp"
+#include "engine/termination.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/fault_injector.hpp"
 #include "partition/dist_graph.hpp"
 #include "sim/device_memory.hpp"
 #include "sim/event_queue.hpp"
@@ -68,6 +71,7 @@ class Executor {
     bcast_filter_ = config_.structural_opt
                         ? program_.pattern().broadcast_filter()
                         : comm::ProxyFilter::kAll;
+    injector_ = fault::FaultInjector(config_.fault_plan, &topo_);
   }
 
   RunResult<Program> run() {
@@ -97,6 +101,9 @@ class Executor {
     bool parked = false;
     std::uint32_t consecutive_stalls = 0;  // throttle progress guard
     std::vector<std::uint32_t> last_seen_round;  // per sender
+    // Fault recovery: the device holds re-feed dirty marks that must be
+    // flushed once before it may park (BASP degraded recovery).
+    bool flush_pending = false;
   };
 
   void setup() {
@@ -125,6 +132,14 @@ class Executor {
       stats_.peak_memory[d] = dev.memory->peak();
     }
     comm_per_dev_.assign(devices_, comm::CommStats{});
+    fault_per_dev_.assign(devices_, fault::FaultStats{});
+    fault_global_ = fault::FaultStats{};
+    last_ckpt_ = fault::Checkpoint{};
+    next_crash_ = 0;
+    force_sync_rounds_ = 0;
+    if (!config_.checkpoint.dir.empty()) {
+      ckpt_store_ = fault::CheckpointStore(config_.checkpoint.dir);
+    }
   }
 
   /// Registers every buffer the engine conceptually places on the GPU.
@@ -162,9 +177,10 @@ class Executor {
   }
 
   // ---- compute ------------------------------------------------------------
-  /// Runs one local round on device d; returns the kernel time and
-  /// updates work stats. Purely device-local.
-  sim::SimTime compute_one_round(int d) {
+  /// Runs one local round on device d starting at simulated time `at`;
+  /// returns the kernel time (inflated by an active straggler fault)
+  /// and updates work stats. Purely device-local.
+  sim::SimTime compute_one_round(int d, sim::SimTime at) {
     Dev& dev = devs_[d];
     const auto& lg = dg_.part(d);
     dev.ctx->reset_work();
@@ -179,7 +195,15 @@ class Executor {
         analyze_kernel(dev.ctx->work_sizes(), config_.balancer,
                        topo_.spec(d).thread_blocks);
     const sim::GpuCostModel cost(topo_.spec(d), params_);
-    const sim::SimTime t = cost.kernel_time(sched, config_.balancer);
+    sim::SimTime t = cost.kernel_time(sched, config_.balancer);
+    if (injector_.active()) {
+      const double slow = injector_.compute_slowdown(d, at);
+      if (slow > 1.0) {
+        const sim::SimTime extra = t * (slow - 1.0);
+        fault_per_dev_[d].straggler_delay += extra;
+        t += extra;
+      }
+    }
     stats_.compute_time[d] += t;
     stats_.work_items[d] += dev.ctx->total_edges();
     stats_.rounds[d] += 1;
@@ -258,6 +282,46 @@ class Executor {
     }
   }
 
+  /// Self-healing host-to-host delivery: returns the arrival time of a
+  /// message handed to the network at `sent`. Under an active fault
+  /// plan each attempt may be dropped (deterministic seeded decision)
+  /// or slowed by a degraded link; a dropped attempt costs one delivery
+  /// timeout (growing by RetryPolicy::backoff) before retransmission,
+  /// and retransmitted bytes are charged to comm accounting. The final
+  /// attempt always delivers, so no message is ever lost permanently.
+  /// Only touches per-`from` stat slots, so it is safe from the
+  /// parallel BSP phases.
+  sim::SimTime deliver_link(int from, int to, std::uint64_t bytes,
+                            sim::SimTime sent, fault::MsgKind kind,
+                            std::uint64_t round) {
+    if (!injector_.active()) {
+      return sent + net_.host_to_host(from, to, bytes);
+    }
+    const int sh = topo_.host_of(from);
+    const int dh = topo_.host_of(to);
+    sim::SimTime start = sent;
+    sim::SimTime timeout = config_.retry.timeout;
+    for (int attempt = 0;; ++attempt) {
+      const double factor = injector_.link_delay_factor(sh, dh, start);
+      const sim::SimTime hop = net_.host_to_host(from, to, bytes) * factor;
+      const bool last = attempt >= config_.retry.max_retries;
+      if (last ||
+          !injector_.drops_message(from, to, kind, round, attempt, start)) {
+        return start + hop;
+      }
+      // Dropped: the bytes still crossed (part of) the wire, the sender
+      // waits out the delivery timeout, then retransmits with backoff.
+      fault_per_dev_[from].messages_dropped += 1;
+      fault_per_dev_[from].retries += 1;
+      fault_per_dev_[from].retransmitted_bytes += bytes;
+      comm_per_dev_[from].retransmitted_messages += 1;
+      comm_per_dev_[from].retransmitted_bytes += bytes;
+      account_network(from, to, bytes);
+      start += timeout;
+      timeout = timeout * config_.retry.backoff;
+    }
+  }
+
   // =========================================================================
   // BSP: global rounds with a barrier (Section III-B).
   // =========================================================================
@@ -275,7 +339,10 @@ class Executor {
         }
         return false;
       }();
-      if (!any_work && config_.fixed_rounds == 0) break;
+      if (!any_work && force_sync_rounds_ == 0 && config_.fixed_rounds == 0) {
+        break;
+      }
+      if (force_sync_rounds_ > 0) --force_sync_rounds_;
       ++stats_.global_rounds;
 
       // Phase 1: compute + reduce extraction (parallel over devices).
@@ -287,7 +354,7 @@ class Executor {
                                          std::size_t) {
         for (std::size_t d = lo; d < hi; ++d) {
           if (device_has_work(static_cast<int>(d))) {
-            ready[d] += compute_one_round(static_cast<int>(d));
+            ready[d] += compute_one_round(static_cast<int>(d), ready[d]);
             computed[d] = 1;
           }
           extract_reduce_all(static_cast<int>(d), ready[d], rmsgs);
@@ -374,8 +441,12 @@ class Executor {
       }
       barrier = next_barrier;
 
+      // Fault handling at the barrier (a consistent cut): detect and
+      // recover crashes that occurred this round, then checkpoint.
+      barrier = bsp_fault_barrier(barrier);
+
       // Convergence: no frontier, no progress, and no sync changes.
-      if (config_.fixed_rounds == 0) {
+      if (config_.fixed_rounds == 0 && force_sync_rounds_ == 0) {
         bool active = false;
         for (int d = 0; d < devices_; ++d) {
           if (device_has_work(d)) active = true;
@@ -384,6 +455,159 @@ class Executor {
       }
     }
     total_time_ = barrier;
+  }
+
+  // ---- BSP fault handling ----------------------------------------------
+  /// Whether the program's state can be snapshot/restored through the
+  /// archive interface; non-checkpointable programs fall back to
+  /// degraded recovery on crash.
+  static constexpr bool kCheckpointable =
+      fault::CheckpointableState<typename Program::DeviceState>;
+
+  [[nodiscard]] std::vector<char> snapshot_device(int d) {
+    partition::ByteWriter w;
+    Dev& dev = devs_[d];
+    if constexpr (kCheckpointable) dev.state.archive(w);
+    fault::archive_bitset(w, dev.dirty_r);
+    fault::archive_bitset(w, dev.dirty_b);
+    w.vec(dev.frontier);
+    fault::archive_bitset(w, dev.in_frontier);
+    w.pod(static_cast<std::uint8_t>(dev.progress ? 1 : 0));
+    w.pod(dev.local_round);
+    return w.take();
+  }
+
+  void restore_device(int d, const std::vector<char>& bytes) {
+    partition::ByteReader r(bytes, "checkpoint restore: device " +
+                                       std::to_string(d));
+    Dev& dev = devs_[d];
+    if constexpr (kCheckpointable) dev.state.archive(r);
+    fault::restore_bitset(r, dev.dirty_r);
+    fault::restore_bitset(r, dev.dirty_b);
+    dev.frontier = r.template vec<VertexId>();
+    fault::restore_bitset(r, dev.in_frontier);
+    dev.progress = r.template pod<std::uint8_t>() != 0;
+    dev.local_round = r.template pod<std::uint32_t>();
+    r.expect_end();
+  }
+
+  /// Runs crash detection/recovery and periodic checkpointing at the
+  /// barrier; returns the barrier time including fault-handling cost.
+  sim::SimTime bsp_fault_barrier(sim::SimTime barrier) {
+    if (injector_.active()) {
+      std::vector<int> crashed;
+      while (next_crash_ < injector_.crashes().size() &&
+             injector_.crashes()[next_crash_].at <= barrier) {
+        crashed.push_back(injector_.crashes()[next_crash_].device);
+        ++next_crash_;
+      }
+      if (!crashed.empty()) barrier = bsp_recover(barrier, crashed);
+    }
+    if constexpr (kCheckpointable) {
+      if (config_.checkpoint.interval_rounds > 0 &&
+          stats_.global_rounds %
+                  static_cast<std::uint32_t>(
+                      config_.checkpoint.interval_rounds) ==
+              0) {
+        barrier = take_checkpoint(barrier);
+      }
+    }
+    return barrier;
+  }
+
+  sim::SimTime take_checkpoint(sim::SimTime barrier) {
+    fault::Checkpoint ck;
+    ck.round = stats_.global_rounds;
+    ck.devices.resize(devices_);
+    sim::SimTime worst;
+    for (int d = 0; d < devices_; ++d) {
+      ck.devices[d].bytes = snapshot_device(d);
+      const auto n = ck.devices[d].bytes.size();
+      const sim::SimTime t =
+          config_.checkpoint.write_latency + net_.device_to_host(n) +
+          sim::SimTime{static_cast<double>(n) / config_.checkpoint.disk_bw};
+      worst = sim::max(worst, t);  // devices snapshot in parallel
+    }
+    fault_global_.checkpoints_taken += 1;
+    fault_global_.checkpoint_bytes += ck.total_bytes();
+    fault_global_.checkpoint_time += worst;
+    if (ckpt_store_.persistent()) ckpt_store_.save(ck);
+    last_ckpt_ = std::move(ck);
+    return barrier + worst;
+  }
+
+  /// Recovers the devices in `crashed`: rollback-restores every device
+  /// from the last checkpoint when one exists (a globally consistent
+  /// cut, so the whole cluster rewinds together), else cold-restarts
+  /// the crashed devices with peer re-feed (graceful degradation).
+  sim::SimTime bsp_recover(sim::SimTime barrier,
+                           const std::vector<int>& crashed) {
+    for (int cd : crashed) fault_per_dev_[cd].device_crashes += 1;
+    if constexpr (kCheckpointable) {
+      if (last_ckpt_.valid()) {
+        sim::SimTime worst;
+        for (int d = 0; d < devices_; ++d) {
+          restore_device(d, last_ckpt_.devices[d].bytes);
+          const auto n = last_ckpt_.devices[d].bytes.size();
+          const sim::SimTime t =
+              config_.checkpoint.restore_latency +
+              sim::SimTime{static_cast<double>(n) /
+                           config_.checkpoint.disk_bw} +
+              net_.host_to_device(n);
+          worst = sim::max(worst, t);
+        }
+        fault_global_.rollbacks += 1;
+        fault_global_.reexecuted_rounds +=
+            stats_.global_rounds - last_ckpt_.round;
+        fault_global_.recovery_time += worst;
+        force_sync_rounds_ = std::max(force_sync_rounds_, 1);
+        return barrier + worst;
+      }
+    }
+    sim::SimTime worst;
+    for (int cd : crashed) worst = sim::max(worst, degraded_recover(cd));
+    fault_global_.recovery_time += worst;
+    // The re-feed dirty marks alone do not make device_has_work() true;
+    // keep the loop alive long enough for a reduce + broadcast sweep.
+    force_sync_rounds_ = std::max(force_sync_rounds_, 2);
+    return barrier + worst;
+  }
+
+  /// Cold-restarts device `cd` (program re-init) and marks every shared
+  /// proxy on its peers dirty so the next sync rounds re-feed the
+  /// recovered device: peer mirrors of cd's masters re-reduce, and peer
+  /// masters with mirrors on cd re-broadcast. Exact for monotone /
+  /// idempotent programs (min-label bfs/sssp/cc); returns the modeled
+  /// re-init cost.
+  sim::SimTime degraded_recover(int cd) {
+    Dev& dev = devs_[cd];
+    const auto& lg = dg_.part(cd);
+    dev.state = typename Program::DeviceState{};
+    dev.dirty_r.clear();
+    dev.dirty_b.clear();
+    dev.frontier.clear();
+    dev.in_frontier.clear();
+    program_.init(lg, dev.state, *dev.ctx);
+    merge_activations(dev);
+    dev.progress = !dev.frontier.empty();
+    for (int o = 0; o < devices_; ++o) {
+      if (o == cd) continue;
+      bool marked = false;
+      for (VertexId v : sync_.list(o, cd, reduce_filter_).mirror_local) {
+        devs_[o].dirty_r.set(v);
+        marked = true;
+      }
+      for (VertexId v : sync_.list(cd, o, bcast_filter_).master_local) {
+        devs_[o].dirty_b.set(v);
+        marked = true;
+      }
+      if (marked) devs_[o].flush_pending = true;
+    }
+    fault_global_.degraded_recoveries += 1;
+    const std::uint64_t label_bytes =
+        static_cast<std::uint64_t>(lg.num_local) * (sizeof(RV) + sizeof(BV));
+    return config_.checkpoint.restore_latency +
+           net_.host_to_device(label_bytes);
   }
 
   /// Extracts all reduce payloads from device d; advances and returns
@@ -410,7 +634,9 @@ class Executor {
       const sim::SimTime sent = advance_pipeline(cost, ready, engine);
       Msg<RV>& slot = out[static_cast<std::size_t>(d) * devices_ + o];
       slot.payload = std::move(payload);
-      slot.arrival = sent + net_.host_to_host(d, o, slot.payload.bytes);
+      slot.arrival = deliver_link(d, o, slot.payload.bytes, sent,
+                                  fault::MsgKind::kReduce,
+                                  stats_.global_rounds);
     }
     ready = sim::max(ready, engine);
   }
@@ -482,7 +708,9 @@ class Executor {
       const sim::SimTime sent = advance_pipeline(cost, ready, engine);
       Msg<BV>& slot = out[static_cast<std::size_t>(d) * devices_ + o];
       slot.payload = std::move(payload);
-      slot.arrival = sent + net_.host_to_host(d, o, slot.payload.bytes);
+      slot.arrival = deliver_link(d, o, slot.payload.bytes, sent,
+                                  fault::MsgKind::kBroadcast,
+                                  stats_.global_rounds);
     }
     return sim::max(ready, engine);
   }
@@ -557,6 +785,17 @@ class Executor {
     sim::EventQueue queue;
     inboxes_.assign(devices_, BaspInbox{});
     park_start_.assign(devices_, sim::SimTime::zero());
+    if (injector_.active()) {
+      // Under faults the omniscient-oracle shortcut is not trusted:
+      // run the real Safra detector alongside and audit it at the end.
+      td_ = std::make_unique<TerminationDetector>(devices_);
+      for (std::size_t i = 0; i < injector_.crashes().size(); ++i) {
+        queue.schedule(injector_.crashes()[i].at,
+                       [this, i, &queue](sim::SimTime t) {
+                         basp_crash(i, t, queue);
+                       });
+      }
+    }
     for (int d = 0; d < devices_; ++d) {
       queue.schedule(sim::SimTime::zero(),
                      [this, d, &queue](sim::SimTime t) {
@@ -575,6 +814,40 @@ class Executor {
       stats_.global_rounds =
           std::max(stats_.global_rounds, devs_[d].local_round);
     }
+    if (td_) {
+      // All devices are parked and all inboxes drained; the token must
+      // now complete two clean circulations. If it cannot, termination
+      // detection was broken by the fault schedule.
+      bool ok = td_->terminated();
+      for (int i = 0; i < devices_ * 4 && !ok; ++i) ok = td_->try_advance();
+      fault_global_.termination_clean = ok;
+    }
+  }
+
+  /// BASP crash handler, fired from the event queue at the fault time.
+  /// BASP has no barriers, hence no consistent cut to restore from:
+  /// recovery is always the degraded cold-restart + peer re-feed path.
+  /// In-flight messages to the crashed device stay queued (re-applying
+  /// them after re-init is safe for monotone programs and keeps the
+  /// termination detector's counters balanced).
+  void basp_crash(std::size_t idx, sim::SimTime t, sim::EventQueue& queue) {
+    const int cd = injector_.crashes()[idx].device;
+    fault_per_dev_[cd].device_crashes += 1;
+    Dev& dev = devs_[cd];
+    dev.clock = sim::max(dev.clock, t);
+    const sim::SimTime cost = degraded_recover(cd);
+    dev.clock += cost;
+    fault_global_.recovery_time += cost;
+    devs_[cd].flush_pending = true;  // re-announce own masters/mirrors
+    // Wake the recovered device and every parked peer holding re-feed
+    // marks; running peers pick the marks up in their next round.
+    for (int o = 0; o < devices_; ++o) {
+      if (o != cd && !devs_[o].flush_pending) continue;
+      const sim::SimTime wake = o == cd ? dev.clock : t;
+      queue.schedule(wake, [this, o, &queue](sim::SimTime tt) {
+        if (devs_[o].parked) basp_step(o, tt, queue);
+      });
+    }
   }
 
   void basp_step(int d, sim::SimTime now, sim::EventQueue& queue) {
@@ -586,6 +859,7 @@ class Executor {
         stats_.wait_time[d] += now - park_start_[d];
       }
       dev.parked = false;
+      if (td_) td_->set_active(d, true);
     }
     dev.clock = sim::max(dev.clock, now);
 
@@ -644,11 +918,25 @@ class Executor {
         });
         return;
       }
+      if (dev.flush_pending) {
+        // Degraded recovery marked proxies for re-feed on a device with
+        // no local work: flush them once before parking so the
+        // recovered peer actually receives the values.
+        dev.flush_pending = false;
+        if (dev.dirty_r.any() || dev.dirty_b.any()) {
+          basp_send(d, queue);
+          queue.schedule(dev.clock, [this, d, &queue](sim::SimTime t) {
+            basp_step(d, t, queue);
+          });
+          return;
+        }
+      }
       park(d, queue);
       return;
     }
 
-    dev.clock += compute_one_round(d);
+    dev.flush_pending = false;  // regular sends cover the re-feed marks
+    dev.clock += compute_one_round(d, dev.clock);
     ++dev.local_round;
     basp_send(d, queue);
     queue.schedule(dev.clock, [this, d, &queue](sim::SimTime t) {
@@ -665,6 +953,7 @@ class Executor {
            inbox.reduce.front().arrival <= dev.clock) {
       Msg<RV> m = std::move(inbox.reduce.front());
       inbox.reduce.pop_front();
+      if (td_) td_->on_receive(d);
       const StageCost cost = receive_cost(d, m.payload);
       stats_.device_comm_time[d] += cost.total();
       dev.clock += cost.total();
@@ -683,6 +972,7 @@ class Executor {
     while (!inbox.bcast.empty() && inbox.bcast.front().arrival <= dev.clock) {
       Msg<BV> m = std::move(inbox.bcast.front());
       inbox.bcast.pop_front();
+      if (td_) td_->on_receive(d);
       const StageCost cost = receive_cost(d, m.payload);
       stats_.device_comm_time[d] += cost.total();
       dev.clock += cost.total();
@@ -741,9 +1031,12 @@ class Executor {
                                          : payload.count());
     stats_.device_comm_time[d] += cost.total();
     const sim::SimTime sent = advance_pipeline(cost, dev.clock, engine);
-    const sim::SimTime arrival =
-        sent + net_.host_to_host(d, o, payload.bytes);
+    const sim::SimTime arrival = deliver_link(
+        d, o, payload.bytes, sent,
+        bcast ? fault::MsgKind::kBroadcast : fault::MsgKind::kReduce,
+        dev.local_round);
     account_network(d, o, payload.bytes);
+    if (td_) td_->on_send(d);
     Msg<T> msg;
     msg.arrival = arrival;
     msg.sender_round = dev.local_round;
@@ -774,6 +1067,7 @@ class Executor {
   void park(int d, sim::EventQueue&) {
     devs_[d].parked = true;
     park_start_[d] = devs_[d].clock;
+    if (td_) td_->set_active(d, false);
   }
 
   [[nodiscard]] bool pending_arrivals(int d) const {
@@ -813,8 +1107,12 @@ class Executor {
     for (int d = 0; d < devices_; ++d) {
       stats_.peak_memory[d] = devs_[d].memory->peak();
       stats_.comm += comm_per_dev_[d];
+      stats_.faults += fault_per_dev_[d];
       result.states.push_back(std::move(devs_[d].state));
     }
+    stats_.faults += fault_global_;
+    stats_.faults.faults_injected =
+        stats_.faults.device_crashes + injector_.windowed_events();
     stats_.total_time = total_time_;
     result.stats = std::move(stats_);
     return result;
@@ -838,6 +1136,16 @@ class Executor {
   std::uint64_t traced_volume_ = 0;
   RunStats stats_;
   sim::SimTime total_time_;
+
+  // Fault-injection state.
+  fault::FaultInjector injector_;
+  std::vector<fault::FaultStats> fault_per_dev_;  // parallel-phase safe
+  fault::FaultStats fault_global_;
+  fault::Checkpoint last_ckpt_;
+  fault::CheckpointStore ckpt_store_;
+  std::size_t next_crash_ = 0;
+  int force_sync_rounds_ = 0;  // keep BSP alive for post-recovery sync
+  std::unique_ptr<TerminationDetector> td_;  // audited under faults
 };
 
 /// Convenience entry point: partitioned graph + topology + config in,

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "comm/accounting.hpp"
+#include "fault/fault.hpp"
 #include "sim/sim_time.hpp"
 
 namespace sg::engine {
@@ -42,6 +43,10 @@ struct RunStats {
   std::vector<std::uint64_t> peak_memory;      ///< device bytes
 
   comm::CommStats comm;
+
+  /// Fault-injection and recovery accounting (all zeros on
+  /// failure-free runs).
+  fault::FaultStats faults;
 
   [[nodiscard]] sim::SimTime max_compute() const {
     sim::SimTime m;

@@ -1,0 +1,50 @@
+#include "fault/checkpoint.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sg::fault {
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir)
+    : dir_(std::move(dir)) {
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path CheckpointStore::device_file(std::uint64_t round,
+                                                   int device) const {
+  return dir_ / ("ckpt_r" + std::to_string(round) + "_d" +
+                 std::to_string(device) + ".sgck");
+}
+
+void CheckpointStore::save(const Checkpoint& ck) const {
+  if (!persistent()) return;
+  for (int d = 0; d < static_cast<int>(ck.devices.size()); ++d) {
+    partition::write_checksummed_file(device_file(ck.round, d), kMagic,
+                                      kVersion, ck.devices[d].bytes);
+  }
+}
+
+Checkpoint CheckpointStore::load(std::uint64_t round, int num_devices) const {
+  if (!persistent()) {
+    throw std::runtime_error("CheckpointStore: no directory configured");
+  }
+  Checkpoint ck;
+  ck.round = round;
+  ck.devices.resize(num_devices);
+  for (int d = 0; d < num_devices; ++d) {
+    ck.devices[d].bytes = partition::read_checksummed_file(
+        device_file(round, d), kMagic, kVersion, "checkpoint restore");
+  }
+  return ck;
+}
+
+bool CheckpointStore::exists(std::uint64_t round, int num_devices) const {
+  if (!persistent()) return false;
+  for (int d = 0; d < num_devices; ++d) {
+    if (!std::filesystem::exists(device_file(round, d))) return false;
+  }
+  return true;
+}
+
+}  // namespace sg::fault

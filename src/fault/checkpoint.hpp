@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "comm/bitset.hpp"
+#include "partition/blob_io.hpp"
+
+namespace sg::fault {
+
+/// Serialized program state of one device at a BSP barrier.
+struct DeviceSnapshot {
+  std::vector<char> bytes;
+};
+
+/// A globally consistent cut: one snapshot per device, taken at the
+/// same barrier (BSP barriers are consistent cuts — no in-flight
+/// messages cross them), so restoring every device from the same
+/// Checkpoint resumes the run exactly.
+struct Checkpoint {
+  std::uint64_t round = 0;
+  std::vector<DeviceSnapshot> devices;
+
+  [[nodiscard]] bool valid() const { return !devices.empty(); }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& d : devices) n += d.bytes.size();
+    return n;
+  }
+};
+
+/// Persists checkpoints with the same checksummed envelope as the
+/// partition store (magic 'SGCK'), one file per device per barrier.
+/// Also usable purely in memory when no directory is configured.
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+  explicit CheckpointStore(std::filesystem::path dir);
+
+  [[nodiscard]] bool persistent() const { return !dir_.empty(); }
+
+  /// Writes every device snapshot of `ck` to disk (no-op when not
+  /// persistent).
+  void save(const Checkpoint& ck) const;
+
+  /// Loads the checkpoint taken at `round`; throws a descriptive
+  /// std::runtime_error on missing, truncated, or corrupt files.
+  [[nodiscard]] Checkpoint load(std::uint64_t round, int num_devices) const;
+
+  [[nodiscard]] bool exists(std::uint64_t round, int num_devices) const;
+
+  [[nodiscard]] std::filesystem::path device_file(std::uint64_t round,
+                                                  int device) const;
+
+  static constexpr std::array<char, 4> kMagic = {'S', 'G', 'C', 'K'};
+  static constexpr std::uint32_t kVersion = 1;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Bitset (de)serialization helpers shared by executor checkpointing.
+template <typename Writer>
+void archive_bitset(Writer& w, const comm::Bitset& b) {
+  w.pod(static_cast<std::uint64_t>(b.size()));
+  w.vec(b.words());
+}
+
+template <typename Reader>
+void restore_bitset(Reader& r, comm::Bitset& b) {
+  const auto n = r.template pod<std::uint64_t>();
+  b.resize(n);
+  b.words() = r.template vec<std::uint64_t>();
+}
+
+/// Program device state that knows how to serialize itself through the
+/// variadic ByteWriter/ByteReader archive interface.
+template <typename State>
+concept CheckpointableState = requires(State& s, partition::ByteWriter& w,
+                                       partition::ByteReader& r) {
+  s.archive(w);
+  s.archive(r);
+};
+
+}  // namespace sg::fault

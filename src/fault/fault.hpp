@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace sg::fault {
+
+/// Fault taxonomy injected on the simulated timeline. Matches the
+/// failure modes a 32-host multi-GPU cluster actually sees (ROADMAP
+/// north star): whole-device loss, whole-host loss, degraded links,
+/// lossy links, and slow devices.
+enum class FaultKind : std::uint8_t {
+  kDeviceCrash,   ///< one device loses all volatile program state
+  kHostCrash,     ///< every device on the host crashes simultaneously
+  kLinkDegrade,   ///< cross-host bandwidth cut by `severity` for a window
+  kMessageDrop,   ///< each delivery attempt dropped with prob `severity`
+  kStraggler,     ///< device compute slowed by factor `severity`
+};
+
+/// One scheduled fault. `at` is absolute simulated time; `duration`
+/// of zero means open-ended (lasts to the end of the run). `severity`
+/// is a slowdown multiplier (>= 1) for kLinkDegrade/kStraggler and a
+/// drop probability in [0, 1) for kMessageDrop; unused for crashes.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDeviceCrash;
+  sim::SimTime at = sim::SimTime::zero();
+  sim::SimTime duration = sim::SimTime::zero();
+  int device = -1;     ///< kDeviceCrash / kStraggler target
+  int host = -1;       ///< kHostCrash target; link endpoint for windows
+  int peer_host = -1;  ///< other link endpoint (-1 = any peer)
+  double severity = 0.0;
+};
+
+/// Deterministic, seeded fault schedule. The seed feeds the per-message
+/// drop hash, so two runs with the same plan and workload inject
+/// byte-identical fault sequences.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultEvent> events;
+
+  FaultPlan& crash_device(int device, sim::SimTime at) {
+    events.push_back({.kind = FaultKind::kDeviceCrash, .at = at,
+                      .device = device});
+    return *this;
+  }
+  FaultPlan& crash_host(int host, sim::SimTime at) {
+    events.push_back({.kind = FaultKind::kHostCrash, .at = at, .host = host});
+    return *this;
+  }
+  /// Cuts bandwidth between `host` and `peer_host` (-1 = all peers) by
+  /// `slowdown` (>= 1) during [at, at+duration).
+  FaultPlan& degrade_link(int host, int peer_host, sim::SimTime at,
+                          sim::SimTime duration, double slowdown) {
+    events.push_back({.kind = FaultKind::kLinkDegrade, .at = at,
+                      .duration = duration, .host = host,
+                      .peer_host = peer_host, .severity = slowdown});
+    return *this;
+  }
+  /// Drops each cross-device delivery attempt with probability
+  /// `probability` during [at, at+duration); duration zero = open-ended.
+  FaultPlan& drop_messages(double probability, sim::SimTime at,
+                           sim::SimTime duration = sim::SimTime::zero()) {
+    events.push_back({.kind = FaultKind::kMessageDrop, .at = at,
+                      .duration = duration, .severity = probability});
+    return *this;
+  }
+  /// Slows `device`'s compute by `slowdown` (>= 1) during
+  /// [at, at+duration); duration zero = open-ended.
+  FaultPlan& straggle(int device, sim::SimTime at, sim::SimTime duration,
+                      double slowdown) {
+    events.push_back({.kind = FaultKind::kStraggler, .at = at,
+                      .duration = duration, .device = device,
+                      .severity = slowdown});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Self-healing delivery: a message not acknowledged within `timeout`
+/// of simulated time is retransmitted, with the timeout growing by
+/// `backoff` per attempt. The final attempt (attempt == max_retries)
+/// always delivers, bounding worst-case delay and guaranteeing BASP
+/// cannot deadlock on a lossy link.
+struct RetryPolicy {
+  sim::SimTime timeout = sim::SimTime::micros(50.0);
+  double backoff = 2.0;
+  int max_retries = 5;
+};
+
+/// BSP-barrier checkpointing. `interval_rounds` of zero disables
+/// checkpointing (crash recovery then falls back to degraded re-init).
+/// When `dir` is non-empty snapshots are persisted there with the same
+/// checksummed envelope as the partition store; otherwise they are kept
+/// in memory only (cost-modeled the same either way).
+struct CheckpointPolicy {
+  int interval_rounds = 0;
+  std::filesystem::path dir;
+  double disk_bw = 2e9;  ///< bytes/s for the modeled snapshot write
+  sim::SimTime write_latency = sim::SimTime::micros(200.0);
+  sim::SimTime restore_latency = sim::SimTime::micros(200.0);
+};
+
+/// Fault/recovery counters folded into engine::RunStats so bench/ can
+/// plot failure-free vs faulty runs side by side.
+struct FaultStats {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t device_crashes = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retransmitted_bytes = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t rollbacks = 0;            ///< checkpoint restores
+  std::uint64_t degraded_recoveries = 0;  ///< re-inits without checkpoint
+  std::uint64_t reexecuted_rounds = 0;
+  sim::SimTime checkpoint_time = sim::SimTime::zero();
+  sim::SimTime recovery_time = sim::SimTime::zero();
+  sim::SimTime straggler_delay = sim::SimTime::zero();
+  /// False iff termination detection misbehaved under faults (BASP
+  /// ended with in-flight messages or an unterminated token ring).
+  bool termination_clean = true;
+
+  FaultStats& operator+=(const FaultStats& o) {
+    faults_injected += o.faults_injected;
+    device_crashes += o.device_crashes;
+    messages_dropped += o.messages_dropped;
+    retries += o.retries;
+    retransmitted_bytes += o.retransmitted_bytes;
+    checkpoints_taken += o.checkpoints_taken;
+    checkpoint_bytes += o.checkpoint_bytes;
+    rollbacks += o.rollbacks;
+    degraded_recoveries += o.degraded_recoveries;
+    reexecuted_rounds += o.reexecuted_rounds;
+    checkpoint_time = checkpoint_time + o.checkpoint_time;
+    recovery_time = recovery_time + o.recovery_time;
+    straggler_delay = straggler_delay + o.straggler_delay;
+    termination_clean = termination_clean && o.termination_clean;
+    return *this;
+  }
+};
+
+}  // namespace sg::fault

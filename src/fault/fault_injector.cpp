@@ -1,0 +1,110 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace sg::fault {
+
+namespace {
+
+/// splitmix64 finalizer — a full-avalanche mix so that consecutive
+/// (round, attempt) pairs decorrelate completely.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a hash chain over the inputs.
+double hash_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c) {
+  std::uint64_t h = mix64(seed ^ mix64(a));
+  h = mix64(h ^ mix64(b));
+  h = mix64(h ^ mix64(c));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
+    : plan_(plan), topo_(topo) {
+  active_ = plan_ != nullptr && !plan_->empty() && topo_ != nullptr;
+  if (!active_) return;
+  for (const FaultEvent& e : plan_->events) {
+    switch (e.kind) {
+      case FaultKind::kDeviceCrash:
+        // Plans can name devices a smaller run doesn't have; ignore them
+        // instead of letting the engine index out of range.
+        if (e.device >= 0 && e.device < topo_->num_devices()) {
+          crashes_.push_back({e.at, e.device});
+        }
+        break;
+      case FaultKind::kHostCrash:
+        for (int d = 0; d < topo_->num_devices(); ++d) {
+          if (topo_->host_of(d) == e.host) crashes_.push_back({e.at, d});
+        }
+        break;
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kMessageDrop:
+      case FaultKind::kStraggler:
+        ++windowed_events_;
+        break;
+    }
+  }
+  std::sort(crashes_.begin(), crashes_.end(),
+            [](const ResolvedCrash& a, const ResolvedCrash& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.device < b.device;
+            });
+}
+
+double FaultInjector::link_delay_factor(int src_host, int dst_host,
+                                        sim::SimTime at) const {
+  if (!active_ || src_host == dst_host) return 1.0;
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_->events) {
+    if (e.kind != FaultKind::kLinkDegrade || !in_window(e, at)) continue;
+    const bool touches =
+        (e.host == src_host || e.host == dst_host) &&
+        (e.peer_host < 0 || e.peer_host == src_host ||
+         e.peer_host == dst_host);
+    if (touches && e.severity > factor) factor = e.severity;
+  }
+  return factor;
+}
+
+double FaultInjector::compute_slowdown(int device, sim::SimTime at) const {
+  if (!active_) return 1.0;
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_->events) {
+    if (e.kind != FaultKind::kStraggler || e.device != device ||
+        !in_window(e, at)) {
+      continue;
+    }
+    if (e.severity > factor) factor = e.severity;
+  }
+  return factor;
+}
+
+bool FaultInjector::drops_message(int from, int to, MsgKind kind,
+                                  std::uint64_t round, int attempt,
+                                  sim::SimTime at) const {
+  if (!active_) return false;
+  double prob = 0.0;
+  for (const FaultEvent& e : plan_->events) {
+    if (e.kind != FaultKind::kMessageDrop || !in_window(e, at)) continue;
+    if (e.severity > prob) prob = e.severity;
+  }
+  if (prob <= 0.0) return false;
+  // Key the decision on everything that identifies the attempt so each
+  // retransmission re-rolls independently but deterministically.
+  const std::uint64_t endpoints =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+      static_cast<std::uint32_t>(to);
+  const std::uint64_t tag =
+      (round << 8) | (static_cast<std::uint64_t>(attempt) << 1) |
+      static_cast<std::uint64_t>(kind);
+  return hash_uniform(plan_->seed, endpoints, tag, 0x5347464c54ULL) < prob;
+}
+
+}  // namespace sg::fault

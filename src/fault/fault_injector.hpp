@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/topology.hpp"
+
+namespace sg::fault {
+
+/// Message class a delivery belongs to; feeds the drop hash so reduce
+/// and broadcast legs of the same round draw independent decisions.
+enum class MsgKind : std::uint8_t { kReduce = 0, kBroadcast = 1 };
+
+/// A crash fault expanded to a single device (host crashes expand to
+/// one entry per resident device), sorted by time.
+struct ResolvedCrash {
+  sim::SimTime at = sim::SimTime::zero();
+  int device = -1;
+};
+
+/// Evaluates a FaultPlan against the simulated timeline. All queries
+/// are pure functions of (plan, arguments) — no mutable RNG state — so
+/// they are safe to call from parallel BSP phases and give identical
+/// answers across reruns with the same seed.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultPlan* plan, const sim::Topology* topo);
+
+  /// True when a plan with at least one event is attached.
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Crash faults expanded per device, in time order.
+  [[nodiscard]] const std::vector<ResolvedCrash>& crashes() const {
+    return crashes_;
+  }
+
+  /// Multiplier (>= 1) applied to cross-host transfer time between
+  /// `src_host` and `dst_host` for a transfer starting at `at`.
+  [[nodiscard]] double link_delay_factor(int src_host, int dst_host,
+                                         sim::SimTime at) const;
+
+  /// Multiplier (>= 1) applied to `device`'s compute time at `at`.
+  [[nodiscard]] double compute_slowdown(int device, sim::SimTime at) const;
+
+  /// Deterministically decides whether delivery attempt `attempt` of the
+  /// (from -> to, kind, round) message starting at `at` is dropped.
+  [[nodiscard]] bool drops_message(int from, int to, MsgKind kind,
+                                   std::uint64_t round, int attempt,
+                                   sim::SimTime at) const;
+
+  /// Number of windowed (non-crash) fault events in the plan; counted
+  /// as injected faults in FaultStats.
+  [[nodiscard]] std::uint64_t windowed_events() const {
+    return windowed_events_;
+  }
+
+ private:
+  [[nodiscard]] bool in_window(const FaultEvent& e, sim::SimTime at) const {
+    if (at < e.at) return false;
+    return e.duration <= sim::SimTime::zero() || at < e.at + e.duration;
+  }
+
+  const FaultPlan* plan_ = nullptr;
+  const sim::Topology* topo_ = nullptr;
+  bool active_ = false;
+  std::vector<ResolvedCrash> crashes_;
+  std::uint64_t windowed_events_ = 0;
+};
+
+}  // namespace sg::fault

@@ -1,0 +1,247 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sg::partition::detail {
+template <typename T>
+struct is_pair : std::false_type {};
+template <typename A, typename B>
+struct is_pair<std::pair<A, B>> : std::true_type {};
+}  // namespace sg::partition::detail
+
+namespace sg::partition {
+
+/// FNV-1a 64-bit content checksum. Shared by the on-disk partition
+/// store and the fault subsystem's checkpoint files so both formats
+/// detect truncation and bit corruption the same way.
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                                           std::uint64_t seed =
+                                               0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Serializes PODs and vectors into a flat byte buffer. Doubles as the
+/// write-side archive for checkpointable program state: `ar(a, b, c)`
+/// serializes each field in declaration order.
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void pod(const T& value) {
+    const auto* p = reinterpret_cast<const char*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof value);
+  }
+
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    pod(static_cast<std::uint64_t>(v.size()));
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (!v.empty()) {
+        const auto* p = reinterpret_cast<const char*>(v.data());
+        bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
+      }
+    } else {
+      for (const T& e : v) field(e);
+    }
+  }
+
+  template <typename... Ts>
+  void operator()(const Ts&... fields) {
+    (field(fields), ...);
+  }
+
+  [[nodiscard]] const std::vector<char>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<char> take() { return std::move(bytes_); }
+
+ private:
+  template <typename T>
+  void field(const T& f) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      pod(f);
+    } else if constexpr (detail::is_pair<T>::value) {
+      // std::pair is not trivially copyable even for POD members;
+      // serialize memberwise (also avoids writing padding bytes).
+      field(f.first);
+      field(f.second);
+    } else {
+      vec(f);
+    }
+  }
+
+  std::vector<char> bytes_;
+};
+
+/// Bounds-checked reader over a serialized buffer; every underflow or
+/// implausible length throws a std::runtime_error naming `context`
+/// instead of reading garbage. Doubles as the read-side archive.
+class ByteReader {
+ public:
+  ByteReader(const std::vector<char>& data, std::string context)
+      : data_(data.data()), size_(data.size()), context_(std::move(context)) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T pod() {
+    need(sizeof(T), "value");
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof value);
+    pos_ += sizeof value;
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> vec() {
+    const auto n = pod<std::uint64_t>();
+    std::vector<T> v;
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (n > (size_ - pos_) / sizeof(T)) {
+        throw std::runtime_error(context_ + ": array length " +
+                                 std::to_string(n) +
+                                 " exceeds remaining file size (corrupt?)");
+      }
+      if (n != 0) {
+        v.resize(n);
+        std::memcpy(v.data(), data_ + pos_, n * sizeof(T));
+        pos_ += n * sizeof(T);
+      }
+    } else {
+      if (n > size_ - pos_) {  // each element needs >= 1 byte
+        throw std::runtime_error(context_ + ": array length " +
+                                 std::to_string(n) +
+                                 " exceeds remaining file size (corrupt?)");
+      }
+      v.resize(n);
+      for (T& e : v) field(e);
+    }
+    return v;
+  }
+
+  template <typename... Ts>
+  void operator()(Ts&... fields) {
+    (field(fields), ...);
+  }
+
+  /// Asserts the buffer was consumed exactly (catches format drift).
+  void expect_end() const {
+    if (pos_ != size_) {
+      throw std::runtime_error(context_ + ": " +
+                               std::to_string(size_ - pos_) +
+                               " trailing bytes after payload (corrupt?)");
+    }
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  void field(T& f) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      f = pod<T>();
+    } else if constexpr (detail::is_pair<T>::value) {
+      field(f.first);
+      field(f.second);
+    } else {
+      f = vec<typename T::value_type>();
+    }
+  }
+
+  void need(std::size_t n, const char* what) const {
+    if (size_ - pos_ < n) {
+      throw std::runtime_error(context_ + ": truncated " + what + " (need " +
+                               std::to_string(n) + " bytes, have " +
+                               std::to_string(size_ - pos_) + ")");
+    }
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+/// Checksummed file envelope shared by partition parts, manifests, and
+/// checkpoints:  magic(4) | version(4) | payload_size(8) | payload |
+/// fnv1a64(payload)(8).
+inline void write_checksummed_file(const std::filesystem::path& path,
+                                   std::array<char, 4> magic,
+                                   std::uint32_t version,
+                                   const std::vector<char>& payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string() +
+                             " for writing");
+  }
+  out.write(magic.data(), magic.size());
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  const auto size = static_cast<std::uint64_t>(payload.size());
+  out.write(reinterpret_cast<const char*>(&size), sizeof size);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const std::uint64_t sum = fnv1a64(payload.data(), payload.size());
+  out.write(reinterpret_cast<const char*>(&sum), sizeof sum);
+  if (!out) {
+    throw std::runtime_error("short write to " + path.string());
+  }
+}
+
+/// Reads and validates a checksummed file; returns the payload. Throws
+/// a descriptive std::runtime_error on missing file, bad magic,
+/// version mismatch, truncation, or checksum failure.
+[[nodiscard]] inline std::vector<char> read_checksummed_file(
+    const std::filesystem::path& path, std::array<char, 4> magic,
+    std::uint32_t version, const std::string& context) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(context + ": cannot open " + path.string());
+  }
+  std::array<char, 4> file_magic{};
+  in.read(file_magic.data(), file_magic.size());
+  if (!in || file_magic != magic) {
+    throw std::runtime_error(context + ": bad magic in " + path.string());
+  }
+  std::uint32_t file_version = 0;
+  in.read(reinterpret_cast<char*>(&file_version), sizeof file_version);
+  if (!in || file_version != version) {
+    throw std::runtime_error(context + ": unsupported version " +
+                             std::to_string(file_version) + " in " +
+                             path.string() + " (expected " +
+                             std::to_string(version) + ")");
+  }
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof size);
+  if (!in) {
+    throw std::runtime_error(context + ": truncated header in " +
+                             path.string());
+  }
+  std::vector<char> payload(size);
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  std::uint64_t stored_sum = 0;
+  in.read(reinterpret_cast<char*>(&stored_sum), sizeof stored_sum);
+  if (!in) {
+    throw std::runtime_error(context + ": truncated payload in " +
+                             path.string());
+  }
+  const std::uint64_t sum = fnv1a64(payload.data(), payload.size());
+  if (sum != stored_sum) {
+    throw std::runtime_error(context + ": checksum mismatch in " +
+                             path.string() + " (file is corrupt)");
+  }
+  return payload;
+}
+
+}  // namespace sg::partition

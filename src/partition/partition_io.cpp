@@ -1,97 +1,47 @@
 #include "partition/partition_io.hpp"
 
 #include <array>
-#include <fstream>
 #include <stdexcept>
+
+#include "partition/blob_io.hpp"
 
 namespace sg::partition {
 
 namespace {
 
 constexpr std::array<char, 4> kMagic = {'S', 'G', 'P', 'T'};
-constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
-
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error("load_partition: truncated file");
-  return value;
-}
-
-template <typename T>
-void write_vec(std::ofstream& out, const std::vector<T>& v) {
-  write_pod(out, static_cast<std::uint64_t>(v.size()));
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::ifstream& in) {
-  const auto n = read_pod<std::uint64_t>(in);
-  std::vector<T> v(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  if (!in) throw std::runtime_error("load_partition: truncated array");
-  return v;
-}
+// v2: checksummed envelope (blob_io) instead of raw streams.
+constexpr std::uint32_t kVersion = 2;
 
 void write_local_graph(const LocalGraph& lg,
                        const std::filesystem::path& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("save_partition: cannot open " + path.string());
-  }
-  out.write(kMagic.data(), kMagic.size());
-  write_pod(out, kVersion);
-  write_pod(out, lg.device);
-  write_pod(out, lg.num_masters);
-  write_pod(out, lg.num_local);
-  write_vec(out, lg.out_offsets);
-  write_vec(out, lg.out_dsts);
-  write_vec(out, lg.out_weights);
-  write_vec(out, lg.in_offsets);
-  write_vec(out, lg.in_srcs);
-  write_vec(out, lg.in_weights);
-  write_vec(out, lg.l2g);
-  write_vec(out, lg.vertex_flags);
-  write_vec(out, lg.global_out_degree);
-  write_vec(out, lg.global_in_degree);
+  ByteWriter w;
+  w.pod(lg.device);
+  w.pod(lg.num_masters);
+  w.pod(lg.num_local);
+  w(lg.out_offsets, lg.out_dsts, lg.out_weights, lg.in_offsets, lg.in_srcs,
+    lg.in_weights, lg.l2g, lg.vertex_flags, lg.global_out_degree,
+    lg.global_in_degree);
+  write_checksummed_file(path, kMagic, kVersion, w.bytes());
 }
 
 LocalGraph read_local_graph(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("load_partition: cannot open " + path.string());
-  }
-  std::array<char, 4> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("load_partition: bad magic in " +
+  const auto payload =
+      read_checksummed_file(path, kMagic, kVersion, "load_partition");
+  ByteReader r(payload, "load_partition: " + path.string());
+  LocalGraph lg;
+  lg.device = r.pod<int>();
+  lg.num_masters = r.pod<graph::VertexId>();
+  lg.num_local = r.pod<graph::VertexId>();
+  r(lg.out_offsets, lg.out_dsts, lg.out_weights, lg.in_offsets, lg.in_srcs,
+    lg.in_weights, lg.l2g, lg.vertex_flags, lg.global_out_degree,
+    lg.global_in_degree);
+  r.expect_end();
+  if (lg.l2g.size() != lg.num_local ||
+      lg.vertex_flags.size() != lg.num_local) {
+    throw std::runtime_error("load_partition: inconsistent vertex counts in " +
                              path.string());
   }
-  if (read_pod<std::uint32_t>(in) != kVersion) {
-    throw std::runtime_error("load_partition: unsupported version");
-  }
-  LocalGraph lg;
-  lg.device = read_pod<int>(in);
-  lg.num_masters = read_pod<graph::VertexId>(in);
-  lg.num_local = read_pod<graph::VertexId>(in);
-  lg.out_offsets = read_vec<graph::EdgeId>(in);
-  lg.out_dsts = read_vec<graph::VertexId>(in);
-  lg.out_weights = read_vec<graph::Weight>(in);
-  lg.in_offsets = read_vec<graph::EdgeId>(in);
-  lg.in_srcs = read_vec<graph::VertexId>(in);
-  lg.in_weights = read_vec<graph::Weight>(in);
-  lg.l2g = read_vec<graph::VertexId>(in);
-  lg.vertex_flags = read_vec<std::uint8_t>(in);
-  lg.global_out_degree = read_vec<graph::VertexId>(in);
-  lg.global_in_degree = read_vec<graph::VertexId>(in);
   // The host-side translation map is rebuilt rather than stored.
   lg.g2l.reserve(lg.l2g.size() * 2);
   for (graph::VertexId v = 0; v < lg.num_local; ++v) {
@@ -104,33 +54,28 @@ LocalGraph read_local_graph(const std::filesystem::path& path) {
 
 void save_partition(const DistGraph& dg, const std::filesystem::path& dir) {
   std::filesystem::create_directories(dir);
-  std::ofstream out(dir / "manifest.sgp", std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("save_partition: cannot open manifest in " +
-                             dir.string());
-  }
-  out.write(kMagic.data(), kMagic.size());
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint32_t>(dg.options().policy));
-  write_pod(out, dg.options().num_devices);
-  write_pod(out, dg.options().grid_rows);
-  write_pod(out, dg.options().grid_cols);
-  write_pod(out, dg.options().hvc_threshold_factor);
-  write_pod(out, dg.options().seed);
-  write_pod(out, dg.global_vertices());
-  write_pod(out, dg.global_edges());
-  write_pod(out, static_cast<std::uint8_t>(dg.weighted() ? 1 : 0));
-  write_pod(out, dg.grid().rows());
-  write_pod(out, dg.grid().cols());
-  write_vec(out, dg.master_directory());
+  ByteWriter w;
+  w.pod(static_cast<std::uint32_t>(dg.options().policy));
+  w.pod(dg.options().num_devices);
+  w.pod(dg.options().grid_rows);
+  w.pod(dg.options().grid_cols);
+  w.pod(dg.options().hvc_threshold_factor);
+  w.pod(dg.options().seed);
+  w.pod(dg.global_vertices());
+  w.pod(dg.global_edges());
+  w.pod(static_cast<std::uint8_t>(dg.weighted() ? 1 : 0));
+  w.pod(dg.grid().rows());
+  w.pod(dg.grid().cols());
+  w.vec(dg.master_directory());
   // Stats (so a loaded partition reports the same quality numbers).
-  write_pod(out, dg.stats().replication_factor);
-  write_pod(out, dg.stats().static_balance);
-  write_pod(out, dg.stats().memory_balance);
-  write_pod(out, dg.stats().max_bytes);
-  write_pod(out, dg.stats().total_bytes);
-  write_vec(out, dg.stats().edges_per_device);
-  write_vec(out, dg.stats().bytes_per_device);
+  w.pod(dg.stats().replication_factor);
+  w.pod(dg.stats().static_balance);
+  w.pod(dg.stats().memory_balance);
+  w.pod(dg.stats().max_bytes);
+  w.pod(dg.stats().total_bytes);
+  w.vec(dg.stats().edges_per_device);
+  w.vec(dg.stats().bytes_per_device);
+  write_checksummed_file(dir / "manifest.sgp", kMagic, kVersion, w.bytes());
 
   for (int d = 0; d < dg.num_devices(); ++d) {
     write_local_graph(dg.part(d),
@@ -139,41 +84,42 @@ void save_partition(const DistGraph& dg, const std::filesystem::path& dir) {
 }
 
 DistGraph load_partition(const std::filesystem::path& dir) {
-  std::ifstream in(dir / "manifest.sgp", std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("load_partition: cannot open manifest in " +
-                             dir.string());
-  }
-  std::array<char, 4> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("load_partition: bad manifest magic");
-  }
-  if (read_pod<std::uint32_t>(in) != kVersion) {
-    throw std::runtime_error("load_partition: unsupported version");
-  }
+  const auto payload = read_checksummed_file(dir / "manifest.sgp", kMagic,
+                                             kVersion, "load_partition");
+  ByteReader r(payload, "load_partition: " + (dir / "manifest.sgp").string());
   PartitionOptions opts;
-  opts.policy = static_cast<Policy>(read_pod<std::uint32_t>(in));
-  opts.num_devices = read_pod<int>(in);
-  opts.grid_rows = read_pod<int>(in);
-  opts.grid_cols = read_pod<int>(in);
-  opts.hvc_threshold_factor = read_pod<double>(in);
-  opts.seed = read_pod<std::uint64_t>(in);
-  const auto global_vertices = read_pod<graph::VertexId>(in);
-  const auto global_edges = read_pod<graph::EdgeId>(in);
-  const bool weighted = read_pod<std::uint8_t>(in) != 0;
-  const int grid_rows = read_pod<int>(in);
-  const int grid_cols = read_pod<int>(in);
-  auto master_of = read_vec<int>(in);
+  opts.policy = static_cast<Policy>(r.pod<std::uint32_t>());
+  opts.num_devices = r.pod<int>();
+  opts.grid_rows = r.pod<int>();
+  opts.grid_cols = r.pod<int>();
+  opts.hvc_threshold_factor = r.pod<double>();
+  opts.seed = r.pod<std::uint64_t>();
+  const auto global_vertices = r.pod<graph::VertexId>();
+  const auto global_edges = r.pod<graph::EdgeId>();
+  const bool weighted = r.pod<std::uint8_t>() != 0;
+  const int grid_rows = r.pod<int>();
+  const int grid_cols = r.pod<int>();
+  auto master_of = r.vec<int>();
+
+  if (opts.num_devices <= 0) {
+    throw std::runtime_error("load_partition: manifest device count " +
+                             std::to_string(opts.num_devices) +
+                             " is not positive (corrupt?)");
+  }
+  if (master_of.size() != global_vertices) {
+    throw std::runtime_error(
+        "load_partition: master directory size does not match vertex count");
+  }
 
   PartitionStats stats;
-  stats.replication_factor = read_pod<double>(in);
-  stats.static_balance = read_pod<double>(in);
-  stats.memory_balance = read_pod<double>(in);
-  stats.max_bytes = read_pod<std::uint64_t>(in);
-  stats.total_bytes = read_pod<std::uint64_t>(in);
-  stats.edges_per_device = read_vec<graph::EdgeId>(in);
-  stats.bytes_per_device = read_vec<std::uint64_t>(in);
+  stats.replication_factor = r.pod<double>();
+  stats.static_balance = r.pod<double>();
+  stats.memory_balance = r.pod<double>();
+  stats.max_bytes = r.pod<std::uint64_t>();
+  stats.total_bytes = r.pod<std::uint64_t>();
+  stats.edges_per_device = r.vec<graph::EdgeId>();
+  stats.bytes_per_device = r.vec<std::uint64_t>();
+  r.expect_end();
 
   std::vector<LocalGraph> parts;
   parts.reserve(static_cast<std::size_t>(opts.num_devices));

@@ -1,8 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/sim_time.hpp"
@@ -21,26 +22,27 @@ class EventQueue {
 
   /// Schedules `cb` to fire at absolute simulated time `when`.
   void schedule(SimTime when, Callback cb) {
-    heap_.push(Event{when, next_seq_++, std::move(cb)});
+    heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event; only valid when !empty().
-  [[nodiscard]] SimTime next_time() const { return heap_.top().when; }
+  [[nodiscard]] SimTime next_time() const { return heap_.front().when; }
 
   /// Pops and runs the earliest event; returns its firing time.
   SimTime run_next() {
-    // std::priority_queue::top returns const&; the event must be moved
-    // out before pop, so we const_cast the (logically owned) top slot.
-    auto& top = const_cast<Event&>(heap_.top());
-    const SimTime when = top.when;
-    Callback cb = std::move(top.cb);
-    heap_.pop();
-    now_ = when;
-    cb(when);
-    return when;
+    // pop_heap moves the earliest event to the back, from which it can
+    // be moved out without const_cast (UBSan-clean, unlike mutating
+    // priority_queue::top()).
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = ev.when;
+    ev.cb(ev.when);
+    return ev.when;
   }
 
   /// Runs events until the queue drains; returns the last firing time.
@@ -66,7 +68,9 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Min-heap via std::push_heap/std::pop_heap over a plain vector;
+  // `Later` orders max-heap-style so front() is the earliest event.
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   SimTime now_ = SimTime::zero();
 };

@@ -1,0 +1,461 @@
+// Fault-injection subsystem tests: checksummed storage hardening,
+// sync-pattern audit regression, event-queue safety, deterministic
+// fault plans, and crash/drop/straggler recovery integration on bfs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "algo/reference.hpp"
+#include "engine/termination.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_injector.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "partition/blob_io.hpp"
+#include "partition/partition_io.hpp"
+#include "sim/event_queue.hpp"
+#include "helpers.hpp"
+
+namespace sg {
+namespace {
+
+using test::cfg;
+using test::params;
+using test::PreparedGraph;
+using test::topo;
+
+graph::Csr small_social() {
+  graph::SyntheticSpec s;
+  s.vertices = 600;
+  s.edges = 5000;
+  s.zipf_out = 0.7;
+  s.zipf_in = 0.8;
+  s.hub_in_frac = 0.05;
+  s.communities = 3;
+  s.seed = 7;
+  return graph::synthetic(s);
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void flip_byte(const std::filesystem::path& p, std::streamoff off) {
+  std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(off);
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(off);
+  f.write(&c, 1);
+}
+
+void truncate_file(const std::filesystem::path& p, std::uintmax_t keep) {
+  std::filesystem::resize_file(p, keep);
+}
+
+// ---- blob_io -----------------------------------------------------------
+
+TEST(BlobIo, WriterReaderRoundTripIncludingNestedVectors) {
+  partition::ByteWriter w;
+  std::vector<std::uint32_t> a{1, 2, 3};
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> nested{
+      {{1, 10}, {2, 20}}, {}, {{3, 30}}};
+  std::uint64_t x = 99;
+  bool flag = true;
+  w(a, nested, x, flag);
+
+  partition::ByteReader r(w.bytes(), "test");
+  std::vector<std::uint32_t> a2;
+  decltype(nested) nested2;
+  std::uint64_t x2 = 0;
+  bool flag2 = false;
+  r(a2, nested2, x2, flag2);
+  r.expect_end();
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(nested2, nested);
+  EXPECT_EQ(x2, x);
+  EXPECT_EQ(flag2, flag);
+}
+
+TEST(BlobIo, ReaderRejectsTruncationAndBogusLengths) {
+  partition::ByteWriter w;
+  w.vec(std::vector<std::uint64_t>{1, 2, 3});
+  auto bytes = w.take();
+
+  // Claim more elements than the buffer can hold.
+  bytes[0] = 120;  // little-endian length now absurd
+  partition::ByteReader r(bytes, "test");
+  EXPECT_THROW((void)r.vec<std::uint64_t>(), std::runtime_error);
+
+  // Truncated POD read.
+  std::vector<char> tiny{1, 2};
+  partition::ByteReader r2(tiny, "test");
+  EXPECT_THROW((void)r2.pod<std::uint64_t>(), std::runtime_error);
+}
+
+TEST(BlobIo, ChecksummedFileDetectsCorruptionAndBadMagic) {
+  const auto dir = fresh_dir("sg_blobio");
+  const auto path = dir / "blob.bin";
+  const std::array<char, 4> magic{'T', 'E', 'S', 'T'};
+  std::vector<char> payload{10, 20, 30, 40, 50};
+  partition::write_checksummed_file(path, magic, 1, payload);
+  EXPECT_EQ(partition::read_checksummed_file(path, magic, 1, "t"), payload);
+
+  flip_byte(path, 18);  // inside the payload
+  EXPECT_THROW(
+      (void)partition::read_checksummed_file(path, magic, 1, "t"),
+      std::runtime_error);
+
+  partition::write_checksummed_file(path, magic, 1, payload);
+  EXPECT_THROW((void)partition::read_checksummed_file(
+                   path, {'N', 'O', 'P', 'E'}, 1, "t"),
+               std::runtime_error);
+  EXPECT_THROW((void)partition::read_checksummed_file(path, magic, 9, "t"),
+               std::runtime_error);
+}
+
+// ---- partition store hardening ----------------------------------------
+
+TEST(PartitionStoreHardening, DetectsCorruptAndTruncatedParts) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::OEC, 2);
+  const auto dir = fresh_dir("sg_part_corrupt");
+  partition::save_partition(prep.dist, dir);
+
+  // Pristine round-trip still works.
+  EXPECT_NO_THROW((void)partition::load_partition(dir));
+
+  // A flipped byte deep inside a part file must be caught by checksum.
+  flip_byte(dir / "part_0.sgp", 600);
+  try {
+    (void)partition::load_partition(dir);
+    FAIL() << "corrupt part file was not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+
+  // Re-save, then truncate the manifest.
+  partition::save_partition(prep.dist, dir);
+  truncate_file(dir / "manifest.sgp", 40);
+  EXPECT_THROW((void)partition::load_partition(dir), std::runtime_error);
+}
+
+// ---- SyncPattern audit (Gluon Section III-D1) --------------------------
+
+TEST(SyncPatternAudit, PushAndPullDeriveDifferentFilters) {
+  const auto push = comm::SyncPattern::push();
+  EXPECT_EQ(push.reduce_filter(), comm::ProxyFilter::kWithIn);
+  EXPECT_EQ(push.broadcast_filter(), comm::ProxyFilter::kWithOut);
+
+  // Pull reads source values AND read-modify-writes the destination:
+  // the reduced result must reach every proxy of the vertex.
+  const auto pull = comm::SyncPattern::pull();
+  EXPECT_EQ(pull.reduce_filter(), comm::ProxyFilter::kWithIn);
+  EXPECT_EQ(pull.broadcast_filter(), comm::ProxyFilter::kAll);
+  EXPECT_NE(pull.broadcast_filter(), push.broadcast_filter());
+}
+
+// ---- event queue -------------------------------------------------------
+
+TEST(EventQueueSafety, OrdersByTimeThenInsertionSequence) {
+  sim::EventQueue q;
+  std::vector<int> order;
+  q.schedule(sim::SimTime{2.0}, [&](sim::SimTime) { order.push_back(0); });
+  q.schedule(sim::SimTime{1.0}, [&](sim::SimTime) { order.push_back(1); });
+  q.schedule(sim::SimTime{1.0}, [&](sim::SimTime) { order.push_back(2); });
+  EXPECT_EQ(q.next_time(), sim::SimTime{1.0});
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(q.now(), sim::SimTime{2.0});
+}
+
+TEST(EventQueueSafety, EventsScheduledFromCallbacksRun) {
+  sim::EventQueue q;
+  int fired = 0;
+  q.schedule(sim::SimTime{1.0}, [&](sim::SimTime t) {
+    ++fired;
+    q.schedule(t + sim::SimTime{1.0}, [&](sim::SimTime) { ++fired; });
+  });
+  q.run_to_completion();
+  EXPECT_EQ(fired, 2);
+}
+
+// ---- checkpoint store --------------------------------------------------
+
+TEST(CheckpointStoreTest, RoundTripAndCorruptionDetection) {
+  const auto dir = fresh_dir("sg_ckpt");
+  fault::CheckpointStore store(dir);
+  fault::Checkpoint ck;
+  ck.round = 6;
+  ck.devices.resize(2);
+  ck.devices[0].bytes = {1, 2, 3, 4};
+  ck.devices[1].bytes = {5, 6};
+  store.save(ck);
+  ASSERT_TRUE(store.exists(6, 2));
+  const auto loaded = store.load(6, 2);
+  EXPECT_EQ(loaded.round, 6u);
+  EXPECT_EQ(loaded.devices[0].bytes, ck.devices[0].bytes);
+  EXPECT_EQ(loaded.devices[1].bytes, ck.devices[1].bytes);
+  EXPECT_EQ(loaded.total_bytes(), 6u);
+
+  flip_byte(store.device_file(6, 1), 17);
+  EXPECT_THROW((void)store.load(6, 2), std::runtime_error);
+  EXPECT_FALSE(store.exists(7, 2));
+}
+
+// ---- fault injector ----------------------------------------------------
+
+TEST(FaultInjectorTest, HostCrashExpandsAndDropsAreDeterministic) {
+  const auto t = topo(4);  // 2 hosts x 2 devices
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_messages(0.5, sim::SimTime::zero());
+  plan.crash_host(1, sim::SimTime{1.0});
+  const fault::FaultInjector inj(&plan, &t);
+  ASSERT_TRUE(inj.active());
+  ASSERT_EQ(inj.crashes().size(), 2u);
+  EXPECT_EQ(inj.crashes()[0].device, 2);
+  EXPECT_EQ(inj.crashes()[1].device, 3);
+  EXPECT_EQ(inj.windowed_events(), 1u);
+
+  int drops = 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const bool x = inj.drops_message(0, 1, fault::MsgKind::kReduce, 3,
+                                     attempt, sim::SimTime{0.5});
+    EXPECT_EQ(x, inj.drops_message(0, 1, fault::MsgKind::kReduce, 3,
+                                   attempt, sim::SimTime{0.5}));
+    drops += x ? 1 : 0;
+  }
+  // ~50% drop probability: both outcomes must occur.
+  EXPECT_GT(drops, 10);
+  EXPECT_LT(drops, 54);
+
+  // Crash events naming devices this run doesn't have are ignored
+  // instead of driving the engine out of range.
+  fault::FaultPlan bogus;
+  bogus.crash_device(99, sim::SimTime{1.0});
+  bogus.crash_device(-3, sim::SimTime{1.0});
+  const fault::FaultInjector inj2(&bogus, &t);
+  EXPECT_TRUE(inj2.crashes().empty());
+
+  const fault::FaultInjector inactive;
+  EXPECT_FALSE(inactive.active());
+  EXPECT_FALSE(inactive.drops_message(0, 1, fault::MsgKind::kReduce, 3, 0,
+                                      sim::SimTime{0.5}));
+}
+
+TEST(FaultInjectorTest, WindowedStragglerAndLinkDegrade) {
+  const auto t = topo(4);
+  fault::FaultPlan plan;
+  plan.straggle(1, sim::SimTime{1.0}, sim::SimTime{2.0}, 4.0);
+  plan.degrade_link(0, 1, sim::SimTime{1.0}, sim::SimTime{2.0}, 8.0);
+  const fault::FaultInjector inj(&plan, &t);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, sim::SimTime{0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, sim::SimTime{1.5}), 4.0);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, sim::SimTime{3.5}), 1.0);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(0, sim::SimTime{1.5}), 1.0);
+  EXPECT_DOUBLE_EQ(inj.link_delay_factor(0, 1, sim::SimTime{1.5}), 8.0);
+  EXPECT_DOUBLE_EQ(inj.link_delay_factor(0, 1, sim::SimTime{4.0}), 1.0);
+  // Same host: never degraded.
+  EXPECT_DOUBLE_EQ(inj.link_delay_factor(0, 0, sim::SimTime{1.5}), 1.0);
+}
+
+// ---- termination detection under message loss --------------------------
+
+TEST(TerminationUnderLoss, DroppedThenRetriedMessageDoesNotFalselyTerminate) {
+  engine::TerminationDetector td(3);
+  // Everyone starts active; quiesce processes 1 and 2, and let 0 send a
+  // message to 1 whose delivery is delayed by drop + retry.
+  td.on_send(0);
+  td.set_active(0, false);
+  td.set_active(1, false);
+  td.set_active(2, false);
+  // While the message is in flight, the token may circulate as long as
+  // it likes without declaring termination.
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_FALSE(td.try_advance());
+  }
+  // Retry finally delivers; the receiver processes it and re-parks.
+  td.on_receive(1);
+  td.set_active(1, true);
+  td.set_active(1, false);
+  bool done = false;
+  for (int i = 0; i < 24 && !done; ++i) done = td.try_advance();
+  EXPECT_TRUE(done);
+}
+
+// ---- integration: crash / drop / straggler recovery --------------------
+
+struct BfsFixture {
+  graph::Csr g = small_social();
+  graph::VertexId src = graph::datasets::default_source(g);
+  PreparedGraph prep{g, partition::Policy::OEC, 4};
+  sim::Topology t = topo(4);
+  sim::CostParams p = params();
+
+  algo::BfsResult run(const engine::EngineConfig& c) {
+    return algo::run_bfs(prep.dist, prep.sync, t, p, c, src);
+  }
+};
+
+TEST(FaultRecovery, BspCrashWithCheckpointRestartIsBitIdentical) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+  EXPECT_EQ(ff.stats.faults.faults_injected, 0u);
+  EXPECT_EQ(ff.stats.faults.checkpoints_taken, 0u);
+
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.crash_device(1, ff.stats.total_time * 0.5);
+  plan.drop_messages(0.3, sim::SimTime::zero());
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  faulty.checkpoint.interval_rounds = 1;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);  // bit-identical final labels
+  EXPECT_EQ(fr.dist, algo::reference::bfs(fx.g, fx.src));
+  EXPECT_EQ(fr.stats.faults.device_crashes, 1u);
+  EXPECT_GE(fr.stats.faults.rollbacks, 1u);
+  EXPECT_GT(fr.stats.faults.reexecuted_rounds, 0u);
+  EXPECT_GT(fr.stats.faults.retries, 0u);
+  EXPECT_GT(fr.stats.faults.messages_dropped, 0u);
+  EXPECT_GT(fr.stats.faults.checkpoints_taken, 0u);
+  EXPECT_GT(fr.stats.faults.faults_injected, 0u);
+  EXPECT_GT(fr.stats.faults.recovery_time, sim::SimTime::zero());
+  EXPECT_GT(fr.stats.faults.checkpoint_time, sim::SimTime::zero());
+  EXPECT_GT(fr.stats.total_time, ff.stats.total_time);
+  EXPECT_GT(fr.stats.comm.retransmitted_messages, 0u);
+  EXPECT_GT(fr.stats.comm.retransmitted_bytes, 0u);
+
+  // Fixed seed + same plan => byte-identical rerun.
+  const auto fr2 = fx.run(faulty);
+  EXPECT_EQ(fr2.dist, fr.dist);
+  EXPECT_EQ(fr2.stats.total_time, fr.stats.total_time);
+  EXPECT_EQ(fr2.stats.faults.retries, fr.stats.faults.retries);
+}
+
+TEST(FaultRecovery, BspCheckpointsPersistToDiskWhenConfigured) {
+  BfsFixture fx;
+  const auto dir = fresh_dir("sg_bsp_ckpt");
+  auto c = cfg(engine::ExecModel::kSync);
+  c.checkpoint.interval_rounds = 2;
+  c.checkpoint.dir = dir;
+  const auto r = fx.run(c);
+  EXPECT_GT(r.stats.faults.checkpoints_taken, 0u);
+  bool found = false;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".sgck") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FaultRecovery, BspCrashWithoutCheckpointDegradedRecovery) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.crash_device(2, ff.stats.total_time * 0.5);
+  auto faulty = base;
+  faulty.fault_plan = &plan;  // no checkpoint interval: degraded path
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.stats.faults.device_crashes, 1u);
+  EXPECT_EQ(fr.stats.faults.rollbacks, 0u);
+  EXPECT_GE(fr.stats.faults.degraded_recoveries, 1u);
+  EXPECT_GT(fr.stats.faults.recovery_time, sim::SimTime::zero());
+}
+
+TEST(FaultRecovery, BspHostCrashRecoversAllResidentDevices) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.crash_host(1, ff.stats.total_time * 0.5);  // devices 2 and 3
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.stats.faults.device_crashes, 2u);
+  EXPECT_GE(fr.stats.faults.degraded_recoveries, 2u);
+}
+
+TEST(FaultRecovery, BaspDropPlanNeitherDeadlocksNorFalselyTerminates) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kAsync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_messages(0.25, sim::SimTime::zero());
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  // No deadlock (the run finished), correct labels (no false/early
+  // termination), and the Safra audit agrees the quiescence was real.
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.dist, algo::reference::bfs(fx.g, fx.src));
+  EXPECT_GT(fr.stats.faults.messages_dropped, 0u);
+  EXPECT_GT(fr.stats.faults.retries, 0u);
+  EXPECT_TRUE(fr.stats.faults.termination_clean);
+  EXPECT_GE(fr.stats.total_time, ff.stats.total_time);
+}
+
+TEST(FaultRecovery, BaspCrashRecoversViaPeerRefeed) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kAsync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.crash_device(2, ff.stats.total_time * 0.4);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.stats.faults.device_crashes, 1u);
+  EXPECT_GE(fr.stats.faults.degraded_recoveries, 1u);
+  EXPECT_TRUE(fr.stats.faults.termination_clean);
+}
+
+TEST(FaultRecovery, StragglerPlanIsDeterministicAcrossReruns) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.straggle(1, sim::SimTime::zero(), sim::SimTime::zero(), 3.0);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto a = fx.run(faulty);
+  const auto b = fx.run(faulty);
+
+  EXPECT_EQ(a.dist, ff.dist);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.stats.total_time, b.stats.total_time);
+  EXPECT_GT(a.stats.faults.straggler_delay, sim::SimTime::zero());
+  EXPECT_GT(a.stats.total_time, ff.stats.total_time);
+}
+
+}  // namespace
+}  // namespace sg

@@ -7,9 +7,14 @@
 //     interval pays more checkpoint overhead but re-executes fewer
 //     rounds after rollback; interval 0 falls back to degraded
 //     (cold-restart + peer re-feed) recovery.
-//  2. Message-drop sweep under BSP: per-message retry-with-backoff cost
+//  2. Permanent device-loss sweep: the same failure expressed three
+//     ways — elastic re-homing onto the survivors (lose_device + the
+//     φ-accrual detector), transient cold restart (crash + degraded
+//     peer re-feed), and transient checkpoint rollback — compared on
+//     recovery time and re-executed work at several loss times.
+//  3. Message-drop sweep under BSP: per-message retry-with-backoff cost
 //     as the drop probability rises (retransmitted volume and time).
-//  3. The same drop sweep under BASP, where the Safra-style termination
+//  4. The same drop sweep under BASP, where the Safra-style termination
 //     audit must still report clean quiescence.
 //
 // All runs with the same plan are bit-deterministic, so every number
@@ -71,6 +76,60 @@ int main() {
                      std::to_string(f.reexecuted_rounds),
                      bench::fmt_time(f.checkpoint_time.seconds()),
                      bench::fmt_time(f.recovery_time.seconds())});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "== permanent device loss vs transient crash: recovery strategy "
+      "sweep ==\n"
+      "rehome   = device never returns; φ-accrual eviction, masters\n"
+      "           re-elected on surviving proxies, orphans rebalanced\n"
+      "           (run finishes on %d GPUs)\n"
+      "cold     = device restarts blank; degraded peer re-feed\n"
+      "rollback = device restarts; restore checkpoint (interval 2)\n",
+      gpus - 1);
+  {
+    bench::Table table({"Strategy", "LossAt", "Total", "Overhead", "Reexec",
+                        "RecT", "DetLat", "Rehomed", "Migrated"});
+    for (const double frac : {0.25, 0.5, 0.75}) {
+      const auto at = base.stats.total_time * frac;
+      char when[16];
+      std::snprintf(when, sizeof when, "%.0f%%", frac * 100.0);
+      struct Strategy {
+        const char* name;
+        bool permanent;
+        std::uint32_t interval;
+      };
+      for (const Strategy s : {Strategy{"rehome", true, 0u},
+                               Strategy{"cold", false, 0u},
+                               Strategy{"rollback", false, 2u}}) {
+        fault::FaultPlan plan;
+        plan.seed = 1;
+        if (s.permanent) {
+          plan.lose_device(gpus / 2, at);
+        } else {
+          plan.crash_device(gpus / 2, at);
+        }
+        auto cfg = bsp;
+        cfg.fault_plan = &plan;
+        cfg.checkpoint.interval_rounds = s.interval;
+        const auto r =
+            fw::DIrGL::run(fw::Benchmark::kBfs, prep, topo, params, cfg);
+        if (!r.ok) continue;
+        const auto& f = r.stats.faults;
+        char overhead[32];
+        std::snprintf(overhead, sizeof overhead, "%.1f%%",
+                      (r.stats.total_time.seconds() / t0 - 1.0) * 100.0);
+        table.add_row({s.name, when,
+                       bench::fmt_time(r.stats.total_time.seconds()),
+                       overhead, std::to_string(f.reexecuted_rounds),
+                       bench::fmt_time(f.recovery_time.seconds()),
+                       bench::fmt_time(f.detection_latency.seconds()),
+                       std::to_string(f.rehomed_masters),
+                       std::to_string(f.migrated_vertices)});
+      }
     }
     table.print();
     std::printf("\n");

@@ -38,6 +38,11 @@ class BfsProgram {
     void archive(Ar& ar) {
       ar(dist);
     }
+
+    template <class Ar>
+    void archive_vertex(Ar& ar, graph::VertexId v) {
+      ar(dist[v]);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

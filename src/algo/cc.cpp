@@ -15,7 +15,7 @@ CcResult run_cc_impl(const partition::DistGraph& dg,
   auto result = engine::run(dg, sync, topo, params, config, program);
   CcResult out;
   out.label = gather_master_values<std::uint32_t>(
-      dg, result.states,
+      result.layout(dg), result.states,
       [](const typename Program::DeviceState& st, graph::VertexId v) {
         return st.label[v];
       });

@@ -37,6 +37,11 @@ class CcProgram {
     void archive(Ar& ar) {
       ar(label);
     }
+
+    template <class Ar>
+    void archive_vertex(Ar& ar, graph::VertexId v) {
+      ar(label[v]);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,
@@ -122,6 +127,9 @@ class CcPointerJumpProgram {
     void archive(Ar& ar) {
       ar(label, parent, hooked);
     }
+    // No archive_vertex: the DSU parent pointers are local ids, which a
+    // post-eviction rebuild renumbers; re-homing falls back to a cold
+    // restart on the shrunken layout for this program.
 
     graph::VertexId find(graph::VertexId v) {
       while (parent[v] != v) {

@@ -20,7 +20,7 @@ BfsResult run_bfs_direction_opt(const partition::DistGraph& dg,
   auto result = engine::run(dg, sync, topo, params, config, program);
   BfsResult out;
   out.dist = gather_master_values<std::uint32_t>(
-      dg, result.states,
+      result.layout(dg), result.states,
       [](const DirectionOptBfsProgram::DeviceState& st, graph::VertexId v) {
         return st.dist[v];
       });

@@ -44,6 +44,11 @@ class DirectionOptBfsProgram {
     void archive(Ar& ar) {
       ar(dist);
     }
+
+    template <class Ar>
+    void archive_vertex(Ar& ar, graph::VertexId v) {
+      ar(dist[v]);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

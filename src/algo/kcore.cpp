@@ -13,7 +13,7 @@ KCoreResult run_kcore(const partition::DistGraph& dg,
   auto result = engine::run(dg, sync, topo, params, config, program);
   KCoreResult out;
   out.in_core = gather_master_values<std::uint8_t>(
-      dg, result.states,
+      result.layout(dg), result.states,
       [](const KCoreProgram::DeviceState& st, graph::VertexId v) {
         return static_cast<std::uint8_t>(st.dead[v] == 0 ? 1 : 0);
       });

@@ -62,6 +62,11 @@ class KCoreProgram {
     void archive(Ar& ar) {
       ar(trim, dead, cur_deg, processed);
     }
+
+    template <class Ar>
+    void archive_vertex(Ar& ar, graph::VertexId v) {
+      ar(trim[v], dead[v], cur_deg[v], processed[v]);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

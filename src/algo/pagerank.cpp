@@ -14,7 +14,7 @@ PageRankResult run_pagerank(const partition::DistGraph& dg,
   auto result = engine::run(dg, sync, topo, params, config, program);
   PageRankResult out;
   out.rank = gather_master_values<float>(
-      dg, result.states,
+      result.layout(dg), result.states,
       [](const PageRankPullProgram::DeviceState& st, graph::VertexId v) {
         return st.rank[v];
       });
@@ -32,7 +32,7 @@ PageRankResult run_pagerank_lux(const partition::DistGraph& dg,
   auto result = engine::run(dg, sync, topo, params, config, program);
   PageRankResult out;
   out.rank = gather_master_values<float>(
-      dg, result.states,
+      result.layout(dg), result.states,
       [](const LuxPageRankProgram::DeviceState& st, graph::VertexId v) {
         return st.rank[v];
       });

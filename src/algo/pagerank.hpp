@@ -57,6 +57,12 @@ class PageRankPullProgram {
       ar(rank, resid, accum, delta, consumed_total, consumed_cache,
          seen_total);
     }
+
+    template <class Ar>
+    void archive_vertex(Ar& ar, graph::VertexId v) {
+      ar(rank[v], resid[v], accum[v], delta[v], consumed_total[v],
+         consumed_cache[v], seen_total[v]);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,
@@ -151,6 +157,34 @@ class PageRankPullProgram {
       }
     }
     (void)lg;
+    ctx.push(v);
+  }
+
+  /// Reconcile the monotone consumption counters after master re-homing.
+  void on_rehome(const partition::LocalGraph& lg, DeviceState& st,
+                 graph::VertexId v, engine::RehomeRole role,
+                 engine::RoundCtx& ctx) const {
+    if (role == engine::RehomeRole::kPromotedMaster) {
+      // A promoted mirror copy never maintained the master counter; an
+      // adopted lost-master copy already carries it. max() covers both.
+      st.consumed_total[v] =
+          std::max(st.consumed_total[v], st.consumed_cache[v]);
+      // Pending un-shipped mirror contributions now have no remote
+      // master to go to — this copy IS the master; fold them in.
+      if (st.accum[v] != 0.0f) {
+        st.resid[v] += st.accum[v];
+        st.accum[v] = 0.0f;
+      }
+    } else if (role == engine::RehomeRole::kAdopted && !lg.is_master(v) &&
+               st.consumed_total[v] > st.consumed_cache[v]) {
+      // A lost *master* copy adopted as a mirror: the lost device
+      // already emitted [0, consumed_total] over exactly these migrated
+      // edges, and the adopted pending resid will be consumed locally
+      // here — fast-forward the replay cursor past both so the new
+      // master's broadcasts do not replay them a second time.
+      st.consumed_cache[v] = st.consumed_total[v];
+      st.seen_total[v] = st.consumed_total[v] + st.resid[v];
+    }
     ctx.push(v);
   }
 

@@ -15,7 +15,7 @@ PprResult run_ppr(const partition::DistGraph& dg,
   auto result = engine::run(dg, sync, topo, params, config, program);
   PprResult out;
   out.mass = gather_master_values<double>(
-      dg, result.states,
+      result.layout(dg), result.states,
       [](const PprProgram::DeviceState& st, graph::VertexId v) {
         return st.mass[v];
       });

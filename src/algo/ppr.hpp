@@ -54,6 +54,12 @@ class PprProgram {
       ar(mass, resid, accum, replay, consumed_total, consumed_cache,
          seen_total);
     }
+
+    template <class Ar>
+    void archive_vertex(Ar& ar, graph::VertexId v) {
+      ar(mass[v], resid[v], accum[v], replay[v], consumed_total[v],
+         consumed_cache[v], seen_total[v]);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,
@@ -152,6 +158,35 @@ class PprProgram {
         ctx.push(v);
       }
     }
+  }
+
+  /// Reconcile the monotone consumption counters after master re-homing.
+  void on_rehome(const partition::LocalGraph& lg, DeviceState& st,
+                 graph::VertexId v, engine::RehomeRole role,
+                 engine::RoundCtx& ctx) const {
+    if (role == engine::RehomeRole::kPromotedMaster) {
+      st.consumed_total[v] =
+          std::max(st.consumed_total[v], st.consumed_cache[v]);
+      // Un-shipped mirror partials fold straight into the canonical
+      // residual — this copy is the master now.
+      if (st.accum[v] != 0.0) {
+        st.resid[v] += st.accum[v];
+        st.accum[v] = 0.0;
+      }
+    } else if (role == engine::RehomeRole::kAdopted && !lg.is_master(v) &&
+               st.consumed_total[v] > st.consumed_cache[v]) {
+      // Lost *master* copy adopted as a mirror. Unlike pagerank-pull,
+      // ppr mirrors never consume residual themselves; the adopted
+      // pending resid is re-consumed by the promoted master and arrives
+      // back here through the broadcast replay — so the cursor stops at
+      // consumed_total (not past the resid) and the inert canonical
+      // residual is cleared to avoid double-counting on a later
+      // promotion of this copy.
+      st.consumed_cache[v] = st.consumed_total[v];
+      st.seen_total[v] = st.consumed_total[v];
+      st.resid[v] = 0.0;
+    }
+    ctx.push(v);
   }
 
  private:

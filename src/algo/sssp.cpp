@@ -13,7 +13,7 @@ SsspResult run_sssp(const partition::DistGraph& dg,
   auto result = engine::run(dg, sync, topo, params, config, program);
   SsspResult out;
   out.dist = gather_master_values<std::uint64_t>(
-      dg, result.states,
+      result.layout(dg), result.states,
       [](const SsspProgram::DeviceState& st, graph::VertexId v) {
         return st.dist[v];
       });

@@ -48,6 +48,14 @@ class DeltaSsspProgram {
     void archive(Ar& ar) {
       ar(dist, buckets, cursor, pending);
     }
+
+    // Only the distance migrates; the engine's post-recovery frontier
+    // re-feed re-enqueues every finite-dist vertex via compute_round's
+    // activation fold, rebuilding the buckets on the new layout.
+    template <class Ar>
+    void archive_vertex(Ar& ar, graph::VertexId v) {
+      ar(dist[v]);
+    }
   };
 
   void init(const partition::LocalGraph& lg, DeviceState& st,

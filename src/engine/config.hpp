@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
 
 #include "comm/field_sync.hpp"
@@ -65,8 +66,19 @@ struct EngineConfig {
   /// Self-healing delivery parameters (used only when faults are
   /// active; lossless runs pay nothing).
   fault::RetryPolicy retry;
-  /// BSP-barrier checkpoint cadence; interval_rounds 0 disables.
+  /// BSP-barrier checkpoint cadence; interval_rounds 0 disables. Under
+  /// BASP checkpoints are taken at Safra-clean quiescence points (all
+  /// devices parked, nothing in flight) instead of barriers.
   fault::CheckpointPolicy checkpoint;
+  /// φ-accrual failure detection parameters (used only when the fault
+  /// plan schedules permanent device losses).
+  fault::HealthPolicy health;
+  /// Directory of a saved partition store (`partition::save_partition`).
+  /// When set, elastic redistribution after a device loss re-reads the
+  /// lost device's subgraph from this checksummed store (charging the
+  /// modeled disk read); when empty, the simulator's in-memory topology
+  /// is used and only the disk cost is skipped.
+  std::filesystem::path partition_store_dir;
 };
 
 /// The paper's named variants (Section IV-C).

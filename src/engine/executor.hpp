@@ -19,7 +19,10 @@
 #include "engine/termination.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault_injector.hpp"
+#include "fault/health.hpp"
 #include "partition/dist_graph.hpp"
+#include "partition/partition_io.hpp"
+#include "partition/rehome.hpp"
 #include "sim/device_memory.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/gpu_cost_model.hpp"
@@ -35,6 +38,17 @@ template <typename Program>
 struct RunResult {
   std::vector<typename Program::DeviceState> states;
   RunStats stats;
+  /// Set when a permanent device loss re-homed masters mid-run: the
+  /// rebuilt layout the final states live on. Result extraction must
+  /// read master values against this graph, not the input one.
+  std::shared_ptr<const partition::DistGraph> final_layout;
+
+  /// The layout `states` is indexed by: the rebuilt one after an
+  /// eviction, otherwise the original.
+  [[nodiscard]] const partition::DistGraph& layout(
+      const partition::DistGraph& original) const {
+    return final_layout ? *final_layout : original;
+  }
 };
 
 /// Distributed executor over the simulated cluster. Computation is real
@@ -53,8 +67,8 @@ class Executor {
   Executor(const partition::DistGraph& dg, const comm::SyncStructure& sync,
            const sim::Topology& topo, const sim::CostParams& params,
            const EngineConfig& config, const Program& program)
-      : dg_(dg),
-        sync_(sync),
+      : dgp_(&dg),
+        syncp_(&sync),
         topo_(topo),
         params_(params),
         net_(topo, params),
@@ -107,10 +121,25 @@ class Executor {
   };
 
   void setup() {
+    if (config_.checkpoint.interval_rounds > 0 && !kCheckpointable) {
+      // S-gate: reject instead of silently skipping snapshots — a user
+      // who configured a cadence must learn the model cannot honor it.
+      throw std::invalid_argument(
+          std::string("Executor: checkpointing requested (interval_rounds=") +
+          std::to_string(config_.checkpoint.interval_rounds) +
+          ") but program '" + program_.name() +
+          "' has no archive() on its DeviceState; it cannot be "
+          "checkpointed");
+    }
+    if (!injector_.losses().empty() && devices_ < 2) {
+      throw std::invalid_argument(
+          "Executor: the fault plan schedules a permanent device loss but "
+          "the topology has no surviving device to re-home masters onto");
+    }
     stats_.resize(devices_);
     devs_.resize(devices_);
     for (int d = 0; d < devices_; ++d) {
-      const auto& lg = dg_.part(d);
+      const auto& lg = dg().part(d);
       Dev& dev = devs_[d];
       dev.memory = std::make_unique<sim::DeviceMemory>(
           d, topo_.spec(d).memory_bytes);
@@ -140,6 +169,10 @@ class Executor {
     if (!config_.checkpoint.dir.empty()) {
       ckpt_store_ = fault::CheckpointStore(config_.checkpoint.dir);
     }
+    monitor_ = fault::HeartbeatMonitor(config_.health, &injector_, devices_);
+    dead_.assign(devices_, 0);
+    silent_.assign(devices_, 0);
+    last_basp_ckpt_round_ = 0;
   }
 
   /// Registers every buffer the engine conceptually places on the GPU.
@@ -154,23 +187,23 @@ class Executor {
     mem.allocate("labels", label_bytes);
     mem.allocate("worklist", static_cast<std::uint64_t>(lg.num_local) * 8 +
                                  lg.num_local / 4);
-    mem.allocate("sync_metadata", sync_.metadata_bytes(d));
+    mem.allocate("sync_metadata", sync().metadata_bytes(d));
     if (config_.balancer == sim::Balancer::LB) {
       // Merrill-style load-balanced search needs a per-edge scan array.
       mem.allocate("lb_scratch", lg.num_out_edges() * 4);
     }
     if (config_.global_label_overhead_bytes > 0) {
       mem.allocate("global_arrays",
-                   static_cast<std::uint64_t>(dg_.global_vertices()) *
+                   static_cast<std::uint64_t>(dg().global_vertices()) *
                        config_.global_label_overhead_bytes);
     }
     std::uint64_t buffers = 0;
     for (int o = 0; o < devices_; ++o) {
       buffers += static_cast<std::uint64_t>(
-                     sync_.list(d, o, comm::ProxyFilter::kAll).size()) *
+                     sync().list(d, o, comm::ProxyFilter::kAll).size()) *
                  (sizeof(RV) + 4);
       buffers += static_cast<std::uint64_t>(
-                     sync_.list(o, d, comm::ProxyFilter::kAll).size()) *
+                     sync().list(o, d, comm::ProxyFilter::kAll).size()) *
                  (sizeof(BV) + 4);
     }
     mem.allocate("comm_buffers", buffers);
@@ -182,7 +215,7 @@ class Executor {
   /// and updates work stats. Purely device-local.
   sim::SimTime compute_one_round(int d, sim::SimTime at) {
     Dev& dev = devs_[d];
-    const auto& lg = dg_.part(d);
+    const auto& lg = dg().part(d);
     dev.ctx->reset_work();
     std::vector<VertexId> frontier;
     frontier.swap(dev.frontier);
@@ -333,14 +366,33 @@ class Executor {
         config_.fixed_rounds > 0 ? config_.fixed_rounds : config_.max_rounds;
 
     for (std::uint32_t round = 0; round < round_limit; ++round) {
+      // A lost-but-unevicted device is silent: it stops computing and
+      // sending at its loss time, and peers stop extracting toward it
+      // (no delivery can ever be acknowledged, so the runtime keeps
+      // those updates dirty instead of destroying them at extraction).
+      if (monitor_.active()) {
+        for (int d = 0; d < devices_; ++d) {
+          silent_[d] =
+              (dead_[d] || injector_.lost_at(d) <= barrier) ? 1 : 0;
+        }
+      }
+      const bool losses_pending =
+          monitor_.active() && !monitor_.all_losses_evicted();
       const bool any_work = [&] {
         for (int d = 0; d < devices_; ++d) {
+          if (silent_[d]) continue;
           if (device_has_work(d)) return true;
         }
         return false;
       }();
       if (!any_work && force_sync_rounds_ == 0 && config_.fixed_rounds == 0) {
-        break;
+        if (!losses_pending) break;
+        // Survivors are done but a lost device has not crossed the
+        // eviction threshold yet: idle until the detector fires (the
+        // run is not over — re-homing may re-activate work).
+        barrier = barrier + config_.health.heartbeat_interval;
+        barrier = bsp_fault_barrier(barrier);
+        continue;
       }
       if (force_sync_rounds_ > 0) --force_sync_rounds_;
       ++stats_.global_rounds;
@@ -353,6 +405,7 @@ class Executor {
       pool.parallel_for(0, devices_, [&](std::size_t lo, std::size_t hi,
                                          std::size_t) {
         for (std::size_t d = lo; d < hi; ++d) {
+          if (silent_[d]) continue;
           if (device_has_work(static_cast<int>(d))) {
             ready[d] += compute_one_round(static_cast<int>(d), ready[d]);
             computed[d] = 1;
@@ -388,6 +441,7 @@ class Executor {
       pool.parallel_for(0, devices_, [&](std::size_t lo, std::size_t hi,
                                          std::size_t) {
         for (std::size_t d = lo; d < hi; ++d) {
+          if (silent_[d]) continue;
           after_bext[d] =
               extract_bcast_all(static_cast<int>(d), after_recv[d], bmsgs);
         }
@@ -445,10 +499,13 @@ class Executor {
       // recover crashes that occurred this round, then checkpoint.
       barrier = bsp_fault_barrier(barrier);
 
-      // Convergence: no frontier, no progress, and no sync changes.
-      if (config_.fixed_rounds == 0 && force_sync_rounds_ == 0) {
+      // Convergence: no frontier, no progress, and no sync changes —
+      // but never while a planned loss is still awaiting eviction.
+      if (config_.fixed_rounds == 0 && force_sync_rounds_ == 0 &&
+          !(monitor_.active() && !monitor_.all_losses_evicted())) {
         bool active = false;
         for (int d = 0; d < devices_; ++d) {
+          if (silent_[d]) continue;
           if (device_has_work(d)) active = true;
         }
         if (!active) break;
@@ -463,6 +520,11 @@ class Executor {
   /// degraded recovery on crash.
   static constexpr bool kCheckpointable =
       fault::CheckpointableState<typename Program::DeviceState>;
+  /// Whether per-vertex copies can migrate between layouts (master
+  /// re-homing); without it eviction falls back to a cold restart of
+  /// the whole computation on the shrunken layout.
+  static constexpr bool kRehomable =
+      fault::RehomableState<typename Program::DeviceState>;
 
   [[nodiscard]] std::vector<char> snapshot_device(int d) {
     partition::ByteWriter w;
@@ -503,21 +565,39 @@ class Executor {
       }
       if (!crashed.empty()) barrier = bsp_recover(barrier, crashed);
     }
+    if (monitor_.active()) {
+      for (int cd : monitor_.advance(barrier, fault_global_)) {
+        if (!dead_[cd]) barrier = barrier + evict_device(cd, barrier);
+      }
+    }
     if constexpr (kCheckpointable) {
+      // Checkpoints are suppressed while a loss is silent-but-undetected
+      // so a later rollback always lands on a pre-loss cut.
       if (config_.checkpoint.interval_rounds > 0 &&
           stats_.global_rounds %
                   static_cast<std::uint32_t>(
                       config_.checkpoint.interval_rounds) ==
-              0) {
+              0 &&
+          !undetected_loss(barrier)) {
         barrier = take_checkpoint(barrier);
       }
     }
     return barrier;
   }
 
+  /// A planned permanent loss has happened (<= t) but its device has
+  /// not been evicted yet.
+  [[nodiscard]] bool undetected_loss(sim::SimTime t) const {
+    if (!monitor_.active()) return false;
+    for (const auto& l : injector_.losses()) {
+      if (l.at <= t && !dead_[l.device]) return true;
+    }
+    return false;
+  }
+
   sim::SimTime take_checkpoint(sim::SimTime barrier) {
     fault::Checkpoint ck;
-    ck.round = stats_.global_rounds;
+    ck.round = current_round();
     ck.devices.resize(devices_);
     sim::SimTime worst;
     for (int d = 0; d < devices_; ++d) {
@@ -581,7 +661,7 @@ class Executor {
   /// re-init cost.
   sim::SimTime degraded_recover(int cd) {
     Dev& dev = devs_[cd];
-    const auto& lg = dg_.part(cd);
+    const auto& lg = dg().part(cd);
     dev.state = typename Program::DeviceState{};
     dev.dirty_r.clear();
     dev.dirty_b.clear();
@@ -593,11 +673,11 @@ class Executor {
     for (int o = 0; o < devices_; ++o) {
       if (o == cd) continue;
       bool marked = false;
-      for (VertexId v : sync_.list(o, cd, reduce_filter_).mirror_local) {
+      for (VertexId v : sync().list(o, cd, reduce_filter_).mirror_local) {
         devs_[o].dirty_r.set(v);
         marked = true;
       }
-      for (VertexId v : sync_.list(cd, o, bcast_filter_).master_local) {
+      for (VertexId v : sync().list(cd, o, bcast_filter_).master_local) {
         devs_[o].dirty_b.set(v);
         marked = true;
       }
@@ -610,6 +690,255 @@ class Executor {
            net_.host_to_device(label_bytes);
   }
 
+  // ---- permanent device loss: eviction + master re-homing ---------------
+  /// Evicts permanently lost device `cd` at time `now`: optionally rolls
+  /// every survivor back to the last pre-loss checkpoint (which also
+  /// resurrects the lost device's state as a migration source), re-reads
+  /// the lost subgraph from the partition store, re-elects a master for
+  /// every vertex the lost device owned, rebuilds the layout / exchange
+  /// lists / memoized translations, migrates per-vertex program state,
+  /// and re-feeds all proxies. Returns the modeled recovery cost; the
+  /// executor continues on N-1 devices. Shared by the BSP and BASP paths.
+  sim::SimTime evict_device(int cd, sim::SimTime now) {
+    const sim::SimTime lost_at = injector_.lost_at(cd);
+    const std::uint32_t cur_round = current_round();
+    sim::SimTime cost;
+
+    // 1. Rollback to the last consistent cut when the program can use
+    // it (checkpoints are suppressed while a loss is undetected, so the
+    // cut predates the loss and the lost device's snapshot is genuine).
+    bool have_lost_state = false;
+    if constexpr (kCheckpointable && kRehomable) {
+      if (last_ckpt_.valid()) {
+        sim::SimTime worst;
+        for (int d = 0; d < devices_; ++d) {
+          if (dead_[d]) continue;
+          restore_device(d, last_ckpt_.devices[d].bytes);
+          const auto n = last_ckpt_.devices[d].bytes.size();
+          worst = sim::max(
+              worst,
+              config_.checkpoint.restore_latency +
+                  sim::SimTime{static_cast<double>(n) /
+                               config_.checkpoint.disk_bw} +
+                  net_.host_to_device(n));
+        }
+        fault_global_.rollbacks += 1;
+        if (cur_round > last_ckpt_.round) {
+          fault_global_.reexecuted_rounds += cur_round - last_ckpt_.round;
+        }
+        cost = cost + worst;
+        have_lost_state = true;
+      }
+    }
+
+    // 2. Harvest every surviving per-vertex copy (old local-id space);
+    // the lost device contributes only its rolled-back snapshot.
+    std::vector<std::vector<std::vector<char>>> harvest(
+        static_cast<std::size_t>(devices_));
+    const partition::DistGraph& old_dg = dg();
+    if constexpr (kRehomable) {
+      for (int d = 0; d < devices_; ++d) {
+        if (dead_[d]) continue;
+        if (d == cd && !have_lost_state) continue;
+        const auto& lg = old_dg.part(d);
+        auto& slots = harvest[static_cast<std::size_t>(d)];
+        slots.resize(lg.num_local);
+        for (VertexId v = 0; v < lg.num_local; ++v) {
+          partition::ByteWriter w;
+          devs_[d].state.archive_vertex(w, v);
+          slots[v] = w.take();
+        }
+      }
+    }
+
+    // 3. The lost subgraph: durable checksummed partition store when
+    // configured (modeled disk re-read), else the simulator's in-memory
+    // copy (topology is never lost in simulation, only program state).
+    partition::LocalGraph lost_part;
+    if (!config_.partition_store_dir.empty()) {
+      lost_part =
+          partition::load_partition_part(config_.partition_store_dir, cd);
+      cost = cost + sim::SimTime{static_cast<double>(lost_part.bytes()) /
+                                 config_.checkpoint.disk_bw};
+    } else {
+      lost_part = old_dg.part(cd);
+    }
+
+    // 4. Capacity-aware re-homing plan + layout rebuild.
+    std::vector<std::uint64_t> free_bytes(
+        static_cast<std::size_t>(devices_), 0);
+    for (int d = 0; d < devices_; ++d) {
+      if (d == cd || dead_[d]) continue;
+      const auto& mem = *devs_[d].memory;
+      free_bytes[static_cast<std::size_t>(d)] =
+          mem.capacity() - mem.in_use();
+    }
+    partition::RehomeResult plan =
+        partition::rehome_partition(old_dg, cd, lost_part, free_bytes, dead_);
+    auto next_dg =
+        std::make_unique<partition::DistGraph>(std::move(plan.dg));
+    auto next_sync = std::make_unique<comm::SyncStructure>(*next_dg);
+    // Keep the previous owned structures alive until the per-device
+    // rebuild (which still reads the old layout) finishes.
+    auto prev_dg = std::move(rehomed_dg_);
+    auto prev_sync = std::move(rehomed_sync_);
+    rehomed_dg_ = std::move(next_dg);
+    rehomed_sync_ = std::move(next_sync);
+    dgp_ = rehomed_dg_.get();
+    syncp_ = rehomed_sync_.get();
+    dead_[cd] = 1;
+    silent_[cd] = 1;
+    monitor_.mark_evicted(cd);
+
+    // 5. Rebuild every device's runtime on the new local-id space.
+    for (int d = 0; d < devices_; ++d) {
+      if (dead_[d] && d != cd) continue;  // earlier evictions stay empty
+      rebuild_device(d, cd, old_dg, lost_part, harvest, have_lost_state);
+    }
+
+    // 6. Account the migration: state bytes cross the interconnect
+    // (representative survivor pair), and every survivor re-uploads its
+    // rebuilt sync metadata / address translations.
+    int s0 = -1;
+    int s1 = -1;
+    for (int d = 0; d < devices_ && s1 < 0; ++d) {
+      if (dead_[d]) continue;
+      (s0 < 0 ? s0 : s1) = d;
+    }
+    if (s0 >= 0 && s1 >= 0) {
+      cost = cost + net_.host_to_host(s0, s1, plan.migrated_bytes);
+    }
+    sim::SimTime meta;
+    for (int d = 0; d < devices_; ++d) {
+      if (dead_[d]) continue;
+      meta = sim::max(meta, net_.host_to_device(sync().metadata_bytes(d)));
+    }
+    cost = cost + meta;
+
+    fault_global_.evicted_devices += 1;
+    fault_global_.rehomed_masters += plan.rehomed.size();
+    fault_global_.migrated_vertices += plan.orphaned.size();
+    fault_global_.detection_latency =
+        fault_global_.detection_latency + (now - lost_at);
+    fault_global_.recovery_time = fault_global_.recovery_time + cost;
+
+    // A stale-layout checkpoint cannot be restored onto the new layout;
+    // replace it immediately with a post-recovery snapshot.
+    last_ckpt_ = fault::Checkpoint{};
+    if constexpr (kCheckpointable) {
+      if (config_.checkpoint.interval_rounds > 0) {
+        cost = take_checkpoint(now + cost) - now;
+      }
+    }
+    force_sync_rounds_ = std::max(force_sync_rounds_, 2);
+    return cost;
+  }
+
+  /// Rebuilds device `d`'s runtime structures on the current (rebuilt)
+  /// layout, migrating per-vertex program state from `harvest` (indexed
+  /// by the old layout's local ids). Election of state source per
+  /// vertex: own old copy; else the lost device's copy (when a rollback
+  /// resurrected it); else fresh init() values. A promoted master
+  /// prefers the lost master's canonical copy so monotone counters and
+  /// output values continue exactly.
+  void rebuild_device(int d, int cd, const partition::DistGraph& old_dg,
+                      const partition::LocalGraph& lost_part,
+                      const std::vector<std::vector<std::vector<char>>>&
+                          harvest,
+                      bool have_lost_state) {
+    Dev& dev = devs_[d];
+    const auto& nlg = dg().part(d);
+    const auto& olg = old_dg.part(d);
+    dev.ctx = std::make_unique<RoundCtx>(nlg.num_local);
+    dev.dirty_r = comm::Bitset{};
+    dev.dirty_r.resize(nlg.num_local);
+    dev.dirty_b = comm::Bitset{};
+    dev.dirty_b.resize(nlg.num_local);
+    dev.frontier.clear();
+    dev.in_frontier = comm::Bitset{};
+    dev.in_frontier.resize(nlg.num_local);
+    dev.ctx->attach(&dev.dirty_r, &dev.dirty_b);
+    dev.state = typename Program::DeviceState{};
+    program_.init(nlg, dev.state, *dev.ctx);
+
+    if constexpr (kRehomable) {
+      const auto& own = harvest[static_cast<std::size_t>(d)];
+      const auto& lost = harvest[static_cast<std::size_t>(cd)];
+      for (VertexId v = 0; v < nlg.num_local; ++v) {
+        const VertexId gv = nlg.l2g[v];
+        RehomeRole role = RehomeRole::kFresh;
+        const std::vector<char>* src = nullptr;
+        if (const auto it = olg.g2l.find(gv);
+            it != olg.g2l.end() && !own.empty()) {
+          src = &own[it->second];
+          role = nlg.is_master(v) && !olg.is_master(it->second)
+                     ? RehomeRole::kPromotedMaster
+                     : RehomeRole::kKept;
+          if (role == RehomeRole::kPromotedMaster && have_lost_state) {
+            if (const auto lit = lost_part.g2l.find(gv);
+                lit != lost_part.g2l.end()) {
+              src = &lost[lit->second];
+            }
+          }
+        } else if (have_lost_state) {
+          if (const auto lit = lost_part.g2l.find(gv);
+              lit != lost_part.g2l.end()) {
+            src = &lost[lit->second];
+            role = RehomeRole::kAdopted;
+          }
+        }
+        if (src != nullptr) {
+          partition::ByteReader r(*src, "rehome: migrated vertex state");
+          dev.state.archive_vertex(r, v);
+          r.expect_end();
+        }
+        if constexpr (RehomeAware<Program>) {
+          program_.on_rehome(nlg, dev.state, v, role, *dev.ctx);
+        }
+      }
+    }
+    merge_activations(dev);
+
+    // Full reactivation + re-feed: every local vertex re-enters the
+    // worklist; masters re-broadcast authoritative values and mirrors
+    // re-reduce current/pending values to their (possibly new) masters.
+    for (VertexId v = 0; v < nlg.num_local; ++v) {
+      if (!dev.in_frontier.test(v)) {
+        dev.in_frontier.set(v);
+        dev.frontier.push_back(v);
+      }
+      if (nlg.is_master(v)) {
+        dev.dirty_b.set(v);
+      } else {
+        dev.dirty_r.set(v);
+      }
+    }
+    dev.progress = !dev.frontier.empty();
+    dev.flush_pending = dev.progress;
+
+    // Re-charge DeviceMemory against the new layout, preserving the
+    // all-time peak across the swap.
+    stats_.peak_memory[d] =
+        std::max(stats_.peak_memory[d], dev.memory->peak());
+    dev.memory = std::make_unique<sim::DeviceMemory>(
+        d, topo_.spec(d).memory_bytes);
+    if (config_.static_pool_bytes > 0) {
+      dev.memory->reserve_static(config_.static_pool_bytes);
+    }
+    charge_memory(d, nlg, *dev.memory);
+  }
+
+  /// Round coordinate for checkpoint bookkeeping: global rounds under
+  /// BSP, the furthest local round under BASP.
+  [[nodiscard]] std::uint32_t current_round() const {
+    if (config_.exec_model == ExecModel::kSync) {
+      return stats_.global_rounds;
+    }
+    std::uint32_t r = stats_.global_rounds;
+    for (const Dev& dev : devs_) r = std::max(r, dev.local_round);
+    return r;
+  }
+
   /// Extracts all reduce payloads from device d; advances and returns
   /// the device-ready time via `ready`; stamps message arrivals.
   void extract_reduce_all(int d, sim::SimTime& ready,
@@ -618,8 +947,8 @@ class Executor {
     auto values = program_.reduce_mirror_src(dev.state);
     sim::SimTime engine = ready;  // downlink copy engine (overlap mode)
     for (int o = 0; o < devices_; ++o) {
-      if (o == d) continue;
-      const auto& list = sync_.list(d, o, reduce_filter_);
+      if (o == d || silent_[o]) continue;
+      const auto& list = sync().list(d, o, reduce_filter_);
       if (list.size() == 0) continue;
       auto payload = RSync::extract_reduce(list, values, dev.dirty_r,
                                            config_.sync_mode, d, o);
@@ -646,7 +975,7 @@ class Executor {
   sim::SimTime apply_reduce_all(int o, sim::SimTime start,
                                 const std::vector<Msg<RV>>& msgs) {
     Dev& dev = devs_[o];
-    const auto& lg = dg_.part(o);
+    const auto& lg = dg().part(o);
     auto values = program_.reduce_master_dst(dev.state);
     // Gather senders in arrival order (deterministic tie-break by id).
     std::vector<int> senders;
@@ -675,7 +1004,7 @@ class Executor {
       stats_.device_comm_time[o] += cost.total();
       t = advance_pipeline(cost, t, recv_engine);
       changed.clear();
-      RSync::apply_reduce(sync_.list(d, o, reduce_filter_), m.payload,
+      RSync::apply_reduce(sync().list(d, o, reduce_filter_), m.payload,
                           values, dev.dirty_b, &changed);
       comm_per_dev_[o].reduce_values += m.payload.count();
       for (VertexId v : changed) {
@@ -693,9 +1022,9 @@ class Executor {
     sim::SimTime ready = start;
     sim::SimTime engine = start;
     for (int o = 0; o < devices_; ++o) {
-      if (o == d) continue;
+      if (o == d || silent_[o]) continue;
       // Broadcast flows master(d) -> mirrors(o): list indexed (o, d).
-      const auto& list = sync_.list(o, d, bcast_filter_);
+      const auto& list = sync().list(o, d, bcast_filter_);
       if (list.size() == 0) continue;
       auto payload = BSync::extract_broadcast(list, values, dev.dirty_b,
                                               config_.sync_mode, d, o);
@@ -718,7 +1047,7 @@ class Executor {
   sim::SimTime apply_bcast_all(int o, sim::SimTime start,
                                const std::vector<Msg<BV>>& msgs) {
     Dev& dev = devs_[o];
-    const auto& lg = dg_.part(o);
+    const auto& lg = dg().part(o);
     auto values = program_.bcast_mirror_dst(dev.state);
     std::vector<int> senders;
     for (int d = 0; d < devices_; ++d) {
@@ -746,7 +1075,7 @@ class Executor {
       stats_.device_comm_time[o] += cost.total();
       t = advance_pipeline(cost, t, recv_engine);
       changed.clear();
-      BSync::apply_broadcast(sync_.list(o, d, bcast_filter_), m.payload,
+      BSync::apply_broadcast(sync().list(o, d, bcast_filter_), m.payload,
                              values, &changed);
       comm_per_dev_[o].broadcast_values += m.payload.count();
       for (VertexId v : changed) {
@@ -795,6 +1124,14 @@ class Executor {
                          basp_crash(i, t, queue);
                        });
       }
+    }
+    if (monitor_.active()) {
+      // Heartbeat monitor poll stream: starts one interval after the
+      // first scheduled loss (no evictions can fire earlier) and
+      // reschedules itself until every loss is evicted.
+      queue.schedule(
+          monitor_.first_loss_at() + config_.health.heartbeat_interval,
+          [this, &queue](sim::SimTime t) { basp_monitor(t, queue); });
     }
     for (int d = 0; d < devices_; ++d) {
       queue.schedule(sim::SimTime::zero(),
@@ -851,6 +1188,10 @@ class Executor {
   }
 
   void basp_step(int d, sim::SimTime now, sim::EventQueue& queue) {
+    // A permanently lost device goes silent the instant its loss fires:
+    // it neither computes nor sends, and is eventually evicted by the
+    // heartbeat monitor.
+    if (basp_silent(d, now)) return;
     Dev& dev = devs_[d];
     if (dev.parked) {
       // A wake can come from a sender whose timeline lags this device's
@@ -907,7 +1248,7 @@ class Executor {
         sim::SimTime poll = params_.kernel_launch * 2.0;
         poll += sim::SimTime{
             static_cast<double>(
-                sync_.shared_entries(d, comm::ProxyFilter::kAll)) /
+                sync().shared_entries(d, comm::ProxyFilter::kAll)) /
             params_.scan_throughput};
         stats_.compute_time[d] += poll;
         stats_.rounds[d] += 1;
@@ -946,7 +1287,7 @@ class Executor {
 
   void drain_inbox(int d) {
     Dev& dev = devs_[d];
-    const auto& lg = dg_.part(d);
+    const auto& lg = dg().part(d);
     auto& inbox = inboxes_[d];
     std::vector<VertexId> changed;
     while (!inbox.reduce.empty() &&
@@ -960,7 +1301,7 @@ class Executor {
       dev.last_seen_round[m.payload.from] =
           std::max(dev.last_seen_round[m.payload.from], m.sender_round);
       changed.clear();
-      RSync::apply_reduce(sync_.list(m.payload.from, d, reduce_filter_),
+      RSync::apply_reduce(sync().list(m.payload.from, d, reduce_filter_),
                           m.payload, program_.reduce_master_dst(dev.state),
                           dev.dirty_b, &changed);
       comm_per_dev_[d].reduce_values += m.payload.count();
@@ -979,7 +1320,7 @@ class Executor {
       dev.last_seen_round[m.payload.from] =
           std::max(dev.last_seen_round[m.payload.from], m.sender_round);
       changed.clear();
-      BSync::apply_broadcast(sync_.list(d, m.payload.from, bcast_filter_),
+      BSync::apply_broadcast(sync().list(d, m.payload.from, bcast_filter_),
                              m.payload, program_.bcast_mirror_dst(dev.state),
                              &changed);
       comm_per_dev_[d].broadcast_values += m.payload.count();
@@ -998,8 +1339,8 @@ class Executor {
     sim::SimTime engine = dev.clock;  // downlink copy engine (overlap)
     auto rvalues = program_.reduce_mirror_src(dev.state);
     for (int o = 0; o < devices_; ++o) {
-      if (o == d) continue;
-      const auto& list = sync_.list(d, o, reduce_filter_);
+      if (o == d || basp_silent(o, dev.clock)) continue;
+      const auto& list = sync().list(d, o, reduce_filter_);
       if (list.size() == 0) continue;
       auto payload = RSync::extract_reduce(list, rvalues, dev.dirty_r,
                                            config_.sync_mode, d, o);
@@ -1009,8 +1350,8 @@ class Executor {
     }
     auto bvalues = program_.bcast_master_src(dev.state);
     for (int o = 0; o < devices_; ++o) {
-      if (o == d) continue;
-      const auto& list = sync_.list(o, d, bcast_filter_);
+      if (o == d || basp_silent(o, dev.clock)) continue;
+      const auto& list = sync().list(o, d, bcast_filter_);
       if (list.size() == 0) continue;
       auto payload = BSync::extract_broadcast(list, bvalues, dev.dirty_b,
                                               config_.sync_mode, d, o);
@@ -1064,10 +1405,96 @@ class Executor {
     box.insert(it, std::move(msg));
   }
 
+  /// True when device o has permanently failed by time `at` (evicted,
+  /// or lost but not yet detected): it must not receive extractions nor
+  /// run local rounds.
+  [[nodiscard]] bool basp_silent(int o, sim::SimTime at) const {
+    return dead_[o] != 0 ||
+           (monitor_.active() && injector_.lost_at(o) <= at);
+  }
+
+  /// Periodic heartbeat-monitor poll under BASP (there is no barrier to
+  /// piggyback detection on). Evicts suspects and reschedules itself
+  /// until every scheduled loss has been handled.
+  void basp_monitor(sim::SimTime t, sim::EventQueue& queue) {
+    if (!monitor_.active() || monitor_.all_losses_evicted()) return;
+    for (int cd : monitor_.advance(t, fault_global_)) {
+      if (!dead_[cd]) basp_evict(cd, t, queue);
+    }
+    if (!monitor_.all_losses_evicted()) {
+      queue.schedule(t + config_.health.heartbeat_interval,
+                     [this, &queue](sim::SimTime tt) {
+                       basp_monitor(tt, queue);
+                     });
+    }
+  }
+
+  /// BASP-side wrapper around evict_device: additionally drops every
+  /// in-flight payload (they index the *old* exchange lists, which the
+  /// rebuild invalidated — the post-rebuild re-feed resends everything)
+  /// and restarts Safra termination detection, whose message counters
+  /// straddle the dropped messages.
+  void basp_evict(int cd, sim::SimTime t, sim::EventQueue& queue) {
+    const sim::SimTime cost = evict_device(cd, t);
+    inboxes_.assign(devices_, BaspInbox{});
+    if (td_) {
+      td_ = std::make_unique<TerminationDetector>(devices_);
+      for (int o = 0; o < devices_; ++o) {
+        if (dead_[o]) td_->set_active(o, false);
+      }
+    }
+    const sim::SimTime resume = t + cost;
+    for (int o = 0; o < devices_; ++o) {
+      if (dead_[o]) continue;
+      Dev& dev = devs_[o];
+      if (!dev.parked && resume > dev.clock) {
+        stats_.wait_time[o] += resume - dev.clock;
+        dev.clock = resume;
+      }
+      queue.schedule(resume, [this, o, &queue](sim::SimTime tt) {
+        if (devs_[o].parked) basp_step(o, tt, queue);
+      });
+    }
+  }
+
+  /// BASP has no barriers, so consistent cuts are taken at *quiescence*:
+  /// every device parked (or dead), no message in flight, and — when the
+  /// real Safra detector is running — its token circulates to a clean
+  /// termination verdict. Checkpoints stay suppressed while a loss is
+  /// silent-but-undetected so rollback always lands on a pre-loss cut.
+  void maybe_quiescent_checkpoint(int d) {
+    if constexpr (kCheckpointable) {
+      if (config_.checkpoint.interval_rounds == 0) return;
+      const sim::SimTime now = devs_[d].clock;
+      if (undetected_loss(now)) return;
+      for (int o = 0; o < devices_; ++o) {
+        if (!dead_[o] && !devs_[o].parked) return;
+        if (pending_arrivals(o)) return;
+      }
+      if (current_round() <
+          last_basp_ckpt_round_ +
+              static_cast<std::uint32_t>(config_.checkpoint.interval_rounds)) {
+        return;
+      }
+      if (td_) {
+        bool ok = td_->terminated();
+        for (int i = 0; i < devices_ * 4 && !ok; ++i) ok = td_->try_advance();
+        if (!ok) return;
+      }
+      // Cost is accounted in FaultStats::checkpoint_time; the snapshot
+      // overlaps park idle time, so device clocks do not advance.
+      (void)take_checkpoint(now);
+      last_basp_ckpt_round_ = current_round();
+    } else {
+      (void)d;
+    }
+  }
+
   void park(int d, sim::EventQueue&) {
     devs_[d].parked = true;
     park_start_[d] = devs_[d].clock;
     if (td_) td_->set_active(d, false);
+    maybe_quiescent_checkpoint(d);
   }
 
   [[nodiscard]] bool pending_arrivals(int d) const {
@@ -1090,8 +1517,8 @@ class Executor {
   /// True when device `sender` can send sync messages to `receiver`
   /// (reduce from sender's mirrors, or broadcast from sender's masters).
   [[nodiscard]] bool is_partner(int sender, int receiver) const {
-    return sync_.list(sender, receiver, reduce_filter_).size() > 0 ||
-           sync_.list(receiver, sender, bcast_filter_).size() > 0;
+    return sync().list(sender, receiver, reduce_filter_).size() > 0 ||
+           sync().list(receiver, sender, bcast_filter_).size() > 0;
   }
   [[nodiscard]] bool has_reduce_partner(int d) const {
     for (int o = 0; o < devices_; ++o) {
@@ -1105,21 +1532,37 @@ class Executor {
     RunResult<Program> result;
     result.states.reserve(devices_);
     for (int d = 0; d < devices_; ++d) {
-      stats_.peak_memory[d] = devs_[d].memory->peak();
+      stats_.peak_memory[d] =
+          std::max(stats_.peak_memory[d], devs_[d].memory->peak());
       stats_.comm += comm_per_dev_[d];
       stats_.faults += fault_per_dev_[d];
       result.states.push_back(std::move(devs_[d].state));
     }
     stats_.faults += fault_global_;
     stats_.faults.faults_injected =
-        stats_.faults.device_crashes + injector_.windowed_events();
+        stats_.faults.device_crashes + injector_.windowed_events() +
+        static_cast<std::uint64_t>(injector_.losses().size());
     stats_.total_time = total_time_;
     result.stats = std::move(stats_);
+    if (rehomed_dg_) {
+      // Labels now live in the rebuilt layout's local-id spaces; hand
+      // the layout to the caller so gather helpers use the right one.
+      result.final_layout = std::shared_ptr<const partition::DistGraph>(
+          std::move(rehomed_dg_));
+    }
     return result;
   }
 
-  const partition::DistGraph& dg_;
-  const comm::SyncStructure& sync_;
+  /// Current layout / exchange lists. These start at the caller's
+  /// structures and are swapped to the owned rebuilt ones when a device
+  /// eviction re-homes masters (the executor is the only writer).
+  [[nodiscard]] const partition::DistGraph& dg() const { return *dgp_; }
+  [[nodiscard]] const comm::SyncStructure& sync() const { return *syncp_; }
+
+  const partition::DistGraph* dgp_;
+  const comm::SyncStructure* syncp_;
+  std::unique_ptr<partition::DistGraph> rehomed_dg_;
+  std::unique_ptr<comm::SyncStructure> rehomed_sync_;
   const sim::Topology& topo_;
   const sim::CostParams& params_;
   sim::Interconnect net_;
@@ -1146,6 +1589,11 @@ class Executor {
   std::size_t next_crash_ = 0;
   int force_sync_rounds_ = 0;  // keep BSP alive for post-recovery sync
   std::unique_ptr<TerminationDetector> td_;  // audited under faults
+  // Permanent-loss state.
+  fault::HeartbeatMonitor monitor_;
+  std::vector<std::uint8_t> dead_;    // evicted devices (empty parts)
+  std::vector<std::uint8_t> silent_;  // lost but not yet evicted (per round)
+  std::uint32_t last_basp_ckpt_round_ = 0;
 };
 
 /// Convenience entry point: partitioned graph + topology + config in,

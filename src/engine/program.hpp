@@ -15,6 +15,20 @@ namespace sg::engine {
 /// broadcast updates at mirrors).
 enum class UpdateKind : std::uint8_t { kReduce, kBroadcast };
 
+/// How a local vertex came to exist in a post-eviction rebuilt layout
+/// (passed to the optional `on_rehome` hook).
+enum class RehomeRole : std::uint8_t {
+  /// The device already held this proxy and kept its own copy.
+  kKept,
+  /// The device held a mirror and was elected the new master.
+  kPromotedMaster,
+  /// A fresh proxy that adopted the lost device's archived per-vertex
+  /// copy verbatim (orphan placement or migrated-edge endpoints).
+  kAdopted,
+  /// A fresh proxy with no recoverable copy; carries init() values.
+  kFresh,
+};
+
 /// A distributed vertex program (the IrGL-compiled benchmark analogue).
 ///
 /// Required members:
@@ -75,6 +89,18 @@ concept VertexProgram = requires(const P p, typename P::DeviceState st,
   { p.reduce_mirror_src(st) };
   { p.reduce_master_dst(st) };
   { p.bcast_mirror_dst(st) };
+};
+
+/// Optional program hook: fix up one vertex's migrated copy after master
+/// re-homing (e.g. pagerank reconciles its monotone consumption counters
+/// when a mirror copy is promoted to master or a master copy is demoted
+/// to mirror). Programs without the hook get the engine's generic
+/// import + ReduceOp fold only.
+template <typename P>
+concept RehomeAware = requires(const P p, typename P::DeviceState st,
+                               const partition::LocalGraph lg,
+                               graph::VertexId v, RoundCtx ctx) {
+  { p.on_rehome(lg, st, v, RehomeRole::kKept, ctx) };
 };
 
 }  // namespace sg::engine

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "comm/bitset.hpp"
+#include "graph/types.hpp"
 #include "partition/blob_io.hpp"
 
 namespace sg::fault {
@@ -82,6 +83,20 @@ concept CheckpointableState = requires(State& s, partition::ByteWriter& w,
                                        partition::ByteReader& r) {
   s.archive(w);
   s.archive(r);
+};
+
+/// Program device state that can additionally (de)serialize a *single*
+/// vertex's fields. Master re-homing after a permanent device loss uses
+/// this to migrate per-vertex copies between layouts whose local-id
+/// spaces differ (whole-state archive() is useless there: local ids are
+/// renumbered by the rebuild). Programs without it fall back to a cold
+/// re-initialization on the shrunken topology.
+template <typename State>
+concept RehomableState = requires(State& s, partition::ByteWriter& w,
+                                  partition::ByteReader& r,
+                                  graph::VertexId v) {
+  s.archive_vertex(w, v);
+  s.archive_vertex(r, v);
 };
 
 }  // namespace sg::fault

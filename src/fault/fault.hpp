@@ -18,6 +18,7 @@ enum class FaultKind : std::uint8_t {
   kLinkDegrade,   ///< cross-host bandwidth cut by `severity` for a window
   kMessageDrop,   ///< each delivery attempt dropped with prob `severity`
   kStraggler,     ///< device compute slowed by factor `severity`
+  kDeviceLoss,    ///< device silently dies forever (no replacement)
 };
 
 /// One scheduled fault. `at` is absolute simulated time; `duration`
@@ -76,6 +77,15 @@ struct FaultPlan {
                       .severity = slowdown});
     return *this;
   }
+  /// Permanently loses `device` at `at`: it goes silent (no heartbeats,
+  /// no messages) and is never replaced. The φ-accrual detector evicts
+  /// it, masters re-home to surviving proxies, and the run continues on
+  /// the shrunken topology.
+  FaultPlan& lose_device(int device, sim::SimTime at) {
+    events.push_back({.kind = FaultKind::kDeviceLoss, .at = at,
+                      .device = device});
+    return *this;
+  }
 
   [[nodiscard]] bool empty() const { return events.empty(); }
 };
@@ -104,6 +114,28 @@ struct CheckpointPolicy {
   sim::SimTime restore_latency = sim::SimTime::micros(200.0);
 };
 
+/// Parameters for the φ-accrual failure detector (Hayashibara et al.)
+/// driven by simulated heartbeats. Every device emits a heartbeat each
+/// `heartbeat_interval` of simulated time (stretched by any straggler
+/// slowdown in effect); the detector keeps a sliding window of
+/// inter-arrival times per device and computes
+///   φ(t) = -log10(P(a later heartbeat arrives after gap t))
+/// under a normal fit of the window. φ >= `phi_suspect` marks the
+/// device *suspected* (straggler: throttled/rerouted, never evicted);
+/// eviction additionally requires φ >= `phi_evict` AND a silent gap of
+/// at least `evict_grace_intervals` smoothed means — a straggler's
+/// late-but-arriving heartbeats keep resetting the gap and widening the
+/// window, so only a permanently silent device is ever evicted.
+struct HealthPolicy {
+  sim::SimTime heartbeat_interval = sim::SimTime::micros(100.0);
+  double phi_suspect = 3.0;
+  double phi_evict = 8.0;
+  int evict_grace_intervals = 8;  ///< silent gap (in mean intervals) to evict
+  int window = 32;                ///< sliding-window size (samples)
+  int min_samples = 4;            ///< φ = 0 until this many arrivals
+  double min_stddev_fraction = 0.1;  ///< σ floor as fraction of the mean
+};
+
 /// Fault/recovery counters folded into engine::RunStats so bench/ can
 /// plot failure-free vs faulty runs side by side.
 struct FaultStats {
@@ -117,9 +149,17 @@ struct FaultStats {
   std::uint64_t rollbacks = 0;            ///< checkpoint restores
   std::uint64_t degraded_recoveries = 0;  ///< re-inits without checkpoint
   std::uint64_t reexecuted_rounds = 0;
+  std::uint64_t evicted_devices = 0;       ///< permanent losses detected
+  std::uint64_t rehomed_masters = 0;       ///< masters re-elected on survivors
+  std::uint64_t migrated_vertices = 0;     ///< orphans redistributed
+  std::uint64_t straggler_suspicions = 0;  ///< φ >= suspect, not evicted
+  std::uint64_t heartbeats_observed = 0;
   sim::SimTime checkpoint_time = sim::SimTime::zero();
   sim::SimTime recovery_time = sim::SimTime::zero();
   sim::SimTime straggler_delay = sim::SimTime::zero();
+  /// Loss-to-eviction lag, summed over evictions (one eviction: the
+  /// detection latency itself). Zero when nothing was evicted.
+  sim::SimTime detection_latency = sim::SimTime::zero();
   /// False iff termination detection misbehaved under faults (BASP
   /// ended with in-flight messages or an unterminated token ring).
   bool termination_clean = true;
@@ -135,9 +175,15 @@ struct FaultStats {
     rollbacks += o.rollbacks;
     degraded_recoveries += o.degraded_recoveries;
     reexecuted_rounds += o.reexecuted_rounds;
+    evicted_devices += o.evicted_devices;
+    rehomed_masters += o.rehomed_masters;
+    migrated_vertices += o.migrated_vertices;
+    straggler_suspicions += o.straggler_suspicions;
+    heartbeats_observed += o.heartbeats_observed;
     checkpoint_time = checkpoint_time + o.checkpoint_time;
     recovery_time = recovery_time + o.recovery_time;
     straggler_delay = straggler_delay + o.straggler_delay;
+    detection_latency = detection_latency + o.detection_latency;
     termination_clean = termination_clean && o.termination_clean;
     return *this;
   }

@@ -44,6 +44,11 @@ FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
           if (topo_->host_of(d) == e.host) crashes_.push_back({e.at, d});
         }
         break;
+      case FaultKind::kDeviceLoss:
+        if (e.device >= 0 && e.device < topo_->num_devices()) {
+          losses_.push_back({e.at, e.device});
+        }
+        break;
       case FaultKind::kLinkDegrade:
       case FaultKind::kMessageDrop:
       case FaultKind::kStraggler:
@@ -51,11 +56,12 @@ FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
         break;
     }
   }
-  std::sort(crashes_.begin(), crashes_.end(),
-            [](const ResolvedCrash& a, const ResolvedCrash& b) {
-              if (a.at != b.at) return a.at < b.at;
-              return a.device < b.device;
-            });
+  const auto by_time = [](const ResolvedCrash& a, const ResolvedCrash& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.device < b.device;
+  };
+  std::sort(crashes_.begin(), crashes_.end(), by_time);
+  std::sort(losses_.begin(), losses_.end(), by_time);
 }
 
 double FaultInjector::link_delay_factor(int src_host, int dst_host,

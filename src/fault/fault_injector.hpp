@@ -36,6 +36,22 @@ class FaultInjector {
     return crashes_;
   }
 
+  /// Permanent device losses (kDeviceLoss), in time order. Unlike
+  /// crashes these are never recovered in place — the device goes
+  /// silent at `at` and must be detected and evicted.
+  [[nodiscard]] const std::vector<ResolvedCrash>& losses() const {
+    return losses_;
+  }
+
+  /// Time at which `device` is permanently lost, or SimTime::max() when
+  /// it never is.
+  [[nodiscard]] sim::SimTime lost_at(int device) const {
+    for (const ResolvedCrash& l : losses_) {
+      if (l.device == device) return l.at;
+    }
+    return sim::SimTime::max();
+  }
+
   /// Multiplier (>= 1) applied to cross-host transfer time between
   /// `src_host` and `dst_host` for a transfer starting at `at`.
   [[nodiscard]] double link_delay_factor(int src_host, int dst_host,
@@ -66,6 +82,7 @@ class FaultInjector {
   const sim::Topology* topo_ = nullptr;
   bool active_ = false;
   std::vector<ResolvedCrash> crashes_;
+  std::vector<ResolvedCrash> losses_;
   std::uint64_t windowed_events_ = 0;
 };
 

@@ -1,0 +1,141 @@
+#include "fault/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sg::fault {
+
+PhiAccrualDetector::PhiAccrualDetector(int num_devices,
+                                       const HealthPolicy& policy)
+    : policy_(policy), windows_(static_cast<std::size_t>(num_devices)) {
+  // Bootstrap prior: seed each window with `min_samples` nominal
+  // intervals so φ is computable from the very first silence instead of
+  // being blind until the window fills (cf. Akka's first-heartbeat
+  // estimate). Real arrivals displace the prior as the ring wraps.
+  const double nominal = policy_.heartbeat_interval.seconds();
+  for (Window& w : windows_) {
+    w.samples.assign(static_cast<std::size_t>(std::max(policy_.window, 1)),
+                     0.0);
+    for (int i = 0; i < std::max(policy_.min_samples, 1); ++i) {
+      push_sample(w, nominal);
+    }
+  }
+}
+
+void PhiAccrualDetector::push_sample(Window& w, double seconds) {
+  const auto cap = static_cast<int>(w.samples.size());
+  if (w.count == cap) {
+    const double old = w.samples[static_cast<std::size_t>(w.next)];
+    w.sum -= old;
+    w.sum_sq -= old * old;
+  } else {
+    ++w.count;
+  }
+  w.samples[static_cast<std::size_t>(w.next)] = seconds;
+  w.sum += seconds;
+  w.sum_sq += seconds * seconds;
+  w.next = (w.next + 1) % cap;
+}
+
+void PhiAccrualDetector::observe(int device, sim::SimTime at) {
+  Window& w = windows_[static_cast<std::size_t>(device)];
+  if (w.seen_any) {
+    push_sample(w, std::max((at - w.last).seconds(), 0.0));
+  }
+  w.seen_any = true;
+  w.last = at;
+}
+
+double PhiAccrualDetector::phi(int device, sim::SimTime now) const {
+  const Window& w = windows_[static_cast<std::size_t>(device)];
+  if (w.count < policy_.min_samples) return 0.0;
+  const double mean = mean_of(w);
+  if (mean <= 0.0) return 0.0;
+  const double var =
+      std::max(w.sum_sq / w.count - mean * mean, 0.0);
+  const double sd =
+      std::max(std::sqrt(var), policy_.min_stddev_fraction * mean);
+  const double gap = (now - w.last).seconds();
+  if (gap <= 0.0) return 0.0;
+  const double z = (gap - mean) / sd;
+  // P(a later heartbeat arrives after a gap this long) under the
+  // normal fit; floored so φ stays finite when erfc underflows.
+  const double p_later =
+      std::max(0.5 * std::erfc(z / std::sqrt(2.0)), 1e-300);
+  return -std::log10(p_later);
+}
+
+bool PhiAccrualDetector::should_evict(int device, sim::SimTime now) const {
+  const Window& w = windows_[static_cast<std::size_t>(device)];
+  if (w.count < policy_.min_samples) return false;
+  if (phi(device, now) < policy_.phi_evict) return false;
+  const double gap = (now - w.last).seconds();
+  return gap >= policy_.evict_grace_intervals * mean_of(w);
+}
+
+HeartbeatMonitor::HeartbeatMonitor(const HealthPolicy& policy,
+                                   const FaultInjector* injector,
+                                   int num_devices)
+    : policy_(policy), injector_(injector) {
+  active_ = injector_ != nullptr && injector_->active() &&
+            !injector_->losses().empty();
+  if (!active_) return;
+  detector_ = PhiAccrualDetector(num_devices, policy_);
+  next_send_.assign(static_cast<std::size_t>(num_devices),
+                    policy_.heartbeat_interval);
+  evicted_.assign(static_cast<std::size_t>(num_devices), false);
+  suspicion_latched_.assign(static_cast<std::size_t>(num_devices), false);
+}
+
+std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
+                                           FaultStats& stats) {
+  std::vector<int> evictable;
+  if (!active_) return evictable;
+  const auto n = static_cast<int>(next_send_.size());
+  for (int d = 0; d < n; ++d) {
+    const auto du = static_cast<std::size_t>(d);
+    if (evicted_[du]) continue;
+    const sim::SimTime lost = injector_->lost_at(d);
+    // Heartbeats are a runtime service: an idle device still emits
+    // them, and a straggling device emits them late (its send cadence
+    // stretches with the compute slowdown in effect).
+    while (next_send_[du] <= now) {
+      if (next_send_[du] >= lost) {
+        next_send_[du] = sim::SimTime::max();  // silent forever
+        break;
+      }
+      detector_.observe(d, next_send_[du]);
+      ++stats.heartbeats_observed;
+      const double stretch =
+          injector_->compute_slowdown(d, next_send_[du]);
+      next_send_[du] =
+          next_send_[du] + policy_.heartbeat_interval * stretch;
+    }
+    if (detector_.should_evict(d, now)) {
+      evictable.push_back(d);
+    } else if (detector_.suspected(d, now)) {
+      if (!suspicion_latched_[du]) {
+        suspicion_latched_[du] = true;
+        ++stats.straggler_suspicions;
+      }
+    } else {
+      suspicion_latched_[du] = false;  // recovered; re-arm the latch
+    }
+  }
+  return evictable;
+}
+
+bool HeartbeatMonitor::all_losses_evicted() const {
+  if (!active_) return true;
+  for (const ResolvedCrash& l : injector_->losses()) {
+    if (!evicted_[static_cast<std::size_t>(l.device)]) return false;
+  }
+  return true;
+}
+
+sim::SimTime HeartbeatMonitor::first_loss_at() const {
+  if (!active_ || injector_->losses().empty()) return sim::SimTime::max();
+  return injector_->losses().front().at;
+}
+
+}  // namespace sg::fault

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/fault_injector.hpp"
+#include "sim/sim_time.hpp"
+
+namespace sg::fault {
+
+/// φ-accrual failure detector (Hayashibara et al., SRDS'04) over
+/// simulated heartbeat arrivals.
+///
+/// Per device it keeps a sliding window of heartbeat inter-arrival
+/// times and reports the suspicion level
+///   φ(t) = -log10( P(a later heartbeat arrives after a gap of t) )
+/// under a normal fit of the window. The window adapts: a straggling
+/// device's late-but-arriving heartbeats widen the fitted distribution,
+/// so its φ recovers, while a dead device's φ grows without bound.
+///
+/// Eviction is deliberately stricter than suspicion: `should_evict`
+/// requires both φ >= `phi_evict` and a silent gap of at least
+/// `evict_grace_intervals` smoothed mean intervals, so a straggler that
+/// keeps heartbeating (however slowly) is never evicted — each arrival
+/// resets the gap — while a silent device is evicted after a bounded
+/// number of missed heartbeats.
+class PhiAccrualDetector {
+ public:
+  PhiAccrualDetector() = default;
+  PhiAccrualDetector(int num_devices, const HealthPolicy& policy);
+
+  /// Records a heartbeat from `device` arriving at `at`. Arrivals must
+  /// be fed in nondecreasing time order per device.
+  void observe(int device, sim::SimTime at);
+
+  /// Suspicion level for `device` at time `now` (0 until the window has
+  /// `min_samples` arrivals beyond the bootstrap prior).
+  [[nodiscard]] double phi(int device, sim::SimTime now) const;
+
+  [[nodiscard]] bool suspected(int device, sim::SimTime now) const {
+    return phi(device, now) >= policy_.phi_suspect;
+  }
+
+  /// True when `device` satisfies the eviction rule (φ over the evict
+  /// threshold AND silent for the grace period).
+  [[nodiscard]] bool should_evict(int device, sim::SimTime now) const;
+
+  [[nodiscard]] sim::SimTime last_arrival(int device) const {
+    return windows_[static_cast<std::size_t>(device)].last;
+  }
+
+  [[nodiscard]] const HealthPolicy& policy() const { return policy_; }
+
+ private:
+  struct Window {
+    std::vector<double> samples;  // ring buffer of inter-arrival seconds
+    int next = 0;
+    int count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    sim::SimTime last = sim::SimTime::zero();
+    bool seen_any = false;
+  };
+
+  void push_sample(Window& w, double seconds);
+  [[nodiscard]] double mean_of(const Window& w) const {
+    return w.count > 0 ? w.sum / w.count : 0.0;
+  }
+
+  HealthPolicy policy_;
+  std::vector<Window> windows_;
+};
+
+/// Drives a PhiAccrualDetector from the FaultInjector's deterministic
+/// timeline. Every device emits one heartbeat per `heartbeat_interval`
+/// of simulated time, stretched by any straggler slowdown in effect at
+/// the send time; a permanently lost device stops emitting at its loss
+/// time. The executor calls `advance(now)` at barriers (BSP) or from
+/// periodic monitor events (BASP); newly evictable devices are returned
+/// in device order so recovery is deterministic.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor() = default;
+  HeartbeatMonitor(const HealthPolicy& policy, const FaultInjector* injector,
+                   int num_devices);
+
+  /// True when the plan contains at least one permanent loss (the
+  /// monitor is inert otherwise — no heartbeats are simulated).
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Simulates all heartbeats with send time <= `now`, updates
+  /// suspicion bookkeeping in `stats`, and returns the devices that
+  /// newly satisfy the eviction rule. Callers must follow up with
+  /// `mark_evicted` for each device they actually evict.
+  std::vector<int> advance(sim::SimTime now, FaultStats& stats);
+
+  void mark_evicted(int device) {
+    evicted_[static_cast<std::size_t>(device)] = true;
+  }
+
+  /// True once every planned loss has been evicted (BASP uses this to
+  /// stop re-scheduling monitor events so the event queue can drain).
+  [[nodiscard]] bool all_losses_evicted() const;
+
+  [[nodiscard]] sim::SimTime loss_time(int device) const {
+    return injector_ != nullptr ? injector_->lost_at(device)
+                                : sim::SimTime::max();
+  }
+
+  /// First planned loss time, or SimTime::max() when there is none.
+  [[nodiscard]] sim::SimTime first_loss_at() const;
+
+  [[nodiscard]] const PhiAccrualDetector& detector() const {
+    return detector_;
+  }
+
+ private:
+  HealthPolicy policy_;
+  const FaultInjector* injector_ = nullptr;
+  PhiAccrualDetector detector_;
+  bool active_ = false;
+  std::vector<sim::SimTime> next_send_;
+  std::vector<bool> evicted_;
+  std::vector<bool> suspicion_latched_;
+};
+
+}  // namespace sg::fault

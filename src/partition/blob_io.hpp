@@ -8,6 +8,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -227,6 +228,21 @@ inline void write_checksummed_file(const std::filesystem::path& path,
   if (!in) {
     throw std::runtime_error(context + ": truncated header in " +
                              path.string());
+  }
+  // Validate the declared payload size against the actual file size
+  // before allocating: a corrupted length field must produce a
+  // descriptive error, not a multi-gigabyte allocation attempt.
+  constexpr std::uint64_t kHeaderBytes = 4 + 4 + 8;  // magic|version|size
+  constexpr std::uint64_t kTrailerBytes = 8;         // fnv1a64 checksum
+  std::error_code ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (ec || file_size < kHeaderBytes + kTrailerBytes ||
+      size > file_size - kHeaderBytes - kTrailerBytes) {
+    throw std::runtime_error(
+        context + ": declared payload size " + std::to_string(size) +
+        " exceeds file size " +
+        (ec ? std::string("(unknown)") : std::to_string(file_size)) +
+        " in " + path.string() + " (corrupt length field?)");
   }
   std::vector<char> payload(size);
   in.read(payload.data(), static_cast<std::streamsize>(size));

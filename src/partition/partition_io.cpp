@@ -83,6 +83,15 @@ void save_partition(const DistGraph& dg, const std::filesystem::path& dir) {
   }
 }
 
+LocalGraph load_partition_part(const std::filesystem::path& dir, int device) {
+  LocalGraph lg =
+      read_local_graph(dir / ("part_" + std::to_string(device) + ".sgp"));
+  if (lg.device != device) {
+    throw std::runtime_error("load_partition_part: part file device mismatch");
+  }
+  return lg;
+}
+
 DistGraph load_partition(const std::filesystem::path& dir) {
   const auto payload = read_checksummed_file(dir / "manifest.sgp", kMagic,
                                              kVersion, "load_partition");

@@ -23,4 +23,10 @@ void save_partition(const DistGraph& dg, const std::filesystem::path& dir);
 
 [[nodiscard]] DistGraph load_partition(const std::filesystem::path& dir);
 
+/// Re-reads one device's part file (checksum-verified). The fault
+/// layer's elastic redistribution uses this to recover a lost device's
+/// subgraph from durable storage without reloading the whole store.
+[[nodiscard]] LocalGraph load_partition_part(const std::filesystem::path& dir,
+                                             int device);
+
 }  // namespace sg::partition

@@ -1,0 +1,206 @@
+#include "partition/rehome.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "partition/detail.hpp"
+
+namespace sg::partition {
+
+namespace {
+
+// Deterministic per-proxy cost model for capacity-aware placement:
+// label/state arrays plus CSR slots. Coarse on purpose — DeviceMemory
+// does the exact accounting when the engine re-charges the new layout.
+constexpr std::uint64_t kVertexBytes = 48;
+constexpr std::uint64_t kEdgeBytes = 16;
+
+/// Flattens one part's out-CSR back to global-id edges, preserving CSR
+/// order so rebuilt runs are bit-reproducible.
+void globalize_edges(const LocalGraph& lg, std::vector<detail::RawEdge>& out) {
+  const bool weighted = !lg.out_weights.empty();
+  for (graph::VertexId u = 0; u < lg.num_local; ++u) {
+    const graph::VertexId gu = lg.l2g[u];
+    for (graph::EdgeId e = lg.out_offsets[u]; e < lg.out_offsets[u + 1];
+         ++e) {
+      out.push_back({gu, lg.l2g[lg.out_dsts[e]],
+                     weighted ? lg.out_weights[e] : graph::Weight{1}});
+    }
+  }
+}
+
+}  // namespace
+
+RehomeResult rehome_partition(const DistGraph& old, int lost_device,
+                              const LocalGraph& lost_part,
+                              std::span<const std::uint64_t> free_bytes,
+                              std::span<const std::uint8_t> dead) {
+  const int n = old.num_devices();
+  const auto gone = [&](int d) {
+    return d == lost_device ||
+           (d < static_cast<int>(dead.size()) && dead[static_cast<std::size_t>(d)] != 0);
+  };
+  if (n < 2) {
+    throw std::runtime_error(
+        "rehome_partition: cannot evict device " +
+        std::to_string(lost_device) + " from a " + std::to_string(n) +
+        "-device layout (no survivors)");
+  }
+  if (lost_device < 0 || lost_device >= n) {
+    throw std::runtime_error("rehome_partition: lost device " +
+                             std::to_string(lost_device) + " out of range");
+  }
+
+  RehomeResult result;
+  std::vector<int> new_master = old.master_directory();
+  std::vector<std::uint64_t> headroom(static_cast<std::size_t>(n),
+                                      std::numeric_limits<std::uint64_t>::max());
+  if (!free_bytes.empty()) {
+    for (int d = 0; d < n && d < static_cast<int>(free_bytes.size()); ++d) {
+      headroom[static_cast<std::size_t>(d)] = free_bytes[d];
+    }
+  }
+  for (int d = 0; d < n; ++d) {
+    if (gone(d)) headroom[static_cast<std::size_t>(d)] = 0;
+  }
+
+  const auto charge = [&](int d, std::uint64_t bytes) {
+    auto& h = headroom[static_cast<std::size_t>(d)];
+    h = bytes > h ? 0 : h - bytes;
+  };
+
+  // --- Election: lowest-ranked surviving proxy holder becomes master.
+  const graph::VertexId gv_count = old.global_vertices();
+  for (graph::VertexId gv = 0; gv < gv_count; ++gv) {
+    if (new_master[gv] != lost_device) continue;
+    int elected = -1;
+    for (int d = 0; d < n; ++d) {
+      if (gone(d)) continue;
+      if (old.part(d).g2l.contains(gv)) {
+        elected = d;
+        break;
+      }
+    }
+    if (elected >= 0) {
+      new_master[gv] = elected;
+      result.rehomed.push_back(gv);
+      charge(elected, kVertexBytes);
+    } else {
+      result.orphaned.push_back(gv);  // placed below, by capacity
+    }
+  }
+
+  // --- Elastic redistribution: orphans go to the survivor with the
+  // most free headroom (deterministic tie-break: lowest device id).
+  for (const graph::VertexId gv : result.orphaned) {
+    const graph::VertexId lv = lost_part.g2l.at(gv);
+    const std::uint64_t cost =
+        kVertexBytes + (lost_part.out_degree(lv) + lost_part.in_degree(lv)) *
+                           kEdgeBytes;
+    int target = -1;
+    std::uint64_t best = 0;
+    for (int d = 0; d < n; ++d) {
+      if (gone(d)) continue;
+      const std::uint64_t h = headroom[static_cast<std::size_t>(d)];
+      if (target < 0 || h > best) {
+        target = d;
+        best = h;
+      }
+    }
+    if (target < 0 || best < cost) {
+      throw std::runtime_error(
+          "rehome_partition: no surviving device can absorb orphaned vertex " +
+          std::to_string(gv) + " (" + std::to_string(cost) +
+          " B needed, best survivor has " + std::to_string(best) + " B free)");
+    }
+    new_master[gv] = target;
+    charge(target, cost);
+  }
+
+  // --- Route the lost device's edges, grouped by source. A fresh proxy
+  // (no survivor held one) can adopt the lost proxy's archived state
+  // verbatim, so prefer a proxy-free survivor; orphans keep their edges
+  // on their new home.
+  std::vector<detail::RawEdge> migrated;
+  globalize_edges(lost_part, migrated);
+  result.migrated_edges = static_cast<graph::EdgeId>(migrated.size());
+  result.migrated_bytes =
+      result.migrated_edges * kEdgeBytes +
+      (result.rehomed.size() + result.orphaned.size()) * kVertexBytes;
+
+  std::unordered_map<graph::VertexId, int> route;  // source -> device
+  route.reserve(lost_part.num_local * 2);
+  const auto route_of = [&](graph::VertexId gu) {
+    if (const auto it = route.find(gu); it != route.end()) return it->second;
+    int target = -1;
+    // result.orphaned is built in ascending-gv order, so binary_search
+    // works; an orphan's edges stay with it on its new home device.
+    if (old.master_of(gu) == lost_device &&
+        std::binary_search(result.orphaned.begin(), result.orphaned.end(),
+                           gu)) {
+      target = new_master[gu];
+    } else {
+      for (int d = 0; d < n; ++d) {
+        if (gone(d)) continue;
+        if (!old.part(d).g2l.contains(gu)) {
+          target = d;
+          break;
+        }
+      }
+      if (target < 0) target = new_master[gu];
+    }
+    route.emplace(gu, target);
+    return target;
+  };
+
+  std::vector<std::vector<detail::RawEdge>> edges_by_dev(
+      static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    if (gone(d)) continue;
+    globalize_edges(old.part(d), edges_by_dev[static_cast<std::size_t>(d)]);
+  }
+  for (const detail::RawEdge& e : migrated) {
+    const int target = route_of(e.src);
+    edges_by_dev[static_cast<std::size_t>(target)].push_back(e);
+    charge(target, kEdgeBytes);
+  }
+
+  // --- Rebuild every part against the new ownership map.
+  std::vector<std::vector<graph::VertexId>> masters_by_dev(
+      static_cast<std::size_t>(n));
+  for (graph::VertexId gv = 0; gv < gv_count; ++gv) {
+    masters_by_dev[static_cast<std::size_t>(new_master[gv])].push_back(gv);
+  }
+
+  std::vector<graph::EdgeId> g_out(gv_count, 0);
+  std::vector<graph::EdgeId> g_in(gv_count, 0);
+  for (int d = 0; d < n; ++d) {
+    const LocalGraph& lg = old.part(d);
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      g_out[lg.l2g[v]] = lg.global_out_degree[v];
+      g_in[lg.l2g[v]] = lg.global_in_degree[v];
+    }
+  }
+
+  std::vector<LocalGraph> parts;
+  parts.reserve(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    parts.push_back(detail::build_local_graph(
+        d, masters_by_dev[static_cast<std::size_t>(d)],
+        edges_by_dev[static_cast<std::size_t>(d)], g_out, g_in,
+        old.weighted()));
+  }
+
+  PartitionStats stats =
+      detail::compute_stats(parts, gv_count, old.global_edges());
+  result.dg = DistGraph::assemble(std::move(parts), std::move(new_master),
+                                  gv_count, old.global_edges(),
+                                  old.weighted(), old.options(), old.grid(),
+                                  std::move(stats));
+  return result;
+}
+
+}  // namespace sg::partition

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "partition/dist_graph.hpp"
+#include "partition/local_graph.hpp"
+
+namespace sg::partition {
+
+/// Output of `rehome_partition`: the rebuilt layout plus everything the
+/// engine needs to migrate program state and account the recovery.
+struct RehomeResult {
+  /// Rebuilt distributed graph. It keeps the original device count so
+  /// device indices stay stable (stats arrays, topology lookups, queued
+  /// events), but the lost device's part is empty — no vertex is
+  /// mastered or mirrored there, so it never computes or communicates
+  /// again. Logically the topology has shrunk to N-1 devices.
+  DistGraph dg;
+  /// Global ids whose master was re-elected onto a surviving proxy
+  /// (lowest-ranked survivor holding a proxy wins).
+  std::vector<graph::VertexId> rehomed;
+  /// Global ids with no surviving proxy, redistributed across survivors
+  /// by free-capacity (largest free headroom wins, ties to the lowest
+  /// device id).
+  std::vector<graph::VertexId> orphaned;
+  graph::EdgeId migrated_edges = 0;   ///< edges moved off the lost device
+  std::uint64_t migrated_bytes = 0;   ///< modeled transfer volume
+};
+
+/// Rebuilds `old` after the permanent loss of `lost_device`.
+///
+/// `lost_part` is the lost device's subgraph — re-read from the
+/// checksummed partition store when one is configured, otherwise the
+/// engine's in-memory copy (topology is never lost in the simulation;
+/// only volatile program state is). `free_bytes[d]` is each device's
+/// remaining DeviceMemory headroom; orphan placement and edge migration
+/// respect it and throw a descriptive error when no survivor can absorb
+/// the remainder. An empty span means "unconstrained".
+///
+/// Election and routing rules (all deterministic):
+///  * master of a lost-mastered vertex -> lowest surviving device that
+///    holds a proxy; vertices with no surviving proxy are orphans;
+///  * orphans -> survivor with the most free bytes (tie: lowest id);
+///  * migrated edges are grouped by source vertex and routed to the
+///    lowest survivor *without* an existing proxy of that source when
+///    one exists (a fresh proxy can adopt the lost proxy's archived
+///    state verbatim, preserving accumulator replay cursors exactly),
+///    falling back to the source's new master device.
+/// `dead[d] != 0` marks devices evicted by *earlier* recoveries; they are
+/// never election candidates, orphan targets, or edge routes. An empty
+/// span means only `lost_device` is gone.
+[[nodiscard]] RehomeResult rehome_partition(
+    const DistGraph& old, int lost_device, const LocalGraph& lost_part,
+    std::span<const std::uint64_t> free_bytes,
+    std::span<const std::uint8_t> dead = {});
+
+}  // namespace sg::partition

@@ -2,6 +2,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <limits>
 
 namespace sg::sim {
 
@@ -41,6 +42,10 @@ class SimTime {
   friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
 
   [[nodiscard]] static constexpr SimTime zero() { return SimTime{0.0}; }
+  /// Sentinel for "never" (compares greater than every finite time).
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<double>::infinity()};
+  }
   [[nodiscard]] static constexpr SimTime micros(double us) {
     return SimTime{us * 1e-6};
   }

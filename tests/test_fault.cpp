@@ -12,16 +12,22 @@
 #include <vector>
 
 #include "algo/bfs.hpp"
+#include "algo/cc.hpp"
+#include "algo/pagerank.hpp"
+#include "algo/ppr.hpp"
 #include "algo/reference.hpp"
+#include "algo/sssp.hpp"
 #include "engine/termination.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_injector.hpp"
+#include "fault/health.hpp"
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "helpers.hpp"
 #include "partition/blob_io.hpp"
 #include "partition/partition_io.hpp"
+#include "partition/rehome.hpp"
 #include "sim/event_queue.hpp"
 #include "helpers.hpp"
 
@@ -436,6 +442,483 @@ TEST(FaultRecovery, BaspCrashRecoversViaPeerRefeed) {
   EXPECT_EQ(fr.stats.faults.device_crashes, 1u);
   EXPECT_GE(fr.stats.faults.degraded_recoveries, 1u);
   EXPECT_TRUE(fr.stats.faults.termination_clean);
+}
+
+// ---- checkpointability gates (compile-time contract) -------------------
+
+static_assert(fault::CheckpointableState<algo::PageRankPullProgram::DeviceState>,
+              "pagerank must be checkpointable");
+static_assert(fault::CheckpointableState<algo::PprProgram::DeviceState>,
+              "ppr must be checkpointable");
+static_assert(fault::RehomableState<algo::BfsProgram::DeviceState>);
+static_assert(fault::RehomableState<algo::CcProgram::DeviceState>);
+static_assert(fault::RehomableState<algo::SsspProgram::DeviceState>);
+static_assert(fault::RehomableState<algo::PageRankPullProgram::DeviceState>);
+static_assert(fault::RehomableState<algo::PprProgram::DeviceState>);
+// The DSU parents of pointer-jumping CC are local ids and cannot
+// migrate between layouts.
+static_assert(!fault::RehomableState<algo::CcPointerJumpProgram::DeviceState>);
+
+// ---- phi-accrual failure detector --------------------------------------
+
+TEST(PhiAccrualDetectorTest, SilentDeviceEvictedWithinBoundedIntervals) {
+  const fault::HealthPolicy hp;  // defaults
+  fault::PhiAccrualDetector det(1, hp);
+  const sim::SimTime hb = hp.heartbeat_interval;
+  sim::SimTime t;
+  for (int i = 0; i < 20; ++i) {
+    t = t + hb;
+    det.observe(0, t);
+  }
+  EXPECT_LT(det.phi(0, t + hb), hp.phi_suspect);
+  EXPECT_FALSE(det.should_evict(0, t + hb * 2.0));
+
+  // The device goes silent after `t`: eviction must fire within a
+  // bounded number of missed heartbeats.
+  sim::SimTime now = t;
+  int missed = 0;
+  while (!det.should_evict(0, now) && missed < 64) {
+    now = now + hb;
+    ++missed;
+  }
+  EXPECT_TRUE(det.should_evict(0, now));
+  EXPECT_LE(missed, 2 * hp.evict_grace_intervals);
+}
+
+TEST(PhiAccrualDetectorTest, StragglerIsSuspectedButNeverEvicted) {
+  const fault::HealthPolicy hp;
+  fault::PhiAccrualDetector det(1, hp);
+  const sim::SimTime hb = hp.heartbeat_interval;
+  sim::SimTime t;
+  for (int i = 0; i < 20; ++i) {
+    t = t + hb;
+    det.observe(0, t);
+  }
+  // A 4x slowdown: heartbeats keep arriving, just late. Probe right
+  // before each late arrival (the worst moment) — the silent-gap guard
+  // must keep the straggler alive while the window adapts.
+  bool suspected = false;
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_FALSE(det.should_evict(0, t + hb * 3.9))
+        << "straggler evicted after " << i << " slow beats";
+    t = t + hb * 4.0;
+    det.observe(0, t);
+    suspected = suspected || det.phi(0, t + hb * 3.9) >= hp.phi_suspect ||
+                det.suspected(0, t + hb * 3.9);
+  }
+  EXPECT_FALSE(det.should_evict(0, t + hb * 4.0));
+}
+
+// ---- master re-homing (layout rebuild) ---------------------------------
+
+TEST(RehomeTest, ElectsLowestSurvivingProxyHolderAndKeepsIndicesStable) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::CVC, 4);
+  const int lost = 1;
+  const auto res = partition::rehome_partition(prep.dist, lost,
+                                               prep.dist.part(lost), {}, {});
+  ASSERT_EQ(res.dg.num_devices(), 4);
+  EXPECT_EQ(res.dg.part(lost).num_local, 0u);
+  EXPECT_EQ(res.dg.global_vertices(), prep.dist.global_vertices());
+
+  // Every vertex is mastered exactly once, never on the lost device.
+  std::vector<int> master_count(res.dg.global_vertices(), 0);
+  for (int d = 0; d < 4; ++d) {
+    const auto& lg = res.dg.part(d);
+    for (graph::VertexId v = 0; v < lg.num_masters; ++v) {
+      master_count[lg.l2g[v]] += 1;
+    }
+  }
+  for (const int c : master_count) EXPECT_EQ(c, 1);
+
+  const auto& olg = prep.dist.part(lost);
+  EXPECT_EQ(res.rehomed.size() + res.orphaned.size(),
+            static_cast<std::size_t>(olg.num_masters));
+  EXPECT_FALSE(res.rehomed.empty());
+
+  // Election rule: the new master of a re-homed vertex is the lowest
+  // surviving device that already held a proxy of it.
+  for (const graph::VertexId gv : res.rehomed) {
+    int expected = -1;
+    for (int d = 0; d < 4 && expected < 0; ++d) {
+      if (d != lost && prep.dist.part(d).g2l.contains(gv)) expected = d;
+    }
+    ASSERT_GE(expected, 0);
+    const auto& nlg = res.dg.part(expected);
+    const auto it = nlg.g2l.find(gv);
+    ASSERT_NE(it, nlg.g2l.end());
+    EXPECT_TRUE(nlg.is_master(it->second))
+        << "vertex " << gv << " not mastered on lowest survivor "
+        << expected;
+  }
+}
+
+TEST(RehomeTest, OrphanPlacementFollowsHeadroomAndRejectsOverflow) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::OEC, 4);
+  const int lost = 1;
+
+  // Unconstrained first, to learn the orphan set (OEC keeps vertices
+  // without cut edges proxy-free, so losing a device orphans them).
+  const auto free_run = partition::rehome_partition(
+      prep.dist, lost, prep.dist.part(lost), {}, {});
+  ASSERT_FALSE(free_run.orphaned.empty());
+  EXPECT_GT(free_run.migrated_bytes, 0u);
+
+  // Only device 3 has headroom: every orphan must land there.
+  const std::vector<std::uint64_t> only3{0, 0, 0, 1ull << 40};
+  const auto steered = partition::rehome_partition(
+      prep.dist, lost, prep.dist.part(lost), only3, {});
+  for (const graph::VertexId gv : steered.orphaned) {
+    const auto& lg = steered.dg.part(3);
+    const auto it = lg.g2l.find(gv);
+    ASSERT_NE(it, lg.g2l.end());
+    EXPECT_TRUE(lg.is_master(it->second));
+  }
+
+  // No survivor can absorb anything: descriptive rejection.
+  const std::vector<std::uint64_t> none{0, 0, 0, 0};
+  try {
+    (void)partition::rehome_partition(prep.dist, lost, prep.dist.part(lost),
+                                      none, {});
+    FAIL() << "capacity overflow was not rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("absorb"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- permanent device loss: degraded-mode integration ------------------
+
+TEST(DeviceLoss, BspBfsCompletesBitIdenticalOnSurvivors) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.lose_device(1, ff.stats.total_time * 0.4);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.dist, algo::reference::bfs(fx.g, fx.src));
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+  EXPECT_GT(fr.stats.faults.rehomed_masters, 0u);
+  EXPECT_GT(fr.stats.faults.heartbeats_observed, 0u);
+  EXPECT_GT(fr.stats.faults.detection_latency, sim::SimTime::zero());
+  EXPECT_LT(fr.stats.faults.detection_latency, sim::SimTime{0.1});
+  EXPECT_GT(fr.stats.faults.recovery_time, sim::SimTime::zero());
+  EXPECT_GE(fr.stats.faults.faults_injected, 1u);
+  EXPECT_EQ(fr.stats.faults.device_crashes, 0u);  // loss, not crash
+
+  // Deterministic: same plan, byte-identical rerun.
+  const auto fr2 = fx.run(faulty);
+  EXPECT_EQ(fr2.dist, fr.dist);
+  EXPECT_EQ(fr2.stats.total_time, fr.stats.total_time);
+  EXPECT_EQ(fr2.stats.faults.detection_latency,
+            fr.stats.faults.detection_latency);
+}
+
+TEST(DeviceLoss, BspCcAndSsspBitIdenticalAfterMidRunLoss) {
+  const auto base_g = small_social();
+  const auto wg = graph::add_random_weights(base_g, 1, 100, 99);
+  const auto t = topo(4);
+  const auto p = params();
+  const auto src = graph::datasets::default_source(wg);
+  const auto base = cfg(engine::ExecModel::kSync);
+
+  {
+    PreparedGraph prep(base_g, partition::Policy::HVC, 4);
+    const auto ff = algo::run_cc(prep.dist, prep.sync, t, p, base);
+    fault::FaultPlan plan;
+    plan.lose_device(2, ff.stats.total_time * 0.5);
+    auto faulty = base;
+    faulty.fault_plan = &plan;
+    const auto fr = algo::run_cc(prep.dist, prep.sync, t, p, faulty);
+    EXPECT_EQ(fr.label, ff.label);
+    EXPECT_EQ(fr.label, algo::reference::cc(base_g));
+    EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+    EXPECT_GT(fr.stats.faults.rehomed_masters, 0u);
+  }
+  {
+    PreparedGraph prep(wg, partition::Policy::OEC, 4);
+    const auto ff = algo::run_sssp(prep.dist, prep.sync, t, p, base, src);
+    fault::FaultPlan plan;
+    plan.lose_device(1, ff.stats.total_time * 0.4);
+    auto faulty = base;
+    faulty.fault_plan = &plan;
+    const auto fr = algo::run_sssp(prep.dist, prep.sync, t, p, faulty, src);
+    EXPECT_EQ(fr.dist, ff.dist);
+    EXPECT_EQ(fr.dist, algo::reference::sssp(wg, src));
+    EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+    EXPECT_GT(fr.stats.faults.migrated_vertices +
+                  fr.stats.faults.rehomed_masters,
+              0u);
+  }
+}
+
+TEST(DeviceLoss, BaspBfsCompletesBitIdenticalOnSurvivors) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kAsync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.lose_device(2, ff.stats.total_time * 0.4);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.dist, algo::reference::bfs(fx.g, fx.src));
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+  EXPECT_GT(fr.stats.faults.rehomed_masters, 0u);
+  EXPECT_GT(fr.stats.faults.detection_latency, sim::SimTime::zero());
+  EXPECT_TRUE(fr.stats.faults.termination_clean);
+}
+
+TEST(DeviceLoss, TwoSequentialLossesShrinkToHalfTheDevices) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.lose_device(1, ff.stats.total_time * 0.3);
+  plan.lose_device(3, ff.stats.total_time * 0.6);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 2u);
+  EXPECT_GT(fr.stats.faults.rehomed_masters, 0u);
+}
+
+TEST(DeviceLoss, CoexistingStragglerIsNeverEvicted) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  // Device 2 is merely slow for the entire run; device 1 actually dies.
+  plan.straggle(2, sim::SimTime::zero(), sim::SimTime::zero(), 5.0);
+  plan.lose_device(1, ff.stats.total_time * 0.5);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  // Only the dead device was evicted — the straggler survived despite
+  // its heartbeats arriving 5x late.
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+  EXPECT_GT(fr.stats.faults.straggler_delay, sim::SimTime::zero());
+}
+
+TEST(DeviceLoss, PartitionStoreRereadWorksAndCorruptionIsDetected) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+  const auto dir = fresh_dir("sg_loss_store");
+  partition::save_partition(fx.prep.dist, dir);
+
+  fault::FaultPlan plan;
+  plan.lose_device(1, ff.stats.total_time * 0.4);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  faulty.partition_store_dir = dir;
+  const auto fr = fx.run(faulty);
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+
+  // Elastic redistribution must refuse a corrupted part file rather
+  // than rebuilding from bad bytes.
+  flip_byte(dir / "part_1.sgp", 700);
+  EXPECT_THROW((void)fx.run(faulty), std::runtime_error);
+}
+
+TEST(DeviceLoss, RequiresASurvivorToRehomeOnto) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::OEC, 1);
+  fault::FaultPlan plan;
+  plan.lose_device(0, sim::SimTime{1.0});
+  auto c = cfg(engine::ExecModel::kSync);
+  c.fault_plan = &plan;
+  const sim::Topology t1 = topo(1);
+  const auto p = params();
+  EXPECT_THROW((void)algo::run_bfs(prep.dist, prep.sync, t1, p, c, 0),
+               std::invalid_argument);
+}
+
+// ---- accumulator programs: exact recovery via checkpoints --------------
+
+TEST(CheckpointRecovery, PagerankMidRunCrashRollbackBitIdentical) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::OEC, 4);
+  const auto t = topo(4);
+  const auto p = params();
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = algo::run_pagerank(prep.dist, prep.sync, t, p, base);
+
+  fault::FaultPlan plan;
+  plan.crash_device(1, ff.stats.total_time * 0.5);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  faulty.checkpoint.interval_rounds = 1;
+  const auto fr = algo::run_pagerank(prep.dist, prep.sync, t, p, faulty);
+
+  EXPECT_EQ(fr.rank, ff.rank);  // bit-identical floats
+  EXPECT_GE(fr.stats.faults.rollbacks, 1u);
+  EXPECT_GT(fr.stats.faults.checkpoints_taken, 0u);
+}
+
+TEST(CheckpointRecovery, PprMidRunCrashRollbackBitIdentical) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::OEC, 4);
+  const auto t = topo(4);
+  const auto p = params();
+  const auto src = graph::datasets::default_source(g);
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = algo::run_ppr(prep.dist, prep.sync, t, p, base, src);
+
+  fault::FaultPlan plan;
+  plan.crash_device(2, ff.stats.total_time * 0.5);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  faulty.checkpoint.interval_rounds = 1;
+  const auto fr = algo::run_ppr(prep.dist, prep.sync, t, p, faulty, src);
+
+  EXPECT_EQ(fr.mass, ff.mass);
+  EXPECT_GE(fr.stats.faults.rollbacks, 1u);
+}
+
+TEST(DeviceLoss, BspPagerankLossAfterConvergenceBitIdenticalViaCheckpoint) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::CVC, 4);
+  const auto t = topo(4);
+  const auto p = params();
+  auto base = cfg(engine::ExecModel::kSync);
+  base.checkpoint.interval_rounds = 1;
+  const auto ff = algo::run_pagerank(prep.dist, prep.sync, t, p, base);
+
+  // The device dies after the run has converged but before the idle
+  // executor may exit (a pending loss keeps it alive): the last
+  // checkpoint is the converged cut, the lost master copies are adopted
+  // verbatim, and the gathered ranks are bit-identical.
+  fault::FaultPlan plan;
+  plan.lose_device(1, ff.stats.total_time * 2.0);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = algo::run_pagerank(prep.dist, prep.sync, t, p, faulty);
+
+  EXPECT_EQ(fr.rank, ff.rank);
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+  EXPECT_GT(fr.stats.faults.rehomed_masters, 0u);
+  EXPECT_GE(fr.stats.faults.rollbacks, 1u);
+  EXPECT_GT(fr.stats.total_time, ff.stats.total_time);
+}
+
+TEST(DeviceLoss, BaspPagerankLossAfterQuiescenceBitIdentical) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::CVC, 4);
+  const auto t = topo(4);
+  const auto p = params();
+  auto base = cfg(engine::ExecModel::kAsync);
+  base.checkpoint.interval_rounds = 1;
+  const auto ff = algo::run_pagerank(prep.dist, prep.sync, t, p, base);
+  EXPECT_GT(ff.stats.faults.checkpoints_taken, 0u);  // quiescent cut
+
+  fault::FaultPlan plan;
+  plan.lose_device(1, ff.stats.total_time * 2.0);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = algo::run_pagerank(prep.dist, prep.sync, t, p, faulty);
+
+  EXPECT_EQ(fr.rank, ff.rank);
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+  EXPECT_TRUE(fr.stats.faults.termination_clean);
+}
+
+// ---- checkpoint gating (S2) --------------------------------------------
+
+/// Minimal program with no archive(): checkpoint requests must be
+/// rejected up front with an error naming the program.
+class NoArchiveProgram {
+ public:
+  using ReduceValue = std::uint32_t;
+  using ReduceOp = comm::MinOp<std::uint32_t>;
+  using BcastValue = std::uint32_t;
+  using BcastOp = comm::MinOp<std::uint32_t>;
+  static constexpr bool kDataDriven = true;
+  static constexpr std::uint64_t kExtraBytesPerVertex = 0;
+
+  struct DeviceState {
+    std::vector<std::uint32_t> val;
+  };
+
+  [[nodiscard]] const char* name() const { return "no-archive"; }
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern::push();
+  }
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx&) const {
+    st.val.assign(lg.num_local, 0);
+  }
+  bool compute_round(const partition::LocalGraph&, DeviceState&,
+                     std::span<const graph::VertexId>,
+                     engine::RoundCtx&) const {
+    return false;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.val;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.val;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.val;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.val;
+  }
+  void on_update(const partition::LocalGraph&, DeviceState&,
+                 graph::VertexId, engine::UpdateKind,
+                 engine::RoundCtx&) const {}
+};
+
+static_assert(engine::VertexProgram<NoArchiveProgram>);
+static_assert(!fault::CheckpointableState<NoArchiveProgram::DeviceState>);
+
+TEST(CheckpointGate, NonCheckpointableProgramIsRejectedDescriptively) {
+  const auto g = small_social();
+  PreparedGraph prep(g, partition::Policy::OEC, 2);
+  const auto t = topo(2);
+  const auto p = params();
+  auto c = cfg(engine::ExecModel::kAsync);
+  c.checkpoint.interval_rounds = 2;
+  const NoArchiveProgram prog;
+  try {
+    (void)engine::run(prep.dist, prep.sync, t, p, c, prog);
+    FAIL() << "checkpoint request on a non-checkpointable program was "
+              "not rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-archive"), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot be checkpointed"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckpointGate, BaspTakesCheckpointsAtQuiescencePoints) {
+  BfsFixture fx;
+  auto c = cfg(engine::ExecModel::kAsync);
+  c.checkpoint.interval_rounds = 1;
+  const auto r = fx.run(c);
+  EXPECT_GT(r.stats.faults.checkpoints_taken, 0u);
+  EXPECT_EQ(r.dist, algo::reference::bfs(fx.g, fx.src));
 }
 
 TEST(FaultRecovery, StragglerPlanIsDeterministicAcrossReruns) {

@@ -6,14 +6,23 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "algo/bfs.hpp"
 #include "algo/cc.hpp"
 #include "algo/reference.hpp"
+#include "fault/checkpoint.hpp"
 #include "graph/generators.hpp"
 #include "graph/validation.hpp"
 #include "helpers.hpp"
+#include "partition/partition_io.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -154,6 +163,189 @@ TEST_P(Fuzz, DistributedBfsAndCcMatchReferenceOnRandomGraphs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
                          testing::Range<std::uint64_t>(1, 26));
+
+// ---- on-disk envelope corruption fuzzing --------------------------------
+//
+// Every persisted artifact (partition-store 'SGPT' parts/manifest and
+// fault-layer 'SGCK' checkpoints) shares one checksummed envelope:
+//   magic(4) | version(4) | payload_size(8) | payload | fnv1a64(8).
+// Property: *any* single bit-flip, truncation, or corrupt length field
+// must surface as a descriptive std::runtime_error — never a crash,
+// never an allocation bomb, and never a silently wrong load.
+
+class CorruptionFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+std::filesystem::path fuzz_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<char> slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spew(const std::filesystem::path& p, const std::vector<char>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Runs `load` on a file whose bytes were mutated and asserts the
+/// corruption is rejected with a descriptive error (non-trivial what()).
+template <typename LoadFn>
+void expect_descriptive_rejection(LoadFn&& load, const std::string& how) {
+  try {
+    load();
+    ADD_FAILURE() << "corruption not detected (" << how << ")";
+  } catch (const std::runtime_error& e) {
+    EXPECT_GE(std::string(e.what()).size(), 10u)
+        << "error message not descriptive (" << how << ")";
+  } catch (...) {
+    ADD_FAILURE() << "wrong exception type (" << how << ")";
+  }
+}
+
+TEST_P(CorruptionFuzz, PartitionPartSurvivesBitFlipsAtRandomOffsets) {
+  sim::Rng rng{GetParam()};
+  const auto n = static_cast<graph::VertexId>(32 + rng.bounded(64));
+  const auto g =
+      graph::build_csr(random_edges(rng, n, 4 * n, true), n, true);
+  const auto policies = test::all_policies();
+  test::PreparedGraph prep(g, policies[rng.bounded(policies.size())], 2);
+  const auto dir = fuzz_dir("sg_fuzz_part_" + std::to_string(GetParam()));
+  partition::save_partition(prep.dist, dir);
+  const auto part = dir / "part_1.sgp";
+  const auto pristine = slurp(part);
+  ASSERT_GT(pristine.size(), 24u);  // header + some payload + trailer
+
+  // Sweep the whole header deterministically plus random payload/trailer
+  // offsets: a flipped bit anywhere in the file must be caught.
+  std::vector<std::size_t> offsets;
+  for (std::size_t i = 0; i < 16; ++i) offsets.push_back(i);
+  offsets.push_back(pristine.size() - 1);  // inside the checksum trailer
+  for (int i = 0; i < 24; ++i) offsets.push_back(rng.bounded(pristine.size()));
+  for (const std::size_t off : offsets) {
+    auto bytes = pristine;
+    bytes[off] =
+        static_cast<char>(bytes[off] ^ (1u << rng.bounded(8)));
+    spew(part, bytes);
+    expect_descriptive_rejection(
+        [&] { (void)partition::load_partition_part(dir, 1); },
+        "bit flip at offset " + std::to_string(off));
+  }
+
+  // Restoring the pristine bytes makes the part loadable again (the
+  // rejections above were about the data, not lingering state).
+  spew(part, pristine);
+  EXPECT_NO_THROW((void)partition::load_partition_part(dir, 1));
+}
+
+TEST_P(CorruptionFuzz, PartitionStoreSurvivesTruncationAtAnyLength) {
+  sim::Rng rng{GetParam() * 977 + 5};
+  const auto n = static_cast<graph::VertexId>(32 + rng.bounded(64));
+  const auto g = graph::build_csr(random_edges(rng, n, 3 * n, false), n);
+  test::PreparedGraph prep(g, partition::Policy::OEC, 2);
+  const auto dir = fuzz_dir("sg_fuzz_trunc_" + std::to_string(GetParam()));
+  partition::save_partition(prep.dist, dir);
+
+  for (const char* name : {"part_0.sgp", "manifest.sgp"}) {
+    const auto path = dir / name;
+    const auto pristine = slurp(path);
+    std::vector<std::uintmax_t> keeps{0, 3, 4, 7, 8, 15, 16,
+                                      pristine.size() - 8,
+                                      pristine.size() - 1};
+    for (int i = 0; i < 12; ++i) keeps.push_back(rng.bounded(pristine.size()));
+    for (const std::uintmax_t keep : keeps) {
+      spew(path, pristine);
+      std::filesystem::resize_file(path, keep);
+      expect_descriptive_rejection(
+          [&] { (void)partition::load_partition(dir); },
+          std::string(name) + " truncated to " + std::to_string(keep));
+    }
+    spew(path, pristine);
+  }
+  EXPECT_NO_THROW((void)partition::load_partition(dir));
+}
+
+TEST_P(CorruptionFuzz, CheckpointEnvelopeSurvivesBitFlipsAndTruncation) {
+  sim::Rng rng{GetParam() * 131 + 17};
+  const auto dir = fuzz_dir("sg_fuzz_ckpt_" + std::to_string(GetParam()));
+  const fault::CheckpointStore store(dir);
+  fault::Checkpoint ck;
+  ck.round = 1 + rng.bounded(50);
+  ck.devices.resize(2);
+  for (auto& dev : ck.devices) {
+    dev.bytes.resize(16 + rng.bounded(240));
+    for (auto& b : dev.bytes) b = static_cast<char>(rng.bounded(256));
+  }
+  store.save(ck);
+  const int devices = static_cast<int>(ck.devices.size());
+  ASSERT_NO_THROW((void)store.load(ck.round, devices));
+
+  const auto victim = store.device_file(ck.round, 1);
+  const auto pristine = slurp(victim);
+  for (int i = 0; i < 24; ++i) {
+    const std::size_t off = rng.bounded(pristine.size());
+    auto bytes = pristine;
+    bytes[off] = static_cast<char>(bytes[off] ^ (1u << rng.bounded(8)));
+    spew(victim, bytes);
+    expect_descriptive_rejection(
+        [&] { (void)store.load(ck.round, devices); },
+        "checkpoint bit flip at offset " + std::to_string(off));
+  }
+  for (int i = 0; i < 8; ++i) {
+    spew(victim, pristine);
+    std::filesystem::resize_file(victim, rng.bounded(pristine.size()));
+    expect_descriptive_rejection(
+        [&] { (void)store.load(ck.round, devices); },
+        "checkpoint truncated");
+  }
+  spew(victim, pristine);
+  const auto reloaded = store.load(ck.round, devices);
+  ASSERT_EQ(reloaded.devices.size(), ck.devices.size());
+  EXPECT_EQ(reloaded.devices[1].bytes, ck.devices[1].bytes);
+}
+
+TEST_P(CorruptionFuzz, CorruptLengthFieldIsRejectedWithoutAllocating) {
+  sim::Rng rng{GetParam() * 31 + 3};
+  const auto dir = fuzz_dir("sg_fuzz_len_" + std::to_string(GetParam()));
+  const fault::CheckpointStore store(dir);
+  fault::Checkpoint ck;
+  ck.round = 4;
+  ck.devices.resize(1);
+  ck.devices[0].bytes.assign(64, 'x');
+  store.save(ck);
+  const auto path = store.device_file(4, 0);
+  const auto pristine = slurp(path);
+
+  // The declared payload size lives at bytes [8, 16). Writing absurd
+  // values there must be rejected against the actual file size *before*
+  // any allocation — a corrupted length field is not an excuse to try a
+  // multi-exabyte resize (this was a latent bug: the reader used to
+  // allocate `size` bytes on faith).
+  const std::uint64_t absurd[] = {
+      pristine.size(), pristine.size() + 1, std::uint64_t{1} << 40,
+      std::uint64_t{1} << 60, ~std::uint64_t{0}, rng.next()};
+  for (const std::uint64_t size : absurd) {
+    auto bytes = pristine;
+    std::memcpy(bytes.data() + 8, &size, sizeof size);
+    spew(path, bytes);
+    try {
+      (void)store.load(4, 1);
+      ADD_FAILURE() << "length " << size << " not rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("corrupt length field"),
+                std::string::npos)
+          << "unexpected message for length " << size << ": " << e.what();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz,
+                         testing::Range<std::uint64_t>(1, 13));
 
 // Validation negative cases (hand-built malformed CSRs).
 TEST(Validation, DetectsMalformedStructures) {

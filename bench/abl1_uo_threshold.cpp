@@ -17,6 +17,8 @@ namespace {
 
 using namespace sg;
 
+bench::ReportLog report("abl1_uo_threshold");
+
 /// Modeled one-message sync time: extraction + D2H + network + H2D.
 double sync_time(std::uint32_t list_size, std::uint32_t updated,
                  comm::SyncMode mode, const sim::GpuCostModel& cost,
@@ -93,6 +95,14 @@ int main() {
         fw::DIrGL::run(c.bench, prep, bench::bridges(c.gpus),
                        bench::params(),
                        fw::DIrGL::config(engine::Variant::kVar3));
+    if (as.ok) {
+      report.add(fw::to_string(c.bench), c.input, "D-IrGL", "Var2", c.gpus,
+                 as.stats);
+    }
+    if (uo.ok) {
+      report.add(fw::to_string(c.bench), c.input, "D-IrGL", "Var3", c.gpus,
+                 uo.stats);
+    }
     e2e.add_row(
         {c.input, fw::to_string(c.bench), std::to_string(c.gpus),
          as.ok ? bench::fmt_time(as.stats.total_time.seconds()) : "-",
@@ -105,5 +115,6 @@ int main() {
                : "-"});
   }
   e2e.print();
+  report.write();
   return 0;
 }

@@ -11,6 +11,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("abl2_basp_throttle");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -32,6 +36,7 @@ int main() {
                        bench::params(),
                        fw::DIrGL::config(engine::Variant::kVar3));
     if (bsp.ok) {
+      report.add("bfs", input, "D-IrGL", "Var3", gpus, bsp.stats);
       table.add_row(
           {"BSP", bench::fmt_time(bsp.stats.total_time.seconds()),
            graph::human_count(bsp.stats.total_work()),
@@ -48,6 +53,10 @@ int main() {
                                     bench::bridges(gpus), bench::params(),
                                     cfg);
       if (!r.ok) continue;
+      report.add("bfs", input, "D-IrGL",
+                 "Var4+cap" + (cap == 0 ? std::string("inf")
+                                        : std::to_string(cap)),
+                 gpus, r.stats);
       table.add_row(
           {cap == 0 ? "inf" : std::to_string(cap),
            bench::fmt_time(r.stats.total_time.seconds()),
@@ -61,5 +70,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

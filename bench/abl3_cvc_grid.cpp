@@ -7,6 +7,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("abl3_cvc_grid");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -37,6 +41,13 @@ int main() {
                                    fw::DIrGL::default_config());
     char grid[16], rf[16], sb[16];
     std::snprintf(grid, sizeof grid, "%dx%d", rows, cols);
+    const std::string cfg = std::string("CVC") + grid;
+    if (bfs.ok) {
+      report.add("bfs", "twitter50", "D-IrGL", cfg, gpus, bfs.stats);
+    }
+    if (pr.ok) {
+      report.add("pagerank", "twitter50", "D-IrGL", cfg, gpus, pr.stats);
+    }
     std::snprintf(rf, sizeof rf, "%.2f",
                   prep.dist.stats().replication_factor);
     std::snprintf(sb, sizeof sb, "%.2f", prep.dist.stats().static_balance);
@@ -54,5 +65,6 @@ int main() {
                : "-"});
   }
   table.print();
+  report.write();
   return 0;
 }

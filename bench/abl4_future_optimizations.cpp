@@ -25,6 +25,8 @@ struct Mode {
   bool gpudirect;
 };
 
+bench::ReportLog report("abl4_future_optimizations");
+
 }  // namespace
 
 int main() {
@@ -59,6 +61,8 @@ int main() {
         const auto r = fw::DIrGL::run(b, prep, bench::bridges(gpus), params,
                                       cfg, bench::run_params(input));
         if (!r.ok) continue;
+        report.add(fw::to_string(b), input, "D-IrGL",
+                   std::string("Var4+CVC") + mode.name, gpus, r.stats);
         const double total = r.stats.total_time.seconds();
         if (mode.overlap == false && mode.gpudirect == false) {
           baseline = total;
@@ -76,5 +80,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

@@ -9,6 +9,10 @@
 #include "algo/sssp_delta.hpp"
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("abl5_ordered_worklists");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -32,6 +36,7 @@ int main() {
     bench::Table table({"scheduler", "Total", "Work", "Work/|E|",
                         "Rounds", "Volume"});
     auto add = [&](const std::string& name, const algo::SsspResult& r) {
+      report.add("sssp", input, "D-IrGL", "Var4+" + name, gpus, r.stats);
       char ratio[16];
       std::snprintf(ratio, sizeof ratio, "%.2f",
                     static_cast<double>(r.stats.total_work()) /
@@ -53,5 +58,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

@@ -12,6 +12,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("abl6_basp_idle_model");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -31,6 +35,7 @@ int main() {
 
     auto add = [&](const std::string& name, const fw::BenchmarkRun& r) {
       if (!r.ok) return;
+      report.add("bfs", input, "D-IrGL", name, gpus, r.stats);
       table.add_row(
           {name, bench::fmt_time(r.stats.total_time.seconds()),
            std::to_string(r.stats.min_rounds()),
@@ -57,5 +62,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

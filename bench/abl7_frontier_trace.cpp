@@ -12,6 +12,8 @@
 
 namespace {
 
+sg::bench::ReportLog report("abl7_frontier_trace");
+
 void print_trace(const char* title, const sg::engine::RunStats& stats,
                  std::size_t max_rows) {
   using namespace sg;
@@ -50,13 +52,18 @@ int main() {
   const auto bfs = fw::DIrGL::run(fw::Benchmark::kBfs, prep,
                                   bench::bridges(gpus), bench::params(),
                                   cfg);
-  if (bfs.ok) print_trace("bfs (data-driven push)", bfs.stats, 24);
+  if (bfs.ok) {
+    report.add("bfs", "uk07", "D-IrGL", "Var3+CVC", gpus, bfs.stats);
+    print_trace("bfs (data-driven push)", bfs.stats, 24);
+  }
 
   const auto pr = fw::DIrGL::run(fw::Benchmark::kPagerank, prep,
                                  bench::bridges(gpus), bench::params(),
                                  cfg);
   if (pr.ok) {
+    report.add("pagerank", "uk07", "D-IrGL", "Var3+CVC", gpus, pr.stats);
     print_trace("pagerank (topology-driven pull)", pr.stats, 24);
   }
+  report.write();
   return 0;
 }

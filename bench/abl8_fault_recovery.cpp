@@ -24,6 +24,10 @@
 #include "bench_common.hpp"
 #include "fault/fault.hpp"
 
+namespace {
+sg::bench::ReportLog report("abl8_fault_recovery");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -47,6 +51,7 @@ int main() {
     std::printf("baseline run failed; aborting\n");
     return 1;
   }
+  report.add("bfs", input, "D-IrGL", "Var3", gpus, base.stats);
   const double t0 = base.stats.total_time.seconds();
 
   std::printf("== crash at 50%% of the failure-free run: checkpoint "
@@ -66,6 +71,11 @@ int main() {
       const auto r =
           fw::DIrGL::run(fw::Benchmark::kBfs, prep, topo, params, cfg);
       if (!r.ok) continue;
+      report.add("bfs", input, "D-IrGL",
+                 "Var3+crash50+ckpt" + (interval == 0
+                                            ? std::string("degraded")
+                                            : std::to_string(interval)),
+                 gpus, r.stats);
       const auto& f = r.stats.faults;
       char overhead[32];
       std::snprintf(overhead, sizeof overhead, "%.1f%%",
@@ -118,6 +128,9 @@ int main() {
         const auto r =
             fw::DIrGL::run(fw::Benchmark::kBfs, prep, topo, params, cfg);
         if (!r.ok) continue;
+        report.add("bfs", input, "D-IrGL",
+                   std::string("Var3+") + s.name + "@" + when, gpus,
+                   r.stats);
         const auto& f = r.stats.faults;
         char overhead[32];
         std::snprintf(overhead, sizeof overhead, "%.1f%%",
@@ -152,6 +165,8 @@ int main() {
       const auto& f = r.stats.faults;
       char pb[16], overhead[32];
       std::snprintf(pb, sizeof pb, "%.2f", prob);
+      report.add("bfs", input, "D-IrGL", std::string("Var3+drop") + pb,
+                 gpus, r.stats);
       std::snprintf(overhead, sizeof overhead, "%.1f%%",
                     (r.stats.total_time.seconds() / t0 - 1.0) * 100.0);
       table.add_row({pb, bench::fmt_time(r.stats.total_time.seconds()),
@@ -170,8 +185,10 @@ int main() {
         fw::DIrGL::run(fw::Benchmark::kBfs, prep, topo, params, basp);
     if (!abase.ok) {
       std::printf("BASP baseline failed; skipping\n");
+      report.write();
       return 0;
     }
+    report.add("bfs", input, "D-IrGL", "Var4", gpus, abase.stats);
     const double a0 = abase.stats.total_time.seconds();
     bench::Table table({"DropProb", "Total", "Overhead", "Dropped",
                         "Retries", "CleanTerm"});
@@ -188,6 +205,8 @@ int main() {
       const auto& f = r.stats.faults;
       char pb[16], overhead[32];
       std::snprintf(pb, sizeof pb, "%.2f", prob);
+      report.add("bfs", input, "D-IrGL", std::string("Var4+drop") + pb,
+                 gpus, r.stats);
       std::snprintf(overhead, sizeof overhead, "%.1f%%",
                     (r.stats.total_time.seconds() / a0 - 1.0) * 100.0);
       table.add_row({pb, bench::fmt_time(r.stats.total_time.seconds()),
@@ -197,5 +216,6 @@ int main() {
     }
     table.print();
   }
+  report.write();
   return 0;
 }

@@ -7,12 +7,15 @@
 // is the comparison target, not the paper's absolute numbers.
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "fw/benchmark.hpp"
+#include "obs/report.hpp"
 #include "fw/dirgl.hpp"
 #include "fw/groute.hpp"
 #include "fw/gunrock.hpp"
@@ -183,5 +186,53 @@ inline std::string fmt_volume(double gb) {
   }
   return buf;
 }
+
+/// Machine-readable twin of each bench's text table: every successful
+/// framework run is appended as a run-report entry, and `write()` emits
+/// BENCH_<name>.json into the working directory (or $SG_BENCH_REPORT_DIR
+/// when set) for report_diff / CI regression guarding.
+class ReportLog {
+ public:
+  explicit ReportLog(std::string bench_name)
+      : bench_(bench_name), writer_(std::move(bench_name)) {}
+
+  /// Labels the run `<benchmark>/<input>/<system>/<config>/<devices>` —
+  /// deterministic, so diffs across report generations line up.
+  void add(const std::string& benchmark, const std::string& input,
+           const std::string& system, const std::string& config,
+           int devices, const engine::RunStats& stats,
+           const obs::Registry* metrics = nullptr,
+           const obs::Tracer* trace = nullptr) {
+    obs::ReportMeta meta;
+    meta.bench = bench_;
+    meta.benchmark = benchmark;
+    meta.input = input;
+    meta.system = system;
+    meta.config = config;
+    meta.devices = devices;
+    meta.label = benchmark + "/" + input + "/" + system + "/" + config +
+                 "/" + std::to_string(devices);
+    writer_.add(meta, stats, metrics, trace);
+  }
+
+  [[nodiscard]] std::size_t num_runs() const { return writer_.num_runs(); }
+
+  /// Writes the accumulated report; prints the path so the artifact is
+  /// discoverable from the bench's text output.
+  bool write() const {
+    std::filesystem::path dir = ".";
+    if (const char* env = std::getenv("SG_BENCH_REPORT_DIR")) dir = env;
+    const std::filesystem::path path = dir / ("BENCH_" + bench_ + ".json");
+    const bool ok = writer_.write_file(path);
+    std::printf("[report] %s %s (%zu runs)\n",
+                ok ? "wrote" : "FAILED to write", path.string().c_str(),
+                writer_.num_runs());
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  obs::ReportWriter writer_;
+};
 
 }  // namespace sg::bench

@@ -2,9 +2,19 @@
 // for the medium graphs on Bridges (2 simulated P100s per host), 2-64
 // GPUs. Prints one series per (input, benchmark, system) with the
 // simulated execution time at each GPU count ("-" = failed/unsupported).
+//
+// Observability mode: `--trace out.json` and/or `--report run.json`
+// skip the full sweep and run one fixed configuration (bfs/friendster/
+// Var4/4 GPUs) with the span tracer and metrics registry attached,
+// write the requested artifacts, and self-check that per-device span
+// sums reconcile with the RunStats breakdown within 1 simulated µs.
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -12,10 +22,112 @@ using namespace sg;
 
 const std::vector<int> kGpus = {2, 4, 8, 16, 32, 64};
 
+bench::ReportLog report("fig3_scaling_variants");
+
+/// One fully observed run: tracer + registry + per-round trace on.
+/// Returns 0 when artifacts were written and the trace reconciles.
+int traced_run(const std::string& trace_path,
+               const std::string& report_path) {
+  constexpr int kTracedGpus = 4;
+  const std::string input = "friendster";
+  obs::Tracer tracer;
+  obs::Registry registry;
+  engine::EngineConfig cfg = fw::DIrGL::config(engine::Variant::kVar4);
+  cfg.collect_trace = true;
+  cfg.tracer = &tracer;
+  cfg.metrics = &registry;
+
+  const auto& prep = bench::prepared(input, false, partition::Policy::IEC,
+                                     kTracedGpus);
+  const auto r =
+      fw::DIrGL::run(fw::Benchmark::kBfs, prep, bench::bridges(kTracedGpus),
+                     bench::params(), cfg, bench::run_params(input));
+  if (!r.ok) {
+    std::fprintf(stderr, "traced run failed: %s\n", r.error.c_str());
+    return 1;
+  }
+
+  // Reconciliation: each per-device RunStats accumulator must equal the
+  // sum of its span kind on that device's track (SpanKind contract).
+  double worst_us = 0.0;
+  for (int d = 0; d < kTracedGpus; ++d) {
+    const double dc = std::abs(
+        r.stats.compute_time[d].micros() -
+        tracer.kind_sum(d, obs::SpanKind::kKernel).micros());
+    const double dw =
+        std::abs(r.stats.wait_time[d].micros() -
+                 tracer.kind_sum(d, obs::SpanKind::kWait).micros());
+    const double dm = std::abs(r.stats.device_comm_time[d].micros() -
+                               tracer.comm_sum(d).micros());
+    worst_us = std::max({worst_us, dc, dw, dm});
+    std::printf(
+        "gpu%d: compute %.3fs (span delta %.4fus)  wait %.3fs "
+        "(%.4fus)  device-comm %.3fs (%.4fus)\n",
+        d, r.stats.compute_time[d].seconds(), dc,
+        r.stats.wait_time[d].seconds(), dw,
+        r.stats.device_comm_time[d].seconds(), dm);
+  }
+  std::printf("trace: %llu spans recorded, %llu dropped, worst "
+              "reconciliation delta %.4f simulated us\n",
+              static_cast<unsigned long long>(tracer.recorded()),
+              static_cast<unsigned long long>(tracer.dropped()),
+              worst_us);
+
+  bool ok = worst_us <= 1.0 && tracer.dropped() == 0;
+  if (!ok) std::fprintf(stderr, "trace does NOT reconcile with stats\n");
+  if (!trace_path.empty()) {
+    if (tracer.write_chrome_trace(trace_path)) {
+      std::printf("[trace] wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[trace] FAILED to write %s\n",
+                   trace_path.c_str());
+      ok = false;
+    }
+  }
+  if (!report_path.empty()) {
+    obs::ReportMeta meta;
+    meta.bench = "fig3_scaling_variants";
+    meta.benchmark = "bfs";
+    meta.input = input;
+    meta.system = "D-IrGL";
+    meta.config = "Var4+trace";
+    meta.devices = kTracedGpus;
+    meta.label = "bfs/" + input + "/D-IrGL/Var4+trace/" +
+                 std::to_string(kTracedGpus);
+    if (obs::write_report(report_path, meta, r.stats, &registry, &tracer)) {
+      std::printf("[report] wrote %s\n", report_path.c_str());
+    } else {
+      std::fprintf(stderr, "[report] FAILED to write %s\n",
+                   report_path.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sg;
+  std::string trace_path;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (a == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--report run.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty() || !report_path.empty()) {
+    return traced_run(trace_path, report_path);
+  }
+
   std::printf(
       "Figure 3: strong scaling (simulated sec) of D-IrGL variants and\n"
       "Lux for medium graphs on Bridges. Var1=TWC+AS+Sync, Var2=ALB+AS+\n"
@@ -43,6 +155,8 @@ int main() {
                 v == engine::Variant::kVar4) {
               pr_rounds[gpus] = r.stats.global_rounds;
             }
+            report.add(fw::to_string(b), input, "D-IrGL",
+                       engine::to_string(v), gpus, r.stats);
             row.push_back(bench::fmt_time(r.stats.total_time.seconds()));
           } else {
             row.push_back("-");
@@ -60,6 +174,10 @@ int main() {
               pr_rounds.count(gpus) ? pr_rounds[gpus] : 50;
           const auto r = fw::Lux::run(b, prep, bench::bridges(gpus),
                                       bench::params(), rp);
+          if (r.ok) {
+            report.add(fw::to_string(b), input, "Lux", "default", gpus,
+                       r.stats);
+          }
           row.push_back(r.ok ? bench::fmt_time(r.stats.total_time.seconds())
                              : "-");
         }
@@ -69,5 +187,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

@@ -5,6 +5,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("fig4_breakdown_medium32");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -34,6 +38,8 @@ int main() {
           first = false;
           continue;
         }
+        report.add(fw::to_string(b), input, "D-IrGL", engine::to_string(v),
+                   gpus, r.stats);
         const auto bd = bench::breakdown_of(r.stats);
         table.add_row({first ? fw::to_string(b) : "", engine::to_string(v),
                        bench::fmt_time(bd.max_compute),
@@ -48,5 +54,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

@@ -6,6 +6,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("fig5_breakdown_lux4");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -45,11 +49,20 @@ int main() {
                        bench::fmt_time(bd.total),
                        bench::fmt_volume(bd.volume_gb)});
       };
+      if (lux.ok) {
+        report.add(fw::to_string(b), input, "Lux", "default", gpus,
+                   lux.stats);
+      }
+      if (dirgl.ok) {
+        report.add(fw::to_string(b), input, "D-IrGL", "Var1", gpus,
+                   dirgl.stats);
+      }
       add("Lux", lux, true);
       add("D-IrGL(Var1)", dirgl, false);
     }
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

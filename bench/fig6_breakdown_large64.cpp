@@ -6,6 +6,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("fig6_breakdown_large64");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -36,6 +40,8 @@ int main() {
           first = false;
           continue;
         }
+        report.add(fw::to_string(b), input, "D-IrGL", engine::to_string(v),
+                   gpus, r.stats);
         const auto bd = bench::breakdown_of(r.stats);
         table.add_row({first ? fw::to_string(b) : "", engine::to_string(v),
                        bench::fmt_time(bd.max_compute),
@@ -51,5 +57,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

@@ -6,6 +6,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("fig7_scaling_policies");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -30,6 +34,11 @@ int main() {
           const auto r = fw::DIrGL::run(b, prep, bench::bridges(gpus),
                                         bench::params(),
                                         fw::DIrGL::default_config(), bench::run_params(input));
+          if (r.ok) {
+            report.add(fw::to_string(b), input, "D-IrGL",
+                       std::string("Var4+") + partition::to_string(policy),
+                       gpus, r.stats);
+          }
           row.push_back(r.ok ? bench::fmt_time(r.stats.total_time.seconds())
                              : "-");
         }
@@ -40,5 +49,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

@@ -6,6 +6,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("fig8_breakdown_policies32");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -36,6 +40,9 @@ int main() {
           first = false;
           continue;
         }
+        report.add(fw::to_string(b), input, "D-IrGL",
+                   std::string("Var4+") + partition::to_string(policy),
+                   gpus, r.stats);
         const auto bd = bench::breakdown_of(r.stats);
         table.add_row({first ? fw::to_string(b) : "",
                        partition::to_string(policy),
@@ -51,5 +58,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

@@ -7,6 +7,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("fig9_breakdown_policies64");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -40,6 +44,9 @@ int main() {
           first = false;
           continue;
         }
+        report.add(fw::to_string(b), input, "D-IrGL",
+                   std::string("Var4+") + partition::to_string(policy),
+                   gpus, r.stats);
         const auto bd = bench::breakdown_of(r.stats);
         table.add_row({first ? fw::to_string(b) : "",
                        partition::to_string(policy),
@@ -55,5 +62,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  report.write();
   return 0;
 }

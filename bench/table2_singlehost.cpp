@@ -3,10 +3,18 @@
 // (Tuxedo: 4 simulated K80 + 2 GTX 1080). For each framework the sweep
 // covers 1/2/4/6 GPUs; D-IrGL additionally sweeps its partitioning
 // policies and reports the best.
+//
+// CI smoke mode: `--smoke [--report out.json] [--trace out.json]` runs
+// a reduced fixed-configuration sweep (rmat23, 4 GPUs, bfs + pagerank
+// on all four frameworks) with the span tracer attached to the D-IrGL
+// bfs run, and writes a run-report for report_diff regression guarding.
 #include <cstdio>
 #include <optional>
+#include <string>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -28,6 +36,8 @@ std::string fmt_best(const std::optional<Best>& b) {
 
 const std::vector<int> kGpuCounts = {1, 2, 4, 6};
 
+bench::ReportLog report("table2_singlehost");
+
 template <typename RunFn>
 std::optional<Best> sweep(RunFn&& run) {
   std::optional<Best> best;
@@ -46,6 +56,7 @@ std::optional<Best> run_gunrock(fw::Benchmark b, const std::string& input) {
     const auto r = fw::Gunrock::run(b, prep, bench::tuxedo(gpus),
                                     bench::params());
     if (!r.ok) return std::nullopt;
+    report.add(fw::to_string(b), input, "Gunrock", "default", gpus, r.stats);
     return Best{r.stats.total_time.seconds(), gpus, ""};
   });
 }
@@ -57,6 +68,7 @@ std::optional<Best> run_groute(fw::Benchmark b, const std::string& input) {
     const auto r = fw::Groute::run(b, prep, bench::tuxedo(gpus),
                                    bench::params());
     if (!r.ok) return std::nullopt;
+    report.add(fw::to_string(b), input, "Groute", "default", gpus, r.stats);
     return Best{r.stats.total_time.seconds(), gpus, ""};
   });
 }
@@ -71,6 +83,7 @@ std::optional<Best> run_lux(fw::Benchmark b, const std::string& input,
     const auto r =
         fw::Lux::run(b, prep, bench::tuxedo(gpus), bench::params(), rp);
     if (!r.ok) return std::nullopt;
+    report.add(fw::to_string(b), input, "Lux", "default", gpus, r.stats);
     return Best{r.stats.total_time.seconds(), gpus, ""};
   });
 }
@@ -89,6 +102,8 @@ std::optional<Best> run_dirgl(fw::Benchmark b, const std::string& input,
                                     bench::params(),
                                     fw::DIrGL::default_config());
       if (!r.ok) continue;
+      report.add(fw::to_string(b), input, "D-IrGL",
+                 partition::to_string(policy), gpus, r.stats);
       if (pr_rounds_out != nullptr) {
         *pr_rounds_out = std::max(*pr_rounds_out, r.stats.global_rounds);
       }
@@ -101,10 +116,132 @@ std::optional<Best> run_dirgl(fw::Benchmark b, const std::string& input,
   return best;
 }
 
+/// CI smoke sweep: one input, one GPU count, two benchmarks, all four
+/// frameworks. Deterministic (fixed seeds throughout), so the emitted
+/// report can be diffed against a committed baseline.
+int smoke_run(std::string report_path, const std::string& trace_path) {
+  if (report_path.empty()) report_path = "BENCH_table2_smoke.json";
+  const std::string input = "rmat23";
+  const int gpus = 4;
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::ReportWriter writer("table2_smoke");
+  int failures = 0;
+
+  auto meta = [&](fw::Benchmark b, const std::string& system,
+                  const std::string& cfg) {
+    obs::ReportMeta m;
+    m.bench = "table2_smoke";
+    m.benchmark = fw::to_string(b);
+    m.input = input;
+    m.system = system;
+    m.config = cfg;
+    m.devices = gpus;
+    m.label = m.benchmark + "/" + input + "/" + system + "/" + cfg + "/" +
+              std::to_string(gpus);
+    return m;
+  };
+
+  for (auto b : {fw::Benchmark::kBfs, fw::Benchmark::kPagerank}) {
+    if (fw::Gunrock::supports(b)) {
+      const auto& prep =
+          bench::prepared(input, false, partition::Policy::RANDOM, gpus);
+      const auto r =
+          fw::Gunrock::run(b, prep, bench::tuxedo(gpus), bench::params());
+      if (r.ok) {
+        writer.add(meta(b, "Gunrock", "default"), r.stats);
+      } else {
+        ++failures;
+      }
+    }
+    if (fw::Groute::supports(b)) {
+      const auto& prep =
+          bench::prepared(input, false, partition::Policy::GREEDY, gpus);
+      const auto r =
+          fw::Groute::run(b, prep, bench::tuxedo(gpus), bench::params());
+      if (r.ok) {
+        writer.add(meta(b, "Groute", "default"), r.stats);
+      } else {
+        ++failures;
+      }
+    }
+    if (fw::Lux::supports(b)) {
+      const auto& prep =
+          bench::prepared(input, false, partition::Policy::IEC, gpus);
+      const auto r = fw::Lux::run(b, prep, bench::tuxedo(gpus),
+                                  bench::params(), fw::RunParams{});
+      if (r.ok) {
+        writer.add(meta(b, "Lux", "default"), r.stats);
+      } else {
+        ++failures;
+      }
+    }
+    {
+      const auto& prep =
+          bench::prepared(input, false, partition::Policy::IEC, gpus);
+      engine::EngineConfig cfg = fw::DIrGL::default_config();
+      cfg.collect_trace = true;
+      cfg.metrics = &registry;
+      // Trace only the bfs run so the artifact holds one clean timeline.
+      const bool traced = b == fw::Benchmark::kBfs;
+      if (traced) cfg.tracer = &tracer;
+      const auto r = fw::DIrGL::run(b, prep, bench::tuxedo(gpus),
+                                    bench::params(), cfg,
+                                    bench::run_params(input));
+      if (r.ok) {
+        writer.add(meta(b, "D-IrGL", "Var4"), r.stats, &registry,
+                   traced ? &tracer : nullptr);
+      } else {
+        ++failures;
+      }
+    }
+  }
+
+  std::printf("smoke: %zu run(s), %d failure(s)\n", writer.num_runs(),
+              failures);
+  if (!writer.write_file(report_path)) {
+    std::fprintf(stderr, "[report] FAILED to write %s\n",
+                 report_path.c_str());
+    return 1;
+  }
+  std::printf("[report] wrote %s\n", report_path.c_str());
+  if (!trace_path.empty()) {
+    if (!tracer.write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "[trace] FAILED to write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("[trace] wrote %s (%llu spans)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(tracer.recorded()));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sg;
+  bool smoke = false;
+  std::string report_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--report out.json] "
+                   "[--trace out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) return smoke_run(report_path, trace_path);
+
   std::printf(
       "Table II: fastest execution time (simulated sec) of all frameworks\n"
       "using the best-performing number of GPUs on the single-host\n"
@@ -142,5 +279,6 @@ int main() {
     table.add_row({"", "D-IrGL", dirgl_row[0], dirgl_row[1], dirgl_row[2]});
   }
   table.print();
+  report.write();
   return 0;
 }

@@ -7,6 +7,10 @@
 
 #include "bench_common.hpp"
 
+namespace {
+sg::bench::ReportLog report("table3_memory");
+}  // namespace
+
 int main() {
   using namespace sg;
   std::printf(
@@ -26,6 +30,7 @@ int main() {
     std::vector<std::string> cells{name};
     for (const auto& input : inputs) {
       const auto r = runner(input);
+      if (r.ok) report.add("cc", input, name, "default", gpus, r.stats);
       cells.push_back(r.ok ? bench::fmt_bytes_mb(r.stats.max_memory())
                            : "OOM");
     }
@@ -70,6 +75,7 @@ int main() {
     std::vector<std::string> cells{name};
     for (const std::string input : {"friendster", "twitter50", "uk07"}) {
       const auto r = runner(input);
+      if (r.ok) report.add("cc", input, name, "tight", gpus, r.stats);
       cells.push_back(r.ok ? bench::fmt_bytes_mb(r.stats.max_memory())
                            : std::string("OOM"));
     }
@@ -100,5 +106,6 @@ int main() {
         params, fw::DIrGL::default_config());
   });
   table2.print();
+  report.write();
   return 0;
 }

@@ -10,6 +10,8 @@ namespace {
 
 using namespace sg;
 
+bench::ReportLog report("table4_loadbalance");
+
 std::string fmt_ratio(double r) {
   char buf[16];
   std::snprintf(buf, sizeof buf, "%.2f", r);
@@ -32,6 +34,9 @@ Cell measure(const std::string& input, partition::Policy policy,
                                 bench::params(),
                                 fw::DIrGL::default_config(), bench::run_params(input));
   if (r.ok) {
+    report.add(fw::to_string(b), input, "D-IrGL",
+               std::string("Var4+") + partition::to_string(policy), devices,
+               r.stats);
     cell.dynamic_bal = fmt_ratio(r.stats.dynamic_balance());
     cell.memory_bal = fmt_ratio(r.stats.memory_balance());
   }
@@ -79,5 +84,6 @@ int main() {
       "\nReadings (paper Section V-C): static balance correlates with\n"
       "memory balance but not with dynamic balance; edge-cuts (IEC/OEC)\n"
       "are statically balanced by construction.\n");
+  report.write();
   return 0;
 }

@@ -8,6 +8,11 @@
 #include "fault/fault.hpp"
 #include "sim/gpu_cost_model.hpp"
 
+namespace sg::obs {
+class Tracer;
+class Registry;
+}  // namespace sg::obs
+
 namespace sg::engine {
 
 /// BSP (global rounds with a barrier) vs BASP (per-device local rounds
@@ -45,9 +50,17 @@ struct EngineConfig {
   /// kernel on a copy engine — the paper's second proposed improvement
   /// (Section VII). Off by default (the studied frameworks serialize).
   bool overlap_comm = false;
-  /// Record per-global-round activity into RunStats::trace (BSP only;
-  /// small overhead, off by default).
+  /// Record per-round activity into RunStats::trace (BSP: one entry
+  /// per global round; BASP: one entry per local round, aggregated
+  /// across devices; small overhead, off by default).
   bool collect_trace = false;
+  /// Simulated-timeline span tracer (not owned; nullptr = tracing
+  /// disabled at zero cost — instrumentation sites test the pointer
+  /// and do nothing).
+  obs::Tracer* tracer = nullptr;
+  /// Metrics registry the engine/comm/fault layers record counters and
+  /// histograms into (not owned; nullptr = disabled at zero cost).
+  obs::Registry* metrics = nullptr;
   /// BASP idle behaviour. Gluon-Async devices busy-poll: a device with
   /// an empty worklist still executes local rounds (worklist check +
   /// bitvector scan) until global termination — the reason the paper's

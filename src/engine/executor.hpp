@@ -20,6 +20,8 @@
 #include "fault/checkpoint.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/dist_graph.hpp"
 #include "partition/partition_io.hpp"
 #include "partition/rehome.hpp"
@@ -138,6 +140,7 @@ class Executor {
     }
     stats_.resize(devices_);
     devs_.resize(devices_);
+    setup_obs();
     for (int d = 0; d < devices_; ++d) {
       const auto& lg = dg().part(d);
       Dev& dev = devs_[d];
@@ -154,6 +157,7 @@ class Executor {
       dev.dirty_b.resize(lg.num_local);
       dev.in_frontier.resize(lg.num_local);
       dev.ctx->attach(&dev.dirty_r, &dev.dirty_b);
+      dev.ctx->attach_obs(dev_scope(d));
       dev.last_seen_round.assign(devices_, 0);
       program_.init(lg, dev.state, *dev.ctx);
       merge_activations(dev);
@@ -170,10 +174,54 @@ class Executor {
       ckpt_store_ = fault::CheckpointStore(config_.checkpoint.dir);
     }
     monitor_ = fault::HeartbeatMonitor(config_.health, &injector_, devices_);
+    monitor_.set_metrics(config_.metrics);
     dead_.assign(devices_, 0);
     silent_.assign(devices_, 0);
     last_basp_ckpt_round_ = 0;
   }
+
+  // ---- observability -----------------------------------------------------
+  /// Track layout: 0..D-1 per-device timelines, D..2D-1 "network from
+  /// device d" (spans recorded by the sender, so the parallel BSP
+  /// phases never race on a track), 2D the runtime track (checkpoint /
+  /// rollback / re-homing, recorded from single-threaded contexts only).
+  [[nodiscard]] obs::Scope dev_scope(int d) const {
+    return obs::Scope{tracer_, d};
+  }
+  [[nodiscard]] obs::Scope net_scope(int d) const {
+    return obs::Scope{tracer_, devices_ + d};
+  }
+  [[nodiscard]] obs::Scope rt_scope() const {
+    return obs::Scope{tracer_, 2 * devices_};
+  }
+
+  void setup_obs() {
+    tracer_ = config_.tracer;
+    if (tracer_ != nullptr) {
+      tracer_->require_tracks(2 * devices_ + 1);
+      for (int d = 0; d < devices_; ++d) {
+        tracer_->name_track(d, "gpu" + std::to_string(d));
+        tracer_->name_track(devices_ + d,
+                            "net from gpu" + std::to_string(d));
+      }
+      tracer_->name_track(2 * devices_, "runtime");
+    }
+    if (config_.metrics != nullptr) {
+      obs::Registry& reg = *config_.metrics;
+      m_rounds_ = &reg.counter("engine.local_rounds");
+      m_messages_ = &reg.counter("engine.messages_sent");
+      m_bytes_ = &reg.counter("engine.sync_bytes");
+      m_checkpoints_ = &reg.counter("fault.checkpoints");
+      m_rollbacks_ = &reg.counter("fault.rollbacks");
+      m_msg_size_ = &reg.histogram("engine.message_size_bytes",
+                                   obs::Histogram::exp2_bounds(6, 24));
+      m_frontier_ = &reg.histogram("engine.frontier_size",
+                                   obs::Histogram::exp2_bounds(0, 24));
+      m_kernel_us_ = &reg.histogram("engine.kernel_time_us",
+                                    obs::Histogram::exp2_bounds(0, 20));
+    }
+  }
+
 
   /// Registers every buffer the engine conceptually places on the GPU.
   /// Throws sim::OutOfDeviceMemory when capacity is exceeded — the
@@ -240,6 +288,13 @@ class Executor {
     stats_.compute_time[d] += t;
     stats_.work_items[d] += dev.ctx->total_edges();
     stats_.rounds[d] += 1;
+    dev_scope(d).span(obs::SpanKind::kKernel, "kernel", at, at + t,
+                      dev.ctx->total_edges(), stats_.rounds[d]);
+    if (m_rounds_ != nullptr) {
+      m_rounds_->inc();
+      m_frontier_->observe(static_cast<double>(frontier.size()));
+      m_kernel_us_->observe(t.micros());
+    }
     return t;
   }
 
@@ -307,6 +362,44 @@ class Executor {
       stage2_clock = stage1_clock;
     }
     return stage2_clock;
+  }
+
+  /// Send-side spans of one payload leaving device `d` for `o`:
+  /// extraction [s0, s0+first), downlink ending at `sent`, and the
+  /// network hop [sent, arrival) on d's network track. The downlink
+  /// span is anchored to `sent` so it is correct in both pipeline modes
+  /// (serialized and overlapped). Also feeds the send-side metrics.
+  void trace_send(int d, int o, const char* extract, const char* downlink,
+                  const char* net, const StageCost& c, sim::SimTime s0,
+                  sim::SimTime sent, sim::SimTime arrival,
+                  std::uint64_t bytes) {
+    if (tracer_ != nullptr) {
+      const auto peer = static_cast<std::uint64_t>(o);
+      dev_scope(d).span(obs::SpanKind::kExtract, extract, s0, s0 + c.first,
+                        bytes, peer);
+      dev_scope(d).span(obs::SpanKind::kPcie, downlink, sent - c.second,
+                        sent, bytes, peer);
+      net_scope(d).span(obs::SpanKind::kNet, net, sent, arrival, bytes,
+                        peer);
+    }
+    if (m_messages_ != nullptr) {
+      m_messages_->inc();
+      m_bytes_->inc(bytes);
+      m_msg_size_->observe(static_cast<double>(bytes));
+    }
+  }
+
+  /// Receive-side spans on device `d`: uplink [s0, s0+first) and apply
+  /// ending at `end` (anchored like the downlink above).
+  void trace_recv(int d, int from, const char* uplink, const char* apply,
+                  const StageCost& c, sim::SimTime s0, sim::SimTime end,
+                  std::uint64_t bytes) {
+    if (tracer_ == nullptr) return;
+    const auto peer = static_cast<std::uint64_t>(from);
+    dev_scope(d).span(obs::SpanKind::kPcie, uplink, s0, s0 + c.first, bytes,
+                      peer);
+    dev_scope(d).span(obs::SpanKind::kApply, apply, end - c.second, end,
+                      bytes, peer);
   }
 
   void account_network(int from, int to, std::uint64_t bytes) {
@@ -492,6 +585,10 @@ class Executor {
       }
       for (int d = 0; d < devices_; ++d) {
         stats_.wait_time[d] += next_barrier - done[d];
+        if (next_barrier > done[d]) {
+          dev_scope(d).span(obs::SpanKind::kWait, "wait.barrier", done[d],
+                            next_barrier, 0, stats_.global_rounds);
+        }
       }
       barrier = next_barrier;
 
@@ -611,6 +708,9 @@ class Executor {
     fault_global_.checkpoints_taken += 1;
     fault_global_.checkpoint_bytes += ck.total_bytes();
     fault_global_.checkpoint_time += worst;
+    rt_scope().span(obs::SpanKind::kCheckpoint, "checkpoint", barrier,
+                    barrier + worst, ck.total_bytes(), ck.round);
+    if (m_checkpoints_ != nullptr) m_checkpoints_->inc();
     if (ckpt_store_.persistent()) ckpt_store_.save(ck);
     last_ckpt_ = std::move(ck);
     return barrier + worst;
@@ -640,6 +740,10 @@ class Executor {
         fault_global_.reexecuted_rounds +=
             stats_.global_rounds - last_ckpt_.round;
         fault_global_.recovery_time += worst;
+        rt_scope().span(obs::SpanKind::kCheckpoint, "rollback", barrier,
+                        barrier + worst, last_ckpt_.total_bytes(),
+                        last_ckpt_.round);
+        if (m_rollbacks_ != nullptr) m_rollbacks_->inc();
         force_sync_rounds_ = std::max(force_sync_rounds_, 1);
         return barrier + worst;
       }
@@ -647,6 +751,11 @@ class Executor {
     sim::SimTime worst;
     for (int cd : crashed) worst = sim::max(worst, degraded_recover(cd));
     fault_global_.recovery_time += worst;
+    rt_scope().span(obs::SpanKind::kCheckpoint, "recover.degraded", barrier,
+                    barrier + worst, crashed.size(),
+                    crashed.empty()
+                        ? 0
+                        : static_cast<std::uint64_t>(crashed.front()));
     // The re-feed dirty marks alone do not make device_has_work() true;
     // keep the loop alive long enough for a reduce + broadcast sweep.
     force_sync_rounds_ = std::max(force_sync_rounds_, 2);
@@ -831,6 +940,8 @@ class Executor {
       }
     }
     force_sync_rounds_ = std::max(force_sync_rounds_, 2);
+    rt_scope().span(obs::SpanKind::kRehome, "rehome", now, now + cost,
+                    plan.rehomed.size(), plan.orphaned.size());
     return cost;
   }
 
@@ -858,6 +969,7 @@ class Executor {
     dev.in_frontier = comm::Bitset{};
     dev.in_frontier.resize(nlg.num_local);
     dev.ctx->attach(&dev.dirty_r, &dev.dirty_b);
+    dev.ctx->attach_obs(dev_scope(d));
     dev.state = typename Program::DeviceState{};
     program_.init(nlg, dev.state, *dev.ctx);
 
@@ -958,6 +1070,7 @@ class Executor {
           payload.empty_update()) {
         continue;
       }
+      const sim::SimTime s0 = ready;
       const StageCost cost = send_cost(d, payload, list.size());
       stats_.device_comm_time[d] += cost.total();
       const sim::SimTime sent = advance_pipeline(cost, ready, engine);
@@ -966,6 +1079,8 @@ class Executor {
       slot.arrival = deliver_link(d, o, slot.payload.bytes, sent,
                                   fault::MsgKind::kReduce,
                                   stats_.global_rounds);
+      trace_send(d, o, "reduce.extract", "reduce.downlink", "reduce.net",
+                 cost, s0, sent, slot.arrival, slot.payload.bytes);
     }
     ready = sim::max(ready, engine);
   }
@@ -998,11 +1113,16 @@ class Executor {
       const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
       if (m.arrival > t) {
         stats_.wait_time[o] += m.arrival - t;
+        dev_scope(o).span(obs::SpanKind::kWait, "wait.msg", t, m.arrival, 0,
+                          static_cast<std::uint64_t>(d));
         t = m.arrival;
       }
+      const sim::SimTime s0 = t;
       const StageCost cost = receive_cost(o, m.payload);
       stats_.device_comm_time[o] += cost.total();
       t = advance_pipeline(cost, t, recv_engine);
+      trace_recv(o, d, "reduce.uplink", "reduce.apply", cost, s0, t,
+                 m.payload.bytes);
       changed.clear();
       RSync::apply_reduce(sync().list(d, o, reduce_filter_), m.payload,
                           values, dev.dirty_b, &changed);
@@ -1032,6 +1152,7 @@ class Executor {
           payload.empty_update()) {
         continue;
       }
+      const sim::SimTime s0 = ready;
       const StageCost cost = send_cost(d, payload, list.size());
       stats_.device_comm_time[d] += cost.total();
       const sim::SimTime sent = advance_pipeline(cost, ready, engine);
@@ -1040,6 +1161,8 @@ class Executor {
       slot.arrival = deliver_link(d, o, slot.payload.bytes, sent,
                                   fault::MsgKind::kBroadcast,
                                   stats_.global_rounds);
+      trace_send(d, o, "bcast.extract", "bcast.downlink", "bcast.net",
+                 cost, s0, sent, slot.arrival, slot.payload.bytes);
     }
     return sim::max(ready, engine);
   }
@@ -1069,11 +1192,16 @@ class Executor {
       const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
       if (m.arrival > t) {
         stats_.wait_time[o] += m.arrival - t;
+        dev_scope(o).span(obs::SpanKind::kWait, "wait.msg", t, m.arrival, 0,
+                          static_cast<std::uint64_t>(d));
         t = m.arrival;
       }
+      const sim::SimTime s0 = t;
       const StageCost cost = receive_cost(o, m.payload);
       stats_.device_comm_time[o] += cost.total();
       t = advance_pipeline(cost, t, recv_engine);
+      trace_recv(o, d, "bcast.uplink", "bcast.apply", cost, s0, t,
+                 m.payload.bytes);
       changed.clear();
       BSync::apply_broadcast(sync().list(o, d, bcast_filter_), m.payload,
                              values, &changed);
@@ -1198,6 +1326,8 @@ class Executor {
       // local clock; the device only actually idled up to `now`.
       if (now > park_start_[d]) {
         stats_.wait_time[d] += now - park_start_[d];
+        dev_scope(d).span(obs::SpanKind::kWait, "wait.park",
+                          park_start_[d], now, 0, dev.local_round);
       }
       dev.parked = false;
       if (td_) td_->set_active(d, true);
@@ -1229,6 +1359,8 @@ class Executor {
                                    params_.net_latency +
                                    params_.per_message_overhead * 4.0;
         stats_.wait_time[d] += stall;
+        dev_scope(d).span(obs::SpanKind::kWait, "wait.throttle", dev.clock,
+                          dev.clock + stall, 0, dev.local_round);
         dev.clock += stall;
         queue.schedule(dev.clock, [this, d, &queue](sim::SimTime t) {
           basp_step(d, t, queue);
@@ -1253,6 +1385,10 @@ class Executor {
         stats_.compute_time[d] += poll;
         stats_.rounds[d] += 1;
         ++dev.local_round;
+        dev_scope(d).span(obs::SpanKind::kKernel, "kernel.idle_poll",
+                          dev.clock, dev.clock + poll, 0, dev.local_round);
+        if (m_rounds_ != nullptr) m_rounds_->inc();
+        basp_trace(dev.local_round, 0, 0, 0);
         dev.clock += poll;
         queue.schedule(dev.clock, [this, d, &queue](sim::SimTime t) {
           basp_step(d, t, queue);
@@ -1279,10 +1415,37 @@ class Executor {
     dev.flush_pending = false;  // regular sends cover the re-feed marks
     dev.clock += compute_one_round(d, dev.clock);
     ++dev.local_round;
+    basp_trace(dev.local_round, dev.ctx->applications(),
+               dev.ctx->total_edges(), 0);
     basp_send(d, queue);
     queue.schedule(dev.clock, [this, d, &queue](sim::SimTime t) {
       basp_step(d, t, queue);
     });
+  }
+
+  /// BASP counterpart of the BSP trace collection: accumulates activity
+  /// into the per-local-round aggregate (entry `round-1`, growing the
+  /// vector on demand). Single-threaded — BASP runs on one event queue.
+  /// `round` 0 (a pre-round flush during fault recovery) folds into
+  /// round 1.
+  void basp_trace(std::uint32_t round, std::uint64_t active,
+                  std::uint64_t edges, std::uint64_t volume) {
+    if (!config_.collect_trace ||
+        config_.exec_model != ExecModel::kAsync) {
+      return;
+    }
+    if (round == 0) round = 1;
+    if (stats_.trace.size() < round) {
+      const std::size_t old = stats_.trace.size();
+      stats_.trace.resize(round);
+      for (std::size_t i = old; i < round; ++i) {
+        stats_.trace[i].round = static_cast<std::uint32_t>(i + 1);
+      }
+    }
+    RoundTrace& tr = stats_.trace[round - 1];
+    tr.active_vertices += active;
+    tr.edges += edges;
+    tr.volume_bytes += volume;
   }
 
   void drain_inbox(int d) {
@@ -1295,9 +1458,13 @@ class Executor {
       Msg<RV> m = std::move(inbox.reduce.front());
       inbox.reduce.pop_front();
       if (td_) td_->on_receive(d);
+      const sim::SimTime s0 = dev.clock;
       const StageCost cost = receive_cost(d, m.payload);
       stats_.device_comm_time[d] += cost.total();
       dev.clock += cost.total();
+      trace_recv(d, m.payload.from, "reduce.uplink", "reduce.apply", cost,
+                 s0, dev.clock, m.payload.bytes);
+      basp_trace(dev.local_round + 1, 0, 0, m.payload.bytes);
       dev.last_seen_round[m.payload.from] =
           std::max(dev.last_seen_round[m.payload.from], m.sender_round);
       changed.clear();
@@ -1314,9 +1481,13 @@ class Executor {
       Msg<BV> m = std::move(inbox.bcast.front());
       inbox.bcast.pop_front();
       if (td_) td_->on_receive(d);
+      const sim::SimTime s0 = dev.clock;
       const StageCost cost = receive_cost(d, m.payload);
       stats_.device_comm_time[d] += cost.total();
       dev.clock += cost.total();
+      trace_recv(d, m.payload.from, "bcast.uplink", "bcast.apply", cost,
+                 s0, dev.clock, m.payload.bytes);
+      basp_trace(dev.local_round + 1, 0, 0, m.payload.bytes);
       dev.last_seen_round[m.payload.from] =
           std::max(dev.last_seen_round[m.payload.from], m.sender_round);
       changed.clear();
@@ -1366,6 +1537,7 @@ class Executor {
   template <typename T>
   void deliver(int d, int o, comm::Payload<T> payload, Dev& dev,
                sim::SimTime& engine, sim::EventQueue& queue, bool bcast) {
+    const sim::SimTime s0 = dev.clock;
     const StageCost cost = send_cost(d, payload,
                                      payload.scanned > 0
                                          ? payload.scanned
@@ -1376,6 +1548,11 @@ class Executor {
         d, o, payload.bytes, sent,
         bcast ? fault::MsgKind::kBroadcast : fault::MsgKind::kReduce,
         dev.local_round);
+    trace_send(d, o, bcast ? "bcast.extract" : "reduce.extract",
+               bcast ? "bcast.downlink" : "reduce.downlink",
+               bcast ? "bcast.net" : "reduce.net", cost, s0, sent, arrival,
+               payload.bytes);
+    basp_trace(dev.local_round, 0, 0, payload.bytes);
     account_network(d, o, payload.bytes);
     if (td_) td_->on_send(d);
     Msg<T> msg;
@@ -1449,6 +1626,8 @@ class Executor {
       Dev& dev = devs_[o];
       if (!dev.parked && resume > dev.clock) {
         stats_.wait_time[o] += resume - dev.clock;
+        dev_scope(o).span(obs::SpanKind::kWait, "wait.evict", dev.clock,
+                          resume, 0, static_cast<std::uint64_t>(cd));
         dev.clock = resume;
       }
       queue.schedule(resume, [this, o, &queue](sim::SimTime tt) {
@@ -1534,6 +1713,7 @@ class Executor {
     for (int d = 0; d < devices_; ++d) {
       stats_.peak_memory[d] =
           std::max(stats_.peak_memory[d], devs_[d].memory->peak());
+      stats_.evicted[d] = dead_[d];
       stats_.comm += comm_per_dev_[d];
       stats_.faults += fault_per_dev_[d];
       result.states.push_back(std::move(devs_[d].state));
@@ -1579,6 +1759,17 @@ class Executor {
   std::uint64_t traced_volume_ = 0;
   RunStats stats_;
   sim::SimTime total_time_;
+
+  // Observability (all null when disabled; every use tests the handle).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_rounds_ = nullptr;
+  obs::Counter* m_messages_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_checkpoints_ = nullptr;
+  obs::Counter* m_rollbacks_ = nullptr;
+  obs::Histogram* m_msg_size_ = nullptr;
+  obs::Histogram* m_frontier_ = nullptr;
+  obs::Histogram* m_kernel_us_ = nullptr;
 
   // Fault-injection state.
   fault::FaultInjector injector_;

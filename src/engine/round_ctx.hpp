@@ -5,6 +5,7 @@
 
 #include "comm/bitset.hpp"
 #include "graph/types.hpp"
+#include "obs/trace.hpp"
 
 namespace sg::engine {
 
@@ -80,6 +81,13 @@ class RoundCtx {
   /// True when the program produced follow-on work this round.
   [[nodiscard]] bool has_next() const { return !next_.empty(); }
 
+  /// Observability handle for this device's timeline track. A program
+  /// (or any layer holding the ctx) can emit custom spans through it;
+  /// the default Scope is a null sink, so the call is free when tracing
+  /// is off.
+  void attach_obs(obs::Scope s) { obs_ = s; }
+  [[nodiscard]] const obs::Scope& obs() const { return obs_; }
+
  private:
   std::vector<graph::VertexId> next_;
   comm::Bitset in_next_;
@@ -87,6 +95,7 @@ class RoundCtx {
   comm::Bitset* dirty_bcast_ = nullptr;
   std::vector<std::uint32_t> work_sizes_;
   std::uint64_t total_edges_ = 0;
+  obs::Scope obs_;
 };
 
 }  // namespace sg::engine

@@ -9,10 +9,16 @@
 
 namespace sg::engine {
 
-/// One global round's aggregate activity (collected under
-/// EngineConfig::collect_trace, BSP only) — the data behind the paper's
+/// One round's aggregate activity (collected under
+/// EngineConfig::collect_trace) — the data behind the paper's
 /// data-driven vs topology-driven discussion (Section III-E1): bfs
 /// frontiers are bursty, topology-driven pagerank sweeps are flat.
+///
+/// Under BSP an entry is one global (barrier) round. Under BASP entry
+/// `i` aggregates local round `i+1` across devices: compute activity of
+/// every device's (i+1)-th local round plus the sync bytes those
+/// devices moved (extraction at the sender's round, application at the
+/// receiver's round).
 struct RoundTrace {
   std::uint32_t round = 0;
   std::uint64_t active_vertices = 0;  ///< operator applications
@@ -41,6 +47,14 @@ struct RunStats {
   std::vector<std::uint64_t> work_items;       ///< edges relaxed
   std::vector<std::uint32_t> rounds;           ///< local rounds executed
   std::vector<std::uint64_t> peak_memory;      ///< device bytes
+  /// Devices evicted by permanent-loss recovery (from FaultStats'
+  /// perspective: eviction already happened). An evicted device stops
+  /// accumulating compute/wait the moment it goes silent, so the
+  /// min/max breakdown reductions below exclude it — otherwise a run
+  /// that loses a device early reports a near-zero "Min Wait" that no
+  /// surviving device actually experienced. Empty (or all-false) on
+  /// failure-free runs.
+  std::vector<std::uint8_t> evicted;
 
   comm::CommStats comm;
 
@@ -48,21 +62,37 @@ struct RunStats {
   /// failure-free runs).
   fault::FaultStats faults;
 
+  /// True when device `d` was evicted mid-run (always false when the
+  /// run was failure-free or `d` survived).
+  [[nodiscard]] bool device_evicted(std::size_t d) const {
+    return d < evicted.size() && evicted[d] != 0;
+  }
+
   [[nodiscard]] sim::SimTime max_compute() const {
     sim::SimTime m;
-    for (auto t : compute_time) m = sim::max(m, t);
+    for (std::size_t d = 0; d < compute_time.size(); ++d) {
+      if (device_evicted(d)) continue;
+      m = sim::max(m, compute_time[d]);
+    }
     return m;
   }
   [[nodiscard]] sim::SimTime min_wait() const {
-    if (wait_time.empty()) return {};
-    sim::SimTime m = wait_time.front();
-    for (auto t : wait_time) m = sim::min(m, t);
-    return m;
+    sim::SimTime m;
+    bool any = false;
+    for (std::size_t d = 0; d < wait_time.size(); ++d) {
+      if (device_evicted(d)) continue;
+      m = any ? sim::min(m, wait_time[d]) : wait_time[d];
+      any = true;
+    }
+    return any ? m : sim::SimTime{};
   }
   /// Non-overlapping device-host communication (max among devices).
   [[nodiscard]] sim::SimTime max_device_comm() const {
     sim::SimTime m;
-    for (auto t : device_comm_time) m = sim::max(m, t);
+    for (std::size_t d = 0; d < device_comm_time.size(); ++d) {
+      if (device_evicted(d)) continue;
+      m = sim::max(m, device_comm_time[d]);
+    }
     return m;
   }
   [[nodiscard]] std::uint64_t total_work() const {
@@ -71,13 +101,21 @@ struct RunStats {
     return w;
   }
   [[nodiscard]] std::uint32_t min_rounds() const {
-    std::uint32_t m = rounds.empty() ? 0 : rounds.front();
-    for (auto r : rounds) m = std::min(m, r);
-    return m;
+    std::uint32_t m = 0;
+    bool any = false;
+    for (std::size_t d = 0; d < rounds.size(); ++d) {
+      if (device_evicted(d)) continue;
+      m = any ? std::min(m, rounds[d]) : rounds[d];
+      any = true;
+    }
+    return any ? m : 0;
   }
   [[nodiscard]] std::uint32_t max_rounds() const {
     std::uint32_t m = 0;
-    for (auto r : rounds) m = std::max(m, r);
+    for (std::size_t d = 0; d < rounds.size(); ++d) {
+      if (device_evicted(d)) continue;
+      m = std::max(m, rounds[d]);
+    }
     return m;
   }
   [[nodiscard]] std::uint64_t max_memory() const {
@@ -115,6 +153,7 @@ struct RunStats {
     work_items.resize(devices);
     rounds.resize(devices);
     peak_memory.resize(devices);
+    evicted.assign(static_cast<std::size_t>(devices), 0);
   }
 };
 

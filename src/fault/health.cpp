@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace sg::fault {
 
 PhiAccrualDetector::PhiAccrualDetector(int num_devices,
@@ -87,6 +89,13 @@ HeartbeatMonitor::HeartbeatMonitor(const HealthPolicy& policy,
   suspicion_latched_.assign(static_cast<std::size_t>(num_devices), false);
 }
 
+void HeartbeatMonitor::set_metrics(obs::Registry* reg) {
+  if (reg == nullptr || !active_) return;
+  m_heartbeats_ = &reg->counter("health.heartbeats");
+  m_suspicions_ = &reg->counter("health.suspicions");
+  m_max_phi_ = &reg->gauge("health.max_phi");
+}
+
 std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
                                            FaultStats& stats) {
   std::vector<int> evictable;
@@ -106,17 +115,20 @@ std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
       }
       detector_.observe(d, next_send_[du]);
       ++stats.heartbeats_observed;
+      if (m_heartbeats_ != nullptr) m_heartbeats_->inc();
       const double stretch =
           injector_->compute_slowdown(d, next_send_[du]);
       next_send_[du] =
           next_send_[du] + policy_.heartbeat_interval * stretch;
     }
+    if (m_max_phi_ != nullptr) m_max_phi_->max_of(detector_.phi(d, now));
     if (detector_.should_evict(d, now)) {
       evictable.push_back(d);
     } else if (detector_.suspected(d, now)) {
       if (!suspicion_latched_[du]) {
         suspicion_latched_[du] = true;
         ++stats.straggler_suspicions;
+        if (m_suspicions_ != nullptr) m_suspicions_->inc();
       }
     } else {
       suspicion_latched_[du] = false;  // recovered; re-arm the latch

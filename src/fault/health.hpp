@@ -6,6 +6,12 @@
 #include "fault/fault_injector.hpp"
 #include "sim/sim_time.hpp"
 
+namespace sg::obs {
+class Counter;
+class Gauge;
+class Registry;
+}  // namespace sg::obs
+
 namespace sg::fault {
 
 /// φ-accrual failure detector (Hayashibara et al., SRDS'04) over
@@ -88,6 +94,11 @@ class HeartbeatMonitor {
   /// monitor is inert otherwise — no heartbeats are simulated).
   [[nodiscard]] bool active() const { return active_; }
 
+  /// Registers the detector's counters/gauges (health.heartbeats,
+  /// health.suspicions, health.max_phi) into `reg`. nullptr (the
+  /// default) disables metric recording at zero cost.
+  void set_metrics(obs::Registry* reg);
+
   /// Simulates all heartbeats with send time <= `now`, updates
   /// suspicion bookkeeping in `stats`, and returns the devices that
   /// newly satisfy the eviction rule. Callers must follow up with
@@ -122,6 +133,10 @@ class HeartbeatMonitor {
   std::vector<sim::SimTime> next_send_;
   std::vector<bool> evicted_;
   std::vector<bool> suspicion_latched_;
+  // Cached metric handles (null when no registry is attached).
+  obs::Counter* m_heartbeats_ = nullptr;
+  obs::Counter* m_suspicions_ = nullptr;
+  obs::Gauge* m_max_phi_ = nullptr;
 };
 
 }  // namespace sg::fault

@@ -1,0 +1,186 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sg::obs {
+
+/// Monotone event counter. Increments are lock-free and safe from the
+/// executor's parallel BSP phases; reads are racy-but-atomic (callers
+/// read after the run completes).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written double (plus a CAS max helper for high-water marks such
+/// as the health detector's peak φ).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void max_of(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper
+/// bounds, plus an implicit overflow bucket. Bucket counts and the
+/// running sum are atomic so observations from parallel phases are
+/// safe; the bucket layout itself is fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) {
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+
+  /// Power-of-two upper bounds [2^lo_pow, 2^hi_pow] — the natural shape
+  /// for message-size and frontier-size distributions.
+  [[nodiscard]] static std::vector<double> exp2_bounds(int lo_pow,
+                                                       int hi_pow) {
+    std::vector<double> b;
+    for (int p = lo_pow; p <= hi_pow; ++p) {
+      b.push_back(static_cast<double>(1ull << p));
+    }
+    return b;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Typed metric registry the engine, comm, fault, and partition layers
+/// register into instead of growing bespoke stat structs. Registration
+/// (name lookup/insert) takes a mutex and is meant for setup paths;
+/// callers cache the returned reference and hit only the atomic on the
+/// hot path. References stay valid for the registry's lifetime
+/// (node-based map storage).
+class Registry {
+ public:
+  Counter& counter(const std::string& name) {
+    const std::scoped_lock lock(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    const std::scoped_lock lock(mu_);
+    return gauges_[name];
+  }
+  /// `bounds` applies on first registration only; later calls with the
+  /// same name return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+    const std::scoped_lock lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_.try_emplace(name, std::move(bounds)).first->second;
+  }
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const {
+    const std::scoped_lock lock(mu_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const {
+    const std::scoped_lock lock(mu_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name) const {
+    const std::scoped_lock lock(mu_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mu_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Serializes every metric, name-sorted (std::map order), as
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(JsonWriter& w) const {
+    const std::scoped_lock lock(mu_);
+    w.begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, c] : counters_) w.kv(name, c.value());
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, g] : gauges_) w.kv(name, g.value());
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : histograms_) {
+      w.key(name).begin_object();
+      w.key("bounds").begin_array();
+      for (const double b : h.bounds()) w.value(b);
+      w.end_array();
+      w.key("counts").begin_array();
+      for (std::size_t i = 0; i < h.num_buckets(); ++i) w.value(h.bucket(i));
+      w.end_array();
+      w.kv("count", h.count());
+      w.kv("sum", h.sum());
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sg::obs

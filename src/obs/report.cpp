@@ -1,0 +1,313 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace sg::obs {
+
+namespace {
+
+void write_comm_json(JsonWriter& w, const comm::CommStats& c) {
+  w.begin_object();
+  w.kv("device_to_host_bytes", c.device_to_host_bytes);
+  w.kv("host_to_host_bytes", c.host_to_host_bytes);
+  w.kv("host_to_device_bytes", c.host_to_device_bytes);
+  w.kv("messages", c.messages);
+  w.kv("reduce_values", c.reduce_values);
+  w.kv("broadcast_values", c.broadcast_values);
+  w.kv("retransmitted_messages", c.retransmitted_messages);
+  w.kv("retransmitted_bytes", c.retransmitted_bytes);
+  w.kv("total_volume_bytes", c.total_volume());
+  w.end_object();
+}
+
+void write_faults_json(JsonWriter& w, const fault::FaultStats& f) {
+  w.begin_object();
+  w.kv("faults_injected", f.faults_injected);
+  w.kv("device_crashes", f.device_crashes);
+  w.kv("messages_dropped", f.messages_dropped);
+  w.kv("retries", f.retries);
+  w.kv("retransmitted_bytes", f.retransmitted_bytes);
+  w.kv("checkpoints_taken", f.checkpoints_taken);
+  w.kv("checkpoint_bytes", f.checkpoint_bytes);
+  w.kv("rollbacks", f.rollbacks);
+  w.kv("degraded_recoveries", f.degraded_recoveries);
+  w.kv("reexecuted_rounds", f.reexecuted_rounds);
+  w.kv("evicted_devices", f.evicted_devices);
+  w.kv("rehomed_masters", f.rehomed_masters);
+  w.kv("migrated_vertices", f.migrated_vertices);
+  w.kv("straggler_suspicions", f.straggler_suspicions);
+  w.kv("heartbeats_observed", f.heartbeats_observed);
+  w.kv("checkpoint_time_s", f.checkpoint_time.seconds());
+  w.kv("recovery_time_s", f.recovery_time.seconds());
+  w.kv("straggler_delay_s", f.straggler_delay.seconds());
+  w.kv("detection_latency_s", f.detection_latency.seconds());
+  w.kv("termination_clean", f.termination_clean);
+  w.end_object();
+}
+
+void write_stats_json(JsonWriter& w, const engine::RunStats& st) {
+  w.begin_object();
+  w.kv("total_time_s", st.total_time.seconds());
+  w.kv("global_rounds", st.global_rounds);
+  w.kv("max_compute_s", st.max_compute().seconds());
+  w.kv("min_wait_s", st.min_wait().seconds());
+  w.kv("max_device_comm_s", st.max_device_comm().seconds());
+  w.kv("total_work", st.total_work());
+  w.kv("min_rounds", st.min_rounds());
+  w.kv("max_rounds", st.max_rounds());
+  w.kv("max_memory_bytes", st.max_memory());
+  w.kv("dynamic_balance", st.dynamic_balance());
+  w.kv("memory_balance", st.memory_balance());
+  w.key("comm");
+  write_comm_json(w, st.comm);
+  w.key("faults");
+  write_faults_json(w, st.faults);
+
+  w.key("per_device").begin_object();
+  w.key("compute_s").begin_array();
+  for (const auto t : st.compute_time) w.value(t.seconds());
+  w.end_array();
+  w.key("wait_s").begin_array();
+  for (const auto t : st.wait_time) w.value(t.seconds());
+  w.end_array();
+  w.key("device_comm_s").begin_array();
+  for (const auto t : st.device_comm_time) w.value(t.seconds());
+  w.end_array();
+  w.key("work_items").begin_array();
+  for (const auto x : st.work_items) w.value(x);
+  w.end_array();
+  w.key("rounds").begin_array();
+  for (const auto r : st.rounds) w.value(r);
+  w.end_array();
+  w.key("peak_memory_bytes").begin_array();
+  for (const auto b : st.peak_memory) w.value(b);
+  w.end_array();
+  w.key("evicted").begin_array();
+  for (const auto e : st.evicted) w.value(e != 0);
+  w.end_array();
+  w.end_object();
+
+  if (!st.trace.empty()) {
+    w.key("rounds_trace").begin_array();
+    for (const auto& tr : st.trace) {
+      w.begin_object();
+      w.kv("round", tr.round);
+      w.kv("active_vertices", tr.active_vertices);
+      w.kv("edges", tr.edges);
+      w.kv("volume_bytes", tr.volume_bytes);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void write_run_json(JsonWriter& w, const ReportMeta& meta,
+                    const engine::RunStats& stats, const Registry* metrics,
+                    const Tracer* trace) {
+  w.begin_object();
+  w.key("meta").begin_object();
+  w.kv("bench", meta.bench);
+  w.kv("label", meta.label);
+  w.kv("benchmark", meta.benchmark);
+  w.kv("input", meta.input);
+  w.kv("system", meta.system);
+  w.kv("config", meta.config);
+  w.kv("devices", meta.devices);
+  w.kv("seed", meta.seed);
+  w.end_object();
+  w.key("stats");
+  write_stats_json(w, stats);
+  if (metrics != nullptr) {
+    w.key("metrics");
+    metrics->write_json(w);
+  }
+  if (trace != nullptr) {
+    // Summary only — the span stream itself goes to the Chrome trace
+    // file, which is too large to embed in every report.
+    w.key("trace").begin_object();
+    w.kv("tracks", trace->num_tracks());
+    w.kv("recorded_spans", trace->recorded());
+    w.kv("dropped_spans", trace->dropped());
+    w.kv("per_track_cap", static_cast<std::uint64_t>(trace->per_track_cap()));
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void ReportWriter::add(const ReportMeta& meta, const engine::RunStats& stats,
+                       const Registry* metrics, const Tracer* trace) {
+  JsonWriter w;
+  ReportMeta m = meta;
+  if (m.bench.empty()) m.bench = bench_;
+  write_run_json(w, m, stats, metrics, trace);
+  runs_.push_back(w.take());
+}
+
+std::string ReportWriter::json() const {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kReportSchemaVersion);
+  out += ",\"generator\":\"scalegraph\",\"bench\":";
+  JsonWriter bw;
+  bw.value(bench_);
+  out += bw.take();
+  out += ",\"runs\":[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += runs_[i];
+  }
+  out += "]}";
+  return out;
+}
+
+bool ReportWriter::write_file(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string doc = json();
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.put('\n');
+  return out.good();
+}
+
+bool write_report(const std::filesystem::path& path, const ReportMeta& meta,
+                  const engine::RunStats& stats, const Registry* metrics,
+                  const Tracer* trace) {
+  ReportWriter w(meta.bench.empty() ? std::string("run") : meta.bench);
+  w.add(meta, stats, metrics, trace);
+  return w.write_file(path);
+}
+
+// ---- diff ----------------------------------------------------------------
+
+namespace {
+
+struct RunView {
+  const JsonValue* run = nullptr;
+  std::string label;
+};
+
+bool collect_runs(const JsonValue& report, std::vector<RunView>& out,
+                  std::string& error) {
+  const JsonValue* ver = report.find("schema_version");
+  if (ver == nullptr || ver->kind != JsonValue::Kind::kNumber) {
+    error = "not a scalegraph run report (missing schema_version)";
+    return false;
+  }
+  if (static_cast<int>(ver->number) != kReportSchemaVersion) {
+    error = "schema_version mismatch: report has " +
+            format_double(ver->number) + ", tool understands " +
+            std::to_string(kReportSchemaVersion);
+    return false;
+  }
+  const JsonValue* runs = report.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    error = "report has no runs array";
+    return false;
+  }
+  for (const JsonValue& r : runs->array) {
+    const JsonValue* label = r.find("meta.label");
+    RunView v;
+    v.run = &r;
+    v.label = label != nullptr ? label->str_or("") : "";
+    out.push_back(std::move(v));
+  }
+  return true;
+}
+
+void diff_metric(const std::string& run_label, const std::string& metric,
+                 const char* path, const JsonValue& base,
+                 const JsonValue& cur, const DiffOptions& opts,
+                 DiffResult& out) {
+  const JsonValue* b = base.find(path);
+  const JsonValue* c = cur.find(path);
+  if (b == nullptr || c == nullptr) return;
+  DiffItem item;
+  item.run = run_label;
+  item.metric = metric;
+  item.baseline = b->num_or(0.0);
+  item.current = c->num_or(0.0);
+  if (item.baseline != 0.0) {
+    item.rel_delta = (item.current - item.baseline) / item.baseline;
+    item.regressed = item.current > item.baseline * (1.0 + opts.threshold);
+  } else {
+    item.rel_delta = item.current == 0.0 ? 0.0 : 1.0;
+    item.regressed = item.current > 0.0;
+  }
+  out.items.push_back(std::move(item));
+}
+
+}  // namespace
+
+DiffResult diff_reports(const JsonValue& baseline, const JsonValue& current,
+                        const DiffOptions& opts) {
+  DiffResult res;
+  std::vector<RunView> base_runs;
+  std::vector<RunView> cur_runs;
+  if (!collect_runs(baseline, base_runs, res.error)) return res;
+  if (!collect_runs(current, cur_runs, res.error)) return res;
+  res.ok = true;
+
+  for (const RunView& b : base_runs) {
+    const RunView* match = nullptr;
+    for (const RunView& c : cur_runs) {
+      if (c.label == b.label) {
+        match = &c;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      res.missing_runs.push_back(b.label);
+      continue;
+    }
+    diff_metric(b.label, "total_time_s", "stats.total_time_s", *b.run,
+                *match->run, opts, res);
+    diff_metric(b.label, "total_volume_bytes",
+                "stats.comm.total_volume_bytes", *b.run, *match->run, opts,
+                res);
+    diff_metric(b.label, "global_rounds", "stats.global_rounds", *b.run,
+                *match->run, opts, res);
+  }
+  for (const RunView& c : cur_runs) {
+    bool known = false;
+    for (const RunView& b : base_runs) {
+      if (b.label == c.label) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) res.new_runs.push_back(c.label);
+  }
+  return res;
+}
+
+DiffResult diff_report_files(const std::filesystem::path& baseline,
+                             const std::filesystem::path& current,
+                             const DiffOptions& opts) {
+  DiffResult res;
+  auto load = [&res](const std::filesystem::path& p,
+                     JsonValue& out) -> bool {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      res.error = "cannot open " + p.string();
+      return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+      out = parse_json(ss.str());
+    } catch (const std::exception& e) {
+      res.error = p.string() + ": " + e.what();
+      return false;
+    }
+    return true;
+  };
+  JsonValue b;
+  JsonValue c;
+  if (!load(baseline, b) || !load(current, c)) return res;
+  return diff_reports(b, c, opts);
+}
+
+}  // namespace sg::obs

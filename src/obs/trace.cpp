@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace sg::obs {
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kKernel: return "kernel";
+    case SpanKind::kExtract: return "extract";
+    case SpanKind::kPcie: return "pcie";
+    case SpanKind::kNet: return "net";
+    case SpanKind::kApply: return "apply";
+    case SpanKind::kWait: return "wait";
+    case SpanKind::kCheckpoint: return "checkpoint";
+    case SpanKind::kRehome: return "rehome";
+    case SpanKind::kOther: return "other";
+  }
+  return "other";
+}
+
+namespace {
+
+/// Kind-specific labels for the two generic span args in the exported
+/// JSON (so Perfetto tooltips read "bytes: 4096" rather than "a: 4096").
+struct ArgNames {
+  const char* a;
+  const char* b;
+};
+
+ArgNames arg_names(SpanKind k) {
+  switch (k) {
+    case SpanKind::kKernel: return {"edges", "round"};
+    case SpanKind::kExtract:
+    case SpanKind::kPcie:
+    case SpanKind::kNet:
+    case SpanKind::kApply: return {"bytes", "peer"};
+    case SpanKind::kWait: return {"bytes", "peer"};
+    case SpanKind::kCheckpoint: return {"bytes", "round"};
+    case SpanKind::kRehome: return {"rehomed", "migrated"};
+    case SpanKind::kOther: return {"a", "b"};
+  }
+  return {"a", "b"};
+}
+
+}  // namespace
+
+void Tracer::require_tracks(int n) {
+  if (n > static_cast<int>(tracks_.size())) {
+    tracks_.resize(static_cast<std::size_t>(n));
+  }
+}
+
+void Tracer::name_track(int track, std::string name) {
+  require_tracks(track + 1);
+  tracks_[static_cast<std::size_t>(track)].name = std::move(name);
+}
+
+void Tracer::record(int track, SpanKind kind, const char* name,
+                    sim::SimTime begin, sim::SimTime end, std::uint64_t arg_a,
+                    std::uint64_t arg_b) {
+  if (track < 0 || track >= static_cast<int>(tracks_.size())) return;
+  Track& t = tracks_[static_cast<std::size_t>(track)];
+  Span s;
+  s.name = name;
+  s.begin = begin;
+  s.end = end;
+  s.arg_a = arg_a;
+  s.arg_b = arg_b;
+  s.seq = t.seq++;
+  s.track = track;
+  s.kind = kind;
+  ++recorded_;
+  if (t.ring.size() < cap_) {
+    t.ring.push_back(s);
+  } else {
+    t.ring[t.next] = s;
+    t.next = (t.next + 1) % cap_;
+    ++t.dropped;
+  }
+}
+
+std::vector<Span> Tracer::sorted_spans() const {
+  std::vector<Span> out;
+  std::size_t total = 0;
+  for (const Track& t : tracks_) total += t.ring.size();
+  out.reserve(total);
+  for (const Track& t : tracks_) {
+    out.insert(out.end(), t.ring.begin(), t.ring.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.track != b.track) return a.track < b.track;
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+sim::SimTime Tracer::kind_sum(int track, SpanKind kind) const {
+  sim::SimTime sum;
+  if (track < 0 || track >= static_cast<int>(tracks_.size())) return sum;
+  for (const Span& s : tracks_[static_cast<std::size_t>(track)].ring) {
+    if (s.kind == kind) sum += s.end - s.begin;
+  }
+  return sum;
+}
+
+sim::SimTime Tracer::comm_sum(int track) const {
+  return kind_sum(track, SpanKind::kExtract) +
+         kind_sum(track, SpanKind::kPcie) + kind_sum(track, SpanKind::kApply);
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t d = 0;
+  for (const Track& t : tracks_) d += t.dropped;
+  return d;
+}
+
+void Tracer::clear() {
+  for (Track& t : tracks_) {
+    t.ring.clear();
+    t.next = 0;
+    t.seq = 0;
+    t.dropped = 0;
+  }
+  recorded_ = 0;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.kv("clock", "simulated");
+  w.kv("recorded", recorded_);
+  w.kv("dropped", dropped());
+  w.end_object();
+  w.key("traceEvents").begin_array();
+
+  // Process + thread metadata so Perfetto labels the tracks.
+  w.begin_object();
+  w.kv("ph", "M").kv("pid", 0).kv("tid", 0).kv("name", "process_name");
+  w.key("args").begin_object().kv("name", "scalegraph-sim").end_object();
+  w.end_object();
+  for (int t = 0; t < num_tracks(); ++t) {
+    const std::string& name = tracks_[static_cast<std::size_t>(t)].name;
+    w.begin_object();
+    w.kv("ph", "M").kv("pid", 0).kv("tid", t).kv("name", "thread_name");
+    w.key("args").begin_object();
+    w.kv("name", name.empty() ? "track " + std::to_string(t) : name);
+    w.end_object();
+    w.end_object();
+    // sort_index keeps tracks in id order rather than name order.
+    w.begin_object();
+    w.kv("ph", "M").kv("pid", 0).kv("tid", t).kv("name", "thread_sort_index");
+    w.key("args").begin_object().kv("sort_index", t).end_object();
+    w.end_object();
+  }
+
+  for (const Span& s : sorted_spans()) {
+    const ArgNames an = arg_names(s.kind);
+    w.begin_object();
+    w.kv("ph", "X");
+    w.kv("pid", 0);
+    w.kv("tid", s.track);
+    w.kv("name", s.name);
+    w.kv("cat", to_string(s.kind));
+    w.kv("ts", s.begin.micros());
+    const double dur = (s.end - s.begin).micros();
+    w.kv("dur", dur < 0.0 ? 0.0 : dur);
+    w.key("args").begin_object();
+    w.kv(an.a, s.arg_a);
+    w.kv(an.b, s.arg_b);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool Tracer::write_chrome_trace(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string json = chrome_trace_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.put('\n');
+  return out.good();
+}
+
+}  // namespace sg::obs

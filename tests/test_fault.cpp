@@ -694,6 +694,48 @@ TEST(DeviceLoss, TwoSequentialLossesShrinkToHalfTheDevices) {
   EXPECT_GT(fr.stats.faults.rehomed_masters, 0u);
 }
 
+TEST(DeviceLoss, BreakdownReductionsExcludeEvictedDevices) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+  // Failure-free: nothing is evicted, reductions cover every device.
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_FALSE(ff.stats.device_evicted(d));
+  }
+
+  fault::FaultPlan plan;
+  plan.lose_device(1, ff.stats.total_time * 0.3);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+  ASSERT_EQ(fr.stats.faults.evicted_devices, 1u);
+  ASSERT_TRUE(fr.stats.device_evicted(1));
+  EXPECT_FALSE(fr.stats.device_evicted(0));
+
+  // The reductions must equal the survivor-only min/max: an evicted
+  // device stops accumulating at the loss point, so including it would
+  // understate Min Wait and min-rounds for the run that remains.
+  sim::SimTime max_c;
+  sim::SimTime min_w = sim::SimTime::max();
+  std::uint32_t min_r = ~0u;
+  std::uint32_t max_r = 0;
+  for (std::size_t d = 0; d < 4; ++d) {
+    if (fr.stats.device_evicted(d)) continue;
+    max_c = sim::max(max_c, fr.stats.compute_time[d]);
+    min_w = sim::min(min_w, fr.stats.wait_time[d]);
+    min_r = std::min(min_r, fr.stats.rounds[d]);
+    max_r = std::max(max_r, fr.stats.rounds[d]);
+  }
+  EXPECT_EQ(fr.stats.max_compute(), max_c);
+  EXPECT_EQ(fr.stats.min_wait(), min_w);
+  EXPECT_EQ(fr.stats.min_rounds(), min_r);
+  EXPECT_EQ(fr.stats.max_rounds(), max_r);
+
+  // The lost device froze early: its local round count must not drag
+  // min_rounds down (it stopped while survivors kept going).
+  EXPECT_GE(fr.stats.min_rounds(), fr.stats.rounds[1]);
+}
+
 TEST(DeviceLoss, CoexistingStragglerIsNeverEvicted) {
   BfsFixture fx;
   const auto base = cfg(engine::ExecModel::kSync);

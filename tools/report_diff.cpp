@@ -1,0 +1,77 @@
+// report_diff: compares two scalegraph run-report JSON files and flags
+// regressions on total_time / communication volume / rounds beyond a
+// relative threshold. Exit codes: 0 = no regressions, 1 = regressions
+// (or runs missing from the current report), 2 = usage or I/O error.
+//
+//   report_diff baseline.json current.json [--threshold 0.05]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> "
+               "[--threshold FRACTION]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  sg::obs::DiffOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.threshold = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      usage(argv[0]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  const sg::obs::DiffResult res =
+      sg::obs::diff_report_files(paths[0], paths[1], opts);
+  if (!res.ok) {
+    std::fprintf(stderr, "report_diff: %s\n", res.error.c_str());
+    return 2;
+  }
+
+  std::printf("report_diff: baseline=%s current=%s threshold=%.1f%%\n",
+              paths[0].c_str(), paths[1].c_str(), opts.threshold * 100.0);
+  std::size_t compared = 0;
+  for (const auto& item : res.items) {
+    ++compared;
+    std::printf("  %-48s %-18s %12g -> %-12g (%+.2f%%)  %s\n",
+                item.run.c_str(), item.metric.c_str(), item.baseline,
+                item.current, item.rel_delta * 100.0,
+                item.regressed ? "REGRESSION" : "ok");
+  }
+  for (const auto& label : res.missing_runs) {
+    std::printf("  %-48s MISSING from current report\n", label.c_str());
+  }
+  for (const auto& label : res.new_runs) {
+    std::printf("  %-48s new in current report (not compared)\n",
+                label.c_str());
+  }
+  const int regressions = res.regressions();
+  std::printf("%d regression(s), %zu metric(s) compared, %zu run(s) "
+              "missing\n",
+              regressions, compared, res.missing_runs.size());
+  return regressions > 0 || !res.missing_runs.empty() ? 1 : 0;
+}

@@ -9,12 +9,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "fw/benchmark.hpp"
+#include "obs/critpath.hpp"
 #include "obs/report.hpp"
 #include "fw/dirgl.hpp"
 #include "fw/groute.hpp"
@@ -23,6 +26,7 @@
 #include "graph/datasets.hpp"
 #include "graph/properties.hpp"
 #include "sim/cost_params.hpp"
+#include "sim/interconnect.hpp"
 #include "sim/topology.hpp"
 
 namespace sg::bench {
@@ -187,6 +191,33 @@ inline std::string fmt_volume(double gb) {
   return buf;
 }
 
+/// Critical-path attribution for a traced run (`--explain`): builds the
+/// ExplainContext from the run's own partition / topology / cost model
+/// so sg_explain's hints can reason about replication factor and the
+/// latency-vs-bandwidth split, then prints the text report to stdout.
+inline void explain_run(const fw::Prepared& prep, const sim::Topology& topo,
+                        const sim::CostParams& cost,
+                        const engine::RunStats& stats,
+                        const obs::Tracer& tracer,
+                        const std::string& config) {
+  obs::ExplainContext ctx;
+  ctx.stats = &stats;
+  ctx.num_hosts = topo.num_hosts();
+  ctx.replication_factor = prep.sync.replication_factor(prep.dist);
+  ctx.config = config;
+  const sim::Interconnect ic(topo, cost);
+  for (int d = 1; d < topo.num_devices(); ++d) {
+    if (!topo.same_host(0, d)) {
+      ctx.net_fixed_cost_s = ic.host_to_host_fixed(0, d).seconds();
+      break;
+    }
+  }
+  const obs::TraceView view = obs::TraceView::from_tracer(tracer);
+  const obs::CpAnalysis analysis = obs::analyze_critical_path(view, &ctx);
+  obs::render_explain_text(std::cout, view, analysis, obs::ExplainOptions{},
+                           &ctx);
+}
+
 /// Machine-readable twin of each bench's text table: every successful
 /// framework run is appended as a run-report entry, and `write()` emits
 /// BENCH_<name>.json into the working directory (or $SG_BENCH_REPORT_DIR
@@ -222,6 +253,8 @@ class ReportLog {
   bool write() const {
     std::filesystem::path dir = ".";
     if (const char* env = std::getenv("SG_BENCH_REPORT_DIR")) dir = env;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // fresh CI scratch dirs
     const std::filesystem::path path = dir / ("BENCH_" + bench_ + ".json");
     const bool ok = writer_.write_file(path);
     std::printf("[report] %s %s (%zu runs)\n",

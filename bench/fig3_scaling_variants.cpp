@@ -3,11 +3,13 @@
 // GPUs. Prints one series per (input, benchmark, system) with the
 // simulated execution time at each GPU count ("-" = failed/unsupported).
 //
-// Observability mode: `--trace out.json` and/or `--report run.json`
-// skip the full sweep and run one fixed configuration (bfs/friendster/
-// Var4/4 GPUs) with the span tracer and metrics registry attached,
-// write the requested artifacts, and self-check that per-device span
-// sums reconcile with the RunStats breakdown within 1 simulated µs.
+// Observability mode: `--trace out.json`, `--report run.json`, and/or
+// `--explain` skip the full sweep and run one fixed configuration
+// (bfs/friendster/Var4/4 GPUs) with the span tracer and metrics
+// registry attached, write the requested artifacts, and self-check that
+// per-device span sums reconcile with the RunStats breakdown within 1
+// simulated µs. --explain appends the sg_explain critical-path
+// attribution of the traced run to stdout.
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -27,7 +29,7 @@ bench::ReportLog report("fig3_scaling_variants");
 /// One fully observed run: tracer + registry + per-round trace on.
 /// Returns 0 when artifacts were written and the trace reconciles.
 int traced_run(const std::string& trace_path,
-               const std::string& report_path) {
+               const std::string& report_path, bool explain) {
   constexpr int kTracedGpus = 4;
   const std::string input = "friendster";
   obs::Tracer tracer;
@@ -102,6 +104,13 @@ int traced_run(const std::string& trace_path,
       ok = false;
     }
   }
+  if (explain) {
+    std::printf("\n");
+    bench::explain_run(prep, bench::bridges(kTracedGpus), bench::params(),
+                       r.stats, tracer,
+                       "bfs/" + input + "/D-IrGL/Var4/" +
+                           std::to_string(kTracedGpus));
+  }
   return ok ? 0 : 1;
 }
 
@@ -111,21 +120,25 @@ int main(int argc, char** argv) {
   using namespace sg;
   std::string trace_path;
   std::string report_path;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (a == "--report" && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (a == "--explain") {
+      explain = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace out.json] [--report run.json]\n",
+                   "usage: %s [--trace out.json] [--report run.json] "
+                   "[--explain]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (!trace_path.empty() || !report_path.empty()) {
-    return traced_run(trace_path, report_path);
+  if (!trace_path.empty() || !report_path.empty() || explain) {
+    return traced_run(trace_path, report_path, explain);
   }
 
   std::printf(

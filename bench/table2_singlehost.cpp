@@ -4,10 +4,12 @@
 // covers 1/2/4/6 GPUs; D-IrGL additionally sweeps its partitioning
 // policies and reports the best.
 //
-// CI smoke mode: `--smoke [--report out.json] [--trace out.json]` runs
-// a reduced fixed-configuration sweep (rmat23, 4 GPUs, bfs + pagerank
-// on all four frameworks) with the span tracer attached to the D-IrGL
-// bfs run, and writes a run-report for report_diff regression guarding.
+// CI smoke mode: `--smoke [--report out.json] [--trace out.json]
+// [--explain]` runs a reduced fixed-configuration sweep (rmat23, 4 GPUs,
+// bfs + pagerank on all four frameworks) with the span tracer attached
+// to the D-IrGL bfs run, and writes a run-report for report_diff
+// regression guarding. --explain appends the sg_explain critical-path
+// attribution of the traced run to stdout.
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -119,13 +121,15 @@ std::optional<Best> run_dirgl(fw::Benchmark b, const std::string& input,
 /// CI smoke sweep: one input, one GPU count, two benchmarks, all four
 /// frameworks. Deterministic (fixed seeds throughout), so the emitted
 /// report can be diffed against a committed baseline.
-int smoke_run(std::string report_path, const std::string& trace_path) {
+int smoke_run(std::string report_path, const std::string& trace_path,
+              bool explain) {
   if (report_path.empty()) report_path = "BENCH_table2_smoke.json";
   const std::string input = "rmat23";
   const int gpus = 4;
   obs::Tracer tracer;
   obs::Registry registry;
   obs::ReportWriter writer("table2_smoke");
+  std::optional<engine::RunStats> traced_stats;
   int failures = 0;
 
   auto meta = [&](fw::Benchmark b, const std::string& system,
@@ -191,6 +195,7 @@ int smoke_run(std::string report_path, const std::string& trace_path) {
       if (r.ok) {
         writer.add(meta(b, "D-IrGL", "Var4"), r.stats, &registry,
                    traced ? &tracer : nullptr);
+        if (traced) traced_stats = r.stats;
       } else {
         ++failures;
       }
@@ -214,6 +219,15 @@ int smoke_run(std::string report_path, const std::string& trace_path) {
     std::printf("[trace] wrote %s (%llu spans)\n", trace_path.c_str(),
                 static_cast<unsigned long long>(tracer.recorded()));
   }
+  if (explain && traced_stats) {
+    const auto& prep =
+        bench::prepared(input, false, partition::Policy::IEC, gpus);
+    std::printf("\n");
+    bench::explain_run(prep, bench::tuxedo(gpus), bench::params(),
+                       *traced_stats, tracer,
+                       "bfs/" + input + "/D-IrGL/Var4/" +
+                           std::to_string(gpus));
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -222,25 +236,32 @@ int smoke_run(std::string report_path, const std::string& trace_path) {
 int main(int argc, char** argv) {
   using namespace sg;
   bool smoke = false;
+  bool explain = false;
   std::string report_path;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--smoke") {
       smoke = true;
+    } else if (a == "--explain") {
+      explain = true;
     } else if (a == "--report" && i + 1 < argc) {
       report_path = argv[++i];
     } else if (a == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--report out.json] "
+                   "usage: %s [--smoke] [--explain] [--report out.json] "
                    "[--trace out.json]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (smoke) return smoke_run(report_path, trace_path);
+  if (explain && !smoke) {
+    std::fprintf(stderr, "--explain requires --smoke (the traced run)\n");
+    return 2;
+  }
+  if (smoke) return smoke_run(report_path, trace_path, explain);
 
   std::printf(
       "Table II: fastest execution time (simulated sec) of all frameworks\n"

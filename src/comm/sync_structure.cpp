@@ -63,6 +63,23 @@ std::uint64_t SyncStructure::shared_entries(int dev,
   return total;
 }
 
+std::uint64_t SyncStructure::total_mirrors() const {
+  std::uint64_t total = 0;
+  for (const ExchangeList& l : all_) total += l.size();
+  return total;
+}
+
+double SyncStructure::replication_factor(
+    const partition::DistGraph& dg) const {
+  std::uint64_t masters = 0;
+  for (int d = 0; d < num_devices_; ++d) {
+    masters += dg.part(d).num_masters;
+  }
+  if (masters == 0) return 0.0;
+  return static_cast<double>(masters + total_mirrors()) /
+         static_cast<double>(masters);
+}
+
 std::uint64_t SyncStructure::metadata_bytes(int dev) const {
   std::uint64_t entries = 0;
   for (int o = 0; o < num_devices_; ++o) {

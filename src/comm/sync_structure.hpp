@@ -97,6 +97,17 @@ class SyncStructure {
   /// live on the GPU so extraction kernels can use them).
   [[nodiscard]] std::uint64_t metadata_bytes(int dev) const;
 
+  /// Total mirror proxies across all devices (the kAll exchange-list
+  /// entries, each mirror counted once).
+  [[nodiscard]] std::uint64_t total_mirrors() const;
+
+  /// Average proxies per master vertex: (masters + mirrors) / masters —
+  /// the partition's replication factor (paper Table IV), which is what
+  /// sync volume scales with. 1.0 when nothing is replicated;
+  /// 0 masters yields 0.
+  [[nodiscard]] double replication_factor(
+      const partition::DistGraph& dg) const;
+
  private:
   [[nodiscard]] std::size_t slot(int mirror_dev, int master_dev) const {
     return static_cast<std::size_t>(mirror_dev) * num_devices_ + master_dev;

@@ -308,6 +308,7 @@ class Executor {
     comm::Payload<T> payload;
     sim::SimTime arrival;
     std::uint32_t sender_round = 0;
+    obs::SpanRef net_ref;  ///< network-hop span, for receive-side links
   };
 
   /// Two-stage cost of an outgoing payload: GPU-side extraction, then
@@ -369,37 +370,55 @@ class Executor {
   /// network hop [sent, arrival) on d's network track. The downlink
   /// span is anchored to `sent` so it is correct in both pipeline modes
   /// (serialized and overlapped). Also feeds the send-side metrics.
-  void trace_send(int d, int o, const char* extract, const char* downlink,
-                  const char* net, const StageCost& c, sim::SimTime s0,
-                  sim::SimTime sent, sim::SimTime arrival,
-                  std::uint64_t bytes) {
+  /// Returns the network-hop span's ref so receive-side spans can be
+  /// causally linked to it (critical-path analysis). Same-host hops are
+  /// DRAM staging copies, not NIC traffic — they get a distinct
+  /// "*.staging" name so the breakdown taxonomy counts them as
+  /// device-host rather than inter-host.
+  obs::SpanRef trace_send(int d, int o, const char* extract,
+                          const char* downlink, const char* net,
+                          const StageCost& c, sim::SimTime s0,
+                          sim::SimTime sent, sim::SimTime arrival,
+                          std::uint64_t bytes) {
+    obs::SpanRef net_ref;
     if (tracer_ != nullptr) {
       const auto peer = static_cast<std::uint64_t>(o);
-      dev_scope(d).span(obs::SpanKind::kExtract, extract, s0, s0 + c.first,
-                        bytes, peer);
-      dev_scope(d).span(obs::SpanKind::kPcie, downlink, sent - c.second,
-                        sent, bytes, peer);
-      net_scope(d).span(obs::SpanKind::kNet, net, sent, arrival, bytes,
-                        peer);
+      const obs::SpanRef ex = dev_scope(d).span(
+          obs::SpanKind::kExtract, extract, s0, s0 + c.first, bytes, peer);
+      const obs::SpanRef dl = dev_scope(d).span(
+          obs::SpanKind::kPcie, downlink, sent - c.second, sent, bytes, peer);
+      const char* hop = net;
+      if (topo_.same_host(d, o)) {
+        hop = net[0] == 'b' ? "bcast.staging" : "reduce.staging";
+      }
+      net_ref =
+          net_scope(d).span(obs::SpanKind::kNet, hop, sent, arrival, bytes,
+                            peer);
+      tracer_->link(ex, dl);
+      tracer_->link(dl, net_ref);
     }
     if (m_messages_ != nullptr) {
       m_messages_->inc();
       m_bytes_->inc(bytes);
       m_msg_size_->observe(static_cast<double>(bytes));
     }
+    return net_ref;
   }
 
   /// Receive-side spans on device `d`: uplink [s0, s0+first) and apply
-  /// ending at `end` (anchored like the downlink above).
+  /// ending at `end` (anchored like the downlink above), causally
+  /// chained to the message's network hop via `net_ref`.
   void trace_recv(int d, int from, const char* uplink, const char* apply,
                   const StageCost& c, sim::SimTime s0, sim::SimTime end,
-                  std::uint64_t bytes) {
+                  std::uint64_t bytes, obs::SpanRef net_ref) {
     if (tracer_ == nullptr) return;
     const auto peer = static_cast<std::uint64_t>(from);
-    dev_scope(d).span(obs::SpanKind::kPcie, uplink, s0, s0 + c.first, bytes,
-                      peer);
-    dev_scope(d).span(obs::SpanKind::kApply, apply, end - c.second, end,
-                      bytes, peer);
+    const obs::SpanRef up = dev_scope(d).span(
+        obs::SpanKind::kPcie, uplink, s0, s0 + c.first, bytes, peer);
+    const obs::SpanRef ap = dev_scope(d).span(
+        obs::SpanKind::kApply, apply, end - c.second, end, bytes, peer);
+    tracer_->link(net_ref, up);
+    tracer_->link(up, ap);
   }
 
   void account_network(int from, int to, std::uint64_t bytes) {
@@ -573,21 +592,38 @@ class Executor {
       }
 
       // Barrier: stragglers stall everyone (Lux's failure mode at scale).
+      int slowest = 0;  // barrier-release cause (ties: lowest device)
       sim::SimTime next_barrier = barrier;
       for (int d = 0; d < devices_; ++d) {
+        if (done[d] > next_barrier) slowest = d;
         next_barrier = sim::max(next_barrier, done[d]);
       }
+      // The barrier release is caused by the slowest device's last span;
+      // linking it into every wait span lets the critical-path walk
+      // follow the straggler's chain instead of blaming the waiters.
+      obs::SpanRef release;
+      if (tracer_ != nullptr) release = tracer_->last_ref(slowest);
       if (config_.charge_runtime_overhead) {
         // Centralized runtime task mapping serializes across devices.
         const sim::SimTime overhead =
             params_.runtime_task_overhead * static_cast<double>(devices_);
+        if (tracer_ != nullptr) {
+          const obs::SpanRef rt = rt_scope().span(
+              obs::SpanKind::kOther, "runtime.barrier", next_barrier,
+              next_barrier + overhead, 0, stats_.global_rounds);
+          tracer_->link(release, rt);
+          release = rt;
+        }
         next_barrier += overhead;
       }
       for (int d = 0; d < devices_; ++d) {
         stats_.wait_time[d] += next_barrier - done[d];
         if (next_barrier > done[d]) {
-          dev_scope(d).span(obs::SpanKind::kWait, "wait.barrier", done[d],
-                            next_barrier, 0, stats_.global_rounds);
+          const obs::SpanRef waiting =
+              dev_scope(d).span(obs::SpanKind::kWait, "wait.barrier",
+                                done[d], next_barrier, 0,
+                                stats_.global_rounds);
+          if (tracer_ != nullptr) tracer_->link(release, waiting);
         }
       }
       barrier = next_barrier;
@@ -1079,8 +1115,9 @@ class Executor {
       slot.arrival = deliver_link(d, o, slot.payload.bytes, sent,
                                   fault::MsgKind::kReduce,
                                   stats_.global_rounds);
-      trace_send(d, o, "reduce.extract", "reduce.downlink", "reduce.net",
-                 cost, s0, sent, slot.arrival, slot.payload.bytes);
+      slot.net_ref =
+          trace_send(d, o, "reduce.extract", "reduce.downlink", "reduce.net",
+                     cost, s0, sent, slot.arrival, slot.payload.bytes);
     }
     ready = sim::max(ready, engine);
   }
@@ -1113,8 +1150,10 @@ class Executor {
       const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
       if (m.arrival > t) {
         stats_.wait_time[o] += m.arrival - t;
-        dev_scope(o).span(obs::SpanKind::kWait, "wait.msg", t, m.arrival, 0,
-                          static_cast<std::uint64_t>(d));
+        const obs::SpanRef waiting =
+            dev_scope(o).span(obs::SpanKind::kWait, "wait.msg", t, m.arrival,
+                              0, static_cast<std::uint64_t>(d));
+        if (tracer_ != nullptr) tracer_->link(m.net_ref, waiting);
         t = m.arrival;
       }
       const sim::SimTime s0 = t;
@@ -1122,7 +1161,7 @@ class Executor {
       stats_.device_comm_time[o] += cost.total();
       t = advance_pipeline(cost, t, recv_engine);
       trace_recv(o, d, "reduce.uplink", "reduce.apply", cost, s0, t,
-                 m.payload.bytes);
+                 m.payload.bytes, m.net_ref);
       changed.clear();
       RSync::apply_reduce(sync().list(d, o, reduce_filter_), m.payload,
                           values, dev.dirty_b, &changed);
@@ -1161,8 +1200,9 @@ class Executor {
       slot.arrival = deliver_link(d, o, slot.payload.bytes, sent,
                                   fault::MsgKind::kBroadcast,
                                   stats_.global_rounds);
-      trace_send(d, o, "bcast.extract", "bcast.downlink", "bcast.net",
-                 cost, s0, sent, slot.arrival, slot.payload.bytes);
+      slot.net_ref =
+          trace_send(d, o, "bcast.extract", "bcast.downlink", "bcast.net",
+                     cost, s0, sent, slot.arrival, slot.payload.bytes);
     }
     return sim::max(ready, engine);
   }
@@ -1192,8 +1232,10 @@ class Executor {
       const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
       if (m.arrival > t) {
         stats_.wait_time[o] += m.arrival - t;
-        dev_scope(o).span(obs::SpanKind::kWait, "wait.msg", t, m.arrival, 0,
-                          static_cast<std::uint64_t>(d));
+        const obs::SpanRef waiting =
+            dev_scope(o).span(obs::SpanKind::kWait, "wait.msg", t, m.arrival,
+                              0, static_cast<std::uint64_t>(d));
+        if (tracer_ != nullptr) tracer_->link(m.net_ref, waiting);
         t = m.arrival;
       }
       const sim::SimTime s0 = t;
@@ -1201,7 +1243,7 @@ class Executor {
       stats_.device_comm_time[o] += cost.total();
       t = advance_pipeline(cost, t, recv_engine);
       trace_recv(o, d, "bcast.uplink", "bcast.apply", cost, s0, t,
-                 m.payload.bytes);
+                 m.payload.bytes, m.net_ref);
       changed.clear();
       BSync::apply_broadcast(sync().list(o, d, bcast_filter_), m.payload,
                              values, &changed);
@@ -1463,7 +1505,7 @@ class Executor {
       stats_.device_comm_time[d] += cost.total();
       dev.clock += cost.total();
       trace_recv(d, m.payload.from, "reduce.uplink", "reduce.apply", cost,
-                 s0, dev.clock, m.payload.bytes);
+                 s0, dev.clock, m.payload.bytes, m.net_ref);
       basp_trace(dev.local_round + 1, 0, 0, m.payload.bytes);
       dev.last_seen_round[m.payload.from] =
           std::max(dev.last_seen_round[m.payload.from], m.sender_round);
@@ -1486,7 +1528,7 @@ class Executor {
       stats_.device_comm_time[d] += cost.total();
       dev.clock += cost.total();
       trace_recv(d, m.payload.from, "bcast.uplink", "bcast.apply", cost,
-                 s0, dev.clock, m.payload.bytes);
+                 s0, dev.clock, m.payload.bytes, m.net_ref);
       basp_trace(dev.local_round + 1, 0, 0, m.payload.bytes);
       dev.last_seen_round[m.payload.from] =
           std::max(dev.last_seen_round[m.payload.from], m.sender_round);
@@ -1548,16 +1590,18 @@ class Executor {
         d, o, payload.bytes, sent,
         bcast ? fault::MsgKind::kBroadcast : fault::MsgKind::kReduce,
         dev.local_round);
-    trace_send(d, o, bcast ? "bcast.extract" : "reduce.extract",
-               bcast ? "bcast.downlink" : "reduce.downlink",
-               bcast ? "bcast.net" : "reduce.net", cost, s0, sent, arrival,
-               payload.bytes);
+    const obs::SpanRef net_ref =
+        trace_send(d, o, bcast ? "bcast.extract" : "reduce.extract",
+                   bcast ? "bcast.downlink" : "reduce.downlink",
+                   bcast ? "bcast.net" : "reduce.net", cost, s0, sent,
+                   arrival, payload.bytes);
     basp_trace(dev.local_round, 0, 0, payload.bytes);
     account_network(d, o, payload.bytes);
     if (td_) td_->on_send(d);
     Msg<T> msg;
     msg.arrival = arrival;
     msg.sender_round = dev.local_round;
+    msg.net_ref = net_ref;
     msg.payload = std::move(payload);
     auto& inbox = inboxes_[o];
     if (bcast) {

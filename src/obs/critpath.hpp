@@ -1,0 +1,186 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "sim/sim_time.hpp"
+
+namespace sg::obs {
+
+/// Version of the sg_explain report schema (the "sg_explain_schema"
+/// field of render_explain_json). Bump on renames or meaning changes;
+/// pure additions keep it.
+inline constexpr int kExplainSchemaVersion = 1;
+
+/// The paper's breakdown taxonomy (Fig. 4-6), measured *on the critical
+/// path* rather than as wall-clock sums: compute, device-host transfer
+/// (PCIe + same-host DRAM staging), inter-host network, and waiting.
+/// kRuntime covers checkpoint/rehome/barrier-mapping overhead; kIdle is
+/// untracked time (gaps between causally linked spans).
+enum class CpCategory : std::uint8_t {
+  kCompute,
+  kDeviceHost,
+  kInterHost,
+  kWait,
+  kRuntime,
+  kIdle,
+};
+inline constexpr int kNumCpCategories = 6;
+
+[[nodiscard]] const char* to_string(CpCategory c);
+
+/// Maps a span to its breakdown category. Same-host "network" hops are
+/// DRAM staging copies (the executor names them "*.staging"), so they
+/// count as device-host, not inter-host.
+[[nodiscard]] CpCategory categorize(SpanKind kind, std::string_view name);
+
+/// Analyzer-side span: like obs::Span but owning its name, so a view
+/// can outlive a Tracer or be parsed back from an exported trace file.
+struct CpSpan {
+  std::string name;
+  sim::SimTime begin;
+  sim::SimTime end;
+  std::uint64_t arg_a = 0;
+  std::uint64_t arg_b = 0;
+  std::uint64_t seq = 0;
+  std::int32_t track = 0;
+  SpanKind kind = SpanKind::kOther;
+
+  [[nodiscard]] sim::SimTime duration() const { return end - begin; }
+};
+
+/// Immutable snapshot of one run's span DAG: spans ordered by
+/// (track, begin, seq), causal edges, track names, drop accounting.
+/// Built either from a live Tracer or from an exported Chrome trace.
+struct TraceView {
+  std::vector<CpSpan> spans;
+  std::vector<SpanLink> links;
+  std::vector<std::string> track_names;
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] std::string track_label(std::int32_t track) const;
+
+  [[nodiscard]] static TraceView from_tracer(const Tracer& tracer);
+  /// Rebuilds a view from Tracer::chrome_trace_json output ("X" events
+  /// with args.seq, "M" thread_name metadata, "sgLinks", otherData).
+  /// Throws std::runtime_error on schema violations (missing
+  /// traceEvents, spans without args.seq, malformed links).
+  [[nodiscard]] static TraceView from_chrome_trace(const JsonValue& doc);
+};
+
+/// One piece of the critical path. Segments are contiguous and
+/// partition [0, makespan] in forward time order, so per-category
+/// durations sum exactly to the critical-path length. `span` indexes
+/// TraceView::spans; kNoSpan marks idle gaps with no covering span.
+struct CpSegment {
+  static constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+  std::size_t span = kNoSpan;
+  sim::SimTime begin;
+  sim::SimTime end;
+  CpCategory category = CpCategory::kIdle;
+  std::int32_t track = -1;
+  std::uint64_t round = 0;  ///< round context (0 before the first round)
+
+  [[nodiscard]] sim::SimTime duration() const { return end - begin; }
+};
+
+/// Per-track share of the critical path. `blame_pct` is the fraction of
+/// the end-to-end critical path spent on this track's spans; `slack` is
+/// the complementary off-path time (how long the track could stall, in
+/// aggregate, before it alone determined the makespan).
+struct CpTrackBlame {
+  std::int32_t track = -1;
+  std::string name;
+  sim::SimTime on_path;
+  double blame_pct = 0.0;
+  sim::SimTime slack;
+};
+
+/// Per-round critical-path breakdown. A round's cost is its kernels
+/// plus the communication and waits that gated them (segments between
+/// consecutive round markers on the path). Under BASP rounds are local
+/// round indices of whichever device the path traverses.
+struct CpRoundRow {
+  std::uint64_t round = 0;
+  sim::SimTime length;
+  std::array<sim::SimTime, kNumCpCategories> by_category{};
+};
+
+/// Straggler candidate: z-score of a device's mean kernel time against
+/// the fleet. |z| >= 2 is flagged in the hints.
+struct CpStraggler {
+  std::int32_t track = -1;
+  std::string name;
+  std::uint64_t kernels = 0;
+  double mean_kernel_s = 0.0;
+  double z = 0.0;
+};
+
+/// Optional live-run context that sharpens the rule-based hints; every
+/// field is optional (the trace-file path through sg_explain has none).
+struct ExplainContext {
+  const engine::RunStats* stats = nullptr;
+  int num_hosts = 0;
+  /// Average proxies per master vertex (SyncStructure::replication_factor).
+  double replication_factor = 0.0;
+  /// Fixed (latency + software overhead) share of one cross-host hop
+  /// (Interconnect::host_to_host_fixed); < 0 when unknown.
+  double net_fixed_cost_s = -1.0;
+  std::string config;  ///< free-form variant description for the header
+};
+
+struct ExplainOptions {
+  int top_k = 10;  ///< bottleneck spans / rounds listed in the report
+};
+
+/// Full attribution result. `cp_length` equals `makespan` by
+/// construction (the walk partitions [0, makespan]); per-category times
+/// sum exactly to it.
+struct CpAnalysis {
+  sim::SimTime makespan;   ///< end of the latest span in the trace
+  sim::SimTime cp_length;  ///< length of the attributed critical path
+  std::array<sim::SimTime, kNumCpCategories> by_category{};
+  std::vector<CpSegment> segments;      ///< forward time order
+  std::vector<CpTrackBlame> tracks;     ///< descending blame
+  std::vector<CpRoundRow> rounds;       ///< ascending round
+  std::vector<CpStraggler> stragglers;  ///< descending z
+  std::vector<std::string> hints;       ///< deterministic rule output
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] double category_pct(CpCategory c) const {
+    return cp_length.seconds() > 0.0
+               ? by_category[static_cast<std::size_t>(c)].seconds() /
+                     cp_length.seconds() * 100.0
+               : 0.0;
+  }
+};
+
+/// Walks the span DAG backward from the globally latest-ending span.
+/// At each span the binding predecessor is the latest-ending causal
+/// parent (explicit SpanLink edges plus the same-track predecessor);
+/// attribution is time-clamped so overlapping parents never double
+/// count. The result partitions [0, makespan] into segments.
+[[nodiscard]] CpAnalysis analyze_critical_path(
+    const TraceView& view, const ExplainContext* ctx = nullptr);
+
+/// Deterministic human-readable report (byte-identical for identical
+/// traces): breakdown, per-device blame, top-k bottleneck spans,
+/// straggler ranking, hints.
+void render_explain_text(std::ostream& os, const TraceView& view,
+                         const CpAnalysis& a, const ExplainOptions& opts = {},
+                         const ExplainContext* ctx = nullptr);
+
+/// Machine-readable twin under {"sg_explain_schema":1, ...}.
+[[nodiscard]] std::string render_explain_json(
+    const TraceView& view, const CpAnalysis& a,
+    const ExplainOptions& opts = {}, const ExplainContext* ctx = nullptr);
+
+}  // namespace sg::obs

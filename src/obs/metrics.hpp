@@ -83,6 +83,24 @@ class Histogram {
     return n > 0 ? sum() / static_cast<double>(n) : 0.0;
   }
 
+  /// Folds `other`'s observations into this histogram (per-run registry
+  /// aggregation across repetitions). Requires identical bucket bounds;
+  /// returns false (and merges nothing) otherwise. Not atomic as a
+  /// whole — merge quiesced histograms only.
+  bool merge(const Histogram& other) {
+    if (other.bounds_ != bounds_) return false;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    const double add = other.sum();
+    while (!sum_.compare_exchange_weak(cur, cur + add,
+                                       std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
   /// Power-of-two upper bounds [2^lo_pow, 2^hi_pow] — the natural shape
   /// for message-size and frontier-size distributions.
   [[nodiscard]] static std::vector<double> exp2_bounds(int lo_pow,

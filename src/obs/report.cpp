@@ -1,5 +1,6 @@
 #include "obs/report.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -126,6 +127,13 @@ void write_run_json(JsonWriter& w, const ReportMeta& meta,
     metrics->write_json(w);
   }
   if (trace != nullptr) {
+    if (trace->dropped() > 0) {
+      std::fprintf(stderr,
+                   "obs: warning: %llu span(s) dropped (per-track cap %zu); "
+                   "run '%s' trace summary will not reconcile with RunStats\n",
+                   static_cast<unsigned long long>(trace->dropped()),
+                   trace->per_track_cap(), meta.label.c_str());
+    }
     // Summary only — the span stream itself goes to the Chrome trace
     // file, which is too large to embed in every report.
     w.key("trace").begin_object();

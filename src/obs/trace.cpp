@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 #include "obs/json.hpp"
@@ -20,6 +21,18 @@ const char* to_string(SpanKind k) {
     case SpanKind::kOther: return "other";
   }
   return "other";
+}
+
+SpanKind span_kind_from_string(std::string_view s) {
+  if (s == "kernel") return SpanKind::kKernel;
+  if (s == "extract") return SpanKind::kExtract;
+  if (s == "pcie") return SpanKind::kPcie;
+  if (s == "net") return SpanKind::kNet;
+  if (s == "apply") return SpanKind::kApply;
+  if (s == "wait") return SpanKind::kWait;
+  if (s == "checkpoint") return SpanKind::kCheckpoint;
+  if (s == "rehome") return SpanKind::kRehome;
+  return SpanKind::kOther;
 }
 
 namespace {
@@ -59,10 +72,12 @@ void Tracer::name_track(int track, std::string name) {
   tracks_[static_cast<std::size_t>(track)].name = std::move(name);
 }
 
-void Tracer::record(int track, SpanKind kind, const char* name,
-                    sim::SimTime begin, sim::SimTime end, std::uint64_t arg_a,
-                    std::uint64_t arg_b) {
-  if (track < 0 || track >= static_cast<int>(tracks_.size())) return;
+SpanRef Tracer::record(int track, SpanKind kind, const char* name,
+                       sim::SimTime begin, sim::SimTime end,
+                       std::uint64_t arg_a, std::uint64_t arg_b) {
+  if (track < 0 || track >= static_cast<int>(tracks_.size())) {
+    return SpanRef{};
+  }
   Track& t = tracks_[static_cast<std::size_t>(track)];
   Span s;
   s.name = name;
@@ -81,6 +96,40 @@ void Tracer::record(int track, SpanKind kind, const char* name,
     t.next = (t.next + 1) % cap_;
     ++t.dropped;
   }
+  return SpanRef{s.track, s.seq};
+}
+
+void Tracer::link(SpanRef from, SpanRef to) {
+  if (!from.valid() || !to.valid()) return;
+  if (to.track >= static_cast<int>(tracks_.size())) return;
+  tracks_[static_cast<std::size_t>(to.track)].links.push_back(
+      SpanLink{from, to});
+}
+
+SpanRef Tracer::last_ref(int track) const {
+  if (track < 0 || track >= static_cast<int>(tracks_.size())) {
+    return SpanRef{};
+  }
+  const Track& t = tracks_[static_cast<std::size_t>(track)];
+  if (t.seq == 0) return SpanRef{};
+  return SpanRef{track, t.seq - 1};
+}
+
+std::vector<SpanLink> Tracer::links() const {
+  std::vector<SpanLink> out;
+  std::size_t total = 0;
+  for (const Track& t : tracks_) total += t.links.size();
+  out.reserve(total);
+  for (const Track& t : tracks_) {
+    out.insert(out.end(), t.links.begin(), t.links.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanLink& a, const SpanLink& b) {
+    if (a.to.track != b.to.track) return a.to.track < b.to.track;
+    if (a.to.seq != b.to.seq) return a.to.seq < b.to.seq;
+    if (a.from.track != b.from.track) return a.from.track < b.from.track;
+    return a.from.seq < b.from.seq;
+  });
+  return out;
 }
 
 std::vector<Span> Tracer::sorted_spans() const {
@@ -122,6 +171,7 @@ std::uint64_t Tracer::dropped() const {
 void Tracer::clear() {
   for (Track& t : tracks_) {
     t.ring.clear();
+    t.links.clear();
     t.next = 0;
     t.seq = 0;
     t.dropped = 0;
@@ -136,7 +186,7 @@ std::string Tracer::chrome_trace_json() const {
   w.key("otherData").begin_object();
   w.kv("clock", "simulated");
   w.kv("recorded", recorded_);
-  w.kv("dropped", dropped());
+  w.kv("dropped_spans", dropped());
   w.end_object();
   w.key("traceEvents").begin_array();
 
@@ -174,7 +224,30 @@ std::string Tracer::chrome_trace_json() const {
     w.key("args").begin_object();
     w.kv(an.a, s.arg_a);
     w.kv(an.b, s.arg_b);
+    w.kv("seq", s.seq);
     w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  // Causal edges (scalegraph extension, ignored by Perfetto). Only
+  // edges with both endpoints still retained are exported, so importers
+  // never see dangling refs.
+  const auto retained = [this](SpanRef r) {
+    if (!r.valid() || r.track >= static_cast<int>(tracks_.size())) {
+      return false;
+    }
+    const Track& t = tracks_[static_cast<std::size_t>(r.track)];
+    return r.seq < t.seq && r.seq >= t.seq - t.ring.size();
+  };
+  w.key("sgLinks").begin_array();
+  for (const SpanLink& l : links()) {
+    if (!retained(l.from) || !retained(l.to)) continue;
+    w.begin_object();
+    w.kv("fromTid", l.from.track);
+    w.kv("fromSeq", l.from.seq);
+    w.kv("toTid", l.to.track);
+    w.kv("toSeq", l.to.seq);
     w.end_object();
   }
   w.end_array();
@@ -183,6 +256,13 @@ std::string Tracer::chrome_trace_json() const {
 }
 
 bool Tracer::write_chrome_trace(const std::filesystem::path& path) const {
+  if (dropped() > 0) {
+    std::fprintf(stderr,
+                 "obs: warning: %llu span(s) dropped (per-track cap %zu); "
+                 "trace %s will not reconcile with RunStats\n",
+                 static_cast<unsigned long long>(dropped()), cap_,
+                 path.string().c_str());
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   const std::string json = chrome_trace_json();

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/sim_time.hpp"
@@ -31,6 +32,29 @@ enum class SpanKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(SpanKind k);
+/// Inverse of to_string (exact match); kOther for unknown names.
+[[nodiscard]] SpanKind span_kind_from_string(std::string_view s);
+
+/// Stable handle to a recorded span: (track, per-track sequence number).
+/// Returned by Tracer::record so instrumentation sites can connect
+/// spans causally with Tracer::link without holding Span pointers
+/// (ring-buffer slots move). A default-constructed ref is invalid and
+/// ignored by link().
+struct SpanRef {
+  std::int32_t track = -1;
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return track >= 0; }
+  friend constexpr bool operator==(SpanRef, SpanRef) = default;
+};
+
+/// Causal edge between two spans: `from` must complete before `to` can
+/// finish (kernel -> extract -> PCIe -> NIC hop -> apply ->
+/// barrier-release). Consumed by the critical-path analyzer.
+struct SpanLink {
+  SpanRef from;
+  SpanRef to;
+};
 
 /// One closed span on the simulated timeline. `name` must be a string
 /// with static storage duration (span recording never allocates).
@@ -68,9 +92,25 @@ class Tracer {
   void require_tracks(int n);
   void name_track(int track, std::string name);
 
-  void record(int track, SpanKind kind, const char* name, sim::SimTime begin,
-              sim::SimTime end, std::uint64_t arg_a = 0,
-              std::uint64_t arg_b = 0);
+  SpanRef record(int track, SpanKind kind, const char* name,
+                 sim::SimTime begin, sim::SimTime end, std::uint64_t arg_a = 0,
+                 std::uint64_t arg_b = 0);
+
+  /// Records a causal edge `from` -> `to`. Invalid refs are ignored, so
+  /// callers can link unconditionally. Thread-safety follows the span
+  /// rule through the *destination*: the link is stored on `to`'s track,
+  /// so the thread that recorded `to` may link into it concurrently with
+  /// other tracks' recording.
+  void link(SpanRef from, SpanRef to);
+
+  /// Ref of the most recently recorded span on `track` (invalid when the
+  /// track has none).
+  [[nodiscard]] SpanRef last_ref(int track) const;
+
+  /// All causal edges, ordered by (to.track, to.seq, from.track,
+  /// from.seq). Edges whose endpoints were overwritten in a ring are
+  /// still returned — consumers resolve refs against retained spans.
+  [[nodiscard]] std::vector<SpanLink> links() const;
 
   [[nodiscard]] int num_tracks() const {
     return static_cast<int>(tracks_.size());
@@ -95,16 +135,21 @@ class Tracer {
   void clear();
 
   /// Chrome trace-event JSON ("X" complete events; ts/dur in simulated
-  /// microseconds; one tid per track with thread_name metadata).
-  /// Deterministic: identical recorded spans give identical bytes.
+  /// microseconds; one tid per track with thread_name metadata; causal
+  /// edges under a top-level "sgLinks" array; drop accounting under
+  /// otherData.dropped_spans). Deterministic: identical recorded spans
+  /// give identical bytes.
   [[nodiscard]] std::string chrome_trace_json() const;
-  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  /// Writes chrome_trace_json() to `path`; false on I/O failure. Warns
+  /// once on stderr when spans were dropped (the trace no longer
+  /// reconciles with RunStats — raise the cap).
   bool write_chrome_trace(const std::filesystem::path& path) const;
 
  private:
   struct Track {
     std::string name;
     std::vector<Span> ring;
+    std::vector<SpanLink> links;  // edges whose `to` span lives here
     std::size_t next = 0;      // overwrite cursor once ring is full
     std::uint64_t seq = 0;     // records ever made on this track
     std::uint64_t dropped = 0;
@@ -128,12 +173,13 @@ class Scope {
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
   [[nodiscard]] int track() const { return track_; }
 
-  void span(SpanKind kind, const char* name, sim::SimTime begin,
-            sim::SimTime end, std::uint64_t arg_a = 0,
-            std::uint64_t arg_b = 0) const {
+  SpanRef span(SpanKind kind, const char* name, sim::SimTime begin,
+               sim::SimTime end, std::uint64_t arg_a = 0,
+               std::uint64_t arg_b = 0) const {
     if (tracer_ != nullptr) {
-      tracer_->record(track_, kind, name, begin, end, arg_a, arg_b);
+      return tracer_->record(track_, kind, name, begin, end, arg_a, arg_b);
     }
+    return SpanRef{};
   }
 
  private:

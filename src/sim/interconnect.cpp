@@ -40,6 +40,16 @@ SimTime Interconnect::host_to_host(int src_device, int dst_device,
          SimTime{static_cast<double>(bytes) / shared_bw};
 }
 
+SimTime Interconnect::host_to_host_fixed(int src_device,
+                                         int dst_device) const {
+  if (topo_->same_host(src_device, dst_device)) return SimTime::zero();
+  if (params_->gpudirect) {
+    return params_->net_latency +
+           SimTime{params_->per_message_overhead.seconds() / 4.0};
+  }
+  return params_->net_latency + params_->per_message_overhead;
+}
+
 SimTime Interconnect::device_to_device(int src_device, int dst_device,
                                        std::uint64_t bytes) const {
   if (src_device == dst_device || bytes == 0) return SimTime::zero();

@@ -35,6 +35,13 @@ class Interconnect {
   [[nodiscard]] SimTime device_to_device(int src_device, int dst_device,
                                          std::uint64_t bytes) const;
 
+  /// Byte-independent share of one cross-host hop (NIC latency plus the
+  /// per-message software envelope; zero for same-host pairs). Used by
+  /// bottleneck attribution to tell latency-bound from bandwidth-bound
+  /// inter-host traffic.
+  [[nodiscard]] SimTime host_to_host_fixed(int src_device,
+                                           int dst_device) const;
+
   [[nodiscard]] const Topology& topology() const { return *topo_; }
 
  private:

@@ -17,6 +17,7 @@
 
 #include "algo/bfs.hpp"
 #include "algo/pagerank.hpp"
+#include "bench_common.hpp"
 #include "engine/config.hpp"
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
@@ -543,6 +544,85 @@ TEST(ObsEngine, BaspCollectsNonEmptyDeterministicRoundTrace) {
   const auto rb = fx.run(cb);
   EXPECT_EQ(rb.stats.trace.size(),
             static_cast<std::size_t>(rb.stats.global_rounds));
+}
+
+// ---- exp2 histogram edge cases ------------------------------------------
+
+TEST(Metrics, Exp2HistogramEdgeCases) {
+  // Bounds 1, 2, 4, 8 plus the overflow bucket; upper bounds inclusive.
+  obs::Histogram h(obs::Histogram::exp2_bounds(0, 3));
+  ASSERT_EQ(h.num_buckets(), 5u);
+  h.observe(0.0);  // zero is below the first bound
+  EXPECT_EQ(h.bucket(0), 1u);
+  h.observe(8.0);  // exactly the max bound stays finite
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 0u);
+  h.observe(8.0 + 1e-9);  // anything past the max bound overflows
+  h.observe(1e30);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Metrics, HistogramMergeAddsCountsAndRejectsBoundsMismatch) {
+  obs::Histogram a(obs::Histogram::exp2_bounds(1, 3));  // 2, 4, 8
+  obs::Histogram b(obs::Histogram::exp2_bounds(1, 3));
+  a.observe(2.0);
+  a.observe(100.0);  // overflow
+  b.observe(3.0);
+  b.observe(8.0);
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 113.0);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.bucket(1), 1u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_EQ(a.bucket(3), 1u);
+  EXPECT_EQ(b.count(), 2u);  // source histogram untouched
+
+  obs::Histogram other(obs::Histogram::exp2_bounds(0, 3));
+  EXPECT_FALSE(a.merge(other));  // bounds mismatch merges nothing
+  EXPECT_EQ(a.count(), 4u);
+}
+
+// ---- tracer drop-safety -------------------------------------------------
+
+TEST(Tracer, DroppedSpansSurfaceInChromeTraceAndRunReport) {
+  obs::Tracer tr(/*per_track_cap=*/2);
+  tr.require_tracks(1);
+  for (int i = 0; i < 5; ++i) {
+    tr.record(0, obs::SpanKind::kKernel, "k",
+              sim::SimTime{static_cast<double>(i)},
+              sim::SimTime{static_cast<double>(i) + 0.5});
+  }
+  ASSERT_EQ(tr.dropped(), 3u);
+
+  const auto doc = obs::parse_json(tr.chrome_trace_json());
+  ASSERT_NE(doc.find("otherData.dropped_spans"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("otherData.dropped_spans")->num_or(-1), 3.0);
+
+  obs::ReportWriter w("droptest");
+  w.add(meta_for("run-dropped"), fake_stats(1.0, 100, 1), nullptr, &tr);
+  const auto rep = obs::parse_json(w.json());
+  const auto& run = rep.find("runs")->array.at(0);
+  EXPECT_DOUBLE_EQ(run.find("trace.dropped_spans")->num_or(-1), 3.0);
+}
+
+// ---- bench ReportLog ----------------------------------------------------
+
+TEST(Report, ReportLogCreatesMissingReportDir) {
+  const auto root =
+      std::filesystem::path(testing::TempDir()) / "sg_report_dir_test";
+  std::filesystem::remove_all(root);
+  const auto dir = root / "nested" / "scratch";  // does not exist yet
+  ASSERT_FALSE(std::filesystem::exists(dir));
+  ::setenv("SG_BENCH_REPORT_DIR", dir.string().c_str(), 1);
+  bench::ReportLog log("dircreate");
+  log.add("bfs", "tiny", "D-IrGL", "Var4", 2, fake_stats(1.0, 100, 3));
+  const bool ok = log.write();
+  ::unsetenv("SG_BENCH_REPORT_DIR");
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(std::filesystem::exists(dir / "BENCH_dircreate.json"));
+  std::filesystem::remove_all(root);
 }
 
 TEST(ObsEngine, PagerankTopologyDrivenTraceSweepsAllRounds) {

@@ -2,8 +2,10 @@
 // regressions on total_time / communication volume / rounds beyond a
 // relative threshold. Exit codes: 0 = no regressions, 1 = regressions
 // (or runs missing from the current report), 2 = usage or I/O error.
+// --json swaps the text table for a machine-readable document (same
+// exit-code contract).
 //
-//   report_diff baseline.json current.json [--threshold 0.05]
+//   report_diff baseline.json current.json [--threshold 0.05] [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,14 +19,44 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> "
-               "[--threshold FRACTION]\n",
+               "[--threshold FRACTION] [--json]\n",
                argv0);
+}
+
+void print_json(const sg::obs::DiffResult& res,
+                const sg::obs::DiffOptions& opts) {
+  sg::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("report_diff_schema", 1);
+  w.kv("threshold", opts.threshold);
+  w.kv("regressions", res.regressions());
+  w.key("items").begin_array();
+  for (const auto& item : res.items) {
+    w.begin_object();
+    w.kv("run", item.run);
+    w.kv("metric", item.metric);
+    w.kv("baseline", item.baseline);
+    w.kv("current", item.current);
+    w.kv("rel_delta", item.rel_delta);
+    w.kv("regressed", item.regressed);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("missing_runs").begin_array();
+  for (const auto& label : res.missing_runs) w.value(label);
+  w.end_array();
+  w.key("new_runs").begin_array();
+  for (const auto& label : res.new_runs) w.value(label);
+  w.end_array();
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  bool json = false;
   sg::obs::DiffOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0) {
@@ -33,6 +65,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       usage(argv[0]);
       return 2;
@@ -50,6 +84,10 @@ int main(int argc, char** argv) {
   if (!res.ok) {
     std::fprintf(stderr, "report_diff: %s\n", res.error.c_str());
     return 2;
+  }
+  if (json) {
+    print_json(res, opts);
+    return res.regressions() > 0 || !res.missing_runs.empty() ? 1 : 0;
   }
 
   std::printf("report_diff: baseline=%s current=%s threshold=%.1f%%\n",

@@ -1,0 +1,87 @@
+// sg_explain: critical-path analysis and bottleneck attribution over an
+// exported scalegraph Chrome trace (the --trace output of the bench
+// binaries). Walks the causal span DAG and reports where the simulated
+// end-to-end time actually went: the paper's compute / device-host /
+// inter-host / wait breakdown measured on the critical path, per-device
+// blame and slack, top-k bottleneck spans, straggler ranking, and
+// rule-based tuning hints. Output is deterministic: identical traces
+// give byte-identical reports.
+//
+//   sg_explain <trace.json> [--json] [--top K]
+//
+// Exit codes: 0 = report written, 2 = usage / I/O / schema error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/critpath.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <trace.json> [--json] [--top K]\n", argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool json = false;
+  sg::obs::ExplainOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.top_k = std::atoi(argv[++i]);
+      if (opts.top_k <= 0) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      usage(argv[0]);
+      return 2;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "sg_explain: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  sg::obs::TraceView view;
+  try {
+    view = sg::obs::TraceView::from_chrome_trace(
+        sg::obs::parse_json(ss.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sg_explain: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  const sg::obs::CpAnalysis analysis = sg::obs::analyze_critical_path(view);
+  if (json) {
+    std::cout << sg::obs::render_explain_json(view, analysis, opts) << "\n";
+  } else {
+    sg::obs::render_explain_text(std::cout, view, analysis, opts);
+  }
+  return 0;
+}

@@ -148,12 +148,21 @@ class PageRankPullProgram {
                  graph::VertexId v, engine::UpdateKind kind,
                  engine::RoundCtx& ctx) const {
     if (kind == engine::UpdateKind::kBroadcast) {
-      // Replay the master's consumption stream into the local pending
-      // residual (the difference since the last delivery).
-      const float diff = st.consumed_cache[v] - st.seen_total[v];
-      if (diff > 0.0f) {
-        st.resid[v] += diff;
+      if (st.seen_total[v] < 0.0f) {
+        // Mirror freshly created by re-homing (see on_rehome): adopt
+        // the master's counter as-is. The historical deltas over the
+        // edges this proxy now serves were already emitted by the lost
+        // device's proxy and consumed downstream — replaying them here
+        // would re-inject that residual mass.
         st.seen_total[v] = st.consumed_cache[v];
+      } else {
+        // Replay the master's consumption stream into the local pending
+        // residual (the difference since the last delivery).
+        const float diff = st.consumed_cache[v] - st.seen_total[v];
+        if (diff > 0.0f) {
+          st.resid[v] += diff;
+          st.seen_total[v] = st.consumed_cache[v];
+        }
       }
     }
     (void)lg;
@@ -184,6 +193,16 @@ class PageRankPullProgram {
       // master's broadcasts do not replay them a second time.
       st.consumed_cache[v] = st.consumed_total[v];
       st.seen_total[v] = st.consumed_total[v] + st.resid[v];
+    } else if (role == engine::RehomeRole::kFresh && !lg.is_master(v)) {
+      // A mirror created from scratch by re-homing (no surviving copy
+      // to migrate — the checkpoint-less eviction path). The edges it
+      // now serves already received both the init pre-seed and the full
+      // historical delta stream from the lost device's proxy, so clear
+      // the re-seeded residual and mark the replay cursor for adoption:
+      // the master's first (re-feed) broadcast sets it to the current
+      // counter without replaying history (see on_update).
+      st.resid[v] = 0.0f;
+      st.seen_total[v] = -1.0f;
     }
     ctx.push(v);
   }

@@ -7,6 +7,7 @@
 
 #include "comm/bitset.hpp"
 #include "comm/sync_structure.hpp"
+#include "comm/wire.hpp"
 #include "graph/types.hpp"
 
 namespace sg::comm {
@@ -53,6 +54,10 @@ struct Payload {
   std::vector<T> values;
   std::uint64_t bytes = 0;    ///< modeled wire size
   std::uint64_t scanned = 0;  ///< entries inspected (UO extraction cost)
+  /// Versioned wire header (seq / epoch / checksum), stamped by the
+  /// executor when EngineConfig::wire_protocol is on. Modeled within
+  /// the 16 header bytes `wire_bytes()` already charges.
+  WireHeader header;
 
   [[nodiscard]] std::uint32_t count() const {
     return static_cast<std::uint32_t>(values.size());

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace sg::comm {
+
+/// Versioned wire header stamped on every proxy-sync payload when the
+/// engine's wire protocol is enabled. The modeled encoding packs into
+/// the 16 header bytes `wire_bytes()` already charges per message —
+/// version/kind/flags (2B), epoch (2B), sequence (4B), round (4B),
+/// checksum (4B, truncated FNV-1a) — so enabling the protocol changes
+/// neither simulated bytes nor simulated time on a clean run. The
+/// in-memory struct keeps wider fields for bookkeeping convenience.
+///
+/// Receiver rules (see DESIGN.md §11):
+///  * epoch != current layout epoch  -> discard (fence reject);
+///  * seq <  next expected (channel) -> discard (duplicate);
+///  * seq >  next expected (channel) -> hold in the reorder buffer;
+///  * checksum mismatch              -> discard + NACK (sender retries
+///                                      with the drop-retry backoff).
+struct WireHeader {
+  std::uint16_t version = 0;  ///< 0 = unsealed (protocol off)
+  std::uint8_t kind = 0;      ///< fault::MsgKind (reduce / broadcast)
+  std::uint32_t epoch = 0;    ///< layout epoch (bumped per eviction)
+  std::uint64_t seq = 0;      ///< per-(src,dst,kind) channel sequence
+  std::uint64_t round = 0;    ///< sender round at seal time
+  std::uint64_t checksum = 0; ///< FNV-1a over positions + values
+
+  [[nodiscard]] bool sealed() const { return version != 0; }
+};
+
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// FNV-1a over a byte range, chainable via `h`.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                                         std::uint64_t h =
+                                             0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Payload checksum: FNV-1a over the position list then the value
+/// bytes. Works for any trivially copyable value type.
+template <typename PayloadT>
+[[nodiscard]] std::uint64_t payload_checksum(const PayloadT& p) {
+  std::uint64_t h = fnv1a(p.positions.data(),
+                          p.positions.size() * sizeof(std::uint32_t));
+  return fnv1a(p.values.data(),
+               p.values.size() * sizeof(typename std::remove_reference_t<
+                   decltype(p.values)>::value_type),
+               h);
+}
+
+/// Recomputes and compares the sealed checksum. Unsealed payloads (or
+/// sealed ones with checksumming elided on a fault-free run, checksum
+/// 0) verify trivially.
+template <typename PayloadT>
+[[nodiscard]] bool verify_payload(const PayloadT& p) {
+  if (!p.header.sealed() || p.header.checksum == 0) return true;
+  return payload_checksum(p) == p.header.checksum;
+}
+
+/// Deterministically perturbs one value of an in-flight payload (bit
+/// flip chosen by `h`). Models silent in-network data corruption: the
+/// kind a checksum exists to catch. Positions are left intact — an
+/// index flip would be caught by range validation anyway; a value flip
+/// is the silent failure mode. No-op on empty payloads.
+template <typename PayloadT>
+void corrupt_payload(PayloadT& p, std::uint64_t h) {
+  if (p.values.empty()) return;
+  using T = typename std::remove_reference_t<
+      decltype(p.values)>::value_type;
+  const std::size_t idx = static_cast<std::size_t>(h >> 8)
+                          % p.values.size();
+  const unsigned bit = static_cast<unsigned>(h % (sizeof(T) * 8));
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &p.values[idx], sizeof(T));
+  bytes[bit / 8] = static_cast<unsigned char>(bytes[bit / 8] ^
+                                              (1u << (bit % 8)));
+  std::memcpy(&p.values[idx], bytes, sizeof(T));
+}
+
+}  // namespace sg::comm

@@ -76,6 +76,15 @@ struct EngineConfig {
   std::uint64_t global_label_overhead_bytes = 0;
   /// Fault schedule to inject (not owned; nullptr = failure-free run).
   const fault::FaultPlan* fault_plan = nullptr;
+  /// Versioned wire protocol on every proxy-sync message: per-channel
+  /// sequence numbers, layout-epoch fence, FNV-1a payload checksum.
+  /// Receivers dedupe, reorder-buffer, fence stale epochs, and NACK
+  /// corrupted payloads into the retry path. The header packs into the
+  /// 16 wire bytes already charged per message and the checksum is only
+  /// computed when faults are active, so a clean run is byte-identical
+  /// with it on or off. Disable to study unprotected behaviour (sg_chaos
+  /// --inject-defect does).
+  bool wire_protocol = true;
   /// Self-healing delivery parameters (used only when faults are
   /// active; lossless runs pay nothing).
   fault::RetryPolicy retry;

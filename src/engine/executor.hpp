@@ -120,9 +120,23 @@ class Executor {
     // Fault recovery: the device holds re-feed dirty marks that must be
     // flushed once before it may park (BASP degraded recovery).
     bool flush_pending = false;
+    // Wire protocol: per-channel sequence numbers. Channel index is
+    // peer * 2 + kind (reduce / broadcast), reset on layout rebuild
+    // (the epoch bump fences everything sealed before the reset).
+    std::vector<std::uint64_t> seq_out;
+    std::vector<std::uint64_t> seq_in;
   };
 
+  [[nodiscard]] static std::size_t channel(int peer, fault::MsgKind kind) {
+    return static_cast<std::size_t>(peer) * 2 +
+           (kind == fault::MsgKind::kBroadcast ? 1 : 0);
+  }
+
   void setup() {
+    if (config_.fault_plan != nullptr && !config_.fault_plan->empty()) {
+      // A malformed plan is an error, never a silent no-op.
+      config_.fault_plan->validate_or_throw(devices_, topo_.num_hosts());
+    }
     if (config_.checkpoint.interval_rounds > 0 && !kCheckpointable) {
       // S-gate: reject instead of silently skipping snapshots — a user
       // who configured a cadence must learn the model cannot honor it.
@@ -159,6 +173,8 @@ class Executor {
       dev.ctx->attach(&dev.dirty_r, &dev.dirty_b);
       dev.ctx->attach_obs(dev_scope(d));
       dev.last_seen_round.assign(devices_, 0);
+      dev.seq_out.assign(static_cast<std::size_t>(devices_) * 2, 0);
+      dev.seq_in.assign(static_cast<std::size_t>(devices_) * 2, 0);
       program_.init(lg, dev.state, *dev.ctx);
       merge_activations(dev);
       dev.progress = !dev.frontier.empty();
@@ -175,6 +191,7 @@ class Executor {
     }
     monitor_ = fault::HeartbeatMonitor(config_.health, &injector_, devices_);
     monitor_.set_metrics(config_.metrics);
+    epoch_ = 0;
     dead_.assign(devices_, 0);
     silent_.assign(devices_, 0);
     last_basp_ckpt_round_ = 0;
@@ -219,6 +236,13 @@ class Executor {
                                    obs::Histogram::exp2_bounds(0, 24));
       m_kernel_us_ = &reg.histogram("engine.kernel_time_us",
                                     obs::Histogram::exp2_bounds(0, 20));
+      // Byzantine-network counters exist only under an active fault
+      // plan so a clean run's metric dump stays byte-identical.
+      if (injector_.active()) {
+        m_net_anomalies_ = &reg.counter("fault.net_anomalies");
+        m_protocol_discards_ = &reg.counter("fault.protocol_discards");
+        m_partition_deferred_ = &reg.counter("fault.partition_deferred");
+      }
     }
   }
 
@@ -309,7 +333,72 @@ class Executor {
     sim::SimTime arrival;
     std::uint32_t sender_round = 0;
     obs::SpanRef net_ref;  ///< network-hop span, for receive-side links
+    // Byzantine-network bookkeeping (BSP slots; BASP uses dup_ghost).
+    bool duplicated = false;        ///< a ghost copy also arrives
+    sim::SimTime dup_arrival;       ///< ghost arrival when duplicated
+    bool dup_ghost = false;         ///< this Msg *is* the ghost (BASP)
   };
+
+  /// Stamps the versioned wire header on an outgoing payload: version,
+  /// kind, layout epoch, per-channel sequence number, sender round. The
+  /// checksum is computed only under an active fault plan — on a clean
+  /// run sealing is pure bookkeeping with zero modeled (and negligible
+  /// real) cost, keeping clean timelines byte-identical.
+  template <typename T>
+  void seal_payload(comm::Payload<T>& p, int from, int to,
+                    fault::MsgKind kind, std::uint64_t round) {
+    if (!config_.wire_protocol) return;
+    comm::WireHeader& h = p.header;
+    h.version = comm::kWireVersion;
+    h.kind = static_cast<std::uint8_t>(kind);
+    h.epoch = epoch_;
+    h.round = round;
+    h.seq = devs_[from].seq_out[channel(to, kind)]++;
+    if (injector_.active()) h.checksum = comm::payload_checksum(p);
+  }
+
+  /// Receiver-side admission verdict for one arrived payload.
+  enum class Admit : std::uint8_t { kApply, kDiscard, kHold };
+
+  /// Wire-protocol admission on device `d` (DESIGN.md §11): stale-epoch
+  /// payloads are fence-rejected, checksum mismatches and already-seen
+  /// sequence numbers discarded, and sequence gaps held for in-order
+  /// apply (`allow_hold`; BSP's phase barrier makes gaps impossible, so
+  /// it admits and fast-forwards instead). Unsealed payloads (protocol
+  /// off) always apply — the unprotected failure mode under study.
+  /// Mutates only devs_[d] / fault_per_dev_[d], so the parallel BSP
+  /// apply phases never race.
+  template <typename T>
+  Admit admit_payload(int d, const comm::Payload<T>& p, fault::MsgKind kind,
+                      bool allow_hold) {
+    if (!config_.wire_protocol || !p.header.sealed()) return Admit::kApply;
+    const comm::WireHeader& h = p.header;
+    fault::FaultStats& fs = fault_per_dev_[d];
+    if (h.epoch != epoch_) {
+      // Sealed under a pre-rebuild layout: its positions index exchange
+      // lists that no longer exist. Safe to drop — the post-eviction
+      // re-feed resends every proxy value.
+      fs.fence_rejects += 1;
+      fs.pair(p.from, d).fenced += 1;
+      if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+      return Admit::kDiscard;
+    }
+    if (!comm::verify_payload(p)) {
+      fs.messages_corrupted += 1;
+      fs.pair(p.from, d).corrupted += 1;
+      if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+      return Admit::kDiscard;
+    }
+    std::uint64_t& expected = devs_[d].seq_in[channel(p.from, kind)];
+    if (h.seq < expected) {
+      fs.duplicates_discarded += 1;
+      if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+      return Admit::kDiscard;
+    }
+    if (h.seq > expected && allow_hold) return Admit::kHold;
+    expected = h.seq + 1;
+    return Admit::kApply;
+  }
 
   /// Two-stage cost of an outgoing payload: GPU-side extraction, then
   /// the PCIe downlink. Under overlap_comm the stages pipeline across
@@ -427,43 +516,154 @@ class Executor {
     }
   }
 
-  /// Self-healing host-to-host delivery: returns the arrival time of a
-  /// message handed to the network at `sent`. Under an active fault
-  /// plan each attempt may be dropped (deterministic seeded decision)
-  /// or slowed by a degraded link; a dropped attempt costs one delivery
-  /// timeout (growing by RetryPolicy::backoff) before retransmission,
-  /// and retransmitted bytes are charged to comm accounting. The final
-  /// attempt always delivers, so no message is ever lost permanently.
-  /// Only touches per-`from` stat slots, so it is safe from the
-  /// parallel BSP phases.
-  sim::SimTime deliver_link(int from, int to, std::uint64_t bytes,
-                            sim::SimTime sent, fault::MsgKind kind,
-                            std::uint64_t round) {
+  /// Outcome of handing one message to the simulated NIC.
+  struct Delivery {
+    sim::SimTime arrival;      ///< max() = fenced, never delivered
+    bool corrupt = false;      ///< protocol off: payload must be perturbed
+    std::uint64_t corrupt_h = 0;  ///< deterministic bit-flip selector
+    bool duplicate = false;    ///< a ghost copy also arrives
+    sim::SimTime dup_arrival;  ///< ghost arrival when duplicate
+  };
+
+  // Hash salts for deterministic anomaly shaping (independent of the
+  // injector's decision salts).
+  static constexpr std::uint64_t kGhostDelaySalt = 0x53474748ULL;
+  static constexpr std::uint64_t kReorderDelaySalt = 0x53475244ULL;
+  static constexpr std::uint64_t kCorruptBitsSalt = 0x53474342ULL;
+
+  /// Self-healing host-to-host delivery: returns the arrival of a
+  /// message handed to the network at `sent`, after the full gauntlet
+  /// of injected network behaviour. Under an active fault plan:
+  ///  * a partition separating the endpoint hosts holds the message at
+  ///    the partition edge until heal — unless either endpoint crosses
+  ///    its eviction fence before then, in which case the message is
+  ///    discarded outright (fence reject: no split-brain traffic);
+  ///  * each attempt may be dropped (timeout + backoff + retransmit);
+  ///  * an attempt may be corrupted in flight: with the wire protocol
+  ///    on the checksum catches it and the receiver NACKs the sender
+  ///    into the same retry ladder; with it off the corrupted payload
+  ///    is delivered and silently applied;
+  ///  * the delivered copy may be duplicated (a ghost arrives later)
+  ///    or reordered (arrival delayed past later traffic).
+  /// All decisions are pure seeded hashes, and only per-`from` stat
+  /// slots are touched, so this is safe from the parallel BSP phases.
+  Delivery deliver_link(int from, int to, std::uint64_t bytes,
+                        sim::SimTime sent, fault::MsgKind kind,
+                        std::uint64_t round) {
+    Delivery r;
     if (!injector_.active()) {
-      return sent + net_.host_to_host(from, to, bytes);
+      r.arrival = sent + net_.host_to_host(from, to, bytes);
+      return r;
     }
     const int sh = topo_.host_of(from);
     const int dh = topo_.host_of(to);
+    fault::FaultStats& fs = fault_per_dev_[from];
     sim::SimTime start = sent;
+    // Partition gate: cross-partition traffic is held at the edge.
+    while (injector_.hosts_partitioned(sh, dh, start)) {
+      const sim::SimTime heal = injector_.partition_heal(sh, dh, start);
+      if (monitor_.fenced(from, heal) || monitor_.fenced(to, heal)) {
+        // An endpoint is evicted before the link heals: the message is
+        // from/to a fenced side and must never be applied.
+        fs.fence_rejects += 1;
+        fs.pair(from, to).fenced += 1;
+        if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+        net_scope(from).span(obs::SpanKind::kNet, "net.fenced", start, start,
+                             bytes, static_cast<std::uint64_t>(to));
+        r.arrival = sim::SimTime::max();
+        return r;
+      }
+      fs.partition_deferred += 1;
+      fs.pair(from, to).deferred += 1;
+      fs.retries += 1;
+      fs.retransmitted_bytes += bytes;
+      comm_per_dev_[from].retransmitted_messages += 1;
+      comm_per_dev_[from].retransmitted_bytes += bytes;
+      if (m_partition_deferred_ != nullptr) m_partition_deferred_->inc();
+      net_scope(from).span(obs::SpanKind::kNet, "net.partition_hold", start,
+                           heal, bytes, static_cast<std::uint64_t>(to));
+      start = heal;
+    }
     sim::SimTime timeout = config_.retry.timeout;
     for (int attempt = 0;; ++attempt) {
       const double factor = injector_.link_delay_factor(sh, dh, start);
       const sim::SimTime hop = net_.host_to_host(from, to, bytes) * factor;
       const bool last = attempt >= config_.retry.max_retries;
-      if (last ||
-          !injector_.drops_message(from, to, kind, round, attempt, start)) {
-        return start + hop;
+      if (!last &&
+          injector_.drops_message(from, to, kind, round, attempt, start)) {
+        // Dropped: the bytes still crossed (part of) the wire, the
+        // sender waits out the delivery timeout, then retransmits.
+        fs.messages_dropped += 1;
+        fs.pair(from, to).dropped += 1;
+        fs.retries += 1;
+        fs.retransmitted_bytes += bytes;
+        comm_per_dev_[from].retransmitted_messages += 1;
+        comm_per_dev_[from].retransmitted_bytes += bytes;
+        account_network(from, to, bytes);
+        start += timeout;
+        timeout = timeout * config_.retry.backoff;
+        continue;
       }
-      // Dropped: the bytes still crossed (part of) the wire, the sender
-      // waits out the delivery timeout, then retransmits with backoff.
-      fault_per_dev_[from].messages_dropped += 1;
-      fault_per_dev_[from].retries += 1;
-      fault_per_dev_[from].retransmitted_bytes += bytes;
-      comm_per_dev_[from].retransmitted_messages += 1;
-      comm_per_dev_[from].retransmitted_bytes += bytes;
-      account_network(from, to, bytes);
-      start += timeout;
-      timeout = timeout * config_.retry.backoff;
+      // This attempt reaches the receiver. In-flight corruption:
+      if (injector_.corrupts_message(from, to, kind, round, attempt,
+                                     start)) {
+        if (m_net_anomalies_ != nullptr) m_net_anomalies_->inc();
+        if (config_.wire_protocol && !last) {
+          // Checksum mismatch at the receiver NIC -> NACK -> the sender
+          // retransmits with the same timeout/backoff ladder. Each
+          // retransmission re-rolls, so a clean copy gets through.
+          fs.messages_corrupted += 1;
+          fs.pair(from, to).corrupted += 1;
+          fs.retries += 1;
+          fs.retransmitted_bytes += bytes;
+          comm_per_dev_[from].retransmitted_messages += 1;
+          comm_per_dev_[from].retransmitted_bytes += bytes;
+          account_network(from, to, bytes);
+          net_scope(from).span(obs::SpanKind::kNet, "net.nack_retry", start,
+                               start + timeout, bytes,
+                               static_cast<std::uint64_t>(to));
+          start += timeout;
+          timeout = timeout * config_.retry.backoff;
+          continue;
+        }
+        if (!config_.wire_protocol) {
+          // Unprotected: the bit-flipped payload is delivered and will
+          // be silently applied — the failure mode the checksum exists
+          // to prevent (sg_chaos --inject-defect demonstrates it).
+          r.corrupt = true;
+          r.corrupt_h = static_cast<std::uint64_t>(
+              injector_.anomaly_uniform(kCorruptBitsSalt, from, to, kind,
+                                        round) *
+              9007199254740992.0);
+          fs.corrupt_applied += 1;
+          fs.pair(from, to).corrupted += 1;
+        }
+        // Protocol on but the retry ladder is exhausted: the bounded
+        // final attempt is modeled as verified end-to-end (delivered
+        // clean) so no message is ever lost permanently.
+      }
+      sim::SimTime arrival = start + hop;
+      if (injector_.reorders_message(from, to, kind, round, start)) {
+        // Delayed past later traffic on the channel; the receiver's
+        // reorder buffer (protocol on) restores apply order.
+        const double u = injector_.anomaly_uniform(kReorderDelaySalt, from,
+                                                   to, kind, round);
+        arrival = arrival + config_.retry.timeout * (0.5 + 3.0 * u);
+        fs.reorders_injected += 1;
+        fs.pair(from, to).reordered += 1;
+        if (m_net_anomalies_ != nullptr) m_net_anomalies_->inc();
+      }
+      if (injector_.duplicates_message(from, to, kind, round, start)) {
+        const double u = injector_.anomaly_uniform(kGhostDelaySalt, from, to,
+                                                   kind, round);
+        r.duplicate = true;
+        r.dup_arrival = arrival + config_.retry.timeout * (0.5 + 3.0 * u);
+        fs.duplicates_injected += 1;
+        fs.pair(from, to).duplicated += 1;
+        if (m_net_anomalies_ != nullptr) m_net_anomalies_->inc();
+      }
+      r.arrival = arrival;
+      return r;
     }
   }
 
@@ -718,12 +918,18 @@ class Executor {
     return barrier;
   }
 
-  /// A planned permanent loss has happened (<= t) but its device has
-  /// not been evicted yet.
+  /// A silence that will end in eviction has begun (<= t) but its
+  /// device has not been evicted yet: a permanent loss, or a partition
+  /// destined to outlast detection. Checkpoints are suppressed in this
+  /// state so a later rollback always lands on a pre-silence cut.
   [[nodiscard]] bool undetected_loss(sim::SimTime t) const {
     if (!monitor_.active()) return false;
-    for (const auto& l : injector_.losses()) {
-      if (l.at <= t && !dead_[l.device]) return true;
+    for (int d = 0; d < devices_; ++d) {
+      if (dead_[d]) continue;
+      if (monitor_.fence_at(d) < sim::SimTime::max() &&
+          monitor_.fence_origin(d) <= t) {
+        return true;
+      }
     }
     return false;
   }
@@ -845,7 +1051,13 @@ class Executor {
   /// and re-feeds all proxies. Returns the modeled recovery cost; the
   /// executor continues on N-1 devices. Shared by the BSP and BASP paths.
   sim::SimTime evict_device(int cd, sim::SimTime now) {
-    const sim::SimTime lost_at = injector_.lost_at(cd);
+    // Silence origin: the loss instant, or — for a partition that
+    // outlasted detection — the start of the covering window (the
+    // device never "died"; lost_at is +inf then).
+    const sim::SimTime lost_at =
+        monitor_.fence_origin(cd) < sim::SimTime::max()
+            ? monitor_.fence_origin(cd)
+            : injector_.lost_at(cd);
     const std::uint32_t cur_round = current_round();
     sim::SimTime cost;
 
@@ -934,6 +1146,10 @@ class Executor {
     dead_[cd] = 1;
     silent_[cd] = 1;
     monitor_.mark_evicted(cd);
+    // New layout epoch: anything sealed before this instant indexes
+    // exchange lists that are about to be rebuilt, and is fence-
+    // rejected on receipt.
+    ++epoch_;
 
     // 5. Rebuild every device's runtime on the new local-id space.
     for (int d = 0; d < devices_; ++d) {
@@ -961,6 +1177,9 @@ class Executor {
     cost = cost + meta;
 
     fault_global_.evicted_devices += 1;
+    if (monitor_.fence_from_partition(cd)) {
+      fault_global_.partition_evictions += 1;
+    }
     fault_global_.rehomed_masters += plan.rehomed.size();
     fault_global_.migrated_vertices += plan.orphaned.size();
     fault_global_.detection_latency =
@@ -1006,6 +1225,10 @@ class Executor {
     dev.in_frontier.resize(nlg.num_local);
     dev.ctx->attach(&dev.dirty_r, &dev.dirty_b);
     dev.ctx->attach_obs(dev_scope(d));
+    // Every channel restarts at sequence zero on the new layout; the
+    // epoch bump fences anything sealed against the old numbering.
+    dev.seq_out.assign(static_cast<std::size_t>(devices_) * 2, 0);
+    dev.seq_in.assign(static_cast<std::size_t>(devices_) * 2, 0);
     dev.state = typename Program::DeviceState{};
     program_.init(nlg, dev.state, *dev.ctx);
 
@@ -1106,15 +1329,22 @@ class Executor {
           payload.empty_update()) {
         continue;
       }
+      seal_payload(payload, d, o, fault::MsgKind::kReduce,
+                   stats_.global_rounds);
       const sim::SimTime s0 = ready;
       const StageCost cost = send_cost(d, payload, list.size());
       stats_.device_comm_time[d] += cost.total();
       const sim::SimTime sent = advance_pipeline(cost, ready, engine);
+      const Delivery del =
+          deliver_link(d, o, payload.bytes, sent, fault::MsgKind::kReduce,
+                       stats_.global_rounds);
+      if (del.arrival == sim::SimTime::max()) continue;  // fenced at NIC
       Msg<RV>& slot = out[static_cast<std::size_t>(d) * devices_ + o];
       slot.payload = std::move(payload);
-      slot.arrival = deliver_link(d, o, slot.payload.bytes, sent,
-                                  fault::MsgKind::kReduce,
-                                  stats_.global_rounds);
+      if (del.corrupt) comm::corrupt_payload(slot.payload, del.corrupt_h);
+      slot.arrival = del.arrival;
+      slot.duplicated = del.duplicate;
+      slot.dup_arrival = del.dup_arrival;
       slot.net_ref =
           trace_send(d, o, "reduce.extract", "reduce.downlink", "reduce.net",
                      cost, s0, sent, slot.arrival, slot.payload.bytes);
@@ -1148,6 +1378,12 @@ class Executor {
     std::vector<VertexId> changed;
     for (int d : senders) {
       const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
+      // Wire-protocol admission: stale-epoch or already-seen payloads
+      // are rejected at the NIC before any uplink cost is paid.
+      if (admit_payload(o, m.payload, fault::MsgKind::kReduce,
+                        /*allow_hold=*/false) == Admit::kDiscard) {
+        continue;
+      }
       if (m.arrival > t) {
         stats_.wait_time[o] += m.arrival - t;
         const obs::SpanRef waiting =
@@ -1170,6 +1406,33 @@ class Executor {
         program_.on_update(lg, dev.state, v, UpdateKind::kReduce, *dev.ctx);
       }
       merge_activations(dev);
+      if (m.duplicated) {
+        if (config_.wire_protocol) {
+          // The ghost's sequence number was consumed by the original:
+          // discarded on arrival at zero modeled cost.
+          fault_per_dev_[o].duplicates_discarded += 1;
+          if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+        } else {
+          // Unprotected receiver re-applies the ghost copy: idempotent
+          // for min-style programs, double-counting for accumulators.
+          if (m.dup_arrival > t) {
+            stats_.wait_time[o] += m.dup_arrival - t;
+            t = m.dup_arrival;
+          }
+          const StageCost gcost = receive_cost(o, m.payload);
+          stats_.device_comm_time[o] += gcost.total();
+          t = advance_pipeline(gcost, t, recv_engine);
+          changed.clear();
+          RSync::apply_reduce(sync().list(d, o, reduce_filter_), m.payload,
+                              values, dev.dirty_b, &changed);
+          comm_per_dev_[o].reduce_values += m.payload.count();
+          for (VertexId v : changed) {
+            program_.on_update(lg, dev.state, v, UpdateKind::kReduce,
+                               *dev.ctx);
+          }
+          merge_activations(dev);
+        }
+      }
     }
     return sim::max(t, recv_engine);
   }
@@ -1191,15 +1454,22 @@ class Executor {
           payload.empty_update()) {
         continue;
       }
+      seal_payload(payload, d, o, fault::MsgKind::kBroadcast,
+                   stats_.global_rounds);
       const sim::SimTime s0 = ready;
       const StageCost cost = send_cost(d, payload, list.size());
       stats_.device_comm_time[d] += cost.total();
       const sim::SimTime sent = advance_pipeline(cost, ready, engine);
+      const Delivery del =
+          deliver_link(d, o, payload.bytes, sent, fault::MsgKind::kBroadcast,
+                       stats_.global_rounds);
+      if (del.arrival == sim::SimTime::max()) continue;  // fenced at NIC
       Msg<BV>& slot = out[static_cast<std::size_t>(d) * devices_ + o];
       slot.payload = std::move(payload);
-      slot.arrival = deliver_link(d, o, slot.payload.bytes, sent,
-                                  fault::MsgKind::kBroadcast,
-                                  stats_.global_rounds);
+      if (del.corrupt) comm::corrupt_payload(slot.payload, del.corrupt_h);
+      slot.arrival = del.arrival;
+      slot.duplicated = del.duplicate;
+      slot.dup_arrival = del.dup_arrival;
       slot.net_ref =
           trace_send(d, o, "bcast.extract", "bcast.downlink", "bcast.net",
                      cost, s0, sent, slot.arrival, slot.payload.bytes);
@@ -1230,6 +1500,10 @@ class Executor {
     std::vector<VertexId> changed;
     for (int d : senders) {
       const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
+      if (admit_payload(o, m.payload, fault::MsgKind::kBroadcast,
+                        /*allow_hold=*/false) == Admit::kDiscard) {
+        continue;
+      }
       if (m.arrival > t) {
         stats_.wait_time[o] += m.arrival - t;
         const obs::SpanRef waiting =
@@ -1253,6 +1527,32 @@ class Executor {
                            *dev.ctx);
       }
       merge_activations(dev);
+      if (m.duplicated) {
+        if (config_.wire_protocol) {
+          fault_per_dev_[o].duplicates_discarded += 1;
+          if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+        } else {
+          // Unprotected: a stale assign-broadcast ghost re-applies; for
+          // monotone labels it is idempotent, otherwise it resurrects
+          // old values — the defect sequence numbers exist to prevent.
+          if (m.dup_arrival > t) {
+            stats_.wait_time[o] += m.dup_arrival - t;
+            t = m.dup_arrival;
+          }
+          const StageCost gcost = receive_cost(o, m.payload);
+          stats_.device_comm_time[o] += gcost.total();
+          t = advance_pipeline(gcost, t, recv_engine);
+          changed.clear();
+          BSync::apply_broadcast(sync().list(o, d, bcast_filter_), m.payload,
+                                 values, &changed);
+          comm_per_dev_[o].broadcast_values += m.payload.count();
+          for (VertexId v : changed) {
+            program_.on_update(lg, dev.state, v, UpdateKind::kBroadcast,
+                               *dev.ctx);
+          }
+          merge_activations(dev);
+        }
+      }
     }
     return sim::max(t, recv_engine);
   }
@@ -1278,6 +1578,11 @@ class Executor {
   struct BaspInbox {
     std::deque<Msg<RV>> reduce;
     std::deque<Msg<BV>> bcast;
+    // Reorder buffer: sequence-gapped arrivals parked until their
+    // predecessors land (wire protocol on; wiped with the inbox on
+    // eviction, which is what makes the epoch fence safe).
+    std::vector<Msg<RV>> held_reduce;
+    std::vector<Msg<BV>> held_bcast;
   };
 
   void run_basp() {
@@ -1295,10 +1600,13 @@ class Executor {
                        });
       }
     }
-    if (monitor_.active()) {
+    if (monitor_.active() &&
+        monitor_.first_loss_at() < sim::SimTime::max()) {
       // Heartbeat monitor poll stream: starts one interval after the
-      // first scheduled loss (no evictions can fire earlier) and
-      // reschedules itself until every loss is evicted.
+      // first fence-bound silence (no evictions can fire earlier) and
+      // reschedules itself until every doomed device is evicted. A plan
+      // whose partitions all heal before detection has no finite fence
+      // time — no monitor events, nothing to evict.
       queue.schedule(
           monitor_.first_loss_at() + config_.health.heartbeat_interval,
           [this, &queue](sim::SimTime t) { basp_monitor(t, queue); });
@@ -1490,58 +1798,134 @@ class Executor {
     tr.volume_bytes += volume;
   }
 
-  void drain_inbox(int d) {
+  /// Pays the uplink + apply cost of one admitted reduce message on
+  /// device d's clock and applies it (shared by the in-order drain and
+  /// the reorder-buffer release).
+  void apply_reduce_msg(int d, const Msg<RV>& m) {
     Dev& dev = devs_[d];
     const auto& lg = dg().part(d);
-    auto& inbox = inboxes_[d];
+    const sim::SimTime s0 = dev.clock;
+    const StageCost cost = receive_cost(d, m.payload);
+    stats_.device_comm_time[d] += cost.total();
+    dev.clock += cost.total();
+    trace_recv(d, m.payload.from, "reduce.uplink", "reduce.apply", cost,
+               s0, dev.clock, m.payload.bytes, m.net_ref);
+    basp_trace(dev.local_round + 1, 0, 0, m.payload.bytes);
+    dev.last_seen_round[m.payload.from] =
+        std::max(dev.last_seen_round[m.payload.from], m.sender_round);
     std::vector<VertexId> changed;
+    RSync::apply_reduce(sync().list(m.payload.from, d, reduce_filter_),
+                        m.payload, program_.reduce_master_dst(dev.state),
+                        dev.dirty_b, &changed);
+    comm_per_dev_[d].reduce_values += m.payload.count();
+    for (VertexId v : changed) {
+      program_.on_update(lg, dev.state, v, UpdateKind::kReduce, *dev.ctx);
+    }
+    merge_activations(dev);
+  }
+
+  void apply_bcast_msg(int d, const Msg<BV>& m) {
+    Dev& dev = devs_[d];
+    const auto& lg = dg().part(d);
+    const sim::SimTime s0 = dev.clock;
+    const StageCost cost = receive_cost(d, m.payload);
+    stats_.device_comm_time[d] += cost.total();
+    dev.clock += cost.total();
+    trace_recv(d, m.payload.from, "bcast.uplink", "bcast.apply", cost,
+               s0, dev.clock, m.payload.bytes, m.net_ref);
+    basp_trace(dev.local_round + 1, 0, 0, m.payload.bytes);
+    dev.last_seen_round[m.payload.from] =
+        std::max(dev.last_seen_round[m.payload.from], m.sender_round);
+    std::vector<VertexId> changed;
+    BSync::apply_broadcast(sync().list(d, m.payload.from, bcast_filter_),
+                           m.payload, program_.bcast_mirror_dst(dev.state),
+                           &changed);
+    comm_per_dev_[d].broadcast_values += m.payload.count();
+    for (VertexId v : changed) {
+      program_.on_update(lg, dev.state, v, UpdateKind::kBroadcast,
+                         *dev.ctx);
+    }
+    merge_activations(dev);
+  }
+
+  void drain_inbox(int d) {
+    Dev& dev = devs_[d];
+    auto& inbox = inboxes_[d];
     while (!inbox.reduce.empty() &&
            inbox.reduce.front().arrival <= dev.clock) {
       Msg<RV> m = std::move(inbox.reduce.front());
       inbox.reduce.pop_front();
-      if (td_) td_->on_receive(d);
-      const sim::SimTime s0 = dev.clock;
-      const StageCost cost = receive_cost(d, m.payload);
-      stats_.device_comm_time[d] += cost.total();
-      dev.clock += cost.total();
-      trace_recv(d, m.payload.from, "reduce.uplink", "reduce.apply", cost,
-                 s0, dev.clock, m.payload.bytes, m.net_ref);
-      basp_trace(dev.local_round + 1, 0, 0, m.payload.bytes);
-      dev.last_seen_round[m.payload.from] =
-          std::max(dev.last_seen_round[m.payload.from], m.sender_round);
-      changed.clear();
-      RSync::apply_reduce(sync().list(m.payload.from, d, reduce_filter_),
-                          m.payload, program_.reduce_master_dst(dev.state),
-                          dev.dirty_b, &changed);
-      comm_per_dev_[d].reduce_values += m.payload.count();
-      for (VertexId v : changed) {
-        program_.on_update(lg, dev.state, v, UpdateKind::kReduce, *dev.ctx);
+      // Ghost copies are NIC artifacts, invisible to Safra's message
+      // counters (no matching on_send was recorded for them).
+      if (td_ && !m.dup_ghost) td_->on_receive(d);
+      switch (admit_payload(d, m.payload, fault::MsgKind::kReduce,
+                            /*allow_hold=*/true)) {
+        case Admit::kDiscard:
+          break;  // rejected at the NIC; zero modeled cost
+        case Admit::kHold:
+          // Sequence gap: an earlier message on this channel is still
+          // in flight (reordered). Park the payload so applies stay in
+          // channel order.
+          fault_per_dev_[d].reorder_buffered += 1;
+          inbox.held_reduce.push_back(std::move(m));
+          break;
+        case Admit::kApply:
+          apply_reduce_msg(d, m);
+          break;
       }
-      merge_activations(dev);
     }
     while (!inbox.bcast.empty() && inbox.bcast.front().arrival <= dev.clock) {
       Msg<BV> m = std::move(inbox.bcast.front());
       inbox.bcast.pop_front();
-      if (td_) td_->on_receive(d);
-      const sim::SimTime s0 = dev.clock;
-      const StageCost cost = receive_cost(d, m.payload);
-      stats_.device_comm_time[d] += cost.total();
-      dev.clock += cost.total();
-      trace_recv(d, m.payload.from, "bcast.uplink", "bcast.apply", cost,
-                 s0, dev.clock, m.payload.bytes, m.net_ref);
-      basp_trace(dev.local_round + 1, 0, 0, m.payload.bytes);
-      dev.last_seen_round[m.payload.from] =
-          std::max(dev.last_seen_round[m.payload.from], m.sender_round);
-      changed.clear();
-      BSync::apply_broadcast(sync().list(d, m.payload.from, bcast_filter_),
-                             m.payload, program_.bcast_mirror_dst(dev.state),
-                             &changed);
-      comm_per_dev_[d].broadcast_values += m.payload.count();
-      for (VertexId v : changed) {
-        program_.on_update(lg, dev.state, v, UpdateKind::kBroadcast,
-                           *dev.ctx);
+      if (td_ && !m.dup_ghost) td_->on_receive(d);
+      switch (admit_payload(d, m.payload, fault::MsgKind::kBroadcast,
+                            /*allow_hold=*/true)) {
+        case Admit::kDiscard:
+          break;
+        case Admit::kHold:
+          fault_per_dev_[d].reorder_buffered += 1;
+          inbox.held_bcast.push_back(std::move(m));
+          break;
+        case Admit::kApply:
+          apply_bcast_msg(d, m);
+          break;
       }
-      merge_activations(dev);
+    }
+    release_held(d);
+  }
+
+  /// Releases reorder-buffered messages whose sequence gap has closed,
+  /// repeating until a full pass makes no progress (one release can
+  /// unblock the next in the same channel).
+  void release_held(int d) {
+    auto& inbox = inboxes_[d];
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < inbox.held_reduce.size(); ++i) {
+        const Admit a = admit_payload(d, inbox.held_reduce[i].payload,
+                                      fault::MsgKind::kReduce,
+                                      /*allow_hold=*/true);
+        if (a == Admit::kHold) continue;
+        Msg<RV> m = std::move(inbox.held_reduce[i]);
+        inbox.held_reduce.erase(inbox.held_reduce.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        if (a == Admit::kApply) apply_reduce_msg(d, m);
+        progress = true;
+        break;
+      }
+      for (std::size_t i = 0; i < inbox.held_bcast.size(); ++i) {
+        const Admit a = admit_payload(d, inbox.held_bcast[i].payload,
+                                      fault::MsgKind::kBroadcast,
+                                      /*allow_hold=*/true);
+        if (a == Admit::kHold) continue;
+        Msg<BV> m = std::move(inbox.held_bcast[i]);
+        inbox.held_bcast.erase(inbox.held_bcast.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        if (a == Admit::kApply) apply_bcast_msg(d, m);
+        progress = true;
+        break;
+      }
     }
   }
 
@@ -1579,6 +1963,9 @@ class Executor {
   template <typename T>
   void deliver(int d, int o, comm::Payload<T> payload, Dev& dev,
                sim::SimTime& engine, sim::EventQueue& queue, bool bcast) {
+    const fault::MsgKind kind =
+        bcast ? fault::MsgKind::kBroadcast : fault::MsgKind::kReduce;
+    seal_payload(payload, d, o, kind, dev.local_round);
     const sim::SimTime s0 = dev.clock;
     const StageCost cost = send_cost(d, payload,
                                      payload.scanned > 0
@@ -1586,24 +1973,51 @@ class Executor {
                                          : payload.count());
     stats_.device_comm_time[d] += cost.total();
     const sim::SimTime sent = advance_pipeline(cost, dev.clock, engine);
-    const sim::SimTime arrival = deliver_link(
-        d, o, payload.bytes, sent,
-        bcast ? fault::MsgKind::kBroadcast : fault::MsgKind::kReduce,
-        dev.local_round);
+    const Delivery del =
+        deliver_link(d, o, payload.bytes, sent, kind, dev.local_round);
+    if (del.arrival == sim::SimTime::max()) {
+      // Fenced at the NIC (partition outlasting detection): never
+      // delivered, so Safra must not count a send for it.
+      return;
+    }
+    if (del.corrupt) comm::corrupt_payload(payload, del.corrupt_h);
     const obs::SpanRef net_ref =
         trace_send(d, o, bcast ? "bcast.extract" : "reduce.extract",
                    bcast ? "bcast.downlink" : "reduce.downlink",
                    bcast ? "bcast.net" : "reduce.net", cost, s0, sent,
-                   arrival, payload.bytes);
+                   del.arrival, payload.bytes);
     basp_trace(dev.local_round, 0, 0, payload.bytes);
     account_network(d, o, payload.bytes);
     if (td_) td_->on_send(d);
+    auto& inbox = inboxes_[o];
+    if (del.duplicate) {
+      // The ghost is a byte-for-byte copy arriving later. It is a NIC
+      // artifact, not an application send: Safra never counts it, and
+      // the sequence dedup (protocol on) discards it on arrival.
+      Msg<T> ghost;
+      ghost.arrival = del.dup_arrival;
+      ghost.sender_round = dev.local_round;
+      ghost.net_ref = net_ref;
+      ghost.dup_ghost = true;
+      ghost.payload = payload;
+      if (bcast) {
+        if constexpr (std::is_same_v<T, BV>) {
+          insert_sorted(inbox.bcast, std::move(ghost));
+        }
+      } else {
+        if constexpr (std::is_same_v<T, RV>) {
+          insert_sorted(inbox.reduce, std::move(ghost));
+        }
+      }
+      queue.schedule(del.dup_arrival, [this, o, &queue](sim::SimTime t) {
+        if (devs_[o].parked) basp_step(o, t, queue);
+      });
+    }
     Msg<T> msg;
-    msg.arrival = arrival;
+    msg.arrival = del.arrival;
     msg.sender_round = dev.local_round;
     msg.net_ref = net_ref;
     msg.payload = std::move(payload);
-    auto& inbox = inboxes_[o];
     if (bcast) {
       if constexpr (std::is_same_v<T, BV>) {
         insert_sorted(inbox.bcast, std::move(msg));
@@ -1613,7 +2027,7 @@ class Executor {
         insert_sorted(inbox.reduce, std::move(msg));
       }
     }
-    queue.schedule(arrival, [this, o, &queue](sim::SimTime t) {
+    queue.schedule(del.arrival, [this, o, &queue](sim::SimTime t) {
       if (devs_[o].parked) basp_step(o, t, queue);
     });
   }
@@ -1721,7 +2135,9 @@ class Executor {
   }
 
   [[nodiscard]] bool pending_arrivals(int d) const {
-    return !inboxes_[d].reduce.empty() || !inboxes_[d].bcast.empty();
+    return !inboxes_[d].reduce.empty() || !inboxes_[d].bcast.empty() ||
+           !inboxes_[d].held_reduce.empty() ||
+           !inboxes_[d].held_bcast.empty();
   }
 
   /// Busy-poll continuation test: some *other* device still has work or
@@ -1814,6 +2230,10 @@ class Executor {
   obs::Histogram* m_msg_size_ = nullptr;
   obs::Histogram* m_frontier_ = nullptr;
   obs::Histogram* m_kernel_us_ = nullptr;
+  // Byzantine-network counters (registered only under an active plan).
+  obs::Counter* m_net_anomalies_ = nullptr;
+  obs::Counter* m_protocol_discards_ = nullptr;
+  obs::Counter* m_partition_deferred_ = nullptr;
 
   // Fault-injection state.
   fault::FaultInjector injector_;
@@ -1829,6 +2249,10 @@ class Executor {
   std::vector<std::uint8_t> dead_;    // evicted devices (empty parts)
   std::vector<std::uint8_t> silent_;  // lost but not yet evicted (per round)
   std::uint32_t last_basp_ckpt_round_ = 0;
+  // Layout epoch, sealed into every wire header and bumped on each
+  // eviction/rebuild: traffic sealed against a dead layout is fence-
+  // rejected on receipt instead of indexing rebuilt exchange lists.
+  std::uint32_t epoch_ = 0;
 };
 
 /// Convenience entry point: partitioned graph + topology + config in,

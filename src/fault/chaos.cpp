@@ -1,0 +1,261 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace sg::fault {
+
+namespace {
+
+/// True when the minority side of partition mask `m` (fewer hosts;
+/// tie goes to side A, matching FaultEvent::host_mask semantics on the
+/// equal-devices-per-host topologies the harness uses) contains host 0.
+bool minority_has_host0(std::uint64_t m, int num_hosts) {
+  const std::uint64_t all =
+      num_hosts >= 64 ? ~0ULL : ((1ULL << num_hosts) - 1);
+  const int pa = std::popcount(m);
+  const std::uint64_t minority =
+      pa <= num_hosts - pa ? m : (~m & all);
+  return (minority & 1ULL) != 0;
+}
+
+/// Nonempty proper subset of the first `num_hosts` host bits whose
+/// minority side excludes host 0: a partition that outlasts detection
+/// evicts its minority side, and keeping host 0 on the majority
+/// guarantees every generated plan leaves survivors to re-home onto —
+/// even when several partition windows overlap.
+std::uint64_t random_side_mask(sim::Rng& rng, int num_hosts) {
+  const std::uint64_t all =
+      num_hosts >= 64 ? ~0ULL : ((1ULL << num_hosts) - 1);
+  std::uint64_t m = 0;
+  do {
+    m = rng.next() & all;
+  } while (m == 0 || m == all || minority_has_host0(m, num_hosts));
+  return m;
+}
+
+FaultPlan generate(std::uint64_t stream, std::uint64_t plan_seed,
+                   const ChaosSpec& spec) {
+  sim::Rng rng(stream ^ 0x5347434853ULL);  // "SGCHS"
+  FaultPlan plan;
+  plan.seed = plan_seed;
+
+  std::vector<FaultKind> kinds;
+  if (spec.allow_drop) kinds.push_back(FaultKind::kMessageDrop);
+  if (spec.allow_corrupt) kinds.push_back(FaultKind::kMsgCorrupt);
+  if (spec.allow_duplicate) kinds.push_back(FaultKind::kMsgDuplicate);
+  if (spec.allow_reorder) kinds.push_back(FaultKind::kMsgReorder);
+  if (spec.allow_partition && spec.num_hosts >= 2) {
+    kinds.push_back(FaultKind::kNetPartition);
+  }
+  if (spec.allow_straggler && spec.num_devices >= 1) {
+    kinds.push_back(FaultKind::kStraggler);
+  }
+  if (spec.allow_loss && spec.num_devices >= 2) {
+    kinds.push_back(FaultKind::kDeviceLoss);
+  }
+  if (kinds.empty()) return plan;
+
+  const int lo = std::max(spec.min_events, 0);
+  const int hi = std::max(spec.max_events, lo);
+  const int n =
+      lo + static_cast<int>(rng.bounded(static_cast<std::uint64_t>(
+               hi - lo + 1)));
+  const double h = std::max(spec.horizon.seconds(), 1e-9);
+  for (int i = 0; i < n; ++i) {
+    const FaultKind k = kinds[rng.bounded(kinds.size())];
+    const sim::SimTime at{h * 0.8 * rng.uniform()};
+    // Windows cover 10-60% of the horizon: long enough to overlap real
+    // traffic, short enough that partitions usually heal mid-run.
+    const sim::SimTime dur{h * (0.1 + 0.5 * rng.uniform())};
+    const double prob =
+        spec.max_anomaly_prob * (0.2 + 0.8 * rng.uniform());
+    switch (k) {
+      case FaultKind::kMessageDrop:
+        plan.drop_messages(prob, at, dur);
+        break;
+      case FaultKind::kMsgCorrupt:
+        plan.corrupt_messages(prob, at, dur);
+        break;
+      case FaultKind::kMsgDuplicate:
+        plan.duplicate_messages(prob, at, dur);
+        break;
+      case FaultKind::kMsgReorder:
+        plan.reorder_messages(prob, at, dur);
+        break;
+      case FaultKind::kNetPartition:
+        plan.partition_hosts(random_side_mask(rng, spec.num_hosts), at, dur);
+        break;
+      case FaultKind::kStraggler:
+        plan.straggle(
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_devices))),
+            at, dur, 1.5 + 3.0 * rng.uniform());
+        break;
+      case FaultKind::kDeviceLoss:
+        // Late in the run, and never device 0 (keep a survivor with
+        // the conventional default source / master tie-breaks).
+        plan.lose_device(
+            1 + static_cast<int>(rng.bounded(static_cast<std::uint64_t>(
+                    spec.num_devices - 1))),
+            sim::SimTime{h * (0.3 + 0.5 * rng.uniform())});
+        break;
+      default:
+        break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+FaultPlan random_plan(std::uint64_t seed, const ChaosSpec& spec) {
+  // Random plans are valid by construction except for rare structural
+  // collisions (identical overlapping windows, a device lost twice);
+  // regenerate from a bumped stream rather than emitting a plan the
+  // engine would reject at startup.
+  for (std::uint64_t bump = 0; bump < 64; ++bump) {
+    FaultPlan p = generate(seed + (bump << 48), seed, spec);
+    if (p.validate(spec.num_devices, spec.num_hosts).empty()) return p;
+  }
+  throw std::runtime_error(
+      "chaos: could not generate a valid plan for seed " +
+      std::to_string(seed) + " within the given ChaosSpec");
+}
+
+void write_plan_json(obs::JsonWriter& w, const FaultPlan& plan) {
+  w.begin_object();
+  w.kv("seed", plan.seed);
+  w.key("events").begin_array();
+  for (const FaultEvent& e : plan.events) {
+    w.begin_object();
+    w.kv("kind", to_string(e.kind));
+    w.kv("at_s", e.at.seconds());
+    if (e.duration > sim::SimTime::zero()) {
+      w.kv("duration_s", e.duration.seconds());
+    }
+    if (e.device >= 0) w.kv("device", e.device);
+    if (e.host >= 0) w.kv("host", e.host);
+    if (e.peer_host >= 0) w.kv("peer_host", e.peer_host);
+    if (e.severity != 0.0) w.kv("severity", e.severity);
+    if (e.host_mask != 0) w.kv("host_mask", e.host_mask);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string plan_to_json(const FaultPlan& plan) {
+  obs::JsonWriter w;
+  write_plan_json(w, plan);
+  return w.take();
+}
+
+namespace {
+
+double require_number(const obs::JsonValue& v, const char* key,
+                      const char* what) {
+  const obs::JsonValue* f = v.find(key);
+  if (f == nullptr || f->kind != obs::JsonValue::Kind::kNumber) {
+    throw std::runtime_error(std::string("fault plan: ") + what +
+                             " is missing numeric \"" + key + "\"");
+  }
+  return f->number;
+}
+
+double number_or(const obs::JsonValue& v, const char* key, double dflt) {
+  const obs::JsonValue* f = v.find(key);
+  return f != nullptr ? f->num_or(dflt) : dflt;
+}
+
+}  // namespace
+
+FaultPlan plan_from_json(const obs::JsonValue& v) {
+  if (!v.is_object()) {
+    throw std::runtime_error("fault plan: not a JSON object");
+  }
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(require_number(v, "seed", "plan"));
+  const obs::JsonValue* events = v.find("events");
+  if (events == nullptr || !events->is_array()) {
+    throw std::runtime_error("fault plan: missing \"events\" array");
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const obs::JsonValue& ev = events->array[i];
+    const std::string at = "event " + std::to_string(i);
+    if (!ev.is_object()) {
+      throw std::runtime_error("fault plan: " + at + " is not an object");
+    }
+    const obs::JsonValue* kind = ev.find("kind");
+    if (kind == nullptr || kind->kind != obs::JsonValue::Kind::kString) {
+      throw std::runtime_error("fault plan: " + at +
+                               " is missing string \"kind\"");
+    }
+    FaultEvent e;
+    if (!fault_kind_from_string(kind->string, e.kind)) {
+      throw std::runtime_error("fault plan: " + at +
+                               " has unknown kind \"" + kind->string + "\"");
+    }
+    e.at = sim::SimTime{require_number(ev, "at_s", at.c_str())};
+    e.duration = sim::SimTime{number_or(ev, "duration_s", 0.0)};
+    e.device = static_cast<int>(number_or(ev, "device", -1.0));
+    e.host = static_cast<int>(number_or(ev, "host", -1.0));
+    e.peer_host = static_cast<int>(number_or(ev, "peer_host", -1.0));
+    e.severity = number_or(ev, "severity", 0.0);
+    e.host_mask =
+        static_cast<std::uint64_t>(number_or(ev, "host_mask", 0.0));
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+FaultPlan parse_plan(std::string_view text) {
+  return plan_from_json(obs::parse_json(text));
+}
+
+FaultPlan shrink_plan(const FaultPlan& failing,
+                      const std::function<bool(const FaultPlan&)>& fails,
+                      ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  FaultPlan best = failing;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Pass 1: drop events one at a time (from the back, so earlier
+    // indices stay valid across erases within the pass).
+    for (std::size_t i = best.events.size(); i-- > 0;) {
+      FaultPlan cand = best;
+      cand.events.erase(cand.events.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      ++st.probes;
+      if (fails(cand)) {
+        best = std::move(cand);
+        ++st.removed_events;
+        progress = true;
+      }
+    }
+    // Pass 2: halve the windows that remain (floor at 1us — below that
+    // the window is effectively a point and halving churns forever).
+    for (std::size_t i = 0; i < best.events.size(); ++i) {
+      if (best.events[i].duration <= sim::SimTime::micros(1.0)) continue;
+      FaultPlan cand = best;
+      cand.events[i].duration = cand.events[i].duration * 0.5;
+      ++st.probes;
+      if (fails(cand)) {
+        best = std::move(cand);
+        ++st.narrowed_windows;
+        progress = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sg::fault

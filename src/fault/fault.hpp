@@ -1,7 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/sim_time.hpp"
@@ -11,7 +14,8 @@ namespace sg::fault {
 /// Fault taxonomy injected on the simulated timeline. Matches the
 /// failure modes a 32-host multi-GPU cluster actually sees (ROADMAP
 /// north star): whole-device loss, whole-host loss, degraded links,
-/// lossy links, and slow devices.
+/// lossy links, slow devices, and byzantine network behaviour
+/// (corruption, duplication, reordering, partitions).
 enum class FaultKind : std::uint8_t {
   kDeviceCrash,   ///< one device loses all volatile program state
   kHostCrash,     ///< every device on the host crashes simultaneously
@@ -19,12 +23,24 @@ enum class FaultKind : std::uint8_t {
   kMessageDrop,   ///< each delivery attempt dropped with prob `severity`
   kStraggler,     ///< device compute slowed by factor `severity`
   kDeviceLoss,    ///< device silently dies forever (no replacement)
+  kMsgCorrupt,    ///< payload values bit-flipped with prob `severity`
+  kMsgDuplicate,  ///< delivered payload also arrives again with prob
+  kMsgReorder,    ///< payload delayed past later traffic with prob
+  kNetPartition,  ///< host groups severed for [at, at+duration)
 };
 
+/// Stable CLI spelling (e.g. "msg-corrupt", "net-partition").
+[[nodiscard]] const char* to_string(FaultKind k);
+/// Inverse of to_string; returns false when `s` names no fault kind.
+[[nodiscard]] bool fault_kind_from_string(std::string_view s, FaultKind& out);
+
 /// One scheduled fault. `at` is absolute simulated time; `duration`
-/// of zero means open-ended (lasts to the end of the run). `severity`
+/// of zero means open-ended (lasts to the end of the run) except for
+/// kNetPartition, which requires a positive window (a partition that
+/// never heals is a device loss of the whole minority side). `severity`
 /// is a slowdown multiplier (>= 1) for kLinkDegrade/kStraggler and a
-/// drop probability in [0, 1) for kMessageDrop; unused for crashes.
+/// probability in [0, 1] for kMessageDrop / kMsgCorrupt /
+/// kMsgDuplicate / kMsgReorder; unused for crashes and partitions.
 struct FaultEvent {
   FaultKind kind = FaultKind::kDeviceCrash;
   sim::SimTime at = sim::SimTime::zero();
@@ -33,6 +49,10 @@ struct FaultEvent {
   int host = -1;       ///< kHostCrash target; link endpoint for windows
   int peer_host = -1;  ///< other link endpoint (-1 = any peer)
   double severity = 0.0;
+  /// kNetPartition: bit i set = host i is on side A; the rest form
+  /// side B. The side with fewer devices is the minority (tie: side A)
+  /// and is the one fenced/evicted if the window outlasts detection.
+  std::uint64_t host_mask = 0;
 };
 
 /// Deterministic, seeded fault schedule. The seed feeds the per-message
@@ -86,8 +106,65 @@ struct FaultPlan {
                       .device = device});
     return *this;
   }
+  /// Bit-flips each delivered cross-device payload with probability
+  /// `probability` during [at, at+duration); duration zero = open-ended.
+  /// With the wire protocol on, the checksum catches it and the sender
+  /// retransmits (NACK into the retry path); with it off, the corrupted
+  /// values are silently applied.
+  FaultPlan& corrupt_messages(double probability, sim::SimTime at,
+                              sim::SimTime duration = sim::SimTime::zero()) {
+    events.push_back({.kind = FaultKind::kMsgCorrupt, .at = at,
+                      .duration = duration, .severity = probability});
+    return *this;
+  }
+  /// Duplicates each delivered cross-device payload with probability
+  /// `probability`: a ghost copy arrives a short deterministic delay
+  /// later. The wire protocol's sequence numbers discard it; without
+  /// them accumulator reductions double-count.
+  FaultPlan& duplicate_messages(double probability, sim::SimTime at,
+                                sim::SimTime duration = sim::SimTime::zero()) {
+    events.push_back({.kind = FaultKind::kMsgDuplicate, .at = at,
+                      .duration = duration, .severity = probability});
+    return *this;
+  }
+  /// Delays each delivered cross-device payload with probability
+  /// `probability` so it can arrive after later traffic on the same
+  /// channel. The wire protocol's reorder buffer restores sequence
+  /// order; without it stale assign-broadcasts win.
+  FaultPlan& reorder_messages(double probability, sim::SimTime at,
+                              sim::SimTime duration = sim::SimTime::zero()) {
+    events.push_back({.kind = FaultKind::kMsgReorder, .at = at,
+                      .duration = duration, .severity = probability});
+    return *this;
+  }
+  /// Severs the hosts in `host_mask` from the rest during
+  /// [at, at+duration), duration > 0. Cross-partition traffic is held
+  /// at the partition edge; heartbeats stop crossing, so the φ-accrual
+  /// detector's suspicion rises. If the window heals before the
+  /// eviction rule fires, held traffic is delivered and the run
+  /// completes exactly; if it outlasts detection, the minority side is
+  /// fenced (its in-flight traffic discarded, stale epochs rejected)
+  /// and evicted through the re-homing path — no split-brain.
+  FaultPlan& partition_hosts(std::uint64_t host_mask, sim::SimTime at,
+                             sim::SimTime duration) {
+    events.push_back({.kind = FaultKind::kNetPartition, .at = at,
+                      .duration = duration, .host_mask = host_mask});
+    return *this;
+  }
 
   [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Structural validation against a concrete cluster shape. Returns an
+  /// empty string when the plan is well-formed, else a descriptive
+  /// error: events targeting nonexistent devices/hosts, inverted
+  /// (negative-duration) windows, duplicated (overlapping-identical)
+  /// windows, probabilities/slowdowns out of range, partitions that do
+  /// not split the host set, and events that contradict an earlier
+  /// permanent loss of the same device. Called at engine start and by
+  /// sg_chaos — a bad plan is an error, never a silent no-op.
+  [[nodiscard]] std::string validate(int num_devices, int num_hosts) const;
+  /// Throws std::invalid_argument with the validate() message.
+  void validate_or_throw(int num_devices, int num_hosts) const;
 };
 
 /// Self-healing delivery: a message not acknowledged within `timeout`
@@ -136,6 +213,25 @@ struct HealthPolicy {
   double min_stddev_fraction = 0.1;  ///< σ floor as fraction of the mean
 };
 
+/// Per-(src,dst) anomaly breakdown: which link pairs were actually
+/// affected (kMessageDrop counted only one global total before).
+/// Sparse and sorted by (from, to) so folded stats and reports are
+/// deterministic.
+struct PairAnomalies {
+  int from = -1;
+  int to = -1;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t deferred = 0;  ///< partition-held deliveries
+  std::uint64_t fenced = 0;    ///< fence-rejected deliveries
+
+  [[nodiscard]] std::uint64_t total() const {
+    return dropped + corrupted + duplicated + reordered + deferred + fenced;
+  }
+};
+
 /// Fault/recovery counters folded into engine::RunStats so bench/ can
 /// plot failure-free vs faulty runs side by side.
 struct FaultStats {
@@ -144,6 +240,16 @@ struct FaultStats {
   std::uint64_t messages_dropped = 0;
   std::uint64_t retries = 0;
   std::uint64_t retransmitted_bytes = 0;
+  // Byzantine-network anomalies and the wire protocol's responses.
+  std::uint64_t messages_corrupted = 0;    ///< checksum NACK -> retransmit
+  std::uint64_t corrupt_applied = 0;       ///< protocol off: applied anyway
+  std::uint64_t duplicates_injected = 0;
+  std::uint64_t duplicates_discarded = 0;  ///< seq-dedup hits
+  std::uint64_t reorders_injected = 0;
+  std::uint64_t reorder_buffered = 0;      ///< held for in-order apply
+  std::uint64_t fence_rejects = 0;         ///< stale epoch / fenced sender
+  std::uint64_t partition_deferred = 0;    ///< held until partition heal
+  std::uint64_t partition_evictions = 0;   ///< evictions from partition expiry
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t checkpoint_bytes = 0;
   std::uint64_t rollbacks = 0;            ///< checkpoint restores
@@ -163,6 +269,22 @@ struct FaultStats {
   /// False iff termination detection misbehaved under faults (BASP
   /// ended with in-flight messages or an unterminated token ring).
   bool termination_clean = true;
+  /// Per-(src,dst) anomaly breakdown, sorted by (from, to).
+  std::vector<PairAnomalies> pairs;
+
+  /// Find-or-insert the breakdown slot for (from, to), keeping `pairs`
+  /// sorted so merged stats are deterministic.
+  PairAnomalies& pair(int from, int to) {
+    auto it = std::find_if(pairs.begin(), pairs.end(),
+                           [&](const PairAnomalies& p) {
+                             return p.from > from ||
+                                    (p.from == from && p.to >= to);
+                           });
+    if (it == pairs.end() || it->from != from || it->to != to) {
+      it = pairs.insert(it, PairAnomalies{.from = from, .to = to});
+    }
+    return *it;
+  }
 
   FaultStats& operator+=(const FaultStats& o) {
     faults_injected += o.faults_injected;
@@ -170,6 +292,24 @@ struct FaultStats {
     messages_dropped += o.messages_dropped;
     retries += o.retries;
     retransmitted_bytes += o.retransmitted_bytes;
+    messages_corrupted += o.messages_corrupted;
+    corrupt_applied += o.corrupt_applied;
+    duplicates_injected += o.duplicates_injected;
+    duplicates_discarded += o.duplicates_discarded;
+    reorders_injected += o.reorders_injected;
+    reorder_buffered += o.reorder_buffered;
+    fence_rejects += o.fence_rejects;
+    partition_deferred += o.partition_deferred;
+    partition_evictions += o.partition_evictions;
+    for (const PairAnomalies& p : o.pairs) {
+      PairAnomalies& mine = pair(p.from, p.to);
+      mine.dropped += p.dropped;
+      mine.corrupted += p.corrupted;
+      mine.duplicated += p.duplicated;
+      mine.reordered += p.reordered;
+      mine.deferred += p.deferred;
+      mine.fenced += p.fenced;
+    }
     checkpoints_taken += o.checkpoints_taken;
     checkpoint_bytes += o.checkpoint_bytes;
     rollbacks += o.rollbacks;

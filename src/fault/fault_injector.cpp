@@ -49,9 +49,33 @@ FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
           losses_.push_back({e.at, e.device});
         }
         break;
+      case FaultKind::kNetPartition: {
+        if (e.duration <= sim::SimTime::zero()) break;  // validate() rejects
+        PartitionWindow w;
+        w.at = e.at;
+        w.end = e.at + e.duration;
+        w.mask = e.host_mask;
+        // The side with fewer devices is the minority (tie: side A).
+        int side_a = 0;
+        for (int d = 0; d < topo_->num_devices(); ++d) {
+          if ((e.host_mask >> topo_->host_of(d)) & 1ULL) ++side_a;
+        }
+        const std::uint64_t all =
+            topo_->num_hosts() >= 64 ? ~0ULL
+                                     : ((1ULL << topo_->num_hosts()) - 1);
+        w.minority_mask = side_a * 2 <= topo_->num_devices()
+                              ? e.host_mask
+                              : (all & ~e.host_mask);
+        partitions_.push_back(w);
+        ++windowed_events_;
+        break;
+      }
       case FaultKind::kLinkDegrade:
       case FaultKind::kMessageDrop:
       case FaultKind::kStraggler:
+      case FaultKind::kMsgCorrupt:
+      case FaultKind::kMsgDuplicate:
+      case FaultKind::kMsgReorder:
         ++windowed_events_;
         break;
     }
@@ -62,6 +86,10 @@ FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
   };
   std::sort(crashes_.begin(), crashes_.end(), by_time);
   std::sort(losses_.begin(), losses_.end(), by_time);
+  std::sort(partitions_.begin(), partitions_.end(),
+            [](const PartitionWindow& a, const PartitionWindow& b) {
+              return a.at < b.at;
+            });
 }
 
 double FaultInjector::link_delay_factor(int src_host, int dst_host,
@@ -111,6 +139,117 @@ bool FaultInjector::drops_message(int from, int to, MsgKind kind,
       (round << 8) | (static_cast<std::uint64_t>(attempt) << 1) |
       static_cast<std::uint64_t>(kind);
   return hash_uniform(plan_->seed, endpoints, tag, 0x5347464c54ULL) < prob;
+}
+
+double FaultInjector::anomaly_prob(FaultKind kind, sim::SimTime at) const {
+  double prob = 0.0;
+  for (const FaultEvent& e : plan_->events) {
+    if (e.kind != kind || !in_window(e, at)) continue;
+    if (e.severity > prob) prob = e.severity;
+  }
+  return prob;
+}
+
+namespace {
+
+std::uint64_t endpoint_key(int from, int to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+std::uint64_t attempt_tag(std::uint64_t round, int attempt, MsgKind kind) {
+  return (round << 8) | (static_cast<std::uint64_t>(attempt) << 1) |
+         static_cast<std::uint64_t>(kind);
+}
+
+// Distinct salts per anomaly so corrupt/duplicate/reorder decisions on
+// the same message are independent of each other and of the drop roll
+// (salt 0x5347464c54, which must stay byte-identical across PRs).
+constexpr std::uint64_t kCorruptSalt = 0x53474352505455ULL;
+constexpr std::uint64_t kDuplicateSalt = 0x53474455504cULL;
+constexpr std::uint64_t kReorderSalt = 0x534752454f52ULL;
+
+}  // namespace
+
+bool FaultInjector::corrupts_message(int from, int to, MsgKind kind,
+                                     std::uint64_t round, int attempt,
+                                     sim::SimTime at) const {
+  if (!active_) return false;
+  const double prob = anomaly_prob(FaultKind::kMsgCorrupt, at);
+  if (prob <= 0.0) return false;
+  return hash_uniform(plan_->seed, endpoint_key(from, to),
+                      attempt_tag(round, attempt, kind), kCorruptSalt) < prob;
+}
+
+bool FaultInjector::duplicates_message(int from, int to, MsgKind kind,
+                                       std::uint64_t round,
+                                       sim::SimTime at) const {
+  if (!active_) return false;
+  const double prob = anomaly_prob(FaultKind::kMsgDuplicate, at);
+  if (prob <= 0.0) return false;
+  return hash_uniform(plan_->seed, endpoint_key(from, to),
+                      attempt_tag(round, 0, kind), kDuplicateSalt) < prob;
+}
+
+bool FaultInjector::reorders_message(int from, int to, MsgKind kind,
+                                     std::uint64_t round,
+                                     sim::SimTime at) const {
+  if (!active_) return false;
+  const double prob = anomaly_prob(FaultKind::kMsgReorder, at);
+  if (prob <= 0.0) return false;
+  return hash_uniform(plan_->seed, endpoint_key(from, to),
+                      attempt_tag(round, 0, kind), kReorderSalt) < prob;
+}
+
+double FaultInjector::anomaly_uniform(std::uint64_t salt, int from, int to,
+                                      MsgKind kind,
+                                      std::uint64_t round) const {
+  return hash_uniform(plan_ != nullptr ? plan_->seed : 0,
+                      endpoint_key(from, to), attempt_tag(round, 0, kind),
+                      salt);
+}
+
+bool FaultInjector::hosts_partitioned(int host_a, int host_b,
+                                      sim::SimTime at) const {
+  if (!active_ || host_a == host_b) return false;
+  for (const PartitionWindow& w : partitions_) {
+    if (at < w.at || at >= w.end) continue;
+    const bool a_side = (w.mask >> host_a) & 1ULL;
+    const bool b_side = (w.mask >> host_b) & 1ULL;
+    if (a_side != b_side) return true;
+  }
+  return false;
+}
+
+sim::SimTime FaultInjector::partition_heal(int host_a, int host_b,
+                                           sim::SimTime at) const {
+  sim::SimTime t = at;
+  // Chain back-to-back windows: healing from one may land inside the
+  // next. Windows are finite and sorted, so this terminates.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const PartitionWindow& w : partitions_) {
+      if (t < w.at || t >= w.end) continue;
+      const bool a_side = (w.mask >> host_a) & 1ULL;
+      const bool b_side = (w.mask >> host_b) & 1ULL;
+      if (a_side != b_side && w.end > t) {
+        t = w.end;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+bool FaultInjector::observer_blind(int device, sim::SimTime at) const {
+  if (!active_ || partitions_.empty()) return false;
+  const int host = topo_->host_of(device);
+  for (const PartitionWindow& w : partitions_) {
+    if (at < w.at || at >= w.end) continue;
+    if ((w.minority_mask >> host) & 1ULL) return true;
+  }
+  return false;
 }
 
 }  // namespace sg::fault

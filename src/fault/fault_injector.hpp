@@ -19,6 +19,16 @@ struct ResolvedCrash {
   int device = -1;
 };
 
+/// One kNetPartition event resolved against the topology: the window,
+/// the side-A host mask, and the minority-side host mask (the side with
+/// fewer devices; ties go to side A). Sorted by start time.
+struct PartitionWindow {
+  sim::SimTime at = sim::SimTime::zero();
+  sim::SimTime end = sim::SimTime::zero();
+  std::uint64_t mask = 0;           ///< bit i set = host i on side A
+  std::uint64_t minority_mask = 0;  ///< hosts on the fenced side
+};
+
 /// Evaluates a FaultPlan against the simulated timeline. All queries
 /// are pure functions of (plan, arguments) — no mutable RNG state — so
 /// they are safe to call from parallel BSP phases and give identical
@@ -30,6 +40,9 @@ class FaultInjector {
 
   /// True when a plan with at least one event is attached.
   [[nodiscard]] bool active() const { return active_; }
+
+  [[nodiscard]] const FaultPlan* plan() const { return plan_; }
+  [[nodiscard]] const sim::Topology* topology() const { return topo_; }
 
   /// Crash faults expanded per device, in time order.
   [[nodiscard]] const std::vector<ResolvedCrash>& crashes() const {
@@ -66,6 +79,52 @@ class FaultInjector {
                                    std::uint64_t round, int attempt,
                                    sim::SimTime at) const;
 
+  /// Deterministically decides whether delivery attempt `attempt` is
+  /// bit-flipped in flight (kMsgCorrupt window covering `at`). Each
+  /// attempt re-rolls independently, so a NACKed retransmission can
+  /// arrive clean.
+  [[nodiscard]] bool corrupts_message(int from, int to, MsgKind kind,
+                                      std::uint64_t round, int attempt,
+                                      sim::SimTime at) const;
+
+  /// Deterministically decides whether the delivered payload is also
+  /// duplicated (a ghost copy arrives later).
+  [[nodiscard]] bool duplicates_message(int from, int to, MsgKind kind,
+                                        std::uint64_t round,
+                                        sim::SimTime at) const;
+
+  /// Deterministically decides whether the delivered payload is delayed
+  /// past later traffic on its channel (kMsgReorder).
+  [[nodiscard]] bool reorders_message(int from, int to, MsgKind kind,
+                                      std::uint64_t round,
+                                      sim::SimTime at) const;
+
+  /// Uniform [0, 1) keyed on the message identity and `salt`; used to
+  /// size deterministic ghost/reorder delays.
+  [[nodiscard]] double anomaly_uniform(std::uint64_t salt, int from, int to,
+                                       MsgKind kind,
+                                       std::uint64_t round) const;
+
+  /// Resolved kNetPartition windows, sorted by start time.
+  [[nodiscard]] const std::vector<PartitionWindow>& partitions() const {
+    return partitions_;
+  }
+
+  /// True when a partition window covering `at` separates the two hosts.
+  [[nodiscard]] bool hosts_partitioned(int host_a, int host_b,
+                                       sim::SimTime at) const;
+
+  /// Earliest time at or after `at` when `host_a` and `host_b` can talk
+  /// again — chains back-to-back windows. Returns `at` when they are
+  /// not partitioned at `at`.
+  [[nodiscard]] sim::SimTime partition_heal(int host_a, int host_b,
+                                            sim::SimTime at) const;
+
+  /// True when a partition window covering `at` puts `device` on the
+  /// minority side, so its heartbeats do not reach the (majority-side)
+  /// failure detector.
+  [[nodiscard]] bool observer_blind(int device, sim::SimTime at) const;
+
   /// Number of windowed (non-crash) fault events in the plan; counted
   /// as injected faults in FaultStats.
   [[nodiscard]] std::uint64_t windowed_events() const {
@@ -78,11 +137,15 @@ class FaultInjector {
     return e.duration <= sim::SimTime::zero() || at < e.at + e.duration;
   }
 
+  /// Max probability over `kind` windows covering `at`, or 0.
+  [[nodiscard]] double anomaly_prob(FaultKind kind, sim::SimTime at) const;
+
   const FaultPlan* plan_ = nullptr;
   const sim::Topology* topo_ = nullptr;
   bool active_ = false;
   std::vector<ResolvedCrash> crashes_;
   std::vector<ResolvedCrash> losses_;
+  std::vector<PartitionWindow> partitions_;
   std::uint64_t windowed_events_ = 0;
 };
 

@@ -1,0 +1,204 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "fault/fault.hpp"
+
+namespace sg::fault {
+
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "device-crash", "host-crash",    "link-degrade", "message-drop",
+    "straggler",    "device-loss",   "msg-corrupt",  "msg-duplicate",
+    "msg-reorder",  "net-partition",
+};
+
+/// Half-open window of event `e`; duration zero = open-ended (except
+/// partitions, which validate() requires to be positive).
+bool windows_overlap(const FaultEvent& a, const FaultEvent& b) {
+  const sim::SimTime a_end = a.duration <= sim::SimTime::zero()
+                                 ? sim::SimTime::max()
+                                 : a.at + a.duration;
+  const sim::SimTime b_end = b.duration <= sim::SimTime::zero()
+                                 ? sim::SimTime::max()
+                                 : b.at + b.duration;
+  return a.at < b_end && b.at < a_end;
+}
+
+bool is_windowed(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kMessageDrop:
+    case FaultKind::kStraggler:
+    case FaultKind::kMsgCorrupt:
+    case FaultKind::kMsgDuplicate:
+    case FaultKind::kMsgReorder:
+    case FaultKind::kNetPartition:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_target(const FaultEvent& a, const FaultEvent& b) {
+  return a.kind == b.kind && a.device == b.device && a.host == b.host &&
+         a.peer_host == b.peer_host && a.host_mask == b.host_mask &&
+         a.severity == b.severity;
+}
+
+std::string where(std::size_t i, const FaultEvent& e) {
+  return "FaultPlan event " + std::to_string(i) + " (" +
+         to_string(e.kind) + " at t=" + std::to_string(e.at.seconds()) +
+         "s): ";
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  return kKindNames[static_cast<std::size_t>(k)];
+}
+
+bool fault_kind_from_string(std::string_view s, FaultKind& out) {
+  for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
+    if (s == kKindNames[i]) {
+      out = static_cast<FaultKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultPlan::validate(int num_devices, int num_hosts) const {
+  const auto bad_device = [&](int d) { return d < 0 || d >= num_devices; };
+  const auto bad_host = [&](int h) { return h < 0 || h >= num_hosts; };
+  const std::uint64_t all_hosts =
+      num_hosts >= 64 ? ~0ULL : ((1ULL << num_hosts) - 1);
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (e.duration < sim::SimTime::zero()) {
+      return where(i, e) + "inverted window (duration " +
+             std::to_string(e.duration.seconds()) + "s < 0)";
+    }
+    switch (e.kind) {
+      case FaultKind::kDeviceCrash:
+      case FaultKind::kDeviceLoss:
+        if (bad_device(e.device)) {
+          return where(i, e) + "device " + std::to_string(e.device) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_devices) + " devices)";
+        }
+        break;
+      case FaultKind::kStraggler:
+        if (bad_device(e.device)) {
+          return where(i, e) + "device " + std::to_string(e.device) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_devices) + " devices)";
+        }
+        if (!(e.severity >= 1.0)) {
+          return where(i, e) + "slowdown " + std::to_string(e.severity) +
+                 " must be >= 1";
+        }
+        break;
+      case FaultKind::kHostCrash:
+        if (bad_host(e.host)) {
+          return where(i, e) + "host " + std::to_string(e.host) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_hosts) + " hosts)";
+        }
+        break;
+      case FaultKind::kLinkDegrade:
+        if (bad_host(e.host) || (e.peer_host >= 0 && bad_host(e.peer_host))) {
+          return where(i, e) + "link endpoint host " +
+                 std::to_string(bad_host(e.host) ? e.host : e.peer_host) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_hosts) + " hosts)";
+        }
+        if (!(e.severity >= 1.0)) {
+          return where(i, e) + "slowdown " + std::to_string(e.severity) +
+                 " must be >= 1";
+        }
+        break;
+      case FaultKind::kMessageDrop:
+      case FaultKind::kMsgCorrupt:
+      case FaultKind::kMsgDuplicate:
+      case FaultKind::kMsgReorder:
+        if (!(e.severity >= 0.0) || e.severity > 1.0 ||
+            std::isnan(e.severity)) {
+          return where(i, e) + "probability " + std::to_string(e.severity) +
+                 " must be in [0, 1]";
+        }
+        break;
+      case FaultKind::kNetPartition: {
+        if (e.duration <= sim::SimTime::zero()) {
+          return where(i, e) +
+                 "a partition needs a positive heal window (a partition "
+                 "that never heals is a device loss of the whole minority "
+                 "side — schedule that instead)";
+        }
+        if (num_hosts > 64) {
+          return where(i, e) +
+                 "host_mask partitions support at most 64 hosts";
+        }
+        const std::uint64_t side = e.host_mask & all_hosts;
+        if (e.host_mask != side) {
+          return where(i, e) + "host_mask names hosts beyond the cluster's " +
+                 std::to_string(num_hosts) + " hosts";
+        }
+        if (side == 0 || side == all_hosts) {
+          return where(i, e) +
+                 "host_mask must split the hosts into two non-empty sides";
+        }
+        break;
+      }
+    }
+  }
+
+  // Permanent-loss contradictions: once a device is lost it can never
+  // crash, straggle, or be lost again.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& loss = events[i];
+    if (loss.kind != FaultKind::kDeviceLoss) continue;
+    for (std::size_t j = 0; j < events.size(); ++j) {
+      if (j == i) continue;
+      const FaultEvent& e = events[j];
+      if (e.device != loss.device) continue;
+      const bool device_targeted = e.kind == FaultKind::kDeviceCrash ||
+                                   e.kind == FaultKind::kStraggler ||
+                                   e.kind == FaultKind::kDeviceLoss;
+      if (!device_targeted) continue;
+      const bool duplicate_loss =
+          e.kind == FaultKind::kDeviceLoss && j > i;
+      if (duplicate_loss || (e.kind != FaultKind::kDeviceLoss &&
+                             !(e.at < loss.at))) {
+        return where(j, e) + "device " + std::to_string(e.device) +
+               " is permanently lost at t=" +
+               std::to_string(loss.at.seconds()) +
+               "s (event " + std::to_string(i) +
+               ") and cannot be targeted at or after that";
+      }
+    }
+  }
+
+  // Duplicated windows: two identical windowed events whose windows
+  // overlap double-apply the same fault — almost always a plan bug.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!is_windowed(events[i].kind)) continue;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      if (!same_target(events[i], events[j])) continue;
+      if (windows_overlap(events[i], events[j])) {
+        return where(j, events[j]) +
+               "overlaps an identical window (event " + std::to_string(i) +
+               ") — merge or separate them";
+      }
+    }
+  }
+  return {};
+}
+
+void FaultPlan::validate_or_throw(int num_devices, int num_hosts) const {
+  const std::string err = validate(num_devices, num_hosts);
+  if (!err.empty()) throw std::invalid_argument(err);
+}
+
+}  // namespace sg::fault

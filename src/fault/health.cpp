@@ -80,13 +80,124 @@ HeartbeatMonitor::HeartbeatMonitor(const HealthPolicy& policy,
                                    int num_devices)
     : policy_(policy), injector_(injector) {
   active_ = injector_ != nullptr && injector_->active() &&
-            !injector_->losses().empty();
+            (!injector_->losses().empty() ||
+             !injector_->partitions().empty());
   if (!active_) return;
   detector_ = PhiAccrualDetector(num_devices, policy_);
   next_send_.assign(static_cast<std::size_t>(num_devices),
                     policy_.heartbeat_interval);
   evicted_.assign(static_cast<std::size_t>(num_devices), false);
   suspicion_latched_.assign(static_cast<std::size_t>(num_devices), false);
+  precompute_fences(num_devices);
+}
+
+void HeartbeatMonitor::precompute_fences(int num_devices) {
+  fence_at_.assign(static_cast<std::size_t>(num_devices),
+                   sim::SimTime::max());
+  origin_.assign(static_cast<std::size_t>(num_devices), sim::SimTime::max());
+  from_partition_.assign(static_cast<std::size_t>(num_devices), false);
+
+  // Simulation horizon: past the last planned silence plus enough slack
+  // for the eviction rule's grace gap to elapse on the heartbeat grid
+  // (scaled by the worst straggler stretch, which widens the fitted
+  // mean interval).
+  const sim::SimTime interval = policy_.heartbeat_interval;
+  sim::SimTime horizon = interval * 16.0;
+  double max_stretch = 1.0;
+  for (const ResolvedCrash& l : injector_->losses()) {
+    if (l.at > horizon) horizon = l.at;
+  }
+  for (const PartitionWindow& w : injector_->partitions()) {
+    if (w.end > horizon) horizon = w.end;
+  }
+  if (injector_->plan() != nullptr) {
+    for (const FaultEvent& e : injector_->plan()->events) {
+      if (e.kind == FaultKind::kStraggler && e.severity > max_stretch) {
+        max_stretch = e.severity;
+      }
+    }
+  }
+  horizon = horizon +
+            interval * ((policy_.evict_grace_intervals + policy_.window + 16) *
+                        max_stretch);
+
+  for (int d = 0; d < num_devices; ++d) {
+    const auto du = static_cast<std::size_t>(d);
+    const sim::SimTime lost = injector_->lost_at(d);
+    // Replay this device's heartbeat timeline through a scratch
+    // detector. Sends keep their (straggler-stretched) cadence even
+    // while partitioned — the device is alive, just unreachable — but
+    // only reachable sends are observed; a lost device stops sending.
+    // Between observations we scan the heartbeat grid for the first
+    // eviction-rule crossing; the crossing stands even if heartbeats
+    // resume later (a real detector cannot see the future), which is
+    // exactly how a too-long partition converts into an eviction.
+    PhiAccrualDetector scratch(1, policy_);
+    sim::SimTime last_obs = sim::SimTime::zero();
+    sim::SimTime scan_from = interval;
+    sim::SimTime silence_start = sim::SimTime::max();  // silence origin
+    bool silence_is_partition = false;
+    bool fenced = false;
+    sim::SimTime send = interval;
+    while (!fenced) {
+      const bool have_send = send < lost && send <= horizon;
+      const bool observed =
+          have_send && !injector_->observer_blind(d, send);
+      const sim::SimTime next_send =
+          have_send
+              ? send + interval * injector_->compute_slowdown(d, send)
+              : sim::SimTime::max();
+      // Record the cause the first time this silence is entered: the
+      // loss instant, or the start of the partition window hiding the
+      // send. The scan below reads it, so it must be set first.
+      if (!observed && silence_start == sim::SimTime::max()) {
+        if (!have_send && lost <= horizon) {
+          silence_start = lost;
+          silence_is_partition = false;
+        } else if (have_send) {
+          silence_start = send;
+          silence_is_partition = true;
+          const int host = injector_->topology()->host_of(d);
+          for (const PartitionWindow& w : injector_->partitions()) {
+            if (send >= w.at && send < w.end &&
+                ((w.minority_mask >> host) & 1ULL)) {
+              silence_start = w.at;
+              break;
+            }
+          }
+        }
+      }
+      // Scan the grid for a crossing strictly before the next send
+      // event (an arriving heartbeat wins ties, matching the live
+      // detector which observes before judging); once no sends remain
+      // the scan runs out to the horizon.
+      const sim::SimTime limit =
+          observed ? send
+                   : (have_send ? next_send : horizon + interval);
+      for (sim::SimTime t = scan_from; t < limit && t <= horizon;
+           t = t + interval) {
+        if (scratch.should_evict(0, t)) {
+          fence_at_[du] = t;
+          origin_[du] = silence_start != sim::SimTime::max()
+                            ? silence_start
+                            : last_obs + interval;
+          from_partition_[du] = silence_is_partition;
+          fenced = true;
+          break;
+        }
+        scan_from = t + interval;
+      }
+      if (fenced || !have_send) break;
+      if (observed) {
+        scratch.observe(0, send);
+        last_obs = send;
+        scan_from = last_obs + interval;
+        silence_start = sim::SimTime::max();  // silence broken; re-arm
+        silence_is_partition = false;
+      }
+      send = next_send;
+    }
+  }
 }
 
 void HeartbeatMonitor::set_metrics(obs::Registry* reg) {
@@ -107,22 +218,29 @@ std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
     const sim::SimTime lost = injector_->lost_at(d);
     // Heartbeats are a runtime service: an idle device still emits
     // them, and a straggling device emits them late (its send cadence
-    // stretches with the compute slowdown in effect).
+    // stretches with the compute slowdown in effect). A partitioned
+    // minority device still emits, but its heartbeats never reach the
+    // majority-side detector, so they are neither observed nor counted.
     while (next_send_[du] <= now) {
       if (next_send_[du] >= lost) {
         next_send_[du] = sim::SimTime::max();  // silent forever
         break;
       }
-      detector_.observe(d, next_send_[du]);
-      ++stats.heartbeats_observed;
-      if (m_heartbeats_ != nullptr) m_heartbeats_->inc();
+      if (!injector_->observer_blind(d, next_send_[du])) {
+        detector_.observe(d, next_send_[du]);
+        ++stats.heartbeats_observed;
+        if (m_heartbeats_ != nullptr) m_heartbeats_->inc();
+      }
       const double stretch =
           injector_->compute_slowdown(d, next_send_[du]);
       next_send_[du] =
           next_send_[du] + policy_.heartbeat_interval * stretch;
     }
     if (m_max_phi_ != nullptr) m_max_phi_->max_of(detector_.phi(d, now));
-    if (detector_.should_evict(d, now)) {
+    // The eviction decision is the precomputed fence crossing: same
+    // rule the live detector applies, but exact on the heartbeat grid
+    // regardless of when the executor happens to call advance().
+    if (fence_at_[du] <= now) {
       evictable.push_back(d);
     } else if (detector_.suspected(d, now)) {
       if (!suspicion_latched_[du]) {
@@ -139,15 +257,21 @@ std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
 
 bool HeartbeatMonitor::all_losses_evicted() const {
   if (!active_) return true;
-  for (const ResolvedCrash& l : injector_->losses()) {
-    if (!evicted_[static_cast<std::size_t>(l.device)]) return false;
+  for (std::size_t d = 0; d < fence_at_.size(); ++d) {
+    if (fence_at_[d] < sim::SimTime::max() && !evicted_[d]) return false;
   }
   return true;
 }
 
 sim::SimTime HeartbeatMonitor::first_loss_at() const {
-  if (!active_ || injector_->losses().empty()) return sim::SimTime::max();
-  return injector_->losses().front().at;
+  if (!active_) return sim::SimTime::max();
+  sim::SimTime first = sim::SimTime::max();
+  for (std::size_t d = 0; d < origin_.size(); ++d) {
+    if (fence_at_[d] < sim::SimTime::max() && origin_[d] < first) {
+      first = origin_[d];
+    }
+  }
+  return first;
 }
 
 }  // namespace sg::fault

@@ -81,17 +81,29 @@ class PhiAccrualDetector {
 /// timeline. Every device emits one heartbeat per `heartbeat_interval`
 /// of simulated time, stretched by any straggler slowdown in effect at
 /// the send time; a permanently lost device stops emitting at its loss
-/// time. The executor calls `advance(now)` at barriers (BSP) or from
-/// periodic monitor events (BASP); newly evictable devices are returned
-/// in device order so recovery is deterministic.
+/// time, and a device on the minority side of a network partition keeps
+/// emitting but is not *observed* by the (majority-side) detector while
+/// the partition holds. The executor calls `advance(now)` at barriers
+/// (BSP) or from periodic monitor events (BASP); newly evictable
+/// devices are returned in device order so recovery is deterministic.
+///
+/// Because the heartbeat timeline is a pure function of the plan, the
+/// monitor precomputes each device's *fence time*: the instant the
+/// eviction rule first fires given the plan's silences. A partition
+/// that heals before any fence time produces no eviction (suspicion
+/// rises, then the resumed heartbeats re-fit the window); one that
+/// outlasts it fences exactly the minority side. `fenced(d, t)` is the
+/// thread-safe oracle the comm layer uses to discard a fenced sender's
+/// in-flight traffic — this is what prevents split-brain.
 class HeartbeatMonitor {
  public:
   HeartbeatMonitor() = default;
   HeartbeatMonitor(const HealthPolicy& policy, const FaultInjector* injector,
                    int num_devices);
 
-  /// True when the plan contains at least one permanent loss (the
-  /// monitor is inert otherwise — no heartbeats are simulated).
+  /// True when the plan contains at least one permanent loss or network
+  /// partition (the monitor is inert otherwise — no heartbeats are
+  /// simulated).
   [[nodiscard]] bool active() const { return active_; }
 
   /// Registers the detector's counters/gauges (health.heartbeats,
@@ -109,8 +121,10 @@ class HeartbeatMonitor {
     evicted_[static_cast<std::size_t>(device)] = true;
   }
 
-  /// True once every planned loss has been evicted (BASP uses this to
-  /// stop re-scheduling monitor events so the event queue can drain).
+  /// True once every device with a finite fence time has been evicted
+  /// (BASP uses this to stop re-scheduling monitor events so the event
+  /// queue can drain). Devices whose partitions heal before detection
+  /// have no fence time and never block this.
   [[nodiscard]] bool all_losses_evicted() const;
 
   [[nodiscard]] sim::SimTime loss_time(int device) const {
@@ -118,14 +132,45 @@ class HeartbeatMonitor {
                                 : sim::SimTime::max();
   }
 
-  /// First planned loss time, or SimTime::max() when there is none.
+  /// Earliest silence origin (loss time or partition start) over devices
+  /// that will be fenced, or SimTime::max() when nothing ever is. BASP
+  /// starts its monitor cadence here.
   [[nodiscard]] sim::SimTime first_loss_at() const;
+
+  /// Time the eviction rule first fires for `device`, or SimTime::max()
+  /// if it never does (healthy device, or partition that heals in time).
+  [[nodiscard]] sim::SimTime fence_at(int device) const {
+    return active_ ? fence_at_[static_cast<std::size_t>(device)]
+                   : sim::SimTime::max();
+  }
+
+  /// Start of the silence that leads to `device`'s fencing: its loss
+  /// time, or the covering partition window's start. max() when the
+  /// device is never fenced. Eviction latency is measured from here.
+  [[nodiscard]] sim::SimTime fence_origin(int device) const {
+    return active_ ? origin_[static_cast<std::size_t>(device)]
+                   : sim::SimTime::max();
+  }
+
+  /// True when `device`'s fencing stems from a partition that outlasted
+  /// detection rather than a permanent loss.
+  [[nodiscard]] bool fence_from_partition(int device) const {
+    return active_ && from_partition_[static_cast<std::size_t>(device)];
+  }
+
+  /// True when `device` is (or will have been) fenced at time `t`.
+  /// Const and precomputed, so safe to call from parallel BSP phases.
+  [[nodiscard]] bool fenced(int device, sim::SimTime t) const {
+    return fence_at(device) <= t;
+  }
 
   [[nodiscard]] const PhiAccrualDetector& detector() const {
     return detector_;
   }
 
  private:
+  void precompute_fences(int num_devices);
+
   HealthPolicy policy_;
   const FaultInjector* injector_ = nullptr;
   PhiAccrualDetector detector_;
@@ -133,6 +178,9 @@ class HeartbeatMonitor {
   std::vector<sim::SimTime> next_send_;
   std::vector<bool> evicted_;
   std::vector<bool> suspicion_latched_;
+  std::vector<sim::SimTime> fence_at_;   ///< eviction-rule crossing time
+  std::vector<sim::SimTime> origin_;     ///< silence origin per device
+  std::vector<bool> from_partition_;     ///< fence cause
   // Cached metric handles (null when no registry is attached).
   obs::Counter* m_heartbeats_ = nullptr;
   obs::Counter* m_suspicions_ = nullptr;

@@ -44,6 +44,46 @@ void write_faults_json(JsonWriter& w, const fault::FaultStats& f) {
   w.kv("straggler_delay_s", f.straggler_delay.seconds());
   w.kv("detection_latency_s", f.detection_latency.seconds());
   w.kv("termination_clean", f.termination_clean);
+  // Wire-protocol / partition counters, emitted only when nonzero so a
+  // clean run's report stays byte-identical to pre-protocol baselines.
+  if (f.messages_corrupted != 0) {
+    w.kv("messages_corrupted", f.messages_corrupted);
+  }
+  if (f.corrupt_applied != 0) w.kv("corrupt_applied", f.corrupt_applied);
+  if (f.duplicates_injected != 0) {
+    w.kv("duplicates_injected", f.duplicates_injected);
+  }
+  if (f.duplicates_discarded != 0) {
+    w.kv("duplicates_discarded", f.duplicates_discarded);
+  }
+  if (f.reorders_injected != 0) {
+    w.kv("reorders_injected", f.reorders_injected);
+  }
+  if (f.reorder_buffered != 0) w.kv("reorder_buffered", f.reorder_buffered);
+  if (f.fence_rejects != 0) w.kv("fence_rejects", f.fence_rejects);
+  if (f.partition_deferred != 0) {
+    w.kv("partition_deferred", f.partition_deferred);
+  }
+  if (f.partition_evictions != 0) {
+    w.kv("partition_evictions", f.partition_evictions);
+  }
+  if (!f.pairs.empty()) {
+    w.key("pair_anomalies").begin_array();
+    for (const fault::PairAnomalies& p : f.pairs) {
+      if (p.total() == 0) continue;
+      w.begin_object();
+      w.kv("from", p.from);
+      w.kv("to", p.to);
+      if (p.dropped != 0) w.kv("dropped", p.dropped);
+      if (p.corrupted != 0) w.kv("corrupted", p.corrupted);
+      if (p.duplicated != 0) w.kv("duplicated", p.duplicated);
+      if (p.reordered != 0) w.kv("reordered", p.reordered);
+      if (p.deferred != 0) w.kv("deferred", p.deferred);
+      if (p.fenced != 0) w.kv("fenced", p.fenced);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 

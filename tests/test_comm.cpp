@@ -332,5 +332,112 @@ TEST_F(FieldSyncTest, UoAndAsConvergeToSameMasterValues) {
   EXPECT_LT(pa.bytes, pb.bytes);
 }
 
+// ---- wire protocol: checksums, sealing, deterministic corruption ------------
+
+Payload<std::uint32_t> sample_payload() {
+  Payload<std::uint32_t> p;
+  p.from = 0;
+  p.to = 1;
+  p.positions = {3, 7, 12};
+  p.values = {10, 20, 30};
+  return p;
+}
+
+TEST(Wire, ChecksumDetectsValueAndPositionChanges) {
+  auto p = sample_payload();
+  const std::uint64_t base = payload_checksum(p);
+  EXPECT_NE(base, 0u);
+  EXPECT_EQ(payload_checksum(p), base);  // pure function of the content
+
+  auto v = p;
+  v.values[1] ^= 1u;  // single-bit value flip
+  EXPECT_NE(payload_checksum(v), base);
+
+  auto q = p;
+  q.positions[0] = 4;  // position flip changes the hash too
+  EXPECT_NE(payload_checksum(q), base);
+
+  // Swapping two (position, value) pairs changes the byte order even
+  // though the multiset of entries is identical — FNV-1a is order
+  // sensitive, which is what pins the exchange-list layout.
+  auto s = p;
+  std::swap(s.values[0], s.values[2]);
+  std::swap(s.positions[0], s.positions[2]);
+  EXPECT_NE(payload_checksum(s), base);
+}
+
+TEST(Wire, VerifySkipsUnsealedAndElidedChecksums) {
+  auto p = sample_payload();
+  EXPECT_FALSE(p.header.sealed());
+  EXPECT_TRUE(verify_payload(p));  // protocol off: trivially fine
+
+  p.header.version = kWireVersion;
+  EXPECT_TRUE(p.header.sealed());
+  EXPECT_TRUE(verify_payload(p));  // sealed, checksum elided (0)
+
+  p.header.checksum = payload_checksum(p);
+  EXPECT_TRUE(verify_payload(p));
+  p.values[2] += 1;
+  EXPECT_FALSE(verify_payload(p));
+}
+
+TEST(Wire, CorruptPayloadIsDeterministicSingleBit) {
+  const auto pristine = sample_payload();
+  auto a = pristine;
+  auto b = pristine;
+  corrupt_payload(a, 0xdeadbeefULL);
+  corrupt_payload(b, 0xdeadbeefULL);
+  EXPECT_EQ(a.values, b.values);  // same hash -> same flip
+  EXPECT_EQ(a.positions, pristine.positions);  // values only
+
+  // Exactly one value differs from pristine, by exactly one bit.
+  int changed = 0;
+  std::uint32_t diff = 0;
+  for (std::size_t i = 0; i < pristine.values.size(); ++i) {
+    if (a.values[i] != pristine.values[i]) {
+      ++changed;
+      diff = a.values[i] ^ pristine.values[i];
+    }
+  }
+  EXPECT_EQ(changed, 1);
+  EXPECT_EQ(diff & (diff - 1), 0u);  // power of two: a single bit
+  EXPECT_NE(diff, 0u);
+
+  // A different hash picks a different flip (for this fixture).
+  auto c = pristine;
+  corrupt_payload(c, 0x1234567ULL);
+  EXPECT_NE(c.values, a.values);
+
+  // And the checksum catches the corruption.
+  auto sealed = pristine;
+  sealed.header.version = kWireVersion;
+  sealed.header.checksum = payload_checksum(sealed);
+  corrupt_payload(sealed, 0xdeadbeefULL);
+  EXPECT_FALSE(verify_payload(sealed));
+}
+
+TEST(Wire, CorruptPayloadNoOpOnEmpty) {
+  Payload<float> p;
+  p.header.version = kWireVersion;
+  corrupt_payload(p, 0xabcdefULL);  // must not touch empty values
+  EXPECT_TRUE(p.values.empty());
+  EXPECT_TRUE(verify_payload(p));
+}
+
+TEST(Wire, ChecksumChainsAcrossPositionsAndValues) {
+  // positions and values are hashed as one chained FNV-1a stream, and
+  // the chain is order sensitive — hashing "b" seeded with hash("a")
+  // equals hashing "ab" in one pass, and permuting bytes changes it.
+  Payload<std::uint8_t> a;
+  a.positions = {1};
+  a.values = {2, 3};
+  Payload<std::uint8_t> b;
+  b.positions = {1};
+  b.values = {3, 2};
+  EXPECT_NE(payload_checksum(a), payload_checksum(b));
+  EXPECT_NE(fnv1a("ab", 2), fnv1a("ba", 2));
+  EXPECT_EQ(fnv1a("ab", 2), fnv1a("b", 1, fnv1a("a", 1)));
+}
+
 }  // namespace
 }  // namespace sg::comm

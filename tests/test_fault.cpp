@@ -3,6 +3,7 @@
 // fault plans, and crash/drop/straggler recovery integration on bfs.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include "algo/reference.hpp"
 #include "algo/sssp.hpp"
 #include "engine/termination.hpp"
+#include "fault/chaos.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_injector.hpp"
@@ -961,6 +963,317 @@ TEST(CheckpointGate, BaspTakesCheckpointsAtQuiescencePoints) {
   const auto r = fx.run(c);
   EXPECT_GT(r.stats.faults.checkpoints_taken, 0u);
   EXPECT_EQ(r.dist, algo::reference::bfs(fx.g, fx.src));
+}
+
+// ---- network partitions (epoch-fenced sync protocol) -------------------
+
+TEST(NetPartition, HealedPartitionDeliversHeldTrafficBitExact) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  // Sever host 1 from host 0 for a fifth of the run, starting mid-run.
+  // The grace window is stretched so the detector can never evict:
+  // cross-partition traffic is held at the edge and delivered at heal,
+  // and the run must finish bit-identical to the fault-free one.
+  fault::FaultPlan plan;
+  plan.partition_hosts(0b10, ff.stats.total_time * 0.3,
+                       ff.stats.total_time * 0.2);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  faulty.health.evict_grace_intervals = 100000;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.dist, algo::reference::bfs(fx.g, fx.src));
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 0u);
+  EXPECT_EQ(fr.stats.faults.partition_evictions, 0u);
+  EXPECT_EQ(fr.stats.faults.fence_rejects, 0u);
+  EXPECT_GT(fr.stats.faults.partition_deferred, 0u);
+  EXPECT_GT(fr.stats.total_time, ff.stats.total_time);
+
+  // Same plan => byte-identical rerun.
+  const auto fr2 = fx.run(faulty);
+  EXPECT_EQ(fr2.dist, fr.dist);
+  EXPECT_EQ(fr2.stats.total_time, fr.stats.total_time);
+  EXPECT_EQ(fr2.stats.faults.partition_deferred,
+            fr.stats.faults.partition_deferred);
+}
+
+TEST(NetPartition, HealedPartitionBaspCleanTerminationBitExact) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kAsync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.partition_hosts(0b10, ff.stats.total_time * 0.3,
+                       ff.stats.total_time * 0.2);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  faulty.health.evict_grace_intervals = 100000;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 0u);
+  EXPECT_GT(fr.stats.faults.partition_deferred, 0u);
+  EXPECT_TRUE(fr.stats.faults.termination_clean);
+}
+
+TEST(NetPartition, OutlastingPartitionEvictsMinoritySideOnly) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  // A partition that far outlasts φ-accrual detection: host 1 (devices
+  // 2, 3 — the minority of mask 0b10, tie broken toward side A) is
+  // fenced and evicted; host 0 re-homes its masters and completes
+  // bit-exact. No split-brain: nothing from the fenced side lands.
+  fault::FaultPlan plan;
+  plan.partition_hosts(0b10, ff.stats.total_time * 0.3, sim::SimTime{1.0});
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.dist, algo::reference::bfs(fx.g, fx.src));
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 2u);
+  EXPECT_EQ(fr.stats.faults.partition_evictions, 2u);
+  EXPECT_FALSE(fr.stats.device_evicted(0));
+  EXPECT_FALSE(fr.stats.device_evicted(1));
+  EXPECT_TRUE(fr.stats.device_evicted(2));
+  EXPECT_TRUE(fr.stats.device_evicted(3));
+  EXPECT_GT(fr.stats.faults.rehomed_masters, 0u);
+  EXPECT_GT(fr.stats.faults.detection_latency, sim::SimTime::zero());
+
+  // Deterministic across reruns.
+  const auto fr2 = fx.run(faulty);
+  EXPECT_EQ(fr2.dist, fr.dist);
+  EXPECT_EQ(fr2.stats.total_time, fr.stats.total_time);
+}
+
+TEST(NetPartition, OutlastingPartitionBaspEvictsAndTerminatesCleanly) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kAsync);
+  const auto ff = fx.run(base);
+
+  fault::FaultPlan plan;
+  plan.partition_hosts(0b10, ff.stats.total_time * 0.3, sim::SimTime{1.0});
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 2u);
+  EXPECT_EQ(fr.stats.faults.partition_evictions, 2u);
+  EXPECT_FALSE(fr.stats.device_evicted(0));
+  EXPECT_TRUE(fr.stats.device_evicted(2));
+  EXPECT_TRUE(fr.stats.device_evicted(3));
+  EXPECT_TRUE(fr.stats.faults.termination_clean);
+}
+
+// ---- FaultPlan::validate -----------------------------------------------
+
+TEST(FaultPlanValidate, WellFormedPlanPassesAndEngineRunsIt) {
+  fault::FaultPlan plan;
+  plan.crash_device(1, sim::SimTime{0.001});
+  plan.drop_messages(0.2, sim::SimTime::zero());
+  plan.partition_hosts(0b01, sim::SimTime{0.002}, sim::SimTime{0.0005});
+  EXPECT_EQ(plan.validate(4, 2), "");
+  EXPECT_NO_THROW(plan.validate_or_throw(4, 2));
+}
+
+TEST(FaultPlanValidate, RejectsTargetsOutsideTheCluster) {
+  fault::FaultPlan plan;
+  plan.crash_device(7, sim::SimTime::zero());
+  const std::string err = plan.validate(4, 2);
+  EXPECT_NE(err.find("FaultPlan event 0 (device-crash at t="), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("device 7 does not exist (cluster has 4 devices)"),
+            std::string::npos)
+      << err;
+
+  fault::FaultPlan hplan;
+  hplan.crash_host(5, sim::SimTime::zero());
+  EXPECT_NE(hplan.validate(4, 2).find(
+                "host 5 does not exist (cluster has 2 hosts)"),
+            std::string::npos);
+}
+
+TEST(FaultPlanValidate, RejectsInvertedWindowsAndBadSeverities) {
+  fault::FaultPlan inverted;
+  inverted.drop_messages(0.5, sim::SimTime{0.001}, sim::SimTime{-0.001});
+  EXPECT_NE(inverted.validate(4, 2).find("inverted window"),
+            std::string::npos);
+
+  fault::FaultPlan prob;
+  prob.corrupt_messages(1.5, sim::SimTime::zero());
+  EXPECT_NE(prob.validate(4, 2).find("must be in [0, 1]"),
+            std::string::npos);
+
+  fault::FaultPlan slow;
+  slow.straggle(0, sim::SimTime::zero(), sim::SimTime::zero(), 0.5);
+  EXPECT_NE(slow.validate(4, 2).find("must be >= 1"), std::string::npos);
+}
+
+TEST(FaultPlanValidate, RejectsMalformedPartitions) {
+  fault::FaultPlan open_ended;
+  open_ended.partition_hosts(0b01, sim::SimTime::zero(),
+                             sim::SimTime::zero());
+  EXPECT_NE(open_ended.validate(4, 2).find("positive heal window"),
+            std::string::npos);
+
+  fault::FaultPlan whole;
+  whole.partition_hosts(0b11, sim::SimTime::zero(), sim::SimTime{0.001});
+  EXPECT_NE(whole.validate(4, 2).find(
+                "must split the hosts into two non-empty sides"),
+            std::string::npos);
+
+  fault::FaultPlan beyond;
+  beyond.partition_hosts(0b100, sim::SimTime::zero(), sim::SimTime{0.001});
+  EXPECT_NE(beyond.validate(4, 2).find("names hosts beyond the cluster's"),
+            std::string::npos);
+}
+
+TEST(FaultPlanValidate, RejectsEventsContradictingAPermanentLoss) {
+  fault::FaultPlan plan;
+  plan.lose_device(1, sim::SimTime{0.001});
+  plan.straggle(1, sim::SimTime{0.002}, sim::SimTime::zero(), 2.0);
+  const std::string err = plan.validate(4, 2);
+  EXPECT_NE(err.find("permanently lost at t="), std::string::npos) << err;
+  EXPECT_NE(err.find("cannot be targeted at or after that"),
+            std::string::npos)
+      << err;
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingIdenticalWindows) {
+  fault::FaultPlan plan;
+  plan.drop_messages(0.3, sim::SimTime::zero(), sim::SimTime{0.002});
+  plan.drop_messages(0.3, sim::SimTime{0.001}, sim::SimTime{0.002});
+  EXPECT_NE(plan.validate(4, 2).find("overlaps an identical window"),
+            std::string::npos);
+  EXPECT_THROW(plan.validate_or_throw(4, 2), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, EngineRejectsABadPlanAtStart) {
+  BfsFixture fx;
+  fault::FaultPlan plan;
+  plan.crash_device(99, sim::SimTime::zero());
+  auto faulty = cfg(engine::ExecModel::kSync);
+  faulty.fault_plan = &plan;
+  EXPECT_THROW(fx.run(faulty), std::invalid_argument);
+}
+
+// ---- chaos plan generation / JSON / shrinking --------------------------
+
+TEST(Chaos, RandomPlansAreValidAcrossSeedsAndDeterministic) {
+  fault::ChaosSpec spec;  // 4 devices, 2 hosts
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const fault::FaultPlan plan = fault::random_plan(seed, spec);
+    EXPECT_EQ(plan.seed, seed);
+    EXPECT_EQ(plan.validate(spec.num_devices, spec.num_hosts), "");
+    EXPECT_GE(static_cast<int>(plan.events.size()), spec.min_events);
+    EXPECT_LE(static_cast<int>(plan.events.size()), spec.max_events);
+    const fault::FaultPlan again = fault::random_plan(seed, spec);
+    ASSERT_EQ(again.events.size(), plan.events.size());
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      EXPECT_EQ(again.events[i].kind, plan.events[i].kind);
+      EXPECT_EQ(again.events[i].at, plan.events[i].at);
+      EXPECT_EQ(again.events[i].severity, plan.events[i].severity);
+    }
+  }
+}
+
+TEST(Chaos, GeneratedPartitionsAlwaysKeepHost0OnTheMajoritySide) {
+  // The generator guarantees survivors exist for re-homing even when
+  // several partition windows outlast detection: host 0 is never on a
+  // minority side (fewer hosts; tie toward side A).
+  fault::ChaosSpec spec;
+  spec.num_devices = 8;
+  spec.num_hosts = 4;
+  spec.max_events = 8;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const fault::FaultPlan plan = fault::random_plan(seed, spec);
+    for (const fault::FaultEvent& e : plan.events) {
+      if (e.kind != fault::FaultKind::kNetPartition) continue;
+      const std::uint64_t all = (1ULL << spec.num_hosts) - 1;
+      const int pa = std::popcount(e.host_mask);
+      const std::uint64_t minority = pa <= spec.num_hosts - pa
+                                         ? e.host_mask
+                                         : (~e.host_mask & all);
+      EXPECT_EQ(minority & 1ULL, 0u)
+          << "seed " << seed << " mask " << e.host_mask;
+    }
+  }
+}
+
+TEST(Chaos, PlanJsonRoundTripIsExact) {
+  fault::ChaosSpec spec;
+  spec.allow_loss = true;
+  spec.max_events = 8;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const fault::FaultPlan plan = fault::random_plan(seed, spec);
+    const fault::FaultPlan back = fault::parse_plan(fault::plan_to_json(plan));
+    EXPECT_EQ(back.seed, plan.seed);
+    ASSERT_EQ(back.events.size(), plan.events.size());
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      const fault::FaultEvent& a = plan.events[i];
+      const fault::FaultEvent& b = back.events[i];
+      EXPECT_EQ(b.kind, a.kind);
+      EXPECT_EQ(b.at, a.at);  // shortest-round-trip doubles are exact
+      EXPECT_EQ(b.duration, a.duration);
+      EXPECT_EQ(b.device, a.device);
+      EXPECT_EQ(b.host, a.host);
+      EXPECT_EQ(b.peer_host, a.peer_host);
+      EXPECT_EQ(b.severity, a.severity);
+      EXPECT_EQ(b.host_mask, a.host_mask);
+    }
+  }
+}
+
+TEST(Chaos, ParseRejectsMalformedPlansDescriptively) {
+  EXPECT_THROW((void)fault::parse_plan("[]"), std::runtime_error);
+  EXPECT_THROW((void)fault::parse_plan("{\"events\":[]}"),
+               std::runtime_error);  // missing seed
+  EXPECT_THROW((void)fault::parse_plan("{\"seed\":1}"),
+               std::runtime_error);  // missing events
+  try {
+    (void)fault::parse_plan(
+        "{\"seed\":1,\"events\":[{\"kind\":\"gremlin\",\"at_s\":0}]}");
+    FAIL() << "unknown kind must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown kind \"gremlin\""),
+              std::string::npos);
+  }
+}
+
+TEST(Chaos, ShrinkDropsIrrelevantEventsAndNarrowsWindows) {
+  // Plan with one "culprit" (the corrupt window) buried among noise;
+  // the predicate fails iff a corrupt event is present. Shrinking must
+  // drop everything else and halve the culprit's window to the floor.
+  fault::FaultPlan plan;
+  plan.drop_messages(0.1, sim::SimTime::zero(), sim::SimTime{0.001});
+  plan.straggle(1, sim::SimTime{0.0002}, sim::SimTime{0.0004}, 2.0);
+  plan.corrupt_messages(0.3, sim::SimTime{0.0001}, sim::SimTime{0.0008});
+  plan.duplicate_messages(0.2, sim::SimTime{0.0003}, sim::SimTime{0.0002});
+  plan.reorder_messages(0.2, sim::SimTime{0.0004}, sim::SimTime{0.0002});
+
+  fault::ShrinkStats st;
+  const fault::FaultPlan min = fault::shrink_plan(
+      plan,
+      [](const fault::FaultPlan& cand) {
+        for (const fault::FaultEvent& e : cand.events) {
+          if (e.kind == fault::FaultKind::kMsgCorrupt) return true;
+        }
+        return false;
+      },
+      &st);
+
+  ASSERT_EQ(min.events.size(), 1u);
+  EXPECT_EQ(min.events[0].kind, fault::FaultKind::kMsgCorrupt);
+  EXPECT_LE(min.events[0].duration, sim::SimTime::micros(1.0));
+  EXPECT_EQ(st.removed_events, 4);
+  EXPECT_GT(st.narrowed_windows, 0);
+  EXPECT_GT(st.probes, st.removed_events);
 }
 
 TEST(FaultRecovery, StragglerPlanIsDeterministicAcrossReruns) {

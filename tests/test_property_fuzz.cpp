@@ -17,8 +17,12 @@
 
 #include "algo/bfs.hpp"
 #include "algo/cc.hpp"
+#include "algo/pagerank.hpp"
 #include "algo/reference.hpp"
+#include "fault/chaos.hpp"
 #include "fault/checkpoint.hpp"
+#include "fault/fault.hpp"
+#include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/validation.hpp"
 #include "helpers.hpp"
@@ -346,6 +350,151 @@ TEST_P(CorruptionFuzz, CorruptLengthFieldIsRejectedWithoutAllocating) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz,
                          testing::Range<std::uint64_t>(1, 13));
+
+// ---- wire-protocol anomaly fuzzing --------------------------------------
+//
+// The versioned wire protocol (src/comm/wire.hpp) must mask every
+// transport-level anomaly: corrupted frames fail their FNV-1a checksum
+// and are NACKed and resent, duplicates are discarded by the
+// per-(src,dst,field) sequence numbers, reordered frames are buffered
+// back into delivery order, and dropped frames are recovered by
+// NACK-driven retry. Property: under a seeded random schedule mixing
+// all four anomalies, the idempotent traversals (bfs, cc) finish
+// bit-identical to the fault-free run on both execution models with
+// nothing evicted.
+
+class WireFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+const graph::Csr& wire_graph() {
+  static const graph::Csr g = [] {
+    graph::SyntheticSpec s;
+    s.vertices = 400;
+    s.edges = 3200;
+    s.zipf_out = 0.6;
+    s.zipf_in = 0.7;
+    s.hub_in_frac = 0.05;
+    s.communities = 2;
+    s.seed = 11;
+    return graph::synthetic(s);
+  }();
+  return g;
+}
+
+/// Random schedule of drop/corrupt/duplicate/reorder windows scattered
+/// across `horizon` (the fault-free run length), with the structural
+/// fault kinds switched off — this suite isolates the wire layer.
+fault::FaultPlan wire_anomaly_plan(std::uint64_t seed, int devices,
+                                   sim::SimTime horizon) {
+  fault::ChaosSpec spec;
+  spec.num_devices = devices;
+  spec.num_hosts = devices / 2;  // test::topo pairs two devices per host
+  spec.horizon = horizon;
+  spec.min_events = 1;
+  spec.max_events = 6;
+  spec.allow_partition = false;
+  spec.allow_straggler = false;
+  spec.allow_loss = false;
+  return fault::random_plan(seed, spec);
+}
+
+TEST_P(WireFuzz, BfsAndCcBitExactUnderRandomWireAnomalies) {
+  sim::Rng rng{GetParam() * 7919 + 13};
+  const int devices = 4 + 2 * static_cast<int>(rng.bounded(3));  // 4, 6, 8
+  const auto policies = test::all_policies();
+  const auto policy = policies[rng.bounded(policies.size())];
+  const auto model = rng.chance(0.5) ? engine::ExecModel::kSync
+                                     : engine::ExecModel::kAsync;
+
+  const auto& g = wire_graph();
+  test::PreparedGraph prep(g, policy, devices);
+  const auto t = test::topo(devices);
+  const auto p = test::params();
+  const auto src = graph::datasets::default_source(g);
+  const auto base = test::cfg(model);
+  const auto ff_bfs = algo::run_bfs(prep.dist, prep.sync, t, p, base, src);
+  const auto ff_cc = algo::run_cc(prep.dist, prep.sync, t, p, base);
+
+  const auto plan =
+      wire_anomaly_plan(GetParam(), devices, ff_bfs.stats.total_time);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+
+  const auto fr_bfs = algo::run_bfs(prep.dist, prep.sync, t, p, faulty, src);
+  EXPECT_EQ(fr_bfs.dist, ff_bfs.dist)
+      << partition::to_string(policy) << " d=" << devices
+      << " model=" << static_cast<int>(model) << " seed=" << GetParam();
+  EXPECT_EQ(fr_bfs.dist, algo::reference::bfs(g, src));
+  EXPECT_EQ(fr_bfs.stats.faults.evicted_devices, 0u);
+
+  const auto fr_cc = algo::run_cc(prep.dist, prep.sync, t, p, faulty);
+  EXPECT_EQ(fr_cc.label, ff_cc.label)
+      << partition::to_string(policy) << " d=" << devices
+      << " seed=" << GetParam();
+  EXPECT_EQ(fr_cc.label, algo::reference::cc(g));
+  EXPECT_EQ(fr_cc.stats.faults.evicted_devices, 0u);
+}
+
+TEST_P(WireFuzz, FaultyRunsReplayByteIdenticalAcrossReruns) {
+  // Determinism of the perturbed schedule itself: the same plan yields
+  // the same labels, the same simulated finish time, and the same
+  // anomaly counters on a rerun — this is what makes a sg_chaos
+  // reproducer replayable.
+  sim::Rng rng{GetParam() * 104729 + 7};
+  const auto& g = wire_graph();
+  const int devices = 4 + 2 * static_cast<int>(rng.bounded(3));
+  test::PreparedGraph prep(g, partition::Policy::OEC, devices);
+  const auto t = test::topo(devices);
+  const auto p = test::params();
+  const auto src = graph::datasets::default_source(g);
+  const auto base = test::cfg(rng.chance(0.5) ? engine::ExecModel::kSync
+                                              : engine::ExecModel::kAsync);
+  const auto ff = algo::run_bfs(prep.dist, prep.sync, t, p, base, src);
+
+  const auto plan =
+      wire_anomaly_plan(GetParam() + 500, devices, ff.stats.total_time);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto a = algo::run_bfs(prep.dist, prep.sync, t, p, faulty, src);
+  const auto b = algo::run_bfs(prep.dist, prep.sync, t, p, faulty, src);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.stats.total_time, b.stats.total_time);
+  EXPECT_EQ(a.stats.faults.messages_corrupted,
+            b.stats.faults.messages_corrupted);
+  EXPECT_EQ(a.stats.faults.duplicates_injected,
+            b.stats.faults.duplicates_injected);
+  EXPECT_EQ(a.stats.faults.reorders_injected,
+            b.stats.faults.reorders_injected);
+  EXPECT_EQ(a.stats.faults.messages_dropped, b.stats.faults.messages_dropped);
+}
+
+TEST_P(WireFuzz, PagerankBspBitExactUnderDuplicateStorm) {
+  // Duplicates are the anomaly a non-idempotent accumulator cannot
+  // tolerate without the wire protocol: a replayed AddOp frame would
+  // double-count residual mass. Sequence-number dedupe must make a
+  // whole-run duplicate storm invisible — bit-identical ranks.
+  sim::Rng rng{GetParam() * 31 + 5};
+  const auto& g = wire_graph();
+  test::PreparedGraph prep(g, partition::Policy::OEC, 4);
+  const auto t = test::topo(4);
+  const auto p = test::params();
+  const auto base = test::cfg(engine::ExecModel::kSync);
+  const auto ff = algo::run_pagerank(prep.dist, prep.sync, t, p, base);
+
+  fault::FaultPlan plan;
+  plan.duplicate_messages(0.1 + 0.3 * rng.uniform(), sim::SimTime::zero(),
+                          ff.stats.total_time);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = algo::run_pagerank(prep.dist, prep.sync, t, p, faulty);
+
+  EXPECT_EQ(fr.rank, ff.rank);  // bit-identical floats
+  EXPECT_GT(fr.stats.faults.duplicates_injected, 0u);
+  EXPECT_GT(fr.stats.faults.duplicates_discarded, 0u);
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
+                         testing::Range<std::uint64_t>(1, 65));
 
 // Validation negative cases (hand-built malformed CSRs).
 TEST(Validation, DetectsMalformedStructures) {

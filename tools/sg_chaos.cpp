@@ -1,0 +1,595 @@
+// sg_chaos: chaos soak harness for the Byzantine-network tolerance
+// stack. Generates seeded random fault plans (message drops, payload
+// corruption, duplication, reordering, stragglers, network partitions)
+// over a scenario matrix (benchmark x partition policy x BSP/BASP x
+// device count), runs each against a fault-free oracle of the same
+// scenario, and on any divergence greedily shrinks the plan to a
+// minimal reproducer serialized as replayable JSON.
+//
+// Usage:
+//   sg_chaos [--smoke] [--chaos-seed N] [--seeds N] [--no-shrink]
+//            [--inject-defect] [--keep-going] [--out-dir DIR]
+//   sg_chaos --replay FILE
+//
+//   --smoke          reduced scenario matrix, one plan per scenario
+//   --chaos-seed N   base seed for plan generation (default 1)
+//   --seeds N        plans per scenario (default 1 smoke, 2 full)
+//   --chaos-shrink / --no-shrink
+//                    shrink failing plans to minimal reproducers
+//                    (default on)
+//   --inject-defect  disable the wire protocol (EngineConfig::
+//                    wire_protocol=false): anomalies hit the reducers
+//                    unprotected, so the soak MUST fail and emit a
+//                    shrunk reproducer — the harness's self-test
+//   --keep-going     do not stop at the first failing scenario
+//   --out-dir DIR    where reproducer JSON files are written (default .)
+//   --replay FILE    re-run a reproducer written by a previous soak
+//
+// Exit codes: 0 = all scenarios matched their oracle (or a replay did
+// not reproduce), 1 = at least one failure (reproducer written) or a
+// replay reproduced its failure, 2 = usage or harness error.
+//
+// Oracle contract: bfs/cc/sssp/kcore results must be bit-identical to
+// the fault-free run, including through partition-triggered evictions
+// (idempotent programs recover exactly). Pagerank ranks are compared
+// within a documented relative tolerance (anomaly-shifted arrival
+// times permute float reductions); after an eviction the re-homed
+// accumulator converges to a validly different fixed point, so evicted
+// pagerank runs are held to invariants instead (finite, above the
+// teleport base, total mass in the oracle's ballpark). BASP runs must
+// additionally report clean Safra termination.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "fault/chaos.hpp"
+#include "fault/fault.hpp"
+#include "fw/benchmark.hpp"
+#include "fw/dirgl.hpp"
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "partition/policy.hpp"
+#include "sim/cost_params.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace sg;
+
+/// Relative tolerance for pagerank rank comparison (with a floor of
+/// 1.0 on the scale, since ranks start at 1-alpha and are unnormalised
+/// so hubs grow large): both runs converge to within pr_tolerance of
+/// the fixed point, but fault-shifted arrival orders permute float
+/// additions, so the two converged states may differ by a multiple of
+/// the residual bound.
+constexpr double kRankTolerance = 1e-3;
+
+/// Once a device was evicted the elementwise comparison no longer
+/// applies: a partition that outlasts detection rolls back to a
+/// checkpoint and re-homes masters onto the survivors, and the
+/// re-converged accumulator state is a validly different fixed point
+/// (exact recovery is guaranteed — and soaked here — only for the
+/// idempotent benchmarks). Evicted pagerank runs are instead held to
+/// invariants: every rank finite and at least the teleport base
+/// (1 - alpha), and total rank mass within this slack of the oracle's.
+constexpr double kEvictedMassSlack = 0.25;
+
+/// Per-vertex rank floor for evicted runs: the teleport term
+/// (1 - pr_alpha) every vertex earns unconditionally, minus float fuzz.
+constexpr double kRankFloor = 0.15 - 1e-3;
+
+/// Per-device memory scale for the soak topologies. Generous (the
+/// bench default) so that eviction-triggered re-homing always finds a
+/// survivor with room for the orphaned masters, even when a plan
+/// partitions away a whole host.
+constexpr double kMemScale = 400.0;
+
+struct Scenario {
+  fw::Benchmark bench = fw::Benchmark::kBfs;
+  partition::Policy policy = partition::Policy::OEC;
+  engine::ExecModel model = engine::ExecModel::kSync;
+  int devices = 4;
+};
+
+std::string label_of(const Scenario& s) {
+  return std::string(fw::to_string(s.bench)) + "/" +
+         partition::to_string(s.policy) + "/" +
+         engine::to_string(s.model) + "/" + std::to_string(s.devices);
+}
+
+struct Options {
+  bool smoke = false;
+  std::uint64_t seed = 1;
+  int seeds_per_scenario = -1;  // -1: 1 for smoke, 2 for full
+  bool shrink = true;
+  bool inject_defect = false;
+  bool keep_going = false;
+  std::string out_dir = ".";
+  std::string replay;
+};
+
+const graph::Csr& chaos_graph() {
+  static const graph::Csr g = [] {
+    graph::SyntheticSpec s;
+    s.vertices = 600;
+    s.edges = 5000;
+    s.zipf_out = 0.7;
+    s.zipf_in = 0.8;
+    s.hub_in_frac = 0.05;
+    s.communities = 3;
+    s.seed = 7;
+    return graph::synthetic(s);
+  }();
+  return g;
+}
+
+const fw::Prepared& prepared_for(partition::Policy policy, int devices) {
+  static std::map<std::string, fw::Prepared> cache;
+  const std::string key =
+      std::string(partition::to_string(policy)) + "/" +
+      std::to_string(devices);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, fw::prepare(chaos_graph(), policy, devices))
+             .first;
+  }
+  return it->second;
+}
+
+fw::BenchmarkRun run_scenario(const Scenario& s,
+                              const fault::FaultPlan* plan,
+                              bool wire_protocol) {
+  const fw::Prepared& prep = prepared_for(s.policy, s.devices);
+  const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+  const sim::CostParams params = sim::CostParams::for_scaled_datasets();
+  engine::EngineConfig cfg = engine::make_variant(
+      s.model == engine::ExecModel::kSync ? engine::Variant::kVar3
+                                          : engine::Variant::kVar4);
+  cfg.wire_protocol = wire_protocol;
+  cfg.fault_plan = plan;
+  // Accumulator programs need checkpoints for exact recovery should a
+  // partition outlast detection and evict its minority side.
+  if (s.bench == fw::Benchmark::kPagerank) {
+    cfg.checkpoint.interval_rounds = 1;
+  }
+  return fw::DIrGL::run(s.bench, prep, topo, params, cfg);
+}
+
+struct Outcome {
+  std::string kind;  ///< empty = scenario matched its oracle
+  std::string detail;
+  [[nodiscard]] bool failed() const { return !kind.empty(); }
+};
+
+template <typename T>
+Outcome compare_exact(const std::vector<T>& oracle,
+                      const std::vector<T>& got, const char* what) {
+  if (oracle.size() != got.size()) {
+    return {"labels-mismatch",
+            std::string(what) + " size " + std::to_string(got.size()) +
+                " vs oracle " + std::to_string(oracle.size())};
+  }
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    if (got[i] != oracle[i]) {
+      return {"labels-mismatch",
+              std::string(what) + "[" + std::to_string(i) + "] = " +
+                  std::to_string(got[i]) + " vs oracle " +
+                  std::to_string(oracle[i])};
+    }
+  }
+  return {};
+}
+
+Outcome check(const Scenario& s, const fw::BenchmarkRun& oracle,
+              const fw::BenchmarkRun& r) {
+  if (!r.ok) return {"run-error", r.error};
+  if (!r.stats.faults.termination_clean) {
+    return {"termination-unclean",
+            "Safra audit found in-flight messages at termination"};
+  }
+  switch (s.bench) {
+    case fw::Benchmark::kBfs:
+      return compare_exact(oracle.dist32, r.dist32, "dist");
+    case fw::Benchmark::kCc:
+      return compare_exact(oracle.labels, r.labels, "label");
+    case fw::Benchmark::kSssp:
+      return compare_exact(oracle.dist64, r.dist64, "dist");
+    case fw::Benchmark::kKcore:
+      return compare_exact(oracle.in_core, r.in_core, "in_core");
+    case fw::Benchmark::kPagerank: {
+      if (oracle.ranks.size() != r.ranks.size()) {
+        return {"labels-mismatch",
+                "rank size " + std::to_string(r.ranks.size()) +
+                    " vs oracle " + std::to_string(oracle.ranks.size())};
+      }
+      const bool evicted = r.stats.faults.evicted_devices > 0;
+      double mass = 0.0;
+      double oracle_mass = 0.0;
+      for (std::size_t i = 0; i < r.ranks.size(); ++i) {
+        if (!std::isfinite(r.ranks[i])) {
+          return {"non-finite-rank",
+                  "rank[" + std::to_string(i) + "] = " +
+                      std::to_string(r.ranks[i])};
+        }
+        mass += r.ranks[i];
+        oracle_mass += oracle.ranks[i];
+        if (evicted) {
+          if (r.ranks[i] < kRankFloor) {
+            return {"rank-below-base",
+                    "rank[" + std::to_string(i) + "] = " +
+                        std::to_string(r.ranks[i]) +
+                        " below teleport base after eviction"};
+          }
+          continue;
+        }
+        const double diff =
+            std::abs(static_cast<double>(r.ranks[i]) - oracle.ranks[i]);
+        const double scale =
+            std::max(1.0, std::abs(static_cast<double>(oracle.ranks[i])));
+        if (diff > kRankTolerance * scale) {
+          return {"tolerance-exceeded",
+                  "rank[" + std::to_string(i) + "] = " +
+                      std::to_string(r.ranks[i]) + " vs oracle " +
+                      std::to_string(oracle.ranks[i]) + " (diff " +
+                      std::to_string(diff) + " > " +
+                      std::to_string(kRankTolerance * scale) + ")"};
+        }
+      }
+      if (evicted &&
+          std::abs(mass - oracle_mass) > kEvictedMassSlack * oracle_mass) {
+        return {"rank-mass-drift",
+                "total rank " + std::to_string(mass) + " vs oracle " +
+                    std::to_string(oracle_mass) +
+                    " after eviction (slack " +
+                    std::to_string(kEvictedMassSlack) + ")"};
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == '/' || c == ' ') c = '-';
+  }
+  return s;
+}
+
+void write_reproducer(const std::filesystem::path& path, const Scenario& s,
+                      bool wire_protocol, const fault::FaultPlan& plan,
+                      const Outcome& o, const fault::ShrinkStats* shrink) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("sg_chaos_schema", 1);
+  w.key("scenario").begin_object();
+  w.kv("benchmark", fw::to_string(s.bench));
+  w.kv("policy", partition::to_string(s.policy));
+  w.kv("exec_model", engine::to_string(s.model));
+  w.kv("devices", s.devices);
+  w.kv("wire_protocol", wire_protocol);
+  w.end_object();
+  w.kv("failure", o.kind);
+  w.kv("detail", o.detail);
+  w.key("plan");
+  fault::write_plan_json(w, plan);
+  if (shrink != nullptr) {
+    w.key("shrink").begin_object();
+    w.kv("probes", shrink->probes);
+    w.kv("removed_events", shrink->removed_events);
+    w.kv("narrowed_windows", shrink->narrowed_windows);
+    w.end_object();
+  }
+  w.end_object();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const std::string doc = w.take();
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.put('\n');
+}
+
+std::vector<Scenario> scenario_matrix(bool smoke) {
+  using partition::Policy;
+  const std::vector<fw::Benchmark> benches = {
+      fw::Benchmark::kBfs, fw::Benchmark::kCc, fw::Benchmark::kPagerank};
+  const std::vector<Policy> policies =
+      smoke ? std::vector<Policy>{Policy::OEC, Policy::CVC}
+            : std::vector<Policy>{Policy::OEC, Policy::IEC, Policy::HVC,
+                                  Policy::CVC};
+  const std::vector<int> devices =
+      smoke ? std::vector<int>{4} : std::vector<int>{4, 8};
+  std::vector<Scenario> out;
+  for (const auto b : benches) {
+    for (const auto p : policies) {
+      for (const auto m :
+           {engine::ExecModel::kSync, engine::ExecModel::kAsync}) {
+        for (const int d : devices) {
+          out.push_back({b, p, m, d});
+        }
+      }
+    }
+  }
+  if (smoke) {
+    // One 8-device pair so the smoke matrix still varies device count.
+    out.push_back({fw::Benchmark::kBfs, Policy::OEC,
+                   engine::ExecModel::kSync, 8});
+    out.push_back({fw::Benchmark::kBfs, Policy::OEC,
+                   engine::ExecModel::kAsync, 8});
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--smoke] [--chaos-seed N] [--seeds N] [--chaos-shrink]"
+      " [--no-shrink]\n"
+      "          [--inject-defect] [--keep-going] [--out-dir DIR]\n"
+      "       %s --replay FILE\n",
+      argv0, argv0);
+  return 2;
+}
+
+int do_replay(const Options& opt) {
+  std::ifstream in(opt.replay, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "sg_chaos: cannot open %s\n", opt.replay.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sg_chaos: %s: %s\n", opt.replay.c_str(), e.what());
+    return 2;
+  }
+  const obs::JsonValue* schema = doc.find("sg_chaos_schema");
+  if (schema == nullptr || static_cast<int>(schema->num_or(0)) != 1) {
+    std::fprintf(stderr,
+                 "sg_chaos: %s is not an sg_chaos reproducer (schema 1)\n",
+                 opt.replay.c_str());
+    return 2;
+  }
+  Scenario s;
+  bool wire = true;
+  fault::FaultPlan plan;
+  std::string recorded_failure;
+  try {
+    const obs::JsonValue* sc = doc.find("scenario");
+    if (sc == nullptr || !sc->is_object()) {
+      throw std::runtime_error("missing scenario object");
+    }
+    s.bench = fw::benchmark_from_string(
+        sc->find("benchmark")->str_or("bfs"));
+    s.policy = partition::policy_from_string(
+        sc->find("policy")->str_or("OEC"));
+    const std::string model = sc->find("exec_model")->str_or("Sync");
+    if (model != "Sync" && model != "Async") {
+      throw std::runtime_error("unknown exec_model \"" + model + "\"");
+    }
+    s.model = model == "Sync" ? engine::ExecModel::kSync
+                              : engine::ExecModel::kAsync;
+    s.devices = static_cast<int>(sc->find("devices")->num_or(4));
+    const obs::JsonValue* wp = sc->find("wire_protocol");
+    wire = wp == nullptr || wp->kind != obs::JsonValue::Kind::kBool ||
+           wp->boolean;
+    const obs::JsonValue* pl = doc.find("plan");
+    if (pl == nullptr) throw std::runtime_error("missing plan object");
+    plan = fault::plan_from_json(*pl);
+    const obs::JsonValue* fail = doc.find("failure");
+    recorded_failure = fail != nullptr ? fail->str_or("") : "";
+    const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+    plan.validate_or_throw(s.devices, topo.num_hosts());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sg_chaos: %s: %s\n", opt.replay.c_str(), e.what());
+    return 2;
+  }
+  std::printf("replaying %s: %s, wire_protocol=%s, plan events: %zu\n",
+              opt.replay.c_str(), label_of(s).c_str(),
+              wire ? "on" : "off", plan.events.size());
+  const fw::BenchmarkRun oracle = run_scenario(s, nullptr, true);
+  if (!oracle.ok) {
+    std::fprintf(stderr, "sg_chaos: oracle run failed: %s\n",
+                 oracle.error.c_str());
+    return 2;
+  }
+  const fw::BenchmarkRun r = run_scenario(s, &plan, wire);
+  if (r.ok) {
+    const fault::FaultStats& f = r.stats.faults;
+    std::printf(
+        "faults: ckpt=%llu rollback=%llu evict=%llu rehomed=%llu "
+        "deferred=%llu fenced=%llu drop=%llu corrupt=%llu dup=%llu "
+        "reorder=%llu\n",
+        static_cast<unsigned long long>(f.checkpoints_taken),
+        static_cast<unsigned long long>(f.rollbacks),
+        static_cast<unsigned long long>(f.evicted_devices),
+        static_cast<unsigned long long>(f.rehomed_masters),
+        static_cast<unsigned long long>(f.partition_deferred),
+        static_cast<unsigned long long>(f.fence_rejects),
+        static_cast<unsigned long long>(f.messages_dropped),
+        static_cast<unsigned long long>(f.messages_corrupted),
+        static_cast<unsigned long long>(f.duplicates_injected),
+        static_cast<unsigned long long>(f.reorders_injected));
+  }
+  const Outcome o = check(s, oracle, r);
+  if (o.failed()) {
+    std::printf("reproduced: %s (%s)%s\n", o.kind.c_str(),
+                o.detail.c_str(),
+                o.kind == recorded_failure ? "" : " [failure kind differs"
+                                                  " from recording]");
+    return 1;
+  }
+  std::printf("did not reproduce: run matched the fault-free oracle\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sg_chaos: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--smoke") {
+      opt.smoke = true;
+    } else if (a == "--chaos-seed") {
+      const char* v = need_value("--chaos-seed");
+      if (v == nullptr) return 2;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seeds") {
+      const char* v = need_value("--seeds");
+      if (v == nullptr) return 2;
+      opt.seeds_per_scenario = std::atoi(v);
+      if (opt.seeds_per_scenario <= 0) return usage(argv[0]);
+    } else if (a == "--chaos-shrink") {
+      opt.shrink = true;
+    } else if (a == "--no-shrink") {
+      opt.shrink = false;
+    } else if (a == "--inject-defect") {
+      opt.inject_defect = true;
+    } else if (a == "--keep-going") {
+      opt.keep_going = true;
+    } else if (a == "--out-dir") {
+      const char* v = need_value("--out-dir");
+      if (v == nullptr) return 2;
+      opt.out_dir = v;
+    } else if (a == "--replay") {
+      const char* v = need_value("--replay");
+      if (v == nullptr) return 2;
+      opt.replay = v;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "sg_chaos: unknown flag %s\n", a.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (!opt.replay.empty()) return do_replay(opt);
+  const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
+                    : opt.smoke                ? 1
+                                               : 2;
+  const bool wire = !opt.inject_defect;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+
+  const std::vector<Scenario> scenarios = scenario_matrix(opt.smoke);
+  std::printf("sg_chaos: %zu scenarios x %d plan(s), wire protocol %s, "
+              "base seed %llu\n",
+              scenarios.size(), seeds, wire ? "ON" : "OFF (--inject-defect)",
+              static_cast<unsigned long long>(opt.seed));
+  int failures = 0;
+  int runs = 0;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const Scenario& s = scenarios[si];
+    const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+    fw::BenchmarkRun oracle;
+    try {
+      oracle = run_scenario(s, nullptr, true);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sg_chaos: %s oracle threw: %s\n",
+                   label_of(s).c_str(), e.what());
+      return 2;
+    }
+    if (!oracle.ok) {
+      std::fprintf(stderr, "sg_chaos: %s oracle failed: %s\n",
+                   label_of(s).c_str(), oracle.error.c_str());
+      return 2;
+    }
+    for (int k = 0; k < seeds; ++k) {
+      const std::uint64_t seed =
+          opt.seed + 1000003ULL * (si + 1) + 7919ULL * k;
+      fault::ChaosSpec spec;
+      spec.num_devices = s.devices;
+      spec.num_hosts = topo.num_hosts();
+      spec.horizon = oracle.stats.total_time;
+      fault::FaultPlan plan;
+      try {
+        plan = fault::random_plan(seed, spec);
+        plan.validate_or_throw(s.devices, topo.num_hosts());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sg_chaos: plan generation failed: %s\n",
+                     e.what());
+        return 2;
+      }
+      fw::BenchmarkRun r;
+      try {
+        r = run_scenario(s, &plan, wire);
+      } catch (const std::exception& e) {
+        r.ok = false;
+        r.error = std::string("exception: ") + e.what();
+      }
+      ++runs;
+      const Outcome o = check(s, oracle, r);
+      if (!o.failed()) {
+        const auto& f = r.stats.faults;
+        std::printf(
+            "[ok]   %-24s seed=%-12llu events=%zu  "
+            "drop=%llu corrupt=%llu dup=%llu reorder=%llu deferred=%llu\n",
+            label_of(s).c_str(), static_cast<unsigned long long>(seed),
+            plan.events.size(),
+            static_cast<unsigned long long>(f.messages_dropped),
+            static_cast<unsigned long long>(f.messages_corrupted),
+            static_cast<unsigned long long>(f.duplicates_injected),
+            static_cast<unsigned long long>(f.reorders_injected),
+            static_cast<unsigned long long>(f.partition_deferred));
+        continue;
+      }
+      ++failures;
+      std::printf("[FAIL] %-24s seed=%llu: %s (%s)\n", label_of(s).c_str(),
+                  static_cast<unsigned long long>(seed), o.kind.c_str(),
+                  o.detail.c_str());
+      fault::FaultPlan minimal = plan;
+      fault::ShrinkStats shrink_stats;
+      if (opt.shrink) {
+        const auto fails = [&](const fault::FaultPlan& cand) {
+          if (!cand.validate(s.devices, topo.num_hosts()).empty()) {
+            return false;
+          }
+          fw::BenchmarkRun rr;
+          try {
+            rr = run_scenario(s, &cand, wire);
+          } catch (const std::exception&) {
+            return false;
+          }
+          return check(s, oracle, rr).kind == o.kind;
+        };
+        minimal = fault::shrink_plan(plan, fails, &shrink_stats);
+        std::printf(
+            "       shrunk %zu -> %zu event(s) in %d probe(s)\n",
+            plan.events.size(), minimal.events.size(), shrink_stats.probes);
+      }
+      const std::filesystem::path repro =
+          std::filesystem::path(opt.out_dir) /
+          ("chaos_repro_" + sanitize(label_of(s)) + "_seed" +
+           std::to_string(seed) + ".json");
+      write_reproducer(repro, s, wire, minimal, o,
+                       opt.shrink ? &shrink_stats : nullptr);
+      std::printf("       reproducer: %s (replay with --replay)\n",
+                  repro.string().c_str());
+      if (!opt.keep_going) {
+        std::printf("sg_chaos: stopping at first failure "
+                    "(--keep-going to continue)\n");
+        std::printf("sg_chaos: %d run(s), %d failure(s)\n", runs, failures);
+        return 1;
+      }
+    }
+  }
+  std::printf("sg_chaos: %d run(s), %d failure(s)\n", runs, failures);
+  return failures > 0 ? 1 : 0;
+}

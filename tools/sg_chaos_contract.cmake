@@ -1,0 +1,84 @@
+# ctest script: end-to-end check of sg_chaos's documented contract.
+#
+#  - `--smoke` with the wire protocol on matches the fault-free oracle
+#    in every scenario (exit 0).
+#  - `--smoke --inject-defect` (wire protocol off) fails, shrinks the
+#    failing plan to a reproducer of at most 3 fault events, and writes
+#    it as JSON (exit 1).
+#  - `--replay <reproducer>` reproduces the recorded failure (exit 1).
+#  - Usage errors exit 2.
+#
+# Invoked as:
+#   cmake -DTOOL=<sg_chaos binary> -DWORK=<scratch dir> -P this_file
+
+if(NOT DEFINED TOOL OR NOT DEFINED WORK)
+  message(FATAL_ERROR "TOOL and WORK must be defined")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+# 2: usage errors (unknown flag, flag missing its value, bogus replay).
+foreach(args "--bogus" "--chaos-seed" "--replay;${WORK}/missing.json")
+  execute_process(COMMAND "${TOOL}" ${args} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+      "sg_chaos ${args}: expected exit 2, got ${rc}\n${out}${err}")
+  endif()
+endforeach()
+
+# 0: the protected smoke soak matches its oracle everywhere.
+execute_process(COMMAND "${TOOL}" --smoke --out-dir "${WORK}/clean"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "sg_chaos --smoke: expected exit 0, got ${rc}\n${out}${err}")
+endif()
+file(GLOB stray "${WORK}/clean/chaos_repro_*.json")
+if(stray)
+  message(FATAL_ERROR "clean smoke soak wrote reproducers: ${stray}")
+endif()
+
+# 1: with the wire protocol disabled the same soak must catch the
+# unprotected reducers and write a shrunk reproducer.
+execute_process(COMMAND "${TOOL}" --smoke --inject-defect
+                        --out-dir "${WORK}/defect"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "sg_chaos --smoke --inject-defect: expected exit 1, got ${rc}\n"
+    "${out}${err}")
+endif()
+file(GLOB repros "${WORK}/defect/chaos_repro_*.json")
+list(LENGTH repros n_repros)
+if(n_repros EQUAL 0)
+  message(FATAL_ERROR "defect soak failed but wrote no reproducer\n${out}")
+endif()
+list(GET repros 0 repro)
+
+# The reproducer replays to the same failure, and the shrunk plan has at
+# most 3 events (the replay banner prints the count).
+execute_process(COMMAND "${TOOL}" --replay "${repro}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "sg_chaos --replay ${repro}: expected exit 1 (reproduced), got ${rc}\n"
+    "${out}${err}")
+endif()
+if(NOT out MATCHES "reproduced:")
+  message(FATAL_ERROR "replay did not report the failure:\n${out}")
+endif()
+if(NOT out MATCHES "plan events: [123]\n")
+  message(FATAL_ERROR
+    "shrunk reproducer should have <= 3 events:\n${out}")
+endif()
+
+# Replay twice: byte-determinism of the replay verdict.
+execute_process(COMMAND "${TOOL}" --replay "${repro}"
+                RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2)
+if(NOT out STREQUAL out2)
+  message(FATAL_ERROR "replay output is not deterministic")
+endif()
+
+message(STATUS "sg_chaos contract: all checks passed")

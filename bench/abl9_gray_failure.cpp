@@ -1,0 +1,270 @@
+// Ablation A9: gray-failure tolerance — what partial degradation costs
+// and what online mitigation buys back. The paper's experiments assume
+// healthy, uniform devices; A8 covered fail-stop faults. This ablation
+// quantifies the *gray* band in between on pagerank (rmat23 analogue,
+// OEC — masters own their out-edges, so migrating one sheds its compute;
+// pagerank's fixed iteration count gives mitigation rounds to amortize
+// over):
+//
+//  1. Device-degrade severity sweep x mitigation policy: one device's
+//     kernels slow by 2-8x for 70% of the run. `observe` pays the
+//     fault in full (the BSP barrier waits for the sick device every
+//     round); `migrate` re-homes a fraction of its masters onto
+//     healthy peers at safe round boundaries; `evict` additionally
+//     falls back to eviction when the migration budget is spent and
+//     the device stays hopeless. Recovered% is (observe - mitigated) /
+//     (observe - baseline) — the share of the inflation won back.
+//     Results stay bit-identical to the fault-free run by construction
+//     (migration moves *where* vertices compute, never *what*). The
+//     sweep exposes the break-even: the one-time state-transfer cost
+//     of migration is fixed, so mitigation only wins once the degraded
+//     time it sheds exceeds it (severity >= ~6x at this scale).
+//  2. Memory-pressure sweep: an external squatter claims a fraction of
+//     one device's memory; the deficit spills over PCIe every round.
+//     Shown with the topology's memory tightened so the working set
+//     actually collides with the squatter (SpillMB > 0), comparing
+//     observe vs migrate. Shedding masters shrinks the working set,
+//     which collapses the spill volume — whether that wins on makespan
+//     is again the break-even between stall saved and transfer paid.
+//  3. Link-degrade sweep: bandwidth cut + latency derate on one host's
+//     hops. No compute signal reaches the monitor, and master
+//     migration cannot reroute a physical link, so this sweep is
+//     observe-only. Mild derates hide entirely under compute overlap;
+//     the sweep walks the derate up to expose the crossover where the
+//     link becomes the round bottleneck.
+//
+// All runs with the same plan are bit-deterministic, so every number
+// here is reproducible. `--smoke` runs a reduced fixed sweep at 16 GPUs
+// and writes a run-report for report_diff regression guarding against
+// bench/baselines/.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "fault/fault.hpp"
+
+namespace {
+
+using namespace sg;
+
+const char* mode_name(fault::MitigationMode m) {
+  switch (m) {
+    case fault::MitigationMode::kObserve:
+      return "observe";
+    case fault::MitigationMode::kMigrate:
+      return "migrate";
+    case fault::MitigationMode::kEvict:
+      return "evict";
+  }
+  return "?";
+}
+
+/// Monitor tuning scaled to the run, the same way sg_chaos --gray (and
+/// an operator sizing the detector to a workload) derives it: heartbeat
+/// cadence from the fault-free makespan, two-evaluation confirmation,
+/// fast-converging stretch estimate.
+engine::EngineConfig gray_tuned(const engine::EngineConfig& base,
+                                sim::SimTime oracle,
+                                fault::MitigationMode mode) {
+  auto cfg = base;
+  cfg.mitigation.mode = mode;
+  cfg.mitigation.sustain_rounds = 2;
+  cfg.mitigation.stretch_alpha = 0.4;
+  cfg.health.heartbeat_interval = oracle * (1.0 / 50.0);
+  return cfg;
+}
+
+std::string fmt_pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", x * 100.0);
+  return buf;
+}
+
+struct Sweeps {
+  std::vector<double> severities;
+  std::vector<double> fractions;
+  std::vector<double> link_slowdowns;
+};
+
+int run_sweeps(bench::ReportLog& report, const std::string& input, int gpus,
+               const Sweeps& sw, double pressure_mem_scale) {
+  const auto& prep =
+      bench::prepared(input, false, partition::Policy::OEC, gpus);
+  const auto topo = bench::bridges(gpus);
+  const auto params = bench::params();
+  const auto bsp = fw::DIrGL::config(engine::Variant::kVar3);
+
+  const auto base =
+      fw::DIrGL::run(fw::Benchmark::kPagerank, prep, topo, params, bsp);
+  if (!base.ok) {
+    std::printf("baseline run failed; aborting\n");
+    return 1;
+  }
+  report.add("pagerank", input, "D-IrGL", "Var3", gpus, base.stats);
+  const double t0 = base.stats.total_time.seconds();
+  const auto oracle = base.stats.total_time;
+  const int victim = gpus / 2;
+
+  std::printf("== device-degrade severity x mitigation policy ==\n");
+  {
+    bench::Table table({"Severity", "Policy", "Total", "Overhead", "Alerts",
+                        "Migr", "Evict", "Masters", "Recovered"});
+    table.add_row({"none", "-", bench::fmt_time(t0), "-", "0", "0", "0",
+                   "0", "-"});
+    for (const double severity : sw.severities) {
+      fault::FaultPlan plan;
+      plan.seed = 1;
+      plan.degrade_device(victim, oracle * 0.15, oracle * 0.7, severity);
+      double t_observe = 0.0;
+      for (const auto mode : {fault::MitigationMode::kObserve,
+                              fault::MitigationMode::kMigrate,
+                              fault::MitigationMode::kEvict}) {
+        auto cfg = gray_tuned(bsp, oracle, mode);
+        cfg.fault_plan = &plan;
+        const auto r =
+            fw::DIrGL::run(fw::Benchmark::kPagerank, prep, topo, params, cfg);
+        if (!r.ok) continue;
+        char sev[16];
+        std::snprintf(sev, sizeof sev, "%.0fx", severity);
+        report.add("pagerank", input, "D-IrGL",
+                   std::string("Var3+degrade") + sev + "+" +
+                       mode_name(mode),
+                   gpus, r.stats);
+        const auto& f = r.stats.faults;
+        const double t = r.stats.total_time.seconds();
+        if (mode == fault::MitigationMode::kObserve) t_observe = t;
+        std::string recovered = "-";
+        if (mode != fault::MitigationMode::kObserve &&
+            t_observe > t0 * (1.0 + 1e-9)) {
+          recovered = fmt_pct((t_observe - t) / (t_observe - t0));
+        }
+        table.add_row({sev, mode_name(mode), bench::fmt_time(t),
+                       fmt_pct(t / t0 - 1.0),
+                       std::to_string(f.gray_alerts),
+                       std::to_string(f.gray_migrations),
+                       std::to_string(f.gray_evictions),
+                       std::to_string(f.gray_migrated_masters), recovered});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "== memory-pressure fraction x policy (memory tightened %gx) ==\n",
+      pressure_mem_scale / 400.0);
+  {
+    const auto tight = bench::bridges(gpus, pressure_mem_scale);
+    const auto tbase =
+        fw::DIrGL::run(fw::Benchmark::kPagerank, prep, tight, params, bsp);
+    if (!tbase.ok) {
+      std::printf("tight-memory baseline failed (OOM?); skipping sweep\n");
+    } else {
+      const double tt0 = tbase.stats.total_time.seconds();
+      bench::Table table({"Fraction", "Policy", "Total", "Overhead",
+                          "SpillMB", "StallT", "Migr"});
+      table.add_row({"none", "-", bench::fmt_time(tt0), "-", "0", "0",
+                     "0"});
+      for (const double fraction : sw.fractions) {
+        fault::FaultPlan plan;
+        plan.seed = 1;
+        plan.pressure_memory(victim, tbase.stats.total_time * 0.1,
+                             tbase.stats.total_time * 0.8, fraction);
+        for (const auto mode : {fault::MitigationMode::kObserve,
+                                fault::MitigationMode::kMigrate}) {
+          auto cfg = gray_tuned(bsp, tbase.stats.total_time, mode);
+          cfg.fault_plan = &plan;
+          const auto r =
+              fw::DIrGL::run(fw::Benchmark::kPagerank, prep, tight, params, cfg);
+          if (!r.ok) continue;
+          char fr[16];
+          std::snprintf(fr, sizeof fr, "%.2f", fraction);
+          report.add("pagerank", input, "D-IrGL",
+                     std::string("Var3+mempress") + fr + "+" +
+                         mode_name(mode),
+                     gpus, r.stats);
+          const auto& f = r.stats.faults;
+          table.add_row({fr, mode_name(mode),
+                         bench::fmt_time(r.stats.total_time.seconds()),
+                         fmt_pct(r.stats.total_time.seconds() / tt0 - 1.0),
+                         bench::fmt_bytes_mb(f.spill_bytes),
+                         bench::fmt_time(f.spill_stall.seconds()),
+                         std::to_string(f.gray_migrations)});
+        }
+      }
+      table.print();
+    }
+    std::printf("\n");
+  }
+
+  std::printf("== link-degrade slowdown sweep (observe-only bound) ==\n");
+  {
+    bench::Table table({"Slowdown", "Total", "Overhead"});
+    table.add_row({"none", bench::fmt_time(t0), "-"});
+    for (const double slowdown : sw.link_slowdowns) {
+      fault::FaultPlan plan;
+      plan.seed = 1;
+      plan.degrade_link(0, -1, oracle * 0.15, oracle * 0.7, slowdown,
+                        /*latency_factor=*/2.0);
+      auto cfg = gray_tuned(bsp, oracle, fault::MitigationMode::kObserve);
+      cfg.fault_plan = &plan;
+      const auto r =
+          fw::DIrGL::run(fw::Benchmark::kPagerank, prep, topo, params, cfg);
+      if (!r.ok) continue;
+      char sv[16];
+      std::snprintf(sv, sizeof sv, "%.0fx", slowdown);
+      report.add("pagerank", input, "D-IrGL", std::string("Var3+link") + sv,
+                 gpus, r.stats);
+      table.add_row({sv, bench::fmt_time(r.stats.total_time.seconds()),
+                     fmt_pct(r.stats.total_time.seconds() / t0 - 1.0)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf(
+      "Ablation A9: gray-failure tolerance, pagerank on rmat23, OEC.\n"
+      "Degradation faults vs the SLO guardian's mitigation policies;\n"
+      "Total is simulated seconds, Recovered is the share of the\n"
+      "observe-mode inflation won back by mitigation.\n\n");
+
+  if (smoke) {
+    // Reduced fixed sweep for CI: one severity, one pressure fraction,
+    // one link derate at 16 GPUs. Writes BENCH_abl9_gray_smoke.json (into
+    // $SG_BENCH_REPORT_DIR when set), diffed against
+    // bench/baselines/abl9_gray_smoke_baseline.json by report_diff.
+    bench::ReportLog report("abl9_gray_smoke");
+    const int rc =
+        run_sweeps(report, "rmat23", 16, {{8.0}, {0.95}, {32.0}}, 20000.0);
+    if (rc != 0) return rc;
+    if (!report.write()) return 1;
+    std::printf("smoke: %zu run(s)\n", report.num_runs());
+    return 0;
+  }
+
+  bench::ReportLog report("abl9_gray_failure");
+  const int rc = run_sweeps(report, "rmat23", 16,
+                            {{2.0, 4.0, 6.0, 8.0},
+                             {0.6, 0.8, 0.95},
+                             {8.0, 32.0, 128.0}},
+                            20000.0);
+  if (rc != 0) return rc;
+  report.write();
+  return 0;
+}

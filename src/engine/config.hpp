@@ -95,6 +95,11 @@ struct EngineConfig {
   /// φ-accrual failure detection parameters (used only when the fault
   /// plan schedules permanent device losses).
   fault::HealthPolicy health;
+  /// Gray-failure monitor configuration and its online response
+  /// (observe / migrate / evict). Consulted only when the fault plan
+  /// contains degradation faults; inert — and byte-identical to a build
+  /// without it — otherwise.
+  fault::MitigationPolicy mitigation;
   /// Directory of a saved partition store (`partition::save_partition`).
   /// When set, elastic redistribution after a device loss re-reads the
   /// lost device's subgraph from this checksummed store (charging the

@@ -19,6 +19,7 @@
 #include "engine/termination.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault_injector.hpp"
+#include "fault/gray.hpp"
 #include "fault/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -191,6 +192,10 @@ class Executor {
     }
     monitor_ = fault::HeartbeatMonitor(config_.health, &injector_, devices_);
     monitor_.set_metrics(config_.metrics);
+    gray_ = fault::GrayFailureMonitor(&injector_, devices_,
+                                      config_.mitigation, config_.health);
+    gray_.set_metrics(config_.metrics);
+    pressure_squat_.assign(devices_, 0);
     epoch_ = 0;
     dead_.assign(devices_, 0);
     silent_.assign(devices_, 0);
@@ -242,6 +247,12 @@ class Executor {
         m_net_anomalies_ = &reg.counter("fault.net_anomalies");
         m_protocol_discards_ = &reg.counter("fault.protocol_discards");
         m_partition_deferred_ = &reg.counter("fault.partition_deferred");
+      }
+      // Mitigation counters exist only when the plan actually contains
+      // degradation faults (same byte-identity contract).
+      if (injector_.active() && injector_.has_degradation()) {
+        m_gray_migrations_ = &reg.counter("gray.migrations");
+        m_gray_evictions_ = &reg.counter("gray.evictions");
       }
     }
   }
@@ -305,9 +316,23 @@ class Executor {
       const double slow = injector_.compute_slowdown(d, at);
       if (slow > 1.0) {
         const sim::SimTime extra = t * (slow - 1.0);
-        fault_per_dev_[d].straggler_delay += extra;
+        // Attribution: the extra time is charged to whichever factor
+        // binds — a gray degradation at (or above) the straggler level
+        // owns the delay, else it stays straggler-attributed.
+        const double degrade = injector_.degrade_slowdown(d, at);
+        if (degrade > 1.0 && degrade >= slow) {
+          fault_per_dev_[d].degrade_delay += extra;
+          fault_per_dev_[d].degrade_for(d).degrade_delay += extra;
+        } else {
+          fault_per_dev_[d].straggler_delay += extra;
+        }
         t += extra;
       }
+      const sim::SimTime stall = apply_memory_pressure(d, at + t);
+      t += stall;
+      gray_.observe_kernel(d, t.seconds(), stall.seconds());
+    } else {
+      gray_.observe_kernel(d, t.seconds());
     }
     stats_.compute_time[d] += t;
     stats_.work_items[d] += dev.ctx->total_edges();
@@ -324,6 +349,42 @@ class Executor {
 
   [[nodiscard]] bool device_has_work(int d) const {
     return !devs_[d].frontier.empty() || devs_[d].progress;
+  }
+
+  /// Applies the memory-pressure fault in effect on device `d` at `at`:
+  /// an external squatter claims the ramped fraction of capacity. What
+  /// fits in free headroom is allocated under a "pressure" tag (the
+  /// migration planner sees the shrunken headroom); the deficit is
+  /// modeled as spill traffic staged over PCIe this round, returned as
+  /// a stall on the device's timeline. Touches only per-device state,
+  /// so the parallel BSP compute phase never races.
+  sim::SimTime apply_memory_pressure(int d, sim::SimTime at) {
+    const double frac = injector_.memory_pressure(d, at);
+    std::uint64_t& squat = pressure_squat_[static_cast<std::size_t>(d)];
+    if (frac <= 0.0 && squat == 0) return sim::SimTime{};
+    Dev& dev = devs_[d];
+    const std::uint64_t cap = dev.memory->capacity();
+    const auto want =
+        static_cast<std::uint64_t>(frac * static_cast<double>(cap));
+    if (want != squat) {
+      if (squat > 0) dev.memory->free("pressure");
+      const std::uint64_t headroom = cap - dev.memory->in_use();
+      squat = std::min(want, headroom);
+      if (squat > 0) dev.memory->allocate("pressure", squat);
+    }
+    if (want == 0) return sim::SimTime{};
+    fault::DegradeStats& ledger = fault_per_dev_[d].degrade_for(d);
+    ledger.pressure_peak_bytes = std::max(ledger.pressure_peak_bytes, squat);
+    const std::uint64_t deficit = want - squat;
+    if (deficit == 0) return sim::SimTime{};
+    const sim::SimTime stall = net_.host_to_device(deficit);
+    fault_per_dev_[d].spill_bytes += deficit;
+    fault_per_dev_[d].spill_stall += stall;
+    ledger.spill_bytes += deficit;
+    ledger.spill_stall = ledger.spill_stall + stall;
+    dev_scope(d).span(obs::SpanKind::kPcie, "pressure.spill", at, at + stall,
+                      deficit, static_cast<std::uint64_t>(d));
+    return stall;
   }
 
   // ---- message bookkeeping --------------------------------------------
@@ -587,7 +648,14 @@ class Executor {
     sim::SimTime timeout = config_.retry.timeout;
     for (int attempt = 0;; ++attempt) {
       const double factor = injector_.link_delay_factor(sh, dh, start);
-      const sim::SimTime hop = net_.host_to_host(from, to, bytes) * factor;
+      const double lat = injector_.link_latency_factor(sh, dh, start);
+      // Bandwidth derating scales the whole hop; latency derating adds
+      // extra copies of the byte-independent share only (lat == 1, the
+      // default, reproduces the pre-existing bandwidth-only model).
+      sim::SimTime hop = net_.host_to_host(from, to, bytes) * factor;
+      if (lat > 1.0) {
+        hop = hop + net_.host_to_host_fixed(from, to) * (lat - 1.0);
+      }
       const bool last = attempt >= config_.retry.max_retries;
       if (!last &&
           injector_.drops_message(from, to, kind, round, attempt, start)) {
@@ -903,6 +971,15 @@ class Executor {
         if (!dead_[cd]) barrier = barrier + evict_device(cd, barrier);
       }
     }
+    // Gray-failure mitigation at the same consistent cut: migrate the
+    // hottest shards off sustained-degraded devices, or gracefully
+    // evict the hopeless (mode permitting).
+    if (gray_.active()) {
+      for (const auto& a : gray_.evaluate(barrier, dead_, fault_global_)) {
+        if (dead_[a.device]) continue;
+        barrier = barrier + mitigate_device(a, barrier);
+      }
+    }
     if constexpr (kCheckpointable) {
       // Checkpoints are suppressed while a loss is silent-but-undetected
       // so a later rollback always lands on a pre-loss cut.
@@ -1050,12 +1127,18 @@ class Executor {
   /// lists / memoized translations, migrates per-vertex program state,
   /// and re-feeds all proxies. Returns the modeled recovery cost; the
   /// executor continues on N-1 devices. Shared by the BSP and BASP paths.
-  sim::SimTime evict_device(int cd, sim::SimTime now) {
+  ///
+  /// `graceful` marks a gray-failure eviction: the device is *alive*
+  /// (just hopelessly slow), so no rollback is needed — its current
+  /// per-vertex state is harvested directly and detection latency is
+  /// zero. The run loses its capacity, never its data.
+  sim::SimTime evict_device(int cd, sim::SimTime now, bool graceful = false) {
     // Silence origin: the loss instant, or — for a partition that
     // outlasted detection — the start of the covering window (the
     // device never "died"; lost_at is +inf then).
     const sim::SimTime lost_at =
-        monitor_.fence_origin(cd) < sim::SimTime::max()
+        graceful ? now
+        : monitor_.fence_origin(cd) < sim::SimTime::max()
             ? monitor_.fence_origin(cd)
             : injector_.lost_at(cd);
     const std::uint32_t cur_round = current_round();
@@ -1064,9 +1147,11 @@ class Executor {
     // 1. Rollback to the last consistent cut when the program can use
     // it (checkpoints are suppressed while a loss is undetected, so the
     // cut predates the loss and the lost device's snapshot is genuine).
-    bool have_lost_state = false;
+    // A graceful eviction skips this: the evictee's live state is
+    // already consistent at this cut.
+    bool have_lost_state = graceful && kRehomable;
     if constexpr (kCheckpointable && kRehomable) {
-      if (last_ckpt_.valid()) {
+      if (!graceful && last_ckpt_.valid()) {
         sim::SimTime worst;
         for (int d = 0; d < devices_; ++d) {
           if (dead_[d]) continue;
@@ -1145,7 +1230,8 @@ class Executor {
     syncp_ = rehomed_sync_.get();
     dead_[cd] = 1;
     silent_[cd] = 1;
-    monitor_.mark_evicted(cd);
+    if (monitor_.active()) monitor_.mark_evicted(cd);
+    gray_.retire(cd);
     // New layout epoch: anything sealed before this instant indexes
     // exchange lists that are about to be rebuilt, and is fence-
     // rejected on receipt.
@@ -1195,9 +1281,172 @@ class Executor {
       }
     }
     force_sync_rounds_ = std::max(force_sync_rounds_, 2);
-    rt_scope().span(obs::SpanKind::kRehome, "rehome", now, now + cost,
-                    plan.rehomed.size(), plan.orphaned.size());
+    rt_scope().span(obs::SpanKind::kRehome, graceful ? "evict.gray" : "rehome",
+                    now, now + cost, plan.rehomed.size(),
+                    plan.orphaned.size());
     return cost;
+  }
+
+  // ---- gray-failure mitigation: online shard migration -----------------
+  [[nodiscard]] int live_devices() const {
+    int n = 0;
+    for (int d = 0; d < devices_; ++d) n += dead_[d] ? 0 : 1;
+    return n;
+  }
+
+  /// Executes one GrayFailureMonitor action at a safe cut: online shard
+  /// migration off a degraded-but-live device, or — once the monitor
+  /// declares it hopeless under kEvict — a graceful live eviction.
+  /// Returns the modeled mitigation cost.
+  sim::SimTime mitigate_device(const fault::GrayFailureMonitor::Action& a,
+                               sim::SimTime now) {
+    if (a.hopeless) {
+      if (live_devices() < 2) return sim::SimTime{};  // nowhere to go
+      const sim::SimTime cost =
+          evict_device(a.device, now, /*graceful=*/true);
+      fault_global_.gray_evictions += 1;
+      fault_global_.mitigation_time += cost;
+      if (m_gray_evictions_ != nullptr) m_gray_evictions_->inc();
+      return cost;
+    }
+    return migrate_device(a, now);
+  }
+
+  /// Moves the hottest `migrate_fraction` of `cd`'s masters onto
+  /// healthier devices at a safe cut, bit-exactly: every live device's
+  /// per-vertex state is harvested, the layout is rebuilt via
+  /// partition::rebalance_partition, and promoted/adopted masters take
+  /// the degraded device's canonical copies verbatim (the same
+  /// archive/adopt path evictions use, with the hot device staying live
+  /// as a mirror). Returns the modeled migration cost, or zero when the
+  /// program cannot re-home state or no placement exists — the run then
+  /// continues unchanged (observe-only in effect).
+  sim::SimTime migrate_device(const fault::GrayFailureMonitor::Action& a,
+                              sim::SimTime now) {
+    if constexpr (!kRehomable) {
+      (void)a;
+      (void)now;
+      return sim::SimTime{};
+    } else {
+      const int cd = a.device;
+      const partition::DistGraph& old_dg = dg();
+      std::vector<std::uint64_t> free_bytes(
+          static_cast<std::size_t>(devices_), 0);
+      for (int d = 0; d < devices_; ++d) {
+        if (d == cd || dead_[d]) continue;
+        const auto& mem = *devs_[d].memory;
+        free_bytes[static_cast<std::size_t>(d)] =
+            mem.capacity() - mem.in_use();
+      }
+      partition::RebalanceResult plan;
+      try {
+        plan = partition::rebalance_partition(
+            old_dg, cd, gray_.policy().migrate_fraction, free_bytes, dead_);
+      } catch (const std::exception&) {
+        // No live device can absorb the hottest shards (pressure
+        // everywhere): spend the budget so the monitor cools down and
+        // eventually declares the device hopeless instead of
+        // re-planning every evaluation.
+        gray_.note_migration(cd);
+        return sim::SimTime{};
+      }
+
+      // Shed guard: a compute-blamed migration must actually move work.
+      // Measured as the drop in the device's *local* out-edges across
+      // the rebalance, not the planner's migrated_edges counter: under
+      // vertex-cut layouts a migrated master leaves its mirror edges
+      // behind, so the counter overstates what the device sheds and the
+      // layout churn would be pure cost. A memory-blamed migration is
+      // exempt: any byte it sheds shrinks the spill deficit directly.
+      const double local_edges = std::max(
+          static_cast<double>(old_dg.part(cd).num_out_edges()), 1.0);
+      const double kept =
+          static_cast<double>(plan.dg.part(cd).num_out_edges());
+      const double shed = std::max(local_edges - kept, 0.0) / local_edges;
+      if (!a.memory_bound && shed < gray_.policy().min_shed_fraction) {
+        gray_.note_migration(cd);  // spend budget; re-planning would churn
+        rt_scope().span(obs::SpanKind::kRehome, "migrate.skip", now, now,
+                        plan.migrated_edges,
+                        static_cast<std::uint64_t>(cd));
+        return sim::SimTime{};
+      }
+
+      // Harvest every live device's per-vertex state (old local-id
+      // space); the degraded device is alive, so its copies are current.
+      std::vector<std::vector<std::vector<char>>> harvest(
+          static_cast<std::size_t>(devices_));
+      for (int d = 0; d < devices_; ++d) {
+        if (dead_[d]) continue;
+        const auto& lg = old_dg.part(d);
+        auto& slots = harvest[static_cast<std::size_t>(d)];
+        slots.resize(lg.num_local);
+        for (VertexId v = 0; v < lg.num_local; ++v) {
+          partition::ByteWriter w;
+          devs_[d].state.archive_vertex(w, v);
+          slots[v] = w.take();
+        }
+      }
+      const partition::LocalGraph& hot_part = old_dg.part(cd);
+
+      auto next_dg =
+          std::make_unique<partition::DistGraph>(std::move(plan.dg));
+      auto next_sync = std::make_unique<comm::SyncStructure>(*next_dg);
+      auto prev_dg = std::move(rehomed_dg_);
+      auto prev_sync = std::move(rehomed_sync_);
+      rehomed_dg_ = std::move(next_dg);
+      rehomed_sync_ = std::move(next_sync);
+      dgp_ = rehomed_dg_.get();
+      syncp_ = rehomed_sync_.get();
+      // New layout epoch: traffic sealed before this instant indexes
+      // exchange lists that no longer exist and is fence-rejected.
+      ++epoch_;
+      for (int d = 0; d < devices_; ++d) {
+        if (dead_[d]) continue;
+        rebuild_device(d, cd, old_dg, hot_part, harvest,
+                       /*have_lost_state=*/true);
+      }
+
+      // Account the migration: moved state crosses the interconnect
+      // from the degraded device, and every live device re-uploads its
+      // rebuilt sync metadata.
+      sim::SimTime cost;
+      int tgt = -1;
+      for (int d = 0; d < devices_ && tgt < 0; ++d) {
+        if (d != cd && !dead_[d]) tgt = d;
+      }
+      if (tgt >= 0) {
+        cost = cost + net_.host_to_host(cd, tgt, plan.migrated_bytes);
+      }
+      sim::SimTime meta;
+      for (int d = 0; d < devices_; ++d) {
+        if (dead_[d]) continue;
+        meta = sim::max(meta, net_.host_to_device(sync().metadata_bytes(d)));
+      }
+      cost = cost + meta;
+
+      fault_global_.gray_migrations += 1;
+      fault_global_.gray_migrated_masters += plan.moved.size();
+      fault_global_.gray_migrated_bytes += plan.migrated_bytes;
+      fault_global_.mitigation_time += cost;
+      fault::DegradeStats& ledger = fault_global_.degrade_for(cd);
+      ledger.migrations_off += 1;
+      ledger.masters_moved_off += plan.moved.size();
+      if (m_gray_migrations_ != nullptr) m_gray_migrations_->inc();
+      gray_.note_migration(cd);
+
+      // A stale-layout checkpoint cannot restore onto the new layout;
+      // replace it with a post-migration snapshot immediately.
+      last_ckpt_ = fault::Checkpoint{};
+      if constexpr (kCheckpointable) {
+        if (config_.checkpoint.interval_rounds > 0) {
+          cost = take_checkpoint(now + cost) - now;
+        }
+      }
+      force_sync_rounds_ = std::max(force_sync_rounds_, 2);
+      rt_scope().span(obs::SpanKind::kRehome, "migrate", now, now + cost,
+                      plan.moved.size(), static_cast<std::uint64_t>(cd));
+      return cost;
+    }
   }
 
   /// Rebuilds device `d`'s runtime structures on the current (rebuilt)
@@ -1296,6 +1545,9 @@ class Executor {
     if (config_.static_pool_bytes > 0) {
       dev.memory->reserve_static(config_.static_pool_bytes);
     }
+    // The fresh DeviceMemory dropped any pressure squat; the next round
+    // boundary re-applies whatever pressure window is still active.
+    pressure_squat_[static_cast<std::size_t>(d)] = 0;
     charge_memory(d, nlg, *dev.memory);
   }
 
@@ -1611,6 +1863,13 @@ class Executor {
           monitor_.first_loss_at() + config_.health.heartbeat_interval,
           [this, &queue](sim::SimTime t) { basp_monitor(t, queue); });
     }
+    if (gray_.active()) {
+      // Gray-failure poll stream: BASP has no barrier to piggyback the
+      // monitor on, so it polls at the heartbeat cadence and stops once
+      // the system is quiescent with no scheduled fault to revive it.
+      queue.schedule(config_.health.heartbeat_interval,
+                     [this, &queue](sim::SimTime t) { basp_gray(t, queue); });
+    }
     for (int d = 0; d < devices_; ++d) {
       queue.schedule(sim::SimTime::zero(),
                      [this, d, &queue](sim::SimTime t) {
@@ -1623,7 +1882,11 @@ class Executor {
     while (!queue.empty() && safety++ < step_limit) {
       queue.run_next();
     }
-    total_time_ = queue.now();
+    // Makespan is the slowest device clock, NOT queue.now(): the
+    // monitor/gray poll streams keep firing (and finding nothing) on
+    // their own cadence after the last device parks, and an observation
+    // that observes nothing must not stretch the reported run.
+    total_time_ = sim::SimTime::zero();
     for (int d = 0; d < devices_; ++d) {
       total_time_ = sim::max(total_time_, devs_[d].clock);
       stats_.global_rounds =
@@ -1765,6 +2028,10 @@ class Executor {
     dev.flush_pending = false;  // regular sends cover the re-feed marks
     dev.clock += compute_one_round(d, dev.clock);
     ++dev.local_round;
+    // Round-boundary health sampling: keeps the φ / suspicion gauges
+    // tracking the run between monitor polls (advance() still owns the
+    // eviction verdicts).
+    if (monitor_.active()) monitor_.observe_until(dev.clock, fault_global_);
     basp_trace(dev.local_round, dev.ctx->applications(),
                dev.ctx->total_edges(), 0);
     basp_send(d, queue);
@@ -2094,6 +2361,73 @@ class Executor {
     }
   }
 
+  /// Periodic gray-failure poll under BASP. Mitigation fires between
+  /// events — every device's state is consistent at event boundaries —
+  /// and the poll stops rescheduling once the system is quiescent with
+  /// no scheduled fault left to revive it (so the event queue drains).
+  void basp_gray(sim::SimTime t, sim::EventQueue& queue) {
+    if (!gray_.active()) return;
+    for (const auto& a : gray_.evaluate(t, dead_, fault_global_)) {
+      if (dead_[a.device]) continue;
+      basp_mitigate(a, t, queue);
+    }
+    bool busy = false;
+    for (int o = 0; o < devices_ && !busy; ++o) {
+      if (!dead_[o] && !devs_[o].parked) busy = true;
+      if (pending_arrivals(o)) busy = true;
+    }
+    if (!busy && monitor_.active() && !monitor_.all_losses_evicted()) {
+      busy = true;
+    }
+    if (!busy) {
+      for (const auto& c : injector_.crashes()) {
+        if (c.at > t) busy = true;
+      }
+    }
+    if (busy) {
+      queue.schedule(t + config_.health.heartbeat_interval,
+                     [this, &queue](sim::SimTime tt) {
+                       basp_gray(tt, queue);
+                     });
+    }
+  }
+
+  /// BASP-side mitigation wrapper: runs the shared migrate/evict path,
+  /// then — exactly like basp_evict — wipes in-flight traffic (it
+  /// indexes the old exchange lists), restarts Safra, and realigns live
+  /// devices at the post-mitigation instant.
+  void basp_mitigate(const fault::GrayFailureMonitor::Action& a,
+                     sim::SimTime t, sim::EventQueue& queue) {
+    const std::uint64_t before =
+        fault_global_.gray_migrations + fault_global_.gray_evictions;
+    const sim::SimTime cost = mitigate_device(a, t);
+    if (fault_global_.gray_migrations + fault_global_.gray_evictions ==
+        before) {
+      return;  // nothing happened (non-rehomable program / no placement)
+    }
+    inboxes_.assign(devices_, BaspInbox{});
+    if (td_) {
+      td_ = std::make_unique<TerminationDetector>(devices_);
+      for (int o = 0; o < devices_; ++o) {
+        if (dead_[o]) td_->set_active(o, false);
+      }
+    }
+    const sim::SimTime resume = t + cost;
+    for (int o = 0; o < devices_; ++o) {
+      if (dead_[o]) continue;
+      Dev& dev = devs_[o];
+      if (!dev.parked && resume > dev.clock) {
+        stats_.wait_time[o] += resume - dev.clock;
+        dev_scope(o).span(obs::SpanKind::kWait, "wait.migrate", dev.clock,
+                          resume, 0, static_cast<std::uint64_t>(a.device));
+        dev.clock = resume;
+      }
+      queue.schedule(resume, [this, o, &queue](sim::SimTime tt) {
+        if (devs_[o].parked) basp_step(o, tt, queue);
+      });
+    }
+  }
+
   /// BASP has no barriers, so consistent cuts are taken at *quiescence*:
   /// every device parked (or dead), no message in flight, and — when the
   /// real Safra detector is running — its token circulates to a clean
@@ -2234,6 +2568,9 @@ class Executor {
   obs::Counter* m_net_anomalies_ = nullptr;
   obs::Counter* m_protocol_discards_ = nullptr;
   obs::Counter* m_partition_deferred_ = nullptr;
+  // Gray-mitigation counters (registered only under degradation plans).
+  obs::Counter* m_gray_migrations_ = nullptr;
+  obs::Counter* m_gray_evictions_ = nullptr;
 
   // Fault-injection state.
   fault::FaultInjector injector_;
@@ -2246,6 +2583,10 @@ class Executor {
   std::unique_ptr<TerminationDetector> td_;  // audited under faults
   // Permanent-loss state.
   fault::HeartbeatMonitor monitor_;
+  // Gray-failure state: the degradation monitor and the per-device
+  // bytes currently squatted by an active memory-pressure fault.
+  fault::GrayFailureMonitor gray_;
+  std::vector<std::uint64_t> pressure_squat_;
   std::vector<std::uint8_t> dead_;    // evicted devices (empty parts)
   std::vector<std::uint8_t> silent_;  // lost but not yet evicted (per round)
   std::uint32_t last_basp_ckpt_round_ = 0;

@@ -60,6 +60,15 @@ FaultPlan generate(std::uint64_t stream, std::uint64_t plan_seed,
   if (spec.allow_loss && spec.num_devices >= 2) {
     kinds.push_back(FaultKind::kDeviceLoss);
   }
+  if (spec.allow_degrade && spec.num_devices >= 2) {
+    kinds.push_back(FaultKind::kDeviceDegrade);
+  }
+  if (spec.allow_link_degrade && spec.num_hosts >= 2) {
+    kinds.push_back(FaultKind::kLinkDegrade);
+  }
+  if (spec.allow_pressure && spec.num_devices >= 2) {
+    kinds.push_back(FaultKind::kMemoryPressure);
+  }
   if (kinds.empty()) return plan;
 
   const int lo = std::max(spec.min_events, 0);
@@ -106,6 +115,51 @@ FaultPlan generate(std::uint64_t stream, std::uint64_t plan_seed,
                     spec.num_devices - 1))),
             sim::SimTime{h * (0.3 + 0.5 * rng.uniform())});
         break;
+      case FaultKind::kDeviceDegrade: {
+        // Gray failures must be long and strong to be worth mitigating:
+        // the window starts early and covers 40-80% of the horizon, the
+        // slowdown is well past any straggler the detector tolerates,
+        // and half the windows ramp in/out so onset detection latency
+        // is exercised. Ramps stay within the window by construction.
+        const sim::SimTime gat{h * 0.3 * rng.uniform()};
+        const sim::SimTime gdur{h * (0.4 + 0.4 * rng.uniform())};
+        const bool ramped = (rng.next() & 1ULL) != 0;
+        const sim::SimTime ramp =
+            ramped ? gdur * (0.05 + 0.10 * rng.uniform())
+                   : sim::SimTime::zero();
+        plan.degrade_device(
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_devices))),
+            gat, gdur, 4.0 + 4.0 * rng.uniform(), ramp, ramp);
+        break;
+      }
+      case FaultKind::kLinkDegrade: {
+        const int host =
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_hosts)));
+        int peer =
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_hosts - 1)));
+        if (peer >= host) ++peer;
+        plan.degrade_link(host, peer, sim::SimTime{h * 0.3 * rng.uniform()},
+                          sim::SimTime{h * (0.4 + 0.4 * rng.uniform())},
+                          2.0 + 4.0 * rng.uniform(),
+                          1.0 + 3.0 * rng.uniform());
+        break;
+      }
+      case FaultKind::kMemoryPressure: {
+        const sim::SimTime pat{h * 0.3 * rng.uniform()};
+        const sim::SimTime pdur{h * (0.4 + 0.4 * rng.uniform())};
+        const bool ramped = (rng.next() & 1ULL) != 0;
+        const sim::SimTime ramp =
+            ramped ? pdur * (0.05 + 0.10 * rng.uniform())
+                   : sim::SimTime::zero();
+        plan.pressure_memory(
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_devices))),
+            pat, pdur, 0.3 + 0.6 * rng.uniform(), ramp, ramp);
+        break;
+      }
       default:
         break;
     }
@@ -145,6 +199,13 @@ void write_plan_json(obs::JsonWriter& w, const FaultPlan& plan) {
     if (e.peer_host >= 0) w.kv("peer_host", e.peer_host);
     if (e.severity != 0.0) w.kv("severity", e.severity);
     if (e.host_mask != 0) w.kv("host_mask", e.host_mask);
+    // Gray-failure fields only when non-default, so reproducers written
+    // before these fields existed stay byte-identical on rewrite.
+    if (e.onset > sim::SimTime::zero()) w.kv("onset_s", e.onset.seconds());
+    if (e.recovery > sim::SimTime::zero()) {
+      w.kv("recovery_s", e.recovery.seconds());
+    }
+    if (e.latency_factor != 1.0) w.kv("latency_factor", e.latency_factor);
     w.end_object();
   }
   w.end_array();
@@ -210,6 +271,9 @@ FaultPlan plan_from_json(const obs::JsonValue& v) {
     e.severity = number_or(ev, "severity", 0.0);
     e.host_mask =
         static_cast<std::uint64_t>(number_or(ev, "host_mask", 0.0));
+    e.onset = sim::SimTime{number_or(ev, "onset_s", 0.0)};
+    e.recovery = sim::SimTime{number_or(ev, "recovery_s", 0.0)};
+    e.latency_factor = number_or(ev, "latency_factor", 1.0);
     plan.events.push_back(e);
   }
   return plan;
@@ -247,6 +311,10 @@ FaultPlan shrink_plan(const FaultPlan& failing,
       if (best.events[i].duration <= sim::SimTime::micros(1.0)) continue;
       FaultPlan cand = best;
       cand.events[i].duration = cand.events[i].duration * 0.5;
+      // Keep ramps inside the halved window (validate() rejects
+      // onset + recovery > duration, and a reproducer must stay valid).
+      cand.events[i].onset = cand.events[i].onset * 0.5;
+      cand.events[i].recovery = cand.events[i].recovery * 0.5;
       ++st.probes;
       if (fails(cand)) {
         best = std::move(cand);

@@ -34,6 +34,13 @@ struct ChaosSpec {
   /// Permanent device losses; off by default (smoke soaks compare
   /// against a fault-free oracle, and loss coverage lives in test_fault).
   bool allow_loss = false;
+  /// Gray-failure kinds (sg_chaos --gray): long, strong degradation
+  /// windows the SLO oracle expects the mitigation path to recover
+  /// from. Off by default so pre-existing soak seeds keep generating
+  /// byte-identical plans.
+  bool allow_degrade = false;       ///< kDeviceDegrade with ramps
+  bool allow_link_degrade = false;  ///< kLinkDegrade with latency derate
+  bool allow_pressure = false;      ///< kMemoryPressure with ramps
 };
 
 /// Deterministic random plan for `seed` within `spec`'s bounds: the

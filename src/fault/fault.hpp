@@ -27,6 +27,12 @@ enum class FaultKind : std::uint8_t {
   kMsgDuplicate,  ///< delivered payload also arrives again with prob
   kMsgReorder,    ///< payload delayed past later traffic with prob
   kNetPartition,  ///< host groups severed for [at, at+duration)
+  // Gray failures: the device keeps heartbeating and answering, it is
+  // just *slow* — thermal throttling, ECC retirement, memory pressure.
+  // Exactly the modes the φ-accrual detector tolerates rather than
+  // evicts; the GrayFailureMonitor handles them instead.
+  kDeviceDegrade,   ///< compute slowed by `severity` with onset/recovery ramps
+  kMemoryPressure,  ///< `severity` fraction of device memory squatted
 };
 
 /// Stable CLI spelling (e.g. "msg-corrupt", "net-partition").
@@ -38,9 +44,10 @@ enum class FaultKind : std::uint8_t {
 /// of zero means open-ended (lasts to the end of the run) except for
 /// kNetPartition, which requires a positive window (a partition that
 /// never heals is a device loss of the whole minority side). `severity`
-/// is a slowdown multiplier (>= 1) for kLinkDegrade/kStraggler and a
-/// probability in [0, 1] for kMessageDrop / kMsgCorrupt /
-/// kMsgDuplicate / kMsgReorder; unused for crashes and partitions.
+/// is a slowdown multiplier (>= 1) for kLinkDegrade / kStraggler /
+/// kDeviceDegrade, a probability in [0, 1] for kMessageDrop /
+/// kMsgCorrupt / kMsgDuplicate / kMsgReorder, and a capacity fraction
+/// in (0, 1] for kMemoryPressure; unused for crashes and partitions.
 struct FaultEvent {
   FaultKind kind = FaultKind::kDeviceCrash;
   sim::SimTime at = sim::SimTime::zero();
@@ -53,6 +60,18 @@ struct FaultEvent {
   /// side B. The side with fewer devices is the minority (tie: side A)
   /// and is the one fenced/evicted if the window outlasts detection.
   std::uint64_t host_mask = 0;
+  /// Gray-failure ramps (kDeviceDegrade / kLinkDegrade /
+  /// kMemoryPressure): the effect rises linearly from nothing to full
+  /// severity over [at, at+onset] and — for closed windows — falls back
+  /// to nothing over [at+duration-recovery, at+duration]. Zero means a
+  /// step edge (the pre-existing behaviour, byte-identical).
+  sim::SimTime onset = sim::SimTime::zero();
+  sim::SimTime recovery = sim::SimTime::zero();
+  /// kLinkDegrade: additional multiplier (>= 1) on the byte-independent
+  /// latency share of a cross-host hop. 1.0 (the default) leaves
+  /// latency untouched — exactly the pre-existing bandwidth-only
+  /// derating.
+  double latency_factor = 1.0;
 };
 
 /// Deterministic, seeded fault schedule. The seed feeds the per-message
@@ -72,12 +91,49 @@ struct FaultPlan {
     return *this;
   }
   /// Cuts bandwidth between `host` and `peer_host` (-1 = all peers) by
-  /// `slowdown` (>= 1) during [at, at+duration).
+  /// `slowdown` (>= 1) during [at, at+duration). `latency_factor`
+  /// (>= 1) additionally derates the byte-independent latency share of
+  /// the hop; `onset`/`recovery` ramp the derating in and out.
   FaultPlan& degrade_link(int host, int peer_host, sim::SimTime at,
-                          sim::SimTime duration, double slowdown) {
+                          sim::SimTime duration, double slowdown,
+                          double latency_factor = 1.0,
+                          sim::SimTime onset = sim::SimTime::zero(),
+                          sim::SimTime recovery = sim::SimTime::zero()) {
     events.push_back({.kind = FaultKind::kLinkDegrade, .at = at,
                       .duration = duration, .host = host,
-                      .peer_host = peer_host, .severity = slowdown});
+                      .peer_host = peer_host, .severity = slowdown,
+                      .onset = onset, .recovery = recovery,
+                      .latency_factor = latency_factor});
+    return *this;
+  }
+  /// Gray compute degradation: slows `device`'s kernels by `slowdown`
+  /// (>= 1) during [at, at+duration), ramping linearly to full severity
+  /// over `onset` and back to nominal over the trailing `recovery`
+  /// (zero = step). Unlike kStraggler this is the fault the
+  /// GrayFailureMonitor is expected to *mitigate*, not merely tolerate.
+  FaultPlan& degrade_device(int device, sim::SimTime at,
+                            sim::SimTime duration, double slowdown,
+                            sim::SimTime onset = sim::SimTime::zero(),
+                            sim::SimTime recovery = sim::SimTime::zero()) {
+    events.push_back({.kind = FaultKind::kDeviceDegrade, .at = at,
+                      .duration = duration, .device = device,
+                      .severity = slowdown, .onset = onset,
+                      .recovery = recovery});
+    return *this;
+  }
+  /// Memory pressure: an external squatter claims `fraction` (0, 1] of
+  /// `device`'s memory capacity during [at, at+duration), shrinking the
+  /// headroom the engine can use. What cannot be squatted (because the
+  /// engine got there first) is modeled as spill traffic: the deficit
+  /// is staged over PCIe every round, stalling the device.
+  FaultPlan& pressure_memory(int device, sim::SimTime at,
+                             sim::SimTime duration, double fraction,
+                             sim::SimTime onset = sim::SimTime::zero(),
+                             sim::SimTime recovery = sim::SimTime::zero()) {
+    events.push_back({.kind = FaultKind::kMemoryPressure, .at = at,
+                      .duration = duration, .device = device,
+                      .severity = fraction, .onset = onset,
+                      .recovery = recovery});
     return *this;
   }
   /// Drops each cross-device delivery attempt with probability
@@ -213,6 +269,86 @@ struct HealthPolicy {
   double min_stddev_fraction = 0.1;  ///< σ floor as fraction of the mean
 };
 
+/// What the engine is allowed to do about a device the
+/// GrayFailureMonitor has condemned.
+enum class MitigationMode : std::uint8_t {
+  kObserve,  ///< score/trace/count only; never touch the layout
+  kMigrate,  ///< move the hottest shards off the degraded device
+  kEvict,    ///< migrate, then evict a hopelessly degraded device
+};
+
+/// Configuration of the gray-failure monitor and its online response.
+/// The defaults keep the monitor purely observational, so a fault-free
+/// run with the monitor compiled in behaves byte-identically to one
+/// without it.
+///
+/// The monitor fuses three signals per device into a degradation score:
+///  * heartbeat stretch: EWMA of inter-arrival time over the nominal
+///    interval, minus one (a 4x-degraded device stretches to ~3);
+///  * critical-path blame: the device's kernel-time z-score against the
+///    fleet (the same statistic obs/critpath reports as stragglers);
+///  * spill stall: time spent staging spilled state under memory
+///    pressure, over the stall-free kernel time (pressure stretches no
+///    heartbeats, and the fleet z saturates at (n-1)/sqrt(n) on small
+///    fleets, so it needs a first-class term).
+/// score = hb_weight * stretch_excess + z_weight * max(z, 0)
+///       + stall_weight * stall_ratio.
+/// Hysteresis: the score must stay >= score_on for `sustain_rounds`
+/// consecutive evaluations before any action (transient jitter never
+/// triggers), and drops below score_off to re-arm. After an action the
+/// device is left alone for `cooldown_rounds` evaluations.
+struct MitigationPolicy {
+  MitigationMode mode = MitigationMode::kObserve;
+  double hb_weight = 1.0;
+  double z_weight = 0.5;
+  double stall_weight = 1.0;
+  double score_on = 1.0;
+  double score_off = 0.5;
+  int sustain_rounds = 3;   ///< consecutive over-threshold evaluations
+  int cooldown_rounds = 4;  ///< evaluations to skip after acting
+  /// Fraction of the condemned device's masters to move per migration,
+  /// hottest (highest-degree) first. At least one master always moves.
+  double migrate_fraction = 0.5;
+  /// A compute-blamed migration must shed at least this fraction of the
+  /// degraded device's local edges or it is skipped (budget still
+  /// spent): under vertex-cut layouts most local edges belong to
+  /// remotely-mastered vertices, so moving the device's own masters can
+  /// shed almost no work — the move would be pure cost. Memory-blamed
+  /// migrations are exempt (any byte shed shrinks the spill deficit).
+  double min_shed_fraction = 0.10;
+  int max_migrations_per_device = 2;  ///< then the device is "hopeless"
+  /// Two roles. A score >= `hopeless_score` is treated as unambiguous
+  /// and skips the `sustain_rounds` confirmation wait (waiting a round
+  /// to confirm a 5x derate just pays the fault for longer). Under
+  /// kEvict, a device still scoring past it after
+  /// `max_migrations_per_device` migrations is gracefully evicted (its
+  /// remaining state harvested live — no rollback needed).
+  double hopeless_score = 2.0;
+  /// EWMA smoothing for the heartbeat-stretch estimate.
+  double stretch_alpha = 0.3;
+};
+
+/// Per-device degradation ledger, folded into FaultStats so run reports
+/// can show who was slow, why, and what it cost. Sparse (only devices
+/// with nonzero activity appear) and sorted by device so merged stats
+/// and reports stay deterministic.
+struct DegradeStats {
+  int device = -1;
+  sim::SimTime degrade_delay = sim::SimTime::zero();  ///< kDeviceDegrade
+  sim::SimTime spill_stall = sim::SimTime::zero();  ///< kMemoryPressure
+  std::uint64_t spill_bytes = 0;          ///< modeled spill traffic
+  std::uint64_t pressure_peak_bytes = 0;  ///< max squatted at once
+  double peak_score = 0.0;                ///< monitor's max fused score
+  std::uint32_t migrations_off = 0;       ///< migrations away from here
+  std::uint64_t masters_moved_off = 0;    ///< masters those migrations moved
+
+  [[nodiscard]] bool any() const {
+    return degrade_delay.seconds() > 0.0 || spill_stall.seconds() > 0.0 ||
+           spill_bytes != 0 || pressure_peak_bytes != 0 ||
+           peak_score != 0.0 || migrations_off != 0;
+  }
+};
+
 /// Per-(src,dst) anomaly breakdown: which link pairs were actually
 /// affected (kMessageDrop counted only one global total before).
 /// Sparse and sorted by (from, to) so folded stats and reports are
@@ -260,9 +396,19 @@ struct FaultStats {
   std::uint64_t migrated_vertices = 0;     ///< orphans redistributed
   std::uint64_t straggler_suspicions = 0;  ///< φ >= suspect, not evicted
   std::uint64_t heartbeats_observed = 0;
+  // Gray-failure detection and mitigation.
+  std::uint64_t gray_alerts = 0;      ///< sustained-degradation crossings
+  std::uint64_t gray_migrations = 0;  ///< online shard migrations taken
+  std::uint64_t gray_migrated_masters = 0;
+  std::uint64_t gray_migrated_bytes = 0;
+  std::uint64_t gray_evictions = 0;  ///< hopeless devices evicted live
+  std::uint64_t spill_bytes = 0;     ///< memory-pressure spill traffic
   sim::SimTime checkpoint_time = sim::SimTime::zero();
   sim::SimTime recovery_time = sim::SimTime::zero();
   sim::SimTime straggler_delay = sim::SimTime::zero();
+  sim::SimTime degrade_delay = sim::SimTime::zero();  ///< kDeviceDegrade
+  sim::SimTime spill_stall = sim::SimTime::zero();    ///< kMemoryPressure
+  sim::SimTime mitigation_time = sim::SimTime::zero();
   /// Loss-to-eviction lag, summed over evictions (one eviction: the
   /// detection latency itself). Zero when nothing was evicted.
   sim::SimTime detection_latency = sim::SimTime::zero();
@@ -271,6 +417,21 @@ struct FaultStats {
   bool termination_clean = true;
   /// Per-(src,dst) anomaly breakdown, sorted by (from, to).
   std::vector<PairAnomalies> pairs;
+  /// Per-device degradation ledger, sorted by device. Empty unless
+  /// gray faults were active or the monitor acted.
+  std::vector<DegradeStats> degrade;
+
+  /// Find-or-insert the degradation slot for `device`, keeping
+  /// `degrade` sorted so merged stats are deterministic.
+  DegradeStats& degrade_for(int device) {
+    auto it = std::find_if(
+        degrade.begin(), degrade.end(),
+        [&](const DegradeStats& d) { return d.device >= device; });
+    if (it == degrade.end() || it->device != device) {
+      it = degrade.insert(it, DegradeStats{.device = device});
+    }
+    return *it;
+  }
 
   /// Find-or-insert the breakdown slot for (from, to), keeping `pairs`
   /// sorted so merged stats are deterministic.
@@ -320,9 +481,29 @@ struct FaultStats {
     migrated_vertices += o.migrated_vertices;
     straggler_suspicions += o.straggler_suspicions;
     heartbeats_observed += o.heartbeats_observed;
+    gray_alerts += o.gray_alerts;
+    gray_migrations += o.gray_migrations;
+    gray_migrated_masters += o.gray_migrated_masters;
+    gray_migrated_bytes += o.gray_migrated_bytes;
+    gray_evictions += o.gray_evictions;
+    spill_bytes += o.spill_bytes;
+    for (const DegradeStats& d : o.degrade) {
+      DegradeStats& mine = degrade_for(d.device);
+      mine.degrade_delay = mine.degrade_delay + d.degrade_delay;
+      mine.spill_stall = mine.spill_stall + d.spill_stall;
+      mine.spill_bytes += d.spill_bytes;
+      mine.pressure_peak_bytes =
+          std::max(mine.pressure_peak_bytes, d.pressure_peak_bytes);
+      mine.peak_score = std::max(mine.peak_score, d.peak_score);
+      mine.migrations_off += d.migrations_off;
+      mine.masters_moved_off += d.masters_moved_off;
+    }
     checkpoint_time = checkpoint_time + o.checkpoint_time;
     recovery_time = recovery_time + o.recovery_time;
     straggler_delay = straggler_delay + o.straggler_delay;
+    degrade_delay = degrade_delay + o.degrade_delay;
+    spill_stall = spill_stall + o.spill_stall;
+    mitigation_time = mitigation_time + o.mitigation_time;
     detection_latency = detection_latency + o.detection_latency;
     termination_clean = termination_clean && o.termination_clean;
     return *this;

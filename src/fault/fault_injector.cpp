@@ -24,6 +24,27 @@ double hash_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+/// Ramp weight of event `e` at time `at`, in [0, 1]: rises linearly
+/// over the leading `onset`, holds at 1, and falls over the trailing
+/// `recovery` of a closed window. 1 everywhere for step events (the
+/// pre-existing behaviour, byte-identical). Caller guarantees
+/// in_window(e, at).
+double ramp_scale(const FaultEvent& e, sim::SimTime at) {
+  double scale = 1.0;
+  if (e.onset > sim::SimTime::zero() && at < e.at + e.onset) {
+    scale = (at - e.at).seconds() / e.onset.seconds();
+  }
+  if (e.duration > sim::SimTime::zero() &&
+      e.recovery > sim::SimTime::zero()) {
+    const sim::SimTime fall = e.at + e.duration - e.recovery;
+    if (at > fall) {
+      scale = std::min(
+          scale, (e.at + e.duration - at).seconds() / e.recovery.seconds());
+    }
+  }
+  return std::clamp(scale, 0.0, 1.0);
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
@@ -71,8 +92,13 @@ FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
         break;
       }
       case FaultKind::kLinkDegrade:
-      case FaultKind::kMessageDrop:
       case FaultKind::kStraggler:
+      case FaultKind::kDeviceDegrade:
+      case FaultKind::kMemoryPressure:
+        has_degradation_ = true;
+        ++windowed_events_;
+        break;
+      case FaultKind::kMessageDrop:
       case FaultKind::kMsgCorrupt:
       case FaultKind::kMsgDuplicate:
       case FaultKind::kMsgReorder:
@@ -102,7 +128,29 @@ double FaultInjector::link_delay_factor(int src_host, int dst_host,
         (e.host == src_host || e.host == dst_host) &&
         (e.peer_host < 0 || e.peer_host == src_host ||
          e.peer_host == dst_host);
-    if (touches && e.severity > factor) factor = e.severity;
+    if (!touches) continue;
+    const double f = 1.0 + (e.severity - 1.0) * ramp_scale(e, at);
+    if (f > factor) factor = f;
+  }
+  return factor;
+}
+
+double FaultInjector::link_latency_factor(int src_host, int dst_host,
+                                          sim::SimTime at) const {
+  if (!active_ || src_host == dst_host) return 1.0;
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_->events) {
+    if (e.kind != FaultKind::kLinkDegrade || e.latency_factor <= 1.0 ||
+        !in_window(e, at)) {
+      continue;
+    }
+    const bool touches =
+        (e.host == src_host || e.host == dst_host) &&
+        (e.peer_host < 0 || e.peer_host == src_host ||
+         e.peer_host == dst_host);
+    if (!touches) continue;
+    const double f = 1.0 + (e.latency_factor - 1.0) * ramp_scale(e, at);
+    if (f > factor) factor = f;
   }
   return factor;
 }
@@ -111,13 +159,43 @@ double FaultInjector::compute_slowdown(int device, sim::SimTime at) const {
   if (!active_) return 1.0;
   double factor = 1.0;
   for (const FaultEvent& e : plan_->events) {
-    if (e.kind != FaultKind::kStraggler || e.device != device ||
+    if (e.device != device || !in_window(e, at)) continue;
+    if (e.kind == FaultKind::kStraggler) {
+      if (e.severity > factor) factor = e.severity;
+    } else if (e.kind == FaultKind::kDeviceDegrade) {
+      const double f = 1.0 + (e.severity - 1.0) * ramp_scale(e, at);
+      if (f > factor) factor = f;
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::degrade_slowdown(int device, sim::SimTime at) const {
+  if (!active_) return 1.0;
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_->events) {
+    if (e.kind != FaultKind::kDeviceDegrade || e.device != device ||
         !in_window(e, at)) {
       continue;
     }
-    if (e.severity > factor) factor = e.severity;
+    const double f = 1.0 + (e.severity - 1.0) * ramp_scale(e, at);
+    if (f > factor) factor = f;
   }
   return factor;
+}
+
+double FaultInjector::memory_pressure(int device, sim::SimTime at) const {
+  if (!active_) return 0.0;
+  double frac = 0.0;
+  for (const FaultEvent& e : plan_->events) {
+    if (e.kind != FaultKind::kMemoryPressure || e.device != device ||
+        !in_window(e, at)) {
+      continue;
+    }
+    const double f = e.severity * ramp_scale(e, at);
+    if (f > frac) frac = f;
+  }
+  return std::min(frac, 1.0);
 }
 
 bool FaultInjector::drops_message(int from, int to, MsgKind kind,

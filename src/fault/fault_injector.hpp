@@ -65,13 +65,36 @@ class FaultInjector {
     return sim::SimTime::max();
   }
 
-  /// Multiplier (>= 1) applied to cross-host transfer time between
-  /// `src_host` and `dst_host` for a transfer starting at `at`.
+  /// Multiplier (>= 1) applied to the bandwidth share of cross-host
+  /// transfer time between `src_host` and `dst_host` for a transfer
+  /// starting at `at` (kLinkDegrade severity, onset/recovery-ramped).
   [[nodiscard]] double link_delay_factor(int src_host, int dst_host,
                                          sim::SimTime at) const;
 
-  /// Multiplier (>= 1) applied to `device`'s compute time at `at`.
+  /// Multiplier (>= 1) applied to the byte-independent latency share of
+  /// the same hop (kLinkDegrade latency_factor, ramped). 1.0 when no
+  /// window derates latency — the pre-existing bandwidth-only model.
+  [[nodiscard]] double link_latency_factor(int src_host, int dst_host,
+                                           sim::SimTime at) const;
+
+  /// Multiplier (>= 1) applied to `device`'s compute time at `at`: the
+  /// max of any kStraggler window and any (ramped) kDeviceDegrade
+  /// window in effect.
   [[nodiscard]] double compute_slowdown(int device, sim::SimTime at) const;
+
+  /// The kDeviceDegrade share of compute_slowdown (>= 1; excludes
+  /// kStraggler windows). Lets the engine attribute lost kernel time to
+  /// gray degradation vs plain straggling by whichever factor binds.
+  [[nodiscard]] double degrade_slowdown(int device, sim::SimTime at) const;
+
+  /// Fraction of `device`'s memory capacity squatted by kMemoryPressure
+  /// windows covering `at` (ramped; 0 when none).
+  [[nodiscard]] double memory_pressure(int device, sim::SimTime at) const;
+
+  /// True when the plan schedules any gray degradation the
+  /// GrayFailureMonitor should watch (device/link degrade, memory
+  /// pressure, or stragglers).
+  [[nodiscard]] bool has_degradation() const { return has_degradation_; }
 
   /// Deterministically decides whether delivery attempt `attempt` of the
   /// (from -> to, kind, round) message starting at `at` is dropped.
@@ -143,6 +166,7 @@ class FaultInjector {
   const FaultPlan* plan_ = nullptr;
   const sim::Topology* topo_ = nullptr;
   bool active_ = false;
+  bool has_degradation_ = false;
   std::vector<ResolvedCrash> crashes_;
   std::vector<ResolvedCrash> losses_;
   std::vector<PartitionWindow> partitions_;

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "fault/fault.hpp"
@@ -8,9 +9,9 @@ namespace sg::fault {
 namespace {
 
 constexpr const char* kKindNames[] = {
-    "device-crash", "host-crash",    "link-degrade", "message-drop",
-    "straggler",    "device-loss",   "msg-corrupt",  "msg-duplicate",
-    "msg-reorder",  "net-partition",
+    "device-crash", "host-crash",     "link-degrade",   "message-drop",
+    "straggler",    "device-loss",    "msg-corrupt",    "msg-duplicate",
+    "msg-reorder",  "net-partition",  "device-degrade", "memory-pressure",
 };
 
 /// Half-open window of event `e`; duration zero = open-ended (except
@@ -34,6 +35,8 @@ bool is_windowed(FaultKind k) {
     case FaultKind::kMsgDuplicate:
     case FaultKind::kMsgReorder:
     case FaultKind::kNetPartition:
+    case FaultKind::kDeviceDegrade:
+    case FaultKind::kMemoryPressure:
       return true;
     default:
       return false;
@@ -46,10 +49,28 @@ bool same_target(const FaultEvent& a, const FaultEvent& b) {
          a.severity == b.severity;
 }
 
+/// Diagnostic prefix naming the event, its concrete target, and its
+/// full window, so shrunken chaos reproducers are self-diagnosing
+/// without having to open the plan JSON.
 std::string where(std::size_t i, const FaultEvent& e) {
-  return "FaultPlan event " + std::to_string(i) + " (" +
-         to_string(e.kind) + " at t=" + std::to_string(e.at.seconds()) +
-         "s): ";
+  std::string s = "FaultPlan event " + std::to_string(i) + " (" +
+                  to_string(e.kind);
+  if (e.device >= 0) s += " device=" + std::to_string(e.device);
+  if (e.host >= 0) s += " host=" + std::to_string(e.host);
+  if (e.peer_host >= 0) s += " peer_host=" + std::to_string(e.peer_host);
+  if (e.host_mask != 0) s += " host_mask=0x" + [&] {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(e.host_mask));
+    return std::string(buf);
+  }();
+  s += " at t=" + std::to_string(e.at.seconds()) + "s";
+  if (e.duration > sim::SimTime::zero()) {
+    s += " until t=" + std::to_string((e.at + e.duration).seconds()) + "s";
+  } else if (is_windowed(e.kind)) {
+    s += " open-ended";
+  }
+  return s + "): ";
 }
 
 }  // namespace
@@ -79,6 +100,29 @@ std::string FaultPlan::validate(int num_devices, int num_hosts) const {
     if (e.duration < sim::SimTime::zero()) {
       return where(i, e) + "inverted window (duration " +
              std::to_string(e.duration.seconds()) + "s < 0)";
+    }
+    // Ramp sanity for the gray kinds that honour onset/recovery.
+    if (e.kind == FaultKind::kLinkDegrade ||
+        e.kind == FaultKind::kDeviceDegrade ||
+        e.kind == FaultKind::kMemoryPressure) {
+      if (e.onset < sim::SimTime::zero() ||
+          e.recovery < sim::SimTime::zero()) {
+        return where(i, e) + "negative ramp (onset " +
+               std::to_string(e.onset.seconds()) + "s, recovery " +
+               std::to_string(e.recovery.seconds()) + "s)";
+      }
+      if (e.duration > sim::SimTime::zero() &&
+          e.onset + e.recovery > e.duration) {
+        return where(i, e) + "ramps exceed the window (onset " +
+               std::to_string(e.onset.seconds()) + "s + recovery " +
+               std::to_string(e.recovery.seconds()) + "s > duration " +
+               std::to_string(e.duration.seconds()) + "s)";
+      }
+      if (e.duration <= sim::SimTime::zero() &&
+          e.recovery > sim::SimTime::zero()) {
+        return where(i, e) +
+               "an open-ended window cannot have a recovery ramp";
+      }
     }
     switch (e.kind) {
       case FaultKind::kDeviceCrash:
@@ -117,6 +161,33 @@ std::string FaultPlan::validate(int num_devices, int num_hosts) const {
         if (!(e.severity >= 1.0)) {
           return where(i, e) + "slowdown " + std::to_string(e.severity) +
                  " must be >= 1";
+        }
+        if (!(e.latency_factor >= 1.0)) {
+          return where(i, e) + "latency_factor " +
+                 std::to_string(e.latency_factor) + " must be >= 1";
+        }
+        break;
+      case FaultKind::kDeviceDegrade:
+        if (bad_device(e.device)) {
+          return where(i, e) + "device " + std::to_string(e.device) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_devices) + " devices)";
+        }
+        if (!(e.severity >= 1.0)) {
+          return where(i, e) + "slowdown " + std::to_string(e.severity) +
+                 " must be >= 1";
+        }
+        break;
+      case FaultKind::kMemoryPressure:
+        if (bad_device(e.device)) {
+          return where(i, e) + "device " + std::to_string(e.device) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_devices) + " devices)";
+        }
+        if (!(e.severity > 0.0) || e.severity > 1.0 ||
+            std::isnan(e.severity)) {
+          return where(i, e) + "capacity fraction " +
+                 std::to_string(e.severity) + " must be in (0, 1]";
         }
         break;
       case FaultKind::kMessageDrop:
@@ -165,7 +236,9 @@ std::string FaultPlan::validate(int num_devices, int num_hosts) const {
       if (e.device != loss.device) continue;
       const bool device_targeted = e.kind == FaultKind::kDeviceCrash ||
                                    e.kind == FaultKind::kStraggler ||
-                                   e.kind == FaultKind::kDeviceLoss;
+                                   e.kind == FaultKind::kDeviceLoss ||
+                                   e.kind == FaultKind::kDeviceDegrade ||
+                                   e.kind == FaultKind::kMemoryPressure;
       if (!device_targeted) continue;
       const bool duplicate_loss =
           e.kind == FaultKind::kDeviceLoss && j > i;

@@ -112,7 +112,12 @@ void HeartbeatMonitor::precompute_fences(int num_devices) {
   }
   if (injector_->plan() != nullptr) {
     for (const FaultEvent& e : injector_->plan()->events) {
-      if (e.kind == FaultKind::kStraggler && e.severity > max_stretch) {
+      // Both straggler and gray-degrade slowdowns stretch the heartbeat
+      // cadence, widening the fitted mean interval the grace gap scales
+      // with; the horizon must cover the worst of either.
+      if ((e.kind == FaultKind::kStraggler ||
+           e.kind == FaultKind::kDeviceDegrade) &&
+          e.severity > max_stretch) {
         max_stretch = e.severity;
       }
     }
@@ -207,10 +212,8 @@ void HeartbeatMonitor::set_metrics(obs::Registry* reg) {
   m_max_phi_ = &reg->gauge("health.max_phi");
 }
 
-std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
-                                           FaultStats& stats) {
-  std::vector<int> evictable;
-  if (!active_) return evictable;
+void HeartbeatMonitor::observe_until(sim::SimTime now, FaultStats& stats) {
+  if (!active_) return;
   const auto n = static_cast<int>(next_send_.size());
   for (int d = 0; d < n; ++d) {
     const auto du = static_cast<std::size_t>(d);
@@ -237,12 +240,8 @@ std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
           next_send_[du] + policy_.heartbeat_interval * stretch;
     }
     if (m_max_phi_ != nullptr) m_max_phi_->max_of(detector_.phi(d, now));
-    // The eviction decision is the precomputed fence crossing: same
-    // rule the live detector applies, but exact on the heartbeat grid
-    // regardless of when the executor happens to call advance().
-    if (fence_at_[du] <= now) {
-      evictable.push_back(d);
-    } else if (detector_.suspected(d, now)) {
+    if (fence_at_[du] <= now) continue;  // advance() owns the verdict
+    if (detector_.suspected(d, now)) {
       if (!suspicion_latched_[du]) {
         suspicion_latched_[du] = true;
         ++stats.straggler_suspicions;
@@ -251,6 +250,22 @@ std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
     } else {
       suspicion_latched_[du] = false;  // recovered; re-arm the latch
     }
+  }
+}
+
+std::vector<int> HeartbeatMonitor::advance(sim::SimTime now,
+                                           FaultStats& stats) {
+  std::vector<int> evictable;
+  if (!active_) return evictable;
+  observe_until(now, stats);
+  const auto n = static_cast<int>(next_send_.size());
+  for (int d = 0; d < n; ++d) {
+    const auto du = static_cast<std::size_t>(d);
+    if (evicted_[du]) continue;
+    // The eviction decision is the precomputed fence crossing: same
+    // rule the live detector applies, but exact on the heartbeat grid
+    // regardless of when the executor happens to call advance().
+    if (fence_at_[du] <= now) evictable.push_back(d);
   }
   return evictable;
 }

@@ -117,6 +117,13 @@ class HeartbeatMonitor {
   /// `mark_evicted` for each device they actually evict.
   std::vector<int> advance(sim::SimTime now, FaultStats& stats);
 
+  /// Observation-only half of advance(): simulates heartbeats up to
+  /// `now` and samples the φ / suspicion gauges, without computing
+  /// evictables. BASP calls this at local round boundaries so the
+  /// health gauges track the run between monitor polls (BSP barriers
+  /// already sample via advance()).
+  void observe_until(sim::SimTime now, FaultStats& stats);
+
   void mark_evicted(int device) {
     evicted_[static_cast<std::size_t>(device)] = true;
   }

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/zscore.hpp"
+
 namespace sg::obs {
 
 const char* to_string(CpCategory c) {
@@ -415,22 +417,20 @@ CpAnalysis analyze_critical_path(const TraceView& view,
       if (k.n > 0) ks.push_back(k);
     }
     if (ks.size() >= 2) {
-      double mean = 0.0;
-      for (const KernelStat& k : ks) mean += k.sum / static_cast<double>(k.n);
-      mean /= static_cast<double>(ks.size());
-      double var = 0.0;
+      std::vector<double> means;
+      means.reserve(ks.size());
       for (const KernelStat& k : ks) {
-        const double d = k.sum / static_cast<double>(k.n) - mean;
-        var += d * d;
+        means.push_back(k.sum / static_cast<double>(k.n));
       }
-      const double sd = std::sqrt(var / static_cast<double>(ks.size()));
-      for (const KernelStat& k : ks) {
+      const std::vector<double> zs = population_zscores(means);
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        const KernelStat& k = ks[i];
         CpStraggler st;
         st.track = k.track;
         st.name = view.track_label(k.track);
         st.kernels = k.n;
-        st.mean_kernel_s = k.sum / static_cast<double>(k.n);
-        st.z = sd > 1e-15 ? (st.mean_kernel_s - mean) / sd : 0.0;
+        st.mean_kernel_s = means[i];
+        st.z = zs[i];
         a.stragglers.push_back(std::move(st));
       }
       std::sort(a.stragglers.begin(), a.stragglers.end(),

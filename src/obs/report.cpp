@@ -67,6 +67,53 @@ void write_faults_json(JsonWriter& w, const fault::FaultStats& f) {
   if (f.partition_evictions != 0) {
     w.kv("partition_evictions", f.partition_evictions);
   }
+  // Gray-failure counters, same nonzero-only contract: a clean run (or
+  // one without degradation faults) reports byte-identically whether or
+  // not the monitor is compiled in.
+  if (f.gray_alerts != 0) w.kv("gray_alerts", f.gray_alerts);
+  if (f.gray_migrations != 0) w.kv("gray_migrations", f.gray_migrations);
+  if (f.gray_migrated_masters != 0) {
+    w.kv("gray_migrated_masters", f.gray_migrated_masters);
+  }
+  if (f.gray_migrated_bytes != 0) {
+    w.kv("gray_migrated_bytes", f.gray_migrated_bytes);
+  }
+  if (f.gray_evictions != 0) w.kv("gray_evictions", f.gray_evictions);
+  if (f.spill_bytes != 0) w.kv("spill_bytes", f.spill_bytes);
+  if (f.degrade_delay.seconds() != 0.0) {
+    w.kv("degrade_delay_s", f.degrade_delay.seconds());
+  }
+  if (f.spill_stall.seconds() != 0.0) {
+    w.kv("spill_stall_s", f.spill_stall.seconds());
+  }
+  if (f.mitigation_time.seconds() != 0.0) {
+    w.kv("mitigation_time_s", f.mitigation_time.seconds());
+  }
+  if (!f.degrade.empty()) {
+    w.key("degrade").begin_array();
+    for (const fault::DegradeStats& d : f.degrade) {
+      if (!d.any()) continue;
+      w.begin_object();
+      w.kv("device", d.device);
+      if (d.degrade_delay.seconds() != 0.0) {
+        w.kv("degrade_delay_s", d.degrade_delay.seconds());
+      }
+      if (d.spill_stall.seconds() != 0.0) {
+        w.kv("spill_stall_s", d.spill_stall.seconds());
+      }
+      if (d.spill_bytes != 0) w.kv("spill_bytes", d.spill_bytes);
+      if (d.pressure_peak_bytes != 0) {
+        w.kv("pressure_peak_bytes", d.pressure_peak_bytes);
+      }
+      if (d.peak_score != 0.0) w.kv("peak_score", d.peak_score);
+      if (d.migrations_off != 0) w.kv("migrations_off", d.migrations_off);
+      if (d.masters_moved_off != 0) {
+        w.kv("masters_moved_off", d.masters_moved_off);
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
   if (!f.pairs.empty()) {
     w.key("pair_anomalies").begin_array();
     for (const fault::PairAnomalies& p : f.pairs) {

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace sg::obs {
+
+/// Population z-scores of `values` against their own mean: the
+/// straggler statistic behind sg_explain's ranking (critpath.cpp) and
+/// the GrayFailureMonitor's kernel-blame signal — one definition so the
+/// two always agree. Fewer than two samples, or a population sd below
+/// 1e-15, yields all zeros (no fleet to stand out from).
+[[nodiscard]] inline std::vector<double> population_zscores(
+    const std::vector<double>& values) {
+  std::vector<double> z(values.size(), 0.0);
+  if (values.size() < 2) return z;
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  const double sd = std::sqrt(var / static_cast<double>(values.size()));
+  if (sd <= 1e-15) return z;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    z[i] = (values[i] - mean) / sd;
+  }
+  return z;
+}
+
+}  // namespace sg::obs

@@ -203,4 +203,184 @@ RehomeResult rehome_partition(const DistGraph& old, int lost_device,
   return result;
 }
 
+RebalanceResult rebalance_partition(const DistGraph& old, int hot_device,
+                                    double fraction,
+                                    std::span<const std::uint64_t> free_bytes,
+                                    std::span<const std::uint8_t> dead) {
+  const int n = old.num_devices();
+  const auto gone = [&](int d) {
+    return d == hot_device ||
+           (d < static_cast<int>(dead.size()) &&
+            dead[static_cast<std::size_t>(d)] != 0);
+  };
+  if (hot_device < 0 || hot_device >= n) {
+    throw std::runtime_error("rebalance_partition: device " +
+                             std::to_string(hot_device) + " out of range");
+  }
+  int live_targets = 0;
+  for (int d = 0; d < n; ++d) {
+    if (!gone(d)) ++live_targets;
+  }
+  if (live_targets == 0) {
+    throw std::runtime_error(
+        "rebalance_partition: no live device to move shards from device " +
+        std::to_string(hot_device) + " onto");
+  }
+
+  const LocalGraph& hot = old.part(hot_device);
+  RebalanceResult result;
+
+  // --- Pick the hottest masters: heat is the device-local edge work
+  // the master costs (out+in degree on the hot device), descending,
+  // ties to the lowest global id so reruns pick the same set.
+  struct Hot {
+    graph::VertexId gv;
+    std::uint64_t heat;
+  };
+  std::vector<Hot> masters;
+  for (graph::VertexId v = 0; v < hot.num_local; ++v) {
+    const graph::VertexId gv = hot.l2g[v];
+    if (old.master_of(gv) != hot_device) continue;
+    masters.push_back({gv, hot.out_degree(v) + hot.in_degree(v)});
+  }
+  if (masters.empty()) {
+    throw std::runtime_error("rebalance_partition: device " +
+                             std::to_string(hot_device) +
+                             " masters no vertices to move");
+  }
+  std::sort(masters.begin(), masters.end(), [](const Hot& a, const Hot& b) {
+    if (a.heat != b.heat) return a.heat > b.heat;
+    return a.gv < b.gv;
+  });
+  const std::size_t want = std::clamp<std::size_t>(
+      static_cast<std::size_t>(fraction *
+                               static_cast<double>(masters.size())),
+      1, masters.size());
+  result.moved.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) result.moved.push_back(masters[i].gv);
+  std::sort(result.moved.begin(), result.moved.end());
+
+  // --- Place each moved master, capacity-aware like rehome's orphans.
+  std::vector<int> new_master = old.master_directory();
+  std::vector<std::uint64_t> headroom(
+      static_cast<std::size_t>(n), std::numeric_limits<std::uint64_t>::max());
+  if (!free_bytes.empty()) {
+    for (int d = 0; d < n && d < static_cast<int>(free_bytes.size()); ++d) {
+      headroom[static_cast<std::size_t>(d)] = free_bytes[d];
+    }
+  }
+  for (int d = 0; d < n; ++d) {
+    if (gone(d)) headroom[static_cast<std::size_t>(d)] = 0;
+  }
+  const auto charge = [&](int d, std::uint64_t bytes) {
+    auto& h = headroom[static_cast<std::size_t>(d)];
+    h = bytes > h ? 0 : h - bytes;
+  };
+
+  for (const graph::VertexId gv : result.moved) {
+    const graph::VertexId lv = hot.g2l.at(gv);
+    const std::uint64_t cost =
+        kVertexBytes + hot.out_degree(lv) * kEdgeBytes;
+    int target = -1;
+    for (int d = 0; d < n; ++d) {
+      if (gone(d)) continue;
+      if (old.part(d).g2l.contains(gv) &&
+          headroom[static_cast<std::size_t>(d)] >= cost) {
+        target = d;
+        break;
+      }
+    }
+    if (target < 0) {
+      std::uint64_t best = 0;
+      for (int d = 0; d < n; ++d) {
+        if (gone(d)) continue;
+        const std::uint64_t h = headroom[static_cast<std::size_t>(d)];
+        if (target < 0 || h > best) {
+          target = d;
+          best = h;
+        }
+      }
+      if (target < 0 || best < cost) {
+        throw std::runtime_error(
+            "rebalance_partition: no live device can absorb master " +
+            std::to_string(gv) + " (" + std::to_string(cost) +
+            " B needed, best target has " + std::to_string(best) +
+            " B free)");
+      }
+    }
+    new_master[gv] = target;
+    charge(target, cost);
+  }
+
+  // --- Rebuild: the hot device keeps every edge whose source did not
+  // move; out-edges of moved masters follow the master.
+  std::vector<std::vector<detail::RawEdge>> edges_by_dev(
+      static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    if (d < static_cast<int>(dead.size()) &&
+        dead[static_cast<std::size_t>(d)] != 0) {
+      continue;
+    }
+    if (d != hot_device) {
+      globalize_edges(old.part(d), edges_by_dev[static_cast<std::size_t>(d)]);
+      continue;
+    }
+    const bool weighted = !hot.out_weights.empty();
+    for (graph::VertexId u = 0; u < hot.num_local; ++u) {
+      const graph::VertexId gu = hot.l2g[u];
+      const bool moved_src = std::binary_search(
+          result.moved.begin(), result.moved.end(), gu);
+      for (graph::EdgeId e = hot.out_offsets[u]; e < hot.out_offsets[u + 1];
+           ++e) {
+        const detail::RawEdge edge{
+            gu, hot.l2g[hot.out_dsts[e]],
+            weighted ? hot.out_weights[e] : graph::Weight{1}};
+        if (moved_src) {
+          edges_by_dev[static_cast<std::size_t>(new_master[gu])].push_back(
+              edge);
+          ++result.migrated_edges;
+        } else {
+          edges_by_dev[static_cast<std::size_t>(d)].push_back(edge);
+        }
+      }
+    }
+  }
+  result.migrated_bytes = result.migrated_edges * kEdgeBytes +
+                          result.moved.size() * kVertexBytes;
+
+  const graph::VertexId gv_count = old.global_vertices();
+  std::vector<std::vector<graph::VertexId>> masters_by_dev(
+      static_cast<std::size_t>(n));
+  for (graph::VertexId gv = 0; gv < gv_count; ++gv) {
+    masters_by_dev[static_cast<std::size_t>(new_master[gv])].push_back(gv);
+  }
+
+  std::vector<graph::EdgeId> g_out(gv_count, 0);
+  std::vector<graph::EdgeId> g_in(gv_count, 0);
+  for (int d = 0; d < n; ++d) {
+    const LocalGraph& lg = old.part(d);
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      g_out[lg.l2g[v]] = lg.global_out_degree[v];
+      g_in[lg.l2g[v]] = lg.global_in_degree[v];
+    }
+  }
+
+  std::vector<LocalGraph> parts;
+  parts.reserve(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    parts.push_back(detail::build_local_graph(
+        d, masters_by_dev[static_cast<std::size_t>(d)],
+        edges_by_dev[static_cast<std::size_t>(d)], g_out, g_in,
+        old.weighted()));
+  }
+
+  PartitionStats stats =
+      detail::compute_stats(parts, gv_count, old.global_edges());
+  result.dg = DistGraph::assemble(std::move(parts), std::move(new_master),
+                                  gv_count, old.global_edges(),
+                                  old.weighted(), old.options(), old.grid(),
+                                  std::move(stats));
+  return result;
+}
+
 }  // namespace sg::partition

@@ -56,4 +56,38 @@ struct RehomeResult {
     std::span<const std::uint64_t> free_bytes,
     std::span<const std::uint8_t> dead = {});
 
+/// Output of `rebalance_partition`: the rebuilt layout plus the moved
+/// master set and modeled transfer volume.
+struct RebalanceResult {
+  /// Rebuilt distributed graph, same device count. Unlike rehome, the
+  /// source device stays *live*: it keeps its unmoved masters and
+  /// becomes a mirror of the moved ones wherever its remaining edges
+  /// still reference them.
+  DistGraph dg;
+  /// Global ids whose master moved off `hot_device`, ascending.
+  std::vector<graph::VertexId> moved;
+  graph::EdgeId migrated_edges = 0;  ///< edges moved off the hot device
+  std::uint64_t migrated_bytes = 0;  ///< modeled transfer volume
+};
+
+/// Partial, online re-homing: moves the hottest `fraction` of
+/// `hot_device`'s masters (heat = local out+in degree, the compute the
+/// device spends on them; at least one always moves) onto healthier
+/// devices — the GrayFailureMonitor's mitigation primitive.
+///
+/// Deterministic placement, mirroring rehome_partition's rules:
+///  * a moved master goes to the lowest live device already holding a
+///    proxy (it can adopt the archived master copy directly), else to
+///    the device with the most free headroom (tie: lowest id);
+///  * the hot device's out-edges of moved masters follow them to the
+///    new master, shrinking the hot device's kernel share; all other
+///    edges stay put.
+/// `free_bytes` and `dead` behave exactly as in rehome_partition;
+/// `hot_device` itself is never a placement target. Throws when no live
+/// target can absorb a moved master.
+[[nodiscard]] RebalanceResult rebalance_partition(
+    const DistGraph& old, int hot_device, double fraction,
+    std::span<const std::uint64_t> free_bytes,
+    std::span<const std::uint8_t> dead = {});
+
 }  // namespace sg::partition

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -1086,7 +1087,10 @@ TEST(FaultPlanValidate, RejectsTargetsOutsideTheCluster) {
   fault::FaultPlan plan;
   plan.crash_device(7, sim::SimTime::zero());
   const std::string err = plan.validate(4, 2);
-  EXPECT_NE(err.find("FaultPlan event 0 (device-crash at t="), std::string::npos)
+  // The prefix echoes the offending target so the reader never has to
+  // cross-reference the plan by index.
+  EXPECT_NE(err.find("FaultPlan event 0 (device-crash device=7 at t="),
+            std::string::npos)
       << err;
   EXPECT_NE(err.find("device 7 does not exist (cluster has 4 devices)"),
             std::string::npos)
@@ -1293,6 +1297,262 @@ TEST(FaultRecovery, StragglerPlanIsDeterministicAcrossReruns) {
   EXPECT_EQ(a.stats.total_time, b.stats.total_time);
   EXPECT_GT(a.stats.faults.straggler_delay, sim::SimTime::zero());
   EXPECT_GT(a.stats.total_time, ff.stats.total_time);
+}
+
+// ---- gray failures: degradation faults, monitor, online migration ------
+
+/// Monitor tuning scaled to a micro-benchmark, the same way sg_chaos
+/// --gray (and an operator) would: heartbeat cadence derived from the
+/// fault-free makespan, fast-converging stretch estimate, act on the
+/// first sustained crossing.
+engine::EngineConfig gray_cfg(engine::ExecModel model, sim::SimTime oracle,
+                              fault::MitigationMode mode) {
+  auto c = cfg(model);
+  c.mitigation.mode = mode;
+  c.mitigation.sustain_rounds = 1;
+  c.mitigation.stretch_alpha = 0.4;
+  c.health.heartbeat_interval = oracle * (1.0 / 50.0);
+  return c;
+}
+
+/// A degrade window that covers most of the run at a severity no
+/// barrier can miss — migration should both trigger and pay off.
+fault::FaultPlan sustained_degrade(int device, sim::SimTime oracle) {
+  fault::FaultPlan plan;
+  plan.degrade_device(device, oracle * 0.15, oracle * 0.7, 6.0);
+  return plan;
+}
+
+TEST(GrayFault, RampedDegradeShapesSlowdownDeterministically) {
+  const auto t = topo(4);
+  fault::FaultPlan plan;
+  plan.degrade_device(1, sim::SimTime{1.0}, sim::SimTime{1.0}, 5.0,
+                      sim::SimTime{0.2}, sim::SimTime{0.2});
+  const fault::FaultInjector inj(&plan, &t);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, sim::SimTime{0.999}), 1.0);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, sim::SimTime{1.1}), 3.0);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, sim::SimTime{1.5}), 5.0);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, sim::SimTime{1.9}), 3.0);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(1, sim::SimTime{2.001}), 1.0);
+  EXPECT_DOUBLE_EQ(inj.compute_slowdown(0, sim::SimTime{1.5}), 1.0);
+
+  // A step event (no ramps) keeps the legacy all-or-nothing shape.
+  fault::FaultPlan step;
+  step.degrade_device(1, sim::SimTime{1.0}, sim::SimTime{1.0}, 5.0);
+  const fault::FaultInjector sinj(&step, &t);
+  EXPECT_DOUBLE_EQ(sinj.compute_slowdown(1, sim::SimTime{1.001}), 5.0);
+  EXPECT_DOUBLE_EQ(sinj.compute_slowdown(1, sim::SimTime{1.999}), 5.0);
+}
+
+TEST(GrayFault, ValidateRejectsRampsExceedingTheWindow) {
+  fault::FaultPlan plan;
+  plan.degrade_device(1, sim::SimTime{1.0}, sim::SimTime{1.0}, 5.0,
+                      sim::SimTime{0.7}, sim::SimTime{0.7});
+  EXPECT_NE(plan.validate(4, 2).find("ramps exceed the window"),
+            std::string::npos);
+}
+
+TEST(GrayFault, RampedDegradeRunIsDeterministicAndSlowerThanStep) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+  const auto T = ff.stats.total_time;
+
+  fault::FaultPlan ramped;
+  ramped.degrade_device(1, T * 0.1, T * 0.6, 5.0, T * 0.2, T * 0.2);
+  auto rcfg = base;
+  rcfg.fault_plan = &ramped;
+  const auto r1 = fx.run(rcfg);
+  const auto r2 = fx.run(rcfg);
+  EXPECT_EQ(r1.dist, ff.dist);
+  EXPECT_EQ(r1.dist, r2.dist);
+  EXPECT_EQ(r1.stats.total_time, r2.stats.total_time);
+  EXPECT_GT(r1.stats.faults.degrade_delay, sim::SimTime::zero());
+
+  // Same window at full severity throughout: at least as much delay.
+  fault::FaultPlan step;
+  step.degrade_device(1, T * 0.1, T * 0.6, 5.0);
+  auto scfg = base;
+  scfg.fault_plan = &step;
+  const auto sr = fx.run(scfg);
+  EXPECT_EQ(sr.dist, ff.dist);
+  EXPECT_GE(sr.stats.faults.degrade_delay, r1.stats.faults.degrade_delay);
+}
+
+TEST(GrayFault, ObserveOnlyAlertsButNeverActs) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+
+  auto plan = sustained_degrade(1, ff.stats.total_time);
+  auto observe = gray_cfg(engine::ExecModel::kSync, ff.stats.total_time,
+                          fault::MitigationMode::kObserve);
+  observe.fault_plan = &plan;
+  const auto a = fx.run(observe);
+  const auto b = fx.run(observe);
+
+  EXPECT_EQ(a.dist, ff.dist);
+  EXPECT_GT(a.stats.total_time, ff.stats.total_time);
+  EXPECT_GE(a.stats.faults.gray_alerts, 1u);
+  EXPECT_EQ(a.stats.faults.gray_migrations, 0u);
+  EXPECT_EQ(a.stats.faults.gray_evictions, 0u);
+  EXPECT_EQ(a.stats.faults.rehomed_masters, 0u);
+  // Per-device ledger scored the degraded device and nobody else moved.
+  bool scored = false;
+  for (const auto& d : a.stats.faults.degrade) {
+    if (d.device == 1) scored = d.peak_score > 0.0;
+    EXPECT_EQ(d.migrations_off, 0u);
+  }
+  EXPECT_TRUE(scored);
+  // Deterministic: byte-identical rerun.
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.stats.total_time, b.stats.total_time);
+  EXPECT_EQ(a.stats.faults.gray_alerts, b.stats.faults.gray_alerts);
+}
+
+TEST(GrayFault, MigrationKeepsBfsAndCcBitExactAndRecoversMakespan) {
+  const auto g = small_social();
+  const auto t = topo(4);
+  const auto p = params();
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto src = graph::datasets::default_source(g);
+  PreparedGraph prep(g, partition::Policy::OEC, 4);
+
+  {
+    const auto ff = algo::run_bfs(prep.dist, prep.sync, t, p, base, src);
+    auto plan = sustained_degrade(1, ff.stats.total_time);
+    auto observe = gray_cfg(engine::ExecModel::kSync, ff.stats.total_time,
+                            fault::MitigationMode::kObserve);
+    observe.fault_plan = &plan;
+    const auto ob = algo::run_bfs(prep.dist, prep.sync, t, p, observe, src);
+    auto migrate = observe;
+    migrate.mitigation.mode = fault::MitigationMode::kMigrate;
+    const auto mi = algo::run_bfs(prep.dist, prep.sync, t, p, migrate, src);
+    const auto mi2 = algo::run_bfs(prep.dist, prep.sync, t, p, migrate, src);
+
+    EXPECT_EQ(mi.dist, ff.dist);  // bit-exact through migration
+    EXPECT_GE(mi.stats.faults.gray_migrations, 1u);
+    EXPECT_GT(mi.stats.faults.gray_migrated_masters, 0u);
+    EXPECT_GT(mi.stats.faults.mitigation_time, sim::SimTime::zero());
+    EXPECT_LT(mi.stats.total_time, ob.stats.total_time);  // makespan recovered
+    EXPECT_EQ(mi.dist, mi2.dist);
+    EXPECT_EQ(mi.stats.total_time, mi2.stats.total_time);
+  }
+  {
+    const auto ff = algo::run_cc(prep.dist, prep.sync, t, p, base);
+    auto plan = sustained_degrade(1, ff.stats.total_time);
+    auto migrate = gray_cfg(engine::ExecModel::kSync, ff.stats.total_time,
+                            fault::MitigationMode::kMigrate);
+    migrate.fault_plan = &plan;
+    const auto mi = algo::run_cc(prep.dist, prep.sync, t, p, migrate);
+    EXPECT_EQ(mi.label, ff.label);
+    EXPECT_GE(mi.stats.faults.gray_migrations, 1u);
+  }
+}
+
+TEST(GrayFault, MigrationKeepsPagerankInvariants) {
+  const auto g = small_social();
+  const auto t = topo(4);
+  const auto p = params();
+  const auto base = cfg(engine::ExecModel::kSync);
+  PreparedGraph prep(g, partition::Policy::OEC, 4);
+  const auto ff = algo::run_pagerank(prep.dist, prep.sync, t, p, base);
+
+  auto plan = sustained_degrade(1, ff.stats.total_time);
+  auto migrate = gray_cfg(engine::ExecModel::kSync, ff.stats.total_time,
+                          fault::MitigationMode::kMigrate);
+  migrate.fault_plan = &plan;
+  migrate.checkpoint.interval_rounds = 1;
+  const auto mi = algo::run_pagerank(prep.dist, prep.sync, t, p, migrate);
+  const auto mi2 = algo::run_pagerank(prep.dist, prep.sync, t, p, migrate);
+
+  // A re-homed accumulator converges to a validly different fixed
+  // point, so migrated pagerank is held to invariants (the sg_chaos
+  // gray oracle's contract), plus exact determinism across reruns.
+  double mass = 0.0, ff_mass = 0.0;
+  for (std::size_t v = 0; v < mi.rank.size(); ++v) {
+    ASSERT_TRUE(std::isfinite(mi.rank[v]));
+    ASSERT_GE(mi.rank[v], 0.15 - 1e-3);
+    mass += mi.rank[v];
+    ff_mass += ff.rank[v];
+  }
+  EXPECT_LT(std::abs(mass - ff_mass), 0.25 * ff_mass);
+  EXPECT_EQ(mi.rank, mi2.rank);
+  EXPECT_EQ(mi.stats.total_time, mi2.stats.total_time);
+}
+
+TEST(GrayFault, DegradeThenLoseDeviceStaysBitIdentical) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+  const auto T = ff.stats.total_time;
+
+  // The same device first runs slow, then goes silent for good: the
+  // degradation path must not confuse the φ-accrual eviction path.
+  fault::FaultPlan plan;
+  plan.degrade_device(1, T * 0.1, T * 0.3, 5.0);
+  plan.lose_device(1, T * 0.6);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+  const auto fr2 = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_EQ(fr.stats.faults.evicted_devices, 1u);
+  EXPECT_GT(fr.stats.faults.degrade_delay, sim::SimTime::zero());
+  EXPECT_EQ(fr.dist, fr2.dist);
+  EXPECT_EQ(fr.stats.total_time, fr2.stats.total_time);
+}
+
+TEST(GrayFault, MemoryPressureSpillsAndLedgersDeterministically) {
+  // Tight device memory (capacity = 16 GiB / scale): the resident
+  // working set must occupy a real fraction of capacity, or a 95%
+  // squatter fits in headroom and nothing ever spills.
+  BfsFixture fx;
+  fx.t = sim::Topology::bridges(4, 100000.0);
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+  const auto T = ff.stats.total_time;
+
+  fault::FaultPlan plan;
+  plan.pressure_memory(1, T * 0.1, T * 0.7, 0.95);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+  const auto fr2 = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_GT(fr.stats.faults.spill_bytes, 0u);
+  EXPECT_GT(fr.stats.faults.spill_stall, sim::SimTime::zero());
+  EXPECT_GT(fr.stats.total_time, ff.stats.total_time);
+  bool ledgered = false;
+  for (const auto& d : fr.stats.faults.degrade) {
+    if (d.device != 1) continue;
+    ledgered = true;
+    EXPECT_GT(d.pressure_peak_bytes, 0u);
+    EXPECT_GT(d.spill_bytes, 0u);
+  }
+  EXPECT_TRUE(ledgered);
+  EXPECT_EQ(fr.stats.total_time, fr2.stats.total_time);
+  EXPECT_EQ(fr.stats.faults.spill_bytes, fr2.stats.faults.spill_bytes);
+}
+
+TEST(GrayFault, LinkDegradeDeratesBandwidthAndLatency) {
+  BfsFixture fx;
+  const auto base = cfg(engine::ExecModel::kSync);
+  const auto ff = fx.run(base);
+  const auto T = ff.stats.total_time;
+
+  fault::FaultPlan plan;
+  plan.degrade_link(0, 1, T * 0.1, T * 0.8, 4.0, 3.0);
+  auto faulty = base;
+  faulty.fault_plan = &plan;
+  const auto fr = fx.run(faulty);
+  const auto fr2 = fx.run(faulty);
+
+  EXPECT_EQ(fr.dist, ff.dist);
+  EXPECT_GT(fr.stats.total_time, ff.stats.total_time);
+  EXPECT_EQ(fr.stats.total_time, fr2.stats.total_time);
 }
 
 }  // namespace

@@ -496,6 +496,90 @@ TEST_P(WireFuzz, PagerankBspBitExactUnderDuplicateStorm) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
                          testing::Range<std::uint64_t>(1, 65));
 
+// ---- gray-failure migration fuzzing -------------------------------------
+//
+// Online shard migration rewires partition ownership mid-run while the
+// algorithm's frontier/labels are live. Property: for any random policy,
+// device count, execution model, and seeded degradation schedule, a
+// mitigated run produces labels bit-identical to the fault-free run
+// (migration moves *where* vertices compute, never *what* they compute),
+// and the perturbed schedule replays deterministically.
+
+class GrayMigrationFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+/// Monitor tuning scaled to a micro-benchmark, mirroring what sg_chaos
+/// --gray derives from the fault-free oracle.
+engine::EngineConfig gray_cfg(engine::ExecModel model, sim::SimTime oracle) {
+  auto c = test::cfg(model);
+  c.mitigation.mode = fault::MitigationMode::kMigrate;
+  c.mitigation.sustain_rounds = 1;
+  c.mitigation.stretch_alpha = 0.4;
+  c.health.heartbeat_interval = oracle * (1.0 / 50.0);
+  return c;
+}
+
+TEST_P(GrayMigrationFuzz, MitigatedBfsAndCcStayBitExact) {
+  sim::Rng rng{GetParam() * 6151 + 29};
+  const int devices = 4 + 2 * static_cast<int>(rng.bounded(3));  // 4, 6, 8
+  const auto policies = test::all_policies();
+  const auto policy = policies[rng.bounded(policies.size())];
+  const auto model = rng.chance(0.5) ? engine::ExecModel::kSync
+                                     : engine::ExecModel::kAsync;
+
+  const auto& g = wire_graph();
+  test::PreparedGraph prep(g, policy, devices);
+  const auto t = test::topo(devices);
+  const auto p = test::params();
+  const auto src = graph::datasets::default_source(g);
+  const auto base = test::cfg(model);
+  const auto ff_bfs = algo::run_bfs(prep.dist, prep.sync, t, p, base, src);
+  const auto ff_cc = algo::run_cc(prep.dist, prep.sync, t, p, base);
+
+  // One or two sustained degrade windows on random victims, severities
+  // high enough that the monitor must engage, durations covering most
+  // of the oracle makespan.
+  const auto horizon = ff_bfs.stats.total_time;
+  fault::FaultPlan plan;
+  const int victims = 1 + static_cast<int>(rng.bounded(2));
+  for (int i = 0; i < victims; ++i) {
+    const int d = static_cast<int>(rng.bounded(devices));
+    const double severity = 4.0 + 4.0 * rng.uniform();
+    const auto start = horizon * (0.05 + 0.15 * rng.uniform());
+    const auto duration = horizon * (0.5 + 0.4 * rng.uniform());
+    if (rng.chance(0.5)) {
+      plan.degrade_device(d, start, duration, severity,
+                          /*onset=*/duration * 0.1,
+                          /*recovery=*/duration * 0.1);
+    } else {
+      plan.degrade_device(d, start, duration, severity);
+    }
+  }
+  auto mitigated = gray_cfg(model, horizon);
+  mitigated.fault_plan = &plan;
+
+  const auto a = algo::run_bfs(prep.dist, prep.sync, t, p, mitigated, src);
+  EXPECT_EQ(a.dist, ff_bfs.dist)
+      << partition::to_string(policy) << " d=" << devices
+      << " model=" << static_cast<int>(model) << " seed=" << GetParam();
+  EXPECT_EQ(a.dist, algo::reference::bfs(g, src));
+  EXPECT_EQ(a.stats.faults.evicted_devices, 0u);
+
+  const auto b = algo::run_bfs(prep.dist, prep.sync, t, p, mitigated, src);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.stats.total_time, b.stats.total_time);
+  EXPECT_EQ(a.stats.faults.gray_migrations, b.stats.faults.gray_migrations);
+  EXPECT_EQ(a.stats.faults.gray_alerts, b.stats.faults.gray_alerts);
+
+  const auto fr_cc = algo::run_cc(prep.dist, prep.sync, t, p, mitigated);
+  EXPECT_EQ(fr_cc.label, ff_cc.label)
+      << partition::to_string(policy) << " d=" << devices
+      << " seed=" << GetParam();
+  EXPECT_EQ(fr_cc.label, algo::reference::cc(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrayMigrationFuzz,
+                         testing::Range<std::uint64_t>(1, 25));
+
 // Validation negative cases (hand-built malformed CSRs).
 TEST(Validation, DetectsMalformedStructures) {
   using graph::Csr;

@@ -6,12 +6,31 @@
 // scenario, and on any divergence greedily shrinks the plan to a
 // minimal reproducer serialized as replayable JSON.
 //
+// With --gray the harness soaks the gray-failure stack instead:
+// plans contain only degradation faults (device compute slowdown,
+// link bandwidth/latency derating, memory pressure) and every
+// scenario runs THREE times — (a) fault-free oracle, (b) observe-only
+// (monitor watches, never acts), (c) mitigated (online shard
+// migration). The oracle contract is then twofold: (c) must match (a)
+// exactly (per-benchmark rules below), and when the degradation
+// meaningfully inflated the observe-only makespan, mitigation must
+// recover at least a per-kind margin of the inflation:
+//   recovery = (b - c) / (b - a)  >=  margin
+// (0.15 for device-degrade / memory-pressure, 0.0 for link-degrade,
+// where migration has no slow device to move work off and must merely
+// not regress). Failing gray plans shrink to reproducers like any
+// other, tagged "gray": true so --replay re-runs the full triple.
+//
 // Usage:
-//   sg_chaos [--smoke] [--chaos-seed N] [--seeds N] [--no-shrink]
-//            [--inject-defect] [--keep-going] [--out-dir DIR]
+//   sg_chaos [--smoke] [--gray] [--chaos-seed N] [--seeds N]
+//            [--no-shrink] [--inject-defect] [--keep-going]
+//            [--recovery-margin X] [--out-dir DIR]
 //   sg_chaos --replay FILE
 //
 //   --smoke          reduced scenario matrix, one plan per scenario
+//   --gray           gray-failure soak (degradation faults + SLO oracle)
+//   --recovery-margin X
+//                    override the per-kind recovery margin (gray mode)
 //   --chaos-seed N   base seed for plan generation (default 1)
 //   --seeds N        plans per scenario (default 1 smoke, 2 full)
 //   --chaos-shrink / --no-shrink
@@ -38,6 +57,7 @@
 // pagerank runs are held to invariants instead (finite, above the
 // teleport base, total mass in the oracle's ballpark). BASP runs must
 // additionally report clean Safra termination.
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -107,11 +127,13 @@ std::string label_of(const Scenario& s) {
 
 struct Options {
   bool smoke = false;
+  bool gray = false;
   std::uint64_t seed = 1;
   int seeds_per_scenario = -1;  // -1: 1 for smoke, 2 for full
   bool shrink = true;
   bool inject_defect = false;
   bool keep_going = false;
+  double recovery_margin = -1.0;  // <0: per-kind default
   std::string out_dir = ".";
   std::string replay;
 };
@@ -144,9 +166,21 @@ const fw::Prepared& prepared_for(partition::Policy policy, int devices) {
   return it->second;
 }
 
+/// Gray-run knobs: the soak tunes the monitor to the scenario scale
+/// the way an operator would — the default 100us heartbeat cadence is
+/// sized for production-length runs and would never tick inside these
+/// micro-benchmarks, so the cadence is derived from the fault-free
+/// oracle's makespan (~50 beats per run) and the sustain requirement
+/// is shortened to match the handful of rounds these runs have.
+struct GrayTuning {
+  fault::MitigationMode mode = fault::MitigationMode::kObserve;
+  sim::SimTime heartbeat;  ///< derived from the oracle makespan
+};
+
 fw::BenchmarkRun run_scenario(const Scenario& s,
                               const fault::FaultPlan* plan,
-                              bool wire_protocol) {
+                              bool wire_protocol,
+                              const GrayTuning* gray = nullptr) {
   const fw::Prepared& prep = prepared_for(s.policy, s.devices);
   const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
   const sim::CostParams params = sim::CostParams::for_scaled_datasets();
@@ -155,6 +189,23 @@ fw::BenchmarkRun run_scenario(const Scenario& s,
                                           : engine::Variant::kVar4);
   cfg.wire_protocol = wire_protocol;
   cfg.fault_plan = plan;
+  if (gray != nullptr) {
+    cfg.mitigation.mode = gray->mode;
+    // Micro-benchmarks finish in a handful of rounds, so a window only
+    // spans a few evaluations. Two consecutive crossings is the sweet
+    // spot: a transient blip's EWMA decays below the threshold before
+    // the second evaluation (so we never pay migration churn for a
+    // fault that is already over), while a genuine sustained degrade
+    // stretches its own rounds enough to be seen twice.
+    cfg.mitigation.sustain_rounds = 2;
+    // With ~50 beats per run a degrade window may contain only one or
+    // two stretched beats, and a stretched round can swallow the whole
+    // window between two barriers — the estimate must converge (and
+    // decay) within a beat or two for the barrier inside the window to
+    // see an actionable score.
+    cfg.mitigation.stretch_alpha = 0.4;
+    cfg.health.heartbeat_interval = gray->heartbeat;
+  }
   // Accumulator programs need checkpoints for exact recovery should a
   // partition outlast detection and evict its minority side.
   if (s.bench == fw::Benchmark::kPagerank) {
@@ -210,7 +261,13 @@ Outcome check(const Scenario& s, const fw::BenchmarkRun& oracle,
                 "rank size " + std::to_string(r.ranks.size()) +
                     " vs oracle " + std::to_string(oracle.ranks.size())};
       }
-      const bool evicted = r.stats.faults.evicted_devices > 0;
+      // Online shard migration re-homes the accumulator exactly (state
+      // moves bit-for-bit) but changes the reduction grouping from then
+      // on, so like an eviction it converges to a validly different
+      // fixed point — the invariant contract applies to both.
+      const bool evicted = r.stats.faults.evicted_devices > 0 ||
+                           r.stats.faults.gray_migrations > 0 ||
+                           r.stats.faults.gray_evictions > 0;
       double mass = 0.0;
       double oracle_mass = 0.0;
       for (std::size_t i = 0; i < r.ranks.size(); ++i) {
@@ -264,9 +321,14 @@ std::string sanitize(std::string s) {
   return s;
 }
 
+struct GrayRepro {
+  double margin = 0.0;  ///< recovery margin the failing triple was held to
+};
+
 void write_reproducer(const std::filesystem::path& path, const Scenario& s,
                       bool wire_protocol, const fault::FaultPlan& plan,
-                      const Outcome& o, const fault::ShrinkStats* shrink) {
+                      const Outcome& o, const fault::ShrinkStats* shrink,
+                      const GrayRepro* gray = nullptr) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("sg_chaos_schema", 1);
@@ -277,6 +339,10 @@ void write_reproducer(const std::filesystem::path& path, const Scenario& s,
   w.kv("devices", s.devices);
   w.kv("wire_protocol", wire_protocol);
   w.end_object();
+  if (gray != nullptr) {
+    w.kv("gray", true);
+    w.kv("recovery_margin", gray->margin);
+  }
   w.kv("failure", o.kind);
   w.kv("detail", o.detail);
   w.key("plan");
@@ -326,12 +392,281 @@ std::vector<Scenario> scenario_matrix(bool smoke) {
   return out;
 }
 
+/// Gray soak matrix: every policy meets every exec model (migration
+/// planning depends on the replication structure, so all four policies
+/// must prove out), at the 4-device/2-host shape where one degraded
+/// device is a quarter of the fleet — big enough to hurt, small enough
+/// that survivors always have headroom to adopt its masters.
+std::vector<Scenario> gray_matrix(bool smoke) {
+  using partition::Policy;
+  const std::vector<fw::Benchmark> benches = {
+      fw::Benchmark::kBfs, fw::Benchmark::kCc, fw::Benchmark::kPagerank};
+  const std::vector<Policy> policies =
+      smoke ? std::vector<Policy>{Policy::OEC, Policy::CVC}
+            : std::vector<Policy>{Policy::OEC, Policy::IEC, Policy::HVC,
+                                  Policy::CVC};
+  std::vector<Scenario> out;
+  for (const auto b : benches) {
+    for (const auto p : policies) {
+      for (const auto m :
+           {engine::ExecModel::kSync, engine::ExecModel::kAsync}) {
+        out.push_back({b, p, m, 4});
+      }
+    }
+  }
+  return out;
+}
+
+fault::ChaosSpec gray_spec(const Scenario& s, int num_hosts,
+                           sim::SimTime horizon) {
+  fault::ChaosSpec spec;
+  spec.num_devices = s.devices;
+  spec.num_hosts = num_hosts;
+  spec.horizon = horizon;
+  // Degradation faults only: the SLO oracle compares makespans, and
+  // message anomalies would fold retry noise into the inflation the
+  // recovery ratio is judged against.
+  spec.allow_drop = false;
+  spec.allow_corrupt = false;
+  spec.allow_duplicate = false;
+  spec.allow_reorder = false;
+  spec.allow_partition = false;
+  spec.allow_straggler = false;
+  spec.allow_degrade = true;
+  spec.allow_link_degrade = num_hosts >= 2;
+  spec.allow_pressure = true;
+  spec.min_events = 1;
+  spec.max_events = 2;
+  return spec;
+}
+
+/// Degrade windows shorter than this fraction of the fault-free
+/// makespan are transients: the monitor is *designed* to ride them out
+/// (the hysteresis would otherwise pay migration churn for a fault
+/// that ends before the shards land), so no recovery is demanded.
+constexpr double kTransientFraction = 0.25;
+
+/// Per-scenario recovery margin, min'd across the plan's events; a
+/// margin of zero means the cell is judged for determinism and label
+/// exactness but not for makespan recovery. Zero for: vertex-cut
+/// policies (HVC/CVC — most of a device's local edges there belong to
+/// remotely-mastered vertices, so master migration cannot shed its
+/// compute and the engine's shed guard stands down), link-degrade
+/// events (no slow device to migrate off a host-link derate), and
+/// transient windows (< kTransientFraction of the fault-free run —
+/// deliberately ridden out, see above). Sustained device-degrade /
+/// memory-pressure plans on edge-cut layouts must recover a real
+/// fraction of the inflation.
+double margin_for(const fault::FaultPlan& plan, partition::Policy policy,
+                  double oracle_seconds) {
+  if (policy == partition::Policy::HVC ||
+      policy == partition::Policy::CVC) {
+    return 0.0;
+  }
+  double margin = 1.0;
+  bool any = false;
+  for (const fault::FaultEvent& e : plan.events) {
+    double m = 0.0;
+    switch (e.kind) {
+      case fault::FaultKind::kDeviceDegrade:
+      case fault::FaultKind::kMemoryPressure:
+        m = oracle_seconds > 0.0 && e.duration.seconds() <
+                                        kTransientFraction * oracle_seconds
+                ? 0.0
+                : 0.15;
+        break;
+      case fault::FaultKind::kLinkDegrade:
+        m = 0.0;
+        break;
+      default:
+        continue;
+    }
+    any = true;
+    margin = std::min(margin, m);
+  }
+  return any ? margin : 0.0;
+}
+
+/// Inflations below this fraction of the oracle makespan are too mild
+/// to judge a recovery ratio against: a comm-bound run barely notices
+/// a compute derate, the monitor may legitimately never cross its
+/// alert threshold, and shaving a sliver off a sliver is noise.
+constexpr double kSloJudgeFraction = 0.15;
+
+/// Heartbeats (and BASP gray polls) per fault-free run: the cadence
+/// the soak hands the monitor, derived from the oracle makespan.
+constexpr double kGrayBeatsPerRun = 50.0;
+
+Outcome gray_check(const Scenario& s, const fw::BenchmarkRun& oracle,
+                   const fw::BenchmarkRun& observe,
+                   const fw::BenchmarkRun& mitigated, double margin) {
+  Outcome o = check(s, oracle, observe);
+  if (o.failed()) {
+    o.kind = "observe-" + o.kind;
+    return o;
+  }
+  o = check(s, oracle, mitigated);
+  if (o.failed()) {
+    o.kind = "mitigated-" + o.kind;
+    return o;
+  }
+  const double ta = oracle.stats.total_time.seconds();
+  const double tb = observe.stats.total_time.seconds();
+  const double tc = mitigated.stats.total_time.seconds();
+  // A non-positive margin means this cell has no recovery SLO — e.g.
+  // vertex-cut layouts, where master migration cannot reliably shed
+  // compute and the fixed cost (harvest + rebuild + forced sync
+  // rounds) can exceed the remaining benefit on short runs. The cell
+  // is still fully judged for determinism, label bit-exactness, and
+  // invariants above; only the makespan ratio is exempt.
+  if (margin <= 0.0) return {};
+  const double inflation = tb - ta;
+  if (inflation <= kSloJudgeFraction * ta) return {};
+  const double recovery = (tb - tc) / inflation;
+  if (recovery + 1e-9 < margin) {
+    std::ostringstream d;
+    d << "recovered " << recovery << " of " << inflation
+      << "s makespan inflation (oracle " << ta << "s, observe-only " << tb
+      << "s, mitigated " << tc << "s; margin " << margin << ")";
+    return {"slo-recovery", d.str()};
+  }
+  return {};
+}
+
+int do_gray(const Options& opt) {
+  const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
+                    : opt.smoke                ? 1
+                                               : 2;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+  const std::vector<Scenario> scenarios = gray_matrix(opt.smoke);
+  std::printf("sg_chaos --gray: %zu scenarios x %d plan(s), base seed "
+              "%llu\n",
+              scenarios.size(), seeds,
+              static_cast<unsigned long long>(opt.seed));
+  int failures = 0;
+  int runs = 0;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const Scenario& s = scenarios[si];
+    const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+    fw::BenchmarkRun oracle;
+    try {
+      oracle = run_scenario(s, nullptr, true);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sg_chaos: %s oracle threw: %s\n",
+                   label_of(s).c_str(), e.what());
+      return 2;
+    }
+    if (!oracle.ok) {
+      std::fprintf(stderr, "sg_chaos: %s oracle failed: %s\n",
+                   label_of(s).c_str(), oracle.error.c_str());
+      return 2;
+    }
+    for (int k = 0; k < seeds; ++k) {
+      const std::uint64_t seed =
+          opt.seed + 1000003ULL * (si + 1) + 7919ULL * k;
+      fault::FaultPlan plan;
+      try {
+        plan = fault::random_plan(
+            seed, gray_spec(s, topo.num_hosts(), oracle.stats.total_time));
+        plan.validate_or_throw(s.devices, topo.num_hosts());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sg_chaos: plan generation failed: %s\n",
+                     e.what());
+        return 2;
+      }
+      const double margin =
+          opt.recovery_margin >= 0.0 ? opt.recovery_margin
+                                     : margin_for(plan, s.policy, oracle.stats.total_time.seconds());
+      const sim::SimTime beat = oracle.stats.total_time * (1.0 / kGrayBeatsPerRun);
+      auto run_with = [&](const fault::FaultPlan& p,
+                          fault::MitigationMode mit) {
+        GrayTuning tune{mit, beat};
+        fw::BenchmarkRun r;
+        try {
+          r = run_scenario(s, &p, true, &tune);
+        } catch (const std::exception& e) {
+          r.ok = false;
+          r.error = std::string("exception: ") + e.what();
+        }
+        return r;
+      };
+      const fw::BenchmarkRun b =
+          run_with(plan, fault::MitigationMode::kObserve);
+      const fw::BenchmarkRun c =
+          run_with(plan, fault::MitigationMode::kMigrate);
+      ++runs;
+      const Outcome o = gray_check(s, oracle, b, c, margin);
+      if (!o.failed()) {
+        const auto& f = c.stats.faults;
+        const double ta = oracle.stats.total_time.seconds();
+        const double tb = b.stats.total_time.seconds();
+        const double tc = c.stats.total_time.seconds();
+        const double infl = tb - ta;
+        std::printf(
+            "[ok]   %-24s seed=%-12llu events=%zu migr=%llu evict=%llu "
+            "alerts=%llu infl=%.1f%% recov=%.0f%%\n",
+            label_of(s).c_str(), static_cast<unsigned long long>(seed),
+            plan.events.size(),
+            static_cast<unsigned long long>(f.gray_migrations),
+            static_cast<unsigned long long>(f.gray_evictions),
+            static_cast<unsigned long long>(f.gray_alerts),
+            ta > 0.0 ? 100.0 * infl / ta : 0.0,
+            infl > 0.0 ? 100.0 * (tb - tc) / infl : 0.0);
+        continue;
+      }
+      ++failures;
+      std::printf("[FAIL] %-24s seed=%llu: %s (%s)\n", label_of(s).c_str(),
+                  static_cast<unsigned long long>(seed), o.kind.c_str(),
+                  o.detail.c_str());
+      fault::FaultPlan minimal = plan;
+      fault::ShrinkStats shrink_stats;
+      if (opt.shrink) {
+        const auto fails = [&](const fault::FaultPlan& cand) {
+          if (!cand.validate(s.devices, topo.num_hosts()).empty()) {
+            return false;
+          }
+          const fw::BenchmarkRun rb =
+              run_with(cand, fault::MitigationMode::kObserve);
+          const fw::BenchmarkRun rc =
+              run_with(cand, fault::MitigationMode::kMigrate);
+          return gray_check(s, oracle, rb, rc, margin).kind == o.kind;
+        };
+        minimal = fault::shrink_plan(plan, fails, &shrink_stats);
+        std::printf(
+            "       shrunk %zu -> %zu event(s) in %d probe(s)\n",
+            plan.events.size(), minimal.events.size(), shrink_stats.probes);
+      }
+      GrayRepro gr;
+      gr.margin = margin;
+      const std::filesystem::path repro =
+          std::filesystem::path(opt.out_dir) /
+          ("chaos_repro_gray_" + sanitize(label_of(s)) + "_seed" +
+           std::to_string(seed) + ".json");
+      write_reproducer(repro, s, true, minimal, o,
+                       opt.shrink ? &shrink_stats : nullptr, &gr);
+      std::printf("       reproducer: %s (replay with --replay)\n",
+                  repro.string().c_str());
+      if (!opt.keep_going) {
+        std::printf("sg_chaos: stopping at first failure "
+                    "(--keep-going to continue)\n");
+        std::printf("sg_chaos: %d triple(s), %d failure(s)\n", runs,
+                    failures);
+        return 1;
+      }
+    }
+  }
+  std::printf("sg_chaos: %d triple(s), %d failure(s)\n", runs, failures);
+  return failures > 0 ? 1 : 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--smoke] [--chaos-seed N] [--seeds N] [--chaos-shrink]"
-      " [--no-shrink]\n"
-      "          [--inject-defect] [--keep-going] [--out-dir DIR]\n"
+      "usage: %s [--smoke] [--gray] [--chaos-seed N] [--seeds N]"
+      " [--chaos-shrink] [--no-shrink]\n"
+      "          [--inject-defect] [--keep-going] [--recovery-margin X]"
+      " [--out-dir DIR]\n"
       "       %s --replay FILE\n",
       argv0, argv0);
   return 2;
@@ -361,6 +696,8 @@ int do_replay(const Options& opt) {
   }
   Scenario s;
   bool wire = true;
+  bool gray = false;
+  double margin = 0.0;
   fault::FaultPlan plan;
   std::string recorded_failure;
   try {
@@ -385,6 +722,15 @@ int do_replay(const Options& opt) {
     const obs::JsonValue* pl = doc.find("plan");
     if (pl == nullptr) throw std::runtime_error("missing plan object");
     plan = fault::plan_from_json(*pl);
+    const obs::JsonValue* gv = doc.find("gray");
+    gray = gv != nullptr && gv->kind == obs::JsonValue::Kind::kBool &&
+           gv->boolean;
+    const obs::JsonValue* mv = doc.find("recovery_margin");
+    // Hand-written reproducers without a stored margin get the
+    // per-kind fallback with no transient exemption (the oracle run
+    // has not happened yet at parse time).
+    margin = mv != nullptr ? mv->num_or(margin_for(plan, s.policy, 0.0))
+                           : margin_for(plan, s.policy, 0.0);
     const obs::JsonValue* fail = doc.find("failure");
     recorded_failure = fail != nullptr ? fail->str_or("") : "";
     const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
@@ -393,14 +739,45 @@ int do_replay(const Options& opt) {
     std::fprintf(stderr, "sg_chaos: %s: %s\n", opt.replay.c_str(), e.what());
     return 2;
   }
-  std::printf("replaying %s: %s, wire_protocol=%s, plan events: %zu\n",
+  std::printf("replaying %s: %s, wire_protocol=%s%s, plan events: %zu\n",
               opt.replay.c_str(), label_of(s).c_str(),
-              wire ? "on" : "off", plan.events.size());
+              wire ? "on" : "off", gray ? ", gray triple" : "",
+              plan.events.size());
   const fw::BenchmarkRun oracle = run_scenario(s, nullptr, true);
   if (!oracle.ok) {
     std::fprintf(stderr, "sg_chaos: oracle run failed: %s\n",
                  oracle.error.c_str());
     return 2;
+  }
+  if (gray) {
+    const sim::SimTime beat =
+        oracle.stats.total_time * (1.0 / kGrayBeatsPerRun);
+    GrayTuning observe{fault::MitigationMode::kObserve, beat};
+    GrayTuning migrate{fault::MitigationMode::kMigrate, beat};
+    const fw::BenchmarkRun b = run_scenario(s, &plan, wire, &observe);
+    const fw::BenchmarkRun c = run_scenario(s, &plan, wire, &migrate);
+    if (c.ok) {
+      const fault::FaultStats& f = c.stats.faults;
+      std::printf(
+          "gray: alerts=%llu migr=%llu evict=%llu moved_masters=%llu "
+          "spill=%llu B\n",
+          static_cast<unsigned long long>(f.gray_alerts),
+          static_cast<unsigned long long>(f.gray_migrations),
+          static_cast<unsigned long long>(f.gray_evictions),
+          static_cast<unsigned long long>(f.gray_migrated_masters),
+          static_cast<unsigned long long>(f.spill_bytes));
+    }
+    const Outcome o = gray_check(s, oracle, b, c, margin);
+    if (o.failed()) {
+      std::printf("reproduced: %s (%s)%s\n", o.kind.c_str(),
+                  o.detail.c_str(),
+                  o.kind == recorded_failure
+                      ? ""
+                      : " [failure kind differs from recording]");
+      return 1;
+    }
+    std::printf("did not reproduce: triple satisfied the SLO oracle\n");
+    return 0;
   }
   const fw::BenchmarkRun r = run_scenario(s, &plan, wire);
   if (r.ok) {
@@ -447,6 +824,12 @@ int main(int argc, char** argv) {
     };
     if (a == "--smoke") {
       opt.smoke = true;
+    } else if (a == "--gray") {
+      opt.gray = true;
+    } else if (a == "--recovery-margin") {
+      const char* v = need_value("--recovery-margin");
+      if (v == nullptr) return 2;
+      opt.recovery_margin = std::atof(v);
     } else if (a == "--chaos-seed") {
       const char* v = need_value("--chaos-seed");
       if (v == nullptr) return 2;
@@ -481,6 +864,7 @@ int main(int argc, char** argv) {
     }
   }
   if (!opt.replay.empty()) return do_replay(opt);
+  if (opt.gray) return do_gray(opt);
   const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
                     : opt.smoke                ? 1
                                                : 2;

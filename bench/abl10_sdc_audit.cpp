@@ -1,0 +1,281 @@
+// Ablation A10: silent-data-corruption auditing — what detection
+// latency costs and what each detector class catches. The paper's
+// experiments assume bit-faithful silicon; PR7's integrity auditor
+// (DESIGN.md §13) drops that assumption. This ablation quantifies the
+// two tuning axes on bfs and pagerank (rmat23 analogue, CVC — the 2D
+// cut replicates both algorithms' frontiers, so the digest surface is
+// non-trivial for push and pull alike):
+//
+//  1. Audit-interval sweep (kRepair): the same SDC plan — scattered
+//     mirror label flips, a defective-ALU kernel window, and for
+//     pagerank a corrupted checkpoint blob — audited every 1/2/4/8
+//     boundaries. Smaller intervals hash more often but bound the
+//     detection lag tighter; the sweep exposes the latency/overhead
+//     trade the interval buys. At interval 1 every audited run ends
+//     bit-exact to the fault-free oracle (Exact column) — repairs are
+//     mirror-copies from canonical masters, rollbacks, or cold
+//     restarts, never approximations. Wider intervals let a flip
+//     survive past the reduce that folds it into master state; bfs's
+//     min-reduce shrugs that off (wrong-high values lose the min),
+//     but pagerank's pull-reduce *sums* the corrupt addend, and the
+//     contamination then propagates in ledger-consistent form that
+//     repair can no longer rewind to exact bits. That cliff is the
+//     sweep's finding, and why sg_chaos --sdc pins pagerank at
+//     interval 1.
+//  2. Detector-set sweep (kDetect, interval 2): the same plan with
+//     only one detector class armed at a time. Replica digests catch
+//     the mirror flips, ABFT invariants catch the computed-wrong
+//     kernel SDC that wire checksums happily seal, checkpoint
+//     read-back catches the corrupt blob; the rows show each class's
+//     catch by violation type, and the `all` row shows the fused
+//     detector. Detect-only runs may finish wrong (Exact=no) — that
+//     is the point: detection without repair only localizes.
+//
+// Clean-run overhead is deliberately NOT swept: all audit work is
+// gated on FaultInjector::has_sdc(), so a run without SDC events
+// executes none of it and its report stays byte-identical
+// (CI-asserted via table2 and tests/test_integrity.cpp).
+//
+// All runs with the same plan are bit-deterministic. `--smoke` runs a
+// reduced fixed sweep at 16 GPUs and writes a run-report for
+// report_diff regression guarding against bench/baselines/.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "comm/sync_structure.hpp"
+#include "fault/fault.hpp"
+#include "integrity/audit.hpp"
+
+namespace {
+
+using namespace sg;
+
+/// All (mirror device, global vertex) pairs of the replication
+/// surface, enumerated the way sg_chaos --sdc does: from the
+/// partition's own exchange lists, so flips land on state the digest
+/// audit provably covers and the master copy stays canonical.
+struct FlipTarget {
+  int device = -1;
+  std::int64_t vertex = -1;
+};
+
+std::vector<FlipTarget> mirror_targets(const fw::Prepared& prep,
+                                       int devices) {
+  std::vector<FlipTarget> out;
+  for (int m = 0; m < devices; ++m) {
+    const auto& lg = prep.dist.part(m);
+    for (int o = 0; o < devices; ++o) {
+      if (o == m) continue;
+      const auto& list = prep.sync.list(m, o, comm::ProxyFilter::kAll);
+      for (const auto ml : list.mirror_local) {
+        out.push_back({m, static_cast<std::int64_t>(lg.l2g[ml])});
+      }
+    }
+  }
+  return out;
+}
+
+/// The fixed SDC plan every sweep point replays: 6 label flips spread
+/// over distinct targets and devices, a defective-ALU window on one
+/// device, and (pagerank only) one corrupted checkpoint blob.
+fault::FaultPlan sdc_plan(const std::vector<FlipTarget>& targets,
+                          int devices, sim::SimTime oracle,
+                          fw::Benchmark bench) {
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  for (int i = 0; i < 6; ++i) {
+    const auto& tg = targets[(1 + i * (targets.size() / 7)) %
+                             targets.size()];
+    plan.flip_label(tg.device, tg.vertex, 2 + 4 * i,
+                    oracle * (0.2 + 0.09 * i));
+  }
+  plan.sdc_kernel(devices / 3, oracle * 0.25, oracle * 0.2, 0.3);
+  if (bench == fw::Benchmark::kPagerank) {
+    plan.corrupt_checkpoint(devices / 2, oracle * 0.4);
+  }
+  return plan;
+}
+
+const char* bench_name(fw::Benchmark b) {
+  return b == fw::Benchmark::kPagerank ? "pagerank" : "bfs";
+}
+
+bool exact(fw::Benchmark b, const fw::BenchmarkRun& r,
+           const fw::BenchmarkRun& oracle) {
+  if (b == fw::Benchmark::kPagerank) return r.ranks == oracle.ranks;
+  return r.dist32 == oracle.dist32;
+}
+
+std::uint64_t max_lag(const fault::FaultStats& f) {
+  std::uint64_t lag = 0;
+  for (const auto& s : f.sdc) {
+    if (s.max_detect_lag_rounds > lag) lag = s.max_detect_lag_rounds;
+  }
+  return lag;
+}
+
+std::string fmt_pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", x * 100.0);
+  return buf;
+}
+
+struct Sweeps {
+  std::vector<int> intervals;
+  bool detector_rows = true;
+};
+
+int run_sweeps(bench::ReportLog& report, const std::string& input, int gpus,
+               const Sweeps& sw) {
+  const auto& prep =
+      bench::prepared(input, false, partition::Policy::CVC, gpus);
+  const auto topo = bench::bridges(gpus);
+  const auto params = bench::params();
+  const auto targets = mirror_targets(prep, gpus);
+  if (targets.empty()) {
+    std::printf("no replicated mirrors to flip; aborting\n");
+    return 1;
+  }
+
+  for (const auto bench_kind :
+       {fw::Benchmark::kBfs, fw::Benchmark::kPagerank}) {
+    auto base_cfg = fw::DIrGL::config(engine::Variant::kVar3);
+    if (bench_kind == fw::Benchmark::kPagerank) {
+      // Checkpoint cadence on in baseline and audited runs alike, so
+      // the corrupt-blob event has a blob to hit and the overhead
+      // comparison is apples-to-apples.
+      base_cfg.checkpoint.interval_rounds = 1;
+    }
+    const auto oracle =
+        fw::DIrGL::run(bench_kind, prep, topo, params, base_cfg);
+    if (!oracle.ok) {
+      std::printf("fault-free %s run failed; aborting\n",
+                  bench_name(bench_kind));
+      return 1;
+    }
+    report.add(bench_name(bench_kind), input, "D-IrGL", "Var3", gpus,
+               oracle.stats);
+    const double t0 = oracle.stats.total_time.seconds();
+    const auto plan = sdc_plan(targets, gpus, oracle.stats.total_time,
+                               bench_kind);
+
+    std::printf("== %s: audit-interval sweep (repair mode) ==\n",
+                bench_name(bench_kind));
+    {
+      bench::Table table({"Interval", "Total", "Overhead", "Audits",
+                          "Injected", "Detected", "Repaired", "MaxLag",
+                          "Exact"});
+      for (const int interval : sw.intervals) {
+        auto cfg = base_cfg;
+        cfg.fault_plan = &plan;
+        cfg.audit.mode = integrity::AuditMode::kRepair;
+        cfg.audit.interval_rounds = interval;
+        cfg.audit.escalate_after = 1000;
+        const auto r = fw::DIrGL::run(bench_kind, prep, topo, params, cfg);
+        if (!r.ok) continue;
+        report.add(bench_name(bench_kind), input, "D-IrGL",
+                   "Var3+audit-i" + std::to_string(interval), gpus,
+                   r.stats);
+        const auto& f = r.stats.faults;
+        table.add_row({std::to_string(interval),
+                       bench::fmt_time(r.stats.total_time.seconds()),
+                       fmt_pct(r.stats.total_time.seconds() / t0 - 1.0),
+                       std::to_string(f.sdc_audits),
+                       std::to_string(f.sdc_injected),
+                       std::to_string(f.sdc_detected),
+                       std::to_string(f.sdc_repaired),
+                       std::to_string(max_lag(f)),
+                       exact(bench_kind, r, oracle) ? "yes" : "NO"});
+      }
+      table.print();
+      std::printf("\n");
+    }
+
+    if (!sw.detector_rows) continue;
+    std::printf("== %s: detector-set sweep (detect mode, interval 2) ==\n",
+                bench_name(bench_kind));
+    {
+      struct Row {
+        const char* name;
+        bool digests, invariants, checkpoints;
+      };
+      const Row rows[] = {{"digests", true, false, false},
+                          {"invariants", false, true, false},
+                          {"checkpoints", false, false, true},
+                          {"all", true, true, true}};
+      bench::Table table({"Detectors", "DigestViol", "InvViol", "CkptViol",
+                          "Detected", "Exact"});
+      for (const Row& row : rows) {
+        auto cfg = base_cfg;
+        cfg.fault_plan = &plan;
+        cfg.audit.mode = integrity::AuditMode::kDetect;
+        cfg.audit.interval_rounds = 2;
+        cfg.audit.check_digests = row.digests;
+        cfg.audit.check_invariants = row.invariants;
+        cfg.audit.check_checkpoints = row.checkpoints;
+        const auto r = fw::DIrGL::run(bench_kind, prep, topo, params, cfg);
+        if (!r.ok) continue;
+        report.add(bench_name(bench_kind), input, "D-IrGL",
+                   std::string("Var3+detect-") + row.name, gpus, r.stats);
+        const auto& f = r.stats.faults;
+        std::uint64_t dg = 0;
+        std::uint64_t iv = 0;
+        std::uint64_t ck = 0;
+        for (const auto& s : f.sdc) {
+          dg += s.digest_violations;
+          iv += s.invariant_violations;
+          ck += s.checkpoint_violations;
+        }
+        table.add_row({row.name, std::to_string(dg), std::to_string(iv),
+                       std::to_string(ck), std::to_string(f.sdc_detected),
+                       exact(bench_kind, r, oracle) ? "yes" : "NO"});
+      }
+      table.print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf(
+      "Ablation A10: SDC auditing, bfs + pagerank on rmat23, CVC.\n"
+      "Fixed SDC plan (mirror flips + kernel window + checkpoint blob)\n"
+      "vs audit interval and armed detector set; MaxLag is the worst\n"
+      "detection lag in audited rounds, Exact compares the final answer\n"
+      "bit-for-bit against the fault-free oracle.\n\n");
+
+  if (smoke) {
+    // Reduced fixed sweep for CI: two intervals, no detector rows, at
+    // 16 GPUs. Writes BENCH_abl10_sdc_smoke.json (into
+    // $SG_BENCH_REPORT_DIR when set), diffed against
+    // bench/baselines/abl10_sdc_smoke_baseline.json by report_diff.
+    bench::ReportLog report("abl10_sdc_smoke");
+    const int rc = run_sweeps(report, "rmat23", 16, {{1, 4}, false});
+    if (rc != 0) return rc;
+    if (!report.write()) return 1;
+    std::printf("smoke: %zu run(s)\n", report.num_runs());
+    return 0;
+  }
+
+  bench::ReportLog report("abl10_sdc_audit");
+  const int rc = run_sweeps(report, "rmat23", 16, {{1, 2, 4, 8}, true});
+  if (rc != 0) return rc;
+  report.write();
+  return 0;
+}

@@ -9,12 +9,16 @@
 // bfs + pagerank on all four frameworks) with the span tracer attached
 // to the D-IrGL bfs run, and writes a run-report for report_diff
 // regression guarding. --explain appends the sg_explain critical-path
-// attribution of the traced run to stdout.
+// attribution of the traced run to stdout. --audit arms the SDC
+// integrity auditor (kRepair, interval 1) on the D-IrGL runs; with no
+// fault plan attached all audit work is gated off, so CI asserts the
+// --audit report is byte-identical to the plain one.
 #include <cstdio>
 #include <optional>
 #include <string>
 
 #include "bench_common.hpp"
+#include "integrity/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -122,7 +126,7 @@ std::optional<Best> run_dirgl(fw::Benchmark b, const std::string& input,
 /// frameworks. Deterministic (fixed seeds throughout), so the emitted
 /// report can be diffed against a committed baseline.
 int smoke_run(std::string report_path, const std::string& trace_path,
-              bool explain) {
+              bool explain, bool audit) {
   if (report_path.empty()) report_path = "BENCH_table2_smoke.json";
   const std::string input = "rmat23";
   const int gpus = 4;
@@ -186,6 +190,10 @@ int smoke_run(std::string report_path, const std::string& trace_path,
       engine::EngineConfig cfg = fw::DIrGL::default_config();
       cfg.collect_trace = true;
       cfg.metrics = &registry;
+      if (audit) {
+        cfg.audit.mode = integrity::AuditMode::kRepair;
+        cfg.audit.interval_rounds = 1;
+      }
       // Trace only the bfs run so the artifact holds one clean timeline.
       const bool traced = b == fw::Benchmark::kBfs;
       if (traced) cfg.tracer = &tracer;
@@ -237,6 +245,7 @@ int main(int argc, char** argv) {
   using namespace sg;
   bool smoke = false;
   bool explain = false;
+  bool audit = false;
   std::string report_path;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
@@ -245,14 +254,16 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (a == "--explain") {
       explain = true;
+    } else if (a == "--audit") {
+      audit = true;
     } else if (a == "--report" && i + 1 < argc) {
       report_path = argv[++i];
     } else if (a == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--explain] [--report out.json] "
-                   "[--trace out.json]\n",
+                   "usage: %s [--smoke] [--explain] [--audit] "
+                   "[--report out.json] [--trace out.json]\n",
                    argv[0]);
       return 2;
     }
@@ -261,7 +272,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--explain requires --smoke (the traced run)\n");
     return 2;
   }
-  if (smoke) return smoke_run(report_path, trace_path, explain);
+  if (audit && !smoke) {
+    std::fprintf(stderr, "--audit requires --smoke\n");
+    return 2;
+  }
+  if (smoke) return smoke_run(report_path, trace_path, explain, audit);
 
   std::printf(
       "Table II: fastest execution time (simulated sec) of all frameworks\n"

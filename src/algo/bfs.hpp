@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "comm/reduction.hpp"
 #include "engine/executor.hpp"
+#include "integrity/audit.hpp"
 
 namespace sg::algo {
 
@@ -94,6 +96,69 @@ class BfsProgram {
                  graph::VertexId v, engine::UpdateKind,
                  engine::RoundCtx& ctx) const {
     ctx.push(v);
+  }
+
+  /// ABFT invariant, per audited boundary (integrity auditor,
+  /// DESIGN.md §13). Sound mid-run: relaxation only ever writes
+  /// source-anchored hop counts, so a zero distance anywhere but the
+  /// source can only come from a bit flip.
+  [[nodiscard]] std::string audit_device(const partition::LocalGraph& lg,
+                                         const DeviceState& st) const {
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      if (st.dist[v] == 0 && lg.l2g[v] != source_) {
+        return "bfs: dist 0 at non-source vertex " +
+               std::to_string(lg.l2g[v]);
+      }
+    }
+    return {};
+  }
+
+  /// Complete fixed-point certificate, run once at the final audit: one
+  /// global relaxation sweep over every edge must reproduce the master
+  /// distances exactly (dist[source] = 0; elsewhere dist[v] = min over
+  /// in-edges of dist[u] + 1, unreachable stays kInfDist). A converged
+  /// clean run satisfies this identically; any surviving wrong-low or
+  /// wrong-high corruption — even fully propagated — breaks it at the
+  /// corrupted vertex or its frontier.
+  [[nodiscard]] std::string audit_global(
+      std::span<const partition::LocalGraph* const> lgs,
+      std::span<const DeviceState* const> sts,
+      const integrity::AuditPolicy&) const {
+    graph::VertexId n = 0;
+    for (const partition::LocalGraph* lg : lgs) {
+      for (graph::VertexId v = 0; v < lg->num_local; ++v) {
+        n = std::max(n, lg->l2g[v] + 1);
+      }
+    }
+    std::vector<std::uint32_t> dist(n, kInfDist);
+    for (std::size_t i = 0; i < lgs.size(); ++i) {
+      for (graph::VertexId v = 0; v < lgs[i]->num_masters; ++v) {
+        dist[lgs[i]->l2g[v]] = sts[i]->dist[v];
+      }
+    }
+    std::vector<std::uint32_t> best(n, kInfDist);
+    for (std::size_t i = 0; i < lgs.size(); ++i) {
+      const partition::LocalGraph& lg = *lgs[i];
+      for (graph::VertexId u = 0; u < lg.num_local; ++u) {
+        const std::uint32_t du = dist[lg.l2g[u]];
+        if (du == kInfDist) continue;
+        for (const graph::VertexId w : lg.out_neighbors(u)) {
+          best[lg.l2g[w]] = std::min(best[lg.l2g[w]], du + 1);
+        }
+      }
+    }
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (v == source_ && dist[v] == kInfDist && best[v] == kInfDist) {
+        continue;  // source not resident in this graph at all
+      }
+      const std::uint32_t expected = v == source_ ? 0 : best[v];
+      if (dist[v] != expected) {
+        return "bfs: fixed-point violation at vertex " + std::to_string(v) +
+               " (dist " + std::to_string(dist[v]) + ", certificate " +
+               std::to_string(expected) + ")";
+      }
+    }
+    return {};
   }
 
  private:

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "comm/reduction.hpp"
 #include "engine/executor.hpp"
+#include "integrity/audit.hpp"
 
 namespace sg::algo {
 
@@ -94,6 +96,70 @@ class CcProgram {
                  graph::VertexId v, engine::UpdateKind,
                  engine::RoundCtx& ctx) const {
     ctx.push(v);
+  }
+
+  /// ABFT invariant, per audited boundary: labels start at the vertex's
+  /// own global id and only ever decrease through min-relaxation with
+  /// other valid ids, so label[v] > l2g[v] can only come from a bit
+  /// flip. Sound mid-run. (Wrong-LOW flips look like legitimate labels
+  /// locally; the replica digests catch them at the same boundary they
+  /// land, before propagation — see DESIGN.md §13 on the CC gap.)
+  [[nodiscard]] std::string audit_device(const partition::LocalGraph& lg,
+                                         const DeviceState& st) const {
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      if (st.label[v] > lg.l2g[v]) {
+        return "cc: label " + std::to_string(st.label[v]) +
+               " above own id at vertex " + std::to_string(lg.l2g[v]);
+      }
+    }
+    return {};
+  }
+
+  /// Complete certificate at the final audit: recompute the components
+  /// with a host-side union-find over every edge and compare the
+  /// canonical min-id labels exactly. Catches even a fully propagated
+  /// wrong-low label (a labelwise-merged component), which no local
+  /// fixed-point check can see.
+  [[nodiscard]] std::string audit_global(
+      std::span<const partition::LocalGraph* const> lgs,
+      std::span<const DeviceState* const> sts,
+      const integrity::AuditPolicy&) const {
+    graph::VertexId n = 0;
+    for (const partition::LocalGraph* lg : lgs) {
+      for (graph::VertexId v = 0; v < lg->num_local; ++v) {
+        n = std::max(n, lg->l2g[v] + 1);
+      }
+    }
+    std::vector<graph::VertexId> parent(n);
+    for (graph::VertexId v = 0; v < n; ++v) parent[v] = v;
+    auto find = [&](graph::VertexId v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+      }
+      return v;
+    };
+    for (const partition::LocalGraph* lg : lgs) {
+      for (graph::VertexId u = 0; u < lg->num_local; ++u) {
+        for (const graph::VertexId w : lg->out_neighbors(u)) {
+          const graph::VertexId ru = find(lg->l2g[u]);
+          const graph::VertexId rw = find(lg->l2g[w]);
+          if (ru != rw) parent[std::max(ru, rw)] = std::min(ru, rw);
+        }
+      }
+    }
+    // With min-id union order the root IS the component's minimum id.
+    for (std::size_t i = 0; i < lgs.size(); ++i) {
+      for (graph::VertexId v = 0; v < lgs[i]->num_masters; ++v) {
+        const std::uint32_t expected = find(lgs[i]->l2g[v]);
+        if (sts[i]->label[v] != expected) {
+          return "cc: label " + std::to_string(sts[i]->label[v]) +
+                 " at vertex " + std::to_string(lgs[i]->l2g[v]) +
+                 " (certificate " + std::to_string(expected) + ")";
+        }
+      }
+    }
+    return {};
   }
 };
 

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "comm/reduction.hpp"
 #include "engine/executor.hpp"
+#include "integrity/audit.hpp"
 
 namespace sg::algo {
 
@@ -205,6 +208,73 @@ class PageRankPullProgram {
       st.seen_total[v] = -1.0f;
     }
     ctx.push(v);
+  }
+
+  /// ABFT invariants, per audited boundary (DESIGN.md §13). The
+  /// load-bearing one is *free redundant encoding*: Phase A adds the
+  /// consumed residual to `rank` and to the master's `consumed_total`
+  /// ledger in the same branch with the same float additions in the
+  /// same order, so at every boundary rank[master] == consumed_total
+  /// [master] BIT-EXACTLY — no epsilon. A flip in either array splits
+  /// the pair. (Master re-homing reconciles the ledger and breaks the
+  /// encoding; the engine stops invariant-auditing after any layout
+  /// change.) Finiteness rounds it out: NaN/Inf from an exponent-bit
+  /// flip propagates silently through float sums otherwise.
+  [[nodiscard]] std::string audit_device(const partition::LocalGraph& lg,
+                                         const DeviceState& st) const {
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      if (lg.is_master(v) && st.rank[v] != st.consumed_total[v]) {
+        return "pagerank: rank/consumed-ledger split at vertex " +
+               std::to_string(lg.l2g[v]) + " (rank " +
+               std::to_string(st.rank[v]) + ", ledger " +
+               std::to_string(st.consumed_total[v]) + ")";
+      }
+      if (!std::isfinite(st.rank[v]) || !std::isfinite(st.resid[v]) ||
+          !std::isfinite(st.consumed_cache[v])) {
+        return "pagerank: non-finite state at vertex " +
+               std::to_string(lg.l2g[v]);
+      }
+      if (st.resid[v] < 0.0f || st.accum[v] < 0.0f) {
+        return "pagerank: negative mass at vertex " +
+               std::to_string(lg.l2g[v]);
+      }
+    }
+    return {};
+  }
+
+  /// Termination certificate at the final audit: a quiescent run left
+  /// no pending residual above tolerance, no unshipped mirror partials,
+  /// and every consuming master carries at least the base rank mass
+  /// (1 - alpha, less `rank_epsilon` relative slack).
+  [[nodiscard]] std::string audit_global(
+      std::span<const partition::LocalGraph* const> lgs,
+      std::span<const DeviceState* const> sts,
+      const integrity::AuditPolicy& policy) const {
+    const float floor =
+        (1.0f - alpha_) *
+        (1.0f - static_cast<float>(policy.rank_epsilon));
+    for (std::size_t i = 0; i < lgs.size(); ++i) {
+      const partition::LocalGraph& lg = *lgs[i];
+      const DeviceState& st = *sts[i];
+      for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+        if (st.resid[v] > tol_) {
+          return "pagerank: unconsumed residual " +
+                 std::to_string(st.resid[v]) + " at vertex " +
+                 std::to_string(lg.l2g[v]) + " after termination";
+        }
+        if (st.accum[v] != 0.0f) {
+          return "pagerank: unshipped mirror mass " +
+                 std::to_string(st.accum[v]) + " at vertex " +
+                 std::to_string(lg.l2g[v]) + " after termination";
+        }
+        if (lg.is_master(v) && st.rank[v] < floor) {
+          return "pagerank: rank " + std::to_string(st.rank[v]) +
+                 " below the base mass floor at vertex " +
+                 std::to_string(lg.l2g[v]);
+        }
+      }
+    }
+    return {};
   }
 
   [[nodiscard]] float alpha() const { return alpha_; }

@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "comm/reduction.hpp"
 #include "engine/executor.hpp"
+#include "integrity/audit.hpp"
 
 namespace sg::algo {
 
@@ -98,6 +100,68 @@ class SsspProgram {
                  graph::VertexId v, engine::UpdateKind,
                  engine::RoundCtx& ctx) const {
     ctx.push(v);
+  }
+
+  /// ABFT invariant, per audited boundary: a zero distance anywhere but
+  /// the source can only come from a bit flip (mirrors the bfs hook;
+  /// see DESIGN.md §13).
+  [[nodiscard]] std::string audit_device(const partition::LocalGraph& lg,
+                                         const DeviceState& st) const {
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      if (st.dist[v] == 0 && lg.l2g[v] != source_) {
+        return "sssp: dist 0 at non-source vertex " +
+               std::to_string(lg.l2g[v]);
+      }
+    }
+    return {};
+  }
+
+  /// Complete fixed-point certificate at the final audit: one global
+  /// relaxed-triangle sweep (dist[v] = min over in-edges of
+  /// dist[u] + w) must reproduce the master distances exactly.
+  [[nodiscard]] std::string audit_global(
+      std::span<const partition::LocalGraph* const> lgs,
+      std::span<const DeviceState* const> sts,
+      const integrity::AuditPolicy&) const {
+    graph::VertexId n = 0;
+    for (const partition::LocalGraph* lg : lgs) {
+      for (graph::VertexId v = 0; v < lg->num_local; ++v) {
+        n = std::max(n, lg->l2g[v] + 1);
+      }
+    }
+    std::vector<std::uint64_t> dist(n, kInfPath);
+    for (std::size_t i = 0; i < lgs.size(); ++i) {
+      for (graph::VertexId v = 0; v < lgs[i]->num_masters; ++v) {
+        dist[lgs[i]->l2g[v]] = sts[i]->dist[v];
+      }
+    }
+    std::vector<std::uint64_t> best(n, kInfPath);
+    for (std::size_t i = 0; i < lgs.size(); ++i) {
+      const partition::LocalGraph& lg = *lgs[i];
+      const bool weighted = !lg.out_weights.empty();
+      for (graph::VertexId u = 0; u < lg.num_local; ++u) {
+        const std::uint64_t du = dist[lg.l2g[u]];
+        if (du == kInfPath) continue;
+        for (graph::EdgeId e = lg.out_offsets[u]; e < lg.out_offsets[u + 1];
+             ++e) {
+          const graph::VertexId w = lg.out_dsts[e];
+          const std::uint64_t wt = weighted ? lg.out_weights[e] : 1;
+          best[lg.l2g[w]] = std::min(best[lg.l2g[w]], du + wt);
+        }
+      }
+    }
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (v == source_ && dist[v] == kInfPath && best[v] == kInfPath) {
+        continue;  // source not resident in this graph at all
+      }
+      const std::uint64_t expected = v == source_ ? 0 : best[v];
+      if (dist[v] != expected) {
+        return "sssp: fixed-point violation at vertex " + std::to_string(v) +
+               " (dist " + std::to_string(dist[v]) + ", certificate " +
+               std::to_string(expected) + ")";
+      }
+    }
+    return {};
   }
 
  private:

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <span>
 
+#include "util/hash.hpp"
+
 namespace sg::comm {
 
 /// Versioned wire header stamped on every proxy-sync payload when the
@@ -33,16 +35,13 @@ struct WireHeader {
 
 inline constexpr std::uint16_t kWireVersion = 1;
 
-/// FNV-1a over a byte range, chainable via `h`.
+/// FNV-1a over a byte range, chainable via `h` (delegates to the shared
+/// implementation in util/hash.hpp; kept as an alias so wire-protocol
+/// call sites read naturally).
 [[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t n,
                                          std::uint64_t h =
-                                             0xcbf29ce484222325ULL) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+                                             util::kFnv1aOffset) {
+  return util::fnv1a64(data, n, h);
 }
 
 /// Payload checksum: FNV-1a over the position list then the value

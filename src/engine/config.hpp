@@ -6,6 +6,7 @@
 
 #include "comm/field_sync.hpp"
 #include "fault/fault.hpp"
+#include "integrity/audit.hpp"
 #include "sim/gpu_cost_model.hpp"
 
 namespace sg::obs {
@@ -100,6 +101,11 @@ struct EngineConfig {
   /// contains degradation faults; inert — and byte-identical to a build
   /// without it — otherwise.
   fault::MitigationPolicy mitigation;
+  /// Silent-data-corruption auditor: replica digests, ABFT invariants,
+  /// checkpoint read-back (DESIGN.md §13). Consulted only when the
+  /// fault plan schedules SDC events (FaultInjector::has_sdc()); inert
+  /// — and byte-identical to a build without it — otherwise.
+  integrity::AuditPolicy audit;
   /// Directory of a saved partition store (`partition::save_partition`).
   /// When set, elastic redistribution after a device loss re-reads the
   /// lost device's subgraph from this checksummed store (charging the

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/field_sync.hpp"
@@ -21,7 +23,9 @@
 #include "fault/fault_injector.hpp"
 #include "fault/gray.hpp"
 #include "fault/health.hpp"
+#include "integrity/auditor.hpp"
 #include "obs/metrics.hpp"
+#include "util/hash.hpp"
 #include "obs/trace.hpp"
 #include "partition/dist_graph.hpp"
 #include "partition/partition_io.hpp"
@@ -200,6 +204,14 @@ class Executor {
     dead_.assign(devices_, 0);
     silent_.assign(devices_, 0);
     last_basp_ckpt_round_ = 0;
+    label_flip_done_.assign(injector_.label_flips().size(), 0);
+    ckpt_flip_done_.assign(injector_.checkpoint_flips().size(), 0);
+    sdc_repair_count_.assign(devices_, 0);
+    sdc_lag_.clear();
+    audit_boundary_ = 0;
+    final_audits_ = 0;
+    last_sdc_rollback_round_ = std::numeric_limits<std::uint64_t>::max();
+    invariants_valid_ = true;
   }
 
   // ---- observability -----------------------------------------------------
@@ -254,6 +266,13 @@ class Executor {
         m_gray_migrations_ = &reg.counter("gray.migrations");
         m_gray_evictions_ = &reg.counter("gray.evictions");
       }
+      // SDC counters exist only when the plan actually injects silent
+      // corruption (same byte-identity contract).
+      if (injector_.active() && injector_.has_sdc()) {
+        m_sdc_audits_ = &reg.counter("sdc.audits");
+        m_sdc_detected_ = &reg.counter("sdc.detected");
+        m_sdc_repaired_ = &reg.counter("sdc.repaired");
+      }
     }
   }
 
@@ -306,6 +325,9 @@ class Executor {
     dev.progress =
         program_.compute_round(lg, dev.state, frontier, *dev.ctx);
     merge_activations(dev);
+    if (injector_.active() && injector_.has_sdc()) {
+      kernel_sdc_perturb(d, at);
+    }
 
     const sim::KernelSchedule sched =
         analyze_kernel(dev.ctx->work_sizes(), config_.balancer,
@@ -766,7 +788,10 @@ class Executor {
         return false;
       }();
       if (!any_work && force_sync_rounds_ == 0 && config_.fixed_rounds == 0) {
-        if (!losses_pending) break;
+        if (!losses_pending) {
+          if (bsp_may_terminate(barrier)) break;
+          continue;  // a final-audit repair revived work; rerun the round
+        }
         // Survivors are done but a lost device has not crossed the
         // eviction threshold yet: idle until the detector fires (the
         // run is not over — re-homing may re-activate work).
@@ -909,7 +934,7 @@ class Executor {
           if (silent_[d]) continue;
           if (device_has_work(d)) active = true;
         }
-        if (!active) break;
+        if (!active && bsp_may_terminate(barrier)) break;
       }
     }
     total_time_ = barrier;
@@ -980,6 +1005,25 @@ class Executor {
         barrier = barrier + mitigate_device(a, barrier);
       }
     }
+    // SDC boundary (a consistent cut): land every due label flip, then
+    // audit when the policy is due. The audit precedes the checkpoint
+    // below so a snapshot is only ever taken from certified-clean state.
+    bool sdc_clean = true;
+    if (injector_.has_sdc()) {
+      apply_label_flips(barrier);
+      const integrity::AuditPolicy& pol = config_.audit;
+      if (pol.enabled()) {
+        const std::uint64_t b = audit_boundary_++;
+        if (pol.due(b)) {
+          const std::uint64_t before = fault_global_.sdc_detected;
+          barrier = run_audit(barrier, b, /*final=*/false, nullptr);
+          sdc_clean = fault_global_.sdc_detected == before;
+        }
+        // Known injected-but-unaudited corruption suppresses the
+        // snapshot exactly like an undetected loss does.
+        if (sdc_lag_.pending() > 0) sdc_clean = false;
+      }
+    }
     if constexpr (kCheckpointable) {
       // Checkpoints are suppressed while a loss is silent-but-undetected
       // so a later rollback always lands on a pre-loss cut.
@@ -988,7 +1032,7 @@ class Executor {
                   static_cast<std::uint32_t>(
                       config_.checkpoint.interval_rounds) ==
               0 &&
-          !undetected_loss(barrier)) {
+          !undetected_loss(barrier) && sdc_clean) {
         barrier = take_checkpoint(barrier);
       }
     }
@@ -1024,6 +1068,29 @@ class Executor {
           sim::SimTime{static_cast<double>(n) / config_.checkpoint.disk_bw};
       worst = sim::max(worst, t);  // devices snapshot in parallel
     }
+    // kCheckpointBitFlip: corrupt the serialized blob *after* the
+    // write-side checksum was computed, so the corruption rides to disk
+    // undetected unless the policy's read-back verification is on.
+    if (injector_.has_sdc()) {
+      const auto& flips = injector_.checkpoint_flips();
+      for (std::size_t i = 0; i < flips.size(); ++i) {
+        if (ckpt_flip_done_[i] != 0 || flips[i].at > barrier) continue;
+        ckpt_flip_done_[i] = 1;
+        const int fd = flips[i].device;
+        if (fd < 0 || fd >= devices_ || dead_[fd]) continue;
+        auto& bytes = ck.devices[fd].bytes;
+        if (bytes.empty()) continue;
+        const std::uint64_t h = util::fnv1a64_value(
+            static_cast<std::uint64_t>(ck.round) |
+            (static_cast<std::uint64_t>(fd) << 32));
+        const std::uint64_t pos = h % (bytes.size() * 8);
+        bytes[pos / 8] = static_cast<char>(
+            static_cast<unsigned char>(bytes[pos / 8]) ^
+            static_cast<unsigned char>(1u << (pos % 8)));
+        fault_global_.sdc_injected += 1;
+        fault_global_.sdc_for(fd).checkpoint_flips += 1;
+      }
+    }
     fault_global_.checkpoints_taken += 1;
     fault_global_.checkpoint_bytes += ck.total_bytes();
     fault_global_.checkpoint_time += worst;
@@ -1031,8 +1098,384 @@ class Executor {
                     barrier + worst, ck.total_bytes(), ck.round);
     if (m_checkpoints_ != nullptr) m_checkpoints_->inc();
     if (ckpt_store_.persistent()) ckpt_store_.save(ck);
+    // Read-back verification: re-snapshot the (still clean) live state
+    // and compare it against what was just written, so a corrupt blob
+    // is caught while the clean source exists — not at restore time.
+    if (injector_.has_sdc() && config_.audit.enabled() &&
+        config_.audit.check_checkpoints) {
+      bool rewrite = false;
+      for (int d = 0; d < devices_; ++d) {
+        if (dead_[d]) continue;
+        std::vector<char> fresh = snapshot_device(d);
+        worst = sim::max(worst,
+                         sim::SimTime{static_cast<double>(fresh.size()) /
+                                      config_.checkpoint.disk_bw});
+        if (fresh == ck.devices[d].bytes) continue;
+        fault_global_.sdc_detected += 1;
+        fault_global_.sdc_for(d).checkpoint_violations += 1;
+        if (m_sdc_detected_ != nullptr) m_sdc_detected_->inc();
+        if (config_.audit.repairs()) {
+          // Repair: discard the corrupt blob and rewrite it from the
+          // clean live state (a copy-from-clean-source repair).
+          ck.devices[d].bytes = std::move(fresh);
+          fault_global_.sdc_repaired += 1;
+          fault_global_.sdc_for(d).repairs_mirror += 1;
+          if (m_sdc_repaired_ != nullptr) m_sdc_repaired_->inc();
+          rewrite = true;
+        }
+      }
+      if (rewrite && ckpt_store_.persistent()) ckpt_store_.save(ck);
+    }
     last_ckpt_ = std::move(ck);
     return barrier + worst;
+  }
+
+  // ---- silent-data-corruption auditing (DESIGN.md §13) -------------------
+  /// Flips bit `bit % width` of `v` through its byte representation
+  /// (works for integral and floating label types alike).
+  template <typename T>
+  static void flip_bit(T& v, int bit) {
+    unsigned char bytes[sizeof(T)];
+    std::memcpy(bytes, &v, sizeof(T));
+    const unsigned b = static_cast<unsigned>(bit) % (sizeof(T) * 8);
+    bytes[b / 8] ^= static_cast<unsigned char>(1u << (b % 8));
+    std::memcpy(&v, bytes, sizeof(T));
+  }
+
+  /// kKernelSdc: a window where the device's label updates are silently
+  /// perturbed. Post-kernel, flip one bit of one *mirror* entry of the
+  /// broadcast field (the replicated surface the digests cross-check);
+  /// victim and bit derive from the roll hash so reruns replay the
+  /// perturbation bit-for-bit. Touches only device-local state and
+  /// fault_per_dev_[d], so the parallel BSP compute phase never races.
+  void kernel_sdc_perturb(int d, sim::SimTime at) {
+    const std::uint64_t h =
+        injector_.kernel_sdc_roll(d, stats_.rounds[d] + 1, at);
+    if (h == 0) return;
+    const auto& lg = dg().part(d);
+    if (lg.num_local <= lg.num_masters) return;  // no mirrors resident
+    auto vals = program_.bcast_mirror_dst(devs_[d].state);
+    const VertexId victim =
+        lg.num_masters +
+        static_cast<VertexId>((h >> 8) % (lg.num_local - lg.num_masters));
+    flip_bit(vals[victim], static_cast<int>(h % (sizeof(BV) * 8)));
+    fault_per_dev_[d].sdc_injected += 1;
+    fault_per_dev_[d].sdc_for(d).kernel_events += 1;
+  }
+
+  /// Applies every pending kLabelBitFlip due at or before `upto`,
+  /// optionally restricted to one device. BSP applies flips at each
+  /// barrier (a consistent cut); BASP applies them on the target
+  /// device's own timeline and catches stragglers at the final audit.
+  /// The flip lands in the broadcast field — the replicated surface the
+  /// digests cross-check. Single-threaded contexts only (touches the
+  /// shared lag tracker).
+  void apply_label_flips(sim::SimTime upto, int only_device = -1) {
+    const auto& flips = injector_.label_flips();
+    for (std::size_t i = 0; i < flips.size(); ++i) {
+      if (label_flip_done_[i] != 0) continue;
+      const fault::ResolvedLabelFlip& f = flips[i];
+      if (only_device >= 0 && f.device != only_device) continue;
+      if (f.at > upto) continue;
+      label_flip_done_[i] = 1;
+      if (f.device < 0 || f.device >= devices_ || dead_[f.device] ||
+          silent_[f.device] != 0) {
+        continue;  // nothing live to corrupt
+      }
+      const auto& lg = dg().part(f.device);
+      const auto it = lg.g2l.find(static_cast<VertexId>(f.vertex));
+      if (it == lg.g2l.end()) continue;  // not resident on this layout
+      auto vals = program_.bcast_mirror_dst(devs_[f.device].state);
+      flip_bit(vals[it->second], f.bit);
+      fault_global_.sdc_injected += 1;
+      fault_global_.sdc_for(f.device).label_flips += 1;
+      if (config_.audit.enabled()) {
+        sdc_lag_.note_injection(f.device, audit_boundary_);
+      }
+    }
+  }
+
+  /// Audit-population skip rule: dead, BSP-silent, or fence-doomed
+  /// devices are out (their proxies are stale by design — a pending
+  /// eviction, not corruption — and would read as false digest splits).
+  [[nodiscard]] bool audit_skip(int d) const {
+    if (dead_[d] != 0 || silent_[d] != 0) return true;
+    return monitor_.active() && monitor_.fence_at(d) < sim::SimTime::max();
+  }
+
+  /// One audit pass at simulated time `t` over every live device,
+  /// fusing the detectors of DESIGN.md §13: (a) per-shard replica
+  /// digests over the broadcast exchange lists, (b) the programs' ABFT
+  /// invariant hooks, and — at the *final* boundary — (c) the whole-run
+  /// certificate. Under kRepair the pass also heals: a split shard is
+  /// quarantined and overwritten from the canonical master copy;
+  /// violations no copy can fix rewind the cluster (rollback or cold
+  /// restart). Returns the time including the modeled audit cost; sets
+  /// `*revived` when a repair re-activated work. Single-threaded
+  /// contexts only (BSP barrier / BASP quiescent events).
+  sim::SimTime run_audit(sim::SimTime t, std::uint64_t b, bool final_pass,
+                         bool* revived) {
+    const integrity::AuditPolicy& pol = config_.audit;
+    fault_global_.sdc_audits += 1;
+    if (m_sdc_audits_ != nullptr) m_sdc_audits_->inc();
+    const std::uint64_t detected_before = fault_global_.sdc_detected;
+    bool rollback_needed = false;
+    std::vector<int> blamed;
+
+    auto note_lag = [&](int dev) {
+      const std::int64_t lag = sdc_lag_.note_detection(dev, b);
+      if (lag >= 0) {
+        fault::SdcStats& s = fault_global_.sdc_for(dev);
+        s.max_detect_lag_rounds = std::max(
+            s.max_detect_lag_rounds, static_cast<std::uint64_t>(lag));
+      }
+    };
+
+    // (a) Replica digests: FNV over the label values each broadcast
+    // exchange list shares, master copy vs mirror copy. Provably equal
+    // at a clean BSP barrier / BASP quiescent point (every master
+    // change broadcasts before the cut closes), so a split localizes
+    // corruption to the (mirror device, shard) pair.
+    if (pol.check_digests) {
+      for (int m = 0; m < devices_; ++m) {
+        if (audit_skip(m)) continue;
+        for (int o = 0; o < devices_; ++o) {
+          if (o == m || audit_skip(o)) continue;
+          const auto& list = sync().list(m, o, bcast_filter_);
+          if (list.size() == 0) continue;
+          std::span<const BV> mirror_vals =
+              program_.bcast_mirror_dst(devs_[m].state);
+          std::span<const BV> master_vals =
+              program_.bcast_master_src(devs_[o].state);
+          const std::uint64_t hm = integrity::shard_digest<BV>(
+              mirror_vals, list.mirror_local);
+          const std::uint64_t ho = integrity::shard_digest<BV>(
+              master_vals, list.master_local);
+          if (hm == ho) continue;
+          const integrity::Divergence div = integrity::scan_divergence<BV>(
+              mirror_vals, list.mirror_local, master_vals,
+              list.master_local);
+          fault_global_.sdc_detected += 1;
+          fault_global_.sdc_for(m).digest_violations += 1;
+          note_lag(m);
+          note_lag(o);
+          rt_scope().span(obs::SpanKind::kOther, "sdc.digest_split", t, t,
+                          div.count, static_cast<std::uint64_t>(m));
+          if (!pol.repairs()) continue;
+          // Quarantine the shard and heal it from the canonical master
+          // copy. A corrupted *master* becomes consistent-wrong after
+          // this copy; the final certificate still catches that, and
+          // the repair escalates to a rewind there.
+          auto mut = program_.bcast_mirror_dst(devs_[m].state);
+          const auto& mlg = dg().part(m);
+          for (std::size_t i = 0; i < list.size(); ++i) {
+            const VertexId ml = list.mirror_local[i];
+            const VertexId sl = list.master_local[i];
+            if (mut[ml] == master_vals[sl]) continue;
+            mut[ml] = master_vals[sl];
+            program_.on_update(mlg, devs_[m].state, ml,
+                               UpdateKind::kBroadcast, *devs_[m].ctx);
+          }
+          merge_activations(devs_[m]);
+          fault_global_.sdc_for(m).quarantined_shards += 1;
+          fault_global_.sdc_for(m).repairs_mirror += 1;
+          fault_global_.sdc_repaired += 1;
+          if (m_sdc_repaired_ != nullptr) m_sdc_repaired_->inc();
+          blamed.push_back(m);
+          if (revived != nullptr) *revived = true;
+        }
+      }
+    }
+
+    // (b) ABFT invariants: the programs' self-audit hooks, sound
+    // mid-run. Skipped after a layout rebuild (re-homing reconciles
+    // monotone ledgers, which breaks the exact invariants).
+    if (pol.check_invariants && invariants_valid_) {
+      if constexpr (integrity::SelfAuditing<Program>) {
+        for (int d = 0; d < devices_; ++d) {
+          if (audit_skip(d)) continue;
+          const std::string msg =
+              program_.audit_device(dg().part(d), devs_[d].state);
+          if (msg.empty()) continue;
+          fault_global_.sdc_detected += 1;
+          fault_global_.sdc_for(d).invariant_violations += 1;
+          note_lag(d);
+          blamed.push_back(d);
+          // No vertex-granular blame: healing means rewinding.
+          rollback_needed = true;
+          rt_scope().span(obs::SpanKind::kOther, "sdc.invariant", t, t, 0,
+                          static_cast<std::uint64_t>(d));
+        }
+      }
+      // (c) The whole-run certificate, at the final boundary only: a
+      // complete re-verification (relaxation sweep / union-find /
+      // quiescence ledger) that even fully propagated consistent-wrong
+      // corruption cannot satisfy. No device-granular blame here.
+      if (final_pass) {
+        if constexpr (integrity::GloballyAuditing<Program>) {
+          std::vector<const partition::LocalGraph*> lgs;
+          std::vector<const typename Program::DeviceState*> sts;
+          for (int d = 0; d < devices_; ++d) {
+            if (audit_skip(d)) continue;
+            lgs.push_back(&dg().part(d));
+            sts.push_back(&devs_[d].state);
+          }
+          const std::string msg = program_.audit_global(lgs, sts, pol);
+          if (!msg.empty()) {
+            fault_global_.sdc_detected += 1;
+            rollback_needed = true;
+            rt_scope().span(obs::SpanKind::kOther, "sdc.certificate", t, t,
+                            0, b);
+          }
+        }
+      }
+    }
+
+    std::sort(blamed.begin(), blamed.end());
+    blamed.erase(std::unique(blamed.begin(), blamed.end()), blamed.end());
+
+    if (rollback_needed && pol.repairs()) {
+      t = sdc_rewind(t, blamed);
+      if (revived != nullptr) *revived = true;
+    }
+
+    // Escalation: a device whose state needed healing `escalate_after`
+    // times is a repeat offender — its silicon is flipping bits. Retire
+    // it through the graceful-eviction path while a survivor exists.
+    if (pol.repairs()) {
+      for (const int d : blamed) {
+        if (dead_[d] != 0) continue;
+        sdc_repair_count_[d] += 1;
+        if (sdc_repair_count_[d] >= pol.escalate_after &&
+            live_devices() >= 2) {
+          sdc_repair_count_[d] = std::numeric_limits<int>::min() / 2;
+          fault_global_.sdc_escalations += 1;
+          fault_global_.sdc_for(d).escalations += 1;
+          t = t + evict_device(d, t, /*graceful=*/true);
+          if (revived != nullptr) *revived = true;
+        }
+      }
+    }
+
+    // Modeled cost: each device hashes its shared broadcast entries
+    // (the surface the BASP idle poll already scans) plus two launch
+    // overheads; devices audit in parallel, so the boundary pays the
+    // worst one.
+    sim::SimTime worst;
+    for (int d = 0; d < devices_; ++d) {
+      if (audit_skip(d)) continue;
+      const sim::SimTime c =
+          params_.kernel_launch * 2.0 +
+          sim::SimTime{static_cast<double>(
+                           sync().shared_entries(d, bcast_filter_)) /
+                       params_.scan_throughput};
+      worst = sim::max(worst, c);
+    }
+    const std::uint64_t found = fault_global_.sdc_detected - detected_before;
+    if (m_sdc_detected_ != nullptr && found > 0) m_sdc_detected_->inc(found);
+    rt_scope().span(obs::SpanKind::kOther,
+                    final_pass ? "sdc.audit.final" : "sdc.audit", t,
+                    t + worst, found, b);
+    return t + worst;
+  }
+
+  /// Heals corruption no replica copy can fix: rewind every live device
+  /// to the last clean checkpoint (flip events already consumed are not
+  /// re-fired, so the replay converges to the fault-free fixed point),
+  /// or — when no usable checkpoint exists, or the previous rewind
+  /// landed on this same cut and failed to clear the violation — cold
+  /// restart the computation on the current layout.
+  sim::SimTime sdc_rewind(sim::SimTime t, const std::vector<int>& blamed) {
+    if constexpr (kCheckpointable) {
+      if (last_ckpt_.valid() &&
+          last_ckpt_.round != last_sdc_rollback_round_) {
+        last_sdc_rollback_round_ = last_ckpt_.round;
+        sim::SimTime worst;
+        for (int d = 0; d < devices_; ++d) {
+          if (dead_[d] != 0) continue;
+          restore_device(d, last_ckpt_.devices[d].bytes);
+          const auto n = last_ckpt_.devices[d].bytes.size();
+          worst = sim::max(worst,
+                           config_.checkpoint.restore_latency +
+                               sim::SimTime{static_cast<double>(n) /
+                                            config_.checkpoint.disk_bw} +
+                               net_.host_to_device(n));
+        }
+        fault_global_.rollbacks += 1;
+        if (current_round() > last_ckpt_.round) {
+          fault_global_.reexecuted_rounds +=
+              current_round() - last_ckpt_.round;
+        }
+        fault_global_.recovery_time += worst;
+        fault_global_.sdc_repaired += 1;
+        for (const int d : blamed) {
+          fault_global_.sdc_for(d).repairs_rollback += 1;
+        }
+        if (m_rollbacks_ != nullptr) m_rollbacks_->inc();
+        if (m_sdc_repaired_ != nullptr) m_sdc_repaired_->inc();
+        rt_scope().span(obs::SpanKind::kCheckpoint, "sdc.rollback", t,
+                        t + worst, last_ckpt_.total_bytes(),
+                        last_ckpt_.round);
+        force_sync_rounds_ = std::max(force_sync_rounds_, 2);
+        return t + worst;
+      }
+    }
+    // Cold restart: re-init every live device on the current layout;
+    // monotone programs re-converge to the fault-free fixed point.
+    sim::SimTime worst;
+    for (int d = 0; d < devices_; ++d) {
+      if (dead_[d] != 0) continue;
+      Dev& dev = devs_[d];
+      const auto& lg = dg().part(d);
+      dev.state = typename Program::DeviceState{};
+      dev.dirty_r.clear();
+      dev.dirty_b.clear();
+      dev.frontier.clear();
+      dev.in_frontier.clear();
+      program_.init(lg, dev.state, *dev.ctx);
+      merge_activations(dev);
+      dev.progress = !dev.frontier.empty();
+      const std::uint64_t label_bytes =
+          static_cast<std::uint64_t>(lg.num_local) *
+          (sizeof(RV) + sizeof(BV));
+      worst = sim::max(worst, config_.checkpoint.restore_latency +
+                                  net_.host_to_device(label_bytes));
+    }
+    // The pre-restart checkpoint belongs to the abandoned execution.
+    last_ckpt_ = fault::Checkpoint{};
+    fault_global_.recovery_time += worst;
+    fault_global_.sdc_repaired += 1;
+    for (const int d : blamed) {
+      fault_global_.sdc_for(d).repairs_restart += 1;
+    }
+    if (m_sdc_repaired_ != nullptr) m_sdc_repaired_->inc();
+    rt_scope().span(obs::SpanKind::kCheckpoint, "sdc.restart", t, t + worst,
+                    0, current_round());
+    force_sync_rounds_ = std::max(force_sync_rounds_, 2);
+    return t + worst;
+  }
+
+  /// Gate on BSP termination: the run may only end after a final audit
+  /// (certificate included) comes back clean. A repair revives work, in
+  /// which case the caller keeps looping and re-converges before trying
+  /// again. Returns true when it is safe to stop.
+  bool bsp_may_terminate(sim::SimTime& barrier) {
+    if (!injector_.has_sdc() || !config_.audit.enabled()) return true;
+    if (final_audits_ >= kMaxFinalAudits) return true;  // safety valve
+    final_audits_ += 1;
+    // Stragglers scheduled past the last barrier still get exercised
+    // (and certified) instead of silently expiring with the run.
+    apply_label_flips(sim::SimTime::max());
+    bool revived = false;
+    barrier = run_audit(barrier, audit_boundary_++, /*final_pass=*/true,
+                        &revived);
+    if (revived || force_sync_rounds_ > 0) return false;
+    for (int d = 0; d < devices_; ++d) {
+      if (silent_[d] == 0 && dead_[d] == 0 && device_has_work(d)) {
+        return false;
+      }
+    }
+    return true;
   }
 
   /// Recovers the devices in `crashed`: rollback-restores every device
@@ -1236,6 +1679,10 @@ class Executor {
     // exchange lists that are about to be rebuilt, and is fence-
     // rejected on receipt.
     ++epoch_;
+    // Re-homing reconciles monotone ledgers (e.g. pagerank's consumed
+    // mass), which breaks the exact ABFT invariants; digest + checkpoint
+    // auditing stay sound on the new layout.
+    invariants_valid_ = false;
 
     // 5. Rebuild every device's runtime on the new local-id space.
     for (int d = 0; d < devices_; ++d) {
@@ -1400,6 +1847,7 @@ class Executor {
       // New layout epoch: traffic sealed before this instant indexes
       // exchange lists that no longer exist and is fence-rejected.
       ++epoch_;
+      invariants_valid_ = false;  // ledger reconciliation (see evict)
       for (int d = 0; d < devices_; ++d) {
         if (dead_[d]) continue;
         rebuild_device(d, cd, old_dg, hot_part, harvest,
@@ -1882,6 +2330,37 @@ class Executor {
     while (!queue.empty() && safety++ < step_limit) {
       queue.run_next();
     }
+    // Final SDC audit at termination: the drained queue means the
+    // system is quiescent — the only cut where replica digests are
+    // sound under BASP. A repair revives work, so drain again and
+    // re-certify until the final audit comes back clean.
+    if (injector_.has_sdc() && config_.audit.enabled()) {
+      while (final_audits_ < kMaxFinalAudits) {
+        final_audits_ += 1;
+        sim::SimTime now;
+        for (int d = 0; d < devices_; ++d) {
+          now = sim::max(now, devs_[d].clock);
+        }
+        // Stragglers scheduled past the last event still get exercised.
+        apply_label_flips(sim::SimTime::max());
+        bool revived = false;
+        now = run_audit(now, audit_boundary_++, /*final_pass=*/true,
+                        &revived);
+        for (int d = 0; d < devices_; ++d) {
+          if (dead_[d] != 0) continue;
+          devs_[d].clock = sim::max(devs_[d].clock, now);
+        }
+        bool work = false;
+        for (int d = 0; d < devices_; ++d) {
+          if (dead_[d] == 0 && device_has_work(d)) work = true;
+        }
+        if (!revived && !work) break;
+        basp_sdc_revive(queue);
+        while (!queue.empty() && safety++ < step_limit) {
+          queue.run_next();
+        }
+      }
+    }
     // Makespan is the slowest device clock, NOT queue.now(): the
     // monitor/gray poll streams keep firing (and finding nothing) on
     // their own cadence after the last device parks, and an observation
@@ -1948,6 +2427,11 @@ class Executor {
     dev.clock = sim::max(dev.clock, now);
 
     drain_inbox(d);
+
+    // Under BASP a scheduled label flip lands on the target device's
+    // own timeline — real mid-run corruption, free to propagate until
+    // the next quiescent audit (or the final certificate) catches it.
+    if (injector_.has_sdc()) apply_label_flips(dev.clock, d);
 
     // Optional asynchrony throttle (ablation A2; the paper's proposed
     // control mechanism): a device that has run more than
@@ -2461,11 +2945,65 @@ class Executor {
     }
   }
 
-  void park(int d, sim::EventQueue&) {
+  void park(int d, sim::EventQueue& queue) {
     devs_[d].parked = true;
     park_start_[d] = devs_[d].clock;
     if (td_) td_->set_active(d, false);
-    maybe_quiescent_checkpoint(d);
+    // BASP audits only at quiescent cuts: master == mirror is only
+    // guaranteed once every send has been applied. The audit precedes
+    // the checkpoint so snapshots are taken from certified-clean state.
+    bool sdc_clean = true;
+    if (injector_.has_sdc() && all_quiescent()) {
+      apply_label_flips(devs_[d].clock);
+      const integrity::AuditPolicy& pol = config_.audit;
+      if (pol.enabled()) {
+        const std::uint64_t b = audit_boundary_++;
+        if (pol.due(b)) {
+          const std::uint64_t before = fault_global_.sdc_detected;
+          bool revived = false;
+          // Cost overlaps park idle time, like the quiescent snapshot.
+          (void)run_audit(devs_[d].clock, b, /*final_pass=*/false,
+                          &revived);
+          sdc_clean = fault_global_.sdc_detected == before;
+          if (revived) basp_sdc_revive(queue);
+        }
+        if (sdc_lag_.pending() > 0) sdc_clean = false;
+      }
+    }
+    if (sdc_clean) maybe_quiescent_checkpoint(d);
+  }
+
+  /// Every device parked (or dead) with no message in flight: the BASP
+  /// equivalent of a barrier, where replica digests are sound.
+  [[nodiscard]] bool all_quiescent() const {
+    for (int o = 0; o < devices_; ++o) {
+      if (dead_[o] == 0 && !devs_[o].parked) return false;
+      if (pending_arrivals(o)) return false;
+    }
+    return true;
+  }
+
+  /// Wakes every device an SDC repair gave work to and restarts Safra
+  /// (a rewind/restart invalidates its message counters), so the event
+  /// loop picks the revived computation back up.
+  void basp_sdc_revive(sim::EventQueue& queue) {
+    if (td_) {
+      td_ = std::make_unique<TerminationDetector>(devices_);
+      // Revive only happens at a quiescent cut, so every live device is
+      // parked: start them all passive and let the wakes below flip
+      // exactly the revived ones back to active as they unpark
+      // (basp_step does). A parked device left active would never step
+      // again to declare itself passive and would wedge the token ring
+      // into a false termination violation.
+      for (int o = 0; o < devices_; ++o) td_->set_active(o, false);
+    }
+    for (int o = 0; o < devices_; ++o) {
+      if (dead_[o] != 0) continue;
+      if (!device_has_work(o) && !devs_[o].flush_pending) continue;
+      queue.schedule(devs_[o].clock, [this, o, &queue](sim::SimTime t) {
+        if (devs_[o].parked) basp_step(o, t, queue);
+      });
+    }
   }
 
   [[nodiscard]] bool pending_arrivals(int d) const {
@@ -2515,7 +3053,9 @@ class Executor {
     stats_.faults += fault_global_;
     stats_.faults.faults_injected =
         stats_.faults.device_crashes + injector_.windowed_events() +
-        static_cast<std::uint64_t>(injector_.losses().size());
+        static_cast<std::uint64_t>(injector_.losses().size()) +
+        static_cast<std::uint64_t>(injector_.label_flips().size()) +
+        static_cast<std::uint64_t>(injector_.checkpoint_flips().size());
     stats_.total_time = total_time_;
     result.stats = std::move(stats_);
     if (rehomed_dg_) {
@@ -2594,6 +3134,21 @@ class Executor {
   // eviction/rebuild: traffic sealed against a dead layout is fence-
   // rejected on receipt instead of indexing rebuilt exchange lists.
   std::uint32_t epoch_ = 0;
+  // Silent-data-corruption state (DESIGN.md §13): armed only while the
+  // plan schedules SDC events, so clean runs execute none of it.
+  integrity::DetectLagTracker sdc_lag_;
+  std::vector<std::uint8_t> label_flip_done_;
+  std::vector<std::uint8_t> ckpt_flip_done_;
+  std::vector<int> sdc_repair_count_;  // escalation ledger, per device
+  std::uint64_t audit_boundary_ = 0;   // audited-boundary counter
+  int final_audits_ = 0;               // certify/revive loop safety valve
+  std::uint64_t last_sdc_rollback_round_ =
+      std::numeric_limits<std::uint64_t>::max();
+  bool invariants_valid_ = true;  // cleared on re-home / migration
+  obs::Counter* m_sdc_audits_ = nullptr;
+  obs::Counter* m_sdc_detected_ = nullptr;
+  obs::Counter* m_sdc_repaired_ = nullptr;
+  static constexpr int kMaxFinalAudits = 5;
 };
 
 /// Convenience entry point: partitioned graph + topology + config in,

@@ -69,6 +69,16 @@ FaultPlan generate(std::uint64_t stream, std::uint64_t plan_seed,
   if (spec.allow_pressure && spec.num_devices >= 2) {
     kinds.push_back(FaultKind::kMemoryPressure);
   }
+  if (spec.allow_label_flip && spec.num_devices >= 1 &&
+      spec.num_vertices > 0) {
+    kinds.push_back(FaultKind::kLabelBitFlip);
+  }
+  if (spec.allow_kernel_sdc && spec.num_devices >= 1) {
+    kinds.push_back(FaultKind::kKernelSdc);
+  }
+  if (spec.allow_ckpt_flip && spec.num_devices >= 1) {
+    kinds.push_back(FaultKind::kCheckpointBitFlip);
+  }
   if (kinds.empty()) return plan;
 
   const int lo = std::max(spec.min_events, 0);
@@ -147,6 +157,28 @@ FaultPlan generate(std::uint64_t stream, std::uint64_t plan_seed,
                           1.0 + 3.0 * rng.uniform());
         break;
       }
+      case FaultKind::kLabelBitFlip:
+        // Low bits only: every label type in the system is at least 32
+        // bits wide, so the flip is meaningful regardless of benchmark.
+        plan.flip_label(
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_devices))),
+            static_cast<std::int64_t>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_vertices))),
+            static_cast<int>(rng.bounded(32)), at);
+        break;
+      case FaultKind::kKernelSdc:
+        plan.sdc_kernel(
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_devices))),
+            at, dur, std::max(prob, 0.05));
+        break;
+      case FaultKind::kCheckpointBitFlip:
+        plan.corrupt_checkpoint(
+            static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(spec.num_devices))),
+            at);
+        break;
       case FaultKind::kMemoryPressure: {
         const sim::SimTime pat{h * 0.3 * rng.uniform()};
         const sim::SimTime pdur{h * (0.4 + 0.4 * rng.uniform())};
@@ -206,6 +238,9 @@ void write_plan_json(obs::JsonWriter& w, const FaultPlan& plan) {
       w.kv("recovery_s", e.recovery.seconds());
     }
     if (e.latency_factor != 1.0) w.kv("latency_factor", e.latency_factor);
+    // SDC fields only when non-default, same compatibility rule.
+    if (e.vertex >= 0) w.kv("vertex", e.vertex);
+    if (e.bit >= 0) w.kv("bit", e.bit);
     w.end_object();
   }
   w.end_array();
@@ -274,6 +309,8 @@ FaultPlan plan_from_json(const obs::JsonValue& v) {
     e.onset = sim::SimTime{number_or(ev, "onset_s", 0.0)};
     e.recovery = sim::SimTime{number_or(ev, "recovery_s", 0.0)};
     e.latency_factor = number_or(ev, "latency_factor", 1.0);
+    e.vertex = static_cast<std::int64_t>(number_or(ev, "vertex", -1.0));
+    e.bit = static_cast<int>(number_or(ev, "bit", -1.0));
     plan.events.push_back(e);
   }
   return plan;

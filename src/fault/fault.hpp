@@ -33,6 +33,15 @@ enum class FaultKind : std::uint8_t {
   // evicts; the GrayFailureMonitor handles them instead.
   kDeviceDegrade,   ///< compute slowed by `severity` with onset/recovery ramps
   kMemoryPressure,  ///< `severity` fraction of device memory squatted
+  // Silent data corruption: the device computes and communicates on
+  // time, but a value in its resident state is wrong — cosmic-ray /
+  // weak-cell bit flips and defective-ALU kernel corruption. Nothing
+  // on the wire or the timeline betrays them; only the integrity
+  // auditor (src/integrity/) can catch them.
+  kLabelBitFlip,      ///< flip bit `bit` of vertex `vertex`'s label on `device`
+  kKernelSdc,         ///< window where `device`'s label updates are perturbed
+  kCheckpointBitFlip, ///< corrupt `device`'s checkpoint blob after its
+                      ///< checksum is written (latent until restore)
 };
 
 /// Stable CLI spelling (e.g. "msg-corrupt", "net-partition").
@@ -72,6 +81,14 @@ struct FaultEvent {
   /// latency untouched — exactly the pre-existing bandwidth-only
   /// derating.
   double latency_factor = 1.0;
+  /// kLabelBitFlip: global id of the vertex whose label is flipped
+  /// (must be resident on `device` — validate() cannot see the layout,
+  /// so the injector rechecks at apply time and errors loudly).
+  std::int64_t vertex = -1;
+  /// kLabelBitFlip: which bit of the label value to flip, in
+  /// [0, 8 * sizeof(label)); -1 = derive deterministically from the
+  /// plan seed at apply time.
+  int bit = -1;
 };
 
 /// Deterministic, seeded fault schedule. The seed feeds the per-message
@@ -205,6 +222,40 @@ struct FaultPlan {
                              sim::SimTime duration) {
     events.push_back({.kind = FaultKind::kNetPartition, .at = at,
                       .duration = duration, .host_mask = host_mask});
+    return *this;
+  }
+  /// Silently flips bit `bit` of global vertex `vertex`'s label in
+  /// `device`'s resident state at the first BSP barrier (BASP: round
+  /// boundary) at or after `at`. The flip lands after any wire
+  /// checksum was verified and before the next sync reads the value —
+  /// exactly the window a memory bit flip occupies. `bit` of -1 picks
+  /// a bit deterministically from the plan seed.
+  FaultPlan& flip_label(int device, std::int64_t vertex, int bit,
+                        sim::SimTime at) {
+    events.push_back({.kind = FaultKind::kLabelBitFlip, .at = at,
+                      .device = device, .vertex = vertex, .bit = bit});
+    return *this;
+  }
+  /// Defective-ALU window: during [at, at+duration) a fraction
+  /// `probability` of `device`'s per-round label updates are perturbed
+  /// by a deterministic bit flip before they are broadcast. Unlike
+  /// kMsgCorrupt the wrong value is *computed*, so wire checksums seal
+  /// and verify it happily — only ABFT invariants can catch it.
+  FaultPlan& sdc_kernel(int device, sim::SimTime at, sim::SimTime duration,
+                        double probability) {
+    events.push_back({.kind = FaultKind::kKernelSdc, .at = at,
+                      .duration = duration, .device = device,
+                      .severity = probability});
+    return *this;
+  }
+  /// Corrupts `device`'s portion of the next checkpoint taken at or
+  /// after `at`, flipping one payload bit *after* the envelope checksum
+  /// is written. The corruption is latent: it only matters if a later
+  /// rollback restores that snapshot, which is why the auditor
+  /// read-back-verifies checkpoints instead of trusting the write path.
+  FaultPlan& corrupt_checkpoint(int device, sim::SimTime at) {
+    events.push_back({.kind = FaultKind::kCheckpointBitFlip, .at = at,
+                      .device = device});
     return *this;
   }
 
@@ -349,6 +400,39 @@ struct DegradeStats {
   }
 };
 
+/// Per-device silent-data-corruption ledger: what was injected into a
+/// device's resident state, what the integrity auditor caught, and how
+/// it was healed. Sparse (only devices with nonzero activity appear)
+/// and sorted by device so merged stats and reports stay deterministic.
+/// `any()` gates report emission: a clean run writes no SDC fields at
+/// all, keeping fault-free reports byte-identical (CI-asserted).
+struct SdcStats {
+  int device = -1;
+  std::uint64_t label_flips = 0;       ///< kLabelBitFlip events applied
+  std::uint64_t kernel_events = 0;     ///< kKernelSdc perturbations applied
+  std::uint64_t checkpoint_flips = 0;  ///< kCheckpointBitFlip events applied
+  std::uint64_t digest_violations = 0;     ///< master/mirror digest splits
+  std::uint64_t invariant_violations = 0;  ///< ABFT invariant failures
+  std::uint64_t checkpoint_violations = 0; ///< read-back verify failures
+  std::uint64_t repairs_mirror = 0;    ///< healed by clean-replica copy
+  std::uint64_t repairs_rollback = 0;  ///< healed by checkpoint restore
+  std::uint64_t repairs_restart = 0;   ///< healed by cold re-init
+  std::uint64_t quarantined_shards = 0;
+  std::uint64_t escalations = 0;  ///< repeat offender -> eviction path
+  /// Worst detection lag observed, in audited rounds: rounds between
+  /// the earliest unalarmed injection on this device and the audit
+  /// that flagged it. The soak harness asserts <= 2x audit interval.
+  std::uint64_t max_detect_lag_rounds = 0;
+
+  [[nodiscard]] bool any() const {
+    return label_flips != 0 || kernel_events != 0 || checkpoint_flips != 0 ||
+           digest_violations != 0 || invariant_violations != 0 ||
+           checkpoint_violations != 0 || repairs_mirror != 0 ||
+           repairs_rollback != 0 || repairs_restart != 0 ||
+           quarantined_shards != 0 || escalations != 0;
+  }
+};
+
 /// Per-(src,dst) anomaly breakdown: which link pairs were actually
 /// affected (kMessageDrop counted only one global total before).
 /// Sparse and sorted by (from, to) so folded stats and reports are
@@ -403,6 +487,13 @@ struct FaultStats {
   std::uint64_t gray_migrated_bytes = 0;
   std::uint64_t gray_evictions = 0;  ///< hopeless devices evicted live
   std::uint64_t spill_bytes = 0;     ///< memory-pressure spill traffic
+  // Silent data corruption: injections, the auditor's catches, and the
+  // repairs. Totals here; per-device breakdown in `sdc` below.
+  std::uint64_t sdc_injected = 0;   ///< SDC events actually applied
+  std::uint64_t sdc_detected = 0;   ///< audit violations (all three checks)
+  std::uint64_t sdc_repaired = 0;   ///< mirror-copy + rollback + restart
+  std::uint64_t sdc_audits = 0;     ///< audit passes executed
+  std::uint64_t sdc_escalations = 0;  ///< repeat offenders -> eviction path
   sim::SimTime checkpoint_time = sim::SimTime::zero();
   sim::SimTime recovery_time = sim::SimTime::zero();
   sim::SimTime straggler_delay = sim::SimTime::zero();
@@ -420,6 +511,21 @@ struct FaultStats {
   /// Per-device degradation ledger, sorted by device. Empty unless
   /// gray faults were active or the monitor acted.
   std::vector<DegradeStats> degrade;
+  /// Per-device SDC ledger, sorted by device. Empty unless SDC faults
+  /// were injected or the auditor flagged something.
+  std::vector<SdcStats> sdc;
+
+  /// Find-or-insert the SDC slot for `device`, keeping `sdc` sorted so
+  /// merged stats are deterministic.
+  SdcStats& sdc_for(int device) {
+    auto it = std::find_if(sdc.begin(), sdc.end(), [&](const SdcStats& s) {
+      return s.device >= device;
+    });
+    if (it == sdc.end() || it->device != device) {
+      it = sdc.insert(it, SdcStats{.device = device});
+    }
+    return *it;
+  }
 
   /// Find-or-insert the degradation slot for `device`, keeping
   /// `degrade` sorted so merged stats are deterministic.
@@ -487,6 +593,27 @@ struct FaultStats {
     gray_migrated_bytes += o.gray_migrated_bytes;
     gray_evictions += o.gray_evictions;
     spill_bytes += o.spill_bytes;
+    sdc_injected += o.sdc_injected;
+    sdc_detected += o.sdc_detected;
+    sdc_repaired += o.sdc_repaired;
+    sdc_audits += o.sdc_audits;
+    sdc_escalations += o.sdc_escalations;
+    for (const SdcStats& s : o.sdc) {
+      SdcStats& mine = sdc_for(s.device);
+      mine.label_flips += s.label_flips;
+      mine.kernel_events += s.kernel_events;
+      mine.checkpoint_flips += s.checkpoint_flips;
+      mine.digest_violations += s.digest_violations;
+      mine.invariant_violations += s.invariant_violations;
+      mine.checkpoint_violations += s.checkpoint_violations;
+      mine.repairs_mirror += s.repairs_mirror;
+      mine.repairs_rollback += s.repairs_rollback;
+      mine.repairs_restart += s.repairs_restart;
+      mine.quarantined_shards += s.quarantined_shards;
+      mine.escalations += s.escalations;
+      mine.max_detect_lag_rounds =
+          std::max(mine.max_detect_lag_rounds, s.max_detect_lag_rounds);
+    }
     for (const DegradeStats& d : o.degrade) {
       DegradeStats& mine = degrade_for(d.device);
       mine.degrade_delay = mine.degrade_delay + d.degrade_delay;

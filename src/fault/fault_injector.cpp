@@ -104,6 +104,34 @@ FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
       case FaultKind::kMsgReorder:
         ++windowed_events_;
         break;
+      case FaultKind::kLabelBitFlip:
+        if (e.device >= 0 && e.device < topo_->num_devices()) {
+          int bit = e.bit;
+          if (bit < 0) {
+            // Seed-derived flip bit: deterministic per (seed, vertex,
+            // device) so the same plan replays the same corruption.
+            bit = static_cast<int>(
+                mix64(plan_->seed ^
+                      mix64(static_cast<std::uint64_t>(e.vertex)) ^
+                      mix64(static_cast<std::uint64_t>(e.device))) %
+                64);
+          }
+          label_flips_.push_back({e.at, e.device, e.vertex, bit});
+          has_sdc_ = true;
+        }
+        break;
+      case FaultKind::kKernelSdc:
+        if (e.device >= 0 && e.device < topo_->num_devices()) {
+          has_sdc_ = true;
+          ++windowed_events_;
+        }
+        break;
+      case FaultKind::kCheckpointBitFlip:
+        if (e.device >= 0 && e.device < topo_->num_devices()) {
+          checkpoint_flips_.push_back({e.at, e.device});
+          has_sdc_ = true;
+        }
+        break;
     }
   }
   const auto by_time = [](const ResolvedCrash& a, const ResolvedCrash& b) {
@@ -112,6 +140,13 @@ FaultInjector::FaultInjector(const FaultPlan* plan, const sim::Topology* topo)
   };
   std::sort(crashes_.begin(), crashes_.end(), by_time);
   std::sort(losses_.begin(), losses_.end(), by_time);
+  std::sort(checkpoint_flips_.begin(), checkpoint_flips_.end(), by_time);
+  std::sort(label_flips_.begin(), label_flips_.end(),
+            [](const ResolvedLabelFlip& a, const ResolvedLabelFlip& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.device != b.device) return a.device < b.device;
+              return a.vertex < b.vertex;
+            });
   std::sort(partitions_.begin(), partitions_.end(),
             [](const PartitionWindow& a, const PartitionWindow& b) {
               return a.at < b.at;
@@ -246,6 +281,9 @@ std::uint64_t attempt_tag(std::uint64_t round, int attempt, MsgKind kind) {
 constexpr std::uint64_t kCorruptSalt = 0x53474352505455ULL;
 constexpr std::uint64_t kDuplicateSalt = 0x53474455504cULL;
 constexpr std::uint64_t kReorderSalt = 0x534752454f52ULL;
+// Kernel-SDC per-round roll ("SGSDCK"): new salt so SDC decisions never
+// perturb the byte-identical drop/corrupt/dup/reorder streams above.
+constexpr std::uint64_t kKernelSdcSalt = 0x53475344434bULL;
 
 }  // namespace
 
@@ -285,6 +323,25 @@ double FaultInjector::anomaly_uniform(std::uint64_t salt, int from, int to,
   return hash_uniform(plan_ != nullptr ? plan_->seed : 0,
                       endpoint_key(from, to), attempt_tag(round, 0, kind),
                       salt);
+}
+
+std::uint64_t FaultInjector::kernel_sdc_roll(int device, std::uint64_t round,
+                                             sim::SimTime at) const {
+  if (!active_ || !has_sdc_) return 0;
+  double prob = 0.0;
+  for (const FaultEvent& e : plan_->events) {
+    if (e.kind != FaultKind::kKernelSdc || e.device != device ||
+        !in_window(e, at)) {
+      continue;
+    }
+    if (e.severity > prob) prob = e.severity;
+  }
+  if (prob <= 0.0) return 0;
+  const auto dev = static_cast<std::uint64_t>(static_cast<std::uint32_t>(device));
+  if (hash_uniform(plan_->seed, dev, round, kKernelSdcSalt) >= prob) return 0;
+  // Full-avalanche victim/bit seed; |1 keeps "perturbed" distinguishable
+  // from the zero "clean" answer.
+  return mix64(plan_->seed ^ mix64(dev) ^ mix64(round) ^ kKernelSdcSalt) | 1;
 }
 
 bool FaultInjector::hosts_partitioned(int host_a, int host_b,

@@ -19,6 +19,18 @@ struct ResolvedCrash {
   int device = -1;
 };
 
+/// One kLabelBitFlip resolved against the plan seed: flip bit `bit` of
+/// global vertex `vertex`'s label resident on `device` at the first
+/// audited round boundary at or after `at`. `bit` is always concrete
+/// here (>= 0): events that left it -1 had one derived deterministically
+/// from the plan seed. Sorted by (at, device, vertex).
+struct ResolvedLabelFlip {
+  sim::SimTime at = sim::SimTime::zero();
+  int device = -1;
+  std::int64_t vertex = -1;
+  int bit = 0;
+};
+
 /// One kNetPartition event resolved against the topology: the window,
 /// the side-A host mask, and the minority-side host mask (the side with
 /// fewer devices; ties go to side A). Sorted by start time.
@@ -154,6 +166,32 @@ class FaultInjector {
     return windowed_events_;
   }
 
+  /// True when the plan schedules any silent-data-corruption fault
+  /// (label/checkpoint bit flips or kernel SDC windows). The engine
+  /// only arms the integrity auditor's snapshot machinery when this is
+  /// set, so SDC-free runs stay byte-identical.
+  [[nodiscard]] bool has_sdc() const { return has_sdc_; }
+
+  /// Resolved kLabelBitFlip events, sorted by (at, device, vertex).
+  [[nodiscard]] const std::vector<ResolvedLabelFlip>& label_flips() const {
+    return label_flips_;
+  }
+
+  /// Resolved kCheckpointBitFlip events (one bit of `device`'s next
+  /// checkpoint blob at or after `at`), in time order.
+  [[nodiscard]] const std::vector<ResolvedCrash>& checkpoint_flips() const {
+    return checkpoint_flips_;
+  }
+
+  /// Nonzero exactly when a kKernelSdc window covering `at` perturbs
+  /// `device`'s round-`round` label updates (probability = window
+  /// severity, rolled deterministically per (device, round)). The
+  /// returned hash seeds victim/bit selection so the perturbation is
+  /// replayable bit-for-bit.
+  [[nodiscard]] std::uint64_t kernel_sdc_roll(int device,
+                                              std::uint64_t round,
+                                              sim::SimTime at) const;
+
  private:
   [[nodiscard]] bool in_window(const FaultEvent& e, sim::SimTime at) const {
     if (at < e.at) return false;
@@ -167,9 +205,12 @@ class FaultInjector {
   const sim::Topology* topo_ = nullptr;
   bool active_ = false;
   bool has_degradation_ = false;
+  bool has_sdc_ = false;
   std::vector<ResolvedCrash> crashes_;
   std::vector<ResolvedCrash> losses_;
   std::vector<PartitionWindow> partitions_;
+  std::vector<ResolvedLabelFlip> label_flips_;
+  std::vector<ResolvedCrash> checkpoint_flips_;
   std::uint64_t windowed_events_ = 0;
 };
 

@@ -12,6 +12,7 @@ constexpr const char* kKindNames[] = {
     "device-crash", "host-crash",     "link-degrade",   "message-drop",
     "straggler",    "device-loss",    "msg-corrupt",    "msg-duplicate",
     "msg-reorder",  "net-partition",  "device-degrade", "memory-pressure",
+    "label-bitflip", "kernel-sdc",    "checkpoint-bitflip",
 };
 
 /// Half-open window of event `e`; duration zero = open-ended (except
@@ -37,6 +38,7 @@ bool is_windowed(FaultKind k) {
     case FaultKind::kNetPartition:
     case FaultKind::kDeviceDegrade:
     case FaultKind::kMemoryPressure:
+    case FaultKind::kKernelSdc:
       return true;
     default:
       return false;
@@ -56,6 +58,8 @@ std::string where(std::size_t i, const FaultEvent& e) {
   std::string s = "FaultPlan event " + std::to_string(i) + " (" +
                   to_string(e.kind);
   if (e.device >= 0) s += " device=" + std::to_string(e.device);
+  if (e.vertex >= 0) s += " vertex=" + std::to_string(e.vertex);
+  if (e.bit >= 0) s += " bit=" + std::to_string(e.bit);
   if (e.host >= 0) s += " host=" + std::to_string(e.host);
   if (e.peer_host >= 0) s += " peer_host=" + std::to_string(e.peer_host);
   if (e.host_mask != 0) s += " host_mask=0x" + [&] {
@@ -222,6 +226,45 @@ std::string FaultPlan::validate(int num_devices, int num_hosts) const {
         }
         break;
       }
+      case FaultKind::kLabelBitFlip:
+        if (bad_device(e.device)) {
+          return where(i, e) + "device " + std::to_string(e.device) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_devices) + " devices)";
+        }
+        if (e.vertex < 0) {
+          return where(i, e) + "vertex " + std::to_string(e.vertex) +
+                 " must name a global vertex id (>= 0)";
+        }
+        if (e.bit < -1 || e.bit >= 64) {
+          return where(i, e) + "bit " + std::to_string(e.bit) +
+                 " must be -1 (seed-derived) or in [0, 64)";
+        }
+        break;
+      case FaultKind::kKernelSdc:
+        if (bad_device(e.device)) {
+          return where(i, e) + "device " + std::to_string(e.device) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_devices) + " devices)";
+        }
+        if (!(e.severity > 0.0) || e.severity > 1.0 ||
+            std::isnan(e.severity)) {
+          return where(i, e) + "perturbation probability " +
+                 std::to_string(e.severity) + " must be in (0, 1]";
+        }
+        if (e.duration <= sim::SimTime::zero()) {
+          return where(i, e) +
+                 "kernel SDC needs a positive window (an ALU that is wrong "
+                 "forever is a device to evict, not a fault to tolerate)";
+        }
+        break;
+      case FaultKind::kCheckpointBitFlip:
+        if (bad_device(e.device)) {
+          return where(i, e) + "device " + std::to_string(e.device) +
+                 " does not exist (cluster has " +
+                 std::to_string(num_devices) + " devices)";
+        }
+        break;
     }
   }
 
@@ -238,7 +281,10 @@ std::string FaultPlan::validate(int num_devices, int num_hosts) const {
                                    e.kind == FaultKind::kStraggler ||
                                    e.kind == FaultKind::kDeviceLoss ||
                                    e.kind == FaultKind::kDeviceDegrade ||
-                                   e.kind == FaultKind::kMemoryPressure;
+                                   e.kind == FaultKind::kMemoryPressure ||
+                                   e.kind == FaultKind::kLabelBitFlip ||
+                                   e.kind == FaultKind::kKernelSdc ||
+                                   e.kind == FaultKind::kCheckpointBitFlip;
       if (!device_targeted) continue;
       const bool duplicate_loss =
           e.kind == FaultKind::kDeviceLoss && j > i;

@@ -1,0 +1,30 @@
+#include "integrity/audit.hpp"
+
+namespace sg::integrity {
+
+const char* to_string(AuditMode m) {
+  switch (m) {
+    case AuditMode::kOff:
+      return "off";
+    case AuditMode::kDetect:
+      return "detect";
+    case AuditMode::kRepair:
+      return "repair";
+  }
+  return "off";
+}
+
+bool audit_mode_from_string(std::string_view s, AuditMode& out) {
+  if (s == "off") {
+    out = AuditMode::kOff;
+  } else if (s == "detect") {
+    out = AuditMode::kDetect;
+  } else if (s == "repair") {
+    out = AuditMode::kRepair;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sg::integrity

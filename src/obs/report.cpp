@@ -89,6 +89,17 @@ void write_faults_json(JsonWriter& w, const fault::FaultStats& f) {
   if (f.mitigation_time.seconds() != 0.0) {
     w.kv("mitigation_time_s", f.mitigation_time.seconds());
   }
+  // SDC / integrity-audit counters, same nonzero-only contract: a run
+  // with no SDC faults injected reports byte-identically whether or not
+  // the auditor ran (sdc_audits is gated on injection for this reason —
+  // the audit-pass count is only interesting when something was hit).
+  if (f.sdc_injected != 0) {
+    w.kv("sdc_injected", f.sdc_injected);
+    w.kv("sdc_detected", f.sdc_detected);
+    w.kv("sdc_repaired", f.sdc_repaired);
+    w.kv("sdc_audits", f.sdc_audits);
+    if (f.sdc_escalations != 0) w.kv("sdc_escalations", f.sdc_escalations);
+  }
   if (!f.degrade.empty()) {
     w.key("degrade").begin_array();
     for (const fault::DegradeStats& d : f.degrade) {
@@ -109,6 +120,42 @@ void write_faults_json(JsonWriter& w, const fault::FaultStats& f) {
       if (d.migrations_off != 0) w.kv("migrations_off", d.migrations_off);
       if (d.masters_moved_off != 0) {
         w.kv("masters_moved_off", d.masters_moved_off);
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (!f.sdc.empty()) {
+    w.key("sdc").begin_array();
+    for (const fault::SdcStats& s : f.sdc) {
+      if (!s.any()) continue;
+      w.begin_object();
+      w.kv("device", s.device);
+      if (s.label_flips != 0) w.kv("label_flips", s.label_flips);
+      if (s.kernel_events != 0) w.kv("kernel_events", s.kernel_events);
+      if (s.checkpoint_flips != 0) {
+        w.kv("checkpoint_flips", s.checkpoint_flips);
+      }
+      if (s.digest_violations != 0) {
+        w.kv("digest_violations", s.digest_violations);
+      }
+      if (s.invariant_violations != 0) {
+        w.kv("invariant_violations", s.invariant_violations);
+      }
+      if (s.checkpoint_violations != 0) {
+        w.kv("checkpoint_violations", s.checkpoint_violations);
+      }
+      if (s.repairs_mirror != 0) w.kv("repairs_mirror", s.repairs_mirror);
+      if (s.repairs_rollback != 0) {
+        w.kv("repairs_rollback", s.repairs_rollback);
+      }
+      if (s.repairs_restart != 0) w.kv("repairs_restart", s.repairs_restart);
+      if (s.quarantined_shards != 0) {
+        w.kv("quarantined_shards", s.quarantined_shards);
+      }
+      if (s.escalations != 0) w.kv("escalations", s.escalations);
+      if (s.max_detect_lag_rounds != 0) {
+        w.kv("max_detect_lag_rounds", s.max_detect_lag_rounds);
       }
       w.end_object();
     }

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/hash.hpp"
+
 namespace sg::partition::detail {
 template <typename T>
 struct is_pair : std::false_type {};
@@ -24,17 +26,12 @@ namespace sg::partition {
 
 /// FNV-1a 64-bit content checksum. Shared by the on-disk partition
 /// store and the fault subsystem's checkpoint files so both formats
-/// detect truncation and bit corruption the same way.
+/// detect truncation and bit corruption the same way (delegates to the
+/// single shared implementation in util/hash.hpp).
 [[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t n,
                                            std::uint64_t seed =
-                                               0xcbf29ce484222325ULL) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = seed;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+                                               util::kFnv1aOffset) {
+  return util::fnv1a64(data, n, seed);
 }
 
 /// Serializes PODs and vectors into a flat byte buffer. Doubles as the
@@ -200,12 +197,28 @@ inline void write_checksummed_file(const std::filesystem::path& path,
   }
 }
 
+/// Lowercase hex rendering of a 64-bit digest for error messages.
+[[nodiscard]] inline std::string digest_hex(std::uint64_t h) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    s += kHex[(h >> shift) & 0xf];
+  }
+  return s;
+}
+
 /// Reads and validates a checksummed file; returns the payload. Throws
 /// a descriptive std::runtime_error on missing file, bad magic,
-/// version mismatch, truncation, or checksum failure.
+/// version mismatch, truncation, or checksum failure. A checksum
+/// failure names the stored (expected) and recomputed (actual) digest;
+/// when the caller holds a known-good copy of the payload (checkpoint
+/// read-back verification does), pass it as `reference` and the error
+/// additionally pinpoints the byte offset of the first differing
+/// block, localizing the corruption inside the blob.
 [[nodiscard]] inline std::vector<char> read_checksummed_file(
     const std::filesystem::path& path, std::array<char, 4> magic,
-    std::uint32_t version, const std::string& context) {
+    std::uint32_t version, const std::string& context,
+    const std::vector<char>* reference = nullptr) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error(context + ": cannot open " + path.string());
@@ -254,8 +267,33 @@ inline void write_checksummed_file(const std::filesystem::path& path,
   }
   const std::uint64_t sum = fnv1a64(payload.data(), payload.size());
   if (sum != stored_sum) {
-    throw std::runtime_error(context + ": checksum mismatch in " +
-                             path.string() + " (file is corrupt)");
+    std::string msg = context + ": checksum mismatch in " + path.string() +
+                      " (expected " + digest_hex(stored_sum) + ", actual " +
+                      digest_hex(sum) + ")";
+    if (reference != nullptr && reference->size() == payload.size()) {
+      std::size_t diff = payload.size();
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        if (payload[i] != (*reference)[i]) {
+          diff = i;
+          break;
+        }
+      }
+      if (diff < payload.size()) {
+        msg += "; first differing block at byte offset " +
+               std::to_string(diff) + " of " +
+               std::to_string(payload.size());
+      } else {
+        // Payload bytes match the reference, so the stored trailer
+        // itself took the hit.
+        msg += "; payload matches reference — stored checksum corrupt";
+      }
+    } else if (reference != nullptr) {
+      msg += "; payload size " + std::to_string(payload.size()) +
+             " differs from reference size " +
+             std::to_string(reference->size());
+    }
+    msg += " (file is corrupt)";
+    throw std::runtime_error(msg);
   }
   return payload;
 }

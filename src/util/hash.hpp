@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sg::util {
+
+/// 64-bit FNV-1a offset basis and prime — the single source of truth
+/// for every checksum in the system: wire payload seals (comm/wire),
+/// the checksummed file envelope (partition store + checkpoints), and
+/// the integrity auditor's shard label digests. These constants are
+/// load-bearing: on-disk formats and recorded wire traces pin the
+/// digests byte-for-byte (tests/test_hash.cpp), so they must never
+/// change.
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte range, chainable via `h` (pass a previous digest
+/// to continue hashing: fnv1a64("ab") == fnv1a64("b", fnv1a64("a"))).
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                                           std::uint64_t h = kFnv1aOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Chains one trivially-copyable value into a running digest. The
+/// auditor uses this to fold label values incrementally without
+/// staging them into a contiguous buffer.
+template <typename T>
+[[nodiscard]] std::uint64_t fnv1a64_value(const T& v,
+                                          std::uint64_t h = kFnv1aOffset) {
+  return fnv1a64(&v, sizeof(T), h);
+}
+
+}  // namespace sg::util

@@ -1,0 +1,73 @@
+// Digest-pinning tests for the shared FNV-1a implementation
+// (src/util/hash.hpp). Every checksum in the system — wire payload
+// seals, the checksummed file envelope (partition store, checkpoints),
+// and the integrity auditor's shard digests — routes through this one
+// function, so these exact values pin the on-disk formats and recorded
+// wire traces byte-for-byte. If any expectation here changes, existing
+// partition stores and checkpoints become unreadable: that is a format
+// break, not a refactor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "comm/wire.hpp"
+#include "partition/blob_io.hpp"
+#include "util/hash.hpp"
+
+namespace {
+
+using sg::util::fnv1a64;
+using sg::util::fnv1a64_value;
+
+std::uint64_t str_digest(const std::string& s,
+                         std::uint64_t h = sg::util::kFnv1aOffset) {
+  return fnv1a64(s.data(), s.size(), h);
+}
+
+TEST(Hash, PinsOffsetBasisAndPrime) {
+  EXPECT_EQ(sg::util::kFnv1aOffset, 0xcbf29ce484222325ULL);
+  EXPECT_EQ(sg::util::kFnv1aPrime, 0x100000001b3ULL);
+  EXPECT_EQ(str_digest(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hash, PinsKnownDigests) {
+  EXPECT_EQ(str_digest("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(str_digest("ab"), 0x089c4407b545986aULL);
+  EXPECT_EQ(str_digest("hello world"), 0x779a65e7023cd2e7ULL);
+  EXPECT_EQ(str_digest("scalegraph"), 0xdbeb32c96f3c97f3ULL);
+}
+
+TEST(Hash, ChainsAcrossCalls) {
+  // fnv1a64 is chainable: hashing "ab" equals hashing "a" then "b".
+  EXPECT_EQ(str_digest("b", str_digest("a")), str_digest("ab"));
+}
+
+TEST(Hash, ValueHelperMatchesByteHash) {
+  const std::uint32_t v = 0xdeadbeefu;
+  EXPECT_EQ(fnv1a64_value(v), 0xa44e2de07150f42bULL);
+  EXPECT_EQ(fnv1a64_value(v), fnv1a64(&v, sizeof v));
+}
+
+TEST(Hash, WireAliasDelegates) {
+  // comm::fnv1a is the historical wire-protocol entry point; it must
+  // produce identical digests (wire traces pin them).
+  const std::string s = "payload bytes";
+  EXPECT_EQ(sg::comm::fnv1a(s.data(), s.size()), str_digest(s));
+  EXPECT_EQ(sg::comm::fnv1a(s.data(), s.size(), 42), str_digest(s, 42));
+}
+
+TEST(Hash, PartitionAliasDelegates) {
+  // partition::fnv1a64 seals the checksummed-file envelope; same rule.
+  const std::string s = "envelope payload";
+  EXPECT_EQ(sg::partition::fnv1a64(s.data(), s.size()), str_digest(s));
+  EXPECT_EQ(sg::partition::fnv1a64(s.data(), s.size(), 7), str_digest(s, 7));
+}
+
+TEST(Hash, DigestHexFormats) {
+  EXPECT_EQ(sg::partition::digest_hex(0xcbf29ce484222325ULL),
+            "0xcbf29ce484222325");
+  EXPECT_EQ(sg::partition::digest_hex(0), "0x0000000000000000");
+}
+
+}  // namespace

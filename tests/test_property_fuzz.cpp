@@ -19,6 +19,7 @@
 #include "algo/cc.hpp"
 #include "algo/pagerank.hpp"
 #include "algo/reference.hpp"
+#include "comm/sync_structure.hpp"
 #include "fault/chaos.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault.hpp"
@@ -26,6 +27,7 @@
 #include "graph/generators.hpp"
 #include "graph/validation.hpp"
 #include "helpers.hpp"
+#include "integrity/audit.hpp"
 #include "partition/partition_io.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -578,6 +580,123 @@ TEST_P(GrayMigrationFuzz, MitigatedBfsAndCcStayBitExact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GrayMigrationFuzz,
+                         testing::Range<std::uint64_t>(1, 25));
+
+// ---- silent-data-corruption auditor fuzzing ------------------------------
+//
+// Random single-bit flips land in replicated mirror state (plus the
+// occasional defective-ALU kernel window) while the integrity auditor
+// (replica digests + ABFT invariants + final certificate, DESIGN.md
+// §13) runs in kRepair mode. Property: zero undetected wrong answers —
+// the audited run's labels are bit-identical to the fault-free run,
+// and whenever the same plan run *without* the auditor shipped a
+// different answer, the audited run must have flagged at least one
+// violation (a flip may legitimately be value-neutral — e.g. healed by
+// the next broadcast — but it must never be value-changing AND
+// unseen). The perturbed-and-repaired schedule also replays
+// byte-identically, which is what makes sg_chaos --sdc reproducers
+// replayable.
+
+class SdcFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+struct SdcTarget {
+  int device = -1;
+  std::int64_t vertex = -1;
+};
+
+/// Every replicated mirror entry of the partition: flips aimed here hit
+/// state the auditor's digests/certificate provably cover, and the
+/// master copy stays canonical for bit-exact repair.
+std::vector<SdcTarget> sdc_mirror_targets(const test::PreparedGraph& prep,
+                                          int devices) {
+  std::vector<SdcTarget> out;
+  for (int m = 0; m < devices; ++m) {
+    const auto& lg = prep.dist.part(m);
+    for (int o = 0; o < devices; ++o) {
+      if (o == m) continue;
+      const auto& list = prep.sync.list(m, o, comm::ProxyFilter::kAll);
+      for (const auto ml : list.mirror_local) {
+        out.push_back({m, static_cast<std::int64_t>(lg.l2g[ml])});
+      }
+    }
+  }
+  return out;
+}
+
+TEST_P(SdcFuzz, AuditedBfsAndCcNeverShipAWrongAnswer) {
+  sim::Rng rng{GetParam() * 2654435761ULL + 97};
+  const int devices = 4 + 2 * static_cast<int>(rng.bounded(3));  // 4, 6, 8
+  const auto policies = test::all_policies();
+  const auto policy = policies[rng.bounded(policies.size())];
+  const auto model = rng.chance(0.5) ? engine::ExecModel::kSync
+                                     : engine::ExecModel::kAsync;
+
+  const auto& g = wire_graph();
+  test::PreparedGraph prep(g, policy, devices);
+  const auto t = test::topo(devices);
+  const auto p = test::params();
+  const auto src = graph::datasets::default_source(g);
+  const auto base = test::cfg(model);
+  const auto ff_bfs = algo::run_bfs(prep.dist, prep.sync, t, p, base, src);
+  const auto ff_cc = algo::run_cc(prep.dist, prep.sync, t, p, base);
+
+  const auto targets = sdc_mirror_targets(prep, devices);
+  ASSERT_FALSE(targets.empty());
+  const auto horizon = ff_bfs.stats.total_time;
+  fault::FaultPlan plan;
+  const int flips = 1 + static_cast<int>(rng.bounded(3));
+  for (int i = 0; i < flips; ++i) {
+    const SdcTarget& target = targets[rng.bounded(targets.size())];
+    plan.flip_label(target.device, target.vertex,
+                    static_cast<int>(rng.bounded(30)),
+                    horizon * (0.1 + 0.7 * rng.uniform()));
+  }
+  if (rng.chance(0.5)) {
+    plan.sdc_kernel(static_cast<int>(rng.bounded(devices)), horizon * 0.2,
+                    horizon * 0.4, 0.2 + 0.3 * rng.uniform());
+  }
+
+  auto unaudited = base;
+  unaudited.fault_plan = &plan;
+  auto audited = unaudited;
+  audited.audit.mode = integrity::AuditMode::kRepair;
+  audited.audit.interval_rounds = 1 + static_cast<int>(rng.bounded(2));
+  audited.audit.escalate_after = 1000;  // judge answers, not evictions
+
+  const auto un_bfs = algo::run_bfs(prep.dist, prep.sync, t, p, unaudited,
+                                    src);
+  const auto au_bfs = algo::run_bfs(prep.dist, prep.sync, t, p, audited,
+                                    src);
+  EXPECT_EQ(au_bfs.dist, ff_bfs.dist)
+      << partition::to_string(policy) << " d=" << devices
+      << " model=" << static_cast<int>(model) << " seed=" << GetParam();
+  EXPECT_GT(au_bfs.stats.faults.sdc_injected, 0u);
+  EXPECT_TRUE(au_bfs.stats.faults.sdc_detected > 0 ||
+              un_bfs.dist == ff_bfs.dist)
+      << "undetected wrong answer: unaudited bfs diverged but the "
+         "auditor flagged nothing (seed "
+      << GetParam() << ")";
+
+  // The repaired schedule replays byte-identically.
+  const auto au2 = algo::run_bfs(prep.dist, prep.sync, t, p, audited, src);
+  EXPECT_EQ(au_bfs.dist, au2.dist);
+  EXPECT_EQ(au_bfs.stats.total_time, au2.stats.total_time);
+  EXPECT_EQ(au_bfs.stats.faults.sdc_detected, au2.stats.faults.sdc_detected);
+  EXPECT_EQ(au_bfs.stats.faults.sdc_repaired, au2.stats.faults.sdc_repaired);
+
+  const auto un_cc = algo::run_cc(prep.dist, prep.sync, t, p, unaudited);
+  const auto au_cc = algo::run_cc(prep.dist, prep.sync, t, p, audited);
+  EXPECT_EQ(au_cc.label, ff_cc.label)
+      << partition::to_string(policy) << " d=" << devices
+      << " seed=" << GetParam();
+  EXPECT_TRUE(au_cc.stats.faults.sdc_detected > 0 ||
+              un_cc.label == ff_cc.label)
+      << "undetected wrong answer: unaudited cc diverged but the "
+         "auditor flagged nothing (seed "
+      << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdcFuzz,
                          testing::Range<std::uint64_t>(1, 25));
 
 // Validation negative cases (hand-built malformed CSRs).

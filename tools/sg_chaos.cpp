@@ -21,14 +21,32 @@
 // not regress). Failing gray plans shrink to reproducers like any
 // other, tagged "gray": true so --replay re-runs the full triple.
 //
+// With --sdc the harness soaks the silent-data-corruption stack:
+// plans contain only SDC faults (resident-state label bit flips aimed
+// at replicated mirror copies picked from the partition's own exchange
+// lists, defective-ALU kernel windows, checkpoint-blob corruption) and
+// every scenario runs THREE times — (a) fault-free oracle, (b) an
+// *unaudited twin* (same SDC plan, auditor off — shows whether the
+// corruption actually changed the answer), (c) audited with
+// AuditMode::kRepair. The oracle contract is zero undetected wrong
+// answers: (c) must match (a) exactly (per-benchmark rules below), and
+// whenever (b) diverged from (a) the audited run must have detected at
+// least one violation — corruption may be value-neutral (a flip healed
+// by the next broadcast), but it must never be value-changing AND
+// unseen. Sync label-flip scenarios additionally assert the detection
+// lag: worst per-device lag <= 2x the audit interval, in audited
+// boundaries. Failing plans shrink to reproducers tagged "sdc": true
+// so --replay re-runs the full triple.
+//
 // Usage:
-//   sg_chaos [--smoke] [--gray] [--chaos-seed N] [--seeds N]
+//   sg_chaos [--smoke] [--gray] [--sdc] [--chaos-seed N] [--seeds N]
 //            [--no-shrink] [--inject-defect] [--keep-going]
 //            [--recovery-margin X] [--out-dir DIR]
 //   sg_chaos --replay FILE
 //
 //   --smoke          reduced scenario matrix, one plan per scenario
 //   --gray           gray-failure soak (degradation faults + SLO oracle)
+//   --sdc            silent-data-corruption soak (bit flips + auditor)
 //   --recovery-margin X
 //                    override the per-kind recovery margin (gray mode)
 //   --chaos-seed N   base seed for plan generation (default 1)
@@ -36,10 +54,13 @@
 //   --chaos-shrink / --no-shrink
 //                    shrink failing plans to minimal reproducers
 //                    (default on)
-//   --inject-defect  disable the wire protocol (EngineConfig::
-//                    wire_protocol=false): anomalies hit the reducers
-//                    unprotected, so the soak MUST fail and emit a
-//                    shrunk reproducer — the harness's self-test
+//   --inject-defect  disable the defence under test: without --sdc,
+//                    the wire protocol (EngineConfig::wire_protocol=
+//                    false) so anomalies hit the reducers unprotected;
+//                    with --sdc, the auditor (AuditMode::kOff) so the
+//                    corrupted run ships its wrong answer. Either way
+//                    the soak MUST fail and emit a shrunk reproducer —
+//                    the harness's self-test
 //   --keep-going     do not stop at the first failing scenario
 //   --out-dir DIR    where reproducer JSON files are written (default .)
 //   --replay FILE    re-run a reproducer written by a previous soak
@@ -69,10 +90,12 @@
 #include <string>
 #include <vector>
 
+#include "comm/sync_structure.hpp"
 #include "engine/config.hpp"
 #include "fault/chaos.hpp"
 #include "fault/fault.hpp"
 #include "fw/benchmark.hpp"
+#include "integrity/audit.hpp"
 #include "fw/dirgl.hpp"
 #include "graph/generators.hpp"
 #include "obs/json.hpp"
@@ -128,6 +151,7 @@ std::string label_of(const Scenario& s) {
 struct Options {
   bool smoke = false;
   bool gray = false;
+  bool sdc = false;
   std::uint64_t seed = 1;
   int seeds_per_scenario = -1;  // -1: 1 for smoke, 2 for full
   bool shrink = true;
@@ -180,7 +204,8 @@ struct GrayTuning {
 fw::BenchmarkRun run_scenario(const Scenario& s,
                               const fault::FaultPlan* plan,
                               bool wire_protocol,
-                              const GrayTuning* gray = nullptr) {
+                              const GrayTuning* gray = nullptr,
+                              const integrity::AuditPolicy* audit = nullptr) {
   const fw::Prepared& prep = prepared_for(s.policy, s.devices);
   const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
   const sim::CostParams params = sim::CostParams::for_scaled_datasets();
@@ -205,6 +230,9 @@ fw::BenchmarkRun run_scenario(const Scenario& s,
     // see an actionable score.
     cfg.mitigation.stretch_alpha = 0.4;
     cfg.health.heartbeat_interval = gray->heartbeat;
+  }
+  if (audit != nullptr) {
+    cfg.audit = *audit;
   }
   // Accumulator programs need checkpoints for exact recovery should a
   // partition outlast detection and evict its minority side.
@@ -325,10 +353,16 @@ struct GrayRepro {
   double margin = 0.0;  ///< recovery margin the failing triple was held to
 };
 
+struct SdcRepro {
+  integrity::AuditMode mode = integrity::AuditMode::kRepair;
+  int interval = 1;  ///< audit interval the failing triple ran with
+};
+
 void write_reproducer(const std::filesystem::path& path, const Scenario& s,
                       bool wire_protocol, const fault::FaultPlan& plan,
                       const Outcome& o, const fault::ShrinkStats* shrink,
-                      const GrayRepro* gray = nullptr) {
+                      const GrayRepro* gray = nullptr,
+                      const SdcRepro* sdc = nullptr) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("sg_chaos_schema", 1);
@@ -342,6 +376,11 @@ void write_reproducer(const std::filesystem::path& path, const Scenario& s,
   if (gray != nullptr) {
     w.kv("gray", true);
     w.kv("recovery_margin", gray->margin);
+  }
+  if (sdc != nullptr) {
+    w.kv("sdc", true);
+    w.kv("audit_mode", integrity::to_string(sdc->mode));
+    w.kv("audit_interval", sdc->interval);
   }
   w.kv("failure", o.kind);
   w.kv("detail", o.detail);
@@ -660,10 +699,319 @@ int do_gray(const Options& opt) {
   return failures > 0 ? 1 : 0;
 }
 
+// ---- silent-data-corruption soak (--sdc) ---------------------------------
+
+/// SDC soak matrix: same shape as the gray matrix — every partition
+/// policy meets every exec model (digest coverage is the broadcast
+/// exchange lists, whose shape is the replication structure, so all
+/// four policies must prove out) at the 4-device/2-host scale.
+std::vector<Scenario> sdc_matrix(bool smoke) { return gray_matrix(smoke); }
+
+/// A replicated vertex the plan can flip: `vertex`'s mirror copy is
+/// resident on `device`, and it sits on a broadcast exchange list the
+/// auditor digests — so a master-canonical mirror copy can repair the
+/// flip bit-exactly and the digest check bounds its detection latency.
+struct FlipTarget {
+  int device = -1;
+  std::int64_t vertex = -1;
+};
+
+/// The broadcast proxy filter the engine audits for each benchmark —
+/// must match the program's SyncPattern (bfs/sssp push, pagerank pull,
+/// cc reads both endpoints).
+comm::ProxyFilter bcast_filter_of(fw::Benchmark b) {
+  switch (b) {
+    case fw::Benchmark::kBfs:
+    case fw::Benchmark::kSssp:
+      return comm::SyncPattern::push().broadcast_filter();
+    case fw::Benchmark::kPagerank:
+      return comm::SyncPattern::pull().broadcast_filter();
+    default:
+      return comm::ProxyFilter::kAll;
+  }
+}
+
+/// Enumerates every digest-audited mirror entry of the partition, in a
+/// deterministic (device, partner, list) order. When the benchmark's
+/// broadcast surface is structurally empty (bfs under OEC: push +
+/// outgoing-edge-cut elides the broadcast, so there is nothing to
+/// digest), falls back to the full replication surface (kAll) — flips
+/// there corrupt the masters through the min-reduce instead and are
+/// caught by the final-audit certificate rather than a per-boundary
+/// digest, which is exactly the coverage story DESIGN.md §13 claims.
+std::vector<FlipTarget> sdc_targets(fw::Benchmark b,
+                                    const fw::Prepared& prep, int devices) {
+  auto collect = [&](comm::ProxyFilter filter) {
+    std::vector<FlipTarget> out;
+    for (int m = 0; m < devices; ++m) {
+      const partition::LocalGraph& lg = prep.dist.part(m);
+      for (int o = 0; o < devices; ++o) {
+        if (o == m) continue;
+        const comm::ExchangeList& list = prep.sync.list(m, o, filter);
+        for (const graph::VertexId ml : list.mirror_local) {
+          out.push_back({m, static_cast<std::int64_t>(lg.l2g[ml])});
+        }
+      }
+    }
+    return out;
+  };
+  std::vector<FlipTarget> out = collect(bcast_filter_of(b));
+  if (out.empty()) out = collect(comm::ProxyFilter::kAll);
+  return out;
+}
+
+/// splitmix64 — the harness's own little generator for picking flip
+/// targets/bits/times from the plan seed (fault::random_plan's rng is
+/// internal to chaos.cpp, and SDC plans are built from the partition
+/// layout rather than blind).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Builds the scenario's SDC plan: two label bit flips aimed at
+/// distinct digest-audited mirror entries (times scattered across the
+/// middle of the fault-free run so flips land at live barriers), plus
+/// a kernel-SDC window for bfs/pagerank (CC's wrong-low kernel flips
+/// reduce into the master min-wise and go digest-blind until the final
+/// certificate — covered, but slow to shrink) and a checkpoint-blob
+/// flip for pagerank (the only soaked benchmark that checkpoints).
+fault::FaultPlan sdc_plan(std::uint64_t seed, const Scenario& s,
+                          const std::vector<FlipTarget>& targets,
+                          sim::SimTime horizon) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  const double h = std::max(horizon.seconds(), 1e-9);
+  std::uint64_t r = seed;
+  std::size_t prev = targets.size();
+  for (int i = 0; i < 2; ++i) {
+    r = mix64(r);
+    std::size_t pick = r % targets.size();
+    if (pick == prev) pick = (pick + 1) % targets.size();
+    prev = pick;
+    const FlipTarget& t = targets[pick];
+    r = mix64(r);
+    // Low 30 bits: meaningful for every label type in the system (the
+    // narrowest is 32 bits) without hitting a float's sign bit.
+    const int bit = static_cast<int>(r % 30);
+    r = mix64(r);
+    const double frac =
+        0.15 + 0.55 * static_cast<double>(r % 1000) / 1000.0;
+    plan.flip_label(t.device, t.vertex, bit, sim::SimTime{h * frac});
+  }
+  if (s.bench != fw::Benchmark::kCc) {
+    r = mix64(r);
+    plan.sdc_kernel(static_cast<int>(r % static_cast<std::uint64_t>(
+                        s.devices)),
+                    sim::SimTime{h * 0.2}, sim::SimTime{h * 0.4}, 0.3);
+  }
+  if (s.bench == fw::Benchmark::kPagerank) {
+    r = mix64(r);
+    plan.corrupt_checkpoint(static_cast<int>(r % static_cast<std::uint64_t>(
+                                s.devices)),
+                            sim::SimTime{h * 0.3});
+  }
+  return plan;
+}
+
+/// The audited leg's policy. Pagerank audits every boundary (its pull
+/// broadcast heals mirrors aggressively, so a wider interval would let
+/// flips be overwritten before any audit sees them — legal but low
+/// coverage); the integer benchmarks take interval 2 so the soak also
+/// exercises nonzero detection lag. Escalation is pushed out of reach:
+/// the soak judges answer exactness, and a mid-run eviction would move
+/// pagerank to a different (valid) fixed point.
+integrity::AuditPolicy sdc_policy(const Scenario& s, bool defect) {
+  integrity::AuditPolicy p;
+  p.mode = defect ? integrity::AuditMode::kOff
+                  : integrity::AuditMode::kRepair;
+  p.interval_rounds = s.bench == fw::Benchmark::kPagerank ? 1 : 2;
+  p.escalate_after = 1000;
+  return p;
+}
+
+/// The SDC oracle contract, per triple:
+///  1. the audited run must match the fault-free oracle (per-benchmark
+///     rules of check());
+///  2. the plan must actually have landed (injections > 0);
+///  3. zero undetected wrong answers — if the unaudited twin diverged
+///     from the oracle, the audited run must have detected something
+///     (value-neutral corruption may legitimately go unflagged);
+///  4. Sync runs with auditing on: worst per-device detection lag
+///     <= 2x the audit interval, in audited boundaries.
+Outcome sdc_check(const Scenario& s, const fw::BenchmarkRun& oracle,
+                  const fw::BenchmarkRun& unaudited,
+                  const fw::BenchmarkRun& audited,
+                  const integrity::AuditPolicy& pol) {
+  Outcome a = check(s, oracle, audited);
+  if (a.failed()) {
+    a.kind = "audited-" + a.kind;
+    return a;
+  }
+  const fault::FaultStats& f = audited.stats.faults;
+  if (f.sdc_injected == 0) {
+    return {"no-injection",
+            "plan scheduled SDC events but none were applied"};
+  }
+  const Outcome u = unaudited.ok
+                        ? check(s, oracle, unaudited)
+                        : Outcome{"run-error", unaudited.error};
+  if (u.failed() && f.sdc_detected == 0) {
+    return {"undetected-corruption",
+            "unaudited twin diverged (" + u.kind + ": " + u.detail +
+                ") but the audited run detected nothing"};
+  }
+  if (s.model == engine::ExecModel::kSync && pol.enabled()) {
+    const std::uint64_t bound =
+        2ULL * static_cast<std::uint64_t>(
+                   pol.interval_rounds < 1 ? 1 : pol.interval_rounds);
+    for (const fault::SdcStats& d : f.sdc) {
+      if (d.max_detect_lag_rounds > bound) {
+        return {"detect-lag",
+                "device " + std::to_string(d.device) + " detection lag " +
+                    std::to_string(d.max_detect_lag_rounds) +
+                    " audited boundaries exceeds 2x interval (" +
+                    std::to_string(bound) + ")"};
+      }
+    }
+  }
+  return {};
+}
+
+int do_sdc(const Options& opt) {
+  const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
+                    : opt.smoke                ? 1
+                                               : 2;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+  const std::vector<Scenario> scenarios = sdc_matrix(opt.smoke);
+  std::printf("sg_chaos --sdc: %zu scenarios x %d plan(s), auditor %s, "
+              "base seed %llu\n",
+              scenarios.size(), seeds,
+              opt.inject_defect ? "OFF (--inject-defect)" : "ON (repair)",
+              static_cast<unsigned long long>(opt.seed));
+  int failures = 0;
+  int runs = 0;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const Scenario& s = scenarios[si];
+    const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+    fw::BenchmarkRun oracle;
+    try {
+      oracle = run_scenario(s, nullptr, true);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sg_chaos: %s oracle threw: %s\n",
+                   label_of(s).c_str(), e.what());
+      return 2;
+    }
+    if (!oracle.ok) {
+      std::fprintf(stderr, "sg_chaos: %s oracle failed: %s\n",
+                   label_of(s).c_str(), oracle.error.c_str());
+      return 2;
+    }
+    const std::vector<FlipTarget> targets =
+        sdc_targets(s.bench, prepared_for(s.policy, s.devices), s.devices);
+    if (targets.empty()) {
+      std::fprintf(stderr,
+                   "sg_chaos: %s has no digest-audited mirrors to flip\n",
+                   label_of(s).c_str());
+      return 2;
+    }
+    const integrity::AuditPolicy pol = sdc_policy(s, opt.inject_defect);
+    for (int k = 0; k < seeds; ++k) {
+      const std::uint64_t seed =
+          opt.seed + 1000003ULL * (si + 1) + 7919ULL * k;
+      fault::FaultPlan plan;
+      try {
+        plan = sdc_plan(seed, s, targets, oracle.stats.total_time);
+        plan.validate_or_throw(s.devices, topo.num_hosts());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sg_chaos: plan generation failed: %s\n",
+                     e.what());
+        return 2;
+      }
+      auto run_with = [&](const fault::FaultPlan& p,
+                          const integrity::AuditPolicy* ap) {
+        fw::BenchmarkRun r;
+        try {
+          r = run_scenario(s, &p, true, nullptr, ap);
+        } catch (const std::exception& e) {
+          r.ok = false;
+          r.error = std::string("exception: ") + e.what();
+        }
+        return r;
+      };
+      const fw::BenchmarkRun twin = run_with(plan, nullptr);
+      const fw::BenchmarkRun audited = run_with(plan, &pol);
+      ++runs;
+      const Outcome o = sdc_check(s, oracle, twin, audited, pol);
+      if (!o.failed()) {
+        const fault::FaultStats& f = audited.stats.faults;
+        std::uint64_t lag = 0;
+        for (const fault::SdcStats& d : f.sdc) {
+          lag = std::max(lag, d.max_detect_lag_rounds);
+        }
+        std::printf(
+            "[ok]   %-24s seed=%-12llu events=%zu inj=%llu det=%llu "
+            "rep=%llu audits=%llu lag=%llu\n",
+            label_of(s).c_str(), static_cast<unsigned long long>(seed),
+            plan.events.size(),
+            static_cast<unsigned long long>(f.sdc_injected),
+            static_cast<unsigned long long>(f.sdc_detected),
+            static_cast<unsigned long long>(f.sdc_repaired),
+            static_cast<unsigned long long>(f.sdc_audits),
+            static_cast<unsigned long long>(lag));
+        continue;
+      }
+      ++failures;
+      std::printf("[FAIL] %-24s seed=%llu: %s (%s)\n", label_of(s).c_str(),
+                  static_cast<unsigned long long>(seed), o.kind.c_str(),
+                  o.detail.c_str());
+      fault::FaultPlan minimal = plan;
+      fault::ShrinkStats shrink_stats;
+      if (opt.shrink) {
+        const auto fails = [&](const fault::FaultPlan& cand) {
+          if (!cand.validate(s.devices, topo.num_hosts()).empty()) {
+            return false;
+          }
+          const fw::BenchmarkRun ru = run_with(cand, nullptr);
+          const fw::BenchmarkRun ra = run_with(cand, &pol);
+          return sdc_check(s, oracle, ru, ra, pol).kind == o.kind;
+        };
+        minimal = fault::shrink_plan(plan, fails, &shrink_stats);
+        std::printf(
+            "       shrunk %zu -> %zu event(s) in %d probe(s)\n",
+            plan.events.size(), minimal.events.size(), shrink_stats.probes);
+      }
+      SdcRepro sr;
+      sr.mode = pol.mode;
+      sr.interval = pol.interval_rounds;
+      const std::filesystem::path repro =
+          std::filesystem::path(opt.out_dir) /
+          ("chaos_repro_sdc_" + sanitize(label_of(s)) + "_seed" +
+           std::to_string(seed) + ".json");
+      write_reproducer(repro, s, true, minimal, o,
+                       opt.shrink ? &shrink_stats : nullptr, nullptr, &sr);
+      std::printf("       reproducer: %s (replay with --replay)\n",
+                  repro.string().c_str());
+      if (!opt.keep_going) {
+        std::printf("sg_chaos: stopping at first failure "
+                    "(--keep-going to continue)\n");
+        std::printf("sg_chaos: %d triple(s), %d failure(s)\n", runs,
+                    failures);
+        return 1;
+      }
+    }
+  }
+  std::printf("sg_chaos: %d triple(s), %d failure(s)\n", runs, failures);
+  return failures > 0 ? 1 : 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--smoke] [--gray] [--chaos-seed N] [--seeds N]"
+      "usage: %s [--smoke] [--gray] [--sdc] [--chaos-seed N] [--seeds N]"
       " [--chaos-shrink] [--no-shrink]\n"
       "          [--inject-defect] [--keep-going] [--recovery-margin X]"
       " [--out-dir DIR]\n"
@@ -697,6 +1045,8 @@ int do_replay(const Options& opt) {
   Scenario s;
   bool wire = true;
   bool gray = false;
+  bool sdc = false;
+  integrity::AuditPolicy sdc_pol;
   double margin = 0.0;
   fault::FaultPlan plan;
   std::string recorded_failure;
@@ -725,6 +1075,21 @@ int do_replay(const Options& opt) {
     const obs::JsonValue* gv = doc.find("gray");
     gray = gv != nullptr && gv->kind == obs::JsonValue::Kind::kBool &&
            gv->boolean;
+    const obs::JsonValue* sv = doc.find("sdc");
+    sdc = sv != nullptr && sv->kind == obs::JsonValue::Kind::kBool &&
+          sv->boolean;
+    if (sdc) {
+      const obs::JsonValue* am = doc.find("audit_mode");
+      const std::string mode = am != nullptr ? am->str_or("repair")
+                                             : "repair";
+      if (!integrity::audit_mode_from_string(mode, sdc_pol.mode)) {
+        throw std::runtime_error("unknown audit_mode \"" + mode + "\"");
+      }
+      const obs::JsonValue* ai = doc.find("audit_interval");
+      sdc_pol.interval_rounds =
+          ai != nullptr ? static_cast<int>(ai->num_or(1)) : 1;
+      sdc_pol.escalate_after = 1000;  // mirror do_sdc: eviction-free triple
+    }
     const obs::JsonValue* mv = doc.find("recovery_margin");
     // Hand-written reproducers without a stored margin get the
     // per-kind fallback with no transient exemption (the oracle run
@@ -739,15 +1104,43 @@ int do_replay(const Options& opt) {
     std::fprintf(stderr, "sg_chaos: %s: %s\n", opt.replay.c_str(), e.what());
     return 2;
   }
-  std::printf("replaying %s: %s, wire_protocol=%s%s, plan events: %zu\n",
+  std::printf("replaying %s: %s, wire_protocol=%s%s%s, plan events: %zu\n",
               opt.replay.c_str(), label_of(s).c_str(),
               wire ? "on" : "off", gray ? ", gray triple" : "",
-              plan.events.size());
+              sdc ? ", sdc triple" : "", plan.events.size());
   const fw::BenchmarkRun oracle = run_scenario(s, nullptr, true);
   if (!oracle.ok) {
     std::fprintf(stderr, "sg_chaos: oracle run failed: %s\n",
                  oracle.error.c_str());
     return 2;
+  }
+  if (sdc) {
+    const fw::BenchmarkRun twin = run_scenario(s, &plan, wire);
+    const fw::BenchmarkRun audited =
+        run_scenario(s, &plan, wire, nullptr, &sdc_pol);
+    if (audited.ok) {
+      const fault::FaultStats& f = audited.stats.faults;
+      std::printf(
+          "sdc: inj=%llu det=%llu rep=%llu audits=%llu rollback=%llu "
+          "escal=%llu\n",
+          static_cast<unsigned long long>(f.sdc_injected),
+          static_cast<unsigned long long>(f.sdc_detected),
+          static_cast<unsigned long long>(f.sdc_repaired),
+          static_cast<unsigned long long>(f.sdc_audits),
+          static_cast<unsigned long long>(f.rollbacks),
+          static_cast<unsigned long long>(f.sdc_escalations));
+    }
+    const Outcome o = sdc_check(s, oracle, twin, audited, sdc_pol);
+    if (o.failed()) {
+      std::printf("reproduced: %s (%s)%s\n", o.kind.c_str(),
+                  o.detail.c_str(),
+                  o.kind == recorded_failure
+                      ? ""
+                      : " [failure kind differs from recording]");
+      return 1;
+    }
+    std::printf("did not reproduce: triple satisfied the SDC oracle\n");
+    return 0;
   }
   if (gray) {
     const sim::SimTime beat =
@@ -826,6 +1219,8 @@ int main(int argc, char** argv) {
       opt.smoke = true;
     } else if (a == "--gray") {
       opt.gray = true;
+    } else if (a == "--sdc") {
+      opt.sdc = true;
     } else if (a == "--recovery-margin") {
       const char* v = need_value("--recovery-margin");
       if (v == nullptr) return 2;
@@ -864,6 +1259,11 @@ int main(int argc, char** argv) {
     }
   }
   if (!opt.replay.empty()) return do_replay(opt);
+  if (opt.sdc && opt.gray) {
+    std::fprintf(stderr, "sg_chaos: --sdc and --gray are exclusive\n");
+    return usage(argv[0]);
+  }
+  if (opt.sdc) return do_sdc(opt);
   if (opt.gray) return do_gray(opt);
   const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
                     : opt.smoke                ? 1

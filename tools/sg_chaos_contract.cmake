@@ -81,4 +81,46 @@ if(NOT out STREQUAL out2)
   message(FATAL_ERROR "replay output is not deterministic")
 endif()
 
+# 0: the SDC soak (oracle / unaudited twin / audited kRepair triple)
+# passes everywhere — no undetected wrong answers, bit-exact repairs,
+# bounded detection lag.
+execute_process(COMMAND "${TOOL}" --sdc --smoke --out-dir "${WORK}/sdc"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "sg_chaos --sdc --smoke: expected exit 0, got ${rc}\n${out}${err}")
+endif()
+file(GLOB stray "${WORK}/sdc/chaos_repro_*.json")
+if(stray)
+  message(FATAL_ERROR "clean sdc soak wrote reproducers: ${stray}")
+endif()
+
+# 1: with the auditor disabled (AuditMode::kOff) the same bit flips
+# must ship a wrong answer the harness catches, and the shrunk
+# sdc-tagged reproducer must replay to the same failure.
+execute_process(COMMAND "${TOOL}" --sdc --smoke --inject-defect
+                        --out-dir "${WORK}/sdc_defect"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "sg_chaos --sdc --smoke --inject-defect: expected exit 1, got ${rc}\n"
+    "${out}${err}")
+endif()
+file(GLOB sdc_repros "${WORK}/sdc_defect/chaos_repro_sdc_*.json")
+list(LENGTH sdc_repros n_sdc)
+if(n_sdc EQUAL 0)
+  message(FATAL_ERROR "sdc defect soak failed but wrote no reproducer\n${out}")
+endif()
+list(GET sdc_repros 0 sdc_repro)
+execute_process(COMMAND "${TOOL}" --replay "${sdc_repro}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "sg_chaos --replay ${sdc_repro}: expected exit 1 (reproduced), got "
+    "${rc}\n${out}${err}")
+endif()
+if(NOT out MATCHES "sdc triple")
+  message(FATAL_ERROR "sdc replay did not run the audited triple:\n${out}")
+endif()
+
 message(STATUS "sg_chaos contract: all checks passed")

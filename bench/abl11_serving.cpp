@@ -1,0 +1,236 @@
+// Ablation A11: multi-tenant query serving — what lane batching buys
+// and what tenant skew does to it. The paper's experiments are offline
+// analytics (one algorithm, whole-graph answers); the serving layer
+// (src/serve/) turns the same resident shards into a point-query
+// backend by coalescing compatible queries into fused multi-source
+// engine runs. This ablation sweeps the two knobs that govern the
+// economics:
+//
+//  * batch width {1, 8, 64}: msbfs/mssssp lanes per fused run. Width 1
+//    is the unbatched strawman — one engine run per uncached source —
+//    so the Sweeps column directly exposes the >= 8x reduction the
+//    serving layer is built for (CI asserts it end-to-end via
+//    `sg_serve --verify`; here it shows up as the width-1 / width-64
+//    sweep ratio at fixed skew).
+//  * tenant skew {0.0, 1.2}: Zipf exponent over tenants. Skew changes
+//    *who* overflows admission (the heavy tenant's token bucket drains
+//    while small tenants ride free) but not *what* gets batched —
+//    lanes coalesce across tenants, so the sweep count is driven by
+//    distinct uncached sources, not by tenant mix. The per-tenant
+//    admitted/rejected split in the report is where skew shows.
+//
+// Per cell the report row aggregates every fused engine run: total
+// time is the serving makespan (the simulated clock when the last
+// answer left), global_rounds is the summed sweep count, comm volume
+// and per-device work are summed across runs, and the scheduler's SLO
+// metrics registry (admission/latency/deadline counters) is snapshotted
+// into the run report. Everything is seeded, so reports are
+// byte-deterministic.
+//
+// `--smoke` runs a reduced fixed sweep (widths {1, 64}, skew 1.2) and
+// writes BENCH_abl11_serving_smoke.json for report_diff regression
+// guarding against bench/baselines/abl11_serving_smoke_baseline.json.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+using namespace sg;
+
+/// Same social-style graph sg_serve replays against: symmetric
+/// communities so every landmark reaches most of the graph, randomized
+/// weights for the sssp family.
+const graph::Csr& serve_graph() {
+  static const graph::Csr g = [] {
+    graph::SyntheticSpec s;
+    s.vertices = 2048;
+    s.edges = 12000;
+    s.zipf_out = 0.6;
+    s.zipf_in = 0.6;
+    s.communities = 4;
+    s.symmetric = true;
+    s.seed = 11;
+    return graph::add_random_weights(graph::synthetic(s), 1, 64, 11);
+  }();
+  return g;
+}
+
+/// Folds the scheduler's per-run engine stats plus the serving
+/// makespan into one RunStats row (sums where summing is meaningful,
+/// max for peak memory).
+engine::RunStats aggregate(const serve::BatchScheduler& sched, int devices) {
+  engine::RunStats agg;
+  agg.total_time = sched.report().makespan;
+  agg.global_rounds =
+      static_cast<std::uint32_t>(sched.report().engine_sweeps);
+  agg.compute_time.resize(devices);
+  agg.device_comm_time.resize(devices);
+  agg.wait_time.resize(devices);
+  agg.work_items.assign(devices, 0);
+  agg.rounds.assign(devices, 0);
+  agg.peak_memory.assign(devices, 0);
+  for (const engine::RunStats& s : sched.engine_stats()) {
+    agg.comm += s.comm;
+    for (int d = 0; d < devices; ++d) {
+      const auto i = static_cast<std::size_t>(d);
+      if (i < s.compute_time.size()) agg.compute_time[i] += s.compute_time[i];
+      if (i < s.device_comm_time.size()) {
+        agg.device_comm_time[i] += s.device_comm_time[i];
+      }
+      if (i < s.wait_time.size()) agg.wait_time[i] += s.wait_time[i];
+      if (i < s.work_items.size()) agg.work_items[i] += s.work_items[i];
+      if (i < s.rounds.size()) agg.rounds[i] += s.rounds[i];
+      if (i < s.peak_memory.size()) {
+        agg.peak_memory[i] = std::max(agg.peak_memory[i], s.peak_memory[i]);
+      }
+    }
+  }
+  return agg;
+}
+
+std::string fmt_pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", x * 100.0);
+  return buf;
+}
+
+struct Cell {
+  std::uint64_t sweeps = 0;
+  bool ok = false;
+};
+
+/// One (batch width, tenant skew) cell: replay the seeded workload
+/// through a fresh scheduler and report the aggregate.
+Cell run_cell(bench::ReportLog& report, const fw::Prepared& prep,
+              const sim::Topology& topo, const sim::CostParams& params,
+              const engine::EngineConfig& engine_cfg, std::uint32_t queries,
+              std::uint32_t width, double skew, int devices,
+              bench::Table& table) {
+  serve::WorkloadSpec spec;
+  spec.num_queries = queries;
+  spec.tenant_skew = skew;
+  const std::vector<serve::Query> trace =
+      serve::generate_workload(spec, serve_graph().num_vertices());
+
+  serve::ServeConfig cfg;
+  cfg.batch_width = width;
+  cfg.ppr_batch_width = std::min<std::uint32_t>(16, width);
+  // Same admission shape as sg_serve's default: generous blanket limits
+  // with the Zipf-heavy tenant 0 clamped below its offered rate, so the
+  // skewed cells show deterministic token-bucket rejections.
+  cfg.default_limits = {.rate_qps = 40000.0, .burst = 128.0,
+                        .max_queued = 256};
+  cfg.tenant_limits = {{.rate_qps = 32000.0, .burst = 80.0,
+                        .max_queued = 256}};
+  obs::Registry metrics;
+  cfg.metrics = &metrics;
+
+  serve::BatchScheduler sched(prep.dist, prep.sync, topo, params, engine_cfg,
+                              cfg);
+  (void)sched.run(trace);
+
+  const serve::ServeReport& rep = sched.report();
+  const serve::ResultCache::Stats& cs = sched.cache_stats();
+  const engine::RunStats agg = aggregate(sched, devices);
+
+  char cfg_name[48];
+  std::snprintf(cfg_name, sizeof cfg_name, "bw%u+skew%.1f", width, skew);
+  report.add("serving", "social2048", "sg-serve", cfg_name, devices, agg,
+             &metrics);
+
+  char w[16], sk[16];
+  std::snprintf(w, sizeof w, "%u", width);
+  std::snprintf(sk, sizeof sk, "%.1f", skew);
+  const std::uint64_t lookups = cs.hits + cs.misses;
+  table.add_row(
+      {w, sk, std::to_string(rep.served), std::to_string(rep.rejected),
+       lookups != 0 ? fmt_pct(static_cast<double>(cs.hits) /
+                              static_cast<double>(lookups))
+                    : "-",
+       std::to_string(rep.engine_runs), std::to_string(rep.engine_sweeps),
+       bench::fmt_time(rep.makespan.seconds()),
+       fmt_pct(rep.deadline_hit_ratio)});
+  return {rep.engine_sweeps, true};
+}
+
+int run_sweep(bench::ReportLog& report, std::uint32_t queries,
+              const std::vector<std::uint32_t>& widths,
+              const std::vector<double>& skews, int devices) {
+  const graph::Csr& g = serve_graph();
+  const fw::Prepared prep = fw::prepare(g, partition::Policy::CVC, devices);
+  const sim::Topology topo = bench::bridges(devices);
+  const sim::CostParams params = sim::CostParams::for_scaled_datasets();
+  const engine::EngineConfig engine_cfg =
+      engine::make_variant(engine::Variant::kVar3);
+
+  std::printf("== batch width x tenant skew (%u queries, %d GPUs, CVC) ==\n",
+              queries, devices);
+  bench::Table table({"Width", "Skew", "Served", "Rejected", "Cache",
+                      "Runs", "Sweeps", "Makespan", "DeadlineHit"});
+  for (const double skew : skews) {
+    std::uint64_t sweeps_w1 = 0;
+    for (const std::uint32_t width : widths) {
+      const Cell c = run_cell(report, prep, topo, params, engine_cfg,
+                              queries, width, skew, devices, table);
+      if (!c.ok) return 1;
+      if (width == 1) sweeps_w1 = c.sweeps;
+      if (width > 1 && sweeps_w1 != 0 && c.sweeps != 0) {
+        std::printf("  skew %.1f: width %u uses %.2fx fewer sweeps than "
+                    "width 1\n",
+                    skew, width,
+                    static_cast<double>(sweeps_w1) /
+                        static_cast<double>(c.sweeps));
+      }
+    }
+  }
+  table.print();
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf(
+      "Ablation A11: multi-tenant serving, point queries on the resident\n"
+      "social graph. Sweeps msbfs/mssssp batch width x tenant Zipf skew;\n"
+      "Sweeps is the summed engine round count the batching compresses,\n"
+      "Makespan is the simulated clock when the last answer left.\n\n");
+
+  if (smoke) {
+    // Reduced fixed sweep for CI: widths {1, 64} at the default skew.
+    // Writes BENCH_abl11_serving_smoke.json (into $SG_BENCH_REPORT_DIR
+    // when set), diffed against
+    // bench/baselines/abl11_serving_smoke_baseline.json by report_diff.
+    bench::ReportLog report("abl11_serving_smoke");
+    const int rc = run_sweep(report, 600, {1, 64}, {1.2}, 4);
+    if (rc != 0) return rc;
+    if (!report.write()) return 1;
+    std::printf("smoke: %zu run(s)\n", report.num_runs());
+    return 0;
+  }
+
+  bench::ReportLog report("abl11_serving");
+  const int rc = run_sweep(report, 1200, {1, 8, 64}, {0.0, 1.2}, 4);
+  if (rc != 0) return rc;
+  report.write();
+  return 0;
+}

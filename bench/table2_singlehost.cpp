@@ -12,7 +12,13 @@
 // attribution of the traced run to stdout. --audit arms the SDC
 // integrity auditor (kRepair, interval 1) on the D-IrGL runs; with no
 // fault plan attached all audit work is gated off, so CI asserts the
-// --audit report is byte-identical to the plain one.
+// --audit report is byte-identical to the plain one. --serve likewise
+// arms the serving layer: it builds a BatchScheduler over the smoke
+// graph with its SLO metrics wired into the same registry the D-IrGL
+// runs snapshot, then serves zero queries — serve metrics register
+// lazily at event time only, so CI asserts the --serve report is
+// byte-identical too (the serving layer compiled in but unused costs
+// nothing in the reports).
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -21,6 +27,7 @@
 #include "integrity/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/scheduler.hpp"
 
 namespace {
 
@@ -126,7 +133,7 @@ std::optional<Best> run_dirgl(fw::Benchmark b, const std::string& input,
 /// frameworks. Deterministic (fixed seeds throughout), so the emitted
 /// report can be diffed against a committed baseline.
 int smoke_run(std::string report_path, const std::string& trace_path,
-              bool explain, bool audit) {
+              bool explain, bool audit, bool serve) {
   if (report_path.empty()) report_path = "BENCH_table2_smoke.json";
   const std::string input = "rmat23";
   const int gpus = 4;
@@ -135,6 +142,30 @@ int smoke_run(std::string report_path, const std::string& trace_path,
   obs::ReportWriter writer("table2_smoke");
   std::optional<engine::RunStats> traced_stats;
   int failures = 0;
+
+  if (serve) {
+    // Idle serving layer sharing the benchmark's metrics registry: it
+    // admits, batches, and serves nothing, so it must register nothing
+    // (serve counters appear lazily at event time). Any byte the
+    // report gains from this block is a gating regression; CI cmp's
+    // the --serve report against the plain one.
+    const auto& prep =
+        bench::prepared(input, false, partition::Policy::IEC, gpus);
+    const sim::Topology topo = bench::tuxedo(gpus);
+    const sim::CostParams params = bench::params();
+    serve::ServeConfig scfg;
+    scfg.metrics = &registry;
+    serve::BatchScheduler sched(prep.dist, prep.sync, topo, params,
+                                fw::DIrGL::default_config(), scfg);
+    const auto answers = sched.run({});
+    if (!answers.empty() || registry.size() != 0) {
+      std::fprintf(stderr,
+                   "--serve: idle scheduler leaked %zu answers / %zu "
+                   "metrics\n",
+                   answers.size(), registry.size());
+      return 1;
+    }
+  }
 
   auto meta = [&](fw::Benchmark b, const std::string& system,
                   const std::string& cfg) {
@@ -246,6 +277,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool explain = false;
   bool audit = false;
+  bool serve = false;
   std::string report_path;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
@@ -256,13 +288,15 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (a == "--audit") {
       audit = true;
+    } else if (a == "--serve") {
+      serve = true;
     } else if (a == "--report" && i + 1 < argc) {
       report_path = argv[++i];
     } else if (a == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--explain] [--audit] "
+                   "usage: %s [--smoke] [--explain] [--audit] [--serve] "
                    "[--report out.json] [--trace out.json]\n",
                    argv[0]);
       return 2;
@@ -276,7 +310,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--audit requires --smoke\n");
     return 2;
   }
-  if (smoke) return smoke_run(report_path, trace_path, explain, audit);
+  if (serve && !smoke) {
+    std::fprintf(stderr, "--serve requires --smoke\n");
+    return 2;
+  }
+  if (smoke) {
+    return smoke_run(report_path, trace_path, explain, audit, serve);
+  }
 
   std::printf(
       "Table II: fastest execution time (simulated sec) of all frameworks\n"

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "algo/seed.hpp"
 #include "comm/reduction.hpp"
 #include "engine/executor.hpp"
 #include "integrity/audit.hpp"
@@ -50,10 +51,9 @@ class BfsProgram {
   void init(const partition::LocalGraph& lg, DeviceState& st,
             engine::RoundCtx& ctx) const {
     st.dist.assign(lg.num_local, kInfDist);
-    const auto it = lg.g2l.find(source_);
-    if (it != lg.g2l.end()) {
-      st.dist[it->second] = 0;
-      ctx.push(it->second);
+    if (const auto v = resolve_seed(lg, source_)) {
+      st.dist[*v] = 0;
+      ctx.push(*v);
     }
   }
 

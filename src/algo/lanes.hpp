@@ -1,0 +1,94 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <type_traits>
+
+namespace sg::algo {
+
+/// Fixed-width lane vector: the label type of the batched vertex
+/// programs (msbfs packs 64 BFS instances, ppr-batch 16 PPR seeds into
+/// one engine run). Trivially copyable, so the whole substrate built
+/// for scalar labels — FieldSync extraction/application, wire payload
+/// checksums and corruption injection, ByteWriter/ByteReader
+/// checkpoint archives, SDC bit-flip targeting — works on it unchanged.
+template <typename T, std::size_t N>
+struct LaneVec {
+  std::array<T, N> lane;
+
+  [[nodiscard]] static constexpr LaneVec filled(T v) {
+    LaneVec out{};
+    for (std::size_t i = 0; i < N; ++i) out.lane[i] = v;
+    return out;
+  }
+
+  friend constexpr bool operator==(const LaneVec&, const LaneVec&) = default;
+};
+
+static_assert(std::is_trivially_copyable_v<LaneVec<std::uint32_t, 64>>);
+static_assert(sizeof(LaneVec<std::uint32_t, 64>) == 64 * sizeof(std::uint32_t));
+
+/// Element-wise minimum over lanes. Each lane behaves exactly like a
+/// scalar comm::MinOp: monotone and order-independent, so a batched
+/// min-reduction program is bit-exact per lane vs its single-source
+/// runs under both BSP and BASP.
+template <typename T, std::size_t N>
+struct LaneMinOp {
+  static constexpr bool reset_after_extract = false;
+  [[nodiscard]] static LaneVec<T, N> identity() {
+    return LaneVec<T, N>::filled(std::numeric_limits<T>::max());
+  }
+  static bool combine(LaneVec<T, N>& into, const LaneVec<T, N>& incoming) {
+    bool changed = false;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (incoming.lane[i] < into.lane[i]) {
+        into.lane[i] = incoming.lane[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+/// Element-wise accumulating sum (mirror partials of the batched
+/// residual push). reset_after_extract matches scalar AddOp: shipped
+/// lanes reset to zero so partials are never re-sent.
+template <typename T, std::size_t N>
+struct LaneAddOp {
+  static constexpr bool reset_after_extract = true;
+  [[nodiscard]] static LaneVec<T, N> identity() {
+    return LaneVec<T, N>::filled(T{});
+  }
+  static bool combine(LaneVec<T, N>& into, const LaneVec<T, N>& incoming) {
+    bool changed = false;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (incoming.lane[i] == T{}) continue;
+      into.lane[i] += incoming.lane[i];
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+/// Element-wise maximum (the batched monotone consumed-residual
+/// counters survive reordered/coalesced broadcasts in BASP, lane-wise).
+template <typename T, std::size_t N>
+struct LaneMaxOp {
+  static constexpr bool reset_after_extract = false;
+  [[nodiscard]] static LaneVec<T, N> identity() {
+    return LaneVec<T, N>::filled(std::numeric_limits<T>::lowest());
+  }
+  static bool combine(LaneVec<T, N>& into, const LaneVec<T, N>& incoming) {
+    bool changed = false;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (into.lane[i] < incoming.lane[i]) {
+        into.lane[i] = incoming.lane[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace sg::algo

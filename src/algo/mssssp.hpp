@@ -1,0 +1,203 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "algo/lanes.hpp"
+#include "algo/seed.hpp"
+#include "algo/sssp.hpp"
+#include "engine/executor.hpp"
+#include "integrity/audit.hpp"
+
+namespace sg::algo {
+
+/// Multi-source SSSP: up to 64 weighted shortest-path instances fused
+/// into one engine run, the weighted sibling of MsBfsProgram. Each lane
+/// is exactly the scalar SsspProgram relaxation (dist[u] = min(dist[u],
+/// dist[v] + w)); 64-bit integer min is order-independent, so the final
+/// per-lane distances are bit-exact vs 64 independent SsspProgram runs
+/// under both BSP and BASP.
+///
+/// The bit-packing story is identical to msbfs: `pending` holds one
+/// 64-bit lane mask per vertex, a vertex enters the shared frontier
+/// once per round regardless of how many lanes improved, and one edge
+/// sweep (one recorded out-degree) relaxes every pending lane. Without
+/// this the serving layer pays one full engine run per distinct sssp
+/// source, which dominates its sweep budget.
+class MsSsspProgram {
+ public:
+  static constexpr std::size_t kMaxSources = 64;
+  using Lanes = LaneVec<std::uint64_t, kMaxSources>;
+
+  using ReduceValue = Lanes;
+  using ReduceOp = LaneMinOp<std::uint64_t, kMaxSources>;
+  using BcastValue = Lanes;
+  using BcastOp = LaneMinOp<std::uint64_t, kMaxSources>;
+  static constexpr bool kDataDriven = true;
+  /// The 8-byte pending lane mask rides alongside the RV/BV labels.
+  static constexpr std::uint64_t kExtraBytesPerVertex = 8;
+
+  /// `sources[i]` seeds lane i. At most kMaxSources; duplicates are
+  /// legal (identical lanes).
+  explicit MsSsspProgram(std::span<const graph::VertexId> sources)
+      : sources_(sources.begin(), sources.end()),
+        active_mask_(sources.size() >= kMaxSources
+                         ? ~0ull
+                         : (1ull << sources.size()) - 1) {}
+
+  [[nodiscard]] const char* name() const { return "mssssp"; }
+  [[nodiscard]] comm::SyncPattern pattern() const {
+    return comm::SyncPattern::push();
+  }
+
+  struct DeviceState {
+    std::vector<Lanes> dist;
+    /// Bit i set: lane i of this vertex improved since its last
+    /// expansion and must be relaxed over the local out-edges.
+    std::vector<std::uint64_t> pending;
+
+    template <class Ar>
+    void archive(Ar& ar) {
+      ar(dist, pending);
+    }
+
+    template <class Ar>
+    void archive_vertex(Ar& ar, graph::VertexId v) {
+      ar(dist[v], pending[v]);
+    }
+  };
+
+  void init(const partition::LocalGraph& lg, DeviceState& st,
+            engine::RoundCtx& ctx) const {
+    st.dist.assign(lg.num_local, Lanes::filled(kInfPath));
+    st.pending.assign(lg.num_local, 0);
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (const auto v = resolve_seed(lg, sources_[i])) {
+        st.dist[*v].lane[i] = 0;
+        st.pending[*v] |= 1ull << i;
+        ctx.push(*v);
+      }
+    }
+  }
+
+  bool compute_round(const partition::LocalGraph& lg, DeviceState& st,
+                     std::span<const graph::VertexId> frontier,
+                     engine::RoundCtx& ctx) const {
+    const bool weighted = !lg.out_weights.empty();
+    for (const graph::VertexId v : frontier) {
+      const std::uint64_t mask = st.pending[v];
+      st.pending[v] = 0;
+      if (mask == 0) {
+        ctx.record(0);
+        continue;
+      }
+      // One recorded sweep serves every pending lane of this vertex.
+      ctx.record(static_cast<std::uint32_t>(lg.out_degree(v)));
+      const Lanes& dv = st.dist[v];
+      for (graph::EdgeId e = lg.out_offsets[v]; e < lg.out_offsets[v + 1];
+           ++e) {
+        const graph::VertexId u = lg.out_dsts[e];
+        const std::uint64_t w = weighted ? lg.out_weights[e] : 1;
+        Lanes& du = st.dist[u];
+        std::uint64_t improved = 0;
+        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+          const int i = std::countr_zero(m);
+          const std::uint64_t d = dv.lane[i];
+          if (d != kInfPath && d + w < du.lane[i]) {
+            du.lane[i] = d + w;
+            improved |= 1ull << i;
+          }
+        }
+        if (improved != 0) {
+          st.pending[u] |= improved;
+          ctx.mark_dirty(u, lg.is_master(u));
+          ctx.push(u);
+        }
+      }
+    }
+    return false;  // data-driven: activity is carried by the frontier
+  }
+
+  [[nodiscard]] std::span<ReduceValue> reduce_mirror_src(
+      DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<ReduceValue> reduce_master_dst(
+      DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<const BcastValue> bcast_master_src(
+      const DeviceState& st) const {
+    return st.dist;
+  }
+  [[nodiscard]] std::span<BcastValue> bcast_mirror_dst(
+      DeviceState& st) const {
+    return st.dist;
+  }
+
+  void on_update(const partition::LocalGraph&, DeviceState& st,
+                 graph::VertexId v, engine::UpdateKind,
+                 engine::RoundCtx& ctx) const {
+    // A sync delivered at least one improved lane, but the combine does
+    // not report which; conservatively re-expand every active lane.
+    // Failed relaxations are no-ops, so per-lane exactness holds.
+    st.pending[v] |= active_mask_;
+    ctx.push(v);
+  }
+
+  /// After a master re-home the adopted/promoted copy already holds the
+  /// fold of every surviving proxy; re-expanding all lanes re-derives
+  /// any relaxation the lost device had not yet shipped.
+  void on_rehome(const partition::LocalGraph&, DeviceState& st,
+                 graph::VertexId v, engine::RehomeRole,
+                 engine::RoundCtx& ctx) const {
+    st.pending[v] |= active_mask_;
+    ctx.push(v);
+  }
+
+  /// ABFT invariant, per audited boundary (lane-wise version of the
+  /// SsspProgram hook): distance 0 in lane i anywhere but lane i's
+  /// source can only come from a bit flip.
+  [[nodiscard]] std::string audit_device(const partition::LocalGraph& lg,
+                                         const DeviceState& st) const {
+    for (graph::VertexId v = 0; v < lg.num_local; ++v) {
+      for (std::size_t i = 0; i < sources_.size(); ++i) {
+        if (st.dist[v].lane[i] == 0 && lg.l2g[v] != sources_[i]) {
+          return "mssssp: dist 0 at non-source vertex " +
+                 std::to_string(lg.l2g[v]) + " (lane " + std::to_string(i) +
+                 ")";
+        }
+      }
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::span<const graph::VertexId> sources() const {
+    return sources_;
+  }
+
+ private:
+  std::vector<graph::VertexId> sources_;
+  std::uint64_t active_mask_;
+};
+
+struct MsSsspResult {
+  /// dist[i][v]: weighted distance of global vertex v from sources[i]
+  /// (kInfPath when unreachable). Bit-exact vs run_sssp(sources[i]).
+  std::vector<std::vector<std::uint64_t>> dist;
+  engine::RunStats stats;
+};
+
+/// Runs one fused engine sweep answering SSSP from every source (at
+/// most MsSsspProgram::kMaxSources; throws std::invalid_argument
+/// otherwise).
+[[nodiscard]] MsSsspResult run_mssssp(
+    const partition::DistGraph& dg, const comm::SyncStructure& sync,
+    const sim::Topology& topo, const sim::CostParams& params,
+    const engine::EngineConfig& config,
+    std::span<const graph::VertexId> sources);
+
+}  // namespace sg::algo

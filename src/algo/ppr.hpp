@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/seed.hpp"
 #include "comm/reduction.hpp"
 #include "engine/executor.hpp"
 
@@ -72,12 +73,11 @@ class PprProgram {
     st.consumed_total.assign(n, 0.0);
     st.consumed_cache.assign(n, 0.0);
     st.seen_total.assign(n, 0.0);
-    const auto it = lg.g2l.find(seed_);
-    if (it != lg.g2l.end()) {
-      if (lg.is_master(it->second)) {
-        st.resid[it->second] = 1.0;
+    if (const auto v = resolve_seed(lg, seed_)) {
+      if (lg.is_master(*v)) {
+        st.resid[*v] = 1.0;
       }
-      ctx.push(it->second);
+      ctx.push(*v);
     }
   }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/seed.hpp"
 #include "algo/sssp.hpp"
 #include "comm/reduction.hpp"
 #include "engine/executor.hpp"
@@ -61,11 +62,10 @@ class DeltaSsspProgram {
   void init(const partition::LocalGraph& lg, DeviceState& st,
             engine::RoundCtx& ctx) const {
     st.dist.assign(lg.num_local, kInfPath);
-    const auto it = lg.g2l.find(source_);
-    if (it != lg.g2l.end()) {
-      st.dist[it->second] = 0;
-      enqueue(st, it->second, 0);
-      ctx.push(it->second);  // activity signal for the executor
+    if (const auto v = resolve_seed(lg, source_)) {
+      st.dist[*v] = 0;
+      enqueue(st, *v, 0);
+      ctx.push(*v);  // activity signal for the executor
     }
   }
 

@@ -1,0 +1,62 @@
+#include "serve/admission.hpp"
+
+#include "obs/json.hpp"
+
+namespace sg::serve {
+
+AdmissionController::AdmissionController(TenantLimits default_limits,
+                                         std::vector<TenantLimits> per_tenant,
+                                         std::uint32_t max_queue_depth)
+    : default_limits_(default_limits),
+      per_tenant_(std::move(per_tenant)),
+      max_queue_depth_(max_queue_depth) {}
+
+const TenantLimits& AdmissionController::limits(std::uint32_t tenant) const {
+  if (tenant < per_tenant_.size()) return per_tenant_[tenant];
+  return default_limits_;
+}
+
+TokenBucket& AdmissionController::bucket(std::uint32_t tenant) {
+  while (buckets_.size() <= tenant) {
+    const TenantLimits& lim =
+        limits(static_cast<std::uint32_t>(buckets_.size()));
+    buckets_.emplace_back(lim.rate_qps, lim.burst);
+  }
+  return buckets_[tenant];
+}
+
+AdmissionDecision AdmissionController::admit(const Query& q,
+                                             std::uint32_t queue_depth,
+                                             std::uint32_t tenant_depth) {
+  const TenantLimits& lim = limits(q.tenant);
+  AdmissionDecision d;
+  if (queue_depth >= max_queue_depth_) {
+    d.admitted = false;
+    d.reason = RejectReason::kQueueFull;
+    d.detail = "admission queue at capacity (" +
+               std::to_string(max_queue_depth_) + " queued)";
+    return d;
+  }
+  if (tenant_depth >= lim.max_queued) {
+    d.admitted = false;
+    d.reason = RejectReason::kTenantQueueFull;
+    d.detail = "tenant " + std::to_string(q.tenant) +
+               " at its queued-query bound (" +
+               std::to_string(lim.max_queued) + ")";
+    return d;
+  }
+  TokenBucket& b = bucket(q.tenant);
+  const double available = b.peek(q.arrival);
+  if (!b.try_take(q.arrival)) {
+    d.admitted = false;
+    d.reason = RejectReason::kRateLimited;
+    d.detail = "tenant " + std::to_string(q.tenant) + " over its " +
+               obs::format_double(lim.rate_qps) + " qps rate (" +
+               obs::format_double(available) + " of " +
+               obs::format_double(lim.burst) + " tokens)";
+    return d;
+  }
+  return d;
+}
+
+}  // namespace sg::serve

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/query.hpp"
+#include "sim/sim_time.hpp"
+
+namespace sg::serve {
+
+/// Per-tenant admission limits.
+struct TenantLimits {
+  double rate_qps = 200.0;  ///< token refill rate (queries / sim-second)
+  double burst = 32.0;      ///< bucket capacity
+  std::uint32_t max_queued = 256;  ///< per-tenant share of the queue
+};
+
+/// Deterministic token bucket on the simulated clock: refills
+/// continuously at `rate_qps`, capped at `burst`; each admitted query
+/// spends one token. Arrivals are evaluated at their arrival timestamp
+/// (not the scheduler's processing instant), so admission verdicts are
+/// independent of batching and replay order.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_qps, double burst)
+      : rate_(rate_qps), burst_(burst), tokens_(burst) {}
+
+  [[nodiscard]] double peek(sim::SimTime now) const {
+    const double dt = (now - last_).seconds();
+    const double refilled = tokens_ + (dt > 0.0 ? dt * rate_ : 0.0);
+    return refilled < burst_ ? refilled : burst_;
+  }
+
+  bool try_take(sim::SimTime now) {
+    const double available = peek(now);
+    if (now > last_) last_ = now;
+    if (available >= 1.0) {
+      tokens_ = available - 1.0;
+      return true;
+    }
+    tokens_ = available;
+    return false;
+  }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::SimTime last_;
+};
+
+/// Verdict for one query at its arrival instant.
+struct AdmissionDecision {
+  bool admitted = true;
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;  ///< descriptive rejection for the Answer
+};
+
+/// Per-tenant token buckets plus queue-occupancy bounds. Owns no queue:
+/// the scheduler reports its current depths and the controller renders
+/// the verdict.
+class AdmissionController {
+ public:
+  AdmissionController(TenantLimits default_limits,
+                      std::vector<TenantLimits> per_tenant,
+                      std::uint32_t max_queue_depth);
+
+  /// `queue_depth` / `tenant_depth` are the pending counts at the
+  /// decision instant.
+  [[nodiscard]] AdmissionDecision admit(const Query& q,
+                                        std::uint32_t queue_depth,
+                                        std::uint32_t tenant_depth);
+
+  [[nodiscard]] const TenantLimits& limits(std::uint32_t tenant) const;
+
+ private:
+  TokenBucket& bucket(std::uint32_t tenant);
+
+  TenantLimits default_limits_;
+  std::vector<TenantLimits> per_tenant_;
+  std::uint32_t max_queue_depth_;
+  std::vector<TokenBucket> buckets_;  ///< grown on first sight of a tenant
+};
+
+}  // namespace sg::serve

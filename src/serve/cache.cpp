@@ -1,0 +1,111 @@
+#include "serve/cache.hpp"
+
+#include <bit>
+
+namespace sg::serve {
+
+// The two distance compartments share `dist_capacity_`; the PPR memo
+// has its own budget.
+template <typename Map>
+void ResultCache::evict_lru(Map& map, std::size_t other_size,
+                            std::uint32_t capacity) {
+  while (map.size() + other_size > capacity && !map.empty()) {
+    auto victim = map.begin();
+    for (auto it = std::next(map.begin()); it != map.end(); ++it) {
+      if (it->second.tick < victim->second.tick) victim = it;
+    }
+    map.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+const std::vector<std::uint32_t>* ResultCache::find_bfs(
+    graph::VertexId source, std::uint64_t epoch) {
+  const auto it = bfs_.find({source, epoch});
+  if (it == bfs_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.tick = ++tick_;
+  return &it->second.value;
+}
+
+const std::vector<std::uint64_t>* ResultCache::find_sssp(
+    graph::VertexId source, std::uint64_t epoch) {
+  const auto it = sssp_.find({source, epoch});
+  if (it == sssp_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.tick = ++tick_;
+  return &it->second.value;
+}
+
+const std::vector<ScoredVertex>* ResultCache::find_ppr(graph::VertexId seed,
+                                                       double alpha,
+                                                       double eps,
+                                                       std::uint64_t epoch) {
+  const PprKey key{seed, std::bit_cast<std::uint64_t>(alpha),
+                   std::bit_cast<std::uint64_t>(eps), epoch};
+  const auto it = ppr_.find(key);
+  if (it == ppr_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.tick = ++tick_;
+  return &it->second.value;
+}
+
+void ResultCache::put_bfs(graph::VertexId source, std::uint64_t epoch,
+                          std::vector<std::uint32_t> dist) {
+  auto& e = bfs_[{source, epoch}];
+  e.value = std::move(dist);
+  e.epoch = epoch;
+  e.tick = ++tick_;
+  ++stats_.insertions;
+  evict_lru(bfs_, sssp_.size(), dist_capacity_);
+}
+
+void ResultCache::put_sssp(graph::VertexId source, std::uint64_t epoch,
+                           std::vector<std::uint64_t> dist) {
+  auto& e = sssp_[{source, epoch}];
+  e.value = std::move(dist);
+  e.epoch = epoch;
+  e.tick = ++tick_;
+  ++stats_.insertions;
+  evict_lru(sssp_, bfs_.size(), dist_capacity_);
+}
+
+void ResultCache::put_ppr(graph::VertexId seed, double alpha, double eps,
+                          std::uint64_t epoch,
+                          std::vector<ScoredVertex> ranked) {
+  const PprKey key{seed, std::bit_cast<std::uint64_t>(alpha),
+                   std::bit_cast<std::uint64_t>(eps), epoch};
+  auto& e = ppr_[key];
+  e.value = std::move(ranked);
+  e.epoch = epoch;
+  e.tick = ++tick_;
+  ++stats_.insertions;
+  evict_lru(ppr_, 0, ppr_capacity_);
+}
+
+void ResultCache::invalidate_stale(std::uint64_t current_epoch) {
+  const auto sweep = [&](auto& map) {
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->second.epoch != current_epoch) {
+        it = map.erase(it);
+        ++stats_.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep(bfs_);
+  sweep(sssp_);
+  sweep(ppr_);
+}
+
+}  // namespace sg::serve

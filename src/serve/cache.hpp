@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "serve/query.hpp"
+
+namespace sg::serve {
+
+/// Serving-layer result cache, two compartments:
+///
+///  * Landmark-distance cache: one entry per (family, source) holding
+///    the full distance array from that source — the by-product of an
+///    msbfs lane or sssp run. Any later s-t or k-hop query against a
+///    cached landmark answers without the engine.
+///  * PPR memo: the ranked score list per (seed, alpha, eps), serving
+///    top-k requests of any k.
+///
+/// Every key carries the graph epoch: bumping the epoch (graph
+/// mutation) strands old entries, which are swept out and counted as
+/// invalidations. Eviction is deterministic LRU on a logical access
+/// tick. Keys use std::map so iteration (and therefore eviction
+/// tie-breaking and stats) is platform-independent.
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;  ///< entries dropped by epoch bump
+  };
+
+  ResultCache(std::uint32_t dist_capacity, std::uint32_t ppr_capacity)
+      : dist_capacity_(dist_capacity), ppr_capacity_(ppr_capacity) {}
+
+  /// nullptr on miss. Hits refresh LRU recency and count into stats.
+  [[nodiscard]] const std::vector<std::uint32_t>* find_bfs(
+      graph::VertexId source, std::uint64_t epoch);
+  [[nodiscard]] const std::vector<std::uint64_t>* find_sssp(
+      graph::VertexId source, std::uint64_t epoch);
+  [[nodiscard]] const std::vector<ScoredVertex>* find_ppr(
+      graph::VertexId seed, double alpha, double eps, std::uint64_t epoch);
+
+  void put_bfs(graph::VertexId source, std::uint64_t epoch,
+               std::vector<std::uint32_t> dist);
+  void put_sssp(graph::VertexId source, std::uint64_t epoch,
+                std::vector<std::uint64_t> dist);
+  void put_ppr(graph::VertexId seed, double alpha, double eps,
+               std::uint64_t epoch, std::vector<ScoredVertex> ranked);
+
+  /// Drops every entry whose epoch differs from `current_epoch`.
+  void invalidate_stale(std::uint64_t current_epoch);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t dist_entries() const {
+    return bfs_.size() + sssp_.size();
+  }
+  [[nodiscard]] std::size_t ppr_entries() const { return ppr_.size(); }
+
+ private:
+  template <typename V>
+  struct Entry {
+    V value;
+    std::uint64_t epoch = 0;
+    std::uint64_t tick = 0;  ///< last-access order (LRU)
+  };
+
+  struct PprKey {
+    graph::VertexId seed = 0;
+    std::uint64_t alpha_bits = 0;
+    std::uint64_t eps_bits = 0;
+    std::uint64_t epoch = 0;
+
+    friend bool operator<(const PprKey& a, const PprKey& b) {
+      if (a.seed != b.seed) return a.seed < b.seed;
+      if (a.alpha_bits != b.alpha_bits) return a.alpha_bits < b.alpha_bits;
+      if (a.eps_bits != b.eps_bits) return a.eps_bits < b.eps_bits;
+      return a.epoch < b.epoch;
+    }
+  };
+
+  using DistKey = std::pair<graph::VertexId, std::uint64_t>;  // src, epoch
+
+  template <typename Map>
+  void evict_lru(Map& map, std::size_t other_size, std::uint32_t capacity);
+
+  std::uint32_t dist_capacity_;
+  std::uint32_t ppr_capacity_;
+  std::uint64_t tick_ = 0;
+  std::map<DistKey, Entry<std::vector<std::uint32_t>>> bfs_;
+  std::map<DistKey, Entry<std::vector<std::uint64_t>>> sssp_;
+  std::map<PprKey, Entry<std::vector<ScoredVertex>>> ppr_;
+  Stats stats_;
+};
+
+}  // namespace sg::serve

@@ -1,0 +1,39 @@
+#include "serve/query.hpp"
+
+#include "obs/json.hpp"
+
+namespace sg::serve {
+
+std::string Answer::payload() const {
+  std::string out = to_string(kind);
+  out += ':';
+  if (!served) {
+    out += "rejected:";
+    out += to_string(reject_reason);
+    out += ':';
+    out += reject_detail;
+    return out;
+  }
+  switch (kind) {
+    case QueryKind::kBfsDist:
+    case QueryKind::kSsspDist:
+      out += distance == kUnreachable ? "inf" : std::to_string(distance);
+      break;
+    case QueryKind::kKhopCount:
+      out += std::to_string(khop_count);
+      out += ':';
+      out += std::to_string(khop_digest);
+      break;
+    case QueryKind::kPprTopK:
+      for (const ScoredVertex& sv : topk) {
+        out += std::to_string(sv.vertex);
+        out += '=';
+        out += obs::format_double(sv.score);
+        out += ';';
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace sg::serve

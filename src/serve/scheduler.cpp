@@ -1,0 +1,475 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "algo/bfs.hpp"
+#include "algo/msbfs.hpp"
+#include "algo/mssssp.hpp"
+#include "algo/ppr_batch.hpp"
+#include "obs/json.hpp"
+#include "util/hash.hpp"
+
+namespace sg::serve {
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted sample (deterministic).
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto n = static_cast<double>(sample.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > sample.size()) rank = sample.size();
+  return sample[rank - 1];
+}
+
+[[nodiscard]] bool is_hop_query(QueryKind k) {
+  return k == QueryKind::kBfsDist || k == QueryKind::kKhopCount;
+}
+
+/// Full nonzero ranking of one PPR lane (score desc, vertex asc) — the
+/// cacheable form that answers top-k requests of any k.
+std::vector<ScoredVertex> rank_ppr(std::span<const double> mass) {
+  std::vector<ScoredVertex> ranked;
+  for (graph::VertexId v = 0; v < mass.size(); ++v) {
+    if (mass[v] > 0.0) ranked.push_back({v, mass[v]});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredVertex& a, const ScoredVertex& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.vertex < b.vertex;
+            });
+  return ranked;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(const partition::DistGraph& dg,
+                               const comm::SyncStructure& sync,
+                               const sim::Topology& topo,
+                               const sim::CostParams& params,
+                               const engine::EngineConfig& engine_cfg,
+                               ServeConfig cfg)
+    : dg_(dg),
+      sync_(sync),
+      topo_(topo),
+      params_(params),
+      engine_cfg_(engine_cfg),
+      cfg_(std::move(cfg)),
+      admission_(cfg_.default_limits, cfg_.tenant_limits,
+                 cfg_.max_queue_depth),
+      cache_(cfg_.dist_cache_capacity, cfg_.ppr_cache_capacity) {
+  if (cfg_.batch_width == 0 ||
+      cfg_.batch_width > algo::MsBfsProgram::kMaxSources) {
+    cfg_.batch_width = algo::MsBfsProgram::kMaxSources;
+  }
+  if (cfg_.ppr_batch_width == 0 ||
+      cfg_.ppr_batch_width > algo::kPprBatchLanes) {
+    cfg_.ppr_batch_width = algo::kPprBatchLanes;
+  }
+}
+
+obs::Counter* BatchScheduler::counter(const std::string& name) {
+  return cfg_.metrics == nullptr ? nullptr : &cfg_.metrics->counter(name);
+}
+
+void BatchScheduler::note_queue_depth() {
+  const auto depth = static_cast<std::uint32_t>(queue_.size());
+  report_.max_queue_depth_seen =
+      std::max(report_.max_queue_depth_seen, depth);
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->gauge("serve.queue_depth").set(static_cast<double>(depth));
+  }
+}
+
+void BatchScheduler::bump_epoch() {
+  ++cfg_.graph_epoch;
+  cache_.invalidate_stale(cfg_.graph_epoch);
+}
+
+void BatchScheduler::answer_from_dist(const Query& q,
+                                      std::span<const std::uint32_t> dist,
+                                      Answer& a) const {
+  if (q.kind == QueryKind::kBfsDist) {
+    const std::uint32_t d = dist[q.target];
+    a.distance = d == algo::kInfDist ? kUnreachable : d;
+    return;
+  }
+  // k-hop neighborhood: member count plus an order-canonical digest
+  // (vertex ids ascending), so answers compare as single values.
+  std::uint64_t count = 0;
+  std::uint64_t digest = util::kFnv1aOffset;
+  for (graph::VertexId v = 0; v < dist.size(); ++v) {
+    if (dist[v] <= q.k) {
+      ++count;
+      digest = util::fnv1a64_value(v, digest);
+    }
+  }
+  a.khop_count = count;
+  a.khop_digest = digest;
+}
+
+bool BatchScheduler::try_serve_from_cache(const Pending& p, Answer& a) {
+  const Query& q = p.q;
+  switch (q.kind) {
+    case QueryKind::kBfsDist:
+    case QueryKind::kKhopCount: {
+      const auto* dist = cache_.find_bfs(q.source, cfg_.graph_epoch);
+      if (dist == nullptr) return false;
+      answer_from_dist(q, *dist, a);
+      return true;
+    }
+    case QueryKind::kSsspDist: {
+      const auto* dist = cache_.find_sssp(q.source, cfg_.graph_epoch);
+      if (dist == nullptr) return false;
+      a.distance = (*dist)[q.target];
+      return true;
+    }
+    case QueryKind::kPprTopK: {
+      const auto* ranked = cache_.find_ppr(q.source, cfg_.ppr_alpha,
+                                           cfg_.ppr_eps, cfg_.graph_epoch);
+      if (ranked == nullptr) return false;
+      const std::size_t k = std::min<std::size_t>(q.k, ranked->size());
+      a.topk.assign(ranked->begin(), ranked->begin() + k);
+      return true;
+    }
+  }
+  return false;
+}
+
+void BatchScheduler::finish_answer(const Pending& p, Answer& a,
+                                   sim::SimTime completed, bool from_cache) {
+  const Query& q = p.q;
+  a.served = true;
+  a.from_cache = from_cache;
+  a.completed = completed;
+  a.deadline_met = completed <= q.deadline;
+  const double latency_us = (completed - q.arrival).micros();
+
+  ++report_.served;
+  if (from_cache) ++report_.served_from_cache;
+  auto& ts = report_.tenants[q.tenant];
+  ++ts.served;
+  if (a.deadline_met) {
+    ++ts.deadline_met;
+  }
+  latencies_us_.push_back(latency_us);
+  tenant_latencies_us_[q.tenant].push_back(latency_us);
+  report_.makespan = sim::max(report_.makespan, completed);
+
+  if (cfg_.metrics != nullptr) {
+    counter("serve.served")->inc();
+    counter("serve.tenant" + std::to_string(q.tenant) + ".served")->inc();
+    if (from_cache) counter("serve.cache_hits")->inc();
+    if (!a.deadline_met) counter("serve.deadline_missed")->inc();
+    cfg_.metrics
+        ->histogram("serve.latency_us", obs::Histogram::exp2_bounds(0, 24))
+        .observe(latency_us);
+  }
+}
+
+void BatchScheduler::admit_until(sim::SimTime now,
+                                 std::span<const Query> queries,
+                                 std::size_t& next,
+                                 std::vector<Answer>& answers) {
+  while (next < queries.size() && queries[next].arrival <= now) {
+    const std::size_t idx = next++;
+    const Query& q = queries[idx];
+    Answer& a = answers[idx];
+    a.id = q.id;
+    a.tenant = q.tenant;
+    a.kind = q.kind;
+
+    if (q.tenant >= report_.tenants.size()) {
+      report_.tenants.resize(q.tenant + 1);
+      tenant_latencies_us_.resize(q.tenant + 1);
+      tenant_depth_.resize(q.tenant + 1, 0);
+    }
+    ++report_.submitted;
+    auto& ts = report_.tenants[q.tenant];
+    ++ts.submitted;
+    if (auto* c = counter("serve.submitted")) c->inc();
+
+    const auto n = dg_.global_vertices();
+    const bool needs_target =
+        q.kind == QueryKind::kBfsDist || q.kind == QueryKind::kSsspDist;
+    AdmissionDecision d;
+    if (q.source >= n || (needs_target && q.target >= n)) {
+      d.admitted = false;
+      d.reason = RejectReason::kUnknownVertex;
+      const graph::VertexId bad = q.source >= n ? q.source : q.target;
+      d.detail = "vertex " + std::to_string(bad) + " outside the graph (" +
+                 std::to_string(n) + " vertices)";
+    } else {
+      d = admission_.admit(q, static_cast<std::uint32_t>(queue_.size()),
+                           tenant_depth_[q.tenant]);
+    }
+    if (!d.admitted) {
+      a.served = false;
+      a.reject_reason = d.reason;
+      a.reject_detail = std::move(d.detail);
+      a.completed = now;
+      ++report_.rejected;
+      ++ts.rejected;
+      if (auto* c = counter("serve.rejected")) c->inc();
+      if (auto* c =
+              counter("serve.tenant" + std::to_string(q.tenant) + ".rejected"))
+        c->inc();
+      continue;
+    }
+
+    ++report_.admitted;
+    ++ts.admitted;
+    if (auto* c = counter("serve.admitted")) c->inc();
+    if (auto* c =
+            counter("serve.tenant" + std::to_string(q.tenant) + ".admitted"))
+      c->inc();
+
+    Pending p{q, idx};
+    if (try_serve_from_cache(p, a)) {
+      // The serving thread is free at `now`; a cache hit completes
+      // without touching the engine.
+      finish_answer(p, a, now, /*from_cache=*/true);
+      continue;
+    }
+    queue_.push_back(p);
+    ++tenant_depth_[q.tenant];
+    note_queue_depth();
+  }
+}
+
+void BatchScheduler::dispatch_batch(std::vector<Answer>& answers) {
+  // Deadline-aware dispatch order: priority class first (0 most
+  // urgent), earliest absolute deadline within a class, query id as
+  // the deterministic tie-breaker.
+  std::sort(queue_.begin(), queue_.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.q.priority != b.q.priority)
+                return a.q.priority < b.q.priority;
+              if (a.q.deadline != b.q.deadline)
+                return a.q.deadline < b.q.deadline;
+              return a.q.id < b.q.id;
+            });
+  const Query& head = queue_.front().q;
+
+  // Coalesce every queued query the head's engine run can answer.
+  std::vector<graph::VertexId> lanes;
+  std::vector<std::size_t> taken;  // indices into queue_
+  const auto lane_of = [&](graph::VertexId v) -> std::size_t {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (lanes[i] == v) return i;
+    }
+    return lanes.size();
+  };
+  if (is_hop_query(head.kind)) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Query& q = queue_[i].q;
+      if (!is_hop_query(q.kind)) continue;
+      if (lane_of(q.source) == lanes.size()) {
+        if (lanes.size() >= cfg_.batch_width) continue;
+        lanes.push_back(q.source);
+      }
+      taken.push_back(i);
+    }
+  } else if (head.kind == QueryKind::kPprTopK) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Query& q = queue_[i].q;
+      if (q.kind != QueryKind::kPprTopK) continue;
+      if (lane_of(q.source) == lanes.size()) {
+        if (lanes.size() >= cfg_.ppr_batch_width) continue;
+        lanes.push_back(q.source);
+      }
+      taken.push_back(i);
+    }
+  } else {
+    // sssp: lane-batched exactly like msbfs (weighted min relaxation is
+    // just as order-independent), so distinct sources share one run.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Query& q = queue_[i].q;
+      if (q.kind != QueryKind::kSsspDist) continue;
+      if (lane_of(q.source) == lanes.size()) {
+        if (lanes.size() >= cfg_.batch_width) continue;
+        lanes.push_back(q.source);
+      }
+      taken.push_back(i);
+    }
+  }
+
+  // One fused engine run on the simulated clock.
+  const sim::SimTime start = clock_;
+  engine::RunStats stats;
+  std::vector<std::vector<std::uint32_t>> hop_dist;
+  std::vector<std::vector<ScoredVertex>> ppr_ranked;
+  std::vector<std::vector<std::uint64_t>> sssp_dist;
+  if (is_hop_query(head.kind)) {
+    auto res = algo::run_msbfs(dg_, sync_, topo_, params_, engine_cfg_, lanes);
+    stats = std::move(res.stats);
+    hop_dist = std::move(res.dist);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      cache_.put_bfs(lanes[i], cfg_.graph_epoch, hop_dist[i]);
+    }
+  } else if (head.kind == QueryKind::kPprTopK) {
+    auto res = algo::run_ppr_batch(dg_, sync_, topo_, params_, engine_cfg_,
+                                   lanes, cfg_.ppr_alpha, cfg_.ppr_eps);
+    stats = std::move(res.stats);
+    ppr_ranked.reserve(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      ppr_ranked.push_back(rank_ppr(res.mass[i]));
+      cache_.put_ppr(lanes[i], cfg_.ppr_alpha, cfg_.ppr_eps,
+                     cfg_.graph_epoch, ppr_ranked.back());
+    }
+  } else {
+    auto res = algo::run_mssssp(dg_, sync_, topo_, params_, engine_cfg_, lanes);
+    stats = std::move(res.stats);
+    sssp_dist = std::move(res.dist);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      cache_.put_sssp(lanes[i], cfg_.graph_epoch, sssp_dist[i]);
+    }
+  }
+  const sim::SimTime finish = clock_ + stats.total_time;
+  clock_ = finish;
+
+  ++report_.engine_runs;
+  report_.engine_sweeps += stats.global_rounds;
+  report_.lanes_total += lanes.size();
+
+  if (cfg_.record_batches) {
+    BatchRecord rec;
+    rec.klass = head.kind == QueryKind::kKhopCount ? QueryKind::kBfsDist
+                                                   : head.kind;
+    rec.lane_sources = lanes;
+    rec.rounds = stats.global_rounds;
+    rec.start = start;
+    rec.finish = finish;
+    for (const std::size_t i : taken) rec.query_ids.push_back(queue_[i].q.id);
+    batches_.push_back(std::move(rec));
+  }
+  engine_stats_.push_back(std::move(stats));
+
+  // Answer every coalesced query at the shared completion instant.
+  for (const std::size_t i : taken) {
+    const Pending& p = queue_[i];
+    Answer& a = answers[p.out_index];
+    if (is_hop_query(p.q.kind)) {
+      answer_from_dist(p.q, hop_dist[lane_of(p.q.source)], a);
+    } else if (p.q.kind == QueryKind::kPprTopK) {
+      const auto& ranked = ppr_ranked[lane_of(p.q.source)];
+      const std::size_t k = std::min<std::size_t>(p.q.k, ranked.size());
+      a.topk.assign(ranked.begin(), ranked.begin() + k);
+    } else {
+      a.distance = sssp_dist[lane_of(p.q.source)][p.q.target];
+    }
+    finish_answer(p, a, finish, /*from_cache=*/false);
+    --tenant_depth_[p.q.tenant];
+  }
+
+  // Drop the served queries; order of the remainder is irrelevant (the
+  // next dispatch re-sorts).
+  std::vector<Pending> rest;
+  rest.reserve(queue_.size() - taken.size());
+  std::size_t t = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (t < taken.size() && taken[t] == i) {
+      ++t;
+      continue;
+    }
+    rest.push_back(queue_[i]);
+  }
+  queue_ = std::move(rest);
+  note_queue_depth();
+}
+
+std::vector<Answer> BatchScheduler::run(std::span<const Query> queries) {
+  std::vector<Answer> answers(queries.size());
+  std::size_t next = 0;
+  while (next < queries.size() || !queue_.empty()) {
+    if (queue_.empty()) {
+      // Idle: jump to the next arrival (the clock never runs backward).
+      clock_ = sim::max(clock_, queries[next].arrival);
+    }
+    admit_until(clock_, queries, next, answers);
+    if (queue_.empty()) continue;  // everything rejected or cache-served
+    dispatch_batch(answers);
+  }
+
+  report_.p50_latency_us = percentile(latencies_us_, 50.0);
+  report_.p99_latency_us = percentile(latencies_us_, 99.0);
+  std::uint64_t met = 0;
+  for (std::size_t t = 0; t < report_.tenants.size(); ++t) {
+    auto& ts = report_.tenants[t];
+    ts.p50_latency_us = percentile(tenant_latencies_us_[t], 50.0);
+    ts.p99_latency_us = percentile(tenant_latencies_us_[t], 99.0);
+    met += ts.deadline_met;
+  }
+  report_.deadline_hit_ratio =
+      report_.served > 0
+          ? static_cast<double>(met) / static_cast<double>(report_.served)
+          : 0.0;
+  return answers;
+}
+
+std::string BatchScheduler::report_json() const {
+  const ResultCache::Stats& cs = cache_.stats();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "sg.serve.report");
+  w.kv("version", kServeReportVersion);
+  w.key("config").begin_object();
+  w.kv("batch_width", cfg_.batch_width);
+  w.kv("ppr_batch_width", cfg_.ppr_batch_width);
+  w.kv("max_queue_depth", cfg_.max_queue_depth);
+  w.kv("dist_cache_capacity", cfg_.dist_cache_capacity);
+  w.kv("ppr_cache_capacity", cfg_.ppr_cache_capacity);
+  w.kv("ppr_alpha", cfg_.ppr_alpha);
+  w.kv("ppr_eps", cfg_.ppr_eps);
+  w.kv("graph_epoch", cfg_.graph_epoch);
+  w.end_object();
+  w.key("totals").begin_object();
+  w.kv("submitted", report_.submitted);
+  w.kv("admitted", report_.admitted);
+  w.kv("rejected", report_.rejected);
+  w.kv("served", report_.served);
+  w.kv("served_from_cache", report_.served_from_cache);
+  w.kv("max_queue_depth_seen", report_.max_queue_depth_seen);
+  w.kv("makespan_s", report_.makespan.seconds());
+  w.end_object();
+  w.key("latency").begin_object();
+  w.kv("p50_us", report_.p50_latency_us);
+  w.kv("p99_us", report_.p99_latency_us);
+  w.kv("deadline_hit_ratio", report_.deadline_hit_ratio);
+  w.end_object();
+  w.key("engine").begin_object();
+  w.kv("runs", report_.engine_runs);
+  w.kv("sweeps", report_.engine_sweeps);
+  w.kv("lanes_total", report_.lanes_total);
+  w.end_object();
+  w.key("cache").begin_object();
+  w.kv("hits", cs.hits);
+  w.kv("misses", cs.misses);
+  w.kv("insertions", cs.insertions);
+  w.kv("evictions", cs.evictions);
+  w.kv("invalidations", cs.invalidations);
+  w.end_object();
+  w.key("tenants").begin_array();
+  for (std::size_t t = 0; t < report_.tenants.size(); ++t) {
+    const TenantStats& ts = report_.tenants[t];
+    w.begin_object();
+    w.kv("tenant", static_cast<std::uint64_t>(t));
+    w.kv("submitted", ts.submitted);
+    w.kv("admitted", ts.admitted);
+    w.kv("rejected", ts.rejected);
+    w.kv("served", ts.served);
+    w.kv("deadline_met", ts.deadline_met);
+    w.kv("p50_us", ts.p50_latency_us);
+    w.kv("p99_us", ts.p99_latency_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace sg::serve

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/sync_structure.hpp"
+#include "engine/config.hpp"
+#include "engine/stats.hpp"
+#include "obs/metrics.hpp"
+#include "partition/dist_graph.hpp"
+#include "serve/admission.hpp"
+#include "serve/cache.hpp"
+#include "serve/query.hpp"
+#include "sim/cost_params.hpp"
+#include "sim/topology.hpp"
+
+namespace sg::serve {
+
+/// Serving-report schema version (bumped on any report_json() layout
+/// change).
+inline constexpr int kServeReportVersion = 1;
+
+/// Knobs for one BatchScheduler instance.
+struct ServeConfig {
+  /// Max msbfs lanes per fused run (<= MsBfsProgram::kMaxSources).
+  std::uint32_t batch_width = 64;
+  /// Max batched-PPR lanes per fused run (<= algo::kPprBatchLanes).
+  std::uint32_t ppr_batch_width = 16;
+  std::uint32_t max_queue_depth = 512;
+  TenantLimits default_limits;
+  /// Per-tenant overrides by tenant id; tenants past the end use
+  /// `default_limits`.
+  std::vector<TenantLimits> tenant_limits;
+  /// bfs and sssp distance rows share this budget; size it for the
+  /// expected landmark working set of BOTH families or the cold phase
+  /// thrashes (a 2048-vertex sssp row is 16 KiB — still cheap).
+  std::uint32_t dist_cache_capacity = 512;
+  std::uint32_t ppr_cache_capacity = 256;
+  /// Shared PPR parameters — queries only carry (seed, k), so every
+  /// ppr-topk query in a scheduler is batch-compatible by construction.
+  double ppr_alpha = 0.15;
+  double ppr_eps = 1e-6;
+  /// Current graph epoch; cache keys carry it, bump_epoch() strands old
+  /// entries.
+  std::uint64_t graph_epoch = 0;
+  /// Keep a BatchRecord per engine run (sg_serve --verify replays them).
+  bool record_batches = false;
+  /// SLO metrics sink. Metrics are registered lazily at event time
+  /// only, so a scheduler that never serves a query registers nothing
+  /// (batch-mode run reports stay byte-identical; same nonzero-gating
+  /// discipline as the fault/integrity layers).
+  obs::Registry* metrics = nullptr;
+};
+
+/// Per-tenant serving outcome.
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t served = 0;
+  std::uint64_t deadline_met = 0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+};
+
+/// Aggregate serving outcome across every run() call.
+struct ServeReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t served = 0;
+  std::uint64_t served_from_cache = 0;
+  std::uint64_t engine_runs = 0;
+  /// Sum of global rounds across engine runs — the "sweeps" the
+  /// batching is meant to compress (>= 8x fewer than unbatched at
+  /// width 64 is CI-asserted).
+  std::uint64_t engine_sweeps = 0;
+  std::uint64_t lanes_total = 0;  ///< engine lanes occupied, summed over runs
+  std::uint32_t max_queue_depth_seen = 0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double deadline_hit_ratio = 0.0;  ///< met deadlines / served
+  sim::SimTime makespan;            ///< clock when the last answer left
+  std::vector<TenantStats> tenants;
+};
+
+/// One fused engine run, for offline verification.
+struct BatchRecord {
+  QueryKind klass = QueryKind::kBfsDist;
+  std::vector<graph::VertexId> lane_sources;  ///< one per engine lane
+  std::vector<std::uint64_t> query_ids;       ///< queries it answered
+  std::uint32_t rounds = 0;
+  sim::SimTime start;
+  sim::SimTime finish;
+};
+
+/// Multi-tenant batched point-query scheduler over a resident
+/// partitioned graph.
+///
+/// run() replays an arrival-ordered query trace on the simulated
+/// clock: each query is admitted at its arrival instant (token bucket
+/// + queue bounds), answered from the result cache when possible, and
+/// otherwise queued. The drain loop repeatedly takes the
+/// (priority, deadline, id)-least pending query and coalesces every
+/// compatible queued query into one fused engine run:
+///
+///  * bfs-dist + khop queries share msbfs lanes (up to batch_width
+///    distinct sources per run; every query on a chosen source rides
+///    along);
+///  * ppr-topk queries share ppr-batch lanes (up to ppr_batch_width
+///    distinct seeds);
+///  * sssp-dist queries share mssssp lanes (up to batch_width distinct
+///    sources; weighted min relaxation batches exactly like hops).
+///
+/// Batch completion advances the clock by the run's simulated time;
+/// per-lane result arrays feed the landmark/PPR caches so repeat
+/// sources are served without the engine. Everything is deterministic:
+/// same trace, same graph, same config => byte-identical report_json().
+class BatchScheduler {
+ public:
+  BatchScheduler(const partition::DistGraph& dg,
+                 const comm::SyncStructure& sync, const sim::Topology& topo,
+                 const sim::CostParams& params,
+                 const engine::EngineConfig& engine_cfg, ServeConfig cfg);
+
+  /// Serves `queries` (sorted by arrival; ties broken by id). The
+  /// returned answers are in input order. May be called repeatedly;
+  /// the simulated clock, cache, and report carry over.
+  [[nodiscard]] std::vector<Answer> run(std::span<const Query> queries);
+
+  /// Marks a graph mutation: strands every cached entry from older
+  /// epochs (counted as invalidations).
+  void bump_epoch();
+
+  [[nodiscard]] const ServeReport& report() const { return report_; }
+  [[nodiscard]] const ResultCache::Stats& cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] const std::vector<BatchRecord>& batches() const {
+    return batches_;
+  }
+  /// Raw engine stats per fused run (bench aggregation).
+  [[nodiscard]] const std::vector<engine::RunStats>& engine_stats() const {
+    return engine_stats_;
+  }
+  [[nodiscard]] std::uint64_t graph_epoch() const { return cfg_.graph_epoch; }
+
+  /// Schema-versioned, byte-deterministic JSON serving report.
+  [[nodiscard]] std::string report_json() const;
+
+ private:
+  struct Pending {
+    Query q;
+    std::size_t out_index = 0;  ///< slot in the current run()'s answers
+  };
+
+  void admit_until(sim::SimTime now, std::span<const Query> queries,
+                   std::size_t& next, std::vector<Answer>& answers);
+  void dispatch_batch(std::vector<Answer>& answers);
+  /// Answers `p` from the cache; false when the needed entry is absent.
+  bool try_serve_from_cache(const Pending& p, Answer& a);
+  void finish_answer(const Pending& p, Answer& a, sim::SimTime completed,
+                     bool from_cache);
+  void answer_from_dist(const Query& q, std::span<const std::uint32_t> dist,
+                        Answer& a) const;
+
+  void note_queue_depth();
+  [[nodiscard]] obs::Counter* counter(const std::string& name);
+
+  const partition::DistGraph& dg_;
+  const comm::SyncStructure& sync_;
+  const sim::Topology& topo_;
+  const sim::CostParams& params_;
+  engine::EngineConfig engine_cfg_;
+  ServeConfig cfg_;
+
+  AdmissionController admission_;
+  ResultCache cache_;
+  sim::SimTime clock_;
+  std::vector<Pending> queue_;
+  std::vector<std::uint32_t> tenant_depth_;  ///< queued per tenant
+
+  ServeReport report_;
+  std::vector<double> latencies_us_;  ///< all served, for percentiles
+  std::vector<std::vector<double>> tenant_latencies_us_;
+  std::vector<BatchRecord> batches_;
+  std::vector<engine::RunStats> engine_stats_;
+};
+
+}  // namespace sg::serve

@@ -1,0 +1,100 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "sim/rng.hpp"
+
+namespace sg::serve {
+
+namespace {
+
+/// Deterministic Zipf sampler over [0, n): cumulative weights
+/// w_i = 1 / (i+1)^s inverted by a uniform draw.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_.push_back(total);
+    }
+  }
+
+  [[nodiscard]] std::size_t sample(sim::Rng& rng) const {
+    if (cdf_.empty()) return 0;
+    const double u = rng.uniform() * cdf_.back();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::vector<Query> generate_workload(const WorkloadSpec& spec,
+                                     std::uint32_t num_vertices) {
+  sim::Rng rng(spec.seed);
+
+  // Landmark pool: the sources/seeds queries draw from (with
+  // replacement allowed — duplicates just deepen the skew).
+  std::vector<graph::VertexId> pool(spec.source_pool > 0 ? spec.source_pool
+                                                         : 1);
+  for (auto& v : pool) {
+    v = static_cast<graph::VertexId>(rng.bounded(num_vertices));
+  }
+
+  const Zipf tenant_dist(spec.num_tenants > 0 ? spec.num_tenants : 1,
+                         spec.tenant_skew);
+  const Zipf source_dist(pool.size(), spec.source_skew);
+
+  std::vector<Query> out;
+  out.reserve(spec.num_queries);
+  double clock_s = 0.0;
+  for (std::uint32_t i = 0; i < spec.num_queries; ++i) {
+    // Exponential inter-arrival (open-loop Poisson process).
+    const double u = rng.uniform();
+    clock_s += -std::log(1.0 - u) / spec.arrival_rate_qps;
+
+    Query q;
+    q.id = i;
+    q.arrival = sim::SimTime{clock_s};
+    q.tenant = static_cast<std::uint32_t>(tenant_dist.sample(rng));
+    const double mix = rng.uniform();
+    q.source = pool[source_dist.sample(rng)];
+    if (mix < spec.bfs_frac) {
+      q.kind = QueryKind::kBfsDist;
+      q.target = static_cast<graph::VertexId>(rng.bounded(num_vertices));
+    } else if (mix < spec.bfs_frac + spec.khop_frac) {
+      q.kind = QueryKind::kKhopCount;
+      q.k = rng.range(1, 3);
+    } else if (mix < spec.bfs_frac + spec.khop_frac + spec.ppr_frac) {
+      q.kind = QueryKind::kPprTopK;
+      q.k = rng.range(5, 20);
+    } else {
+      q.kind = QueryKind::kSsspDist;
+      q.target = static_cast<graph::VertexId>(rng.bounded(num_vertices));
+    }
+    q.priority = static_cast<std::uint32_t>(
+        rng.bounded(spec.priorities > 0 ? spec.priorities : 1));
+    const double slack_ms =
+        spec.deadline_slack_lo_ms +
+        rng.uniform() * (spec.deadline_slack_hi_ms - spec.deadline_slack_lo_ms);
+    q.deadline = q.arrival + sim::SimTime::millisec(slack_ms);
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace sg::serve

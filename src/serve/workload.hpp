@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/query.hpp"
+
+namespace sg::serve {
+
+/// Seeded synthetic multi-tenant workload: open-loop Poisson arrivals on
+/// the simulated clock, Zipf-skewed tenants and sources, a fixed query
+/// mix, and uniform deadline slack. Everything flows through one
+/// sim::Rng stream, so a (spec, num_vertices) pair always yields the
+/// same query trace byte-for-byte.
+struct WorkloadSpec {
+  std::uint32_t num_queries = 1200;
+  std::uint32_t num_tenants = 6;
+  /// Aggregate open-loop arrival rate (queries / sim-second). The
+  /// default is deliberately far above 1/engine-run-time on the bench
+  /// graphs: an open-loop serving layer only gets to batch when queries
+  /// arrive faster than fused runs complete, and wide batches need tens
+  /// of distinct uncached sources queued at each dispatch.
+  double arrival_rate_qps = 120000.0;
+  /// Zipf exponent over tenants (0 = uniform; higher = heavier tenant 0).
+  double tenant_skew = 1.2;
+  /// Zipf exponent over the source pool (popular landmarks repeat, which
+  /// is what gives the result cache something to do).
+  double source_skew = 0.9;
+  /// Distinct source/seed vertices drawn up front from the graph.
+  std::uint32_t source_pool = 160;
+  /// Query-mix fractions (remainder after the three below is sssp-dist).
+  double bfs_frac = 0.55;
+  double khop_frac = 0.20;
+  double ppr_frac = 0.15;
+  /// Deadline slack, uniform in [lo, hi] milliseconds past arrival.
+  double deadline_slack_lo_ms = 2.0;
+  double deadline_slack_hi_ms = 100.0;
+  std::uint32_t priorities = 3;  ///< priority drawn uniform in [0, this)
+  std::uint64_t seed = 42;
+};
+
+/// Generates the arrival-ordered query trace for a graph with
+/// `num_vertices` vertices. Query ids are 0..num_queries-1 in arrival
+/// order.
+[[nodiscard]] std::vector<Query> generate_workload(const WorkloadSpec& spec,
+                                                   std::uint32_t num_vertices);
+
+}  // namespace sg::serve

@@ -1,0 +1,420 @@
+// Serving-layer tests: batched kernels against their unbatched
+// oracles (msbfs/mssssp bit-exact per lane, batched PPR within the
+// push threshold's resolution), and the BatchScheduler's admission,
+// caching, deadline ordering, metrics gating, and report determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algo/bfs.hpp"
+#include "algo/msbfs.hpp"
+#include "algo/mssssp.hpp"
+#include "algo/ppr.hpp"
+#include "algo/ppr_batch.hpp"
+#include "algo/reference.hpp"
+#include "algo/sssp.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "obs/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace sg {
+namespace {
+
+using test::cfg;
+using test::params;
+using test::PreparedGraph;
+using test::topo;
+
+graph::Csr serve_social() {
+  graph::SyntheticSpec s;
+  s.vertices = 600;
+  s.edges = 5000;
+  s.zipf_out = 0.7;
+  s.zipf_in = 0.8;
+  s.hub_in_frac = 0.05;
+  s.communities = 3;
+  s.seed = 7;
+  return graph::synthetic(s);
+}
+
+graph::Csr serve_weighted() {
+  return graph::add_random_weights(serve_social(), 1, 64, 11);
+}
+
+std::vector<graph::VertexId> stride_sources(std::size_t n,
+                                            graph::VertexId vertices) {
+  std::vector<graph::VertexId> src;
+  for (std::size_t i = 0; i < n; ++i) {
+    src.push_back(static_cast<graph::VertexId>((i * 9) % vertices));
+  }
+  return src;
+}
+
+// ---- msbfs / mssssp: batched lanes vs unbatched oracles ------------------
+
+TEST(MsBfs, FullWidthLanesBitExactVsSingleSourceRuns) {
+  const graph::Csr g = serve_social();
+  for (const auto policy : {partition::Policy::OEC, partition::Policy::CVC}) {
+    for (const auto model :
+         {engine::ExecModel::kSync, engine::ExecModel::kAsync}) {
+      PreparedGraph prep(g, policy, 4);
+      const auto t = topo(4);
+      const auto p = params();
+      const auto c = cfg(model);
+      const auto sources =
+          stride_sources(algo::MsBfsProgram::kMaxSources, g.num_vertices());
+      const auto fused = algo::run_msbfs(prep.dist, prep.sync, t, p, c,
+                                         sources);
+      ASSERT_EQ(fused.dist.size(), sources.size());
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const auto solo =
+            algo::run_bfs(prep.dist, prep.sync, t, p, c, sources[i]);
+        EXPECT_EQ(fused.dist[i], solo.dist)
+            << partition::to_string(policy) << "/" << engine::to_string(model)
+            << " lane " << i << " (source " << sources[i] << ")";
+      }
+    }
+  }
+}
+
+TEST(MsBfs, PartialAndDuplicateLanes) {
+  const graph::Csr g = serve_social();
+  PreparedGraph prep(g, partition::Policy::OEC, 4);
+  const auto t = topo(4);
+  const auto p = params();
+  const auto c = cfg(engine::ExecModel::kSync);
+  // 5 lanes, two of them the same source: duplicates are legal and must
+  // produce identical lanes.
+  const std::vector<graph::VertexId> sources = {0, 17, 300, 17, 599};
+  const auto fused = algo::run_msbfs(prep.dist, prep.sync, t, p, c, sources);
+  ASSERT_EQ(fused.dist.size(), 5u);
+  EXPECT_EQ(fused.dist[1], fused.dist[3]);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(fused.dist[i], algo::reference::bfs(g, sources[i]))
+        << "lane " << i;
+  }
+}
+
+TEST(MsBfs, RejectsEmptyAndOverWideBatches) {
+  const graph::Csr g = serve_social();
+  PreparedGraph prep(g, partition::Policy::OEC, 2);
+  const auto t = topo(2);
+  const auto p = params();
+  const auto c = cfg(engine::ExecModel::kSync);
+  EXPECT_THROW(algo::run_msbfs(prep.dist, prep.sync, t, p, c, {}),
+               std::invalid_argument);
+  const auto too_many =
+      stride_sources(algo::MsBfsProgram::kMaxSources + 1, g.num_vertices());
+  EXPECT_THROW(algo::run_msbfs(prep.dist, prep.sync, t, p, c, too_many),
+               std::invalid_argument);
+}
+
+TEST(MsSssp, LanesBitExactVsSingleSourceRuns) {
+  const graph::Csr g = serve_weighted();
+  for (const auto policy : {partition::Policy::OEC, partition::Policy::CVC}) {
+    for (const auto model :
+         {engine::ExecModel::kSync, engine::ExecModel::kAsync}) {
+      PreparedGraph prep(g, policy, 4);
+      const auto t = topo(4);
+      const auto p = params();
+      const auto c = cfg(model);
+      const auto sources = stride_sources(24, g.num_vertices());
+      const auto fused =
+          algo::run_mssssp(prep.dist, prep.sync, t, p, c, sources);
+      ASSERT_EQ(fused.dist.size(), sources.size());
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const auto solo =
+            algo::run_sssp(prep.dist, prep.sync, t, p, c, sources[i]);
+        EXPECT_EQ(fused.dist[i], solo.dist)
+            << partition::to_string(policy) << "/" << engine::to_string(model)
+            << " lane " << i << " (source " << sources[i] << ")";
+        EXPECT_EQ(fused.dist[i], algo::reference::sssp(g, sources[i]))
+            << "lane " << i;
+      }
+    }
+  }
+}
+
+TEST(PprBatch, LanesMatchSingleSeedRunsWithinPushResolution) {
+  const graph::Csr g = serve_social();
+  PreparedGraph prep(g, partition::Policy::CVC, 4);
+  const auto t = topo(4);
+  const auto p = params();
+  const auto c = cfg(engine::ExecModel::kSync);
+  const double alpha = 0.15;
+  const double eps = 1e-6;
+  const auto seeds = stride_sources(algo::kPprBatchLanes, g.num_vertices());
+  const auto fused =
+      algo::run_ppr_batch(prep.dist, prep.sync, t, p, c, seeds, alpha, eps);
+  ASSERT_EQ(fused.mass.size(), seeds.size());
+  // Shared-frontier float accumulation differs from the single-seed
+  // order, but both converge to the same ACL fixed point; 50x the push
+  // threshold is the serving layer's documented comparison slack.
+  const double tol = 50.0 * eps;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const auto solo =
+        algo::run_ppr(prep.dist, prep.sync, t, p, c, seeds[i], alpha, eps);
+    ASSERT_EQ(fused.mass[i].size(), solo.mass.size());
+    for (std::size_t v = 0; v < solo.mass.size(); ++v) {
+      EXPECT_NEAR(fused.mass[i][v], solo.mass[v], tol)
+          << "lane " << i << " vertex " << v;
+    }
+  }
+}
+
+// ---- BatchScheduler ------------------------------------------------------
+
+struct ServeFixture {
+  graph::Csr g = serve_weighted();
+  PreparedGraph prep{g, partition::Policy::CVC, 4};
+  sim::Topology t = topo(4);
+  sim::CostParams p = params();
+  engine::EngineConfig c = cfg(engine::ExecModel::kSync);
+
+  serve::BatchScheduler make(serve::ServeConfig sc = {}) {
+    return serve::BatchScheduler(prep.dist, prep.sync, t, p, c, sc);
+  }
+};
+
+serve::Query make_query(std::uint64_t id, std::uint32_t tenant,
+                        serve::QueryKind kind, graph::VertexId source,
+                        graph::VertexId target, double arrival_us) {
+  serve::Query q;
+  q.id = id;
+  q.tenant = tenant;
+  q.kind = kind;
+  q.source = source;
+  q.target = target;
+  q.k = 8;
+  q.arrival = sim::SimTime::micros(arrival_us);
+  return q;
+}
+
+TEST(BatchScheduler, AnswersMatchReferencesAcrossAllKinds) {
+  ServeFixture fx;
+  auto sched = fx.make();
+  std::vector<serve::Query> qs;
+  qs.push_back(make_query(0, 0, serve::QueryKind::kBfsDist, 3, 77, 0.0));
+  qs.push_back(make_query(1, 1, serve::QueryKind::kSsspDist, 3, 77, 1.0));
+  qs.push_back(make_query(2, 2, serve::QueryKind::kKhopCount, 12, 0, 2.0));
+  qs.push_back(make_query(3, 3, serve::QueryKind::kPprTopK, 12, 0, 3.0));
+  const auto answers = sched.run(qs);
+  ASSERT_EQ(answers.size(), 4u);
+  for (const auto& a : answers) EXPECT_TRUE(a.served);
+
+  const auto bfs = algo::reference::bfs(fx.g, 3);
+  EXPECT_EQ(answers[0].distance, bfs[77]);
+  const auto sssp = algo::reference::sssp(fx.g, 3);
+  EXPECT_EQ(answers[1].distance, sssp[77]);
+  const auto hop = algo::reference::bfs(fx.g, 12);
+  std::uint64_t count = 0;
+  for (const auto d : hop) {
+    if (d <= 8) ++count;
+  }
+  EXPECT_EQ(answers[2].khop_count, count);
+  EXPECT_LE(answers[3].topk.size(), 8u);
+  ASSERT_FALSE(answers[3].topk.empty());
+  const auto ppr = algo::reference::ppr(fx.g, 12, 0.15, 1e-6);
+  for (const auto& sv : answers[3].topk) {
+    EXPECT_NEAR(sv.score, ppr[sv.vertex], 50.0 * 1e-6);
+  }
+}
+
+TEST(BatchScheduler, RejectsOverRateTenantDeterministically) {
+  ServeFixture fx;
+  serve::ServeConfig sc;
+  // 2-token bucket with a negligible refill: the third query of tenant
+  // 0 in the same instant must be rate-limited; tenant 1 rides free.
+  sc.default_limits = {.rate_qps = 1.0, .burst = 2.0, .max_queued = 64};
+  std::vector<serve::Query> qs;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    qs.push_back(make_query(i, 0, serve::QueryKind::kBfsDist, 1,
+                            static_cast<graph::VertexId>(2 + i),
+                            static_cast<double>(i)));
+  }
+  qs.push_back(make_query(5, 1, serve::QueryKind::kBfsDist, 1, 9, 5.0));
+
+  auto run_once = [&] {
+    auto sched = fx.make(sc);
+    return sched.run(qs);
+  };
+  const auto a1 = run_once();
+  const auto a2 = run_once();
+  ASSERT_EQ(a1.size(), 6u);
+  EXPECT_TRUE(a1[0].served);
+  EXPECT_TRUE(a1[1].served);
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_FALSE(a1[i].served) << i;
+    EXPECT_EQ(a1[i].reject_reason, serve::RejectReason::kRateLimited) << i;
+    EXPECT_FALSE(a1[i].reject_detail.empty());
+  }
+  EXPECT_TRUE(a1[5].served);  // other tenant, own bucket
+  // Verdicts are a function of the trace alone, not scheduler timing.
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    EXPECT_EQ(a1[i].served, a2[i].served) << i;
+    EXPECT_EQ(a1[i].reject_reason, a2[i].reject_reason) << i;
+    EXPECT_EQ(a1[i].reject_detail, a2[i].reject_detail) << i;
+  }
+}
+
+TEST(BatchScheduler, BoundsTheQueue) {
+  ServeFixture fx;
+  serve::ServeConfig sc;
+  sc.max_queue_depth = 2;
+  sc.default_limits = {.rate_qps = 1e9, .burst = 1e9, .max_queued = 64};
+  // All at t=0 with distinct sources: nothing is cached, so each query
+  // occupies a queue slot until the first dispatch.
+  std::vector<serve::Query> qs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    qs.push_back(make_query(i, static_cast<std::uint32_t>(i),
+                            serve::QueryKind::kBfsDist,
+                            static_cast<graph::VertexId>(10 + i), 0, 0.0));
+  }
+  auto sched = fx.make(sc);
+  const auto answers = sched.run(qs);
+  EXPECT_TRUE(answers[0].served);
+  EXPECT_TRUE(answers[1].served);
+  EXPECT_FALSE(answers[2].served);
+  EXPECT_EQ(answers[2].reject_reason, serve::RejectReason::kQueueFull);
+  EXPECT_FALSE(answers[3].served);
+  EXPECT_EQ(sched.report().rejected, 2u);
+}
+
+TEST(BatchScheduler, CacheHitReturnsIdenticalPayloadBytes) {
+  ServeFixture fx;
+  auto sched = fx.make();
+  std::vector<serve::Query> qs;
+  qs.push_back(make_query(0, 0, serve::QueryKind::kPprTopK, 42, 0, 0.0));
+  // Far enough apart that the first run has completed: a pure cache hit.
+  qs.push_back(make_query(1, 1, serve::QueryKind::kPprTopK, 42, 0, 1e6));
+  const auto answers = sched.run(qs);
+  ASSERT_TRUE(answers[0].served);
+  ASSERT_TRUE(answers[1].served);
+  EXPECT_FALSE(answers[0].from_cache);
+  EXPECT_TRUE(answers[1].from_cache);
+  EXPECT_EQ(answers[0].payload(), answers[1].payload());
+  EXPECT_EQ(sched.cache_stats().hits, 1u);
+  EXPECT_EQ(sched.report().engine_runs, 1u);
+}
+
+TEST(BatchScheduler, EpochBumpInvalidatesCachedResults) {
+  ServeFixture fx;
+  auto sched = fx.make();
+  std::vector<serve::Query> warm;
+  warm.push_back(make_query(0, 0, serve::QueryKind::kBfsDist, 7, 9, 0.0));
+  (void)sched.run(warm);
+  ASSERT_EQ(sched.report().engine_runs, 1u);
+
+  sched.bump_epoch();
+  EXPECT_GE(sched.cache_stats().invalidations, 1u);
+
+  std::vector<serve::Query> again;
+  again.push_back(make_query(1, 0, serve::QueryKind::kBfsDist, 7, 9, 2e6));
+  const auto answers = sched.run(again);
+  ASSERT_TRUE(answers[0].served);
+  EXPECT_FALSE(answers[0].from_cache);  // stale entry was stranded
+  EXPECT_EQ(sched.report().engine_runs, 2u);
+}
+
+TEST(BatchScheduler, DispatchesByPriorityThenDeadline) {
+  ServeFixture fx;
+  auto sched = fx.make();
+  // Two batch-incompatible classes arriving together: the head of the
+  // dispatch order decides which engine run goes first.
+  std::vector<serve::Query> qs;
+  auto urgent = make_query(0, 0, serve::QueryKind::kPprTopK, 5, 0, 0.0);
+  urgent.priority = 0;
+  auto lazy = make_query(1, 1, serve::QueryKind::kBfsDist, 6, 9, 0.0);
+  lazy.priority = 1;
+  qs.push_back(lazy);    // arrival order must not matter
+  qs.push_back(urgent);
+  const auto answers = sched.run(qs);
+  ASSERT_TRUE(answers[0].served);
+  ASSERT_TRUE(answers[1].served);
+  // The urgent ppr query's run completes before the deprioritized bfs.
+  EXPECT_LT(answers[1].completed, answers[0].completed);
+
+  // Same priority: the earlier absolute deadline dispatches first.
+  auto sched2 = fx.make();
+  auto soon = make_query(0, 0, serve::QueryKind::kBfsDist, 6, 9, 0.0);
+  soon.deadline = sim::SimTime::micros(500.0);
+  auto later = make_query(1, 1, serve::QueryKind::kPprTopK, 5, 0, 0.0);
+  later.deadline = sim::SimTime::micros(900.0);
+  std::vector<serve::Query> qs2{later, soon};
+  const auto answers2 = sched2.run(qs2);
+  EXPECT_LT(answers2[1].completed, answers2[0].completed);
+}
+
+TEST(BatchScheduler, CoalescesHopQueriesIntoSharedLanes) {
+  ServeFixture fx;
+  serve::ServeConfig sc;
+  sc.record_batches = true;
+  auto sched = fx.make(sc);
+  // 6 queries over 3 distinct sources, all at t=0 — one msbfs run with
+  // 3 lanes (khop rides in the same class as bfs-dist).
+  std::vector<serve::Query> qs;
+  qs.push_back(make_query(0, 0, serve::QueryKind::kBfsDist, 20, 1, 0.0));
+  qs.push_back(make_query(1, 1, serve::QueryKind::kBfsDist, 21, 2, 0.0));
+  qs.push_back(make_query(2, 2, serve::QueryKind::kKhopCount, 22, 0, 0.0));
+  qs.push_back(make_query(3, 3, serve::QueryKind::kBfsDist, 20, 3, 0.0));
+  qs.push_back(make_query(4, 4, serve::QueryKind::kKhopCount, 21, 0, 0.0));
+  qs.push_back(make_query(5, 5, serve::QueryKind::kBfsDist, 22, 4, 0.0));
+  const auto answers = sched.run(qs);
+  for (const auto& a : answers) EXPECT_TRUE(a.served);
+  EXPECT_EQ(sched.report().engine_runs, 1u);
+  ASSERT_EQ(sched.batches().size(), 1u);
+  EXPECT_EQ(sched.batches()[0].lane_sources.size(), 3u);
+  EXPECT_EQ(sched.batches()[0].query_ids.size(), 6u);
+}
+
+TEST(BatchScheduler, MetricsStayEmptyWithoutTraffic) {
+  ServeFixture fx;
+  obs::Registry reg;
+  serve::ServeConfig sc;
+  sc.metrics = &reg;
+  auto sched = fx.make(sc);
+  // Compiled in, wired up, never used: nothing may be registered, so
+  // batch-mode reports sharing the registry stay byte-identical.
+  EXPECT_EQ(reg.size(), 0u);
+  const auto answers = sched.run({});
+  EXPECT_TRUE(answers.empty());
+  EXPECT_EQ(reg.size(), 0u);
+
+  std::vector<serve::Query> qs;
+  qs.push_back(make_query(0, 0, serve::QueryKind::kBfsDist, 1, 2, 0.0));
+  (void)sched.run(qs);
+  EXPECT_GT(reg.size(), 0u);  // ...and traffic does register
+}
+
+TEST(BatchScheduler, WorkloadReplayIsByteDeterministic) {
+  ServeFixture fx;
+  serve::WorkloadSpec spec;
+  spec.num_queries = 200;
+  spec.num_tenants = 4;
+  const auto trace = serve::generate_workload(spec, fx.g.num_vertices());
+  ASSERT_EQ(trace.size(), 200u);
+  const auto trace2 = serve::generate_workload(spec, fx.g.num_vertices());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].arrival, trace2[i].arrival) << i;
+    EXPECT_EQ(trace[i].source, trace2[i].source) << i;
+    EXPECT_EQ(trace[i].tenant, trace2[i].tenant) << i;
+    if (i > 0) EXPECT_GE(trace[i].arrival, trace[i - 1].arrival) << i;
+    EXPECT_LT(trace[i].tenant, 4u) << i;
+  }
+
+  auto sched1 = fx.make();
+  auto sched2 = fx.make();
+  (void)sched1.run(trace);
+  (void)sched2.run(trace);
+  EXPECT_EQ(sched1.report_json(), sched2.report_json());
+  EXPECT_GT(sched1.report().served, 0u);
+}
+
+}  // namespace
+}  // namespace sg

@@ -38,15 +38,25 @@
 // boundaries. Failing plans shrink to reproducers tagged "sdc": true
 // so --replay re-runs the full triple.
 //
+// With --serve the harness soaks the serving layer's batched kernel
+// instead: each scenario fuses 64 BFS sources into one msbfs run (the
+// src/serve/ batch width) and asserts every lane bit-exact against 64
+// independent single-source BfsProgram oracles — first fault-free,
+// then under a seeded device-loss plan (msbfs is idempotent and
+// re-homable, so loss recovery must be exact per lane). Failing plans
+// shrink to reproducers tagged "serve": true.
+//
 // Usage:
-//   sg_chaos [--smoke] [--gray] [--sdc] [--chaos-seed N] [--seeds N]
-//            [--no-shrink] [--inject-defect] [--keep-going]
+//   sg_chaos [--smoke] [--gray] [--sdc] [--serve] [--chaos-seed N]
+//            [--seeds N] [--no-shrink] [--inject-defect] [--keep-going]
 //            [--recovery-margin X] [--out-dir DIR]
 //   sg_chaos --replay FILE
 //
 //   --smoke          reduced scenario matrix, one plan per scenario
 //   --gray           gray-failure soak (degradation faults + SLO oracle)
 //   --sdc            silent-data-corruption soak (bit flips + auditor)
+//   --serve          serving-layer soak (batched msbfs vs unbatched
+//                    oracles under device loss)
 //   --recovery-margin X
 //                    override the per-kind recovery margin (gray mode)
 //   --chaos-seed N   base seed for plan generation (default 1)
@@ -90,6 +100,8 @@
 #include <string>
 #include <vector>
 
+#include "algo/bfs.hpp"
+#include "algo/msbfs.hpp"
 #include "comm/sync_structure.hpp"
 #include "engine/config.hpp"
 #include "fault/chaos.hpp"
@@ -152,6 +164,7 @@ struct Options {
   bool smoke = false;
   bool gray = false;
   bool sdc = false;
+  bool serve = false;
   std::uint64_t seed = 1;
   int seeds_per_scenario = -1;  // -1: 1 for smoke, 2 for full
   bool shrink = true;
@@ -362,7 +375,7 @@ void write_reproducer(const std::filesystem::path& path, const Scenario& s,
                       bool wire_protocol, const fault::FaultPlan& plan,
                       const Outcome& o, const fault::ShrinkStats* shrink,
                       const GrayRepro* gray = nullptr,
-                      const SdcRepro* sdc = nullptr) {
+                      const SdcRepro* sdc = nullptr, bool serve = false) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("sg_chaos_schema", 1);
@@ -381,6 +394,9 @@ void write_reproducer(const std::filesystem::path& path, const Scenario& s,
     w.kv("sdc", true);
     w.kv("audit_mode", integrity::to_string(sdc->mode));
     w.kv("audit_interval", sdc->interval);
+  }
+  if (serve) {
+    w.kv("serve", true);
   }
   w.kv("failure", o.kind);
   w.kv("detail", o.detail);
@@ -1008,11 +1024,223 @@ int do_sdc(const Options& opt) {
   return failures > 0 ? 1 : 0;
 }
 
+// ---- serving-layer soak (--serve) ----------------------------------------
+
+/// Serve soak matrix: the batched kernel's correctness depends on the
+/// replication structure (lane masks cross the same mirror boundaries
+/// as scalar labels) and the exec model, not on the benchmark — the
+/// benchmark IS msbfs. Small matrix per the serving smoke contract.
+std::vector<Scenario> serve_matrix(bool smoke) {
+  using partition::Policy;
+  const std::vector<Policy> policies =
+      smoke ? std::vector<Policy>{Policy::OEC, Policy::CVC}
+            : std::vector<Policy>{Policy::OEC, Policy::IEC, Policy::HVC,
+                                  Policy::CVC};
+  const std::vector<int> devices =
+      smoke ? std::vector<int>{4} : std::vector<int>{4, 8};
+  std::vector<Scenario> out;
+  for (const auto p : policies) {
+    for (const auto m : {engine::ExecModel::kSync, engine::ExecModel::kAsync}) {
+      for (const int d : devices) {
+        out.push_back({fw::Benchmark::kBfs, p, m, d});
+      }
+    }
+  }
+  return out;
+}
+
+/// The 64 fused sources: a fixed stride over the chaos graph, so a
+/// replayed reproducer needs no recorded source list.
+std::vector<graph::VertexId> serve_sources() {
+  const graph::VertexId n = chaos_graph().num_vertices();
+  std::vector<graph::VertexId> src;
+  src.reserve(algo::MsBfsProgram::kMaxSources);
+  for (graph::VertexId i = 0; i < algo::MsBfsProgram::kMaxSources; ++i) {
+    src.push_back((i * 9) % n);
+  }
+  return src;
+}
+
+algo::MsBfsResult run_serve_msbfs(const Scenario& s,
+                                  const fault::FaultPlan* plan) {
+  const fw::Prepared& prep = prepared_for(s.policy, s.devices);
+  const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+  const sim::CostParams params = sim::CostParams::for_scaled_datasets();
+  engine::EngineConfig cfg = engine::make_variant(
+      s.model == engine::ExecModel::kSync ? engine::Variant::kVar3
+                                          : engine::Variant::kVar4);
+  cfg.fault_plan = plan;
+  return algo::run_msbfs(prep.dist, prep.sync, topo, params, cfg,
+                         serve_sources());
+}
+
+/// Per-lane bit-exact comparison of a fused msbfs run against the
+/// unbatched single-source oracles.
+Outcome serve_check(const std::vector<std::vector<std::uint32_t>>& oracle,
+                    const algo::MsBfsResult& got) {
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    const Outcome o = compare_exact(
+        oracle[i], got.dist[i],
+        ("lane" + std::to_string(i) + " dist").c_str());
+    if (o.failed()) return {"serve-lane-mismatch", o.detail};
+  }
+  return {};
+}
+
+fault::ChaosSpec serve_spec(const Scenario& s, int num_hosts,
+                            sim::SimTime horizon, bool smoke) {
+  fault::ChaosSpec spec;
+  spec.num_devices = s.devices;
+  spec.num_hosts = num_hosts;
+  spec.horizon = horizon;
+  // Device losses only: the contract under soak is exact per-lane
+  // recovery through eviction + re-home, not anomaly tolerance (the
+  // wire-protocol soak already covers message chaos for min-programs).
+  spec.allow_drop = false;
+  spec.allow_corrupt = false;
+  spec.allow_duplicate = false;
+  spec.allow_reorder = false;
+  spec.allow_partition = false;
+  spec.allow_straggler = false;
+  spec.allow_loss = true;
+  spec.min_events = 1;
+  spec.max_events = smoke ? 1 : 2;
+  return spec;
+}
+
+int do_serve(const Options& opt) {
+  const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
+                    : opt.smoke                ? 1
+                                               : 2;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+  const std::vector<Scenario> scenarios = serve_matrix(opt.smoke);
+  const std::vector<graph::VertexId> sources = serve_sources();
+  std::printf("sg_chaos --serve: %zu scenarios x %d plan(s), %zu fused "
+              "lanes, base seed %llu\n",
+              scenarios.size(), seeds, sources.size(),
+              static_cast<unsigned long long>(opt.seed));
+  int failures = 0;
+  int runs = 0;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const Scenario& s = scenarios[si];
+    const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+
+    // Unbatched oracles: one fault-free single-source BfsProgram run
+    // per lane — the exact thing the fused run claims to replace.
+    std::vector<std::vector<std::uint32_t>> oracle;
+    algo::MsBfsResult fused;
+    try {
+      const fw::Prepared& prep = prepared_for(s.policy, s.devices);
+      const sim::CostParams params = sim::CostParams::for_scaled_datasets();
+      const engine::EngineConfig cfg = engine::make_variant(
+          s.model == engine::ExecModel::kSync ? engine::Variant::kVar3
+                                              : engine::Variant::kVar4);
+      oracle.reserve(sources.size());
+      for (const graph::VertexId src : sources) {
+        oracle.push_back(
+            algo::run_bfs(prep.dist, prep.sync, topo, params, cfg, src)
+                .dist);
+      }
+      fused = run_serve_msbfs(s, nullptr);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sg_chaos: %s oracle threw: %s\n",
+                   label_of(s).c_str(), e.what());
+      return 2;
+    }
+    // Fault-free fused run must already be bit-exact; a mismatch here
+    // is a kernel bug, not a fault-tolerance bug — no plan to shrink.
+    if (const Outcome o = serve_check(oracle, fused); o.failed()) {
+      std::fprintf(stderr, "sg_chaos: %s fault-free msbfs diverged: %s\n",
+                   label_of(s).c_str(), o.detail.c_str());
+      return 2;
+    }
+
+    for (int k = 0; k < seeds; ++k) {
+      const std::uint64_t seed =
+          opt.seed + 1000003ULL * (si + 1) + 7919ULL * k;
+      fault::FaultPlan plan;
+      try {
+        plan = fault::random_plan(
+            seed, serve_spec(s, topo.num_hosts(), fused.stats.total_time,
+                             opt.smoke));
+        plan.validate_or_throw(s.devices, topo.num_hosts());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sg_chaos: plan generation failed: %s\n",
+                     e.what());
+        return 2;
+      }
+      auto run_with = [&](const fault::FaultPlan& p) {
+        algo::MsBfsResult r;
+        Outcome o;
+        try {
+          r = run_serve_msbfs(s, &p);
+          o = serve_check(oracle, r);
+        } catch (const std::exception& e) {
+          o = {"run-error", std::string("exception: ") + e.what()};
+        }
+        return std::pair<algo::MsBfsResult, Outcome>(std::move(r),
+                                                     std::move(o));
+      };
+      auto [r, o] = run_with(plan);
+      ++runs;
+      if (!o.failed()) {
+        const auto& f = r.stats.faults;
+        std::printf(
+            "[ok]   %-24s seed=%-12llu events=%zu evict=%llu rehomed=%llu "
+            "rounds=%u\n",
+            ("msbfs/" + label_of(s)).c_str(),
+            static_cast<unsigned long long>(seed), plan.events.size(),
+            static_cast<unsigned long long>(f.evicted_devices),
+            static_cast<unsigned long long>(f.rehomed_masters),
+            r.stats.global_rounds);
+        continue;
+      }
+      ++failures;
+      std::printf("[FAIL] %-24s seed=%llu: %s (%s)\n",
+                  ("msbfs/" + label_of(s)).c_str(),
+                  static_cast<unsigned long long>(seed), o.kind.c_str(),
+                  o.detail.c_str());
+      fault::FaultPlan minimal = plan;
+      fault::ShrinkStats shrink_stats;
+      if (opt.shrink) {
+        const auto fails = [&](const fault::FaultPlan& cand) {
+          if (!cand.validate(s.devices, topo.num_hosts()).empty()) {
+            return false;
+          }
+          return run_with(cand).second.kind == o.kind;
+        };
+        minimal = fault::shrink_plan(plan, fails, &shrink_stats);
+        std::printf(
+            "       shrunk %zu -> %zu event(s) in %d probe(s)\n",
+            plan.events.size(), minimal.events.size(), shrink_stats.probes);
+      }
+      const std::filesystem::path repro =
+          std::filesystem::path(opt.out_dir) /
+          ("chaos_repro_serve_" + sanitize(label_of(s)) + "_seed" +
+           std::to_string(seed) + ".json");
+      write_reproducer(repro, s, true, minimal, o,
+                       opt.shrink ? &shrink_stats : nullptr, nullptr,
+                       nullptr, /*serve=*/true);
+      std::printf("       reproducer: %s (replay with --replay)\n",
+                  repro.string().c_str());
+      if (!opt.keep_going) {
+        std::printf("sg_chaos: stopping at first failure "
+                    "(--keep-going to continue)\n");
+        std::printf("sg_chaos: %d run(s), %d failure(s)\n", runs, failures);
+        return 1;
+      }
+    }
+  }
+  std::printf("sg_chaos: %d run(s), %d failure(s)\n", runs, failures);
+  return failures > 0 ? 1 : 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--smoke] [--gray] [--sdc] [--chaos-seed N] [--seeds N]"
-      " [--chaos-shrink] [--no-shrink]\n"
+      "usage: %s [--smoke] [--gray] [--sdc] [--serve] [--chaos-seed N]"
+      " [--seeds N] [--chaos-shrink] [--no-shrink]\n"
       "          [--inject-defect] [--keep-going] [--recovery-margin X]"
       " [--out-dir DIR]\n"
       "       %s --replay FILE\n",
@@ -1046,6 +1274,7 @@ int do_replay(const Options& opt) {
   bool wire = true;
   bool gray = false;
   bool sdc = false;
+  bool serve = false;
   integrity::AuditPolicy sdc_pol;
   double margin = 0.0;
   fault::FaultPlan plan;
@@ -1078,6 +1307,9 @@ int do_replay(const Options& opt) {
     const obs::JsonValue* sv = doc.find("sdc");
     sdc = sv != nullptr && sv->kind == obs::JsonValue::Kind::kBool &&
           sv->boolean;
+    const obs::JsonValue* serve_v = doc.find("serve");
+    serve = serve_v != nullptr &&
+            serve_v->kind == obs::JsonValue::Kind::kBool && serve_v->boolean;
     if (sdc) {
       const obs::JsonValue* am = doc.find("audit_mode");
       const std::string mode = am != nullptr ? am->str_or("repair")
@@ -1104,10 +1336,47 @@ int do_replay(const Options& opt) {
     std::fprintf(stderr, "sg_chaos: %s: %s\n", opt.replay.c_str(), e.what());
     return 2;
   }
-  std::printf("replaying %s: %s, wire_protocol=%s%s%s, plan events: %zu\n",
+  std::printf("replaying %s: %s, wire_protocol=%s%s%s%s, plan events: %zu\n",
               opt.replay.c_str(), label_of(s).c_str(),
               wire ? "on" : "off", gray ? ", gray triple" : "",
-              sdc ? ", sdc triple" : "", plan.events.size());
+              sdc ? ", sdc triple" : "",
+              serve ? ", serve (fused msbfs)" : "", plan.events.size());
+  if (serve) {
+    // Unbatched per-lane oracles, then the fused run under the plan.
+    const fw::Prepared& prep = prepared_for(s.policy, s.devices);
+    const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+    const sim::CostParams params = sim::CostParams::for_scaled_datasets();
+    const engine::EngineConfig cfg = engine::make_variant(
+        s.model == engine::ExecModel::kSync ? engine::Variant::kVar3
+                                            : engine::Variant::kVar4);
+    std::vector<std::vector<std::uint32_t>> lane_oracle;
+    for (const graph::VertexId src : serve_sources()) {
+      lane_oracle.push_back(
+          algo::run_bfs(prep.dist, prep.sync, topo, params, cfg, src).dist);
+    }
+    Outcome o;
+    try {
+      const algo::MsBfsResult r = run_serve_msbfs(s, &plan);
+      const auto& f = r.stats.faults;
+      std::printf("serve: evict=%llu rehomed=%llu rounds=%u\n",
+                  static_cast<unsigned long long>(f.evicted_devices),
+                  static_cast<unsigned long long>(f.rehomed_masters),
+                  r.stats.global_rounds);
+      o = serve_check(lane_oracle, r);
+    } catch (const std::exception& e) {
+      o = {"run-error", std::string("exception: ") + e.what()};
+    }
+    if (o.failed()) {
+      std::printf("reproduced: %s (%s)%s\n", o.kind.c_str(), o.detail.c_str(),
+                  o.kind == recorded_failure
+                      ? ""
+                      : " [failure kind differs from recording]");
+      return 1;
+    }
+    std::printf(
+        "did not reproduce: every msbfs lane matched its unbatched oracle\n");
+    return 0;
+  }
   const fw::BenchmarkRun oracle = run_scenario(s, nullptr, true);
   if (!oracle.ok) {
     std::fprintf(stderr, "sg_chaos: oracle run failed: %s\n",
@@ -1221,6 +1490,8 @@ int main(int argc, char** argv) {
       opt.gray = true;
     } else if (a == "--sdc") {
       opt.sdc = true;
+    } else if (a == "--serve") {
+      opt.serve = true;
     } else if (a == "--recovery-margin") {
       const char* v = need_value("--recovery-margin");
       if (v == nullptr) return 2;
@@ -1259,12 +1530,16 @@ int main(int argc, char** argv) {
     }
   }
   if (!opt.replay.empty()) return do_replay(opt);
-  if (opt.sdc && opt.gray) {
-    std::fprintf(stderr, "sg_chaos: --sdc and --gray are exclusive\n");
+  if (static_cast<int>(opt.sdc) + static_cast<int>(opt.gray) +
+          static_cast<int>(opt.serve) >
+      1) {
+    std::fprintf(stderr,
+                 "sg_chaos: --sdc, --gray, and --serve are exclusive\n");
     return usage(argv[0]);
   }
   if (opt.sdc) return do_sdc(opt);
   if (opt.gray) return do_gray(opt);
+  if (opt.serve) return do_serve(opt);
   const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
                     : opt.smoke                ? 1
                                                : 2;

@@ -6,6 +6,7 @@
 // are simulated seconds, so the *shape* (who wins, crossovers, ratios)
 // is the comparison target, not the paper's absolute numbers.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -225,10 +226,16 @@ inline void explain_run(const fw::Prepared& prep, const sim::Topology& topo,
 class ReportLog {
  public:
   explicit ReportLog(std::string bench_name)
-      : bench_(bench_name), writer_(std::move(bench_name)) {}
+      : bench_(bench_name),
+        writer_(std::move(bench_name)),
+        mark_(std::chrono::steady_clock::now()) {}
 
   /// Labels the run `<benchmark>/<input>/<system>/<config>/<devices>` —
-  /// deterministic, so diffs across report generations line up.
+  /// deterministic, so diffs across report generations line up. Each
+  /// add() also stamps the run with the host wall time elapsed since
+  /// the previous add() (or construction) — the real time this machine
+  /// spent producing the run — so every BENCH_*.json row carries a
+  /// `host_time.host_wall_ms` for the host-time regression CI leg.
   void add(const std::string& benchmark, const std::string& input,
            const std::string& system, const std::string& config,
            int devices, const engine::RunStats& stats,
@@ -243,7 +250,12 @@ class ReportLog {
     meta.devices = devices;
     meta.label = benchmark + "/" + input + "/" + system + "/" + config +
                  "/" + std::to_string(devices);
-    writer_.add(meta, stats, metrics, trace);
+    const auto now = std::chrono::steady_clock::now();
+    obs::HostTime host;
+    host.host_wall_ms =
+        std::chrono::duration<double, std::milli>(now - mark_).count();
+    mark_ = now;
+    writer_.add(meta, stats, metrics, trace, &host);
   }
 
   [[nodiscard]] std::size_t num_runs() const { return writer_.num_runs(); }
@@ -266,6 +278,7 @@ class ReportLog {
  private:
   std::string bench_;
   obs::ReportWriter writer_;
+  std::chrono::steady_clock::time_point mark_;  ///< last add() instant
 };
 
 }  // namespace sg::bench

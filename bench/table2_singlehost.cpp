@@ -18,14 +18,20 @@
 // runs snapshot, then serves zero queries — serve metrics register
 // lazily at event time only, so CI asserts the --serve report is
 // byte-identical too (the serving layer compiled in but unused costs
-// nothing in the reports).
+// nothing in the reports). --host-time arms the host wall-clock
+// profiler and flight recorder on the D-IrGL runs and writes them to a
+// separate --host-report artifact; the simulated-time smoke report
+// stays byte-identical with it on (CI-asserted).
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 
 #include "bench_common.hpp"
 #include "integrity/audit.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "serve/scheduler.hpp"
 
@@ -133,8 +139,10 @@ std::optional<Best> run_dirgl(fw::Benchmark b, const std::string& input,
 /// frameworks. Deterministic (fixed seeds throughout), so the emitted
 /// report can be diffed against a committed baseline.
 int smoke_run(std::string report_path, const std::string& trace_path,
-              bool explain, bool audit, bool serve) {
+              bool explain, bool audit, bool serve, bool host_time,
+              std::string host_report_path) {
   if (report_path.empty()) report_path = "BENCH_table2_smoke.json";
+  if (host_report_path.empty()) host_report_path = "table2_smoke_host.json";
   const std::string input = "rmat23";
   const int gpus = 4;
   obs::Tracer tracer;
@@ -142,6 +150,15 @@ int smoke_run(std::string report_path, const std::string& trace_path,
   obs::ReportWriter writer("table2_smoke");
   std::optional<engine::RunStats> traced_stats;
   int failures = 0;
+  // Host-time mode: arm a profiler and flight recorder on the D-IrGL
+  // runs. Both write to a SEPARATE artifact — the simulated-time smoke
+  // report must stay byte-identical with this on (CI cmp's the two).
+  // The process-wide profiler is used (not a local one) so scopes
+  // recorded outside the engine — fw.prepare.partition — land in the
+  // same tree.
+  obs::Profiler& profiler = obs::Profiler::global();
+  obs::FlightRecorder flight;
+  profiler.set_enabled(host_time);
 
   if (serve) {
     // Idle serving layer sharing the benchmark's metrics registry: it
@@ -221,6 +238,10 @@ int smoke_run(std::string report_path, const std::string& trace_path,
       engine::EngineConfig cfg = fw::DIrGL::default_config();
       cfg.collect_trace = true;
       cfg.metrics = &registry;
+      if (host_time) {
+        cfg.profiler = &profiler;
+        cfg.flight = &flight;
+      }
       if (audit) {
         cfg.audit.mode = integrity::AuditMode::kRepair;
         cfg.audit.interval_rounds = 1;
@@ -267,6 +288,27 @@ int smoke_run(std::string report_path, const std::string& trace_path,
                        "bfs/" + input + "/D-IrGL/Var4/" +
                            std::to_string(gpus));
   }
+  if (host_time) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "sg.host_time.report");
+    w.kv("nondeterministic", true);
+    w.key("host_time");
+    profiler.write_json(w);
+    w.key("flight");
+    flight.write_json(w, /*include_wall=*/false);
+    w.end_object();
+    std::ofstream out(host_report_path, std::ios::binary);
+    out << w.take() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "[host-time] FAILED to write %s\n",
+                   host_report_path.c_str());
+      return 1;
+    }
+    std::printf("[host-time] wrote %s (%llu flight events)\n",
+                host_report_path.c_str(),
+                static_cast<unsigned long long>(flight.recorded()));
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -278,8 +320,10 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool audit = false;
   bool serve = false;
+  bool host_time = false;
   std::string report_path;
   std::string trace_path;
+  std::string host_report_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--smoke") {
@@ -290,14 +334,19 @@ int main(int argc, char** argv) {
       audit = true;
     } else if (a == "--serve") {
       serve = true;
+    } else if (a == "--host-time") {
+      host_time = true;
     } else if (a == "--report" && i + 1 < argc) {
       report_path = argv[++i];
     } else if (a == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (a == "--host-report" && i + 1 < argc) {
+      host_report_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--explain] [--audit] [--serve] "
-                   "[--report out.json] [--trace out.json]\n",
+                   "[--host-time] [--report out.json] [--trace out.json] "
+                   "[--host-report out.json]\n",
                    argv[0]);
       return 2;
     }
@@ -314,8 +363,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--serve requires --smoke\n");
     return 2;
   }
+  if (host_time && !smoke) {
+    std::fprintf(stderr, "--host-time requires --smoke\n");
+    return 2;
+  }
   if (smoke) {
-    return smoke_run(report_path, trace_path, explain, audit, serve);
+    return smoke_run(report_path, trace_path, explain, audit, serve,
+                     host_time, host_report_path);
   }
 
   std::printf(

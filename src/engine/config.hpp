@@ -12,6 +12,8 @@
 namespace sg::obs {
 class Tracer;
 class Registry;
+class Profiler;
+class FlightRecorder;
 }  // namespace sg::obs
 
 namespace sg::engine {
@@ -62,6 +64,20 @@ struct EngineConfig {
   /// Metrics registry the engine/comm/fault layers record counters and
   /// histograms into (not owned; nullptr = disabled at zero cost).
   obs::Registry* metrics = nullptr;
+  /// Host wall-clock profiler the engine's real work (label-update
+  /// kernels, sync extract/apply, audit scans) is scoped into (not
+  /// owned; nullptr = the process-wide obs::Profiler::global(), which
+  /// is disabled by default so every scope is a branch-and-return).
+  obs::Profiler* profiler = nullptr;
+  /// Flight recorder receiving structured engine events (not owned;
+  /// nullptr = obs::FlightRecorder::global()). Always on — recording
+  /// is lock-free and allocation-free — and dumped as a black box on
+  /// abort / failed final audit / chaos failure.
+  obs::FlightRecorder* flight = nullptr;
+  /// When non-empty, the engine dumps the flight recorder here if
+  /// run() aborts with an exception or the final-audit certificate
+  /// fails ($SG_FLIGHT_DUMP is the env fallback for the abort path).
+  std::filesystem::path flight_dump;
   /// BASP idle behaviour. Gluon-Async devices busy-poll: a device with
   /// an empty worklist still executes local rounds (worklist check +
   /// bitvector scan) until global termination — the reason the paper's

@@ -24,7 +24,9 @@
 #include "fault/gray.hpp"
 #include "fault/health.hpp"
 #include "integrity/auditor.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "util/hash.hpp"
 #include "obs/trace.hpp"
 #include "partition/dist_graph.hpp"
@@ -96,12 +98,17 @@ class Executor {
   }
 
   RunResult<Program> run() {
+    // Black box: if anything below throws, the flight recorder is
+    // dumped (raw order + host stamps) before the exception escapes.
+    obs::AbortDump black_box(flight(), config_.flight_dump, 0.0);
+    const auto run_scope = prof().scope("engine.run");
     setup();
     if (config_.exec_model == ExecModel::kSync) {
       run_bsp();
     } else {
       run_basp();
     }
+    black_box.advance(total_time_.seconds());
     return collect();
   }
 
@@ -229,6 +236,20 @@ class Executor {
     return obs::Scope{tracer_, 2 * devices_};
   }
 
+  /// Flight recorder / host profiler handles. Both fall back to the
+  /// process-wide instances, so instrumentation is always wired: the
+  /// recorder is genuinely always-on (lock-free, allocation-free), and
+  /// the global profiler is disabled by default, making every scope a
+  /// branch-and-return.
+  [[nodiscard]] obs::FlightRecorder& flight() const {
+    return config_.flight != nullptr ? *config_.flight
+                                     : obs::FlightRecorder::global();
+  }
+  [[nodiscard]] obs::Profiler& prof() const {
+    return config_.profiler != nullptr ? *config_.profiler
+                                       : obs::Profiler::global();
+  }
+
   void setup_obs() {
     tracer_ = config_.tracer;
     if (tracer_ != nullptr) {
@@ -322,8 +343,12 @@ class Executor {
     std::vector<VertexId> frontier;
     frontier.swap(dev.frontier);
     for (VertexId v : frontier) dev.in_frontier.reset(v);
-    dev.progress =
-        program_.compute_round(lg, dev.state, frontier, *dev.ctx);
+    {
+      // The real host work: the label-update kernel itself.
+      const auto kernel_scope = prof().scope("engine.kernel");
+      dev.progress =
+          program_.compute_round(lg, dev.state, frontier, *dev.ctx);
+    }
     merge_activations(dev);
     if (injector_.active() && injector_.has_sdc()) {
       kernel_sdc_perturb(d, at);
@@ -453,7 +478,7 @@ class Executor {
   /// apply phases never race.
   template <typename T>
   Admit admit_payload(int d, const comm::Payload<T>& p, fault::MsgKind kind,
-                      bool allow_hold) {
+                      bool allow_hold, sim::SimTime at) {
     if (!config_.wire_protocol || !p.header.sealed()) return Admit::kApply;
     const comm::WireHeader& h = p.header;
     fault::FaultStats& fs = fault_per_dev_[d];
@@ -464,18 +489,26 @@ class Executor {
       fs.fence_rejects += 1;
       fs.pair(p.from, d).fenced += 1;
       if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+      flight().record(obs::FlightKind::kWire, d, p.from, h.epoch,
+                      "fence_reject", at.seconds());
       return Admit::kDiscard;
     }
     if (!comm::verify_payload(p)) {
       fs.messages_corrupted += 1;
       fs.pair(p.from, d).corrupted += 1;
       if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+      flight().record(obs::FlightKind::kWire, d, p.from,
+                      static_cast<std::int64_t>(h.seq), "checksum_reject",
+                      at.seconds());
       return Admit::kDiscard;
     }
     std::uint64_t& expected = devs_[d].seq_in[channel(p.from, kind)];
     if (h.seq < expected) {
       fs.duplicates_discarded += 1;
       if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
+      flight().record(obs::FlightKind::kWire, d, p.from,
+                      static_cast<std::int64_t>(h.seq), "dup_discard",
+                      at.seconds());
       return Admit::kDiscard;
     }
     if (h.seq > expected && allow_hold) return Admit::kHold;
@@ -653,6 +686,9 @@ class Executor {
         if (m_protocol_discards_ != nullptr) m_protocol_discards_->inc();
         net_scope(from).span(obs::SpanKind::kNet, "net.fenced", start, start,
                              bytes, static_cast<std::uint64_t>(to));
+        flight().record(obs::FlightKind::kWire, from, to,
+                        static_cast<std::int64_t>(bytes), "fenced",
+                        start.seconds());
         r.arrival = sim::SimTime::max();
         return r;
       }
@@ -665,6 +701,9 @@ class Executor {
       if (m_partition_deferred_ != nullptr) m_partition_deferred_->inc();
       net_scope(from).span(obs::SpanKind::kNet, "net.partition_hold", start,
                            heal, bytes, static_cast<std::uint64_t>(to));
+      flight().record(obs::FlightKind::kWire, from, to,
+                      static_cast<std::int64_t>(bytes), "partition_hold",
+                      start.seconds());
       start = heal;
     }
     sim::SimTime timeout = config_.retry.timeout;
@@ -690,6 +729,8 @@ class Executor {
         comm_per_dev_[from].retransmitted_messages += 1;
         comm_per_dev_[from].retransmitted_bytes += bytes;
         account_network(from, to, bytes);
+        flight().record(obs::FlightKind::kWire, from, to, attempt, "drop",
+                        start.seconds());
         start += timeout;
         timeout = timeout * config_.retry.backoff;
         continue;
@@ -712,6 +753,8 @@ class Executor {
           net_scope(from).span(obs::SpanKind::kNet, "net.nack_retry", start,
                                start + timeout, bytes,
                                static_cast<std::uint64_t>(to));
+          flight().record(obs::FlightKind::kWire, from, to, attempt,
+                          "nack_retry", start.seconds());
           start += timeout;
           timeout = timeout * config_.retry.backoff;
           continue;
@@ -727,6 +770,9 @@ class Executor {
               9007199254740992.0);
           fs.corrupt_applied += 1;
           fs.pair(from, to).corrupted += 1;
+          flight().record(obs::FlightKind::kWire, from, to,
+                          static_cast<std::int64_t>(round), "corrupt_applied",
+                          start.seconds());
         }
         // Protocol on but the retry ladder is exhausted: the bounded
         // final attempt is modeled as verified end-to-end (delivered
@@ -742,6 +788,9 @@ class Executor {
         fs.reorders_injected += 1;
         fs.pair(from, to).reordered += 1;
         if (m_net_anomalies_ != nullptr) m_net_anomalies_->inc();
+        flight().record(obs::FlightKind::kWire, from, to,
+                        static_cast<std::int64_t>(round), "reorder",
+                        start.seconds());
       }
       if (injector_.duplicates_message(from, to, kind, round, start)) {
         const double u = injector_.anomaly_uniform(kGhostDelaySalt, from, to,
@@ -751,6 +800,9 @@ class Executor {
         fs.duplicates_injected += 1;
         fs.pair(from, to).duplicated += 1;
         if (m_net_anomalies_ != nullptr) m_net_anomalies_->inc();
+        flight().record(obs::FlightKind::kWire, from, to,
+                        static_cast<std::int64_t>(round), "dup_inject",
+                        start.seconds());
       }
       r.arrival = arrival;
       return r;
@@ -801,6 +853,8 @@ class Executor {
       }
       if (force_sync_rounds_ > 0) --force_sync_rounds_;
       ++stats_.global_rounds;
+      flight().record(obs::FlightKind::kRound, -1, stats_.global_rounds, 0,
+                      "bsp", barrier.seconds());
 
       // Phase 1: compute + reduce extraction (parallel over devices).
       std::vector<sim::SimTime> ready(devices_, barrier);
@@ -1096,6 +1150,9 @@ class Executor {
     fault_global_.checkpoint_time += worst;
     rt_scope().span(obs::SpanKind::kCheckpoint, "checkpoint", barrier,
                     barrier + worst, ck.total_bytes(), ck.round);
+    flight().record(obs::FlightKind::kCheckpoint, -1, ck.round,
+                    static_cast<std::int64_t>(ck.total_bytes()), "checkpoint",
+                    barrier.seconds());
     if (m_checkpoints_ != nullptr) m_checkpoints_->inc();
     if (ckpt_store_.persistent()) ckpt_store_.save(ck);
     // Read-back verification: re-snapshot the (still clean) live state
@@ -1189,6 +1246,9 @@ class Executor {
       flip_bit(vals[it->second], f.bit);
       fault_global_.sdc_injected += 1;
       fault_global_.sdc_for(f.device).label_flips += 1;
+      flight().record(obs::FlightKind::kFault, f.device,
+                      static_cast<std::int64_t>(f.vertex), f.bit,
+                      "label_flip", f.at.seconds());
       if (config_.audit.enabled()) {
         sdc_lag_.note_injection(f.device, audit_boundary_);
       }
@@ -1215,6 +1275,7 @@ class Executor {
   /// contexts only (BSP barrier / BASP quiescent events).
   sim::SimTime run_audit(sim::SimTime t, std::uint64_t b, bool final_pass,
                          bool* revived) {
+    const auto audit_scope = prof().scope("audit.scan");
     const integrity::AuditPolicy& pol = config_.audit;
     fault_global_.sdc_audits += 1;
     if (m_sdc_audits_ != nullptr) m_sdc_audits_->inc();
@@ -1261,6 +1322,9 @@ class Executor {
           note_lag(o);
           rt_scope().span(obs::SpanKind::kOther, "sdc.digest_split", t, t,
                           div.count, static_cast<std::uint64_t>(m));
+          flight().record(obs::FlightKind::kAudit, m, o,
+                          static_cast<std::int64_t>(div.count),
+                          "digest_split", t.seconds());
           if (!pol.repairs()) continue;
           // Quarantine the shard and heal it from the canonical master
           // copy. A corrupted *master* becomes consistent-wrong after
@@ -1305,6 +1369,8 @@ class Executor {
           rollback_needed = true;
           rt_scope().span(obs::SpanKind::kOther, "sdc.invariant", t, t, 0,
                           static_cast<std::uint64_t>(d));
+          flight().record(obs::FlightKind::kAudit, d, 0, 0, "invariant",
+                          t.seconds());
         }
       }
       // (c) The whole-run certificate, at the final boundary only: a
@@ -1326,6 +1392,15 @@ class Executor {
             rollback_needed = true;
             rt_scope().span(obs::SpanKind::kOther, "sdc.certificate", t, t,
                             0, b);
+            flight().record(obs::FlightKind::kCertificate, -1,
+                            static_cast<std::int64_t>(b), 0, "cert_fail",
+                            t.seconds());
+            if (!config_.flight_dump.empty() && !pol.repairs()) {
+              // Terminal certificate failure (no repair path will run):
+              // leave the black box behind for post-mortem triage.
+              flight().dump(config_.flight_dump, "final_audit_failure",
+                            /*include_wall=*/true);
+            }
           }
         }
       }
@@ -1416,6 +1491,9 @@ class Executor {
         rt_scope().span(obs::SpanKind::kCheckpoint, "sdc.rollback", t,
                         t + worst, last_ckpt_.total_bytes(),
                         last_ckpt_.round);
+        flight().record(obs::FlightKind::kRollback, -1, last_ckpt_.round,
+                        static_cast<std::int64_t>(last_ckpt_.total_bytes()),
+                        "sdc_rollback", t.seconds());
         force_sync_rounds_ = std::max(force_sync_rounds_, 2);
         return t + worst;
       }
@@ -1451,6 +1529,8 @@ class Executor {
     if (m_sdc_repaired_ != nullptr) m_sdc_repaired_->inc();
     rt_scope().span(obs::SpanKind::kCheckpoint, "sdc.restart", t, t + worst,
                     0, current_round());
+    flight().record(obs::FlightKind::kRestart, -1, current_round(), 0,
+                    "sdc_restart", t.seconds());
     force_sync_rounds_ = std::max(force_sync_rounds_, 2);
     return t + worst;
   }
@@ -1484,7 +1564,11 @@ class Executor {
   /// the crashed devices with peer re-feed (graceful degradation).
   sim::SimTime bsp_recover(sim::SimTime barrier,
                            const std::vector<int>& crashed) {
-    for (int cd : crashed) fault_per_dev_[cd].device_crashes += 1;
+    for (int cd : crashed) {
+      fault_per_dev_[cd].device_crashes += 1;
+      flight().record(obs::FlightKind::kCrash, cd, current_round(), 0,
+                      "crash", barrier.seconds());
+    }
     if constexpr (kCheckpointable) {
       if (last_ckpt_.valid()) {
         sim::SimTime worst;
@@ -1505,6 +1589,9 @@ class Executor {
         rt_scope().span(obs::SpanKind::kCheckpoint, "rollback", barrier,
                         barrier + worst, last_ckpt_.total_bytes(),
                         last_ckpt_.round);
+        flight().record(obs::FlightKind::kRollback, -1, last_ckpt_.round,
+                        static_cast<std::int64_t>(last_ckpt_.total_bytes()),
+                        "rollback", barrier.seconds());
         if (m_rollbacks_ != nullptr) m_rollbacks_->inc();
         force_sync_rounds_ = std::max(force_sync_rounds_, 1);
         return barrier + worst;
@@ -1518,6 +1605,9 @@ class Executor {
                     crashed.empty()
                         ? 0
                         : static_cast<std::uint64_t>(crashed.front()));
+    flight().record(obs::FlightKind::kRestart, -1,
+                    static_cast<std::int64_t>(crashed.size()), 0,
+                    "degraded_recover", barrier.seconds());
     // The re-feed dirty marks alone do not make device_has_work() true;
     // keep the loop alive long enough for a reduce + broadcast sweep.
     force_sync_rounds_ = std::max(force_sync_rounds_, 2);
@@ -1731,6 +1821,14 @@ class Executor {
     rt_scope().span(obs::SpanKind::kRehome, graceful ? "evict.gray" : "rehome",
                     now, now + cost, plan.rehomed.size(),
                     plan.orphaned.size());
+    flight().record(obs::FlightKind::kEvict, cd,
+                    static_cast<std::int64_t>(plan.rehomed.size()),
+                    graceful ? 1 : 0, graceful ? "gray_evict" : "loss_evict",
+                    now.seconds());
+    flight().record(obs::FlightKind::kRehome, cd,
+                    static_cast<std::int64_t>(plan.rehomed.size()),
+                    static_cast<std::int64_t>(plan.orphaned.size()), "rehome",
+                    now.seconds());
     return cost;
   }
 
@@ -1747,6 +1845,8 @@ class Executor {
   /// Returns the modeled mitigation cost.
   sim::SimTime mitigate_device(const fault::GrayFailureMonitor::Action& a,
                                sim::SimTime now) {
+    flight().record(obs::FlightKind::kGray, a.device, a.hopeless ? 1 : 0,
+                    a.memory_bound ? 1 : 0, "gray_verdict", now.seconds());
     if (a.hopeless) {
       if (live_devices() < 2) return sim::SimTime{};  // nowhere to go
       const sim::SimTime cost =
@@ -1893,6 +1993,10 @@ class Executor {
       force_sync_rounds_ = std::max(force_sync_rounds_, 2);
       rt_scope().span(obs::SpanKind::kRehome, "migrate", now, now + cost,
                       plan.moved.size(), static_cast<std::uint64_t>(cd));
+      flight().record(obs::FlightKind::kRepair, cd,
+                      static_cast<std::int64_t>(plan.moved.size()),
+                      static_cast<std::int64_t>(plan.migrated_bytes),
+                      "migrate", now.seconds());
       return cost;
     }
   }
@@ -2014,6 +2118,7 @@ class Executor {
   /// the device-ready time via `ready`; stamps message arrivals.
   void extract_reduce_all(int d, sim::SimTime& ready,
                           std::vector<Msg<RV>>& out) {
+    const auto sync_scope = prof().scope("sync.extract_reduce");
     Dev& dev = devs_[d];
     auto values = program_.reduce_mirror_src(dev.state);
     sim::SimTime engine = ready;  // downlink copy engine (overlap mode)
@@ -2056,6 +2161,7 @@ class Executor {
   /// returns the time o finishes (wait gaps accounted).
   sim::SimTime apply_reduce_all(int o, sim::SimTime start,
                                 const std::vector<Msg<RV>>& msgs) {
+    const auto sync_scope = prof().scope("sync.apply_reduce");
     Dev& dev = devs_[o];
     const auto& lg = dg().part(o);
     auto values = program_.reduce_master_dst(dev.state);
@@ -2081,7 +2187,7 @@ class Executor {
       // Wire-protocol admission: stale-epoch or already-seen payloads
       // are rejected at the NIC before any uplink cost is paid.
       if (admit_payload(o, m.payload, fault::MsgKind::kReduce,
-                        /*allow_hold=*/false) == Admit::kDiscard) {
+                        /*allow_hold=*/false, m.arrival) == Admit::kDiscard) {
         continue;
       }
       if (m.arrival > t) {
@@ -2139,6 +2245,7 @@ class Executor {
 
   sim::SimTime extract_bcast_all(int d, sim::SimTime start,
                                  std::vector<Msg<BV>>& out) {
+    const auto sync_scope = prof().scope("sync.extract_broadcast");
     Dev& dev = devs_[d];
     auto values = program_.bcast_master_src(dev.state);
     sim::SimTime ready = start;
@@ -2179,6 +2286,7 @@ class Executor {
 
   sim::SimTime apply_bcast_all(int o, sim::SimTime start,
                                const std::vector<Msg<BV>>& msgs) {
+    const auto sync_scope = prof().scope("sync.apply_broadcast");
     Dev& dev = devs_[o];
     const auto& lg = dg().part(o);
     auto values = program_.bcast_mirror_dst(dev.state);
@@ -2201,7 +2309,7 @@ class Executor {
     for (int d : senders) {
       const auto& m = msgs[static_cast<std::size_t>(d) * devices_ + o];
       if (admit_payload(o, m.payload, fault::MsgKind::kBroadcast,
-                        /*allow_hold=*/false) == Admit::kDiscard) {
+                        /*allow_hold=*/false, m.arrival) == Admit::kDiscard) {
         continue;
       }
       if (m.arrival > t) {
@@ -2390,6 +2498,9 @@ class Executor {
   void basp_crash(std::size_t idx, sim::SimTime t, sim::EventQueue& queue) {
     const int cd = injector_.crashes()[idx].device;
     fault_per_dev_[cd].device_crashes += 1;
+    flight().record(obs::FlightKind::kCrash, cd,
+                    static_cast<std::int64_t>(devs_[cd].local_round), 0,
+                    "crash", t.seconds());
     Dev& dev = devs_[cd];
     dev.clock = sim::max(dev.clock, t);
     const sim::SimTime cost = degraded_recover(cd);
@@ -2512,6 +2623,9 @@ class Executor {
     dev.flush_pending = false;  // regular sends cover the re-feed marks
     dev.clock += compute_one_round(d, dev.clock);
     ++dev.local_round;
+    flight().record(obs::FlightKind::kRound, d,
+                    static_cast<std::int64_t>(dev.local_round), 0, "basp",
+                    dev.clock.seconds());
     // Round-boundary health sampling: keeps the φ / suspicion gauges
     // tracking the run between monitor polls (advance() still owns the
     // eviction verdicts).
@@ -2553,6 +2667,7 @@ class Executor {
   /// device d's clock and applies it (shared by the in-order drain and
   /// the reorder-buffer release).
   void apply_reduce_msg(int d, const Msg<RV>& m) {
+    const auto sync_scope = prof().scope("sync.apply_reduce");
     Dev& dev = devs_[d];
     const auto& lg = dg().part(d);
     const sim::SimTime s0 = dev.clock;
@@ -2576,6 +2691,7 @@ class Executor {
   }
 
   void apply_bcast_msg(int d, const Msg<BV>& m) {
+    const auto sync_scope = prof().scope("sync.apply_broadcast");
     Dev& dev = devs_[d];
     const auto& lg = dg().part(d);
     const sim::SimTime s0 = dev.clock;
@@ -2610,7 +2726,7 @@ class Executor {
       // counters (no matching on_send was recorded for them).
       if (td_ && !m.dup_ghost) td_->on_receive(d);
       switch (admit_payload(d, m.payload, fault::MsgKind::kReduce,
-                            /*allow_hold=*/true)) {
+                            /*allow_hold=*/true, m.arrival)) {
         case Admit::kDiscard:
           break;  // rejected at the NIC; zero modeled cost
         case Admit::kHold:
@@ -2630,7 +2746,7 @@ class Executor {
       inbox.bcast.pop_front();
       if (td_ && !m.dup_ghost) td_->on_receive(d);
       switch (admit_payload(d, m.payload, fault::MsgKind::kBroadcast,
-                            /*allow_hold=*/true)) {
+                            /*allow_hold=*/true, m.arrival)) {
         case Admit::kDiscard:
           break;
         case Admit::kHold:
@@ -2656,7 +2772,8 @@ class Executor {
       for (std::size_t i = 0; i < inbox.held_reduce.size(); ++i) {
         const Admit a = admit_payload(d, inbox.held_reduce[i].payload,
                                       fault::MsgKind::kReduce,
-                                      /*allow_hold=*/true);
+                                      /*allow_hold=*/true,
+                                      inbox.held_reduce[i].arrival);
         if (a == Admit::kHold) continue;
         Msg<RV> m = std::move(inbox.held_reduce[i]);
         inbox.held_reduce.erase(inbox.held_reduce.begin() +
@@ -2668,7 +2785,8 @@ class Executor {
       for (std::size_t i = 0; i < inbox.held_bcast.size(); ++i) {
         const Admit a = admit_payload(d, inbox.held_bcast[i].payload,
                                       fault::MsgKind::kBroadcast,
-                                      /*allow_hold=*/true);
+                                      /*allow_hold=*/true,
+                                      inbox.held_bcast[i].arrival);
         if (a == Admit::kHold) continue;
         Msg<BV> m = std::move(inbox.held_bcast[i]);
         inbox.held_bcast.erase(inbox.held_bcast.begin() +
@@ -2683,6 +2801,7 @@ class Executor {
   /// Sends this round's reduce payloads (mirror updates) and broadcast
   /// payloads (master updates). BASP ships only non-empty updates.
   void basp_send(int d, sim::EventQueue& queue) {
+    const auto sync_scope = prof().scope("sync.extract");
     Dev& dev = devs_[d];
     sim::SimTime engine = dev.clock;  // downlink copy engine (overlap)
     auto rvalues = program_.reduce_mirror_src(dev.state);

@@ -9,6 +9,7 @@
 #include "algo/pagerank.hpp"
 #include "algo/sssp.hpp"
 #include "graph/datasets.hpp"
+#include "obs/prof.hpp"
 #include "sim/device_memory.hpp"
 
 namespace sg::fw {
@@ -35,6 +36,11 @@ Benchmark benchmark_from_string(const std::string& name) {
 
 Prepared prepare(const graph::Csr& g, partition::Policy policy, int devices,
                  std::uint64_t seed) {
+  // Partitioning is real host work (the heaviest outside the engine);
+  // time it under the process-wide profiler so `host_time` reports
+  // attribute preprocessing separately from the solve.
+  const auto prep_scope =
+      obs::Profiler::global().scope("fw.prepare.partition");
   partition::PartitionOptions opts;
   opts.policy = policy;
   opts.num_devices = devices;

@@ -1,0 +1,216 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+
+namespace sg::obs {
+
+const char* to_string(FlightKind k) noexcept {
+  switch (k) {
+    case FlightKind::kRound: return "round";
+    case FlightKind::kFault: return "fault";
+    case FlightKind::kCrash: return "crash";
+    case FlightKind::kEvict: return "evict";
+    case FlightKind::kGray: return "gray";
+    case FlightKind::kWire: return "wire";
+    case FlightKind::kAudit: return "audit";
+    case FlightKind::kRepair: return "repair";
+    case FlightKind::kRollback: return "rollback";
+    case FlightKind::kRestart: return "restart";
+    case FlightKind::kRehome: return "rehome";
+    case FlightKind::kCheckpoint: return "checkpoint";
+    case FlightKind::kServeAdmit: return "serve_admit";
+    case FlightKind::kServeReject: return "serve_reject";
+    case FlightKind::kCertificate: return "certificate";
+    case FlightKind::kAbort: return "abort";
+    case FlightKind::kNote: return "note";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::int64_t wall_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : cap_(round_pow2(std::max<std::size_t>(capacity, 2))),
+      mask_(cap_ - 1),
+      slots_(new Slot[cap_]) {}
+
+void FlightRecorder::record(FlightKind kind, int device, std::int64_t a,
+                            std::int64_t b, const char* detail,
+                            double sim_s) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[seq & mask_];
+  // Seqlock: odd stamp marks the slot torn while the payload is
+  // written; readers that see it (or see the stamp move) discard.
+  s.stamp.store(2 * seq + 1, std::memory_order_release);
+  FlightEvent& e = s.event;
+  e.seq = seq;
+  e.sim_us = static_cast<std::int64_t>(std::llround(sim_s * 1e6));
+  e.wall_ns = wall_now_ns();
+  e.a = a;
+  e.b = b;
+  e.device = device;
+  e.kind = kind;
+  std::size_t i = 0;
+  if (detail != nullptr) {
+    for (; i + 1 < sizeof(e.detail) && detail[i] != '\0'; ++i)
+      e.detail[i] = detail[i];
+  }
+  for (; i < sizeof(e.detail); ++i) e.detail[i] = '\0';
+  s.stamp.store(2 * seq + 2, std::memory_order_release);
+}
+
+std::size_t FlightRecorder::recorded() const noexcept {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(h, cap_));
+}
+
+std::uint64_t FlightRecorder::dropped() const noexcept {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  return h > cap_ ? h - cap_ : 0;
+}
+
+void FlightRecorder::clear() noexcept {
+  for (std::size_t i = 0; i < cap_; ++i)
+    slots_[i].stamp.store(0, std::memory_order_relaxed);
+  head_.store(0, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(cap_);
+  for (std::size_t i = 0; i < cap_; ++i) {
+    const Slot& s = slots_[i];
+    // Bounded retries per slot: a slot being concurrently rewritten a
+    // few times in a row is a wrap-heavy writer; skip rather than spin.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint64_t before = s.stamp.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1) != 0) {
+        if (before == 0) break;  // never written
+        continue;                // mid-write, retry
+      }
+      FlightEvent copy = s.event;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.stamp.load(std::memory_order_acquire) == before) {
+        out.push_back(copy);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+namespace {
+
+void write_event(JsonWriter& w, const FlightEvent& e, bool include_wall) {
+  w.begin_object();
+  if (include_wall) {
+    w.kv("seq", e.seq);
+    w.kv("wall_ns", e.wall_ns);
+  }
+  w.kv("t_us", e.sim_us);
+  w.kv("kind", to_string(e.kind));
+  w.kv("device", e.device);
+  w.kv("a", e.a);
+  w.kv("b", e.b);
+  w.kv("detail", std::string_view(e.detail));
+  w.end_object();
+}
+
+}  // namespace
+
+void FlightRecorder::write_json(JsonWriter& w, bool include_wall) const {
+  std::vector<FlightEvent> events = snapshot();
+  if (!include_wall) {
+    // Pool threads race to record, so seq order is not reproducible.
+    // The *multiset* of events is (seeded faults, simulated stamps);
+    // canonical order makes the deterministic dump byte-stable.
+    std::sort(events.begin(), events.end(),
+              [](const FlightEvent& x, const FlightEvent& y) {
+                if (x.sim_us != y.sim_us) return x.sim_us < y.sim_us;
+                if (x.kind != y.kind) return x.kind < y.kind;
+                if (x.device != y.device) return x.device < y.device;
+                if (x.a != y.a) return x.a < y.a;
+                if (x.b != y.b) return x.b < y.b;
+                return std::strcmp(x.detail, y.detail) < 0;
+              });
+  }
+  w.begin_object();
+  w.kv("nondeterministic", include_wall);
+  w.kv("capacity", static_cast<std::uint64_t>(cap_));
+  w.kv("recorded", static_cast<std::uint64_t>(events.size()));
+  w.kv("dropped", dropped());
+  w.key("events").begin_array();
+  for (const FlightEvent& e : events) write_event(w, e, include_wall);
+  w.end_array();
+  w.end_object();
+}
+
+bool FlightRecorder::dump(const std::filesystem::path& path,
+                          std::string_view trigger, bool include_wall) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("sg_flight_schema", kFlightSchemaVersion);
+  w.kv("trigger", trigger);
+  w.key("flight");
+  write_json(w, include_wall);
+  w.end_object();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << w.str() << '\n';
+  return static_cast<bool>(out);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder rec(4096);
+  return rec;
+}
+
+AbortDump::AbortDump(FlightRecorder& rec, std::filesystem::path path,
+                     double sim_s) noexcept
+    : rec_(rec),
+      path_(std::move(path)),
+      sim_s_(sim_s),
+      exceptions_(std::uncaught_exceptions()) {}
+
+AbortDump::~AbortDump() {
+  if (std::uncaught_exceptions() <= exceptions_) return;
+  rec_.record(FlightKind::kAbort, -1, 0, 0, "exception", sim_s_);
+  std::filesystem::path target = path_;
+  if (target.empty()) {
+    if (const char* env = std::getenv("SG_FLIGHT_DUMP");
+        env != nullptr && env[0] != '\0') {
+      target = env;
+    }
+  }
+  if (target.empty()) return;
+  try {
+    rec_.dump(target, "engine_abort", /*include_wall=*/true);
+  } catch (...) {
+    // Never replace the propagating engine error with a dump failure.
+  }
+}
+
+}  // namespace sg::obs

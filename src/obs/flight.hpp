@@ -1,0 +1,147 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sg::obs {
+
+/// Version of the flight-recorder dump schema (`sg_flight_schema`).
+inline constexpr int kFlightSchemaVersion = 1;
+
+/// What happened. Kept to a small closed set so dumps stay greppable
+/// and sg_explain can tabulate them without free-form parsing.
+enum class FlightKind : std::uint8_t {
+  kRound = 0,        ///< global round transition
+  kFault,            ///< injected fault applied (label flip, ...)
+  kCrash,            ///< device crash observed at a barrier
+  kEvict,            ///< device permanently evicted
+  kGray,             ///< gray-failure verdict on a device
+  kWire,             ///< wire-protocol anomaly (fence/checksum/dup/...)
+  kAudit,            ///< integrity audit violation
+  kRepair,           ///< shard repair / re-homing action
+  kRollback,         ///< checkpoint rollback
+  kRestart,          ///< cold restart after unrecoverable state
+  kRehome,           ///< master re-homing summary after eviction
+  kCheckpoint,       ///< checkpoint taken
+  kServeAdmit,       ///< serve-layer query batch admitted
+  kServeReject,      ///< serve-layer query rejected
+  kCertificate,      ///< final-audit certificate verdict
+  kAbort,            ///< engine aborted (exception unwinding run())
+  kNote,             ///< free-form breadcrumb
+};
+
+[[nodiscard]] const char* to_string(FlightKind k) noexcept;
+
+/// One ring slot payload. Trivially copyable by design: recording is a
+/// seqlock-stamped memcpy-class store, never an allocation. `detail` is
+/// a fixed-width, NUL-terminated tag ("checksum", "fence", ...).
+struct FlightEvent {
+  std::uint64_t seq = 0;      ///< global record index (monotonic)
+  std::int64_t sim_us = 0;    ///< simulated timestamp, microseconds
+  std::int64_t wall_ns = 0;   ///< host steady-clock stamp (nondeterministic)
+  std::int64_t a = 0;         ///< kind-specific operand
+  std::int64_t b = 0;         ///< kind-specific operand
+  std::int32_t device = -1;   ///< device involved, -1 when n/a
+  FlightKind kind = FlightKind::kNote;
+  char detail[23] = {};
+};
+static_assert(std::is_trivially_copyable_v<FlightEvent>);
+
+/// Always-on, fixed-capacity, lock-free ring of structured engine
+/// events — the black box. Writers (engine phases run on pool threads)
+/// claim a slot with one fetch_add and publish it with a seqlock stamp:
+/// odd = write in progress, even = slot holds the event whose seq is
+/// (stamp - 2) / 2. Readers copy slots and discard any that were
+/// concurrently overwritten, so `record()` never blocks and never
+/// allocates. Capacity is rounded up to a power of two.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one event. Lock-free, allocation-free, noexcept: safe from
+  /// any engine phase including parallel_for workers.
+  void record(FlightKind kind, int device, std::int64_t a, std::int64_t b,
+              const char* detail, double sim_s) noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  /// Events currently held (<= capacity()).
+  [[nodiscard]] std::size_t recorded() const noexcept;
+  /// Events overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  /// Total events ever recorded.
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Forgets all events (keeps capacity). Not safe concurrently with
+  /// record(); call only from quiesced code (tests, run setup).
+  void clear() noexcept;
+
+  /// Stable copy of the ring contents in seq order.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Serializes the ring into `w` as an object. Deterministic mode
+  /// (include_wall = false) sorts events on (sim_us, kind, device, a,
+  /// b, detail) and omits seq/wall_ns, so two runs of the same seeded
+  /// scenario dump byte-identical JSON even though pool threads raced
+  /// to record. Black-box mode (include_wall = true) keeps raw seq
+  /// order and host timestamps and is marked "nondeterministic".
+  void write_json(JsonWriter& w, bool include_wall = false) const;
+
+  /// Writes a complete dump document to `path`:
+  ///   {"sg_flight_schema":1,"trigger":...,"nondeterministic":...,
+  ///    "capacity":...,"recorded":...,"dropped":...,"events":[...]}
+  /// False on I/O failure.
+  bool dump(const std::filesystem::path& path, std::string_view trigger,
+            bool include_wall = false) const;
+
+  /// Process-wide recorder used when no instance is wired through
+  /// EngineConfig. Always on; ~290 KiB once touched.
+  static FlightRecorder& global();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};  // 0 empty; odd writing; even done
+    FlightEvent event;
+  };
+
+  std::size_t cap_;   // power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// RAII dump-on-abort guard for `Engine::run()`: if the scope unwinds
+/// with a new in-flight exception, records a kAbort event and dumps the
+/// recorder (black-box mode) to `path` — or to $SG_FLIGHT_DUMP when
+/// `path` is empty; inert when neither names a file.
+class AbortDump {
+ public:
+  AbortDump(FlightRecorder& rec, std::filesystem::path path,
+            double sim_s) noexcept;
+  ~AbortDump();
+
+  AbortDump(const AbortDump&) = delete;
+  AbortDump& operator=(const AbortDump&) = delete;
+
+  /// Updates the simulated timestamp stamped on the kAbort event.
+  void advance(double sim_s) noexcept { sim_s_ = sim_s; }
+
+ private:
+  FlightRecorder& rec_;
+  std::filesystem::path path_;
+  double sim_s_;
+  int exceptions_;
+};
+
+}  // namespace sg::obs

@@ -1,0 +1,220 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+namespace sg::obs {
+
+/// Per-(profiler, thread) accumulator. Only its owning thread writes
+/// it; the profiler reads it under mu_ at snapshot time, which the
+/// contract restricts to quiesced moments.
+struct ThreadTable {
+  struct NodeSlot {
+    const char* name = nullptr;  // static storage (string literal)
+    std::uint32_t parent = 0;    // index into nodes; 0 = root sentinel
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+
+  std::vector<NodeSlot> nodes{NodeSlot{}};  // nodes[0] = root sentinel
+  std::uint32_t current = 0;
+  std::uint64_t scope_count = 0;
+
+  std::uint32_t find_or_add(std::uint32_t parent, const char* name) {
+    // Linear scan: instrumented sites number in the dozens, and the
+    // common case is re-entering a node that already exists.
+    for (std::uint32_t i = 1; i < nodes.size(); ++i) {
+      if (nodes[i].parent == parent &&
+          (nodes[i].name == name ||
+           std::strcmp(nodes[i].name, name) == 0)) {
+        return i;
+      }
+    }
+    NodeSlot slot;
+    slot.name = name;
+    slot.parent = parent;
+    nodes.push_back(slot);
+    return static_cast<std::uint32_t>(nodes.size() - 1);
+  }
+};
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_profiler_id{1};
+
+/// Thread-local cache from profiler id to that profiler's table for
+/// this thread. Ids are never reused, so a stale entry (profiler
+/// destroyed) simply never matches again.
+struct TableCache {
+  std::vector<std::pair<std::uint64_t, ThreadTable*>> entries;
+  ThreadTable* find(std::uint64_t id) const {
+    for (const auto& [eid, table] : entries)
+      if (eid == id) return table;
+    return nullptr;
+  }
+};
+
+thread_local TableCache t_tables;
+
+}  // namespace
+
+Profiler::Profiler() : id_(g_next_profiler_id.fetch_add(1)) {}
+Profiler::~Profiler() = default;
+
+ThreadTable& Profiler::table_for_current_thread() {
+  if (ThreadTable* t = t_tables.find(id_)) return *t;
+  auto owned = std::make_unique<ThreadTable>();
+  ThreadTable* raw = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tables_.push_back(std::move(owned));
+  }
+  t_tables.entries.emplace_back(id_, raw);
+  return *raw;
+}
+
+Profiler::Scope Profiler::scope(const char* name) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return Scope();
+  ThreadTable& t = table_for_current_thread();
+  const std::uint32_t node = t.find_or_add(t.current, name);
+  const std::uint32_t saved = t.current;
+  t.current = node;
+  return Scope(&t, node, saved, std::chrono::steady_clock::now());
+}
+
+void Profiler::leave(ThreadTable& t, std::uint32_t node, std::uint32_t saved,
+                     std::chrono::steady_clock::duration elapsed) noexcept {
+  auto& slot = t.nodes[node];
+  slot.calls += 1;
+  slot.total_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  t.current = saved;
+  t.scope_count += 1;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& t : tables_) {
+    t->nodes.assign(1, ThreadTable::NodeSlot{});
+    t->current = 0;
+    t->scope_count = 0;
+  }
+}
+
+Profiler::Snapshot Profiler::snapshot() const {
+  Snapshot snap;
+  snap.per_scope_overhead_ns = calibrated_scope_overhead_ns();
+
+  // Merge the per-thread tables into one tree keyed by path: nodes
+  // with the same (merged parent, name) across threads accumulate.
+  struct Merged {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::map<std::string, std::size_t> children;  // name -> merged index
+  };
+  std::vector<Merged> merged(1);  // [0] = root
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& table : tables_) {
+    snap.scopes += table->scope_count;
+    // Thread nodes are appended parent-first (a child is only created
+    // while its parent is `current`), so one forward pass can map
+    // every thread node to its merged counterpart.
+    std::vector<std::size_t> to_merged(table->nodes.size(), 0);
+    for (std::uint32_t i = 1; i < table->nodes.size(); ++i) {
+      const auto& n = table->nodes[i];
+      const std::size_t parent = to_merged[n.parent];
+      auto [it, inserted] =
+          merged[parent].children.emplace(n.name, merged.size());
+      if (inserted) {
+        merged.push_back(Merged{});
+        merged.back().name = n.name;
+      }
+      const std::size_t m = it->second;
+      merged[m].calls += n.calls;
+      merged[m].total_ns += n.total_ns;
+      to_merged[i] = m;
+    }
+  }
+
+  // Materialize the tree; std::map iteration gives name-sorted
+  // children, which keeps the serialized profile stable.
+  struct Builder {
+    const std::vector<Merged>& merged;
+    Node build(std::size_t i) const {
+      Node out;
+      out.name = merged[i].name;
+      out.calls = merged[i].calls;
+      out.total_ns = merged[i].total_ns;
+      out.children.reserve(merged[i].children.size());
+      for (const auto& [name, child] : merged[i].children)
+        out.children.push_back(build(child));
+      return out;
+    }
+  };
+  const Builder builder{merged};
+  snap.roots.reserve(merged[0].children.size());
+  for (const auto& [name, child] : merged[0].children)
+    snap.roots.push_back(builder.build(child));
+  return snap;
+}
+
+namespace {
+
+void write_node(JsonWriter& w, const Profiler::Node& n) {
+  w.begin_object();
+  w.kv("name", n.name);
+  w.kv("calls", n.calls);
+  w.kv("total_ms", static_cast<double>(n.total_ns) / 1e6);
+  w.key("children").begin_array();
+  for (const auto& c : n.children) write_node(w, c);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void Profiler::write_json(JsonWriter& w) const {
+  const Snapshot snap = snapshot();
+  w.begin_object();
+  w.kv("sg_host_time_schema", kHostTimeSchemaVersion);
+  w.kv("nondeterministic", true);
+  w.kv("scopes", snap.scopes);
+  w.kv("per_scope_overhead_ns", snap.per_scope_overhead_ns);
+  w.kv("self_overhead_ms", snap.self_overhead_ms());
+  w.key("tree").begin_array();
+  for (const auto& root : snap.roots) write_node(w, root);
+  w.end_array();
+  w.end_object();
+}
+
+double Profiler::calibrated_scope_overhead_ns() {
+  // One-shot calibration: time a burst of empty enabled scopes on a
+  // throwaway profiler. Coarse by design — it feeds an overhead
+  // *estimate* in a nondeterministic-marked section, not a metric.
+  static const double per_scope_ns = [] {
+    Profiler p;
+    p.set_enabled(true);
+    constexpr int kIters = 4096;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      auto s = p.scope("calibrate");
+      (void)s;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    return static_cast<double>(ns) / kIters;
+  }();
+  return per_scope_ns;
+}
+
+Profiler& Profiler::global() {
+  static Profiler prof;
+  return prof;
+}
+
+}  // namespace sg::obs

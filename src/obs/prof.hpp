@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sg::obs {
+
+/// Version of the host-time profile schema (`sg_host_time_schema`).
+inline constexpr int kHostTimeSchemaVersion = 1;
+
+/// Hierarchical scoped wall-clock profiler for the *real* host work
+/// (label-update kernels, partitioning, sync serialize/apply, audit
+/// scans, serve batch assembly). Timing uses steady_clock; every
+/// thread accumulates into its own node table (no locks, no sharing on
+/// the hot path) and tables are merged on snapshot(). Disabled
+/// profilers (the default for the process-wide instance) make scope()
+/// a branch-and-return no-op so instrumentation can stay compiled in
+/// everywhere.
+///
+/// Host time is inherently nondeterministic; it is serialized only
+/// into sections explicitly marked "nondeterministic" and never into
+/// the byte-compared simulated-time report fields.
+class Profiler {
+ public:
+  Profiler();
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  class Scope {
+   public:
+    ~Scope() {
+      if (table_ == nullptr) return;
+      Profiler::leave(*table_, node_, saved_,
+                      std::chrono::steady_clock::now() - start_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    friend class Profiler;
+    Scope() = default;
+    Scope(struct ThreadTable* t, std::uint32_t node, std::uint32_t saved,
+          std::chrono::steady_clock::time_point start)
+        : table_(t), node_(node), saved_(saved), start_(start) {}
+    struct ThreadTable* table_ = nullptr;
+    std::uint32_t node_ = 0;
+    std::uint32_t saved_ = 0;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Opens a timed scope named `name` nested under the calling
+  /// thread's current scope. `name` must have static storage duration
+  /// (string literals). Returns a no-op guard when disabled.
+  [[nodiscard]] Scope scope(const char* name) noexcept;
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all accumulated samples. Call only while no thread is
+  /// inside one of this profiler's scopes.
+  void reset();
+
+  struct Node {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::vector<Node> children;  // name-sorted
+  };
+
+  struct Snapshot {
+    std::vector<Node> roots;          ///< name-sorted merged call tree
+    std::uint64_t scopes = 0;         ///< total scope enter/exit pairs
+    double per_scope_overhead_ns = 0; ///< calibrated cost of one scope
+    /// Estimated time the profiler itself charged to the run:
+    /// scopes * per_scope_overhead_ns.
+    [[nodiscard]] double self_overhead_ms() const {
+      return static_cast<double>(scopes) * per_scope_overhead_ns / 1e6;
+    }
+  };
+
+  /// Merges every thread's table into one tree. Call from quiesced
+  /// code (after run()/report time), not concurrently with scopes.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Serializes snapshot() as an object:
+  ///   {"sg_host_time_schema":1,"nondeterministic":true,
+  ///    "scopes":N,"per_scope_overhead_ns":X,"self_overhead_ms":X,
+  ///    "tree":[{"name":..,"calls":N,"total_ms":X,"children":[..]}]}
+  void write_json(JsonWriter& w) const;
+
+  /// Measured cost of one enabled enter/exit pair on this host,
+  /// calibrated once per process on first use.
+  static double calibrated_scope_overhead_ns();
+
+  /// Process-wide profiler used when no instance is wired through
+  /// EngineConfig. Disabled until someone calls set_enabled(true).
+  static Profiler& global();
+
+ private:
+  friend class Scope;
+  static void leave(ThreadTable& t, std::uint32_t node, std::uint32_t saved,
+                    std::chrono::steady_clock::duration elapsed) noexcept;
+  ThreadTable& table_for_current_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t id_;  // process-unique, never reused
+
+  mutable std::mutex mu_;  // guards tables_ registration + snapshot
+  std::vector<std::unique_ptr<ThreadTable>> tables_;
+};
+
+}  // namespace sg::obs

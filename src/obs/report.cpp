@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/prof.hpp"
+
 namespace sg::obs {
 
 namespace {
@@ -242,7 +244,7 @@ void write_stats_json(JsonWriter& w, const engine::RunStats& st) {
 
 void write_run_json(JsonWriter& w, const ReportMeta& meta,
                     const engine::RunStats& stats, const Registry* metrics,
-                    const Tracer* trace) {
+                    const Tracer* trace, const HostTime* host) {
   w.begin_object();
   w.key("meta").begin_object();
   w.kv("bench", meta.bench);
@@ -277,15 +279,30 @@ void write_run_json(JsonWriter& w, const ReportMeta& meta,
     w.kv("per_track_cap", static_cast<std::uint64_t>(trace->per_track_cap()));
     w.end_object();
   }
+  if (host != nullptr) {
+    // Host wall time is real (nondeterministic) time: it lives in its
+    // own marked section so the simulated-time fields above stay
+    // byte-identical across reruns, and diffing only touches it under
+    // an explicit rel_tolerance / band.
+    w.key("host_time").begin_object();
+    w.kv("nondeterministic", true);
+    w.kv("host_wall_ms", host->host_wall_ms);
+    if (host->profiler != nullptr) {
+      w.key("profile");
+      host->profiler->write_json(w);
+    }
+    w.end_object();
+  }
   w.end_object();
 }
 
 void ReportWriter::add(const ReportMeta& meta, const engine::RunStats& stats,
-                       const Registry* metrics, const Tracer* trace) {
+                       const Registry* metrics, const Tracer* trace,
+                       const HostTime* host) {
   JsonWriter w;
   ReportMeta m = meta;
   if (m.bench.empty()) m.bench = bench_;
-  write_run_json(w, m, stats, metrics, trace);
+  write_run_json(w, m, stats, metrics, trace, host);
   runs_.push_back(w.take());
 }
 
@@ -338,9 +355,11 @@ bool collect_runs(const JsonValue& report, std::vector<RunView>& out,
     error = "not a scalegraph run report (missing schema_version)";
     return false;
   }
-  if (static_cast<int>(ver->number) != kReportSchemaVersion) {
+  const int schema = static_cast<int>(ver->number);
+  if (schema < kReportMinSchemaVersion || schema > kReportSchemaVersion) {
     error = "schema_version mismatch: report has " +
             format_double(ver->number) + ", tool understands " +
+            std::to_string(kReportMinSchemaVersion) + ".." +
             std::to_string(kReportSchemaVersion);
     return false;
   }
@@ -361,8 +380,7 @@ bool collect_runs(const JsonValue& report, std::vector<RunView>& out,
 
 void diff_metric(const std::string& run_label, const std::string& metric,
                  const char* path, const JsonValue& base,
-                 const JsonValue& cur, const DiffOptions& opts,
-                 DiffResult& out) {
+                 const JsonValue& cur, double threshold, DiffResult& out) {
   const JsonValue* b = base.find(path);
   const JsonValue* c = cur.find(path);
   if (b == nullptr || c == nullptr) return;
@@ -373,7 +391,7 @@ void diff_metric(const std::string& run_label, const std::string& metric,
   item.current = c->num_or(0.0);
   if (item.baseline != 0.0) {
     item.rel_delta = (item.current - item.baseline) / item.baseline;
-    item.regressed = item.current > item.baseline * (1.0 + opts.threshold);
+    item.regressed = item.current > item.baseline * (1.0 + threshold);
   } else {
     item.rel_delta = item.current == 0.0 ? 0.0 : 1.0;
     item.regressed = item.current > 0.0;
@@ -405,12 +423,23 @@ DiffResult diff_reports(const JsonValue& baseline, const JsonValue& current,
       continue;
     }
     diff_metric(b.label, "total_time_s", "stats.total_time_s", *b.run,
-                *match->run, opts, res);
-    diff_metric(b.label, "total_volume_bytes",
-                "stats.comm.total_volume_bytes", *b.run, *match->run, opts,
+                *match->run, opts.band_or("total_time_s", opts.threshold),
                 res);
+    diff_metric(b.label, "total_volume_bytes",
+                "stats.comm.total_volume_bytes", *b.run, *match->run,
+                opts.band_or("total_volume_bytes", opts.threshold), res);
     diff_metric(b.label, "global_rounds", "stats.global_rounds", *b.run,
-                *match->run, opts, res);
+                *match->run, opts.band_or("global_rounds", opts.threshold),
+                res);
+    // Host wall time is nondeterministic; compare it only when the
+    // caller opted in via rel_tolerance or an explicit band, so plain
+    // simulated-time diffs never flake on machine noise.
+    const double host_tol =
+        opts.band_or("host_wall_ms", opts.rel_tolerance);
+    if (host_tol >= 0.0) {
+      diff_metric(b.label, "host_wall_ms", "host_time.host_wall_ms", *b.run,
+                  *match->run, host_tol, res);
+    }
   }
   for (const RunView& c : cur_runs) {
     bool known = false;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/stats.hpp"
@@ -13,9 +14,13 @@
 namespace sg::obs {
 
 /// Version of the run-report JSON schema. Bump when a field is renamed
-/// or its meaning changes; pure additions keep the version (report_diff
-/// refuses to compare across versions).
-inline constexpr int kReportSchemaVersion = 1;
+/// or its meaning changes; pure additions keep the version. v2 added
+/// the opt-in, nondeterministic-marked `host_time` run section.
+inline constexpr int kReportSchemaVersion = 2;
+/// Oldest schema the diff tooling still reads. v1 reports differ from
+/// v2 only by the absence of `host_time`, so committed v1 baselines
+/// keep working.
+inline constexpr int kReportMinSchemaVersion = 1;
 
 /// Identity of one run inside a report. `label` is the diff key —
 /// stable across report generations of the same bench — so keep it a
@@ -31,12 +36,26 @@ struct ReportMeta {
   std::uint64_t seed = 0;
 };
 
+class Profiler;  // obs/prof.hpp
+
+/// Measured host wall-clock data for one run. Opt-in per run: a report
+/// without it is byte-identical to schema v1 output, which is how the
+/// clean-run byte-identity CI contract survives the profiler. All of
+/// it is serialized under a `"nondeterministic":true` marker and never
+/// participates in exact-threshold diffing (see DiffOptions).
+struct HostTime {
+  double host_wall_ms = 0.0;        ///< end-to-end host wall time
+  const Profiler* profiler = nullptr;  ///< optional scoped profile tree
+};
+
 /// Serializes one run (meta + RunStats + optional registry snapshot +
-/// optional trace summary) as a JSON object into `w`.
+/// optional trace summary + optional host wall-clock section) as a
+/// JSON object into `w`.
 void write_run_json(JsonWriter& w, const ReportMeta& meta,
                     const engine::RunStats& stats,
                     const Registry* metrics = nullptr,
-                    const Tracer* trace = nullptr);
+                    const Tracer* trace = nullptr,
+                    const HostTime* host = nullptr);
 
 /// Accumulates runs and serializes them under the versioned report
 /// envelope:
@@ -48,7 +67,8 @@ class ReportWriter {
       : bench_(std::move(bench_name)) {}
 
   void add(const ReportMeta& meta, const engine::RunStats& stats,
-           const Registry* metrics = nullptr, const Tracer* trace = nullptr);
+           const Registry* metrics = nullptr, const Tracer* trace = nullptr,
+           const HostTime* host = nullptr);
 
   [[nodiscard]] std::size_t num_runs() const { return runs_.size(); }
   [[nodiscard]] std::string json() const;
@@ -70,10 +90,26 @@ bool write_report(const std::filesystem::path& path, const ReportMeta& meta,
 // ---- report diffing ------------------------------------------------------
 
 struct DiffOptions {
-  /// Relative regression threshold: metric `m` regressed when
-  /// current > baseline * (1 + threshold) (one-sided — improvements
-  /// never flag).
+  /// Relative regression threshold for the simulated-time metrics:
+  /// metric `m` regressed when current > baseline * (1 + threshold)
+  /// (one-sided — improvements never flag).
   double threshold = 0.05;
+  /// Relative tolerance for the nondeterministic host-time metrics
+  /// (`host_wall_ms`). Negative (the default) skips them entirely, so
+  /// plain diffs over simulated-time fields stay flake-free; CI legs
+  /// that gate host time pass a generous band (e.g. 5.0 = 6x).
+  double rel_tolerance = -1.0;
+  /// Per-metric threshold overrides ("host_wall_ms" -> 8.0). A band
+  /// naming a host-time metric also enables it, like rel_tolerance.
+  std::vector<std::pair<std::string, double>> bands;
+
+  /// Band lookup; falls back to `dflt` when no band names `metric`.
+  [[nodiscard]] double band_or(const std::string& metric,
+                               double dflt) const {
+    for (const auto& [name, tol] : bands)
+      if (name == metric) return tol;
+    return dflt;
+  }
 };
 
 struct DiffItem {

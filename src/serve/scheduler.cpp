@@ -8,7 +8,9 @@
 #include "algo/msbfs.hpp"
 #include "algo/mssssp.hpp"
 #include "algo/ppr_batch.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
+#include "obs/prof.hpp"
 #include "util/hash.hpp"
 
 namespace sg::serve {
@@ -74,6 +76,11 @@ BatchScheduler::BatchScheduler(const partition::DistGraph& dg,
 
 obs::Counter* BatchScheduler::counter(const std::string& name) {
   return cfg_.metrics == nullptr ? nullptr : &cfg_.metrics->counter(name);
+}
+
+obs::FlightRecorder& BatchScheduler::flight() const {
+  return engine_cfg_.flight != nullptr ? *engine_cfg_.flight
+                                       : obs::FlightRecorder::global();
 }
 
 void BatchScheduler::note_queue_depth() {
@@ -214,6 +221,11 @@ void BatchScheduler::admit_until(sim::SimTime now,
       a.completed = now;
       ++report_.rejected;
       ++ts.rejected;
+      flight().record(obs::FlightKind::kServeReject,
+                      static_cast<int>(q.tenant),
+                      static_cast<std::int64_t>(q.id),
+                      static_cast<std::int64_t>(d.reason),
+                      to_string(d.reason), now.seconds());
       if (auto* c = counter("serve.rejected")) c->inc();
       if (auto* c =
               counter("serve.tenant" + std::to_string(q.tenant) + ".rejected"))
@@ -223,6 +235,10 @@ void BatchScheduler::admit_until(sim::SimTime now,
 
     ++report_.admitted;
     ++ts.admitted;
+    flight().record(obs::FlightKind::kServeAdmit, static_cast<int>(q.tenant),
+                    static_cast<std::int64_t>(q.id),
+                    static_cast<std::int64_t>(q.kind), "admit",
+                    now.seconds());
     if (auto* c = counter("serve.admitted")) c->inc();
     if (auto* c =
             counter("serve.tenant" + std::to_string(q.tenant) + ".admitted"))
@@ -242,6 +258,8 @@ void BatchScheduler::admit_until(sim::SimTime now,
 }
 
 void BatchScheduler::dispatch_batch(std::vector<Answer>& answers) {
+  const auto dispatch_scope =
+      obs::Profiler::global().scope("serve.dispatch_batch");
   // Deadline-aware dispatch order: priority class first (0 most
   // urgent), earliest absolute deadline within a class, query id as
   // the deterministic tie-breaker.
@@ -411,7 +429,7 @@ std::vector<Answer> BatchScheduler::run(std::span<const Query> queries) {
   return answers;
 }
 
-std::string BatchScheduler::report_json() const {
+std::string BatchScheduler::report_json(double host_wall_ms) const {
   const ResultCache::Stats& cs = cache_.stats();
   obs::JsonWriter w;
   w.begin_object();
@@ -468,6 +486,19 @@ std::string BatchScheduler::report_json() const {
     w.end_object();
   }
   w.end_array();
+  if (host_wall_ms >= 0.0) {
+    // Measured wall time of the whole trace replay on this machine —
+    // marked nondeterministic so byte-identity tooling knows to stop at
+    // the `tenants` array (the default omits this section entirely).
+    w.key("host").begin_object();
+    w.kv("nondeterministic", true);
+    w.kv("wall_ms", host_wall_ms);
+    w.kv("queries_per_sec",
+         host_wall_ms > 0.0
+             ? static_cast<double>(report_.served) / (host_wall_ms / 1e3)
+             : 0.0);
+    w.end_object();
+  }
   w.end_object();
   return w.take();
 }

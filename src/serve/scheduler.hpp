@@ -147,8 +147,11 @@ class BatchScheduler {
   }
   [[nodiscard]] std::uint64_t graph_epoch() const { return cfg_.graph_epoch; }
 
-  /// Schema-versioned, byte-deterministic JSON serving report.
-  [[nodiscard]] std::string report_json() const;
+  /// Schema-versioned, byte-deterministic JSON serving report. Passing
+  /// a non-negative `host_wall_ms` appends a `"nondeterministic":true`
+  /// `host` section (measured wall time + queries/sec); the default
+  /// keeps the report byte-identical to earlier versions.
+  [[nodiscard]] std::string report_json(double host_wall_ms = -1.0) const;
 
  private:
   struct Pending {
@@ -168,6 +171,9 @@ class BatchScheduler {
 
   void note_queue_depth();
   [[nodiscard]] obs::Counter* counter(const std::string& name);
+  /// Flight recorder serve events land in (the engine config's, else
+  /// the process-wide one — same fallback the executor uses).
+  [[nodiscard]] obs::FlightRecorder& flight() const;
 
   const partition::DistGraph& dg_;
   const comm::SyncStructure& sync_;

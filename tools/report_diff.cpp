@@ -5,7 +5,14 @@
 // --json swaps the text table for a machine-readable document (same
 // exit-code contract).
 //
-//   report_diff baseline.json current.json [--threshold 0.05] [--json]
+// --rel-tolerance F additionally compares the nondeterministic
+// host_time.host_wall_ms metric under its own (generous) band; without
+// it host time is never diffed, so simulated-time gating stays
+// flake-free. --band metric=F (repeatable) overrides the threshold of
+// one metric by name — naming host_wall_ms also enables it.
+//
+//   report_diff baseline.json current.json [--threshold 0.05]
+//               [--rel-tolerance 5.0] [--band host_wall_ms=8.0] [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,7 +26,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> "
-               "[--threshold FRACTION] [--json]\n",
+               "[--threshold FRACTION] [--rel-tolerance FRACTION] "
+               "[--band METRIC=FRACTION]... [--json]\n",
                argv0);
 }
 
@@ -29,6 +37,14 @@ void print_json(const sg::obs::DiffResult& res,
   w.begin_object();
   w.kv("report_diff_schema", 1);
   w.kv("threshold", opts.threshold);
+  if (opts.rel_tolerance >= 0.0) {
+    w.kv("rel_tolerance", opts.rel_tolerance);
+  }
+  if (!opts.bands.empty()) {
+    w.key("bands").begin_object();
+    for (const auto& [name, tol] : opts.bands) w.kv(name.c_str(), tol);
+    w.end_object();
+  }
   w.kv("regressions", res.regressions());
   w.key("items").begin_array();
   for (const auto& item : res.items) {
@@ -65,6 +81,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rel-tolerance") == 0) {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.rel_tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--band") == 0) {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "report_diff: --band expects METRIC=FRACTION, "
+                             "got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      opts.bands.emplace_back(spec.substr(0, eq),
+                              std::atof(spec.c_str() + eq + 1));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
@@ -90,8 +127,12 @@ int main(int argc, char** argv) {
     return res.regressions() > 0 || !res.missing_runs.empty() ? 1 : 0;
   }
 
-  std::printf("report_diff: baseline=%s current=%s threshold=%.1f%%\n",
+  std::printf("report_diff: baseline=%s current=%s threshold=%.1f%%",
               paths[0].c_str(), paths[1].c_str(), opts.threshold * 100.0);
+  if (opts.rel_tolerance >= 0.0) {
+    std::printf(" rel_tolerance=%.1f%%", opts.rel_tolerance * 100.0);
+  }
+  std::printf("\n");
   std::size_t compared = 0;
   for (const auto& item : res.items) {
     ++compared;

@@ -4,7 +4,11 @@
 // over a scenario matrix (benchmark x partition policy x BSP/BASP x
 // device count), runs each against a fault-free oracle of the same
 // scenario, and on any divergence greedily shrinks the plan to a
-// minimal reproducer serialized as replayable JSON.
+// minimal reproducer serialized as replayable JSON. Every reproducer
+// gets a black-box companion `<stem>_flight.json` — the engine's flight
+// recorder (round transitions, fault injections, wire anomalies, audit
+// verdicts, evictions) dumped at failure time; read it with
+// `sg_explain --flight`.
 //
 // With --gray the harness soaks the gray-failure stack instead:
 // plans contain only degradation faults (device compute slowdown,
@@ -110,6 +114,7 @@
 #include "integrity/audit.hpp"
 #include "fw/dirgl.hpp"
 #include "graph/generators.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "partition/policy.hpp"
 #include "sim/cost_params.hpp"
@@ -416,6 +421,26 @@ void write_reproducer(const std::filesystem::path& path, const Scenario& s,
   out.put('\n');
 }
 
+/// Black-box companion of a reproducer: dumps the process-wide flight
+/// recorder (which the failing runs just fed) next to `repro_path` as
+/// `<stem>_flight.json`, then clears the ring so the next scenario's
+/// dump holds only its own events. Returns the dump path (empty string
+/// on I/O failure).
+std::string dump_flight(const std::filesystem::path& repro_path) {
+  std::filesystem::path dump = repro_path;
+  dump.replace_extension();
+  dump += "_flight.json";
+  obs::FlightRecorder& rec = obs::FlightRecorder::global();
+  const bool ok = rec.dump(dump, "chaos_failure", /*include_wall=*/true);
+  rec.clear();
+  if (!ok) {
+    std::fprintf(stderr, "sg_chaos: FAILED to write flight dump %s\n",
+                 dump.string().c_str());
+    return {};
+  }
+  return dump.string();
+}
+
 std::vector<Scenario> scenario_matrix(bool smoke) {
   using partition::Policy;
   const std::vector<fw::Benchmark> benches = {
@@ -702,6 +727,10 @@ int do_gray(const Options& opt) {
                        opt.shrink ? &shrink_stats : nullptr, &gr);
       std::printf("       reproducer: %s (replay with --replay)\n",
                   repro.string().c_str());
+      const std::string fdump = dump_flight(repro);
+      if (!fdump.empty()) {
+        std::printf("       flight dump: %s\n", fdump.c_str());
+      }
       if (!opt.keep_going) {
         std::printf("sg_chaos: stopping at first failure "
                     "(--keep-going to continue)\n");
@@ -1011,6 +1040,10 @@ int do_sdc(const Options& opt) {
                        opt.shrink ? &shrink_stats : nullptr, nullptr, &sr);
       std::printf("       reproducer: %s (replay with --replay)\n",
                   repro.string().c_str());
+      const std::string fdump = dump_flight(repro);
+      if (!fdump.empty()) {
+        std::printf("       flight dump: %s\n", fdump.c_str());
+      }
       if (!opt.keep_going) {
         std::printf("sg_chaos: stopping at first failure "
                     "(--keep-going to continue)\n");
@@ -1224,6 +1257,10 @@ int do_serve(const Options& opt) {
                        nullptr, /*serve=*/true);
       std::printf("       reproducer: %s (replay with --replay)\n",
                   repro.string().c_str());
+      const std::string fdump = dump_flight(repro);
+      if (!fdump.empty()) {
+        std::printf("       flight dump: %s\n", fdump.c_str());
+      }
       if (!opt.keep_going) {
         std::printf("sg_chaos: stopping at first failure "
                     "(--keep-going to continue)\n");
@@ -1641,6 +1678,10 @@ int main(int argc, char** argv) {
                        opt.shrink ? &shrink_stats : nullptr);
       std::printf("       reproducer: %s (replay with --replay)\n",
                   repro.string().c_str());
+      const std::string fdump = dump_flight(repro);
+      if (!fdump.empty()) {
+        std::printf("       flight dump: %s\n", fdump.c_str());
+      }
       if (!opt.keep_going) {
         std::printf("sg_chaos: stopping at first failure "
                     "(--keep-going to continue)\n");

@@ -7,7 +7,14 @@
 // rule-based tuning hints. Output is deterministic: identical traces
 // give byte-identical reports.
 //
+// --flight switches to black-box mode: the positional file is a flight
+// recorder dump (written by sg_chaos next to its reproducers, by the
+// engine's abort hook, or on demand via $SG_FLIGHT_DUMP) and sg_explain
+// renders the event timeline plus a per-kind summary instead of a
+// critical-path report.
+//
 //   sg_explain <trace.json> [--json] [--top K]
+//   sg_explain --flight <dump.json> [--json]
 //
 // Exit codes: 0 = report written, 2 = usage / I/O / schema error.
 #include <cstdio>
@@ -15,15 +22,124 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "obs/critpath.hpp"
+#include "obs/flight.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s <trace.json> [--json] [--top K]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s <trace.json> [--json] [--top K]\n"
+               "       %s --flight <dump.json> [--json]\n",
+               argv0, argv0);
+}
+
+/// Renders a flight-recorder dump as a deterministic event table (text)
+/// or a summary document (--json). Returns the process exit code.
+int render_flight(const std::string& path, const std::string& text,
+                  bool json) {
+  sg::obs::JsonValue doc;
+  try {
+    doc = sg::obs::parse_json(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sg_explain: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  const sg::obs::JsonValue* schema = doc.find("sg_flight_schema");
+  if (schema == nullptr ||
+      static_cast<int>(schema->num_or(-1)) != sg::obs::kFlightSchemaVersion) {
+    std::fprintf(stderr,
+                 "sg_explain: %s: not a flight dump (sg_flight_schema %d "
+                 "expected)\n",
+                 path.c_str(), sg::obs::kFlightSchemaVersion);
+    return 2;
+  }
+  const sg::obs::JsonValue* flight = doc.find("flight");
+  const sg::obs::JsonValue* events = doc.find("flight.events");
+  if (flight == nullptr || !flight->is_object() || events == nullptr ||
+      !events->is_array()) {
+    std::fprintf(stderr, "sg_explain: %s: flight dump has no events array\n",
+                 path.c_str());
+    return 2;
+  }
+  const std::string trigger =
+      doc.find("trigger") != nullptr
+          ? doc.find("trigger")->str_or("(unknown)")
+          : std::string("(unknown)");
+  auto num_field = [&](const char* key, double dflt) {
+    const sg::obs::JsonValue* v = flight->find(key);
+    return v != nullptr ? v->num_or(dflt) : dflt;
+  };
+  const auto capacity = static_cast<std::uint64_t>(num_field("capacity", 0));
+  const auto dropped = static_cast<std::uint64_t>(num_field("dropped", 0));
+  const bool has_wall =
+      !events->array.empty() &&
+      events->array.front().find("wall_ns") != nullptr;
+
+  // Per-kind histogram (name-sorted via std::map, so output order is
+  // deterministic regardless of event order in the dump).
+  std::map<std::string, std::uint64_t> kinds;
+  for (const auto& e : events->array) {
+    const sg::obs::JsonValue* k = e.find("kind");
+    kinds[k != nullptr ? k->str_or("?") : "?"] += 1;
+  }
+
+  if (json) {
+    sg::obs::JsonWriter w;
+    w.begin_object();
+    w.kv("sg_flight_schema", sg::obs::kFlightSchemaVersion);
+    w.kv("trigger", trigger);
+    w.kv("capacity", capacity);
+    w.kv("recorded", static_cast<std::uint64_t>(events->array.size()));
+    w.kv("dropped", dropped);
+    w.key("kinds").begin_object();
+    for (const auto& [name, count] : kinds) w.kv(name.c_str(), count);
+    w.end_object();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::printf("flight dump: %s\n", path.c_str());
+  std::printf("  trigger=%s  events=%zu  capacity=%llu  dropped=%llu\n",
+              trigger.c_str(), events->array.size(),
+              static_cast<unsigned long long>(capacity),
+              static_cast<unsigned long long>(dropped));
+  if (dropped > 0) {
+    std::printf("  (ring wrapped: the %llu oldest events were overwritten)\n",
+                static_cast<unsigned long long>(dropped));
+  }
+  std::printf("  %12s  %-12s %4s  %12s  %12s  %s\n", "t_us", "kind", "dev",
+              "a", "b", "detail");
+  for (const auto& e : events->array) {
+    auto field_num = [&](const char* key) {
+      const sg::obs::JsonValue* v = e.find(key);
+      return v != nullptr ? static_cast<long long>(v->num_or(0)) : 0LL;
+    };
+    auto field_str = [&](const char* key) {
+      const sg::obs::JsonValue* v = e.find(key);
+      return v != nullptr ? v->str_or("") : std::string();
+    };
+    std::printf("  %12lld  %-12s %4lld  %12lld  %12lld  %s\n",
+                field_num("t_us"), field_str("kind").c_str(),
+                field_num("device"), field_num("a"), field_num("b"),
+                field_str("detail").c_str());
+  }
+  std::printf("per-kind:");
+  for (const auto& [name, count] : kinds) {
+    std::printf(" %s=%llu", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  if (has_wall) {
+    std::printf("(black-box dump: raw record order, host timestamps "
+                "included)\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -31,10 +147,13 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string path;
   bool json = false;
+  bool flight = false;
   sg::obs::ExplainOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      flight = true;
     } else if (std::strcmp(argv[i], "--top") == 0) {
       if (i + 1 >= argc) {
         usage(argv[0]);
@@ -67,6 +186,10 @@ int main(int argc, char** argv) {
   }
   std::ostringstream ss;
   ss << in.rdbuf();
+
+  if (flight) {
+    return render_flight(path, ss.str(), json);
+  }
 
   sg::obs::TraceView view;
   try {

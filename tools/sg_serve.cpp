@@ -24,6 +24,10 @@
 //   --policy P       partition policy (default CVC)
 //   --async          BASP executor instead of BSP
 //   --report FILE    write the serving report JSON here (default stdout)
+//   --host-time      measure real host wall time around the replay and
+//                    append a nondeterministic-marked `host` section
+//                    (wall_ms + queries_per_sec) to the report; off by
+//                    default so byte-identity CI stays valid
 //   --verify         check every served answer against sequential
 //                    oracles AND assert the batched engine used at
 //                    least --min-speedup fewer sweeps than one run per
@@ -31,6 +35,7 @@
 //   --min-speedup X  sweep-reduction floor for --verify (default 8)
 //
 // Exit codes: 0 = ok, 1 = verification failure, 2 = usage error.
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -79,6 +84,7 @@ struct Options {
   partition::Policy policy = partition::Policy::CVC;
   bool async = false;
   bool verify = false;
+  bool host_time = false;
   double min_speedup = 8.0;
   std::string report_path;
 };
@@ -91,7 +97,7 @@ int usage(const char* argv0) {
                " [--devices N]\n"
                "          [--policy OEC|IEC|HVC|CVC] [--async]"
                " [--report FILE] [--verify]\n"
-               "          [--min-speedup X]\n",
+               "          [--min-speedup X] [--host-time]\n",
                argv0);
   return 2;
 }
@@ -279,6 +285,8 @@ int main(int argc, char** argv) {
       opt.report_path = v;
     } else if (a == "--verify") {
       opt.verify = true;
+    } else if (a == "--host-time") {
+      opt.host_time = true;
     } else if (a == "--min-speedup") {
       const char* v = need_value("--min-speedup");
       if (v == nullptr) return 2;
@@ -307,7 +315,12 @@ int main(int argc, char** argv) {
   opt.serve.record_batches = opt.verify;
   serve::BatchScheduler sched(prep.dist, prep.sync, topo, params, engine_cfg,
                               opt.serve);
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<serve::Answer> answers = sched.run(trace);
+  const double host_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
 
   const serve::ServeReport& rep = sched.report();
   const serve::ResultCache::Stats& cs = sched.cache_stats();
@@ -330,7 +343,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(cs.evictions), rep.p50_latency_us,
       rep.p99_latency_us, rep.deadline_hit_ratio);
 
-  const std::string report = sched.report_json();
+  if (opt.host_time) {
+    std::printf("sg_serve: host wall %.1f ms (%.0f queries/sec)\n",
+                host_wall_ms,
+                host_wall_ms > 0.0
+                    ? static_cast<double>(rep.served) / (host_wall_ms / 1e3)
+                    : 0.0);
+  }
+  const std::string report =
+      sched.report_json(opt.host_time ? host_wall_ms : -1.0);
   if (opt.report_path.empty()) {
     std::printf("%s\n", report.c_str());
   } else {

@@ -57,7 +57,7 @@ const graph::Csr& serve_graph() {
     s.communities = 4;
     s.symmetric = true;
     s.seed = 11;
-    return graph::add_random_weights(graph::synthetic(s), 1, 64, 11);
+    return graph::add_symmetric_weights(graph::synthetic(s), 1, 64, 11);
   }();
   return g;
 }

@@ -1,0 +1,262 @@
+// Ablation A12: overload-hardened serving — what the brownout /
+// reshard / lifecycle layers buy when the offered load exceeds what the
+// resident shards can serve. A11 measured the economics of batching
+// under admission-shaped load; this ablation deliberately overdrives
+// the same serving stack and compares two schedulers on identical
+// traces:
+//
+//  * off — the plain PR-8 scheduler: admission and batching only. Under
+//    overload it has exactly one relief valve (token-bucket + queue
+//    rejections), so queued urgent queries stall behind doomed ones and
+//    the priority-0 deadline-hit ratio collapses first.
+//  * armed — brownout degradation (cache/landmark answers tagged
+//    degraded, then deterministic priority-weighted shedding), elastic
+//    tenant resharding across 2 shard homes, and the fault-tolerant
+//    query lifecycle (explicit expiry of hopeless queries, retry
+//    against a fault-free twin, hedged re-dispatch of stragglers).
+//
+// The sweep drives the offered-rate multiplier x {1, 2, 4, 8} over the
+// serving capacity knee. The table reports where the load went
+// (served / degraded / shed / timeouts), the reshard migrations, the
+// brownout peak tier, and the deadline-hit ratio of priority class 0
+// next to the overall ratio. The bench self-checks the contract the
+// chaos soak asserts under faults: at every factor the armed
+// scheduler's priority-0 deadline-hit ratio is no worse than the
+// unarmed one's — degrading and shedding deprioritized traffic must
+// never cost the urgent class. Everything is seeded and simulated, so
+// reports are byte-deterministic.
+//
+// `--smoke` runs the fixed x4 pair and writes
+// BENCH_abl12_serve_overload_smoke.json for report_diff regression
+// guarding against bench/baselines/abl12_serve_overload_smoke_baseline
+// .json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+using namespace sg;
+
+/// Same social-style graph sg_serve replays against: symmetric
+/// communities with pair-hashed weights, the shape the degraded tier's
+/// landmark triangle bound is sound on.
+const graph::Csr& serve_graph() {
+  static const graph::Csr g = [] {
+    graph::SyntheticSpec s;
+    s.vertices = 2048;
+    s.edges = 12000;
+    s.zipf_out = 0.6;
+    s.zipf_in = 0.6;
+    s.communities = 4;
+    s.symmetric = true;
+    s.seed = 11;
+    return graph::add_symmetric_weights(graph::synthetic(s), 1, 64, 11);
+  }();
+  return g;
+}
+
+/// Open-loop trace shaped like sg_chaos --serve-overload: a source pool
+/// wider than the per-home cache (the cold phase never ends), tight
+/// deadline slack, Zipf-heavy tenant 0.
+serve::WorkloadSpec overload_workload(double factor) {
+  serve::WorkloadSpec spec;
+  spec.num_queries = 700;
+  spec.num_tenants = 4;
+  spec.arrival_rate_qps = 60000.0 * factor;
+  spec.tenant_skew = 1.2;
+  spec.source_skew = 0.7;
+  spec.source_pool = 320;
+  spec.bfs_frac = 0.55;
+  spec.khop_frac = 0.15;
+  spec.ppr_frac = 0.0;
+  spec.priorities = 3;
+  spec.deadline_slack_lo_ms = 0.5;
+  spec.deadline_slack_hi_ms = 8.0;
+  return spec;
+}
+
+serve::ServeConfig overload_cfg(bool armed, obs::Registry* metrics) {
+  serve::ServeConfig cfg;
+  cfg.max_queue_depth = 256;
+  cfg.default_limits = {.rate_qps = 1e6, .burst = 1024.0, .max_queued = 256};
+  cfg.dist_cache_capacity = 192;
+  cfg.ppr_cache_capacity = 64;
+  cfg.metrics = metrics;
+  if (armed) {
+    cfg.brownout.enabled = true;
+    // Tighter than the controller defaults (which are tuned for the
+    // fault-stretched batches of the chaos soak): fault-free overload
+    // builds queue pressure more gradually, so the bench arms the
+    // controller the way an operator sizing for this capacity would.
+    cfg.brownout.score_on = 0.55;
+    cfg.brownout.score_off = 0.25;
+    cfg.brownout.sustain_evals = 1;
+    cfg.lifecycle.enabled = true;
+    cfg.reshard.enabled = true;
+    cfg.reshard.num_homes = 2;
+    cfg.reshard.imbalance_on = 1.3;
+    cfg.reshard.imbalance_off = 1.1;
+  }
+  return cfg;
+}
+
+engine::RunStats aggregate(const serve::BatchScheduler& sched, int devices) {
+  engine::RunStats agg;
+  agg.total_time = sched.report().makespan;
+  agg.global_rounds =
+      static_cast<std::uint32_t>(sched.report().engine_sweeps);
+  agg.compute_time.resize(devices);
+  agg.device_comm_time.resize(devices);
+  agg.wait_time.resize(devices);
+  agg.work_items.assign(devices, 0);
+  agg.rounds.assign(devices, 0);
+  agg.peak_memory.assign(devices, 0);
+  for (const engine::RunStats& s : sched.engine_stats()) {
+    agg.comm += s.comm;
+    for (int d = 0; d < devices; ++d) {
+      const auto i = static_cast<std::size_t>(d);
+      if (i < s.compute_time.size()) agg.compute_time[i] += s.compute_time[i];
+      if (i < s.device_comm_time.size()) {
+        agg.device_comm_time[i] += s.device_comm_time[i];
+      }
+      if (i < s.wait_time.size()) agg.wait_time[i] += s.wait_time[i];
+      if (i < s.work_items.size()) agg.work_items[i] += s.work_items[i];
+      if (i < s.rounds.size()) agg.rounds[i] += s.rounds[i];
+      if (i < s.peak_memory.size()) {
+        agg.peak_memory[i] = std::max(agg.peak_memory[i], s.peak_memory[i]);
+      }
+    }
+  }
+  return agg;
+}
+
+std::string fmt_pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", x * 100.0);
+  return buf;
+}
+
+/// Priority-0 deadline-hit ratio, or -1 when the class never served.
+double p0_hit(const serve::ServeReport& rep) {
+  if (rep.by_priority.empty() || rep.by_priority[0].served == 0) return -1.0;
+  return static_cast<double>(rep.by_priority[0].deadline_met) /
+         static_cast<double>(rep.by_priority[0].served);
+}
+
+struct Cell {
+  double p0 = -1.0;
+};
+
+Cell run_cell(bench::ReportLog& report, const fw::Prepared& prep,
+              const sim::Topology& topo, const sim::CostParams& params,
+              const engine::EngineConfig& engine_cfg, double factor,
+              bool armed, int devices, bench::Table& table) {
+  const std::vector<serve::Query> trace = serve::generate_workload(
+      overload_workload(factor), serve_graph().num_vertices());
+  obs::Registry metrics;
+  serve::BatchScheduler sched(prep.dist, prep.sync, topo, params, engine_cfg,
+                              overload_cfg(armed, &metrics));
+  (void)sched.run(trace);
+  const serve::ServeReport& rep = sched.report();
+
+  char cfg_name[48];
+  std::snprintf(cfg_name, sizeof cfg_name, "x%.0f+%s", factor,
+                armed ? "armed" : "off");
+  report.add("serve-overload", "social2048", "sg-serve", cfg_name, devices,
+             aggregate(sched, devices), &metrics);
+
+  const std::uint64_t shed = rep.rejected_by_reason[static_cast<std::size_t>(
+      serve::RejectReason::kBrownoutShed)];
+  char f[16];
+  std::snprintf(f, sizeof f, "x%.0f", factor);
+  const double p0 = p0_hit(rep);
+  table.add_row({f, armed ? "armed" : "off", std::to_string(rep.served),
+                 std::to_string(rep.degraded_served), std::to_string(shed),
+                 std::to_string(rep.lifecycle.timeouts),
+                 std::to_string(rep.reshard_migrations),
+                 std::to_string(rep.brownout_peak_tier),
+                 p0 >= 0.0 ? fmt_pct(p0) : "-",
+                 fmt_pct(rep.deadline_hit_ratio)});
+  return {p0};
+}
+
+int run_sweep(bench::ReportLog& report, const std::vector<double>& factors,
+              int devices) {
+  const graph::Csr& g = serve_graph();
+  const fw::Prepared prep = fw::prepare(g, partition::Policy::CVC, devices);
+  const sim::Topology topo = bench::bridges(devices);
+  const sim::CostParams params = sim::CostParams::for_scaled_datasets();
+  const engine::EngineConfig engine_cfg =
+      engine::make_variant(engine::Variant::kVar3);
+
+  std::printf(
+      "== offered-rate multiplier x {off, armed} (700 queries, %d GPUs, "
+      "CVC) ==\n",
+      devices);
+  bench::Table table({"Factor", "Layers", "Served", "Degraded", "Shed",
+                      "Timeouts", "Migr", "PeakTier", "P0Hit", "AllHit"});
+  int rc = 0;
+  for (const double factor : factors) {
+    const Cell off = run_cell(report, prep, topo, params, engine_cfg, factor,
+                              false, devices, table);
+    const Cell armed = run_cell(report, prep, topo, params, engine_cfg,
+                                factor, true, devices, table);
+    // The soak's margin contract, fault-free: arming the overload
+    // layers must never cost the urgent class its deadline-hit ratio.
+    if (off.p0 >= 0.0 && armed.p0 >= 0.0 && armed.p0 + 1e-9 < off.p0) {
+      std::printf(
+          "  FAIL x%.0f: armed p0 deadline-hit %.3f < unarmed %.3f\n",
+          factor, armed.p0, off.p0);
+      rc = 1;
+    }
+  }
+  table.print();
+  std::printf("\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf(
+      "Ablation A12: overload-hardened serving. Drives the offered rate\n"
+      "past the serving capacity knee and compares the plain scheduler\n"
+      "against one with brownout + resharding + lifecycle armed; the\n"
+      "priority-0 deadline-hit margin is self-checked every factor.\n\n");
+
+  if (smoke) {
+    // Fixed x4 pair for CI: writes BENCH_abl12_serve_overload_smoke.json
+    // (into $SG_BENCH_REPORT_DIR when set), diffed against
+    // bench/baselines/abl12_serve_overload_smoke_baseline.json by
+    // report_diff.
+    bench::ReportLog report("abl12_serve_overload_smoke");
+    const int rc = run_sweep(report, {4.0}, 4);
+    if (rc != 0) return rc;
+    if (!report.write()) return 1;
+    std::printf("smoke: %zu run(s)\n", report.num_runs());
+    return 0;
+  }
+
+  bench::ReportLog report("abl12_serve_overload");
+  const int rc = run_sweep(report, {1.0, 2.0, 4.0, 8.0}, 4);
+  if (rc != 0) return rc;
+  report.write();
+  return 0;
+}

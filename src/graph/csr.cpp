@@ -128,6 +128,31 @@ Csr add_random_weights(const Csr& g, Weight lo, Weight hi,
              std::move(w)};
 }
 
+Csr add_symmetric_weights(const Csr& g, Weight lo, Weight hi,
+                          std::uint64_t seed) {
+  if (lo > hi) throw std::invalid_argument("add_symmetric_weights: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  std::vector<Weight> w(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId e = g.offsets()[u]; e < g.offsets()[u + 1]; ++e) {
+      const VertexId v = g.dsts()[e];
+      const std::uint64_t a = std::min(u, v);
+      const std::uint64_t b = std::max(u, v);
+      // splitmix64-style scramble of (seed, min, max): both directions
+      // of an undirected pair land on the same weight.
+      std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                        (b * 0xbf58476d1ce4e5b9ULL);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      w[e] = static_cast<Weight>(lo + static_cast<Weight>(x % span));
+    }
+  }
+  return Csr{{g.offsets().begin(), g.offsets().end()},
+             {g.dsts().begin(), g.dsts().end()},
+             std::move(w)};
+}
+
 bool weakly_connected(const Csr& g) {
   const VertexId n = g.num_vertices();
   if (n == 0) return true;

@@ -81,6 +81,15 @@ class Csr {
 [[nodiscard]] Csr add_random_weights(const Csr& g, Weight lo, Weight hi,
                                      std::uint64_t seed);
 
+/// Like add_random_weights, but the weight of each edge is a hash of
+/// its *undirected* endpoint pair, so on a symmetric graph w(u,v) ==
+/// w(v,u) and weighted distances are symmetric too. The serving
+/// layer's landmark triangle bound d(s,t) <= d(l,s) + d(l,t) is only
+/// sound on such graphs — per-directed-edge random weights break it
+/// even when the adjacency is symmetric.
+[[nodiscard]] Csr add_symmetric_weights(const Csr& g, Weight lo, Weight hi,
+                                        std::uint64_t seed);
+
 /// True iff the underlying undirected graph is connected.
 [[nodiscard]] bool weakly_connected(const Csr& g);
 

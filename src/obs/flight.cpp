@@ -25,6 +25,9 @@ const char* to_string(FlightKind k) noexcept {
     case FlightKind::kCheckpoint: return "checkpoint";
     case FlightKind::kServeAdmit: return "serve_admit";
     case FlightKind::kServeReject: return "serve_reject";
+    case FlightKind::kServeBrownout: return "serve_brownout";
+    case FlightKind::kServeReshard: return "serve_reshard";
+    case FlightKind::kServeRetry: return "serve_retry";
     case FlightKind::kCertificate: return "certificate";
     case FlightKind::kAbort: return "abort";
     case FlightKind::kNote: return "note";

@@ -32,6 +32,9 @@ enum class FlightKind : std::uint8_t {
   kCheckpoint,       ///< checkpoint taken
   kServeAdmit,       ///< serve-layer query batch admitted
   kServeReject,      ///< serve-layer query rejected
+  kServeBrownout,    ///< serve-layer brownout tier transition
+  kServeReshard,     ///< serve-layer tenant state migrated across homes
+  kServeRetry,       ///< serve-layer batch retried / hedged
   kCertificate,      ///< final-audit certificate verdict
   kAbort,            ///< engine aborted (exception unwinding run())
   kNote,             ///< free-form breadcrumb

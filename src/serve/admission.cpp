@@ -27,9 +27,21 @@ TokenBucket& AdmissionController::bucket(std::uint32_t tenant) {
 
 AdmissionDecision AdmissionController::admit(const Query& q,
                                              std::uint32_t queue_depth,
-                                             std::uint32_t tenant_depth) {
+                                             std::uint32_t tenant_depth,
+                                             sim::SimTime est_service) {
   const TenantLimits& lim = limits(q.tenant);
   AdmissionDecision d;
+  if (est_service > sim::SimTime::zero() &&
+      q.deadline < q.arrival + est_service) {
+    d.admitted = false;
+    d.reason = RejectReason::kDeadlineInfeasible;
+    d.detail = "deadline " +
+               obs::format_double((q.deadline - q.arrival).millis()) +
+               " ms slack below the " +
+               obs::format_double(est_service.millis()) +
+               " ms estimated service floor";
+    return d;
+  }
   if (queue_depth >= max_queue_depth_) {
     d.admitted = false;
     d.reason = RejectReason::kQueueFull;

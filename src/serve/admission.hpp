@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "serve/query.hpp"
@@ -43,6 +44,27 @@ class TokenBucket {
     return false;
   }
 
+  /// Full accounting state, trivially copyable so the reshard layer can
+  /// archive it through the checksummed blob substrate and restore it
+  /// bit-exactly on the destination home.
+  struct State {
+    double rate = 0.0;
+    double burst = 0.0;
+    double tokens = 0.0;
+    double last_s = 0.0;
+  };
+  static_assert(std::is_trivially_copyable_v<State>);
+
+  [[nodiscard]] State state() const {
+    return {rate_, burst_, tokens_, last_.seconds()};
+  }
+  void restore(const State& s) {
+    rate_ = s.rate;
+    burst_ = s.burst;
+    tokens_ = s.tokens;
+    last_ = sim::SimTime{s.last_s};
+  }
+
  private:
   double rate_;
   double burst_;
@@ -67,12 +89,26 @@ class AdmissionController {
                       std::uint32_t max_queue_depth);
 
   /// `queue_depth` / `tenant_depth` are the pending counts at the
-  /// decision instant.
-  [[nodiscard]] AdmissionDecision admit(const Query& q,
-                                        std::uint32_t queue_depth,
-                                        std::uint32_t tenant_depth);
+  /// decision instant. A positive `est_service` arms the deadline
+  /// feasibility gate: a query whose absolute deadline precedes
+  /// arrival + est_service can never be served in time and is rejected
+  /// up front (kDeadlineInfeasible) instead of wasting a queue slot.
+  [[nodiscard]] AdmissionDecision admit(
+      const Query& q, std::uint32_t queue_depth, std::uint32_t tenant_depth,
+      sim::SimTime est_service = sim::SimTime::zero());
 
   [[nodiscard]] const TenantLimits& limits(std::uint32_t tenant) const;
+
+  /// Reshard support: token-bucket accounting travels with the tenant.
+  /// export_bucket materializes the bucket (creating it at its limits
+  /// if the tenant was never seen) so the serialized state is always
+  /// well-defined; import_bucket restores it bit-exactly.
+  [[nodiscard]] TokenBucket::State export_bucket(std::uint32_t tenant) {
+    return bucket(tenant).state();
+  }
+  void import_bucket(std::uint32_t tenant, const TokenBucket::State& s) {
+    bucket(tenant).restore(s);
+  }
 
  private:
   TokenBucket& bucket(std::uint32_t tenant);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "partition/blob_io.hpp"
 #include "serve/query.hpp"
 
 namespace sg::serve {
@@ -23,6 +24,12 @@ namespace sg::serve {
 /// invalidations. Eviction is deterministic LRU on a logical access
 /// tick. Keys use std::map so iteration (and therefore eviction
 /// tie-breaking and stats) is platform-independent.
+///
+/// Entries carry the tenant whose query inserted them (`owner`), which
+/// the elastic resharding layer uses to migrate a tenant's working set
+/// between shard homes: extract_tenant() archives and removes one
+/// owner's entries, absorb() replays the archive into another cache —
+/// bit-exact by construction (the row bytes round-trip untouched).
 class ResultCache {
  public:
   struct Stats {
@@ -31,6 +38,15 @@ class ResultCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::uint64_t invalidations = 0;  ///< entries dropped by epoch bump
+
+    Stats& operator+=(const Stats& o) {
+      hits += o.hits;
+      misses += o.misses;
+      insertions += o.insertions;
+      evictions += o.evictions;
+      invalidations += o.invalidations;
+      return *this;
+    }
   };
 
   ResultCache(std::uint32_t dist_capacity, std::uint32_t ppr_capacity)
@@ -45,20 +61,43 @@ class ResultCache {
       graph::VertexId seed, double alpha, double eps, std::uint64_t epoch);
 
   void put_bfs(graph::VertexId source, std::uint64_t epoch,
-               std::vector<std::uint32_t> dist);
+               std::vector<std::uint32_t> dist, std::uint32_t owner = 0);
   void put_sssp(graph::VertexId source, std::uint64_t epoch,
-                std::vector<std::uint64_t> dist);
+                std::vector<std::uint64_t> dist, std::uint32_t owner = 0);
   void put_ppr(graph::VertexId seed, double alpha, double eps,
-               std::uint64_t epoch, std::vector<ScoredVertex> ranked);
+               std::uint64_t epoch, std::vector<ScoredVertex> ranked,
+               std::uint32_t owner = 0);
+
+  /// Brownout degraded answers: the tightest landmark triangle-
+  /// inequality upper bound min_l d(l,s) + d(l,t) over the cached
+  /// landmark rows of `epoch` (valid on symmetric graphs, where
+  /// d(l,s) = d(s,l)). kUnreachable when no cached landmark reaches
+  /// both endpoints. Read-only: neither LRU recency nor hit/miss stats
+  /// move, so arming brownout cannot perturb cache accounting.
+  [[nodiscard]] std::uint64_t hop_bound(graph::VertexId s, graph::VertexId t,
+                                        std::uint64_t epoch) const;
+  [[nodiscard]] std::uint64_t sssp_bound(graph::VertexId s, graph::VertexId t,
+                                         std::uint64_t epoch) const;
 
   /// Drops every entry whose epoch differs from `current_epoch`.
   void invalidate_stale(std::uint64_t current_epoch);
+
+  /// Archives every entry owned by `owner` into `w` (deterministic key
+  /// order) and removes them from this cache. The archive starts with
+  /// per-compartment counts so absorb() can replay it without a schema.
+  void extract_tenant(std::uint32_t owner, partition::ByteWriter& w);
+  /// Replays an extract_tenant() archive into this cache: entries keep
+  /// their key, epoch, owner, and exact row bytes, gain fresh LRU
+  /// recency here, and evict LRU overflow against this cache's budget.
+  void absorb(partition::ByteReader& r);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t dist_entries() const {
     return bfs_.size() + sssp_.size();
   }
   [[nodiscard]] std::size_t ppr_entries() const { return ppr_.size(); }
+  /// Entries owned by `owner` across all compartments.
+  [[nodiscard]] std::size_t owned_entries(std::uint32_t owner) const;
 
  private:
   template <typename V>
@@ -66,6 +105,7 @@ class ResultCache {
     V value;
     std::uint64_t epoch = 0;
     std::uint64_t tick = 0;  ///< last-access order (LRU)
+    std::uint32_t owner = 0;  ///< tenant whose query inserted the entry
   };
 
   struct PprKey {

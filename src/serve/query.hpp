@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -56,11 +57,17 @@ struct Query {
 
 enum class RejectReason : std::uint8_t {
   kNone,
-  kRateLimited,      ///< tenant token bucket empty
-  kQueueFull,        ///< global admission queue at capacity
-  kTenantQueueFull,  ///< per-tenant queued share at capacity
-  kUnknownVertex,    ///< source/target outside the graph
+  kRateLimited,         ///< tenant token bucket empty
+  kQueueFull,           ///< global admission queue at capacity
+  kTenantQueueFull,     ///< per-tenant queued share at capacity
+  kUnknownVertex,       ///< source/target outside the graph
+  kDeadlineInfeasible,  ///< deadline unmeetable (lifecycle timeout)
+  kBrownoutShed,        ///< shed by the brownout overload controller
+  kEngineFailed,        ///< engine runs exhausted the retry budget
 };
+
+/// Number of RejectReason values (kNone included), for breakdown arrays.
+inline constexpr std::size_t kRejectReasonCount = 8;
 
 [[nodiscard]] inline const char* to_string(RejectReason r) {
   switch (r) {
@@ -74,6 +81,12 @@ enum class RejectReason : std::uint8_t {
       return "tenant-queue-full";
     case RejectReason::kUnknownVertex:
       return "unknown-vertex";
+    case RejectReason::kDeadlineInfeasible:
+      return "deadline-infeasible";
+    case RejectReason::kBrownoutShed:
+      return "brownout-shed";
+    case RejectReason::kEngineFailed:
+      return "engine-failed";
   }
   return "?";
 }
@@ -105,6 +118,11 @@ struct Answer {
   std::uint64_t khop_digest = 0;          ///< FNV-1a of the member set
 
   bool from_cache = false;
+  /// True when the brownout controller answered approximately (landmark
+  /// triangle-inequality upper bound) instead of running the engine.
+  /// Provenance, not payload: a degraded s-t distance is an upper bound
+  /// on the exact answer, never a different answer family.
+  bool degraded = false;
   sim::SimTime completed;
   bool deadline_met = true;
 

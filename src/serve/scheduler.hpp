@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -11,16 +12,21 @@
 #include "obs/metrics.hpp"
 #include "partition/dist_graph.hpp"
 #include "serve/admission.hpp"
+#include "serve/brownout.hpp"
 #include "serve/cache.hpp"
+#include "serve/lifecycle.hpp"
 #include "serve/query.hpp"
+#include "serve/reshard.hpp"
 #include "sim/cost_params.hpp"
 #include "sim/topology.hpp"
 
 namespace sg::serve {
 
 /// Serving-report schema version (bumped on any report_json() layout
-/// change).
-inline constexpr int kServeReportVersion = 1;
+/// change). v2 added the rejection-reason breakdown, per-priority
+/// deadline accounting, and the nonzero-gated brownout / reshard /
+/// lifecycle sections.
+inline constexpr int kServeReportVersion = 2;
 
 /// Knobs for one BatchScheduler instance.
 struct ServeConfig {
@@ -35,7 +41,8 @@ struct ServeConfig {
   std::vector<TenantLimits> tenant_limits;
   /// bfs and sssp distance rows share this budget; size it for the
   /// expected landmark working set of BOTH families or the cold phase
-  /// thrashes (a 2048-vertex sssp row is 16 KiB — still cheap).
+  /// thrashes (a 2048-vertex sssp row is 16 KiB — still cheap). With
+  /// resharding enabled the budget is split evenly across shard homes.
   std::uint32_t dist_cache_capacity = 512;
   std::uint32_t ppr_cache_capacity = 256;
   /// Shared PPR parameters — queries only carry (seed, k), so every
@@ -47,6 +54,12 @@ struct ServeConfig {
   std::uint64_t graph_epoch = 0;
   /// Keep a BatchRecord per engine run (sg_serve --verify replays them).
   bool record_batches = false;
+  /// Overload robustness layer (DESIGN.md §16). Every policy defaults
+  /// to disabled and the armed-but-idle machinery is nonzero-gated, so
+  /// the default dispatch path and its report stay byte-identical.
+  BrownoutPolicy brownout;
+  ReshardPolicy reshard;
+  LifecyclePolicy lifecycle;
   /// SLO metrics sink. Metrics are registered lazily at event time
   /// only, so a scheduler that never serves a query registers nothing
   /// (batch-mode run reports stay byte-identical; same nonzero-gating
@@ -60,18 +73,33 @@ struct TenantStats {
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t served = 0;
+  std::uint64_t degraded = 0;  ///< served via brownout approximation
   std::uint64_t deadline_met = 0;
+  std::array<std::uint64_t, kRejectReasonCount> rejected_by_reason{};
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+};
+
+/// Per-priority-class serving outcome (index = priority, 0 most
+/// urgent) — the brownout SLO margin is judged on class 0.
+struct PriorityStats {
+  std::uint64_t served = 0;
+  std::uint64_t deadline_met = 0;
 };
 
 /// Aggregate serving outcome across every run() call.
 struct ServeReport {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
+  /// Every query that did not get a full or degraded answer: admission
+  /// rejections plus post-admission lifecycle expiries, brownout
+  /// shedding, and retry-exhausted batches. Zero silent drops: every
+  /// submitted query is exactly one of served or rejected-with-reason.
   std::uint64_t rejected = 0;
+  std::array<std::uint64_t, kRejectReasonCount> rejected_by_reason{};
   std::uint64_t served = 0;
   std::uint64_t served_from_cache = 0;
+  std::uint64_t degraded_served = 0;  ///< tagged degraded:true
   std::uint64_t engine_runs = 0;
   /// Sum of global rounds across engine runs — the "sweeps" the
   /// batching is meant to compress (>= 8x fewer than unbatched at
@@ -84,6 +112,15 @@ struct ServeReport {
   double deadline_hit_ratio = 0.0;  ///< met deadlines / served
   sim::SimTime makespan;            ///< clock when the last answer left
   std::vector<TenantStats> tenants;
+  std::vector<PriorityStats> by_priority;
+  /// Brownout controller outcome.
+  std::uint64_t brownout_transitions = 0;
+  int brownout_peak_tier = 0;
+  /// Elastic resharding outcome.
+  std::uint64_t reshard_migrations = 0;
+  std::uint64_t reshard_bytes = 0;
+  /// Query-lifecycle outcome (timeouts / retries / hedges).
+  LifecycleStats lifecycle;
 };
 
 /// One fused engine run, for offline verification.
@@ -116,8 +153,24 @@ struct BatchRecord {
 ///
 /// Batch completion advances the clock by the run's simulated time;
 /// per-lane result arrays feed the landmark/PPR caches so repeat
-/// sources are served without the engine. Everything is deterministic:
-/// same trace, same graph, same config => byte-identical report_json().
+/// sources are served without the engine.
+///
+/// Three optional robustness layers hook the dispatch boundary
+/// (DESIGN.md §16), all deterministic and default-off:
+///
+///  * brownout — a hysteretic overload controller sheds load in
+///    descending tiers (full answers -> cache/landmark answers tagged
+///    degraded -> priority-weighted rejection) with per-tenant
+///    fairness;
+///  * reshard — per-tenant load EWMAs drive migration of serving state
+///    (cache slice + token-bucket accounting) across shard homes
+///    through a checksummed blob, bit-exact by construction;
+///  * lifecycle — queued queries past their deadline expire explicitly,
+///    failed engine runs retry with backoff against a fault-free twin,
+///    and straggling batches hedge a duplicate dispatch.
+///
+/// Everything is deterministic: same trace, same graph, same config =>
+/// byte-identical report_json().
 class BatchScheduler {
  public:
   BatchScheduler(const partition::DistGraph& dg,
@@ -135,9 +188,9 @@ class BatchScheduler {
   void bump_epoch();
 
   [[nodiscard]] const ServeReport& report() const { return report_; }
-  [[nodiscard]] const ResultCache::Stats& cache_stats() const {
-    return cache_.stats();
-  }
+  /// Cache outcome aggregated across shard homes (one home unless
+  /// resharding is enabled).
+  [[nodiscard]] ResultCache::Stats cache_stats() const;
   [[nodiscard]] const std::vector<BatchRecord>& batches() const {
     return batches_;
   }
@@ -146,6 +199,12 @@ class BatchScheduler {
     return engine_stats_;
   }
   [[nodiscard]] std::uint64_t graph_epoch() const { return cfg_.graph_epoch; }
+  [[nodiscard]] const BrownoutController& brownout() const {
+    return brownout_;
+  }
+  [[nodiscard]] const ReshardManager& resharder() const { return reshard_; }
+  /// The shard-home cache `tenant`'s queries are served from.
+  [[nodiscard]] const ResultCache& cache_of(std::uint32_t tenant) const;
 
   /// Schema-versioned, byte-deterministic JSON serving report. Passing
   /// a non-negative `host_wall_ms` appends a `"nondeterministic":true`
@@ -162,12 +221,34 @@ class BatchScheduler {
   void admit_until(sim::SimTime now, std::span<const Query> queries,
                    std::size_t& next, std::vector<Answer>& answers);
   void dispatch_batch(std::vector<Answer>& answers);
-  /// Answers `p` from the cache; false when the needed entry is absent.
+  /// Answers `p` from its home cache; false when the entry is absent.
   bool try_serve_from_cache(const Pending& p, Answer& a);
+  /// Brownout tier >= 1 approximation: landmark triangle bound for s-t
+  /// queries. False when no cached landmark covers both endpoints.
+  bool try_serve_degraded(const Pending& p, Answer& a);
   void finish_answer(const Pending& p, Answer& a, sim::SimTime completed,
                      bool from_cache);
+  /// Post-admission rejection (expiry / shed / engine failure): the
+  /// query was admitted but never served; counted into the rejection
+  /// breakdown so no query is ever silently dropped.
+  void reject_answer(const Pending& p, Answer& a, RejectReason reason,
+                     std::string detail);
+  void note_rejection(std::uint32_t tenant, std::uint64_t id,
+                      RejectReason reason);
   void answer_from_dist(const Query& q, std::span<const std::uint32_t> dist,
                         Answer& a) const;
+  /// Applies lifecycle expiry and brownout shedding/degrading to the
+  /// sorted queue at a dispatch boundary; removed entries are answered
+  /// or rejected in place.
+  void apply_overload_controls(std::vector<Answer>& answers);
+  /// Executes at most one serving-state migration at this safe batch
+  /// boundary (charging the simulated transfer time).
+  void maybe_reshard();
+
+  [[nodiscard]] ResultCache& cache_for(std::uint32_t tenant);
+  [[nodiscard]] std::uint32_t home_for(std::uint32_t tenant) const;
+  /// Fault-free twin config retries and hedges re-dispatch against.
+  [[nodiscard]] engine::EngineConfig fallback_cfg() const;
 
   void note_queue_depth();
   [[nodiscard]] obs::Counter* counter(const std::string& name);
@@ -183,7 +264,11 @@ class BatchScheduler {
   ServeConfig cfg_;
 
   AdmissionController admission_;
-  ResultCache cache_;
+  std::vector<ResultCache> caches_;  ///< one per shard home
+  BrownoutController brownout_;
+  ReshardManager reshard_;
+  BatchTimeEstimate batch_est_;
+  std::uint64_t engine_attempts_ = 0;  ///< lifetime attempts (fail hook)
   sim::SimTime clock_;
   std::vector<Pending> queue_;
   std::vector<std::uint32_t> tenant_depth_;  ///< queued per tenant

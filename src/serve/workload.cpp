@@ -1,47 +1,57 @@
 #include "serve/workload.hpp"
 
 #include <cmath>
-#include <cstddef>
-
-#include "sim/rng.hpp"
 
 namespace sg::serve {
 
-namespace {
-
-/// Deterministic Zipf sampler over [0, n): cumulative weights
-/// w_i = 1 / (i+1)^s inverted by a uniform draw.
-class Zipf {
- public:
-  Zipf(std::size_t n, double s) {
-    cdf_.reserve(n);
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
-      cdf_.push_back(total);
-    }
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) n = 1;
+  std::vector<double> weight(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += weight[i];
   }
-
-  [[nodiscard]] std::size_t sample(sim::Rng& rng) const {
-    if (cdf_.empty()) return 0;
-    const double u = rng.uniform() * cdf_.back();
-    std::size_t lo = 0, hi = cdf_.size() - 1;
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (cdf_[mid] < u) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+  // Vose's construction: scale every probability by n, then pair each
+  // under-full column with an over-full donor so all n columns hold
+  // exactly one unit. Worklists are filled in ascending index order
+  // and drained LIFO — fully deterministic, no float-order ambiguity
+  // beyond the IEEE arithmetic itself.
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) alias_[i] = i;
+  std::vector<double> scaled(n);
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weight[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
   }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s_col = small.back();
+    small.pop_back();
+    const std::size_t l_col = large.back();
+    large.pop_back();
+    prob_[s_col] = scaled[s_col];
+    alias_[s_col] = l_col;
+    scaled[l_col] = (scaled[l_col] + scaled[s_col]) - 1.0;
+    (scaled[l_col] < 1.0 ? small : large).push_back(l_col);
+  }
+  // Leftovers (either list) sit within rounding of 1: accept always.
+  for (const std::size_t i : large) prob_[i] = 1.0;
+  for (const std::size_t i : small) prob_[i] = 1.0;
+}
 
- private:
-  std::vector<double> cdf_;
-};
-
-}  // namespace
+std::size_t ZipfSampler::sample(sim::Rng& rng) const {
+  // One uniform draw serves as both the column pick (integer part of
+  // u*n) and the accept/alias coin (fractional part) — the standard
+  // one-draw alias sampling discipline.
+  const double u = rng.uniform() * static_cast<double>(prob_.size());
+  std::size_t col = static_cast<std::size_t>(u);
+  if (col >= prob_.size()) col = prob_.size() - 1;  // u == n edge
+  const double frac = u - static_cast<double>(col);
+  return frac < prob_[col] ? col : alias_[col];
+}
 
 std::vector<Query> generate_workload(const WorkloadSpec& spec,
                                      std::uint32_t num_vertices) {
@@ -55,9 +65,9 @@ std::vector<Query> generate_workload(const WorkloadSpec& spec,
     v = static_cast<graph::VertexId>(rng.bounded(num_vertices));
   }
 
-  const Zipf tenant_dist(spec.num_tenants > 0 ? spec.num_tenants : 1,
-                         spec.tenant_skew);
-  const Zipf source_dist(pool.size(), spec.source_skew);
+  const ZipfSampler tenant_dist(spec.num_tenants > 0 ? spec.num_tenants : 1,
+                                spec.tenant_skew);
+  const ZipfSampler source_dist(pool.size(), spec.source_skew);
 
   std::vector<Query> out;
   out.reserve(spec.num_queries);

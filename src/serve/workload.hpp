@@ -1,11 +1,34 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "serve/query.hpp"
+#include "sim/rng.hpp"
 
 namespace sg::serve {
+
+/// Deterministic Zipf sampler over [0, n) with weights
+/// w_i = 1 / (i+1)^s, built as a Vose alias table: O(n) construction,
+/// O(1) samples, and exactly one rng.uniform() draw per sample (the
+/// draw picks the column and the accept/alias coin at once). Pinned by
+/// a golden-values test — any change to the construction or the draw
+/// discipline shifts every workload trace and must be deliberate.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(sim::Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  /// Acceptance threshold / alias target of one column (test access).
+  [[nodiscard]] double prob(std::size_t i) const { return prob_[i]; }
+  [[nodiscard]] std::size_t alias(std::size_t i) const { return alias_[i]; }
+
+ private:
+  std::vector<double> prob_;        ///< scaled acceptance probability
+  std::vector<std::size_t> alias_;  ///< fallback column on rejection
+};
 
 /// Seeded synthetic multi-tenant workload: open-loop Poisson arrivals on
 /// the simulated clock, Zipf-skewed tenants and sources, a fixed query

@@ -29,6 +29,8 @@
 #include "helpers.hpp"
 #include "integrity/audit.hpp"
 #include "partition/partition_io.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -719,6 +721,167 @@ TEST(Validation, DetectsMalformedStructures) {
   EXPECT_TRUE(graph::validate(dup));
   EXPECT_FALSE(graph::validate(dup, true, false, /*forbid_duplicates=*/true));
 }
+
+// ---- overload-schedule fuzzing ------------------------------------------
+//
+// The serving layer's overload contract, over random arrival schedules
+// and random armings of the three robustness layers: every submitted
+// query is exactly one of served / rejected-with-reason (zero silent
+// drops), every non-degraded served answer is bit-exact against the
+// sequential references, every degraded answer is a sound upper bound,
+// and the whole perturbed run replays byte-identically.
+
+class OverloadServeFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+/// Symmetric pair-hashed-weight community graph — the shape the
+/// landmark triangle bound (degraded tier) is sound on.
+const graph::Csr& overload_fuzz_graph() {
+  static const graph::Csr g = [] {
+    graph::SyntheticSpec s;
+    s.vertices = 400;
+    s.edges = 3000;
+    s.zipf_out = 0.6;
+    s.zipf_in = 0.6;
+    s.communities = 3;
+    s.symmetric = true;
+    s.seed = 19;
+    return graph::add_symmetric_weights(graph::synthetic(s), 1, 64, 19);
+  }();
+  return g;
+}
+
+TEST_P(OverloadServeFuzz, ConservationSoundnessAndReplayUnderRandomLoad) {
+  sim::Rng rng{GetParam() * 2477 + 11};
+  const auto& g = overload_fuzz_graph();
+  test::PreparedGraph prep(g, partition::Policy::CVC, 4);
+  const auto t = test::topo(4);
+  const auto p = test::params();
+  const auto c = test::cfg(rng.chance(0.5) ? engine::ExecModel::kSync
+                                           : engine::ExecModel::kAsync);
+
+  serve::WorkloadSpec spec;
+  spec.seed = GetParam() * 97 + 3;
+  spec.num_queries = 160;
+  spec.num_tenants = 2 + static_cast<std::uint32_t>(rng.bounded(4));
+  spec.arrival_rate_qps = 5000.0 * std::pow(4.0, rng.uniform() * 3.0);
+  spec.tenant_skew = 0.4 + rng.uniform();
+  spec.source_skew = 0.4 + rng.uniform();
+  spec.source_pool = 24 + static_cast<std::uint32_t>(rng.bounded(200));
+  spec.bfs_frac = 0.5;
+  spec.khop_frac = 0.2;
+  spec.ppr_frac = 0.0;  // accumulator family: covered by its own suites
+  spec.priorities = 1 + static_cast<std::uint32_t>(rng.bounded(3));
+  spec.deadline_slack_lo_ms = 0.2 + rng.uniform();
+  spec.deadline_slack_hi_ms = 2.0 + 10.0 * rng.uniform();
+  const auto trace = serve::generate_workload(spec, g.num_vertices());
+
+  serve::ServeConfig sc;
+  sc.batch_width = 8 + static_cast<std::uint32_t>(rng.bounded(57));
+  sc.max_queue_depth = 32 + static_cast<std::uint32_t>(rng.bounded(225));
+  sc.dist_cache_capacity = 64 + static_cast<std::uint32_t>(rng.bounded(192));
+  sc.default_limits = {.rate_qps = 2000.0 + 30000.0 * rng.uniform(),
+                       .burst = 16.0 + 100.0 * rng.uniform(),
+                       .max_queued = 128};
+  if (rng.chance(0.7)) {
+    sc.brownout.enabled = true;
+    sc.brownout.score_on = 0.5 + 0.3 * rng.uniform();
+    sc.brownout.sustain_evals = 1 + static_cast<int>(rng.bounded(2));
+    sc.brownout.cooldown_evals = static_cast<int>(rng.bounded(3));
+  }
+  if (rng.chance(0.7)) {
+    sc.reshard.enabled = true;
+    sc.reshard.num_homes = 2 + static_cast<std::uint32_t>(rng.bounded(2));
+    sc.reshard.imbalance_on = 1.1 + 0.4 * rng.uniform();
+    sc.reshard.imbalance_off = 1.05;
+    sc.reshard.sustain_evals = 1;
+    sc.reshard.cooldown_evals = static_cast<int>(rng.bounded(3));
+  }
+  if (rng.chance(0.7)) {
+    sc.lifecycle.enabled = true;
+    sc.lifecycle.max_retries = static_cast<std::uint32_t>(rng.bounded(3));
+    sc.lifecycle.hedge = rng.chance(0.5);
+    if (rng.chance(0.3)) sc.lifecycle.fail_attempts = 1;  // transient fail
+  }
+
+  serve::BatchScheduler sched(prep.dist, prep.sync, t, p, c, sc);
+  const auto answers = sched.run(trace);
+  const auto& rep = sched.report();
+  ASSERT_EQ(answers.size(), trace.size());
+  EXPECT_EQ(rep.submitted, trace.size());
+  EXPECT_EQ(rep.served + rep.rejected, rep.submitted);  // zero silent drops
+
+  std::map<graph::VertexId, std::vector<std::uint32_t>> bfs;
+  std::map<graph::VertexId, std::vector<std::uint64_t>> sssp;
+  auto bfs_of = [&](graph::VertexId s) -> const std::vector<std::uint32_t>& {
+    auto it = bfs.find(s);
+    if (it == bfs.end()) it = bfs.emplace(s, algo::reference::bfs(g, s)).first;
+    return it->second;
+  };
+  auto sssp_of = [&](graph::VertexId s) -> const std::vector<std::uint64_t>& {
+    auto it = sssp.find(s);
+    if (it == sssp.end()) {
+      it = sssp.emplace(s, algo::reference::sssp(g, s)).first;
+    }
+    return it->second;
+  };
+
+  std::uint64_t reasons = 0;
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    const auto& q = trace[i];
+    const auto& a = answers[i];
+    if (!a.served) {
+      EXPECT_NE(a.reject_reason, serve::RejectReason::kNone) << i;
+      ++reasons;
+      continue;
+    }
+    if (a.degraded) {
+      // Sound upper bound on a distance kind, never a different family.
+      ASSERT_TRUE(q.kind == serve::QueryKind::kBfsDist ||
+                  q.kind == serve::QueryKind::kSsspDist)
+          << i;
+      const std::uint64_t truth =
+          q.kind == serve::QueryKind::kBfsDist
+              ? static_cast<std::uint64_t>(bfs_of(q.source)[q.target])
+              : sssp_of(q.source)[q.target];
+      ASSERT_NE(a.distance, serve::kUnreachable) << i;
+      EXPECT_GE(a.distance, truth) << "unsound degraded bound, query " << i;
+      continue;
+    }
+    switch (q.kind) {
+      case serve::QueryKind::kBfsDist: {
+        const std::uint32_t d = bfs_of(q.source)[q.target];
+        const std::uint64_t want =
+            d == algo::kInfDist ? serve::kUnreachable : d;
+        EXPECT_EQ(a.distance, want) << i;
+        break;
+      }
+      case serve::QueryKind::kSsspDist:
+        EXPECT_EQ(a.distance, sssp_of(q.source)[q.target]) << i;
+        break;
+      case serve::QueryKind::kKhopCount: {
+        const auto& dist = bfs_of(q.source);
+        std::uint64_t count = 0;
+        for (const auto d : dist) {
+          if (d <= q.k) ++count;
+        }
+        EXPECT_EQ(a.khop_count, count) << i;
+        break;
+      }
+      case serve::QueryKind::kPprTopK:
+        ADD_FAILURE() << "ppr query in a ppr-free trace, query " << i;
+        break;
+    }
+  }
+  EXPECT_EQ(rep.rejected, reasons);
+
+  // The whole perturbed schedule replays byte-identically.
+  serve::BatchScheduler twin(prep.dist, prep.sync, t, p, c, sc);
+  (void)twin.run(trace);
+  EXPECT_EQ(twin.report_json(), sched.report_json());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverloadServeFuzz,
+                         testing::Range<std::uint64_t>(1, 17));
 
 }  // namespace
 }  // namespace sg

@@ -50,8 +50,30 @@
 // re-homable, so loss recovery must be exact per lane). Failing plans
 // shrink to reproducers tagged "serve": true.
 //
+// With --serve-overload the harness soaks the full serving scheduler
+// under compound stress: a 4x-overload multi-tenant trace replayed
+// through serve::BatchScheduler with the robustness layer armed
+// (brownout + elastic resharding + fault-tolerant lifecycle) while a
+// seeded plan injects device losses and gray degradations into the
+// fused engine runs. Per scenario the oracle contract is:
+//   1. zero silently-dropped queries — every submitted query is
+//      exactly one of served or rejected-with-reason;
+//   2. every non-degraded served answer bit-exact against sequential
+//      reference oracles;
+//   3. every degraded answer tagged degraded:true AND a sound finite
+//      upper bound on the true distance;
+//   4. the resilient run serves at least a floor fraction of admitted
+//      queries (the check --inject-defect proves has teeth);
+//   5. the top-priority deadline-hit ratio is no worse than a
+//      brownout-off twin replaying the same trace under the same plan.
+// Failing plans shrink to reproducers tagged "overload": true with
+// flight black boxes, replayable like any other. --inject-defect
+// arms a lifecycle defect (every engine attempt fails, zero retries)
+// so the soak MUST fail check 4 — the harness's self-test.
+//
 // Usage:
-//   sg_chaos [--smoke] [--gray] [--sdc] [--serve] [--chaos-seed N]
+//   sg_chaos [--smoke] [--gray] [--sdc] [--serve] [--serve-overload]
+//            [--chaos-seed N]
 //            [--seeds N] [--no-shrink] [--inject-defect] [--keep-going]
 //            [--recovery-margin X] [--out-dir DIR]
 //   sg_chaos --replay FILE
@@ -61,6 +83,9 @@
 //   --sdc            silent-data-corruption soak (bit flips + auditor)
 //   --serve          serving-layer soak (batched msbfs vs unbatched
 //                    oracles under device loss)
+//   --serve-overload full-scheduler overload soak (brownout + reshard
+//                    + lifecycle vs unbatched oracles under loss and
+//                    gray degradation at 4x overload)
 //   --recovery-margin X
 //                    override the per-kind recovery margin (gray mode)
 //   --chaos-seed N   base seed for plan generation (default 1)
@@ -106,6 +131,7 @@
 
 #include "algo/bfs.hpp"
 #include "algo/msbfs.hpp"
+#include "algo/reference.hpp"
 #include "comm/sync_structure.hpp"
 #include "engine/config.hpp"
 #include "fault/chaos.hpp"
@@ -117,8 +143,11 @@
 #include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "partition/policy.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
 #include "sim/cost_params.hpp"
 #include "sim/topology.hpp"
+#include "util/hash.hpp"
 
 namespace {
 
@@ -170,6 +199,7 @@ struct Options {
   bool gray = false;
   bool sdc = false;
   bool serve = false;
+  bool serve_overload = false;
   std::uint64_t seed = 1;
   int seeds_per_scenario = -1;  // -1: 1 for smoke, 2 for full
   bool shrink = true;
@@ -376,11 +406,21 @@ struct SdcRepro {
   int interval = 1;  ///< audit interval the failing triple ran with
 };
 
+/// What a failing --serve-overload case needs to replay exactly: the
+/// workload trace is regenerated from (workload_seed, factor), and
+/// `defect` re-arms the lifecycle self-test defect.
+struct OverloadRepro {
+  std::uint64_t workload_seed = 42;
+  double factor = 4.0;
+  bool defect = false;
+};
+
 void write_reproducer(const std::filesystem::path& path, const Scenario& s,
                       bool wire_protocol, const fault::FaultPlan& plan,
                       const Outcome& o, const fault::ShrinkStats* shrink,
                       const GrayRepro* gray = nullptr,
-                      const SdcRepro* sdc = nullptr, bool serve = false) {
+                      const SdcRepro* sdc = nullptr, bool serve = false,
+                      const OverloadRepro* overload = nullptr) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("sg_chaos_schema", 1);
@@ -402,6 +442,12 @@ void write_reproducer(const std::filesystem::path& path, const Scenario& s,
   }
   if (serve) {
     w.kv("serve", true);
+  }
+  if (overload != nullptr) {
+    w.kv("overload", true);
+    w.kv("workload_seed", overload->workload_seed);
+    w.kv("overload_factor", overload->factor);
+    w.kv("defect", overload->defect);
   }
   w.kv("failure", o.kind);
   w.kv("detail", o.detail);
@@ -1273,11 +1319,442 @@ int do_serve(const Options& opt) {
   return failures > 0 ? 1 : 0;
 }
 
+// ---- serve-overload soak (--serve-overload) ------------------------------
+
+/// The scheduler soak's own graph: symmetric (so the brownout landmark
+/// triangle bound is sound) with community structure and randomized
+/// sssp weights — the chaos_graph() is asymmetric and unusable here.
+const graph::Csr& overload_graph() {
+  static const graph::Csr g = [] {
+    graph::SyntheticSpec s;
+    s.vertices = 1024;
+    s.edges = 8000;
+    s.zipf_out = 0.6;
+    s.zipf_in = 0.6;
+    s.communities = 4;
+    s.symmetric = true;
+    s.seed = 13;
+    return graph::add_symmetric_weights(graph::synthetic(s), 1, 64, 13);
+  }();
+  return g;
+}
+
+const fw::Prepared& overload_prepared(partition::Policy policy, int devices) {
+  static std::map<std::string, fw::Prepared> cache;
+  const std::string key = std::string(partition::to_string(policy)) + "/" +
+                          std::to_string(devices);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, fw::prepare(overload_graph(), policy, devices))
+             .first;
+  }
+  return it->second;
+}
+
+/// 4x-overload trace: arrivals far above the fused-batch service rate,
+/// tight deadline slack so the brownout deadline signal and lifecycle
+/// expiry have something to act on. No PPR lanes — accumulator
+/// recovery under device loss is the checkpoint layer's story
+/// (test_fault), and the degraded path only covers distance queries.
+serve::WorkloadSpec overload_workload(std::uint64_t seed, double factor) {
+  serve::WorkloadSpec w;
+  w.num_queries = 700;
+  w.num_tenants = 4;
+  w.arrival_rate_qps = 60000.0 * factor;
+  w.tenant_skew = 1.2;
+  w.source_skew = 0.7;
+  // A source pool wider than the per-home cache budget: the cold
+  // phase never ends, so fused engine runs keep the queue under
+  // pressure for the whole trace instead of collapsing to cache hits.
+  w.source_pool = 320;
+  w.bfs_frac = 0.55;
+  w.khop_frac = 0.15;
+  w.ppr_frac = 0.0;
+  w.deadline_slack_lo_ms = 0.5;
+  w.deadline_slack_hi_ms = 8.0;
+  w.priorities = 3;
+  w.seed = seed;
+  return w;
+}
+
+/// Resilient (or twin / defect) scheduler config for the soak. Token
+/// buckets are left wide open: overload must reach the queue so the
+/// brownout controller — not the admission layer — is what's under
+/// test.
+serve::ServeConfig overload_serve_cfg(bool brownout, bool defect) {
+  serve::ServeConfig c;
+  c.max_queue_depth = 256;
+  c.default_limits = {.rate_qps = 1e6, .burst = 1024.0, .max_queued = 256};
+  c.dist_cache_capacity = 192;
+  c.ppr_cache_capacity = 64;
+  c.brownout.enabled = brownout && !defect;
+  c.lifecycle.enabled = true;
+  c.reshard.enabled = true;
+  c.reshard.num_homes = 2;
+  // 4 tenants over 2 homes: the Zipf-1.2 head puts ~1.34x the mean on
+  // home 0 — above this soak threshold, below the production default.
+  c.reshard.imbalance_on = 1.3;
+  c.reshard.imbalance_off = 1.1;
+  if (defect) {
+    // The self-test defect: every engine attempt fails and nothing
+    // retries, so every queued query collapses to kEngineFailed and
+    // the serve-floor check below MUST trip.
+    c.lifecycle.fail_attempts = 1000000;
+    c.lifecycle.max_retries = 0;
+  }
+  return c;
+}
+
+/// Served-fraction floor for the resilient leg (check 4): even at 4x
+/// overload with a device lost, brownout answers or explicitly rejects
+/// — it never collapses below this fraction of admitted queries.
+constexpr double kOverloadServeFloor = 0.5;
+
+/// Memoized sequential oracles over the overload graph.
+class ServeOracle {
+ public:
+  const std::vector<std::uint32_t>& bfs(graph::VertexId s) {
+    auto it = bfs_.find(s);
+    if (it == bfs_.end()) {
+      it = bfs_.emplace(s, algo::reference::bfs(overload_graph(), s)).first;
+    }
+    return it->second;
+  }
+  const std::vector<std::uint64_t>& sssp(graph::VertexId s) {
+    auto it = sssp_.find(s);
+    if (it == sssp_.end()) {
+      it = sssp_.emplace(s, algo::reference::sssp(overload_graph(), s)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<graph::VertexId, std::vector<std::uint32_t>> bfs_;
+  std::map<graph::VertexId, std::vector<std::uint64_t>> sssp_;
+};
+
+/// Checks one answer of the overload trace (contract items 1-3).
+std::string overload_answer_check(const serve::Query& q,
+                                  const serve::Answer& a,
+                                  ServeOracle& oracle) {
+  if (!a.served) {
+    if (a.reject_reason == serve::RejectReason::kNone) {
+      return "silently dropped: neither served nor rejected-with-reason";
+    }
+    return {};
+  }
+  const std::uint64_t bfs_truth =
+      q.kind == serve::QueryKind::kBfsDist
+          ? (oracle.bfs(q.source)[q.target] == algo::kInfDist
+                 ? serve::kUnreachable
+                 : oracle.bfs(q.source)[q.target])
+          : 0;
+  if (a.degraded) {
+    std::uint64_t truth = serve::kUnreachable;
+    if (q.kind == serve::QueryKind::kBfsDist) {
+      truth = bfs_truth;
+    } else if (q.kind == serve::QueryKind::kSsspDist) {
+      truth = oracle.sssp(q.source)[q.target];
+    } else {
+      return "degraded answer on a non-distance query kind";
+    }
+    if (a.distance == serve::kUnreachable) {
+      return "degraded answer is not a finite bound";
+    }
+    if (truth == serve::kUnreachable || a.distance < truth) {
+      return "degraded bound " + std::to_string(a.distance) +
+             " below true distance " + std::to_string(truth);
+    }
+    return {};
+  }
+  switch (q.kind) {
+    case serve::QueryKind::kBfsDist:
+      if (a.distance != bfs_truth) {
+        return "bfs-dist " + std::to_string(a.distance) + " want " +
+               std::to_string(bfs_truth);
+      }
+      return {};
+    case serve::QueryKind::kSsspDist: {
+      const std::uint64_t want = oracle.sssp(q.source)[q.target];
+      if (a.distance != want) {
+        return "sssp-dist " + std::to_string(a.distance) + " want " +
+               std::to_string(want);
+      }
+      return {};
+    }
+    case serve::QueryKind::kKhopCount: {
+      const auto& dist = oracle.bfs(q.source);
+      std::uint64_t count = 0;
+      std::uint64_t digest = util::kFnv1aOffset;
+      for (graph::VertexId v = 0; v < dist.size(); ++v) {
+        if (dist[v] <= q.k) {
+          ++count;
+          digest = util::fnv1a64_value(v, digest);
+        }
+      }
+      if (a.khop_count != count || a.khop_digest != digest) {
+        return "khop " + std::to_string(a.khop_count) + " want " +
+               std::to_string(count);
+      }
+      return {};
+    }
+    case serve::QueryKind::kPprTopK:
+      return "unexpected ppr answer in the overload trace";
+  }
+  return "unknown query kind";
+}
+
+double p0_hit_ratio(const serve::ServeReport& rep) {
+  if (rep.by_priority.empty() || rep.by_priority[0].served == 0) return -1.0;
+  return static_cast<double>(rep.by_priority[0].deadline_met) /
+         static_cast<double>(rep.by_priority[0].served);
+}
+
+/// Runs one overload case (resilient scheduler + brownout-off twin
+/// under the same trace and plan) and judges the five-point contract.
+/// `out` receives the two reports for logging when non-null.
+Outcome run_overload_case(const Scenario& s, const fault::FaultPlan* plan,
+                          const OverloadRepro& ov,
+                          std::pair<serve::ServeReport,
+                                    serve::ServeReport>* out = nullptr) {
+  const fw::Prepared& prep = overload_prepared(s.policy, s.devices);
+  const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+  const sim::CostParams params = sim::CostParams::for_scaled_datasets();
+  engine::EngineConfig cfg = engine::make_variant(
+      s.model == engine::ExecModel::kSync ? engine::Variant::kVar3
+                                          : engine::Variant::kVar4);
+  cfg.fault_plan = plan;
+  const std::vector<serve::Query> trace = serve::generate_workload(
+      overload_workload(ov.workload_seed, ov.factor),
+      overload_graph().num_vertices());
+
+  const auto replay = [&](bool brownout) {
+    serve::BatchScheduler sched(prep.dist, prep.sync, topo, params, cfg,
+                                overload_serve_cfg(brownout, ov.defect));
+    std::vector<serve::Answer> answers = sched.run(trace);
+    return std::pair<std::vector<serve::Answer>, serve::ServeReport>(
+        std::move(answers), sched.report());
+  };
+
+  try {
+    const auto [answers, rep] = replay(/*brownout=*/true);
+    const auto [twin_answers, twin_rep] = replay(/*brownout=*/false);
+    if (out != nullptr) *out = {rep, twin_rep};
+
+    // 1-3: conservation, bit-exactness, degraded-bound soundness.
+    ServeOracle oracle;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const std::string err =
+          overload_answer_check(trace[i], answers[i], oracle);
+      if (!err.empty()) {
+        return {"overload-answer",
+                "query " + std::to_string(trace[i].id) + " (tenant " +
+                    std::to_string(trace[i].tenant) + "): " + err};
+      }
+    }
+    if (rep.served + rep.rejected != rep.submitted) {
+      return {"overload-conservation",
+              "served " + std::to_string(rep.served) + " + rejected " +
+                  std::to_string(rep.rejected) + " != submitted " +
+                  std::to_string(rep.submitted)};
+    }
+    // 4: the resilient leg must keep serving (the self-test defect
+    // collapses this on purpose).
+    if (rep.admitted > 0 &&
+        static_cast<double>(rep.served) <
+            kOverloadServeFloor * static_cast<double>(rep.admitted)) {
+      return {"overload-serve-floor",
+              "served " + std::to_string(rep.served) + " of " +
+                  std::to_string(rep.admitted) + " admitted (floor " +
+                  obs::format_double(kOverloadServeFloor) + ")"};
+    }
+    // 5: brownout must not cost top-priority deadline hits vs the
+    // brownout-off twin under identical trace + faults.
+    const double hit = p0_hit_ratio(rep);
+    const double twin_hit = p0_hit_ratio(twin_rep);
+    if (!ov.defect && hit >= 0.0 && twin_hit >= 0.0 &&
+        hit + 1e-9 < twin_hit) {
+      std::ostringstream d;
+      d << "priority-0 deadline-hit " << hit << " with brownout vs "
+        << twin_hit << " without";
+      return {"overload-p0-regression", d.str()};
+    }
+    return {};
+  } catch (const std::exception& e) {
+    return {"run-error", std::string("exception: ") + e.what()};
+  }
+}
+
+/// Overload soak matrix: the robustness layer hooks the dispatch
+/// boundary, whose behaviour varies with the replication structure and
+/// exec model — benchmark is fixed (the scheduler picks its own
+/// programs).
+std::vector<Scenario> overload_matrix(bool smoke) {
+  using partition::Policy;
+  const std::vector<Policy> policies =
+      smoke ? std::vector<Policy>{Policy::OEC, Policy::CVC}
+            : std::vector<Policy>{Policy::OEC, Policy::IEC, Policy::HVC,
+                                  Policy::CVC};
+  std::vector<Scenario> out;
+  for (const auto p : policies) {
+    for (const auto m :
+         {engine::ExecModel::kSync, engine::ExecModel::kAsync}) {
+      out.push_back({fw::Benchmark::kBfs, p, m, 4});
+    }
+  }
+  return out;
+}
+
+/// Loss + gray degradation only: each fused engine run replays the
+/// plan on its own local clock, so the horizon is one batch's
+/// duration, not the trace makespan.
+fault::ChaosSpec overload_spec(const Scenario& s, int num_hosts,
+                               sim::SimTime horizon) {
+  fault::ChaosSpec spec;
+  spec.num_devices = s.devices;
+  spec.num_hosts = num_hosts;
+  spec.horizon = horizon;
+  spec.allow_drop = false;
+  spec.allow_corrupt = false;
+  spec.allow_duplicate = false;
+  spec.allow_reorder = false;
+  spec.allow_partition = false;
+  spec.allow_straggler = false;
+  spec.allow_loss = true;
+  spec.allow_degrade = true;
+  spec.min_events = 1;
+  spec.max_events = 2;
+  return spec;
+}
+
+int do_serve_overload(const Options& opt) {
+  const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
+                    : opt.smoke                ? 1
+                                               : 2;
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+  const std::vector<Scenario> scenarios = overload_matrix(opt.smoke);
+  std::printf("sg_chaos --serve-overload: %zu scenarios x %d plan(s), "
+              "defect %s, base seed %llu\n",
+              scenarios.size(), seeds,
+              opt.inject_defect ? "ARMED (--inject-defect)" : "off",
+              static_cast<unsigned long long>(opt.seed));
+  int failures = 0;
+  int runs = 0;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    const Scenario& s = scenarios[si];
+    const sim::Topology topo = sim::Topology::bridges(s.devices, kMemScale);
+    // Horizon probe: one fault-free batch over the widest lane set
+    // gives the per-run clock window plan events must land inside.
+    sim::SimTime horizon;
+    try {
+      const fw::Prepared& prep = overload_prepared(s.policy, s.devices);
+      const sim::CostParams params = sim::CostParams::for_scaled_datasets();
+      const engine::EngineConfig cfg = engine::make_variant(
+          s.model == engine::ExecModel::kSync ? engine::Variant::kVar3
+                                              : engine::Variant::kVar4);
+      std::vector<graph::VertexId> lanes;
+      for (graph::VertexId i = 0; i < algo::MsBfsProgram::kMaxSources; ++i) {
+        lanes.push_back((i * 7) % overload_graph().num_vertices());
+      }
+      horizon = algo::run_msbfs(prep.dist, prep.sync, topo, params, cfg,
+                                lanes)
+                    .stats.total_time;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sg_chaos: %s horizon probe threw: %s\n",
+                   label_of(s).c_str(), e.what());
+      return 2;
+    }
+    for (int k = 0; k < seeds; ++k) {
+      const std::uint64_t seed =
+          opt.seed + 1000003ULL * (si + 1) + 7919ULL * k;
+      OverloadRepro ov;
+      ov.workload_seed = 42 + static_cast<std::uint64_t>(k);
+      ov.factor = 4.0;
+      ov.defect = opt.inject_defect;
+      fault::FaultPlan plan;
+      try {
+        plan = fault::random_plan(
+            seed, overload_spec(s, topo.num_hosts(), horizon));
+        plan.validate_or_throw(s.devices, topo.num_hosts());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sg_chaos: plan generation failed: %s\n",
+                     e.what());
+        return 2;
+      }
+      std::pair<serve::ServeReport, serve::ServeReport> reps;
+      const Outcome o = run_overload_case(s, &plan, ov, &reps);
+      ++runs;
+      if (!o.failed()) {
+        const serve::ServeReport& r = reps.first;
+        std::printf(
+            "[ok]   %-24s seed=%-12llu events=%zu served=%llu/%llu "
+            "degraded=%llu shed=%llu retries=%llu hedges=%llu migr=%llu "
+            "tier=%d p0=%.3f (twin %.3f)\n",
+            ("serve-ovl/" + label_of(s)).c_str(),
+            static_cast<unsigned long long>(seed), plan.events.size(),
+            static_cast<unsigned long long>(r.served),
+            static_cast<unsigned long long>(r.submitted),
+            static_cast<unsigned long long>(r.degraded_served),
+            static_cast<unsigned long long>(
+                r.rejected_by_reason[static_cast<std::size_t>(
+                    serve::RejectReason::kBrownoutShed)]),
+            static_cast<unsigned long long>(r.lifecycle.retries),
+            static_cast<unsigned long long>(r.lifecycle.hedges),
+            static_cast<unsigned long long>(r.reshard_migrations),
+            r.brownout_peak_tier, p0_hit_ratio(reps.first),
+            p0_hit_ratio(reps.second));
+        continue;
+      }
+      ++failures;
+      std::printf("[FAIL] %-24s seed=%llu: %s (%s)\n",
+                  ("serve-ovl/" + label_of(s)).c_str(),
+                  static_cast<unsigned long long>(seed), o.kind.c_str(),
+                  o.detail.c_str());
+      fault::FaultPlan minimal = plan;
+      fault::ShrinkStats shrink_stats;
+      if (opt.shrink) {
+        const auto fails = [&](const fault::FaultPlan& cand) {
+          if (!cand.validate(s.devices, topo.num_hosts()).empty()) {
+            return false;
+          }
+          return run_overload_case(s, &cand, ov).kind == o.kind;
+        };
+        minimal = fault::shrink_plan(plan, fails, &shrink_stats);
+        std::printf(
+            "       shrunk %zu -> %zu event(s) in %d probe(s)\n",
+            plan.events.size(), minimal.events.size(), shrink_stats.probes);
+      }
+      const std::filesystem::path repro =
+          std::filesystem::path(opt.out_dir) /
+          ("chaos_repro_overload_" + sanitize(label_of(s)) + "_seed" +
+           std::to_string(seed) + ".json");
+      write_reproducer(repro, s, true, minimal, o,
+                       opt.shrink ? &shrink_stats : nullptr, nullptr,
+                       nullptr, /*serve=*/false, &ov);
+      std::printf("       reproducer: %s (replay with --replay)\n",
+                  repro.string().c_str());
+      const std::string fdump = dump_flight(repro);
+      if (!fdump.empty()) {
+        std::printf("       flight dump: %s\n", fdump.c_str());
+      }
+      if (!opt.keep_going) {
+        std::printf("sg_chaos: stopping at first failure "
+                    "(--keep-going to continue)\n");
+        std::printf("sg_chaos: %d case(s), %d failure(s)\n", runs, failures);
+        return 1;
+      }
+    }
+  }
+  std::printf("sg_chaos: %d case(s), %d failure(s)\n", runs, failures);
+  return failures > 0 ? 1 : 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--smoke] [--gray] [--sdc] [--serve] [--chaos-seed N]"
-      " [--seeds N] [--chaos-shrink] [--no-shrink]\n"
+      "usage: %s [--smoke] [--gray] [--sdc] [--serve] [--serve-overload]"
+      " [--chaos-seed N] [--seeds N] [--chaos-shrink] [--no-shrink]\n"
       "          [--inject-defect] [--keep-going] [--recovery-margin X]"
       " [--out-dir DIR]\n"
       "       %s --replay FILE\n",
@@ -1312,6 +1789,8 @@ int do_replay(const Options& opt) {
   bool gray = false;
   bool sdc = false;
   bool serve = false;
+  bool overload = false;
+  OverloadRepro ov;
   integrity::AuditPolicy sdc_pol;
   double margin = 0.0;
   fault::FaultPlan plan;
@@ -1347,6 +1826,20 @@ int do_replay(const Options& opt) {
     const obs::JsonValue* serve_v = doc.find("serve");
     serve = serve_v != nullptr &&
             serve_v->kind == obs::JsonValue::Kind::kBool && serve_v->boolean;
+    const obs::JsonValue* ov_v = doc.find("overload");
+    overload = ov_v != nullptr &&
+               ov_v->kind == obs::JsonValue::Kind::kBool && ov_v->boolean;
+    if (overload) {
+      const obs::JsonValue* ws = doc.find("workload_seed");
+      ov.workload_seed = ws != nullptr
+                             ? static_cast<std::uint64_t>(ws->num_or(42))
+                             : 42;
+      const obs::JsonValue* of = doc.find("overload_factor");
+      ov.factor = of != nullptr ? of->num_or(4.0) : 4.0;
+      const obs::JsonValue* df = doc.find("defect");
+      ov.defect = df != nullptr &&
+                  df->kind == obs::JsonValue::Kind::kBool && df->boolean;
+    }
     if (sdc) {
       const obs::JsonValue* am = doc.find("audit_mode");
       const std::string mode = am != nullptr ? am->str_or("repair")
@@ -1373,11 +1866,38 @@ int do_replay(const Options& opt) {
     std::fprintf(stderr, "sg_chaos: %s: %s\n", opt.replay.c_str(), e.what());
     return 2;
   }
-  std::printf("replaying %s: %s, wire_protocol=%s%s%s%s, plan events: %zu\n",
+  std::printf("replaying %s: %s, wire_protocol=%s%s%s%s%s, plan events: "
+              "%zu\n",
               opt.replay.c_str(), label_of(s).c_str(),
               wire ? "on" : "off", gray ? ", gray triple" : "",
               sdc ? ", sdc triple" : "",
-              serve ? ", serve (fused msbfs)" : "", plan.events.size());
+              serve ? ", serve (fused msbfs)" : "",
+              overload ? ", serve-overload" : "", plan.events.size());
+  if (overload) {
+    std::pair<serve::ServeReport, serve::ServeReport> reps;
+    const Outcome o = run_overload_case(s, &plan, ov, &reps);
+    std::printf("overload: served=%llu/%llu degraded=%llu retries=%llu "
+                "hedges=%llu migr=%llu tier=%d\n",
+                static_cast<unsigned long long>(reps.first.served),
+                static_cast<unsigned long long>(reps.first.submitted),
+                static_cast<unsigned long long>(reps.first.degraded_served),
+                static_cast<unsigned long long>(reps.first.lifecycle.retries),
+                static_cast<unsigned long long>(reps.first.lifecycle.hedges),
+                static_cast<unsigned long long>(
+                    reps.first.reshard_migrations),
+                reps.first.brownout_peak_tier);
+    if (o.failed()) {
+      std::printf("reproduced: %s (%s)%s\n", o.kind.c_str(),
+                  o.detail.c_str(),
+                  o.kind == recorded_failure
+                      ? ""
+                      : " [failure kind differs from recording]");
+      return 1;
+    }
+    std::printf(
+        "did not reproduce: case satisfied the overload contract\n");
+    return 0;
+  }
   if (serve) {
     // Unbatched per-lane oracles, then the fused run under the plan.
     const fw::Prepared& prep = prepared_for(s.policy, s.devices);
@@ -1529,6 +2049,8 @@ int main(int argc, char** argv) {
       opt.sdc = true;
     } else if (a == "--serve") {
       opt.serve = true;
+    } else if (a == "--serve-overload") {
+      opt.serve_overload = true;
     } else if (a == "--recovery-margin") {
       const char* v = need_value("--recovery-margin");
       if (v == nullptr) return 2;
@@ -1568,15 +2090,17 @@ int main(int argc, char** argv) {
   }
   if (!opt.replay.empty()) return do_replay(opt);
   if (static_cast<int>(opt.sdc) + static_cast<int>(opt.gray) +
-          static_cast<int>(opt.serve) >
+          static_cast<int>(opt.serve) +
+          static_cast<int>(opt.serve_overload) >
       1) {
-    std::fprintf(stderr,
-                 "sg_chaos: --sdc, --gray, and --serve are exclusive\n");
+    std::fprintf(stderr, "sg_chaos: --sdc, --gray, --serve, and "
+                         "--serve-overload are exclusive\n");
     return usage(argv[0]);
   }
   if (opt.sdc) return do_sdc(opt);
   if (opt.gray) return do_gray(opt);
   if (opt.serve) return do_serve(opt);
+  if (opt.serve_overload) return do_serve_overload(opt);
   const int seeds = opt.seeds_per_scenario > 0 ? opt.seeds_per_scenario
                     : opt.smoke                ? 1
                                                : 2;
